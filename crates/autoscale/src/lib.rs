@@ -1,0 +1,27 @@
+//! # parva-autoscale — ParvaGPU under fluctuating request rates
+//!
+//! The paper motivates its low scheduling overhead with "environments with
+//! fluctuating request rates" (§IV-A: MIG-serving's slow algorithm is ruled
+//! out for exactly that reason) and sketches the runtime story in §III-F:
+//! when a service's rate or SLO changes, only that service is re-configured,
+//! its segments are relocated, and unaffected GPUs keep serving; shadow
+//! processes bridge the brief MIG/MPS reconfiguration window.
+//!
+//! This crate closes the loop: [`RateTrace`] describes per-epoch load
+//! multipliers (diurnal curves, spikes, ramps), and [`run_traced`] walks the
+//! epochs — rescheduling **incrementally** through
+//! [`parva_core::reconfigure`], serving each epoch in the simulator, and
+//! accounting fleet size, SLO compliance and reconfiguration churn per
+//! epoch. The result quantifies what the paper only argues: that ParvaGPU's
+//! two-stage scheduler is cheap and local enough to chase load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod orchestrator;
+pub mod shadow;
+pub mod trace;
+
+pub use orchestrator::{run_traced, EpochReport, TraceReport};
+pub use shadow::{simulate_window, DisruptionReport};
+pub use trace::RateTrace;

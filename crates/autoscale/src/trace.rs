@@ -1,0 +1,278 @@
+//! Rate traces: per-epoch load multipliers.
+
+use serde::{Deserialize, Serialize};
+
+/// A sequence of per-epoch load multipliers applied to a base request rate.
+///
+/// Epoch boundaries are where the control loop reschedules; within an epoch
+/// the rate is constant (the serving simulator draws Poisson arrivals at the
+/// epoch's rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateTrace {
+    multipliers: Vec<f64>,
+}
+
+impl RateTrace {
+    /// Build from explicit multipliers (each must be > 0).
+    ///
+    /// # Panics
+    /// Panics on an empty list or non-positive multipliers.
+    #[must_use]
+    pub fn new(multipliers: Vec<f64>) -> Self {
+        assert!(!multipliers.is_empty(), "trace needs at least one epoch");
+        assert!(
+            multipliers.iter().all(|m| *m > 0.0 && m.is_finite()),
+            "multipliers must be positive and finite"
+        );
+        Self { multipliers }
+    }
+
+    /// A flat trace (control experiments).
+    #[must_use]
+    pub fn flat(epochs: usize) -> Self {
+        Self::new(vec![1.0; epochs.max(1)])
+    }
+
+    /// A discretized diurnal curve: load swings sinusoidally between
+    /// `low` and `high` over `epochs` epochs (one full day).
+    #[must_use]
+    pub fn diurnal(epochs: usize, low: f64, high: f64) -> Self {
+        assert!(low > 0.0 && high >= low, "need 0 < low <= high");
+        let n = epochs.max(2);
+        let mid = f64::midpoint(low, high);
+        let amp = (high - low) / 2.0;
+        Self::new(
+            (0..n)
+                .map(|i| {
+                    let phase = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                    // Trough at epoch 0 (3 a.m.), peak mid-trace.
+                    mid - amp * phase.cos()
+                })
+                .collect(),
+        )
+    }
+
+    /// A flash-crowd spike: baseline 1.0 with a `factor`× surge in the
+    /// middle `width` epochs.
+    #[must_use]
+    pub fn spike(epochs: usize, factor: f64, width: usize) -> Self {
+        assert!(factor > 0.0);
+        let n = epochs.max(1);
+        let w = width.clamp(1, n);
+        let start = (n - w) / 2;
+        Self::new(
+            (0..n).map(|i| if i >= start && i < start + w { factor } else { 1.0 }).collect(),
+        )
+    }
+
+    /// A linear ramp from `from`× to `to`× across the epochs.
+    #[must_use]
+    pub fn ramp(epochs: usize, from: f64, to: f64) -> Self {
+        assert!(from > 0.0 && to > 0.0);
+        let n = epochs.max(2);
+        Self::new(
+            (0..n)
+                .map(|i| from + (to - from) * i as f64 / (n - 1) as f64)
+                .collect(),
+        )
+    }
+
+    /// Number of epochs.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// The multiplier of epoch `i`.
+    #[must_use]
+    pub fn multiplier(&self, epoch: usize) -> f64 {
+        self.multipliers[epoch]
+    }
+
+    /// All multipliers.
+    #[must_use]
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+
+    /// Peak multiplier.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.multipliers.iter().copied().fold(f64::MIN, f64::max)
+    }
+
+    /// Superimpose another trace multiplicatively, epoch-wise (e.g. a
+    /// diurnal base × a spike overlay). The shorter trace cycles.
+    #[must_use]
+    pub fn overlay(&self, other: &RateTrace) -> RateTrace {
+        let n = self.epochs().max(other.epochs());
+        RateTrace::new(
+            (0..n)
+                .map(|i| {
+                    self.multipliers[i % self.epochs()]
+                        * other.multipliers[i % other.epochs()]
+                })
+                .collect(),
+        )
+    }
+
+    /// Deterministic multiplicative jitter in `[1−amp, 1+amp]` — the
+    /// request-level noise production traces carry on top of their shape.
+    #[must_use]
+    pub fn with_noise(&self, amp: f64, seed: u64) -> RateTrace {
+        assert!((0.0..1.0).contains(&amp), "amplitude must be in [0, 1)");
+        RateTrace::new(
+            self.multipliers
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    // SplitMix64 over (seed, epoch) → unit interval.
+                    let mut z = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64 + 1)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z ^= z >> 27;
+                    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^= z >> 31;
+                    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+                    m * (1.0 + (2.0 * unit - 1.0) * amp)
+                })
+                .collect(),
+        )
+    }
+
+    /// One multiplier per CSV line; round-trips with [`RateTrace::from_csv`]
+    /// so traces can be exported, edited and replayed.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("multiplier\n");
+        for m in &self.multipliers {
+            out.push_str(&format!("{m}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`RateTrace::to_csv`] format (header optional).
+    ///
+    /// # Errors
+    /// Reports the offending line for malformed or non-positive values.
+    pub fn from_csv(csv: &str) -> Result<RateTrace, String> {
+        let mut multipliers = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.eq_ignore_ascii_case("multiplier")) {
+                continue;
+            }
+            let m: f64 = line
+                .parse()
+                .map_err(|e| format!("line {}: '{line}': {e}", lineno + 1))?;
+            if !(m > 0.0 && m.is_finite()) {
+                return Err(format!("line {}: multiplier must be positive", lineno + 1));
+            }
+            multipliers.push(m);
+        }
+        if multipliers.is_empty() {
+            return Err("trace is empty".into());
+        }
+        Ok(RateTrace::new(multipliers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_swings_between_bounds() {
+        let t = RateTrace::diurnal(24, 0.3, 1.0);
+        assert_eq!(t.epochs(), 24);
+        for &m in t.multipliers() {
+            assert!((0.29..=1.01).contains(&m), "{m}");
+        }
+        // Trough at 0, peak near the middle.
+        assert!(t.multiplier(0) < t.multiplier(12));
+        assert!((t.peak() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spike_shape() {
+        let t = RateTrace::spike(10, 3.0, 2);
+        assert_eq!(t.epochs(), 10);
+        assert_eq!(t.multipliers().iter().filter(|m| **m > 2.0).count(), 2);
+        assert_eq!(t.multiplier(0), 1.0);
+        assert_eq!(t.peak(), 3.0);
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        let t = RateTrace::ramp(5, 0.5, 2.5);
+        assert!((t.multiplier(0) - 0.5).abs() < 1e-12);
+        assert!((t.multiplier(4) - 2.5).abs() < 1e-12);
+        // Monotone.
+        for w in t.multipliers().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn flat_is_all_ones() {
+        let t = RateTrace::flat(4);
+        assert!(t.multipliers().iter().all(|m| (*m - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn empty_rejected() {
+        let _ = RateTrace::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_multiplier_rejected() {
+        let _ = RateTrace::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn overlay_is_pointwise_product_with_cycling() {
+        let day = RateTrace::diurnal(24, 0.4, 1.0);
+        let surge = RateTrace::spike(12, 2.0, 2);
+        let combined = day.overlay(&surge);
+        assert_eq!(combined.epochs(), 24);
+        for i in 0..24 {
+            let want = day.multiplier(i) * surge.multiplier(i % 12);
+            assert!((combined.multiplier(i) - want).abs() < 1e-12, "epoch {i}");
+        }
+    }
+
+    #[test]
+    fn noise_stays_in_band_and_is_deterministic() {
+        let base = RateTrace::flat(50);
+        let noisy = base.with_noise(0.1, 7);
+        for &m in noisy.multipliers() {
+            assert!((0.9..=1.1).contains(&m), "{m}");
+        }
+        assert_eq!(noisy, base.with_noise(0.1, 7));
+        assert_ne!(noisy, base.with_noise(0.1, 8));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = RateTrace::diurnal(24, 0.3, 1.2).with_noise(0.05, 3);
+        let parsed = RateTrace::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(parsed.epochs(), t.epochs());
+        for (a, b) in parsed.multipliers().iter().zip(t.multipliers()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Headerless input also parses.
+        assert!(RateTrace::from_csv("1.0\n2.0\n").is_ok());
+    }
+
+    #[test]
+    fn csv_errors_are_located() {
+        assert!(RateTrace::from_csv("").unwrap_err().contains("empty"));
+        let err = RateTrace::from_csv("multiplier\n1.0\nbogus\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let err = RateTrace::from_csv("multiplier\n-1.0\n").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Shared helpers for the MPS-fraction baselines.
+
+use parva_perf::{ComputeShare, Model, PerfParams};
+use parva_profile::DEFAULT_BATCHES;
+
+/// MPS partition granularity used by gpulet and iGniter: 5% of the GPU's
+/// SMs (both papers discretize `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`; 5% is
+/// the finest step either system's profiling resolves).
+pub const FRACTION_STEP: f64 = 0.05;
+
+/// All partition fractions, ascending: 5%, 10%, …, 100%.
+#[must_use]
+pub fn fractions() -> Vec<f64> {
+    (1..=20).map(|i| f64::from(i) * FRACTION_STEP).collect()
+}
+
+/// Round a fraction up to the next step, capped at 1.0.
+#[must_use]
+pub fn ceil_fraction(f: f64) -> f64 {
+    ((f / FRACTION_STEP).ceil() * FRACTION_STEP).min(1.0)
+}
+
+/// An evaluated MPS operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpsPoint {
+    /// SM fraction.
+    pub fraction: f64,
+    /// Batch size.
+    pub batch: u32,
+    /// Concurrent workers in the partition.
+    pub procs: u32,
+    /// Throughput under the assumed interference, req/s.
+    pub throughput_rps: f64,
+    /// Latency under the assumed interference, ms.
+    pub latency_ms: f64,
+}
+
+/// Evaluate one (fraction, batch) point under a given interference sum with
+/// `procs` concurrent workers (gpulet: 1; iGniter: 2, its server overlaps
+/// transfers with compute via double-buffered streams).
+#[must_use]
+pub fn mps_point(
+    model: Model,
+    fraction: f64,
+    batch: u32,
+    interference: f64,
+    procs: u32,
+) -> MpsPoint {
+    let params = PerfParams::for_model(model);
+    let gpcs = ComputeShare::Fraction(fraction).effective_gpcs();
+    let cycle =
+        parva_perf::math::cycle_ms_with_interference(&params, gpcs, batch, procs, interference);
+    MpsPoint {
+        fraction,
+        batch,
+        procs,
+        throughput_rps: f64::from(procs) * f64::from(batch) * 1000.0 / cycle,
+        latency_ms: cycle,
+    }
+}
+
+/// Best batch (max throughput) at a fraction under a latency bound and the
+/// whole-GPU memory ceiling; `None` when no batch qualifies.
+#[must_use]
+pub fn best_batch_at(
+    model: Model,
+    fraction: f64,
+    max_latency_ms: f64,
+    interference: f64,
+    procs: u32,
+) -> Option<MpsPoint> {
+    DEFAULT_BATCHES
+        .iter()
+        .map(|b| mps_point(model, fraction, *b, interference, procs))
+        .filter(|p| p.latency_ms < max_latency_ms)
+        .filter(|p| {
+            parva_perf::math::memory_gib(model, p.batch, procs)
+                <= parva_mig::GpuModel::A100_80GB.total_memory_gib()
+        })
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+}
+
+/// The interference-free operating point maximizing throughput **per
+/// fraction** under the latency bound — the fraction-space analogue of
+/// Demand Matching's optimal segment.
+#[must_use]
+pub fn most_efficient_point(model: Model, max_latency_ms: f64, procs: u32) -> Option<MpsPoint> {
+    fractions()
+        .into_iter()
+        .filter_map(|f| best_batch_at(model, f, max_latency_ms, 0.0, procs))
+        .max_by(|a, b| {
+            (a.throughput_rps / a.fraction).total_cmp(&(b.throughput_rps / b.fraction))
+        })
+}
+
+/// Smallest fraction whose best batch covers `rate_rps` under the latency
+/// bound (one partition serving the whole workload — iGniter's sizing rule).
+#[must_use]
+pub fn min_fraction_covering(
+    model: Model,
+    rate_rps: f64,
+    max_latency_ms: f64,
+    procs: u32,
+) -> Option<MpsPoint> {
+    fractions()
+        .into_iter()
+        .filter_map(|f| best_batch_at(model, f, max_latency_ms, 0.0, procs))
+        .find(|p| p.throughput_rps >= rate_rps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_ladder() {
+        let f = fractions();
+        assert_eq!(f.len(), 20);
+        assert!((f[0] - FRACTION_STEP).abs() < 1e-12);
+        assert!((f[19] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ceil_fraction_rounds_up() {
+        assert!((ceil_fraction(0.31) - 0.35).abs() < 1e-9);
+        assert!((ceil_fraction(0.40) - 0.4).abs() < 1e-9);
+        assert!((ceil_fraction(1.7) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_grows_with_fraction() {
+        let t = |f| {
+            best_batch_at(Model::ResNet50, f, 100.0, 0.0, 1)
+                .map_or(0.0, |p| p.throughput_rps)
+        };
+        assert!(t(0.5) > t(0.2));
+        assert!(t(1.0) > t(0.5));
+    }
+
+    #[test]
+    fn interference_reduces_throughput() {
+        let clean = best_batch_at(Model::ResNet50, 0.5, 100.0, 0.0, 1).unwrap();
+        let dirty = best_batch_at(Model::ResNet50, 0.5, 100.0, 0.3, 1).unwrap();
+        assert!(dirty.throughput_rps < clean.throughput_rps);
+    }
+
+    #[test]
+    fn min_fraction_covering_is_minimal() {
+        let p = min_fraction_covering(Model::MobileNetV2, 500.0, 100.0, 1).unwrap();
+        assert!(p.throughput_rps >= 500.0);
+        if p.fraction > FRACTION_STEP + 1e-12 {
+            let below = best_batch_at(Model::MobileNetV2, p.fraction - FRACTION_STEP, 100.0, 0.0, 1);
+            assert!(below.is_none_or(|q| q.throughput_rps < 500.0));
+        }
+    }
+
+    #[test]
+    fn impossible_rate_returns_none() {
+        assert!(min_fraction_covering(Model::BertLarge, 1e9, 100.0, 1).is_none());
+    }
+
+    #[test]
+    fn strict_latency_returns_none() {
+        assert!(best_batch_at(Model::BertLarge, 0.1, 1.0, 0.0, 1).is_none());
+    }
+}

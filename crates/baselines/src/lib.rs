@@ -1,0 +1,54 @@
+//! # parva-baselines — the paper's comparison schedulers
+//!
+//! Reimplementations of the three frameworks ParvaGPU is evaluated against
+//! (paper §II, §IV-A), built from their published algorithm descriptions and
+//! faithful to the *behavioural* properties the paper attributes to them:
+//!
+//! * [`Gpulet`] (Choi et al., USENIX ATC 2022) — MPS-only. Sizes per-service
+//!   partitions by throughput-per-fraction, packs **at most two** partitions
+//!   per GPU, and hands the *entire remaining* GPU share to the second
+//!   partition (→ internal slack, no external fragmentation). Its pairing
+//!   decisions rest on an imperfect interference predictor (→ occasional SLO
+//!   violations, Fig. 8).
+//! * [`IGniter`] (Xu et al., IEEE TPDS 2023) — MPS-only. Computes each
+//!   workload's required SM fraction from a performance model, inflates it
+//!   with an interference headroom (→ internal slack), first-fits partitions
+//!   onto GPUs with no fragmentation handling (→ external fragmentation),
+//!   and cannot split one workload across GPUs (→ fails S5/S6's high rates).
+//! * [`MigServing`] (Tan et al., arXiv:2109.11067), *fast* greedy algorithm —
+//!   MIG-only, no MPS. Treats sizing + placement as one cutting-stock-style
+//!   search over the 19 MIG configurations with conservative utilization
+//!   targets (→ over-allocation/internal slack at low rates) and an
+//!   improvement loop whose cost grows steeply with services × GPUs (→ very
+//!   high scheduling overhead, Figs. 9/11).
+//!
+//! Two further systems appear in the paper's Table I capability matrix but
+//! not in its comparative figures; both are implemented so the matrix is
+//! complete and their behavioural critiques are testable:
+//!
+//! * [`Gslice`] (Dhakal et al., SoCC 2020) — MPS-only. Self-tunes partition
+//!   sizes from measurements with adaptive batching (→ no internal slack),
+//!   but has no multi-GPU scale-out, so high request rates are rejected.
+//! * [`ParisElsa`] (Kim et al., DAC 2022) — MIG-only. PARIS sizes one
+//!   instance per workload from its batch-size distribution (tail-sized →
+//!   internal slack); ELSA schedules *temporally*, so spatial packing and
+//!   fragmentation are out of scope.
+//!
+//! All five implement [`parva_deploy::Scheduler`] and run against the same
+//! profiling substrate as ParvaGPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod gpulet;
+pub mod gslice;
+pub mod igniter;
+pub mod migserving;
+pub mod paris_elsa;
+
+pub use gpulet::Gpulet;
+pub use gslice::Gslice;
+pub use igniter::IGniter;
+pub use migserving::MigServing;
+pub use paris_elsa::ParisElsa;

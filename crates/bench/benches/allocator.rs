@@ -1,0 +1,35 @@
+//! Microbench: the GPU Segment Allocator (Algorithm 2) — relocation alone
+//! vs. the full pipeline with Allocation Optimization and the fill pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parva_core::allocator::{allocate, relocate, AllocatorConfig};
+use parva_core::configurator::configure;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+fn bench_allocator(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let mut group = c.benchmark_group("allocator");
+    for (label, scenario, k) in
+        [("S2", Scenario::S2, 1u32), ("S5", Scenario::S5, 1), ("S5x4", Scenario::S5, 4)]
+    {
+        let specs = scenario.scaled(k);
+        let services = configure(&specs, &book, 3).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("relocate_only", label),
+            &services,
+            |b, services| b.iter(|| relocate(std::hint::black_box(services))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", label),
+            &services,
+            |b, services| {
+                b.iter(|| allocate(std::hint::black_box(services), &AllocatorConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

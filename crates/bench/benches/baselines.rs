@@ -1,0 +1,50 @@
+//! Microbench: scheduling delay of every Table I framework on one shared
+//! workload (Fig. 9's per-framework cost, isolated from the serving
+//! simulation). GSLICE and PARIS+ELSA cannot take the Table IV rates (no
+//! multi-GPU / multi-instance scale-out), so all frameworks are compared on
+//! a rate-reduced S2 every one of them can schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parva_baselines::{Gpulet, Gslice, IGniter, MigServing, ParisElsa};
+use parva_core::ParvaGpu;
+use parva_deploy::{Scheduler, ServiceSpec};
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+/// S2 with every rate scaled down to single-instance feasibility.
+fn feasible_everywhere() -> Vec<ServiceSpec> {
+    Scenario::S2
+        .services()
+        .into_iter()
+        .map(|s| ServiceSpec::new(s.id, s.model, (s.request_rate_rps * 0.25).max(5.0), s.slo.latency_ms))
+        .collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let specs = feasible_everywhere();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Gslice::new()),
+        Box::new(Gpulet::new()),
+        Box::new(IGniter::new()),
+        Box::new(ParisElsa::new()),
+        Box::new(MigServing::new(&book)),
+        Box::new(ParvaGpu::new(&book)),
+    ];
+    // Sanity: every framework must actually schedule the reduced set.
+    for sched in &schedulers {
+        sched
+            .schedule(&specs)
+            .unwrap_or_else(|e| panic!("{} failed the shared workload: {e}", sched.name()));
+    }
+    let mut group = c.benchmark_group("baseline_scheduling");
+    for sched in &schedulers {
+        group.bench_function(sched.name(), |b| {
+            b.iter(|| sched.schedule(std::hint::black_box(&specs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

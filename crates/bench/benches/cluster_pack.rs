@@ -1,0 +1,33 @@
+//! Microbench: node packing + cost reporting over growing fleets (the
+//! predictor path of Figs. 10–11 extended to the node/cost layer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parva_cluster::{pack, CostReport, NodeType, PricingPlan};
+use parva_core::ParvaGpu;
+use parva_deploy::Scheduler;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+fn bench_pack(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let mut group = c.benchmark_group("cluster_pack");
+    for k in [1u32, 4, 8] {
+        let specs = Scenario::S5.scaled(k);
+        let deployment = sched.schedule(&specs).expect("S5×k feasible");
+        group.bench_with_input(
+            BenchmarkId::new("pack_and_cost", format!("{}gpus", deployment.gpu_count())),
+            &deployment,
+            |b, d| {
+                b.iter(|| {
+                    let plan = pack(std::hint::black_box(d), NodeType::P4DE_24XLARGE);
+                    CostReport::from_plan("ParvaGPU", &plan, PricingPlan::OnDemand)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Microbench: the GPU Segment Configurator (Algorithm 1). The paper's
+//! complexity claim is O(N·I·B·P) = O(N) for the fixed profiling grid
+//! (§III-G); this bench demonstrates the linear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parva_core::configurator::configure;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+fn bench_configurator(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let mut group = c.benchmark_group("configurator");
+    for k in [1u32, 2, 4, 8] {
+        let specs = Scenario::S2.scaled(k);
+        group.bench_with_input(
+            BenchmarkId::new("configure", format!("{}svc", specs.len())),
+            &specs,
+            |b, specs| b.iter(|| configure(std::hint::black_box(specs), &book, 3).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configurator);
+criterion_main!(benches);

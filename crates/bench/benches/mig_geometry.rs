@@ -1,0 +1,37 @@
+//! Microbench: MIG geometry substrate — configuration derivation and
+//! placement throughput (the allocator's hot inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parva_mig::{all_configurations, GpuState, InstanceProfile};
+
+fn bench_mig(c: &mut Criterion) {
+    c.bench_function("mig/derive_19_configurations", |b| {
+        b.iter(|| {
+            let configs = all_configurations();
+            assert_eq!(configs.len(), 19);
+            configs
+        })
+    });
+
+    c.bench_function("mig/place_remove_cycle", |b| {
+        let mut gpu = GpuState::new();
+        b.iter(|| {
+            let p4 = gpu.place(InstanceProfile::G4).unwrap();
+            let p2 = gpu.place(InstanceProfile::G2).unwrap();
+            let p1 = gpu.place(InstanceProfile::G1).unwrap();
+            gpu.remove(p1);
+            gpu.remove(p2);
+            gpu.remove(p4);
+        })
+    });
+
+    c.bench_function("mig/find_start_on_fragmented", |b| {
+        let mut gpu = GpuState::new();
+        gpu.place(InstanceProfile::G3).unwrap();
+        gpu.place(InstanceProfile::G1).unwrap();
+        b.iter(|| std::hint::black_box(gpu.find_start(InstanceProfile::G2)));
+    });
+}
+
+criterion_group!(benches, bench_mig);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench backing **Figure 9**: scheduling delay of every
+//! framework on scenarios S1, S2 and S5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parva_core::{ParvaGpu, ParvaGpuSingle};
+use parva_deploy::Scheduler;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+fn bench_sched_delay(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(parva_baselines::Gpulet::new()),
+        Box::new(parva_baselines::IGniter::new()),
+        Box::new(parva_baselines::MigServing::new(&book)),
+        Box::new(ParvaGpuSingle::new(&book)),
+        Box::new(ParvaGpu::new(&book)),
+    ];
+
+    let mut group = c.benchmark_group("fig9_sched_delay");
+    group.sample_size(10);
+    for sc in [Scenario::S1, Scenario::S2, Scenario::S5] {
+        let specs = sc.services();
+        for sched in &schedulers {
+            // iGniter cannot schedule S5 — skip rather than bench an error.
+            if sched.name() == "iGniter" && sc == Scenario::S5 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(sched.name(), sc.label()),
+                &specs,
+                |b, specs| b.iter(|| sched.schedule(std::hint::black_box(specs)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched_delay);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench backing **Figure 11**: scheduling delay as S5 scales
+//! 1×/3×/5× in service count (10× is covered by the fig10_fig11 binary;
+//! MIG-serving at 10× is too slow for criterion's repetition model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parva_core::ParvaGpu;
+use parva_deploy::Scheduler;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+fn bench_sched_scale(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(parva_baselines::Gpulet::new()),
+        Box::new(parva_baselines::MigServing::new(&book)),
+        Box::new(ParvaGpu::new(&book)),
+    ];
+
+    let mut group = c.benchmark_group("fig11_sched_scale");
+    group.sample_size(10);
+    for k in [1u32, 3, 5] {
+        let specs = Scenario::S5.scaled(k);
+        for sched in &schedulers {
+            group.bench_with_input(
+                BenchmarkId::new(sched.name(), format!("{k}x")),
+                &specs,
+                |b, specs| b.iter(|| sched.schedule(std::hint::black_box(specs)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched_scale);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Macrobench: the serving simulator's event throughput — one second of
+//! simulated S2 serving under a ParvaGPU deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parva_core::ParvaGpu;
+use parva_deploy::Scheduler;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::{simulate, ServingConfig};
+
+fn bench_serving(c: &mut Criterion) {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S2.services();
+    let deployment = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let config =
+        ServingConfig { warmup_s: 0.2, duration_s: 1.0, drain_s: 0.5, seed: 42, ..Default::default() };
+
+    let mut group = c.benchmark_group("serving_sim");
+    group.sample_size(10);
+    group.bench_function("s2_one_second", |b| {
+        b.iter(|| simulate(std::hint::black_box(&deployment), &specs, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Extension experiment: ParvaGPU chasing fluctuating load.
+//!
+//! The paper motivates low scheduling overhead with "environments with
+//! fluctuating request rates" (§IV-A) and sketches incremental
+//! reconfiguration in §III-F, but never shows a closed loop. This harness
+//! runs a diurnal day and a flash-crowd spike over a half-S3 catalogue,
+//! comparing the **incremental** path (per-service
+//! `reconfigure::update_service`) against full **re-planning** each epoch:
+//! fleet size, compliance, and — the §III-F payoff — reconfiguration churn.
+//!
+//! Run: `cargo run --release -p parva-bench --bin autoscale_trace`
+
+use parva_autoscale::{orchestrator, RateTrace};
+use parva_bench::write_csv;
+use parva_deploy::ServiceSpec;
+use parva_metrics::TextTable;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn base() -> Vec<ServiceSpec> {
+    Scenario::S3
+        .services()
+        .into_iter()
+        .map(|s| ServiceSpec::new(s.id, s.model, s.request_rate_rps * 0.5, s.slo.latency_ms))
+        .collect()
+}
+
+fn run(name: &str, trace: &RateTrace, book: &ProfileBook) {
+    let serving = ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 42, ..Default::default() };
+    let inc = orchestrator::run_traced(book, &base(), trace, &serving).expect("feasible");
+    let rep = orchestrator::run_traced_replan(book, &base(), trace, &serving).expect("feasible");
+
+    let mut table = TextTable::new(vec![
+        "epoch",
+        "load x",
+        "GPUs (incr)",
+        "GPUs (replan)",
+        "churn (incr)",
+        "churn (replan)",
+        "compliance (incr) %",
+    ]);
+    for (a, b) in inc.epochs.iter().zip(&rep.epochs) {
+        table.row(vec![
+            a.epoch.to_string(),
+            format!("{:.2}", a.multiplier),
+            a.gpus.to_string(),
+            b.gpus.to_string(),
+            a.reconfigured_gpus.to_string(),
+            b.reconfigured_gpus.to_string(),
+            format!("{:.2}", a.compliance * 100.0),
+        ]);
+    }
+    println!("=== {name} ===\n{}", table.render());
+    println!(
+        "incremental: peak {} GPUs, total churn {}, worst compliance {:.2}%",
+        inc.peak_gpus(),
+        inc.total_reconfigurations(),
+        inc.min_compliance() * 100.0
+    );
+    println!(
+        "full replan: peak {} GPUs, total churn {}\n",
+        rep.peak_gpus(),
+        rep.total_reconfigurations()
+    );
+    write_csv(&format!("autoscale_{name}.csv"), &table.to_csv());
+}
+
+fn main() {
+    let book = ProfileBook::builtin();
+    run("diurnal", &RateTrace::diurnal(12, 0.4, 1.8), &book);
+    run("spike", &RateTrace::spike(8, 3.0, 2), &book);
+}

@@ -1,0 +1,79 @@
+//! Regenerates the **cost view** of Figure 5: the paper's §I/§IV-B1 claim
+//! that GPU savings translate one-to-one into cloud cost savings, at the
+//! granularity clouds actually bill — whole p4de.24xlarge nodes.
+//!
+//! For every scenario and framework the harness converts the scheduled GPU
+//! count into nodes (8 GPUs each, vCPU budget honoured), prices the fleet
+//! on-demand, and reports ParvaGPU's monthly saving versus each baseline.
+
+use parva_bench::{evaluate_scenario, write_csv};
+use parva_cluster::{pack, CostReport, NodeType, PricingPlan};
+use parva_metrics::TextTable;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let node = NodeType::P4DE_24XLARGE;
+    let pricing = PricingPlan::OnDemand;
+
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "framework",
+        "GPUs",
+        "nodes",
+        "idle GPUs",
+        "USD/hour",
+        "USD/month",
+        "ParvaGPU saving %",
+    ]);
+
+    for scenario in Scenario::ALL {
+        let eval = evaluate_scenario(&book, scenario, false, &ServingConfig::default());
+        // ParvaGPU's own report is the baseline for the saving column.
+        let parva_report = eval
+            .results
+            .iter()
+            .find(|r| r.name == "ParvaGPU")
+            .and_then(|r| r.deployment.as_ref().ok())
+            .map(|d| CostReport::from_plan("ParvaGPU", &pack(d, node), pricing));
+
+        for r in &eval.results {
+            match &r.deployment {
+                Ok(d) => {
+                    let report = CostReport::from_plan(r.name, &pack(d, node), pricing);
+                    let saving = parva_report
+                        .as_ref()
+                        .map_or(String::new(), |p| format!("{:.1}", p.saving_vs(&report) * 100.0));
+                    table.row(vec![
+                        scenario.label().to_string(),
+                        r.name.to_string(),
+                        report.gpus.to_string(),
+                        report.nodes.to_string(),
+                        report.idle_gpus.to_string(),
+                        format!("{:.2}", report.usd_per_hour),
+                        format!("{:.0}", report.usd_per_month),
+                        saving,
+                    ]);
+                }
+                Err(e) => {
+                    table.row(vec![
+                        scenario.label().to_string(),
+                        r.name.to_string(),
+                        "infeasible".into(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        e.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+
+    println!("Cost view of Figure 5 — p4de.24xlarge nodes, on-demand pricing\n");
+    println!("{}", table.render());
+    write_csv("cost_table.csv", &table.to_csv());
+}

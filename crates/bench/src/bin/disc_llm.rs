@@ -1,0 +1,126 @@
+//! Regenerates the **§V discussion** analysis: the impact of
+//! memory-intensive (LLM) models on spatial GPU sharing across GPU
+//! generations.
+//!
+//! The paper argues that although LLMs shrink the set of feasible GPU
+//! segments (weights must fit the instance's memory slice allotment),
+//! lightweight 7B-class models already fit small segments on an A100-80,
+//! and the H200 (141 GB) and B200 (192 GB) parts restore spatial sharing
+//! even for a 65B QLoRA model. Two artifacts quantify that:
+//!
+//! * `disc_llm_feasibility.csv` — for each GPU model × LLM, the smallest
+//!   MIG instance profile whose memory holds the model at batch 1, and the
+//!   number of surviving profile points out of the sweep;
+//! * `disc_llm_serving.csv` — a three-LLM serving scenario scheduled by
+//!   ParvaGPU per GPU model: total GPUs, total GPCs and fragmentation.
+
+use parva_bench::write_csv;
+use parva_core::ParvaGpu;
+use parva_deploy::{Scheduler, ServiceSpec};
+use parva_metrics::{external_fragmentation, TextTable};
+use parva_mig::{GpuModel, InstanceProfile};
+use parva_perf::{ComputeShare, Model};
+use parva_profile::{ProfileBook, SweepGrid};
+
+/// GPU models of the §V discussion, ascending memory.
+fn gpu_lineup() -> Vec<GpuModel> {
+    vec![
+        GpuModel::A100_40GB,
+        GpuModel::A100_80GB,
+        GpuModel::H200_141GB,
+        GpuModel::B200_192GB,
+    ]
+}
+
+/// LLM-appropriate sweep: small batches, the usual process ladder.
+fn llm_grid() -> SweepGrid {
+    SweepGrid {
+        instances: InstanceProfile::ALL.to_vec(),
+        batches: vec![1, 2, 4, 8],
+        procs: vec![1, 2, 3],
+    }
+}
+
+/// The §V serving scenario: a lightweight chat model, a QLoRA-tuned 7B and
+/// a 65B flagship, at modest rates with generation-scale SLOs.
+fn llm_services() -> Vec<ServiceSpec> {
+    vec![
+        ServiceSpec::new(0, Model::LlamaLite7B, 30.0, 4_000.0),
+        ServiceSpec::new(1, Model::Guanaco7B, 20.0, 5_000.0),
+        ServiceSpec::new(2, Model::Guanaco65B, 2.0, 15_000.0),
+    ]
+}
+
+fn main() {
+    // ---- Feasibility matrix -------------------------------------------
+    let mut feas = TextTable::new(vec![
+        "gpu",
+        "model",
+        "smallest instance",
+        "instance mem (GiB)",
+        "surviving points",
+        "sweep points",
+    ]);
+    for gpu in gpu_lineup() {
+        for llm in Model::LLMS {
+            let smallest = InstanceProfile::ALL.iter().copied().find(|g| {
+                parva_perf::math::fits_memory_on(llm, ComputeShare::Mig(*g), 1, 1, gpu)
+            });
+            let table = parva_profile::ProfileTable::measure_on(llm, &llm_grid(), gpu);
+            feas.row(vec![
+                gpu.name.to_string(),
+                llm.name().to_string(),
+                smallest.map_or("none".into(), |g| g.to_string()),
+                smallest.map_or(f64::NAN, |g| gpu.instance_memory_gib(g)).to_string(),
+                table.entries().len().to_string(),
+                llm_grid().len().to_string(),
+            ]);
+        }
+    }
+    println!("§V feasibility — smallest MIG instance per LLM per GPU model\n");
+    println!("{}", feas.render());
+    write_csv("disc_llm_feasibility.csv", &feas.to_csv());
+
+    // ---- Serving scenario ---------------------------------------------
+    let mut serving = TextTable::new(vec![
+        "gpu",
+        "GPUs",
+        "GPCs allocated",
+        "external frag %",
+        "largest segment",
+    ]);
+    for gpu in gpu_lineup() {
+        let book = ProfileBook::measure_on(&Model::LLMS, &llm_grid(), gpu);
+        let sched = ParvaGpu::new(&book);
+        match sched.schedule(&llm_services()) {
+            Ok(deployment) => {
+                let mig = deployment.as_mig().expect("ParvaGPU deploys MIG");
+                let largest = mig
+                    .segments()
+                    .iter()
+                    .map(|s| s.segment.triplet.instance.gpcs())
+                    .max()
+                    .unwrap_or(0);
+                serving.row(vec![
+                    gpu.name.to_string(),
+                    deployment.gpu_count().to_string(),
+                    mig.gpcs_allocated().to_string(),
+                    format!("{:.1}", external_fragmentation(&deployment) * 100.0),
+                    format!("{largest}g"),
+                ]);
+            }
+            Err(e) => {
+                serving.row(vec![
+                    gpu.name.to_string(),
+                    "infeasible".into(),
+                    String::new(),
+                    String::new(),
+                    e.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("\n§V serving — ParvaGPU on the three-LLM scenario per GPU model\n");
+    println!("{}", serving.render());
+    write_csv("disc_llm_serving.csv", &serving.to_csv());
+}

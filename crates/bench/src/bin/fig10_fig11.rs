@@ -1,0 +1,71 @@
+//! Regenerates **Figures 10 and 11**: the predictor scalability experiment.
+//! The number of services in S5 is increased 1- to 10-fold; each framework
+//! is run in predictor mode (scheduling only, no execution) and we record
+//! the total GPUs (Fig. 10) and scheduling delay (Fig. 11).
+//!
+//! iGniter is excluded "due to its incompatibility with S5" (paper §IV-D).
+//! Run with `--release`; MIG-serving's greedy is intentionally expensive at
+//! 10× (that is Fig. 11's point).
+
+use parva_bench::write_csv;
+use parva_core::{ParvaGpu, ParvaGpuSingle};
+use parva_deploy::Scheduler;
+use parva_metrics::{log_ms, TextTable};
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(parva_baselines::Gpulet::new()),
+        Box::new(parva_baselines::MigServing::new(&book)),
+        Box::new(ParvaGpuSingle::new(&book)),
+        Box::new(ParvaGpu::new(&book)),
+    ];
+
+    let mut gpus_table = TextTable::new(vec![
+        "factor",
+        "gpulet",
+        "MIG-serving",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]);
+    let mut delay_table = TextTable::new(vec![
+        "factor",
+        "gpulet",
+        "MIG-serving",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]);
+
+    println!("Figures 10 & 11 — S5 scaled 1..10×: GPUs and scheduling delay\n");
+    for k in 1..=10u32 {
+        let specs = Scenario::S5.scaled(k);
+        let mut gpus_row = vec![k.to_string()];
+        let mut delay_row = vec![k.to_string()];
+        for sched in &schedulers {
+            let _ = sched.schedule(&specs); // warm-up (cold-cache noise)
+            let start = std::time::Instant::now();
+            let result = sched.schedule(&specs);
+            let elapsed = start.elapsed();
+            match result {
+                Ok(d) => {
+                    gpus_row.push(d.gpu_count().to_string());
+                    delay_row.push(format!("{:.2}", log_ms(elapsed)));
+                }
+                Err(_) => {
+                    gpus_row.push("fail".into());
+                    delay_row.push("fail".into());
+                }
+            }
+        }
+        gpus_table.row(gpus_row);
+        delay_table.row(delay_row);
+        eprintln!("  {k}× done");
+    }
+
+    println!("Figure 10 — total GPUs:\n{}", gpus_table.render());
+    println!("Figure 11 — scheduling delay (log10 ms):\n{}", delay_table.render());
+    write_csv("fig10_gpu_scaling.csv", &gpus_table.to_csv());
+    write_csv("fig11_delay_scaling.csv", &delay_table.to_csv());
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Figures 3 and 4**: InceptionV3 throughput (req/s) and
+//! latency (ms) across MIG instance sizes and batch sizes for 1, 2 and 3
+//! MPS processes. Instance sizes 5 and 6 do not exist; like the paper we
+//! interpolate them for plotting continuity (marked `interp`).
+
+use parva_bench::write_csv;
+use parva_perf::{ComputeShare, Model};
+use parva_profile::DEFAULT_BATCHES;
+
+fn surface(procs: u32) -> String {
+    let mut csv = String::from("instance,batch,throughput_rps,latency_ms,source\n");
+    for gpc in 1..=7u8 {
+        for &batch in &DEFAULT_BATCHES {
+            let (tput, lat, src) = match parva_mig::InstanceProfile::from_gpcs(gpc) {
+                Some(p) => {
+                    let share = ComputeShare::Mig(p);
+                    if !parva_perf::math::fits_memory(Model::InceptionV3, share, batch, procs) {
+                        continue; // OOM points are dropped (paper §III-B)
+                    }
+                    (
+                        parva_perf::math::throughput_rps(Model::InceptionV3, share, batch, procs),
+                        parva_perf::math::latency_ms(Model::InceptionV3, share, batch, procs),
+                        "measured",
+                    )
+                }
+                None => {
+                    // 5/6-GPC: linear interpolation between 4 and 7 GPCs.
+                    let lo = ComputeShare::Mig(parva_mig::InstanceProfile::G4);
+                    let hi = ComputeShare::Mig(parva_mig::InstanceProfile::G7);
+                    let w = f64::from(gpc - 4) / 3.0;
+                    let t = (1.0 - w)
+                        * parva_perf::math::throughput_rps(Model::InceptionV3, lo, batch, procs)
+                        + w * parva_perf::math::throughput_rps(Model::InceptionV3, hi, batch, procs);
+                    let l = (1.0 - w)
+                        * parva_perf::math::latency_ms(Model::InceptionV3, lo, batch, procs)
+                        + w * parva_perf::math::latency_ms(Model::InceptionV3, hi, batch, procs);
+                    (t, l, "interp")
+                }
+            };
+            csv.push_str(&format!("{gpc},{batch},{tput:.1},{lat:.2},{src}\n"));
+        }
+    }
+    csv
+}
+
+fn main() {
+    println!("Figures 3 & 4 — InceptionV3 profiling surfaces (one CSV per process count)\n");
+    for procs in 1..=3u32 {
+        let csv = surface(procs);
+        write_csv(&format!("fig3_fig4_inceptionv3_p{procs}.csv"), &csv);
+    }
+
+    // Spot-check against the paper's quoted anchors (§III-B).
+    let g1 = ComputeShare::Mig(parva_mig::InstanceProfile::G1);
+    let g4 = ComputeShare::Mig(parva_mig::InstanceProfile::G4);
+    println!("anchor points (paper → model):");
+    let anchors: Vec<(&str, f64, f64)> = vec![
+        ("g=1 b=4 p=1 tput", 354.0, parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 1)),
+        ("g=1 b=4 p=2 tput", 444.0, parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 2)),
+        ("g=1 b=4 p=3 tput", 446.0, parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 3)),
+        ("g=1 b=4 p=1 lat", 11.0, parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 1)),
+        ("g=1 b=4 p=2 lat", 18.0, parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 2)),
+        ("g=1 b=4 p=3 lat", 27.0, parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 3)),
+        ("g=4 b=8 p=1 tput", 786.0, parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 1)),
+        ("g=4 b=8 p=2 tput", 1695.0, parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 2)),
+        ("g=4 b=8 p=3 tput", 1810.0, parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 3)),
+        ("g=4 b=8 p=1 lat", 10.0, parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 1)),
+        ("g=4 b=8 p=2 lat", 9.0, parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 2)),
+        ("g=4 b=8 p=3 lat", 13.0, parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 3)),
+    ];
+    let mut anchor_csv = String::from("point,paper,model\n");
+    for (name, paper, model) in anchors {
+        println!("  {name:<20} {paper:>8.1} → {model:>8.1}");
+        anchor_csv.push_str(&format!("{name},{paper},{model:.1}\n"));
+    }
+    write_csv("fig3_fig4_anchors.csv", &anchor_csv);
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 5**: total number of GPUs used by each baseline and
+//! ParvaGPU across scenarios S1–S6. (Scheduling only — no serving needed.)
+
+use parva_bench::{evaluate_scenario, write_csv};
+use parva_metrics::TextTable;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]);
+    println!("Figure 5 — total number of GPUs per scenario\n");
+    for sc in Scenario::ALL {
+        let eval = evaluate_scenario(&book, sc, false, &ServingConfig::default());
+        let cell = |name: &str| {
+            eval.results
+                .iter()
+                .find(|r| r.name == name)
+                .and_then(parva_bench::FrameworkResult::gpus)
+                .map_or("fail".to_string(), |g| g.to_string())
+        };
+        table.row(vec![
+            sc.label().to_string(),
+            cell("gpulet"),
+            cell("iGniter"),
+            cell("MIG-serving"),
+            cell("ParvaGPU-single"),
+            cell("ParvaGPU"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(\"fail\" = framework cannot run the scenario; the paper shows no bar)");
+    write_csv("fig5_gpu_counts.csv", &table.to_csv());
+}

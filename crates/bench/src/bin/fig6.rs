@@ -1,0 +1,46 @@
+//! Regenerates **Figure 6**: GPU internal slack (%) per scenario, measured
+//! by the serving simulator via Eq. 3 (1 − SM-weighted activity).
+//!
+//! Run with `--release`; each scenario×framework runs a full serving
+//! simulation.
+
+use parva_bench::{evaluate_scenario, write_csv};
+use parva_metrics::TextTable;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let serving = ServingConfig::default();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]);
+    println!("Figure 6 — internal slack (%) per scenario (Eq. 3)\n");
+    for sc in Scenario::ALL {
+        let eval = evaluate_scenario(&book, sc, true, &serving);
+        let cell = |name: &str| {
+            eval.results
+                .iter()
+                .find(|r| r.name == name)
+                .and_then(|r| r.slack)
+                .map_or("fail".to_string(), |s| format!("{:.1}", s * 100.0))
+        };
+        table.row(vec![
+            sc.label().to_string(),
+            cell("gpulet"),
+            cell("iGniter"),
+            cell("MIG-serving"),
+            cell("ParvaGPU-single"),
+            cell("ParvaGPU"),
+        ]);
+        eprintln!("  {sc} done");
+    }
+    println!("{}", table.render());
+    write_csv("fig6_internal_slack.csv", &table.to_csv());
+}

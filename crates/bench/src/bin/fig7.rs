@@ -1,0 +1,43 @@
+//! Regenerates **Figure 7**: GPU external fragmentation (%) per scenario
+//! (Eq. 4, complemented — see `parva-metrics` docs). Static metric, no
+//! serving needed. Includes the `ParvaGPU-unoptimized` ablation to show the
+//! Allocation Optimization algorithm's effect.
+
+use parva_bench::{evaluate_scenario, write_csv};
+use parva_metrics::TextTable;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-unoptimized",
+        "ParvaGPU",
+    ]);
+    println!("Figure 7 — external fragmentation (%) per scenario\n");
+    for sc in Scenario::ALL {
+        let eval = evaluate_scenario(&book, sc, false, &ServingConfig::default());
+        let cell = |name: &str| {
+            eval.results
+                .iter()
+                .find(|r| r.name == name)
+                .and_then(|r| r.fragmentation)
+                .map_or("fail".to_string(), |f| format!("{:.1}", f * 100.0))
+        };
+        table.row(vec![
+            sc.label().to_string(),
+            cell("gpulet"),
+            cell("iGniter"),
+            cell("MIG-serving"),
+            cell("ParvaGPU-unoptimized"),
+            cell("ParvaGPU"),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("fig7_external_fragmentation.csv", &table.to_csv());
+}

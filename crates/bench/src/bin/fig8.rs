@@ -1,0 +1,45 @@
+//! Regenerates **Figure 8**: SLO compliance rate (%) per scenario, measured
+//! by the serving simulator (fraction of batches meeting the client SLO).
+//!
+//! Run with `--release`.
+
+use parva_bench::{evaluate_scenario, write_csv};
+use parva_metrics::TextTable;
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let serving = ServingConfig::default();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]);
+    println!("Figure 8 — SLO compliance rate (%) per scenario\n");
+    for sc in Scenario::ALL {
+        let eval = evaluate_scenario(&book, sc, true, &serving);
+        let cell = |name: &str| {
+            eval.results
+                .iter()
+                .find(|r| r.name == name)
+                .and_then(|r| r.compliance)
+                .map_or("fail".to_string(), |c| format!("{:.2}", c * 100.0))
+        };
+        table.row(vec![
+            sc.label().to_string(),
+            cell("gpulet"),
+            cell("iGniter"),
+            cell("MIG-serving"),
+            cell("ParvaGPU-single"),
+            cell("ParvaGPU"),
+        ]);
+        eprintln!("  {sc} done");
+    }
+    println!("{}", table.render());
+    write_csv("fig8_slo_compliance.csv", &table.to_csv());
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 9**: scheduling delay (log₁₀ ms) per scenario.
+//! Pure scheduler wall-clock; run with `--release` for meaningful numbers.
+
+use parva_bench::{evaluate_scenario, write_csv};
+use parva_metrics::{log_ms, TextTable};
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::ServingConfig;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]);
+    println!("Figure 9 — scheduling delay (log10 ms) per scenario\n");
+    for sc in Scenario::ALL {
+        let eval = evaluate_scenario(&book, sc, false, &ServingConfig::default());
+        let cell = |name: &str| {
+            eval.results
+                .iter()
+                .find(|r| r.name == name)
+                .map_or("n/a".to_string(), |r| {
+                    if r.deployment.is_ok() {
+                        format!("{:.2}", log_ms(r.delay))
+                    } else {
+                        "fail".to_string()
+                    }
+                })
+        };
+        table.row(vec![
+            sc.label().to_string(),
+            cell("gpulet"),
+            cell("iGniter"),
+            cell("MIG-serving"),
+            cell("ParvaGPU-single"),
+            cell("ParvaGPU"),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("fig9_scheduling_delay.csv", &table.to_csv());
+}

@@ -1,0 +1,17 @@
+//! Stitches every regenerated CSV under `results/` into `results/SUMMARY.md`
+//! — one markdown document in the paper's table/figure order (see
+//! `parva_metrics::summary::MANIFEST`). Run it after `repro_all` and the
+//! per-figure binaries.
+
+use parva_metrics::build_summary;
+use std::path::PathBuf;
+
+fn main() {
+    let results: PathBuf = std::env::var_os("PARVA_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let summary = build_summary(&results);
+    let out = results.join("SUMMARY.md");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(&out, &summary).expect("write SUMMARY.md");
+    println!("wrote {} ({} bytes)", out.display(), summary.len());
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table I**: the feature matrix of spatial GPU-sharing
+//! solutions for inference servers.
+
+use parva_bench::write_csv;
+use parva_deploy::Capabilities;
+use parva_metrics::TextTable;
+
+fn main() {
+    let rows: Vec<(&str, Capabilities)> = vec![
+        ("GSLICE", Capabilities::gslice()),
+        ("gpulet", Capabilities::gpulet()),
+        ("iGniter", Capabilities::igniter()),
+        ("PARIS and ELSA", Capabilities::paris_elsa()),
+        ("MIG-serving", Capabilities::mig_serving()),
+        ("ParvaGPU", Capabilities::parvagpu()),
+    ];
+    let mut table = TextTable::new(vec![
+        "framework",
+        "MPS",
+        "MIG",
+        "slack prevention",
+        "frag prevention",
+        "spatial sched",
+        "high rate",
+        "overhead",
+    ]);
+    for (name, caps) in rows {
+        let r = caps.row();
+        table.row(vec![
+            name.to_string(),
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            r[3].clone(),
+            r[4].clone(),
+            r[5].clone(),
+            r[6].clone(),
+        ]);
+    }
+    println!("Table I — comparison of spatial GPU sharing solutions\n");
+    println!("{}", table.render());
+    write_csv("table1_capabilities.csv", &table.to_csv());
+}

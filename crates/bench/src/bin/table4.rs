@@ -1,0 +1,41 @@
+//! Regenerates **Table IV**: the six evaluation scenarios over eleven DNN
+//! models with their request rates (req/s) and SLO latencies (ms).
+
+use parva_bench::write_csv;
+use parva_metrics::TextTable;
+use parva_perf::Model;
+use parva_scenarios::Scenario;
+
+fn main() {
+    let mut header: Vec<String> = vec!["scenario".into(), "metric".into()];
+    header.extend(Model::ALL.iter().map(|m| m.name().to_string()));
+    let mut table = TextTable::new(header);
+
+    // Parameter-count row (the table's "Workload features").
+    let mut params: Vec<String> = vec!["—".into(), "params (M)".into()];
+    params.extend(Model::ALL.iter().map(|m| format!("{:.1}", m.params_millions())));
+    table.row(params);
+
+    for sc in Scenario::ALL {
+        let services = sc.services();
+        let cell = |m: Model, f: &dyn Fn(&parva_deploy::ServiceSpec) -> String| {
+            services
+                .iter()
+                .find(|s| s.model == m)
+                .map_or("N/A".to_string(), f)
+        };
+        let mut rate_row: Vec<String> = vec![sc.label().into(), "rate (req/s)".into()];
+        rate_row.extend(
+            Model::ALL.iter().map(|m| cell(*m, &|s| format!("{:.0}", s.request_rate_rps))),
+        );
+        table.row(rate_row);
+        let mut lat_row: Vec<String> = vec![sc.label().into(), "SLO (ms)".into()];
+        lat_row
+            .extend(Model::ALL.iter().map(|m| cell(*m, &|s| format!("{:.0}", s.slo.latency_ms))));
+        table.row(lat_row);
+    }
+
+    println!("Table IV — six scenarios from eleven DNN inference models\n");
+    println!("{}", table.render());
+    write_csv("table4_scenarios.csv", &table.to_csv());
+}

@@ -1,0 +1,183 @@
+//! Scenario-evaluation harness shared by the figure binaries.
+
+use parva_core::{ParvaGpu, ParvaGpuSingle, ParvaGpuUnoptimized};
+use parva_deploy::{Deployment, ScheduleError, Scheduler, ServiceSpec};
+use parva_metrics::{external_fragmentation, internal_slack, slo_compliance};
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::{simulate, ServingConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The framework lineup of the paper's figures, in legend order.
+#[must_use]
+pub fn framework_names() -> Vec<&'static str> {
+    vec!["gpulet", "iGniter", "MIG-serving", "ParvaGPU-unoptimized", "ParvaGPU-single", "ParvaGPU"]
+}
+
+/// Construct every scheduler afresh (they are cheap to build; the profile
+/// book is shared).
+#[must_use]
+pub fn build_schedulers(book: &ProfileBook) -> Vec<Box<dyn Scheduler + Send + Sync>> {
+    vec![
+        Box::new(parva_baselines::Gpulet::new()),
+        Box::new(parva_baselines::IGniter::new()),
+        Box::new(parva_baselines::MigServing::new(book)),
+        Box::new(ParvaGpuUnoptimized::new(book)),
+        Box::new(ParvaGpuSingle::new(book)),
+        Box::new(ParvaGpu::new(book)),
+    ]
+}
+
+/// One framework's outcome on one scenario.
+#[derive(Debug, Clone)]
+pub struct FrameworkResult {
+    /// Framework name.
+    pub name: &'static str,
+    /// Scheduling outcome (`Err` ⇒ the framework cannot run the scenario,
+    /// e.g. iGniter on S5/S6).
+    pub deployment: Result<Deployment, ScheduleError>,
+    /// Wall-clock scheduling delay.
+    pub delay: Duration,
+    /// External fragmentation of the deployment (static metric).
+    pub fragmentation: Option<f64>,
+    /// Internal slack measured by the serving simulation.
+    pub slack: Option<f64>,
+    /// Batch-weighted SLO compliance measured by the serving simulation.
+    pub compliance: Option<f64>,
+}
+
+impl FrameworkResult {
+    /// GPU count, if scheduling succeeded.
+    #[must_use]
+    pub fn gpus(&self) -> Option<usize> {
+        self.deployment.as_ref().ok().map(Deployment::gpu_count)
+    }
+}
+
+/// Full evaluation of one scenario across all frameworks.
+#[derive(Debug, Clone)]
+pub struct ScenarioEval {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Per-framework results, in [`framework_names`] order.
+    pub results: Vec<FrameworkResult>,
+}
+
+/// Evaluate `scenario` with every framework. When `with_serving` is set, the
+/// serving simulation also runs (needed for slack/compliance; costs seconds
+/// per framework on the big scenarios).
+#[must_use]
+pub fn evaluate_scenario(
+    book: &ProfileBook,
+    scenario: Scenario,
+    with_serving: bool,
+    serving: &ServingConfig,
+) -> ScenarioEval {
+    let specs: Vec<ServiceSpec> = scenario.services();
+    let results = build_schedulers(book)
+        .into_iter()
+        .map(|sched| {
+            // One untimed warm-up run, then take the best of three timed
+            // runs — scheduling delay is the *algorithm's* cost, not the
+            // allocator's cold-cache noise.
+            let _ = sched.schedule(&specs);
+            let mut delay = std::time::Duration::MAX;
+            let mut deployment = Err(ScheduleError::InvalidService { service_id: u32::MAX });
+            for _ in 0..3 {
+                let start = std::time::Instant::now();
+                deployment = sched.schedule(&specs);
+                delay = delay.min(start.elapsed());
+            }
+            let fragmentation = deployment.as_ref().ok().map(external_fragmentation);
+            let (slack, compliance) = match (&deployment, with_serving) {
+                (Ok(d), true) => {
+                    let report = simulate(d, &specs, serving);
+                    (Some(internal_slack(&report)), Some(slo_compliance(&report)))
+                }
+                _ => (None, None),
+            };
+            FrameworkResult {
+                name: sched.name(),
+                deployment,
+                delay,
+                fragmentation,
+                slack,
+                compliance,
+            }
+        })
+        .collect();
+    ScenarioEval { scenario, results }
+}
+
+/// Directory where harness binaries drop their CSVs (`results/` at the
+/// workspace root, overridable with `PARVA_RESULTS_DIR`).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PARVA_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Walk up from the executable-independent CWD to find the workspace.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return dir.join("results");
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd.join("results"),
+        }
+    }
+}
+
+/// Write a CSV string under `results/` and echo the path.
+pub fn write_csv(name: &str, csv: &str) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, csv) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_frameworks() {
+        let book = ProfileBook::builtin();
+        assert_eq!(build_schedulers(&book).len(), framework_names().len());
+    }
+
+    #[test]
+    fn s1_evaluation_without_serving() {
+        let book = ProfileBook::builtin();
+        let eval = evaluate_scenario(&book, Scenario::S1, false, &ServingConfig::default());
+        assert_eq!(eval.results.len(), 6);
+        // Every framework can schedule the small scenario.
+        for r in &eval.results {
+            assert!(r.deployment.is_ok(), "{} failed", r.name);
+            assert!(r.gpus().unwrap() >= 1);
+            assert!(r.fragmentation.is_some());
+            assert!(r.slack.is_none(), "serving was off");
+        }
+    }
+
+    #[test]
+    fn parvagpu_uses_fewest_gpus_on_s1() {
+        let book = ProfileBook::builtin();
+        let eval = evaluate_scenario(&book, Scenario::S1, false, &ServingConfig::default());
+        let parva = eval.results.iter().find(|r| r.name == "ParvaGPU").unwrap();
+        for r in &eval.results {
+            if let Some(g) = r.gpus() {
+                assert!(parva.gpus().unwrap() <= g, "{} beat ParvaGPU", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # parva-bench — the experiment harness
+//!
+//! Shared machinery for the per-figure binaries (`src/bin/fig*.rs`,
+//! `table*.rs`, `repro_all.rs`) and the criterion benches. Each binary
+//! regenerates the rows/series of one table or figure of the paper; see
+//! DESIGN.md §4 for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    evaluate_scenario, framework_names, results_dir, write_csv, FrameworkResult, ScenarioEval,
+};

@@ -1,0 +1,134 @@
+//! Pricing plans and scheduler cost comparison.
+
+use crate::node::NodeType;
+use crate::pack::NodePlan;
+use serde::Serialize;
+
+/// How the nodes are paid for. Multipliers are representative of public
+/// AWS pricing ratios (reserved ≈ 37% off 1-yr, ≈ 60% off 3-yr; spot
+/// fluctuates around one third of on-demand for p4-class capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PricingPlan {
+    /// Pay-as-you-go.
+    OnDemand,
+    /// 1-year reserved / savings plan.
+    Reserved1Yr,
+    /// 3-year reserved / savings plan.
+    Reserved3Yr,
+    /// Spot capacity (interruptible).
+    Spot,
+}
+
+impl PricingPlan {
+    /// Price multiplier applied to the node's on-demand rate.
+    #[must_use]
+    pub fn multiplier(self) -> f64 {
+        match self {
+            Self::OnDemand => 1.0,
+            Self::Reserved1Yr => 0.63,
+            Self::Reserved3Yr => 0.40,
+            Self::Spot => 0.35,
+        }
+    }
+
+    /// Hourly price of one node under this plan, USD.
+    #[must_use]
+    pub fn node_usd_per_hour(self, node: NodeType) -> f64 {
+        node.on_demand_usd_per_hour * self.multiplier()
+    }
+}
+
+/// The dollar view of one scheduler's deployment.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// GPUs in the deployment map.
+    pub gpus: usize,
+    /// Nodes rented.
+    pub nodes: usize,
+    /// GPUs rented but idle.
+    pub idle_gpus: usize,
+    /// Hourly cost, USD.
+    pub usd_per_hour: f64,
+    /// Monthly cost (730 h), USD.
+    pub usd_per_month: f64,
+}
+
+impl CostReport {
+    /// Build from a node plan.
+    #[must_use]
+    pub fn from_plan(scheduler: &str, plan: &NodePlan, pricing: PricingPlan) -> Self {
+        let hourly = plan.node_count() as f64 * pricing.node_usd_per_hour(plan.node);
+        Self {
+            scheduler: scheduler.to_string(),
+            gpus: plan.nodes.iter().map(|n| n.gpu_indices.len()).sum(),
+            nodes: plan.node_count(),
+            idle_gpus: plan.idle_gpus,
+            usd_per_hour: hourly,
+            usd_per_month: hourly * 730.0,
+        }
+    }
+
+    /// Relative saving of `self` versus `other` on the monthly bill, in
+    /// `[0, 1]` (negative when `self` is more expensive).
+    #[must_use]
+    pub fn saving_vs(&self, other: &CostReport) -> f64 {
+        if other.usd_per_month <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.usd_per_month / other.usd_per_month
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::PackedNode;
+
+    fn plan(nodes: usize, gpus_on_last: usize) -> NodePlan {
+        let node = NodeType::P4DE_24XLARGE;
+        let mut packed = Vec::new();
+        for i in 0..nodes {
+            let count = if i + 1 == nodes { gpus_on_last } else { 8 };
+            packed.push(PackedNode {
+                gpu_indices: (0..count).collect(),
+                vcpus_used: 4,
+            });
+        }
+        let used: usize = packed.iter().map(|n| n.gpu_indices.len()).sum();
+        NodePlan { node, nodes: packed, idle_gpus: nodes * 8 - used }
+    }
+
+    #[test]
+    fn plan_multipliers_ordered() {
+        assert!(PricingPlan::OnDemand.multiplier() > PricingPlan::Reserved1Yr.multiplier());
+        assert!(PricingPlan::Reserved1Yr.multiplier() > PricingPlan::Reserved3Yr.multiplier());
+        assert!(PricingPlan::Reserved3Yr.multiplier() > PricingPlan::Spot.multiplier());
+    }
+
+    #[test]
+    fn report_from_plan() {
+        let r = CostReport::from_plan("ParvaGPU", &plan(2, 3), PricingPlan::OnDemand);
+        assert_eq!(r.nodes, 2);
+        assert_eq!(r.gpus, 11);
+        assert_eq!(r.idle_gpus, 5);
+        assert!((r.usd_per_hour - 2.0 * 40.97).abs() < 1e-9);
+        assert!((r.usd_per_month - r.usd_per_hour * 730.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_comparison() {
+        let parva = CostReport::from_plan("ParvaGPU", &plan(2, 8), PricingPlan::OnDemand);
+        let gpulet = CostReport::from_plan("gpulet", &plan(4, 8), PricingPlan::OnDemand);
+        assert!((parva.saving_vs(&gpulet) - 0.5).abs() < 1e-12);
+        assert!(gpulet.saving_vs(&parva) < 0.0);
+    }
+
+    #[test]
+    fn reserved_discount_applies() {
+        let od = CostReport::from_plan("x", &plan(1, 8), PricingPlan::OnDemand);
+        let r3 = CostReport::from_plan("x", &plan(1, 8), PricingPlan::Reserved3Yr);
+        assert!((r3.usd_per_hour / od.usd_per_hour - 0.40).abs() < 1e-9);
+    }
+}

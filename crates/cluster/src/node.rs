@@ -1,0 +1,86 @@
+//! Cloud node (instance) types.
+
+use parva_mig::GpuModel;
+use serde::Serialize;
+
+/// A GPU cloud instance type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeType {
+    /// Instance-type name, e.g. `"p4de.24xlarge"`.
+    pub name: &'static str,
+    /// GPUs per node.
+    pub gpus: u8,
+    /// GPU model installed.
+    pub gpu_model: GpuModel,
+    /// vCPUs per node.
+    pub vcpus: u32,
+    /// Host memory per node, GiB.
+    pub host_memory_gib: u32,
+    /// On-demand price, USD per hour.
+    pub on_demand_usd_per_hour: f64,
+}
+
+impl NodeType {
+    /// Amazon p4de.24xlarge — the paper's evaluation node (§IV-A: eight
+    /// A100 80 GB, 96 vCPUs, 1,152 GiB of main memory).
+    pub const P4DE_24XLARGE: NodeType = NodeType {
+        name: "p4de.24xlarge",
+        gpus: 8,
+        gpu_model: GpuModel::A100_80GB,
+        vcpus: 96,
+        host_memory_gib: 1_152,
+        on_demand_usd_per_hour: 40.97,
+    };
+
+    /// Amazon p4d.24xlarge — the 40 GB A100 sibling.
+    pub const P4D_24XLARGE: NodeType = NodeType {
+        name: "p4d.24xlarge",
+        gpus: 8,
+        gpu_model: GpuModel::A100_40GB,
+        vcpus: 96,
+        host_memory_gib: 1_152,
+        on_demand_usd_per_hour: 32.77,
+    };
+
+    /// vCPUs available per GPU if spread evenly (the budget the packer
+    /// charges inference-server processes against).
+    #[must_use]
+    pub fn vcpus_per_gpu(&self) -> u32 {
+        self.vcpus / u32::from(self.gpus.max(1))
+    }
+
+    /// Nodes needed for `gpus` GPUs, ignoring vCPU pressure.
+    #[must_use]
+    pub fn nodes_for_gpus(&self, gpus: usize) -> usize {
+        gpus.div_ceil(usize::from(self.gpus.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4de_matches_paper_section_iv_a() {
+        let n = NodeType::P4DE_24XLARGE;
+        assert_eq!(n.gpus, 8);
+        assert_eq!(n.vcpus, 96);
+        assert_eq!(n.host_memory_gib, 1_152);
+        assert_eq!(n.gpu_model, GpuModel::A100_80GB);
+    }
+
+    #[test]
+    fn node_count_rounds_up() {
+        let n = NodeType::P4DE_24XLARGE;
+        assert_eq!(n.nodes_for_gpus(0), 0);
+        assert_eq!(n.nodes_for_gpus(1), 1);
+        assert_eq!(n.nodes_for_gpus(8), 1);
+        assert_eq!(n.nodes_for_gpus(9), 2);
+        assert_eq!(n.nodes_for_gpus(33), 5);
+    }
+
+    #[test]
+    fn vcpu_budget_per_gpu() {
+        assert_eq!(NodeType::P4DE_24XLARGE.vcpus_per_gpu(), 12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Packing a deployment's GPUs onto cloud nodes.
+
+use crate::node::NodeType;
+use parva_deploy::Deployment;
+use serde::Serialize;
+
+/// vCPUs consumed per inference-server process (model worker + data
+/// feeding); the paper's servers are PyTorch processes pinned to host cores.
+pub const VCPUS_PER_PROCESS: u32 = 2;
+
+/// One packed node: which deployment GPUs it hosts and its vCPU load.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PackedNode {
+    /// Deployment GPU indices resident on this node.
+    pub gpu_indices: Vec<usize>,
+    /// vCPUs consumed by the inference-server processes of those GPUs.
+    pub vcpus_used: u32,
+}
+
+/// The node-level view of a deployment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodePlan {
+    /// The node type packed onto.
+    pub node: NodeType,
+    /// Nodes in fleet order.
+    pub nodes: Vec<PackedNode>,
+    /// GPUs rented but unused (tail of the last node).
+    pub idle_gpus: usize,
+}
+
+impl NodePlan {
+    /// Number of nodes rented.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fraction of rented GPUs actually used, in `[0, 1]` (1.0 for an
+    /// empty plan).
+    #[must_use]
+    pub fn gpu_utilization(&self) -> f64 {
+        let rented = self.node_count() * usize::from(self.node.gpus);
+        if rented == 0 {
+            return 1.0;
+        }
+        let used: usize = self.nodes.iter().map(|n| n.gpu_indices.len()).sum();
+        used as f64 / rented as f64
+    }
+}
+
+/// Per-GPU process counts of a deployment (vCPU demand driver).
+fn processes_per_gpu(deployment: &Deployment) -> Vec<u32> {
+    match deployment {
+        Deployment::Mig(d) => {
+            let mut v = vec![0u32; d.gpu_count()];
+            for ps in d.segments() {
+                v[ps.gpu] += ps.segment.triplet.procs;
+            }
+            v
+        }
+        Deployment::Mps(d) => d
+            .gpus
+            .iter()
+            .map(|g| g.partitions.iter().map(|p| p.procs).sum())
+            .collect(),
+    }
+}
+
+/// Pack the deployment's GPUs onto nodes of `node` type, in fleet order,
+/// opening a new node when either the GPU slots or the vCPU budget of the
+/// current node is exhausted. GPU order is preserved (the deployment's GPU
+/// indices are physical — NVLink-local work stays local).
+#[must_use]
+pub fn pack(deployment: &Deployment, node: NodeType) -> NodePlan {
+    let procs = processes_per_gpu(deployment);
+    let mut nodes: Vec<PackedNode> = Vec::new();
+    let mut current = PackedNode { gpu_indices: Vec::new(), vcpus_used: 0 };
+    for (gpu, p) in procs.iter().enumerate() {
+        let demand = p * VCPUS_PER_PROCESS;
+        let gpu_slots_full = current.gpu_indices.len() >= usize::from(node.gpus);
+        let vcpus_full = current.vcpus_used + demand > node.vcpus;
+        if !current.gpu_indices.is_empty() && (gpu_slots_full || vcpus_full) {
+            nodes.push(std::mem::replace(
+                &mut current,
+                PackedNode { gpu_indices: Vec::new(), vcpus_used: 0 },
+            ));
+        }
+        current.gpu_indices.push(gpu);
+        current.vcpus_used += demand;
+    }
+    if !current.gpu_indices.is_empty() {
+        nodes.push(current);
+    }
+    let used: usize = nodes.iter().map(|n| n.gpu_indices.len()).sum();
+    let idle = nodes.len() * usize::from(node.gpus) - used;
+    NodePlan { node, nodes, idle_gpus: idle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_deploy::{MigDeployment, Segment};
+    use parva_mig::InstanceProfile;
+    use parva_perf::Model;
+    use parva_profile::Triplet;
+
+    fn mig_deployment(gpu_count: usize, procs_per_gpu: u32) -> Deployment {
+        let mut d = MigDeployment::new();
+        for _ in 0..gpu_count {
+            // One 7g segment per GPU keeps indices aligned.
+            d.place_first_fit(Segment {
+                service_id: 0,
+                model: Model::ResNet50,
+                triplet: Triplet::new(InstanceProfile::G7, 8, procs_per_gpu),
+                throughput_rps: 1000.0,
+                latency_ms: 10.0,
+            });
+        }
+        Deployment::Mig(d)
+    }
+
+    #[test]
+    fn eight_gpus_fill_one_p4de() {
+        let plan = pack(&mig_deployment(8, 2), NodeType::P4DE_24XLARGE);
+        assert_eq!(plan.node_count(), 1);
+        assert_eq!(plan.idle_gpus, 0);
+        assert!((plan.gpu_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nine_gpus_need_two_nodes() {
+        let plan = pack(&mig_deployment(9, 2), NodeType::P4DE_24XLARGE);
+        assert_eq!(plan.node_count(), 2);
+        assert_eq!(plan.idle_gpus, 7);
+        assert!((plan.gpu_utilization() - 9.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vcpu_pressure_opens_nodes_early() {
+        // 7 GPUs × 3 procs × 2 vCPU = 42 per... per GPU: 6 vCPU. A node
+        // with a tiny vCPU budget forces splits before GPU slots fill.
+        let tight = NodeType {
+            name: "tiny",
+            gpus: 8,
+            gpu_model: parva_mig::GpuModel::A100_80GB,
+            vcpus: 12,
+            host_memory_gib: 256,
+            on_demand_usd_per_hour: 10.0,
+        };
+        // Each GPU: 3 procs → 6 vCPUs; 2 GPUs fit per 12-vCPU node.
+        let plan = pack(&mig_deployment(6, 3), tight);
+        assert_eq!(plan.node_count(), 3);
+        for n in &plan.nodes {
+            assert!(n.vcpus_used <= tight.vcpus);
+            assert_eq!(n.gpu_indices.len(), 2);
+        }
+    }
+
+    #[test]
+    fn gpu_order_preserved() {
+        let plan = pack(&mig_deployment(10, 1), NodeType::P4DE_24XLARGE);
+        let all: Vec<usize> = plan.nodes.iter().flat_map(|n| n.gpu_indices.clone()).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_deployment_packs_to_nothing() {
+        let plan = pack(&Deployment::Mig(MigDeployment::new()), NodeType::P4DE_24XLARGE);
+        assert_eq!(plan.node_count(), 0);
+        assert_eq!(plan.idle_gpus, 0);
+        assert_eq!(plan.gpu_utilization(), 1.0);
+    }
+
+    #[test]
+    fn mps_deployment_vcpu_accounting() {
+        use parva_deploy::{MpsDeployment, MpsGpu, MpsPartition};
+        let mut mps = MpsDeployment::new();
+        mps.gpus.push(MpsGpu {
+            partitions: vec![
+                MpsPartition {
+                    service_id: 0,
+                    model: Model::ResNet50,
+                    fraction: 0.5,
+                    batch: 8,
+                    procs: 2,
+                    throughput_rps: 100.0,
+                    latency_ms: 10.0,
+                },
+                MpsPartition {
+                    service_id: 1,
+                    model: Model::Vgg16,
+                    fraction: 0.5,
+                    batch: 8,
+                    procs: 1,
+                    throughput_rps: 100.0,
+                    latency_ms: 10.0,
+                },
+            ],
+        });
+        let plan = pack(&Deployment::Mps(mps), NodeType::P4DE_24XLARGE);
+        assert_eq!(plan.node_count(), 1);
+        assert_eq!(plan.nodes[0].vcpus_used, 3 * VCPUS_PER_PROCESS);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: node packing invariants over arbitrary deployments.
+
+use parva_cluster::{pack, CostReport, NodeType, PricingPlan, VCPUS_PER_PROCESS};
+use parva_deploy::{Deployment, MigDeployment, Segment};
+use parva_mig::InstanceProfile;
+use parva_perf::Model;
+use parva_profile::Triplet;
+use proptest::prelude::*;
+
+fn arb_deployment(max_segments: usize) -> impl Strategy<Value = Deployment> {
+    prop::collection::vec((0u32..8, 0usize..5, 1u32..=3), 0..max_segments).prop_map(|items| {
+        let mut d = MigDeployment::new();
+        for (svc, prof_idx, procs) in items {
+            let profile = InstanceProfile::ALL[prof_idx];
+            d.place_first_fit(Segment {
+                service_id: svc,
+                model: Model::ALL[(svc as usize) % Model::ALL.len()],
+                triplet: Triplet::new(profile, 8, procs),
+                throughput_rps: 100.0,
+                latency_ms: 10.0,
+            });
+        }
+        Deployment::Mig(d)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_gpu_packed_exactly_once(d in arb_deployment(40)) {
+        let plan = pack(&d, NodeType::P4DE_24XLARGE);
+        let mut all: Vec<usize> =
+            plan.nodes.iter().flat_map(|n| n.gpu_indices.clone()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..d.gpu_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_budgets_respected(d in arb_deployment(40)) {
+        let node = NodeType::P4DE_24XLARGE;
+        let plan = pack(&d, node);
+        for n in &plan.nodes {
+            prop_assert!(n.gpu_indices.len() <= usize::from(node.gpus));
+            prop_assert!(n.vcpus_used <= node.vcpus);
+            prop_assert!(!n.gpu_indices.is_empty());
+        }
+    }
+
+    #[test]
+    fn vcpus_conserved(d in arb_deployment(40)) {
+        let plan = pack(&d, NodeType::P4DE_24XLARGE);
+        let total_vcpus: u32 = plan.nodes.iter().map(|n| n.vcpus_used).sum();
+        let total_procs: u32 = match &d {
+            Deployment::Mig(m) => m.segments().iter().map(|ps| ps.segment.triplet.procs).sum(),
+            Deployment::Mps(_) => unreachable!("strategy builds MIG maps"),
+        };
+        prop_assert_eq!(total_vcpus, total_procs * VCPUS_PER_PROCESS);
+    }
+
+    #[test]
+    fn idle_accounting_consistent(d in arb_deployment(40)) {
+        let node = NodeType::P4DE_24XLARGE;
+        let plan = pack(&d, node);
+        let rented = plan.node_count() * usize::from(node.gpus);
+        let used: usize = plan.nodes.iter().map(|n| n.gpu_indices.len()).sum();
+        prop_assert_eq!(plan.idle_gpus, rented - used);
+        let util = plan.gpu_utilization();
+        prop_assert!((0.0..=1.0).contains(&util));
+    }
+
+    #[test]
+    fn cost_monotone_in_nodes(d in arb_deployment(40)) {
+        let plan = pack(&d, NodeType::P4DE_24XLARGE);
+        let report = CostReport::from_plan("x", &plan, PricingPlan::OnDemand);
+        prop_assert!(report.usd_per_hour >= 0.0);
+        prop_assert!(
+            (report.usd_per_hour
+                - plan.node_count() as f64 * NodeType::P4DE_24XLARGE.on_demand_usd_per_hour)
+                .abs()
+                < 1e-9
+        );
+    }
+}

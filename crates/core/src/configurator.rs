@@ -1,0 +1,319 @@
+//! The GPU Segment Configurator — paper Algorithm 1.
+//!
+//! Two steps per service:
+//!
+//! 1. **Optimal Triplet Decision** (`TRIPLET_DECISION`): for each of the five
+//!    MIG instance sizes, find the (batch, procs) point of maximum profiled
+//!    throughput whose latency is below the service's *internal* SLO target
+//!    (half the client SLO, §IV-A). Result: up to five optimal triplets.
+//! 2. **Demand Matching** (`DEMAND_MATCHING`): pick the triplet maximizing
+//!    throughput-per-GPC as the *optimal segment* (this minimizes total GPCs
+//!    — Eqs. 1–2 in the paper), take `⌊rate / throughput⌋` copies of it, and
+//!    cover the remaining rate with the *last segment*: the smallest
+//!    instance size whose optimal triplet still covers the remainder.
+//!    O(1) per service after step 1.
+
+use crate::service::Service;
+use parva_deploy::{ScheduleError, Segment, ServiceSpec};
+use parva_profile::{ProfileBook, ProfileTable};
+
+/// Fractional tolerance when deciding whether a remainder rate is zero.
+const RATE_EPS: f64 = 1e-9;
+
+/// Planned utilization of provisioned segments: Demand Matching counts a
+/// segment as serving 95% of its profiled steady-state throughput, leaving
+/// headroom for Poisson burstiness within the SLO/2 queuing budget. Real
+/// serving systems never plan for ρ = 1 — without this margin a service
+/// whose demand lands exactly on a segment boundary rides ρ ≈ 1 into
+/// queueing-driven SLO violations.
+pub const TARGET_UTILIZATION: f64 = 0.95;
+
+/// Step 1 — Optimal Triplet Decision for one service: the best operating
+/// point per instance size under the internal latency target. Sizes with no
+/// feasible point (too slow or OOM) are absent; ascending GPC order.
+#[must_use]
+pub fn optimal_triplets(spec: &ServiceSpec, table: &ProfileTable, max_procs: u32) -> Vec<Segment> {
+    let target = spec.slo.internal_target_ms();
+    parva_mig::InstanceProfile::ALL
+        .iter()
+        .filter_map(|inst| {
+            table
+                .entries_for_instance(*inst)
+                .filter(|e| e.triplet.procs <= max_procs && e.point.latency_ms < target)
+                .max_by(|a, b| {
+                    a.point
+                        .throughput_rps
+                        .total_cmp(&b.point.throughput_rps)
+                        .then(b.point.memory_gib.total_cmp(&a.point.memory_gib))
+                })
+                .map(|e| Segment {
+                    service_id: spec.id,
+                    model: spec.model,
+                    triplet: e.triplet,
+                    throughput_rps: e.point.throughput_rps,
+                    latency_ms: e.point.latency_ms,
+                })
+        })
+        .collect()
+}
+
+/// Step 2 — Demand Matching for one service (paper Alg. 1 lines 15–21).
+///
+/// Returns `(opt_seg, num_opt_seg, last_seg)`.
+#[must_use]
+pub fn demand_match(
+    spec: &ServiceSpec,
+    opt_triplets: &[Segment],
+) -> Option<(Segment, u32, Option<Segment>)> {
+    // OPTSEG: maximize throughput / instance size (Eq. 2's argument).
+    let opt = *opt_triplets
+        .iter()
+        .max_by(|a, b| a.throughput_per_gpc().total_cmp(&b.throughput_per_gpc()))?;
+
+    // num = ⌊ rate / tput ⌋ (Alg. 1 line 18), with tput discounted to the
+    // planned utilization.
+    let planned = |s: &Segment| s.throughput_rps * TARGET_UTILIZATION;
+    let num = (spec.request_rate_rps / planned(&opt)).floor() as u32;
+
+    // GETLEFT_REQRATE (line 19).
+    let left = spec.request_rate_rps - f64::from(num) * planned(&opt);
+
+    // LAST_SEG: smallest instance size covering the remainder (line 20).
+    let last = if left <= RATE_EPS {
+        None
+    } else {
+        // `opt_triplets` is ascending by GPC, so the first match is smallest.
+        // The optimal segment itself always qualifies (left < its planned
+        // throughput by construction of the floor), so this cannot fail.
+        Some(
+            *opt_triplets
+                .iter()
+                .find(|s| planned(s) >= left)
+                .expect("optimal segment covers any remainder below its own throughput"),
+        )
+    };
+    Some((opt, num, last))
+}
+
+/// Run the full Configurator for one service.
+///
+/// `max_procs` caps the MPS process count explored (1 = the paper's
+/// `ParvaGPU-single` ablation; 3 = full ParvaGPU).
+///
+/// # Errors
+/// [`ScheduleError::NotProfiled`] when the model has no table,
+/// [`ScheduleError::InfeasibleSlo`] when no profiled point meets the target,
+/// [`ScheduleError::InvalidService`] on non-positive rate/SLO.
+pub fn configure_service(
+    spec: &ServiceSpec,
+    book: &ProfileBook,
+    max_procs: u32,
+) -> Result<Service, ScheduleError> {
+    if !spec.is_valid() {
+        return Err(ScheduleError::InvalidService { service_id: spec.id });
+    }
+    let table = book
+        .table(spec.model)
+        .ok_or(ScheduleError::NotProfiled { service_id: spec.id })?;
+    let opt_triplets = optimal_triplets(spec, table, max_procs);
+    let (opt_seg, num_opt_seg, last_seg) =
+        demand_match(spec, &opt_triplets).ok_or(ScheduleError::InfeasibleSlo {
+            service_id: spec.id,
+            internal_target_ms: spec.slo.internal_target_ms(),
+        })?;
+    Ok(Service { spec: *spec, opt_triplets, opt_seg, num_opt_seg, last_seg })
+}
+
+/// Run the Configurator for a whole service set (paper Alg. 1 top level).
+///
+/// # Errors
+/// Fails fast on the first infeasible service — matching the paper's
+/// semantics that a deployment must satisfy *every* SLO.
+pub fn configure(
+    specs: &[ServiceSpec],
+    book: &ProfileBook,
+    max_procs: u32,
+) -> Result<Vec<Service>, ScheduleError> {
+    specs.iter().map(|s| configure_service(s, book, max_procs)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_perf::Model;
+
+    fn book() -> ProfileBook {
+        ProfileBook::builtin()
+    }
+
+    #[test]
+    fn optimal_triplets_ascending_and_feasible() {
+        let spec = ServiceSpec::new(0, Model::InceptionV3, 460.0, 419.0);
+        let tri = optimal_triplets(&spec, book().table(spec.model).unwrap(), 3);
+        assert!(!tri.is_empty());
+        for w in tri.windows(2) {
+            assert!(w[0].gpcs() < w[1].gpcs());
+        }
+        for s in &tri {
+            assert!(s.latency_ms < spec.slo.internal_target_ms());
+        }
+    }
+
+    #[test]
+    fn triplet_count_is_five_for_loose_slo() {
+        let spec = ServiceSpec::new(0, Model::ResNet50, 800.0, 1_000.0);
+        let tri = optimal_triplets(&spec, book().table(spec.model).unwrap(), 3);
+        assert_eq!(tri.len(), 5, "all five sizes feasible under a loose SLO");
+    }
+
+    #[test]
+    fn strict_slo_prunes_small_instances() {
+        // BERT with a tight SLO (internal target 40 ms): the 1-GPC instance
+        // needs ≥ 47.8 ms even at batch 1, so it must be pruned.
+        let spec = ServiceSpec::new(0, Model::BertLarge, 100.0, 80.0);
+        let tri = optimal_triplets(&spec, book().table(spec.model).unwrap(), 3);
+        assert!(!tri.is_empty());
+        assert!(tri.iter().all(|s| s.gpcs() > 1), "{tri:?}");
+    }
+
+    #[test]
+    fn demand_matching_covers_rate() {
+        let spec = ServiceSpec::new(0, Model::ResNet50, 2_196.0, 138.0);
+        let svc = configure_service(&spec, &book(), 3).unwrap();
+        assert!(
+            svc.configured_capacity_rps() >= spec.request_rate_rps,
+            "capacity {} < rate {}",
+            svc.configured_capacity_rps(),
+            spec.request_rate_rps
+        );
+    }
+
+    #[test]
+    fn demand_matching_minimizes_gpcs_locally() {
+        // The configured GPC total must not exceed a naive all-optimal
+        // cover: ceil(rate/(υ·opt_tput)) × opt_gpcs.
+        let spec = ServiceSpec::new(0, Model::DenseNet169, 3_507.0, 84.0);
+        let svc = configure_service(&spec, &book(), 3).unwrap();
+        let naive = (spec.request_rate_rps
+            / (svc.opt_seg.throughput_rps * TARGET_UTILIZATION))
+            .ceil() as u32
+            * u32::from(svc.opt_seg.gpcs());
+        assert!(svc.configured_gpcs() <= naive);
+    }
+
+    #[test]
+    fn small_rate_yields_zero_optimal_segments() {
+        // Paper: "the floor function in line 18 returns the number of
+        // optimal segments as zero" for rates a single segment can serve.
+        let spec = ServiceSpec::new(0, Model::BertLarge, 19.0, 6_434.0);
+        let svc = configure_service(&spec, &book(), 3).unwrap();
+        assert_eq!(svc.num_opt_seg, 0);
+        let last = svc.last_seg.expect("one last segment");
+        assert!(last.throughput_rps * TARGET_UTILIZATION >= 19.0);
+        // And it must be the smallest size that suffices.
+        for t in &svc.opt_triplets {
+            if t.gpcs() < last.gpcs() {
+                assert!(t.throughput_rps * TARGET_UTILIZATION < 19.0);
+            }
+        }
+    }
+
+    #[test]
+    fn last_segment_is_smallest_sufficient() {
+        let spec = ServiceSpec::new(0, Model::MobileNetV2, 5_009.0, 59.0);
+        let svc = configure_service(&spec, &book(), 3).unwrap();
+        if let Some(last) = svc.last_seg {
+            let left = spec.request_rate_rps
+                - f64::from(svc.num_opt_seg)
+                    * svc.opt_seg.throughput_rps
+                    * TARGET_UTILIZATION;
+            assert!(last.throughput_rps * TARGET_UTILIZATION >= left);
+            for t in &svc.opt_triplets {
+                if t.gpcs() < last.gpcs() {
+                    assert!(
+                        t.throughput_rps * TARGET_UTILIZATION < left,
+                        "smaller size would have sufficed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_slo_reported() {
+        let spec = ServiceSpec::new(9, Model::BertLarge, 10.0, 2.0);
+        match configure_service(&spec, &book(), 3) {
+            Err(ScheduleError::InfeasibleSlo { service_id, .. }) => assert_eq!(service_id, 9),
+            other => panic!("expected InfeasibleSlo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_service_reported() {
+        let spec = ServiceSpec::new(2, Model::ResNet50, -5.0, 100.0);
+        assert_eq!(
+            configure_service(&spec, &book(), 3),
+            Err(ScheduleError::InvalidService { service_id: 2 })
+        );
+    }
+
+    #[test]
+    fn unprofiled_model_reported() {
+        let book = ProfileBook::measure(&[Model::ResNet50], &parva_profile::SweepGrid::paper_default());
+        let spec = ServiceSpec::new(4, Model::Vgg19, 100.0, 300.0);
+        assert_eq!(
+            configure_service(&spec, &book, 3),
+            Err(ScheduleError::NotProfiled { service_id: 4 })
+        );
+    }
+
+    #[test]
+    fn single_process_cap_respected() {
+        let spec = ServiceSpec::new(0, Model::ResNet50, 800.0, 400.0);
+        let svc = configure_service(&spec, &book(), 1).unwrap();
+        assert!(svc.opt_triplets.iter().all(|s| s.triplet.procs == 1));
+        // MPS off can never beat MPS on in capacity per GPC.
+        let svc_mps = configure_service(&spec, &book(), 3).unwrap();
+        assert!(
+            svc_mps.opt_seg.throughput_per_gpc() >= svc.opt_seg.throughput_per_gpc() - 1e-9
+        );
+    }
+
+    #[test]
+    fn exact_division_no_last_segment() {
+        // Craft a rate exactly equal to 2 × the optimal segment's *planned*
+        // (utilization-discounted) throughput.
+        let probe = configure_service(
+            &ServiceSpec::new(0, Model::ResNet50, 1_000.0, 200.0),
+            &book(),
+            3,
+        )
+        .unwrap();
+        let rate = probe.opt_seg.throughput_rps * TARGET_UTILIZATION * 2.0;
+        let svc = configure_service(
+            &ServiceSpec::new(0, Model::ResNet50, rate, 200.0),
+            &book(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(svc.num_opt_seg, 2);
+        assert!(svc.last_seg.is_none(), "exact cover needs no last segment");
+    }
+
+    #[test]
+    fn whole_table_iv_scenario2_feasible() {
+        // All 11 services of scenario S2 must configure.
+        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
+        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let specs: Vec<ServiceSpec> = Model::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ServiceSpec::new(i as u32, *m, rates[i], lats[i]))
+            .collect();
+        let services = configure(&specs, &book(), 3).unwrap();
+        assert_eq!(services.len(), 11);
+        for s in &services {
+            assert!(s.configured_capacity_rps() >= s.spec.request_rate_rps);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # parva-core — the ParvaGPU scheduler
+//!
+//! The paper's primary contribution (SC 2024, §III): an SLO-aware spatial
+//! GPU-sharing scheduler that combines MIG isolation between workloads with
+//! MPS sharing *within* a workload, minimizing both
+//!
+//! * **GPU internal slack** — under-utilization inside an allocated
+//!   partition — via the **GPU Segment Configurator** (Algorithm 1), and
+//! * **GPU external fragmentation** — unallocated GPCs on in-use GPUs — via
+//!   the **GPU Segment Allocator** (Algorithm 2).
+//!
+//! The NP-hard joint problem is split into two cheap stages (§III-G: the
+//! Configurator is O(N) for the paper's profiling grid; the Allocator is
+//! O(N·S) + O(N·M)):
+//!
+//! ```text
+//! services ──▶ Configurator ──▶ per-service segment sets ──▶ Allocator ──▶ deployment map
+//!              (triplets,          (k × optimal + last)        (relocation,
+//!               demand match)                                   optimization)
+//! ```
+//!
+//! Entry points: [`ParvaGpu`] (full system), [`ParvaGpuSingle`] (MPS
+//! disabled — the paper's `ParvaGPU-single` ablation) and
+//! [`ParvaGpuUnoptimized`] (Allocation Optimization disabled — the paper's
+//! `ParvaGPU-unoptimized` ablation), all implementing
+//! [`parva_deploy::Scheduler`]. Runtime SLO changes are handled by
+//! [`reconfigure::update_service`] (paper §III-F) without touching
+//! unaffected services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod configurator;
+pub mod reconfigure;
+pub mod scheduler;
+pub mod service;
+
+pub use allocator::{AllocatorConfig, SegmentQueues};
+pub use configurator::{configure, configure_service, TARGET_UTILIZATION};
+pub use reconfigure::{update_service, ReconfigOutcome};
+pub use scheduler::{ParvaGpu, ParvaGpuSingle, ParvaGpuUnoptimized};
+pub use service::Service;

@@ -1,0 +1,246 @@
+//! Runtime reconfiguration — paper §III-F.
+//!
+//! When a service's SLO (or rate) changes, ParvaGPU does **not** reschedule
+//! the world: re-profiling is unnecessary, the Configurator is re-run for
+//! that one service, its old segments are removed from the deployment map,
+//! and a segment relocation + optimization is carried out for the new
+//! segments only. Services whose placements did not move require no physical
+//! MIG/MPS reconfiguration.
+
+use crate::allocator::{allocation, fill, optimize, AllocatorConfig, SegmentQueues};
+use crate::configurator::configure_service;
+use crate::scheduler::ParvaGpu;
+use crate::service::Service;
+use parva_deploy::{MigDeployment, PlacedSegment, ScheduleError, ServiceSpec};
+
+/// The result of a reconfiguration step.
+#[derive(Debug, Clone)]
+pub struct ReconfigOutcome {
+    /// The new deployment map.
+    pub deployment: MigDeployment,
+    /// The re-configured service (new Table II fields).
+    pub service: Service,
+    /// GPUs whose MIG layout changed and therefore need physical
+    /// reconfiguration (milliseconds-to-seconds of downtime each, bridged by
+    /// shadow processes in the paper's deployment model).
+    pub reconfigured_gpus: Vec<usize>,
+}
+
+/// Service-continuity plan for the reconfiguration window (paper §III-F:
+/// "services undergoing reconfiguration can continue operating using shadow
+/// processes on spare GPUs").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowPlan {
+    /// Services with at least one segment on a reconfiguring GPU — these
+    /// need shadow processes for the duration of the switch.
+    pub services: Vec<u32>,
+    /// GPCs of capacity being torn down simultaneously (worst case: all
+    /// changed GPUs reconfigure at once).
+    pub shadow_gpcs: u32,
+    /// Spare GPUs needed to host that shadow capacity (7 GPCs per GPU).
+    pub spare_gpus: u32,
+}
+
+impl ReconfigOutcome {
+    /// Derive the shadow-process plan from the pre-reconfiguration map.
+    #[must_use]
+    pub fn shadow_plan(&self, before: &MigDeployment) -> ShadowPlan {
+        let mut services: Vec<u32> = Vec::new();
+        let mut shadow_gpcs: u32 = 0;
+        for &gpu in &self.reconfigured_gpus {
+            for ps in before.segments_on(gpu) {
+                shadow_gpcs += u32::from(ps.segment.gpcs());
+                if !services.contains(&ps.segment.service_id) {
+                    services.push(ps.segment.service_id);
+                }
+            }
+        }
+        services.sort_unstable();
+        ShadowPlan {
+            services,
+            shadow_gpcs,
+            spare_gpus: shadow_gpcs.div_ceil(u32::from(parva_mig::COMPUTE_SLICES)),
+        }
+    }
+}
+
+/// Apply an updated spec for one service to an existing deployment.
+///
+/// `services` is the current full service set (the entry with the same id
+/// as `updated` is replaced). The other services' segments are left in
+/// place; only GPUs whose layout actually changed are reported for physical
+/// reconfiguration.
+///
+/// # Errors
+/// Propagates Configurator failures for the updated service.
+pub fn update_service(
+    scheduler: &ParvaGpu,
+    deployment: &MigDeployment,
+    services: &[Service],
+    updated: ServiceSpec,
+) -> Result<ReconfigOutcome, ScheduleError> {
+    // 1. Re-run the Configurator for the changed service only (§III-F:
+    //    "the Segment Configurator reconstructs only the optimal segments
+    //    and the last segment for the service").
+    let new_service = configure_service(&updated, scheduler.book(), scheduler.max_procs())?;
+
+    // Short-circuit: if the configured segment set is unchanged, the old
+    // placements (including any fill-pass padding) remain valid — no
+    // physical reconfiguration at all (§III-F: "services whose placement
+    // has not changed do not require reconfiguration").
+    if let Some(old) = services.iter().find(|s| s.spec.id == updated.id) {
+        let same_config = old.opt_seg.triplet == new_service.opt_seg.triplet
+            && old.num_opt_seg == new_service.num_opt_seg
+            && old.last_seg.map(|s| s.triplet) == new_service.last_seg.map(|s| s.triplet);
+        if same_config {
+            return Ok(ReconfigOutcome {
+                deployment: deployment.clone(),
+                service: new_service,
+                reconfigured_gpus: Vec::new(),
+            });
+        }
+    }
+
+    // 2. Remove the service's old segments from the map.
+    let mut new_deployment = deployment.clone();
+    let old: Vec<PlacedSegment> =
+        new_deployment.segments_of(updated.id).copied().collect();
+    for ps in &old {
+        new_deployment.remove(ps.gpu, ps.placement);
+    }
+
+    // 3. Relocate the new segments into the existing map.
+    let mut queues = SegmentQueues::new();
+    for _ in 0..new_service.num_opt_seg {
+        queues.enqueue(new_service.opt_seg);
+    }
+    if let Some(last) = new_service.last_seg {
+        queues.enqueue(last);
+    }
+    allocation(&mut new_deployment, &mut queues);
+
+    // 4. Optimization + fill over the merged service set.
+    let merged: Vec<Service> = services
+        .iter()
+        .filter(|s| s.spec.id != updated.id)
+        .cloned()
+        .chain(std::iter::once(new_service.clone()))
+        .collect();
+    let cfg: &AllocatorConfig = scheduler.allocator_config();
+    if cfg.optimize {
+        optimize(&mut new_deployment, &merged, cfg);
+    }
+    if cfg.fill {
+        fill(&mut new_deployment, &merged);
+    }
+    new_deployment.compact();
+
+    // 5. Diff the layouts to find GPUs that need physical reconfiguration.
+    let reconfigured_gpus = diff_gpus(deployment, &new_deployment);
+
+    Ok(ReconfigOutcome { deployment: new_deployment, service: new_service, reconfigured_gpus })
+}
+
+/// GPUs whose (segment set, placement) differ between two deployments.
+fn diff_gpus(before: &MigDeployment, after: &MigDeployment) -> Vec<usize> {
+    let n = before.gpu_count().max(after.gpu_count());
+    let mut changed = Vec::new();
+    for gpu in 0..n {
+        let mut b: Vec<(u32, parva_mig::Placement)> = before
+            .segments_on(gpu)
+            .map(|ps| (ps.segment.service_id, ps.placement))
+            .collect();
+        let mut a: Vec<(u32, parva_mig::Placement)> = after
+            .segments_on(gpu)
+            .map(|ps| (ps.segment.service_id, ps.placement))
+            .collect();
+        b.sort_unstable();
+        a.sort_unstable();
+        if a != b {
+            changed.push(gpu);
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_perf::Model;
+    use parva_profile::ProfileBook;
+
+    fn specs() -> Vec<ServiceSpec> {
+        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
+        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        Model::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ServiceSpec::new(i as u32, *m, rates[i], lats[i]))
+            .collect()
+    }
+
+    #[test]
+    fn slo_update_keeps_all_services_covered() {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let (services, deployment) = sched.plan(&specs()).unwrap();
+
+        // Tighten InceptionV3's SLO from 419 ms to 150 ms.
+        let updated = ServiceSpec::new(4, Model::InceptionV3, 460.0, 150.0);
+        let out = update_service(&sched, &deployment, &services, updated).unwrap();
+
+        assert!(out.deployment.validate());
+        for s in specs() {
+            let rate = if s.id == 4 { updated.request_rate_rps } else { s.request_rate_rps };
+            assert!(
+                out.deployment.capacity_of(s.id) + 1e-6 >= rate,
+                "service {} uncovered after reconfig",
+                s.id
+            );
+        }
+        // The new segments respect the new internal target.
+        for ps in out.deployment.segments_of(4) {
+            assert!(ps.segment.latency_ms < updated.slo.internal_target_ms());
+        }
+    }
+
+    #[test]
+    fn rate_increase_grows_capacity() {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let (services, deployment) = sched.plan(&specs()).unwrap();
+        let before_cap = deployment.capacity_of(8);
+
+        let updated = ServiceSpec::new(8, Model::ResNet50, 2_000.0, 205.0);
+        let out = update_service(&sched, &deployment, &services, updated).unwrap();
+        assert!(out.deployment.capacity_of(8) >= 2_000.0);
+        assert!(out.deployment.capacity_of(8) > before_cap);
+    }
+
+    #[test]
+    fn infeasible_update_rejected_without_damage() {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let (services, deployment) = sched.plan(&specs()).unwrap();
+        let updated = ServiceSpec::new(4, Model::InceptionV3, 460.0, 1.0);
+        assert!(update_service(&sched, &deployment, &services, updated).is_err());
+        // Original deployment untouched (we only cloned).
+        assert!(deployment.validate());
+    }
+
+    #[test]
+    fn untouched_services_keep_placements_mostly() {
+        // A small rate tweak on one service must not reshuffle everything:
+        // the diff set should be well below the full fleet.
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let (services, deployment) = sched.plan(&specs()).unwrap();
+        let updated = ServiceSpec::new(0, Model::BertLarge, 25.0, 6_434.0);
+        let out = update_service(&sched, &deployment, &services, updated).unwrap();
+        assert!(
+            out.reconfigured_gpus.len() <= deployment.gpu_count(),
+            "diff {:?}",
+            out.reconfigured_gpus
+        );
+    }
+}

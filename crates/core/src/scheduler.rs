@@ -1,0 +1,238 @@
+//! The `Scheduler`-trait front-ends: ParvaGPU and its two ablation variants.
+
+use crate::allocator::{allocate, AllocatorConfig};
+use crate::configurator::configure;
+use crate::service::Service;
+use parva_deploy::{
+    Capabilities, Deployment, MigDeployment, ScheduleError, Scheduler, ServiceSpec,
+};
+use parva_profile::ProfileBook;
+
+/// The full ParvaGPU scheduler (paper §III): MIG isolation across services,
+/// MPS sharing within a service, two-stage configuration + allocation.
+#[derive(Debug, Clone)]
+pub struct ParvaGpu {
+    book: ProfileBook,
+    max_procs: u32,
+    allocator: AllocatorConfig,
+}
+
+impl ParvaGpu {
+    /// Build from a profile book (the Profiler's output).
+    #[must_use]
+    pub fn new(book: &ProfileBook) -> Self {
+        Self { book: book.clone(), max_procs: 3, allocator: AllocatorConfig::default() }
+    }
+
+    /// Override the allocator configuration (threshold tuning, ablations).
+    #[must_use]
+    pub fn with_allocator(mut self, allocator: AllocatorConfig) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Override the maximum MPS process count explored per segment.
+    #[must_use]
+    pub fn with_max_procs(mut self, max_procs: u32) -> Self {
+        self.max_procs = max_procs.max(1);
+        self
+    }
+
+    /// The profile book this scheduler uses.
+    #[must_use]
+    pub fn book(&self) -> &ProfileBook {
+        &self.book
+    }
+
+    /// Maximum MPS process count explored.
+    #[must_use]
+    pub fn max_procs(&self) -> u32 {
+        self.max_procs
+    }
+
+    /// Allocator configuration.
+    #[must_use]
+    pub fn allocator_config(&self) -> &AllocatorConfig {
+        &self.allocator
+    }
+
+    /// Full pipeline, returning both the configured services (with their
+    /// optimal-triplet arrays, Table II) and the deployment map.
+    ///
+    /// # Errors
+    /// Propagates Configurator failures ([`ScheduleError`]).
+    pub fn plan(
+        &self,
+        specs: &[ServiceSpec],
+    ) -> Result<(Vec<Service>, MigDeployment), ScheduleError> {
+        let services = configure(specs, &self.book, self.max_procs)?;
+        let deployment = allocate(&services, &self.allocator);
+        Ok((services, deployment))
+    }
+}
+
+impl Scheduler for ParvaGpu {
+    fn name(&self) -> &'static str {
+        "ParvaGPU"
+    }
+
+    fn schedule(&self, services: &[ServiceSpec]) -> Result<Deployment, ScheduleError> {
+        self.plan(services).map(|(_, d)| Deployment::Mig(d))
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::parvagpu()
+    }
+}
+
+/// `ParvaGPU-single` (paper §IV-A): MPS disabled — each segment runs exactly
+/// one process. Used to quantify the benefit of intra-segment MPS.
+#[derive(Debug, Clone)]
+pub struct ParvaGpuSingle {
+    inner: ParvaGpu,
+}
+
+impl ParvaGpuSingle {
+    /// Build from a profile book.
+    #[must_use]
+    pub fn new(book: &ProfileBook) -> Self {
+        Self { inner: ParvaGpu::new(book).with_max_procs(1) }
+    }
+
+    /// Full pipeline (see [`ParvaGpu::plan`]).
+    ///
+    /// # Errors
+    /// Propagates Configurator failures.
+    pub fn plan(
+        &self,
+        specs: &[ServiceSpec],
+    ) -> Result<(Vec<Service>, MigDeployment), ScheduleError> {
+        self.inner.plan(specs)
+    }
+}
+
+impl Scheduler for ParvaGpuSingle {
+    fn name(&self) -> &'static str {
+        "ParvaGPU-single"
+    }
+
+    fn schedule(&self, services: &[ServiceSpec]) -> Result<Deployment, ScheduleError> {
+        self.inner.schedule(services)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { mps_support: false, ..Capabilities::parvagpu() }
+    }
+}
+
+/// `ParvaGPU-unoptimized` (paper §IV-A): MPS on, but the Allocation
+/// Optimization stage (and fill pass) disabled. Used to quantify the
+/// external-fragmentation reduction of the optimizer (Fig. 7).
+#[derive(Debug, Clone)]
+pub struct ParvaGpuUnoptimized {
+    inner: ParvaGpu,
+}
+
+impl ParvaGpuUnoptimized {
+    /// Build from a profile book.
+    #[must_use]
+    pub fn new(book: &ProfileBook) -> Self {
+        Self {
+            inner: ParvaGpu::new(book).with_allocator(AllocatorConfig {
+                optimize: false,
+                fill: false,
+                ..AllocatorConfig::default()
+            }),
+        }
+    }
+
+    /// Full pipeline (see [`ParvaGpu::plan`]).
+    ///
+    /// # Errors
+    /// Propagates Configurator failures.
+    pub fn plan(
+        &self,
+        specs: &[ServiceSpec],
+    ) -> Result<(Vec<Service>, MigDeployment), ScheduleError> {
+        self.inner.plan(specs)
+    }
+}
+
+impl Scheduler for ParvaGpuUnoptimized {
+    fn name(&self) -> &'static str {
+        "ParvaGPU-unoptimized"
+    }
+
+    fn schedule(&self, services: &[ServiceSpec]) -> Result<Deployment, ScheduleError> {
+        self.inner.schedule(services)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            external_fragmentation_prevention: Some(false),
+            ..Capabilities::parvagpu()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_perf::Model;
+
+    fn specs() -> Vec<ServiceSpec> {
+        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
+        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        Model::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ServiceSpec::new(i as u32, *m, rates[i], lats[i]))
+            .collect()
+    }
+
+    #[test]
+    fn parvagpu_schedules_s2() {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let d = sched.schedule(&specs()).unwrap();
+        assert!(d.validate());
+        assert!(d.gpu_count() >= 1);
+        for s in specs() {
+            assert!(d.capacity_of(s.id) >= s.request_rate_rps);
+        }
+    }
+
+    #[test]
+    fn single_uses_at_least_as_many_gpus() {
+        let book = ProfileBook::builtin();
+        let full = ParvaGpu::new(&book).schedule(&specs()).unwrap();
+        let single = ParvaGpuSingle::new(&book).schedule(&specs()).unwrap();
+        assert!(single.gpu_count() >= full.gpu_count());
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        let book = ProfileBook::builtin();
+        assert_eq!(ParvaGpu::new(&book).name(), "ParvaGPU");
+        assert_eq!(ParvaGpuSingle::new(&book).name(), "ParvaGPU-single");
+        assert_eq!(ParvaGpuUnoptimized::new(&book).name(), "ParvaGPU-unoptimized");
+    }
+
+    #[test]
+    fn capabilities_rows() {
+        let book = ProfileBook::builtin();
+        assert!(ParvaGpu::new(&book).capabilities().mig_support);
+        assert!(!ParvaGpuSingle::new(&book).capabilities().mps_support);
+        assert_eq!(
+            ParvaGpuUnoptimized::new(&book).capabilities().external_fragmentation_prevention,
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn error_propagates() {
+        let book = ProfileBook::builtin();
+        let bad = vec![ServiceSpec::new(0, Model::BertLarge, 100.0, 1.0)];
+        assert!(ParvaGpu::new(&book).schedule(&bad).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! The runtime service object — paper Table II.
+
+use parva_deploy::{Segment, ServiceSpec};
+use serde::{Deserialize, Serialize};
+
+/// A service together with the Segment Configurator's outputs.
+///
+/// Mirrors the member variables of the paper's Table II:
+///
+/// | paper field     | here                                   |
+/// |-----------------|----------------------------------------|
+/// | `id`            | `spec.id`                              |
+/// | `lat`           | `spec.slo`                             |
+/// | `req_rate`      | `spec.request_rate_rps`                |
+/// | `opt_tri_array` | `opt_triplets` (≤ 5, one per size)     |
+/// | `opt_seg`       | `opt_seg`                              |
+/// | `num_opt_seg`   | `num_opt_seg`                          |
+/// | `last_seg`      | `last_seg` (`None` when rate divides)  |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Service {
+    /// The registered specification.
+    pub spec: ServiceSpec,
+    /// Optimal triplet per MIG instance size (ascending GPC order); sizes
+    /// with no SLO-feasible point are absent.
+    pub opt_triplets: Vec<Segment>,
+    /// The optimal segment: maximal throughput-per-GPC triplet.
+    pub opt_seg: Segment,
+    /// How many copies of the optimal segment Demand Matching selected.
+    pub num_opt_seg: u32,
+    /// The trailing segment covering the remaining request rate.
+    pub last_seg: Option<Segment>,
+}
+
+impl Service {
+    /// Aggregate predicted capacity of the configured segment set, req/s.
+    #[must_use]
+    pub fn configured_capacity_rps(&self) -> f64 {
+        f64::from(self.num_opt_seg) * self.opt_seg.throughput_rps
+            + self.last_seg.map_or(0.0, |s| s.throughput_rps)
+    }
+
+    /// Total GPCs the configured segment set will occupy.
+    #[must_use]
+    pub fn configured_gpcs(&self) -> u32 {
+        self.num_opt_seg * u32::from(self.opt_seg.gpcs())
+            + self.last_seg.map_or(0, |s| u32::from(s.gpcs()))
+    }
+
+    /// The smallest-GPC feasible triplets (size 1 or 2) used by Allocation
+    /// Optimization's `SMALL_SEGMENTS` step, best throughput-per-GPC first.
+    #[must_use]
+    pub fn small_triplets(&self) -> Vec<Segment> {
+        let mut v: Vec<Segment> =
+            self.opt_triplets.iter().copied().filter(|s| s.gpcs() <= 2).collect();
+        v.sort_by(|a, b| b.throughput_per_gpc().total_cmp(&a.throughput_per_gpc()));
+        v
+    }
+
+    /// Number of segments in the configured set.
+    #[must_use]
+    pub fn segment_count(&self) -> u32 {
+        self.num_opt_seg + u32::from(self.last_seg.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_mig::InstanceProfile;
+    use parva_perf::Model;
+    use parva_profile::Triplet;
+
+    fn seg(g: InstanceProfile, tput: f64) -> Segment {
+        Segment {
+            service_id: 0,
+            model: Model::ResNet50,
+            triplet: Triplet::new(g, 8, 2),
+            throughput_rps: tput,
+            latency_ms: 12.0,
+        }
+    }
+
+    fn svc() -> Service {
+        Service {
+            spec: ServiceSpec::new(0, Model::ResNet50, 950.0, 100.0),
+            opt_triplets: vec![
+                seg(InstanceProfile::G1, 120.0),
+                seg(InstanceProfile::G2, 260.0),
+                seg(InstanceProfile::G3, 400.0),
+                seg(InstanceProfile::G4, 520.0),
+                seg(InstanceProfile::G7, 900.0),
+            ],
+            opt_seg: seg(InstanceProfile::G3, 400.0),
+            num_opt_seg: 2,
+            last_seg: Some(seg(InstanceProfile::G2, 260.0)),
+        }
+    }
+
+    #[test]
+    fn capacity_and_gpcs() {
+        let s = svc();
+        assert_eq!(s.configured_capacity_rps(), 1060.0);
+        assert_eq!(s.configured_gpcs(), 8);
+        assert_eq!(s.segment_count(), 3);
+    }
+
+    #[test]
+    fn small_triplets_sorted_by_efficiency() {
+        let s = svc();
+        let small = s.small_triplets();
+        assert_eq!(small.len(), 2);
+        // G2 at 130/gpc beats G1 at 120/gpc.
+        assert_eq!(small[0].gpcs(), 2);
+        assert_eq!(small[1].gpcs(), 1);
+    }
+
+    #[test]
+    fn no_last_segment() {
+        let mut s = svc();
+        s.last_seg = None;
+        assert_eq!(s.configured_capacity_rps(), 800.0);
+        assert_eq!(s.segment_count(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Scheduler capability matrix — paper Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Spatial-scheduling support level (paper Table I "Spatial scheduling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpatialScheduling {
+    /// Full spatial scheduling across GPUs.
+    Full,
+    /// Limited to a fixed number of co-resident workloads per GPU
+    /// (gpulet: 2).
+    UpTo(u8),
+    /// Not applicable (temporal scheduler).
+    NotApplicable,
+}
+
+/// Scheduling overhead class (paper Table I "Scheduling overhead").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OverheadClass {
+    /// Low overhead.
+    Low,
+    /// Medium overhead.
+    Medium,
+    /// High overhead.
+    High,
+    /// Very high overhead.
+    VeryHigh,
+}
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Uses NVIDIA MPS.
+    pub mps_support: bool,
+    /// Uses NVIDIA MIG.
+    pub mig_support: bool,
+    /// Prevents GPU internal slack.
+    pub internal_slack_prevention: bool,
+    /// Prevents GPU external fragmentation (`None` ⇒ N/A in the table).
+    pub external_fragmentation_prevention: Option<bool>,
+    /// Spatial scheduling support.
+    pub spatial_scheduling: SpatialScheduling,
+    /// Handles request rates beyond a single partition/GPU.
+    pub high_request_rate: bool,
+    /// Scheduling overhead class (`None` ⇒ N/A in the table; the paper marks
+    /// PARIS and ELSA's overhead N/A because they never ran the spatial
+    /// scheduling path being measured).
+    pub overhead: Option<OverheadClass>,
+}
+
+impl Capabilities {
+    /// The ParvaGPU row of Table I.
+    #[must_use]
+    pub const fn parvagpu() -> Self {
+        Self {
+            mps_support: true,
+            mig_support: true,
+            internal_slack_prevention: true,
+            external_fragmentation_prevention: Some(true),
+            spatial_scheduling: SpatialScheduling::Full,
+            high_request_rate: true,
+            overhead: Some(OverheadClass::Low),
+        }
+    }
+
+    /// The gpulet row of Table I.
+    #[must_use]
+    pub const fn gpulet() -> Self {
+        Self {
+            mps_support: true,
+            mig_support: false,
+            internal_slack_prevention: false,
+            external_fragmentation_prevention: None, // N/A
+            spatial_scheduling: SpatialScheduling::UpTo(2),
+            high_request_rate: true,
+            overhead: Some(OverheadClass::Medium),
+        }
+    }
+
+    /// The iGniter row of Table I.
+    #[must_use]
+    pub const fn igniter() -> Self {
+        Self {
+            mps_support: true,
+            mig_support: false,
+            internal_slack_prevention: false,
+            external_fragmentation_prevention: Some(false),
+            spatial_scheduling: SpatialScheduling::Full,
+            high_request_rate: false,
+            overhead: Some(OverheadClass::Low),
+        }
+    }
+
+    /// The MIG-serving row of Table I.
+    #[must_use]
+    pub const fn mig_serving() -> Self {
+        Self {
+            mps_support: false,
+            mig_support: true,
+            internal_slack_prevention: false,
+            external_fragmentation_prevention: Some(true),
+            spatial_scheduling: SpatialScheduling::Full,
+            high_request_rate: true,
+            overhead: Some(OverheadClass::VeryHigh),
+        }
+    }
+
+    /// The GSLICE row of Table I (Dhakal et al., SoCC 2020): MPS self-tuning
+    /// with adaptive batching prevents internal slack, but there is no
+    /// multi-GPU story, so high request rates and external fragmentation are
+    /// out of scope.
+    #[must_use]
+    pub const fn gslice() -> Self {
+        Self {
+            mps_support: true,
+            mig_support: false,
+            internal_slack_prevention: true,
+            external_fragmentation_prevention: Some(false),
+            spatial_scheduling: SpatialScheduling::Full,
+            high_request_rate: false,
+            overhead: Some(OverheadClass::Low),
+        }
+    }
+
+    /// The PARIS and ELSA row of Table I (Kim et al., DAC 2022): MIG-only
+    /// instance sizing (PARIS) plus *temporal* scheduling (ELSA) — spatial
+    /// scheduling and overhead are N/A in the paper's matrix.
+    #[must_use]
+    pub const fn paris_elsa() -> Self {
+        Self {
+            mps_support: false,
+            mig_support: true,
+            internal_slack_prevention: false,
+            external_fragmentation_prevention: Some(false),
+            spatial_scheduling: SpatialScheduling::NotApplicable,
+            high_request_rate: false,
+            overhead: None,
+        }
+    }
+
+    /// Render one row of the Table I feature matrix as display strings.
+    #[must_use]
+    pub fn row(&self) -> [String; 7] {
+        let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
+        [
+            tick(self.mps_support),
+            tick(self.mig_support),
+            tick(self.internal_slack_prevention),
+            self.external_fragmentation_prevention.map_or("N/A".into(), tick),
+            match self.spatial_scheduling {
+                SpatialScheduling::Full => "yes".into(),
+                SpatialScheduling::UpTo(n) => n.to_string(),
+                SpatialScheduling::NotApplicable => "N/A".into(),
+            },
+            tick(self.high_request_rate),
+            self.overhead.map_or("N/A".into(), |o| format!("{o:?}")),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parvagpu_is_the_only_all_yes_row() {
+        // Table I's point: only ParvaGPU supports everything at low overhead.
+        let p = Capabilities::parvagpu();
+        assert!(p.mps_support && p.mig_support);
+        assert!(p.internal_slack_prevention);
+        assert_eq!(p.external_fragmentation_prevention, Some(true));
+        assert_eq!(p.overhead, Some(OverheadClass::Low));
+
+        for other in [
+            Capabilities::gslice(),
+            Capabilities::gpulet(),
+            Capabilities::igniter(),
+            Capabilities::paris_elsa(),
+            Capabilities::mig_serving(),
+        ] {
+            let full = other.mps_support
+                && other.mig_support
+                && other.internal_slack_prevention
+                && other.external_fragmentation_prevention == Some(true)
+                && other.high_request_rate;
+            assert!(!full);
+        }
+    }
+
+    #[test]
+    fn gpulet_limited_to_two() {
+        assert_eq!(Capabilities::gpulet().spatial_scheduling, SpatialScheduling::UpTo(2));
+    }
+
+    #[test]
+    fn overhead_ordering() {
+        assert!(OverheadClass::Low < OverheadClass::Medium);
+        assert!(OverheadClass::Medium < OverheadClass::High);
+        assert!(OverheadClass::High < OverheadClass::VeryHigh);
+    }
+
+    #[test]
+    fn row_rendering() {
+        let row = Capabilities::gpulet().row();
+        assert_eq!(row[0], "yes");
+        assert_eq!(row[1], "no");
+        assert_eq!(row[3], "N/A");
+        assert_eq!(row[4], "2");
+    }
+
+    #[test]
+    fn paper_table1_gslice_row() {
+        // Table I: ✓ ✗ ✓ ✗ ✓ ✗ Low.
+        let c = Capabilities::gslice();
+        assert!(c.mps_support && !c.mig_support);
+        assert!(c.internal_slack_prevention);
+        assert_eq!(c.external_fragmentation_prevention, Some(false));
+        assert_eq!(c.spatial_scheduling, SpatialScheduling::Full);
+        assert!(!c.high_request_rate);
+        assert_eq!(c.overhead, Some(OverheadClass::Low));
+    }
+
+    #[test]
+    fn paper_table1_paris_elsa_row() {
+        // Table I: ✗ ✓ ✗ ✗ N/A ✗ N/A.
+        let c = Capabilities::paris_elsa();
+        assert!(!c.mps_support && c.mig_support);
+        assert!(!c.internal_slack_prevention);
+        assert_eq!(c.spatial_scheduling, SpatialScheduling::NotApplicable);
+        assert_eq!(c.overhead, None);
+        let row = c.row();
+        assert_eq!(row[4], "N/A");
+        assert_eq!(row[6], "N/A");
+    }
+}

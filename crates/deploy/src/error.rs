@@ -1,0 +1,73 @@
+//! Scheduling errors.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a scheduler could not produce a deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleError {
+    /// No profiled operating point satisfies the service's SLO (even the
+    /// largest instance is too slow, or everything is OOM).
+    InfeasibleSlo {
+        /// Offending service id.
+        service_id: u32,
+        /// The internal latency target that could not be met, ms.
+        internal_target_ms: f64,
+    },
+    /// The service's model was never profiled.
+    NotProfiled {
+        /// Offending service id.
+        service_id: u32,
+    },
+    /// The scheduler cannot handle the service's request rate (e.g. iGniter
+    /// cannot split one workload across GPUs, paper §II-A/IV-B).
+    RateTooHigh {
+        /// Offending service id.
+        service_id: u32,
+        /// The offered rate, requests/s.
+        rate_rps: f64,
+        /// The maximum rate this scheduler can serve for that workload.
+        max_rps: f64,
+    },
+    /// Input validation failed (non-positive rate or SLO).
+    InvalidService {
+        /// Offending service id.
+        service_id: u32,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InfeasibleSlo { service_id, internal_target_ms } => write!(
+                f,
+                "service #{service_id}: no operating point meets the {internal_target_ms:.1} ms internal latency target"
+            ),
+            Self::NotProfiled { service_id } => {
+                write!(f, "service #{service_id}: model not present in the profile book")
+            }
+            Self::RateTooHigh { service_id, rate_rps, max_rps } => write!(
+                f,
+                "service #{service_id}: offered rate {rate_rps:.0} req/s exceeds the scheduler's per-workload maximum {max_rps:.0} req/s"
+            ),
+            Self::InvalidService { service_id } => {
+                write!(f, "service #{service_id}: invalid specification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ScheduleError::RateTooHigh { service_id: 3, rate_rps: 5009.0, max_rps: 900.0 };
+        let msg = e.to_string();
+        assert!(msg.contains("#3") && msg.contains("5009"));
+        let e = ScheduleError::InfeasibleSlo { service_id: 1, internal_target_ms: 29.5 };
+        assert!(e.to_string().contains("29.5"));
+    }
+}

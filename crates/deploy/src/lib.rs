@@ -1,0 +1,33 @@
+//! # parva-deploy — deployment vocabulary shared by all schedulers
+//!
+//! Defines the types every scheduler in this workspace produces and consumes:
+//!
+//! * [`ServiceSpec`] / [`Slo`] — a registered inference service: model,
+//!   request rate and SLO latency (the client input of paper Fig. 2).
+//! * [`Segment`] — "an MPS-activated MIG instance" (paper §I): a service's
+//!   operating triplet plus its predicted throughput and latency.
+//! * [`MigDeployment`] — segments placed on MIG-partitioned GPUs (ParvaGPU,
+//!   MIG-serving).
+//! * [`MpsDeployment`] — fractional MPS partitions on whole GPUs (gpulet,
+//!   iGniter).
+//! * [`Scheduler`] — the common trait: services in, deployment out, plus the
+//!   capability matrix of the paper's Table I.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod error;
+pub mod mig_deployment;
+pub mod mps_deployment;
+pub mod scheduler;
+pub mod segment;
+pub mod service;
+
+pub use capability::{Capabilities, OverheadClass, SpatialScheduling};
+pub use error::ScheduleError;
+pub use mig_deployment::{MigDeployment, PlacedSegment};
+pub use mps_deployment::{MpsDeployment, MpsGpu, MpsPartition};
+pub use scheduler::{Deployment, Scheduler};
+pub use segment::Segment;
+pub use service::{ServiceSpec, Slo};

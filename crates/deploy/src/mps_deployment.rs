@@ -1,0 +1,195 @@
+//! MPS deployments: fractional SM partitions on whole (non-MIG) GPUs.
+//!
+//! The gpulet and iGniter baselines do not use MIG; they assign each
+//! workload a percentage of a GPU's SMs via MPS active-thread quotas. Unlike
+//! MIG instances, such partitions share the L2 cache and memory controllers,
+//! so heterogeneous co-residents interfere (paper §II-A).
+
+use parva_perf::{ComputeShare, Model};
+use serde::{Deserialize, Serialize};
+
+/// One MPS partition: a fraction of a GPU's SMs serving one service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpsPartition {
+    /// Owning service id.
+    pub service_id: u32,
+    /// Model served.
+    pub model: Model,
+    /// Fraction of the GPU's SMs, in (0, 1].
+    pub fraction: f64,
+    /// Batch size the server uses.
+    pub batch: u32,
+    /// Concurrent worker processes/streams inside the partition (gpulet
+    /// serves with one worker per partition; iGniter's server double-buffers
+    /// transfers against compute, behaving like two).
+    pub procs: u32,
+    /// Predicted throughput (after the scheduler's interference margin).
+    pub throughput_rps: f64,
+    /// Predicted per-request latency, ms.
+    pub latency_ms: f64,
+}
+
+impl MpsPartition {
+    /// The compute share abstraction for the performance model.
+    #[must_use]
+    pub fn share(&self) -> ComputeShare {
+        ComputeShare::Fraction(self.fraction)
+    }
+
+    /// SM share expressed in GPC-equivalents (7 per GPU).
+    #[must_use]
+    pub fn gpc_equiv(&self) -> f64 {
+        self.fraction * 7.0
+    }
+}
+
+/// A whole GPU carrying MPS partitions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MpsGpu {
+    /// Partitions resident on this GPU.
+    pub partitions: Vec<MpsPartition>,
+}
+
+impl MpsGpu {
+    /// Sum of partition fractions (≤ 1 for a valid deployment).
+    #[must_use]
+    pub fn fraction_used(&self) -> f64 {
+        self.partitions.iter().map(|p| p.fraction).sum()
+    }
+
+    /// Remaining SM fraction.
+    #[must_use]
+    pub fn fraction_free(&self) -> f64 {
+        (1.0 - self.fraction_used()).max(0.0)
+    }
+
+    /// Models co-resident with partition `idx` (for interference).
+    #[must_use]
+    pub fn co_residents(&self, idx: usize) -> Vec<Model> {
+        self.partitions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, p)| p.model)
+            .collect()
+    }
+
+    /// Aggregate GPU memory demand of all partitions, GiB.
+    #[must_use]
+    pub fn memory_gib(&self) -> f64 {
+        self.partitions
+            .iter()
+            .map(|p| parva_perf::math::memory_gib(p.model, p.batch, p.procs))
+            .sum()
+    }
+}
+
+/// The deployment map of an MPS-only scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MpsDeployment {
+    /// GPUs in use.
+    pub gpus: Vec<MpsGpu>,
+}
+
+impl MpsDeployment {
+    /// An empty deployment.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of GPUs in use.
+    #[must_use]
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Iterate over all partitions with their GPU index.
+    pub fn partitions(&self) -> impl Iterator<Item = (usize, &MpsPartition)> {
+        self.gpus
+            .iter()
+            .enumerate()
+            .flat_map(|(i, g)| g.partitions.iter().map(move |p| (i, p)))
+    }
+
+    /// Predicted aggregate capacity for a service, requests/s.
+    #[must_use]
+    pub fn capacity_of(&self, service_id: u32) -> f64 {
+        self.partitions()
+            .filter(|(_, p)| p.service_id == service_id)
+            .map(|(_, p)| p.throughput_rps)
+            .sum()
+    }
+
+    /// Structural audit: fractions positive and per-GPU sums ≤ 1 (+ε), GPU
+    /// memory not oversubscribed (80 GiB card).
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        self.gpus.iter().all(|g| {
+            g.partitions.iter().all(|p| p.fraction > 0.0 && p.fraction <= 1.0 + 1e-9)
+                && g.fraction_used() <= 1.0 + 1e-9
+                && g.memory_gib() <= parva_mig::GpuModel::A100_80GB.total_memory_gib() + 1e-9
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(id: u32, frac: f64) -> MpsPartition {
+        MpsPartition {
+            service_id: id,
+            model: Model::ResNet50,
+            fraction: frac,
+            batch: 8,
+            procs: 1,
+            throughput_rps: 500.0 * frac,
+            latency_ms: 20.0,
+        }
+    }
+
+    #[test]
+    fn fraction_accounting() {
+        let mut g = MpsGpu::default();
+        g.partitions.push(part(0, 0.4));
+        g.partitions.push(part(1, 0.6));
+        assert!((g.fraction_used() - 1.0).abs() < 1e-12);
+        assert_eq!(g.fraction_free(), 0.0);
+    }
+
+    #[test]
+    fn co_residents_excludes_self() {
+        let mut g = MpsGpu::default();
+        g.partitions.push(part(0, 0.3));
+        g.partitions.push(part(1, 0.3));
+        g.partitions.push(part(2, 0.3));
+        assert_eq!(g.co_residents(1).len(), 2);
+    }
+
+    #[test]
+    fn deployment_capacity() {
+        let mut d = MpsDeployment::new();
+        let mut g = MpsGpu::default();
+        g.partitions.push(part(4, 0.5));
+        g.partitions.push(part(4, 0.5));
+        d.gpus.push(g);
+        assert_eq!(d.capacity_of(4), 500.0);
+        assert!(d.validate());
+    }
+
+    #[test]
+    fn oversubscription_invalid() {
+        let mut d = MpsDeployment::new();
+        let mut g = MpsGpu::default();
+        g.partitions.push(part(0, 0.7));
+        g.partitions.push(part(1, 0.7));
+        d.gpus.push(g);
+        assert!(!d.validate());
+    }
+
+    #[test]
+    fn gpc_equiv() {
+        assert!((part(0, 0.5).gpc_equiv() - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! The `Scheduler` trait and the deployment sum type.
+
+use crate::capability::Capabilities;
+use crate::error::ScheduleError;
+use crate::mig_deployment::MigDeployment;
+use crate::mps_deployment::MpsDeployment;
+use crate::service::ServiceSpec;
+use serde::{Deserialize, Serialize};
+
+/// A deployment produced by any scheduler: MIG-segment based (ParvaGPU,
+/// MIG-serving) or MPS-fraction based (gpulet, iGniter).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Segments on MIG-partitioned GPUs.
+    Mig(MigDeployment),
+    /// Fractional partitions on whole GPUs.
+    Mps(MpsDeployment),
+}
+
+impl Deployment {
+    /// Number of GPUs in use.
+    #[must_use]
+    pub fn gpu_count(&self) -> usize {
+        match self {
+            Deployment::Mig(d) => d.gpu_count(),
+            Deployment::Mps(d) => d.gpu_count(),
+        }
+    }
+
+    /// Predicted aggregate capacity for a service, requests/s.
+    #[must_use]
+    pub fn capacity_of(&self, service_id: u32) -> f64 {
+        match self {
+            Deployment::Mig(d) => d.capacity_of(service_id),
+            Deployment::Mps(d) => d.capacity_of(service_id),
+        }
+    }
+
+    /// Structural audit.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        match self {
+            Deployment::Mig(d) => d.validate(),
+            Deployment::Mps(d) => d.validate(),
+        }
+    }
+
+    /// The MIG deployment, if this is one.
+    #[must_use]
+    pub fn as_mig(&self) -> Option<&MigDeployment> {
+        match self {
+            Deployment::Mig(d) => Some(d),
+            Deployment::Mps(_) => None,
+        }
+    }
+
+    /// The MPS deployment, if this is one.
+    #[must_use]
+    pub fn as_mps(&self) -> Option<&MpsDeployment> {
+        match self {
+            Deployment::Mps(d) => Some(d),
+            Deployment::Mig(_) => None,
+        }
+    }
+}
+
+/// A spatial GPU-sharing scheduler: a set of services in, a deployment map
+/// out (paper Fig. 2). Implemented by ParvaGPU, its ablation variants, and
+/// the three baselines.
+pub trait Scheduler {
+    /// Human-readable name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Produce a deployment serving every service within its SLO.
+    ///
+    /// # Errors
+    /// Returns a [`ScheduleError`] when some service is infeasible for this
+    /// scheduler (strict SLO, unprofiled model, or — for iGniter — a rate
+    /// beyond one GPU).
+    fn schedule(&self, services: &[ServiceSpec]) -> Result<Deployment, ScheduleError>;
+
+    /// This scheduler's row in the paper's Table I.
+    fn capabilities(&self) -> Capabilities;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_dispatch() {
+        let mig = Deployment::Mig(MigDeployment::new());
+        assert_eq!(mig.gpu_count(), 0);
+        assert!(mig.as_mig().is_some());
+        assert!(mig.as_mps().is_none());
+        assert!(mig.validate());
+
+        let mps = Deployment::Mps(MpsDeployment::new());
+        assert_eq!(mps.gpu_count(), 0);
+        assert!(mps.as_mps().is_some());
+        assert_eq!(mps.capacity_of(0), 0.0);
+    }
+}

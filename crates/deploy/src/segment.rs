@@ -1,0 +1,81 @@
+//! GPU segments: MPS-activated MIG instances bound to one service.
+
+use parva_perf::{ComputeShare, Model};
+use parva_profile::Triplet;
+use serde::{Deserialize, Serialize};
+
+/// A GPU segment: one MIG instance running `procs` MPS processes of a single
+/// service's model at a fixed batch size (paper §I: "we refer to an
+/// MPS-activated MIG instance as GPU segment").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Owning service id.
+    pub service_id: u32,
+    /// The model served (denormalized for convenience).
+    pub model: Model,
+    /// Operating point: instance size, batch size, process count.
+    pub triplet: Triplet,
+    /// Profiled aggregate throughput at the triplet, requests/s.
+    pub throughput_rps: f64,
+    /// Profiled per-request latency at the triplet, ms.
+    pub latency_ms: f64,
+}
+
+impl Segment {
+    /// GPC footprint of the segment.
+    #[must_use]
+    pub const fn gpcs(&self) -> u8 {
+        self.triplet.gpcs()
+    }
+
+    /// The compute share this segment occupies.
+    #[must_use]
+    pub const fn share(&self) -> ComputeShare {
+        ComputeShare::Mig(self.triplet.instance)
+    }
+
+    /// Throughput per GPC — the quantity Demand Matching maximizes (Eq. 2).
+    #[must_use]
+    pub fn throughput_per_gpc(&self) -> f64 {
+        self.throughput_rps / f64::from(self.gpcs())
+    }
+}
+
+impl std::fmt::Display for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "svc#{} {} {} → {:.0} req/s @ {:.1} ms",
+            self.service_id, self.model, self.triplet, self.throughput_rps, self.latency_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_mig::InstanceProfile;
+
+    fn seg() -> Segment {
+        Segment {
+            service_id: 7,
+            model: Model::InceptionV3,
+            triplet: Triplet::new(InstanceProfile::G3, 8, 3),
+            throughput_rps: 1200.0,
+            latency_ms: 20.0,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = seg();
+        assert_eq!(s.gpcs(), 3);
+        assert_eq!(s.throughput_per_gpc(), 400.0);
+        assert!(s.share().is_isolated());
+    }
+
+    #[test]
+    fn display_contains_triplet() {
+        assert!(seg().to_string().contains("(3g, b8, p3)"));
+    }
+}

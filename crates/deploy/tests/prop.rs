@@ -1,0 +1,94 @@
+//! Property tests for deployment-map invariants.
+
+use parva_deploy::{MigDeployment, Segment};
+use parva_mig::InstanceProfile;
+use parva_perf::Model;
+use parva_profile::Triplet;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = InstanceProfile> {
+    prop::sample::select(InstanceProfile::ALL.to_vec())
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_profile(), 0u32..8, 1u32..4, 10.0f64..2000.0).prop_map(|(p, svc, procs, tput)| Segment {
+        service_id: svc,
+        model: Model::ALL[(svc as usize) % Model::ALL.len()],
+        triplet: Triplet::new(p, 8, procs),
+        throughput_rps: tput,
+        latency_ms: 10.0,
+    })
+}
+
+proptest! {
+    /// First-fit placement always succeeds, never overlaps, and keeps the
+    /// deployment structurally valid.
+    #[test]
+    fn first_fit_always_valid(segs in prop::collection::vec(arb_segment(), 0..40)) {
+        let mut d = MigDeployment::new();
+        for s in &segs {
+            d.place_first_fit(*s);
+        }
+        prop_assert_eq!(d.segments().len(), segs.len());
+        prop_assert!(d.validate());
+        // Total allocated GPCs equals the sum of segment sizes.
+        let total: u32 = segs.iter().map(|s| u32::from(s.gpcs())).sum();
+        prop_assert_eq!(d.gpcs_allocated(), total);
+    }
+
+    /// Removing everything empties the deployment; compaction drops all GPUs.
+    #[test]
+    fn remove_all_then_compact(segs in prop::collection::vec(arb_segment(), 1..25)) {
+        let mut d = MigDeployment::new();
+        let mut placed = Vec::new();
+        for s in &segs {
+            placed.push(d.place_first_fit(*s));
+        }
+        for p in &placed {
+            prop_assert!(d.remove(p.gpu, p.placement).is_some());
+        }
+        prop_assert_eq!(d.gpcs_allocated(), 0);
+        d.compact();
+        prop_assert_eq!(d.gpu_count(), 0);
+        prop_assert!(d.validate());
+    }
+
+    /// Compaction preserves capacity per service and validity.
+    #[test]
+    fn compact_preserves_capacity(
+        segs in prop::collection::vec(arb_segment(), 1..25),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let mut d = MigDeployment::new();
+        let mut placed = Vec::new();
+        for s in &segs {
+            placed.push(d.place_first_fit(*s));
+        }
+        for idx in &removals {
+            let p = placed[idx.index(placed.len())];
+            let _ = d.remove(p.gpu, p.placement);
+        }
+        let before: Vec<(u32, f64)> =
+            (0..8).map(|id| (id, d.capacity_of(id))).collect();
+        d.compact();
+        prop_assert!(d.validate());
+        for (id, cap) in before {
+            prop_assert!((d.capacity_of(id) - cap).abs() < 1e-9);
+        }
+    }
+
+    /// First-fit is no worse than one GPU per segment, and GPU layouts are
+    /// always MIG-realizable.
+    #[test]
+    fn first_fit_packing_bound(segs in prop::collection::vec(arb_segment(), 1..30)) {
+        let configs = parva_mig::all_configurations();
+        let mut d = MigDeployment::new();
+        for s in &segs {
+            d.place_first_fit(*s);
+        }
+        prop_assert!(d.gpu_count() <= segs.len());
+        for gpu in d.gpus() {
+            prop_assert!(configs.iter().any(|c| c.contains(gpu)));
+        }
+    }
+}

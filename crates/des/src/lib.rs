@@ -1,0 +1,29 @@
+//! # parva-des — deterministic discrete-event simulation engine
+//!
+//! The execution substrate that replaces the paper's physical testbed
+//! (multiple 8×A100 `p4de.24xlarge` instances). It is a small, generic,
+//! fully deterministic discrete-event core:
+//!
+//! * [`SimTime`] — integer microsecond clock (no floating-point time, so
+//!   event ordering is exact and runs are bit-reproducible),
+//! * [`EventQueue`] — a binary-heap event queue with a monotone sequence
+//!   number as tie-breaker (FIFO among simultaneous events),
+//! * [`RngStream`] — independent seeded random streams (Poisson arrivals),
+//! * [`stats`] — online statistics (Welford mean/variance, log-bucketed
+//!   latency histogram with percentile queries).
+//!
+//! The serving model itself (requests, batching, SLO accounting) lives in
+//! `parva-serve`; this crate knows nothing about GPUs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::RngStream;
+pub use stats::{LatencyHistogram, Welford};
+pub use time::SimTime;

@@ -1,0 +1,255 @@
+//! Online statistics: Welford mean/variance and a log-bucketed latency
+//! histogram with percentile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Sample count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with < 2 samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Latency histogram with logarithmic buckets from 1 µs to ~71 minutes.
+///
+/// Memory-bounded (256 buckets, 8 per octave) and O(1) per sample;
+/// percentile queries are accurate to the bucket width (~9% relative).
+/// Exact min/max are tracked on the side.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    min_us: u64,
+    max_us: u64,
+    sum_us: f64,
+}
+
+const BUCKETS: usize = 256;
+/// Each bucket is ×2^(1/8) wider than the last (8 buckets per octave).
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            sum_us: 0.0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us <= 1 {
+            return 0;
+        }
+        let idx = ((us as f64).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Record a latency in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        self.sum_us += us as f64;
+    }
+
+    /// Record a latency in milliseconds.
+    pub fn record_ms(&mut self, ms: f64) {
+        self.record_us((ms * 1000.0).round().max(0.0) as u64);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in ms.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64 / 1000.0
+        }
+    }
+
+    /// Exact maximum in ms.
+    #[must_use]
+    pub fn max_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_us as f64 / 1000.0
+        }
+    }
+
+    /// Approximate `q`-quantile (0 < q ≤ 1) in ms, upper bucket edge.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                // Upper edge of bucket i.
+                let upper_us = 2f64.powf((i as f64 + 1.0) / BUCKETS_PER_OCTAVE);
+                return upper_us.min(self.max_us as f64) / 1000.0;
+            }
+        }
+        self.max_ms()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        self.sum_us += other.sum_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut w = Welford::new();
+        for x in xs {
+            w.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_roughly_correct() {
+        let mut h = LatencyHistogram::new();
+        // 1000 samples uniformly 1..=100 ms.
+        for i in 1..=1000u64 {
+            h.record_ms((i % 100 + 1) as f64);
+        }
+        let p50 = h.quantile_ms(0.5);
+        assert!((40.0..=70.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!((90.0..=115.0).contains(&p99), "p99 = {p99}");
+        assert!(h.max_ms() <= 100.5);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record_ms(10.0);
+        h.record_ms(20.0);
+        h.record_ms(30.0);
+        assert!((h.mean_ms() - 20.0).abs() < 1e-9);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_ms(5.0);
+        b.record_ms(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_ms() - 27.5).abs() < 1e-9);
+        assert!(a.max_ms() >= 50.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn bucket_monotonicity() {
+        let mut last = 0;
+        for us in [1u64, 2, 5, 10, 100, 1_000, 10_000, 1_000_000] {
+            let b = LatencyHistogram::bucket_of(us);
+            assert!(b >= last, "{us}µs bucket {b} < {last}");
+            last = b;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Integer simulation time.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in whole microseconds since simulation start.
+///
+/// Integer time makes event ordering exact and simulations bit-reproducible
+/// across platforms (no floating-point accumulation drift).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from milliseconds (rounded to the nearest microsecond).
+    #[must_use]
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0 && ms.is_finite(), "invalid duration: {ms}");
+        SimTime((ms * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Construct from seconds.
+    #[must_use]
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_ms(s * 1_000.0)
+    }
+
+    /// Microsecond count.
+    #[must_use]
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds.
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_ms(12.345);
+        assert_eq!(t.micros(), 12_345);
+        assert!((t.as_ms() - 12.345).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs(1.5).micros(), 1_500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(10.0);
+        let b = SimTime::from_ms(3.0);
+        assert_eq!((a + b).micros(), 13_000);
+        assert_eq!(a.since(b).micros(), 7_000);
+        assert_eq!(b.since(a).micros(), 0, "saturating");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ms(1.0) < SimTime::from_ms(1.001));
+        assert_eq!(SimTime::ZERO, SimTime::from_ms(0.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(2.5).to_string(), "2.500ms");
+    }
+}

@@ -1,0 +1,104 @@
+//! ASCII bar charts for the figure harness (quick visual sanity checks of
+//! the regenerated figures without leaving the terminal).
+
+/// A horizontal ASCII bar chart.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    rows: Vec<(String, f64)>,
+    width: usize,
+}
+
+impl BarChart {
+    /// An empty chart rendered `width` characters wide (default 40).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { rows: Vec::new(), width: 40 }
+    }
+
+    /// Override the bar width in characters.
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Add one bar. Negative or non-finite values are clamped to zero.
+    pub fn bar<S: Into<String>>(&mut self, label: S, value: f64) -> &mut Self {
+        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        self.rows.push((label.into(), v));
+        self
+    }
+
+    /// Number of bars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no bars were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the chart; bars are scaled to the maximum value.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let max = self.rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.rows {
+            let filled = if max > 0.0 {
+                ((value / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{label:<label_w$}  {}{} {value:.1}\n",
+                "█".repeat(filled),
+                " ".repeat(self.width - filled.min(self.width)),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new().with_width(10);
+        c.bar("a", 10.0).bar("b", 5.0).bar("c", 0.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        assert_eq!(lines[2].matches('█').count(), 0);
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate() {
+        let c = BarChart::new();
+        assert!(c.is_empty());
+        assert_eq!(c.render(), "");
+        let mut z = BarChart::new();
+        z.bar("x", 0.0);
+        assert!(z.render().contains("x"));
+        let mut n = BarChart::new();
+        n.bar("neg", -5.0).bar("nan", f64::NAN);
+        assert!(!n.render().contains('█'));
+    }
+
+    #[test]
+    fn labels_aligned() {
+        let mut c = BarChart::new().with_width(4);
+        c.bar("short", 1.0).bar("a-much-longer-label", 2.0);
+        let s = c.render();
+        let starts: Vec<usize> =
+            s.lines().map(|l| l.find('█').unwrap_or(l.len())).collect();
+        assert_eq!(starts[0], starts[1], "bars must start at the same column");
+    }
+}

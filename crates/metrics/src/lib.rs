@@ -1,0 +1,140 @@
+//! # parva-metrics — the paper's evaluation metrics
+//!
+//! * **GPU internal slack** (Eq. 3): `1 − Σ(SMᵢ·Aᵢ)/Σ SMᵢ` over services'
+//!   servers, with Aᵢ the measured SM activity — computed from a
+//!   [`parva_serve::ServingReport`].
+//! * **GPU external fragmentation** (Eq. 4): the fraction of compute
+//!   resources on in-use GPUs not allocated to any partition. The paper
+//!   prints the equation as `Σ SMᵢ/(G·S)` — the *allocated* fraction — but
+//!   the text ("ParvaGPU completely eliminates external fragmentation")
+//!   requires its complement; we implement `1 − Σ SMᵢ/(G·S)`.
+//! * **SLO compliance** (Fig. 8): batch-weighted, from the serving report.
+//! * **Scheduling delay** (Figs. 9/11): wall-clock time of a `schedule()`
+//!   call, measured by [`time_schedule`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod summary;
+pub mod table;
+
+pub use chart::BarChart;
+pub use summary::{build_summary, csv_to_markdown};
+pub use table::TextTable;
+
+use parva_deploy::{Deployment, ScheduleError, Scheduler, ServiceSpec};
+use parva_serve::ServingReport;
+use std::time::{Duration, Instant};
+
+/// GPU internal slack (paper Eq. 3) from a serving report.
+#[must_use]
+pub fn internal_slack(report: &ServingReport) -> f64 {
+    report.internal_slack()
+}
+
+/// GPU external fragmentation (paper Eq. 4, complemented — see crate docs):
+/// the share of compute capacity on allocated GPUs assigned to no workload.
+#[must_use]
+pub fn external_fragmentation(deployment: &Deployment) -> f64 {
+    match deployment {
+        Deployment::Mig(d) => {
+            let capacity = f64::from(d.gpcs_capacity());
+            if capacity <= 0.0 {
+                return 0.0;
+            }
+            1.0 - f64::from(d.gpcs_allocated()) / capacity
+        }
+        Deployment::Mps(d) => {
+            let gpus = d.gpu_count();
+            if gpus == 0 {
+                return 0.0;
+            }
+            let allocated: f64 = d.gpus.iter().map(parva_deploy::MpsGpu::fraction_used).sum();
+            1.0 - allocated / gpus as f64
+        }
+    }
+}
+
+/// Batch-weighted SLO compliance (Fig. 8's y-axis).
+#[must_use]
+pub fn slo_compliance(report: &ServingReport) -> f64 {
+    report.overall_compliance_rate()
+}
+
+/// Run a scheduler and measure its wall-clock scheduling delay.
+///
+/// # Errors
+/// Propagates the scheduler's own error alongside the elapsed time.
+pub fn time_schedule(
+    scheduler: &dyn Scheduler,
+    services: &[ServiceSpec],
+) -> (Result<Deployment, ScheduleError>, Duration) {
+    let start = Instant::now();
+    let result = scheduler.schedule(services);
+    (result, start.elapsed())
+}
+
+/// `log10(milliseconds)` — the y-axis transform of Figs. 9 and 11.
+#[must_use]
+pub fn log_ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1_000.0).max(1e-6).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_core::ParvaGpu;
+    use parva_profile::ProfileBook;
+    use parva_scenarios::Scenario;
+
+    #[test]
+    fn parvagpu_s2_zero_fragmentation() {
+        let book = ProfileBook::builtin();
+        let d = ParvaGpu::new(&book).schedule(&Scenario::S2.services()).unwrap();
+        let frag = external_fragmentation(&d);
+        assert!(frag.abs() < 1e-9, "fragmentation {frag:.4}");
+    }
+
+    #[test]
+    fn igniter_s2_nonzero_fragmentation() {
+        let d = parva_baselines::IGniter::new().schedule(&Scenario::S2.services()).unwrap();
+        assert!(external_fragmentation(&d) > 0.02);
+    }
+
+    #[test]
+    fn gpulet_s2_zero_fragmentation() {
+        // gpulet's remainder rule fills every GPU.
+        let d = parva_baselines::Gpulet::new().schedule(&Scenario::S2.services()).unwrap();
+        assert!(external_fragmentation(&d) < 1e-6);
+    }
+
+    #[test]
+    fn empty_deployments_have_no_fragmentation() {
+        assert_eq!(
+            external_fragmentation(&Deployment::Mig(parva_deploy::MigDeployment::new())),
+            0.0
+        );
+        assert_eq!(
+            external_fragmentation(&Deployment::Mps(parva_deploy::MpsDeployment::new())),
+            0.0
+        );
+    }
+
+    #[test]
+    fn time_schedule_returns_elapsed() {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let (result, elapsed) = time_schedule(&sched, &Scenario::S1.services());
+        assert!(result.is_ok());
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn log_ms_transform() {
+        assert!((log_ms(Duration::from_millis(100)) - 2.0).abs() < 1e-9);
+        assert!((log_ms(Duration::from_millis(1)) - 0.0).abs() < 1e-9);
+        // Sub-microsecond clamps rather than -inf.
+        assert!(log_ms(Duration::from_nanos(1)).is_finite());
+    }
+}

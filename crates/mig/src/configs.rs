@@ -1,0 +1,202 @@
+//! Derivation of the valid MIG configurations (paper Fig. 1).
+//!
+//! A *configuration* is a maximal set of non-overlapping placements: no
+//! further instance of any profile can be added without violating a slice or
+//! memory constraint. On the A100/H100 exactly **19** such configurations
+//! exist; [`all_configurations`] derives them from the placement rules by
+//! exhaustive search, and the test-suite pins the count.
+
+use crate::gpu::{GpuState, Placement};
+use crate::profile::InstanceProfile;
+use serde::{Deserialize, Serialize};
+
+/// A maximal MIG configuration: placements sorted by start slice.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    placements: Vec<Placement>,
+}
+
+impl Configuration {
+    /// The placements, sorted by start slice.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// GPC sizes in start-slice order, e.g. `[4, 3]`.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<u8> {
+        self.placements.iter().map(|p| p.profile.gpcs()).collect()
+    }
+
+    /// Total GPCs covered by instances (≤ 7; 6 for the stranded `3g+3g` case).
+    #[must_use]
+    pub fn gpcs_used(&self) -> u8 {
+        self.sizes().iter().sum()
+    }
+
+    /// Whether `state`'s placements are a subset of this configuration.
+    #[must_use]
+    pub fn contains(&self, state: &GpuState) -> bool {
+        state.placements().iter().all(|p| self.placements.contains(p))
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.placements.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// Derive every maximal configuration by depth-first search over placements.
+///
+/// The search walks start slices left to right; at the lowest undecided slice
+/// it either leaves the slice permanently empty or places one of the profiles
+/// that may start there. Leaves where [`GpuState::is_full`] holds are the
+/// maximal configurations. Each configuration is reached by exactly one
+/// decision sequence, so the result needs no deduplication; it is sorted for
+/// determinism. On A100/H100 geometry it has exactly 19 entries.
+#[must_use]
+pub fn all_configurations() -> Vec<Configuration> {
+    let mut out: Vec<Configuration> = Vec::new();
+    let mut state = GpuState::new();
+    dfs(&mut state, 0, &mut out);
+    out.sort();
+    out
+}
+
+fn dfs(state: &mut GpuState, slice: u8, out: &mut Vec<Configuration>) {
+    if slice >= crate::COMPUTE_SLICES {
+        if state.is_full() {
+            let mut placements = state.placements().to_vec();
+            placements.sort();
+            out.push(Configuration { placements });
+        }
+        return;
+    }
+    // Option 1: leave `slice` empty forever (pruned at the leaf when the
+    // resulting state is not maximal, e.g. an empty slice with memory left).
+    dfs(state, slice + 1, out);
+    // Option 2: place each profile that can start here.
+    for profile in InstanceProfile::ALL {
+        let placement = Placement::new(profile, slice);
+        if state.check(placement).is_ok() {
+            state.place_at(placement).expect("checked placement");
+            dfs(state, slice + profile.gpcs(), out);
+            state.remove(placement);
+        }
+    }
+}
+
+/// Check whether a (possibly partial) GPU state is consistent with at least
+/// one of the valid configurations. With correct start/memory rules this is
+/// implied by per-placement validity, but it is exposed for auditing.
+#[must_use]
+pub fn is_reachable(state: &GpuState, configs: &[Configuration]) -> bool {
+    configs.iter().any(|c| c.contains(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use InstanceProfile::*;
+
+    #[test]
+    fn exactly_19_configurations() {
+        // Paper §II-B: "a GPU can only be divided into 19 specific
+        // configurations".
+        let configs = all_configurations();
+        for c in &configs {
+            eprintln!("{c}");
+        }
+        assert_eq!(configs.len(), 19);
+    }
+
+    #[test]
+    fn known_configurations_present() {
+        let configs = all_configurations();
+        let has = |sizes: &[u8]| {
+            configs.iter().any(|c| {
+                let mut s = c.sizes();
+                s.sort_unstable();
+                let mut want = sizes.to_vec();
+                want.sort_unstable();
+                s == want
+            })
+        };
+        // Paper §II-B names these multisets explicitly.
+        assert!(has(&[7]));
+        assert!(has(&[4, 3]));
+        assert!(has(&[4, 2, 1]));
+        assert!(has(&[4, 1, 1, 1]));
+        assert!(has(&[1, 1, 1, 1, 1, 1, 1]));
+        // The stranded-slice config.
+        assert!(has(&[3, 3]));
+    }
+
+    #[test]
+    fn stranded_3g3g_uses_6_gpcs() {
+        let configs = all_configurations();
+        let c33 = configs
+            .iter()
+            .find(|c| {
+                let mut s = c.sizes();
+                s.sort_unstable();
+                s == vec![3, 3]
+            })
+            .expect("3g+3g configuration");
+        assert_eq!(c33.gpcs_used(), 6);
+    }
+
+    #[test]
+    fn all_other_configs_use_7_gpcs() {
+        let configs = all_configurations();
+        let full: usize = configs.iter().filter(|c| c.gpcs_used() == 7).count();
+        // Only 3g+3g strands a slice.
+        assert_eq!(full, 18);
+    }
+
+    #[test]
+    fn configurations_memory_feasible() {
+        for c in all_configurations() {
+            let mem: u8 = c.placements().iter().map(|p| p.profile.memory_slices()).sum();
+            assert!(mem <= crate::MEMORY_SLICES, "{c} uses {mem} memory slices");
+        }
+    }
+
+    #[test]
+    fn configurations_have_valid_starts_and_no_overlap() {
+        for c in all_configurations() {
+            let mut g = GpuState::new();
+            for p in c.placements() {
+                g.place_at(*p).unwrap_or_else(|e| panic!("{c}: {p} rejected: {e}"));
+            }
+            assert!(g.is_full(), "{c} is not maximal");
+        }
+    }
+
+    #[test]
+    fn partial_states_are_reachable() {
+        let configs = all_configurations();
+        let mut g = GpuState::new();
+        g.place(G4).unwrap();
+        assert!(is_reachable(&g, &configs));
+        g.place(G2).unwrap();
+        assert!(is_reachable(&g, &configs));
+        g.place(G1).unwrap();
+        assert!(is_reachable(&g, &configs));
+    }
+
+    #[test]
+    fn count_by_largest_instance() {
+        // Sanity: unique maximal configs grouped by largest profile present:
+        // 7g: 1; 4g: 3; 3g: 7 (two-3g 1, 3@0.. 2, 3@4-only 4); rest 2g/1g: 8.
+        let configs = all_configurations();
+        let largest = |c: &Configuration| c.sizes().iter().copied().max().unwrap();
+        assert_eq!(configs.iter().filter(|c| largest(c) == 7).count(), 1);
+        assert_eq!(configs.iter().filter(|c| largest(c) == 4).count(), 3);
+        assert_eq!(configs.iter().filter(|c| largest(c) == 3).count(), 7);
+        assert_eq!(configs.iter().filter(|c| largest(c) <= 2).count(), 8);
+    }
+}

@@ -1,0 +1,345 @@
+//! Generic MIG geometry — placement rules parameterized by GPU family.
+//!
+//! The rest of this crate is specialized to the 7-compute-slice geometry
+//! shared by A100, H100 and (per the paper's §V discussion) Hopper/Blackwell
+//! successors, because that is what the ParvaGPU scheduler targets. MIG
+//! itself, however, ships on one more family the paper names in §II-B: the
+//! **A30**, with 4 compute slices and profiles of 1, 2 and 4 GPCs. This
+//! module expresses the placement rules generically so configuration sets
+//! can be derived for *any* MIG geometry:
+//!
+//! * [`MigGeometry::a100`] — 7 compute slices / 8 memory slices, profiles
+//!   1g/2g/3g/4g/7g. Its derived configuration set is cross-checked against
+//!   the specialized [`crate::configs::all_configurations`] (19 entries).
+//! * [`MigGeometry::a30`] — 4 compute slices / 4 memory slices, profiles
+//!   1g/2g/4g (NVIDIA `1g.6gb` / `2g.12gb` / `4g.24gb`). Deriving from the
+//!   rules yields 5 maximal configurations: `4`, `2+2`, `2+1+1`, `1+1+2`
+//!   and `1+1+1+1` (the two mixed forms differ in where the 2-GPC instance
+//!   sits, which matters for placement just as slot choice does on A100).
+//!
+//! The derivation is the same exhaustive left-to-right search as
+//! [`crate::configs`], generalized over the geometry description.
+
+use serde::{Deserialize, Serialize};
+
+/// One instance profile in a generic geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRule {
+    /// Compute slices (GPCs) the instance occupies.
+    pub gpcs: u8,
+    /// Memory slices the instance consumes.
+    pub memory_slices: u8,
+    /// Compute slices at which the instance may start.
+    pub valid_starts: Vec<u8>,
+    /// Memory capacity of one instance in GiB (for NVIDIA-style names).
+    pub memory_gib: u32,
+}
+
+impl ProfileRule {
+    /// NVIDIA-style profile name, e.g. `2g.12gb`.
+    #[must_use]
+    pub fn nvidia_name(&self) -> String {
+        format!("{}g.{}gb", self.gpcs, self.memory_gib)
+    }
+}
+
+/// A placement in a generic geometry: profile index + start slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GenericPlacement {
+    /// Index into [`MigGeometry::profiles`].
+    pub profile: usize,
+    /// Start compute slice.
+    pub start: u8,
+}
+
+/// A maximal configuration in a generic geometry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GenericConfiguration {
+    /// Placements sorted by start slice.
+    pub placements: Vec<GenericPlacement>,
+}
+
+impl GenericConfiguration {
+    /// GPC sizes in start-slice order, e.g. `[2, 1, 1]`.
+    #[must_use]
+    pub fn sizes(&self, geometry: &MigGeometry) -> Vec<u8> {
+        self.placements.iter().map(|p| geometry.profiles[p.profile].gpcs).collect()
+    }
+}
+
+/// A MIG-capable GPU family's partitioning rules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigGeometry {
+    /// Family name, e.g. `"A30"`.
+    pub name: &'static str,
+    /// Compute slices on the GPU.
+    pub compute_slices: u8,
+    /// Memory slices on the GPU.
+    pub memory_slices: u8,
+    /// The supported instance profiles, ascending by GPC count.
+    pub profiles: Vec<ProfileRule>,
+}
+
+impl MigGeometry {
+    /// The A100/H100 80 GB geometry (the crate's specialized default).
+    #[must_use]
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            compute_slices: crate::COMPUTE_SLICES,
+            memory_slices: crate::MEMORY_SLICES,
+            profiles: crate::InstanceProfile::ALL
+                .iter()
+                .map(|p| ProfileRule {
+                    gpcs: p.gpcs(),
+                    memory_slices: p.memory_slices(),
+                    valid_starts: p.valid_starts().to_vec(),
+                    memory_gib: u32::from(p.memory_slices()) * 10,
+                })
+                .collect(),
+        }
+    }
+
+    /// The A30 24 GB geometry (paper §II-B: "the A30, A100, and H100 GPUs
+    /// offer MIG functionality"): 4 compute slices, profiles `1g.6gb`
+    /// (starts 0–3), `2g.12gb` (starts 0, 2) and `4g.24gb` (start 0).
+    #[must_use]
+    pub fn a30() -> Self {
+        Self {
+            name: "A30",
+            compute_slices: 4,
+            memory_slices: 4,
+            profiles: vec![
+                ProfileRule {
+                    gpcs: 1,
+                    memory_slices: 1,
+                    valid_starts: vec![0, 1, 2, 3],
+                    memory_gib: 6,
+                },
+                ProfileRule { gpcs: 2, memory_slices: 2, valid_starts: vec![0, 2], memory_gib: 12 },
+                ProfileRule { gpcs: 4, memory_slices: 4, valid_starts: vec![0], memory_gib: 24 },
+            ],
+        }
+    }
+
+    /// Largest profile (whole GPU), by GPC count.
+    #[must_use]
+    pub fn whole_gpu_profile(&self) -> &ProfileRule {
+        self.profiles.iter().max_by_key(|p| p.gpcs).expect("geometry has profiles")
+    }
+
+    /// Derive every maximal configuration for this geometry by the same
+    /// left-to-right exhaustive search as [`crate::configs::all_configurations`]:
+    /// at the lowest undecided slice either leave it permanently empty or
+    /// start any profile allowed there, and keep leaves where no further
+    /// instance fits. Each maximal set is reached by exactly one decision
+    /// sequence, so no deduplication is needed.
+    #[must_use]
+    pub fn derive_configurations(&self) -> Vec<GenericConfiguration> {
+        let mut out = Vec::new();
+        let mut occupied = vec![false; usize::from(self.compute_slices)];
+        let mut memory_used = 0u8;
+        let mut placements: Vec<GenericPlacement> = Vec::new();
+        self.dfs(0, &mut occupied, &mut memory_used, &mut placements, &mut out);
+        out.sort();
+        out
+    }
+
+    /// Can `profile` start at `start` given current occupancy and memory?
+    fn fits(&self, profile: usize, start: u8, occupied: &[bool], memory_used: u8) -> bool {
+        let rule = &self.profiles[profile];
+        rule.valid_starts.contains(&start)
+            && start + rule.gpcs <= self.compute_slices
+            && memory_used + rule.memory_slices <= self.memory_slices
+            && (start..start + rule.gpcs).all(|s| !occupied[usize::from(s)])
+    }
+
+    /// No instance of any profile fits anywhere: the state is maximal.
+    fn is_maximal(&self, occupied: &[bool], memory_used: u8) -> bool {
+        (0..self.compute_slices).all(|s| {
+            (0..self.profiles.len()).all(|p| !self.fits(p, s, occupied, memory_used))
+        })
+    }
+
+    fn dfs(
+        &self,
+        slice: u8,
+        occupied: &mut Vec<bool>,
+        memory_used: &mut u8,
+        placements: &mut Vec<GenericPlacement>,
+        out: &mut Vec<GenericConfiguration>,
+    ) {
+        if slice >= self.compute_slices {
+            if self.is_maximal(occupied, *memory_used) {
+                let mut sorted = placements.clone();
+                sorted.sort();
+                out.push(GenericConfiguration { placements: sorted });
+            }
+            return;
+        }
+        // Leave `slice` empty forever.
+        self.dfs(slice + 1, occupied, memory_used, placements, out);
+        // Or place each profile that can start here.
+        for p in 0..self.profiles.len() {
+            if self.fits(p, slice, occupied, *memory_used) {
+                let rule_gpcs = self.profiles[p].gpcs;
+                let rule_mem = self.profiles[p].memory_slices;
+                for s in slice..slice + rule_gpcs {
+                    occupied[usize::from(s)] = true;
+                }
+                *memory_used += rule_mem;
+                placements.push(GenericPlacement { profile: p, start: slice });
+                self.dfs(slice + rule_gpcs, occupied, memory_used, placements, out);
+                placements.pop();
+                *memory_used -= rule_mem;
+                for s in slice..slice + rule_gpcs {
+                    occupied[usize::from(s)] = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sorted multiset of GPC-size multisets for a configuration list.
+    fn size_multisets(geometry: &MigGeometry, configs: &[GenericConfiguration]) -> Vec<Vec<u8>> {
+        let mut sets: Vec<Vec<u8>> = configs
+            .iter()
+            .map(|c| {
+                let mut s = c.sizes(geometry);
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        sets.sort();
+        sets
+    }
+
+    #[test]
+    fn a100_generic_matches_specialized_derivation() {
+        // The generic search must reproduce the specialized module exactly:
+        // same count (19) and the same placement sets.
+        let geometry = MigGeometry::a100();
+        let generic = geometry.derive_configurations();
+        let specialized = crate::configs::all_configurations();
+        assert_eq!(generic.len(), specialized.len());
+        let spec_sets: Vec<Vec<(u8, u8)>> = specialized
+            .iter()
+            .map(|c| {
+                let mut v: Vec<(u8, u8)> =
+                    c.placements().iter().map(|p| (p.profile.gpcs(), p.start)).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        for c in &generic {
+            let mut v: Vec<(u8, u8)> = c
+                .placements
+                .iter()
+                .map(|p| (geometry.profiles[p.profile].gpcs, p.start))
+                .collect();
+            v.sort_unstable();
+            assert!(spec_sets.contains(&v), "generic config {v:?} not in specialized set");
+        }
+    }
+
+    #[test]
+    fn a30_has_5_configurations() {
+        // By hand: 4 | 2+2 | 2@0+1@2+1@3 | 1@0+1@1+2@2 | 1+1+1+1.
+        let geometry = MigGeometry::a30();
+        let configs = geometry.derive_configurations();
+        assert_eq!(configs.len(), 5);
+        let sets = size_multisets(&geometry, &configs);
+        assert_eq!(
+            sets,
+            vec![vec![1, 1, 1, 1], vec![1, 1, 2], vec![1, 1, 2], vec![2, 2], vec![4]]
+        );
+    }
+
+    #[test]
+    fn a30_mixed_configs_differ_in_placement() {
+        let geometry = MigGeometry::a30();
+        let configs = geometry.derive_configurations();
+        let mixed: Vec<&GenericConfiguration> = configs
+            .iter()
+            .filter(|c| {
+                let mut s = c.sizes(&geometry);
+                s.sort_unstable();
+                s == vec![1, 1, 2]
+            })
+            .collect();
+        assert_eq!(mixed.len(), 2);
+        assert_ne!(mixed[0].placements, mixed[1].placements);
+    }
+
+    #[test]
+    fn a30_profile_names() {
+        let geometry = MigGeometry::a30();
+        let names: Vec<String> = geometry.profiles.iter().map(ProfileRule::nvidia_name).collect();
+        assert_eq!(names, vec!["1g.6gb", "2g.12gb", "4g.24gb"]);
+    }
+
+    #[test]
+    fn a100_profile_names_match_specialized() {
+        let geometry = MigGeometry::a100();
+        let names: Vec<String> = geometry.profiles.iter().map(ProfileRule::nvidia_name).collect();
+        assert_eq!(names, vec!["1g.10gb", "2g.20gb", "3g.40gb", "4g.40gb", "7g.80gb"]);
+    }
+
+    #[test]
+    fn whole_gpu_profile_is_largest() {
+        assert_eq!(MigGeometry::a100().whole_gpu_profile().gpcs, 7);
+        assert_eq!(MigGeometry::a30().whole_gpu_profile().gpcs, 4);
+    }
+
+    #[test]
+    fn a30_configurations_are_memory_feasible_and_maximal() {
+        let geometry = MigGeometry::a30();
+        for c in geometry.derive_configurations() {
+            let mem: u8 =
+                c.placements.iter().map(|p| geometry.profiles[p.profile].memory_slices).sum();
+            assert!(mem <= geometry.memory_slices);
+            // Re-play the placements and confirm maximality.
+            let mut occupied = vec![false; usize::from(geometry.compute_slices)];
+            let mut mem_used = 0u8;
+            for p in &c.placements {
+                let rule = &geometry.profiles[p.profile];
+                for s in p.start..p.start + rule.gpcs {
+                    assert!(!occupied[usize::from(s)], "overlap in {c:?}");
+                    occupied[usize::from(s)] = true;
+                }
+                mem_used += rule.memory_slices;
+            }
+            assert!(geometry.is_maximal(&occupied, mem_used), "{c:?} not maximal");
+        }
+    }
+
+    #[test]
+    fn memory_starved_geometry_strands_compute() {
+        // A synthetic geometry where memory runs out before compute: 4
+        // compute slices but only 2 memory slices, 1-GPC instances each
+        // costing 1 memory slice. Maximal configurations can cover at most
+        // 2 compute slices — the generic search must respect memory, not
+        // just compute occupancy (the A100 3g+3g effect, isolated).
+        let geometry = MigGeometry {
+            name: "synthetic",
+            compute_slices: 4,
+            memory_slices: 2,
+            profiles: vec![ProfileRule {
+                gpcs: 1,
+                memory_slices: 1,
+                valid_starts: vec![0, 1, 2, 3],
+                memory_gib: 1,
+            }],
+        };
+        let configs = geometry.derive_configurations();
+        // C(4,2) = 6 ways to pick which two slices host the instances.
+        assert_eq!(configs.len(), 6);
+        for c in &configs {
+            assert_eq!(c.placements.len(), 2);
+        }
+    }
+}

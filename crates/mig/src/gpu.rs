@@ -1,0 +1,387 @@
+//! Per-GPU MIG occupancy state: placement, removal and validity checking.
+
+use crate::profile::InstanceProfile;
+use crate::{COMPUTE_SLICES, MEMORY_SLICES};
+use serde::{Deserialize, Serialize};
+
+/// A concrete instance placement: a profile anchored at a start slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    /// The instance profile.
+    pub profile: InstanceProfile,
+    /// First compute slice occupied (0-based).
+    pub start: u8,
+}
+
+impl Placement {
+    /// Create a placement; does not validate the start slice.
+    #[must_use]
+    pub const fn new(profile: InstanceProfile, start: u8) -> Self {
+        Self { profile, start }
+    }
+
+    /// Bitmask of occupied compute slices (bit *i* = slice *i*).
+    #[must_use]
+    pub const fn slice_mask(self) -> u8 {
+        (((1u16 << self.profile.gpcs()) - 1) << self.start) as u8
+    }
+
+    /// Compute slices `[start, start + gpcs)` occupied by this placement.
+    pub fn slices(self) -> impl Iterator<Item = u8> {
+        self.start..self.start + self.profile.gpcs()
+    }
+
+    /// Whether the start slice is one the hardware permits for this profile.
+    #[must_use]
+    pub fn start_is_valid(self) -> bool {
+        self.profile.valid_starts().contains(&self.start)
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.profile, self.start)
+    }
+}
+
+/// Why a placement was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The profile may not start at the requested slice.
+    InvalidStart,
+    /// One or more of the requested compute slices is already occupied.
+    SliceOccupied,
+    /// The GPU's 8 memory slices would be over-committed.
+    MemoryExhausted,
+    /// No start slice (valid or preferred) can accommodate the profile.
+    NoRoom,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::InvalidStart => "profile cannot start at the requested slice",
+            Self::SliceOccupied => "compute slice already occupied",
+            Self::MemoryExhausted => "GPU memory slices exhausted",
+            Self::NoRoom => "no valid start slice has room",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// MIG occupancy state of one physical GPU.
+///
+/// Invariant: the set of placements always has pairwise-disjoint compute
+/// slices, hardware-valid start slices, and a total memory-slice count
+/// ≤ 8 — which together guarantee it is a subset of one of the 19 valid
+/// configurations (see `configs::tests::every_valid_state_extends_to_a_config`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuState {
+    occupied_mask: u8,
+    mem_slices_used: u8,
+    placements: Vec<Placement>,
+}
+
+impl GpuState {
+    /// A fresh, empty GPU.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current placements, in insertion order.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Total compute slices (GPCs) currently allocated.
+    #[must_use]
+    pub fn gpcs_used(&self) -> u8 {
+        self.occupied_mask.count_ones() as u8
+    }
+
+    /// Compute slices still free.
+    #[must_use]
+    pub fn gpcs_free(&self) -> u8 {
+        COMPUTE_SLICES - self.gpcs_used()
+    }
+
+    /// Memory slices currently consumed (≤ 8).
+    #[must_use]
+    pub fn mem_slices_used(&self) -> u8 {
+        self.mem_slices_used
+    }
+
+    /// True when no instance is placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// True when no further instance of any profile fits.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        InstanceProfile::ALL.iter().all(|p| self.find_start(*p).is_none())
+    }
+
+    /// Bitmask of occupied compute slices.
+    #[must_use]
+    pub fn occupied_mask(&self) -> u8 {
+        self.occupied_mask
+    }
+
+    /// Check whether `placement` could be added right now.
+    pub fn check(&self, placement: Placement) -> Result<(), PlaceError> {
+        if !placement.start_is_valid() {
+            return Err(PlaceError::InvalidStart);
+        }
+        if self.occupied_mask & placement.slice_mask() != 0 {
+            return Err(PlaceError::SliceOccupied);
+        }
+        if self.mem_slices_used + placement.profile.memory_slices() > MEMORY_SLICES {
+            return Err(PlaceError::MemoryExhausted);
+        }
+        Ok(())
+    }
+
+    /// First start slice in the profile's *preference* order that can host it.
+    #[must_use]
+    pub fn find_start(&self, profile: InstanceProfile) -> Option<u8> {
+        profile
+            .preferred_starts()
+            .iter()
+            .copied()
+            .find(|&s| self.check(Placement::new(profile, s)).is_ok())
+    }
+
+    /// Place an instance at an explicit start slice.
+    pub fn place_at(&mut self, placement: Placement) -> Result<(), PlaceError> {
+        self.check(placement)?;
+        self.occupied_mask |= placement.slice_mask();
+        self.mem_slices_used += placement.profile.memory_slices();
+        self.placements.push(placement);
+        Ok(())
+    }
+
+    /// Place an instance at the first preferred start slice with room.
+    /// Returns the placement actually used.
+    pub fn place(&mut self, profile: InstanceProfile) -> Result<Placement, PlaceError> {
+        let start = self.find_start(profile).ok_or(PlaceError::NoRoom)?;
+        let placement = Placement::new(profile, start);
+        self.place_at(placement)?;
+        Ok(placement)
+    }
+
+    /// Remove a previously placed instance. Returns `true` if it was present.
+    pub fn remove(&mut self, placement: Placement) -> bool {
+        if let Some(i) = self.placements.iter().position(|p| *p == placement) {
+            self.placements.swap_remove(i);
+            self.occupied_mask &= !placement.slice_mask();
+            self.mem_slices_used -= placement.profile.memory_slices();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every instance, returning the GPU to empty.
+    pub fn clear(&mut self) {
+        self.occupied_mask = 0;
+        self.mem_slices_used = 0;
+        self.placements.clear();
+    }
+
+    /// Re-check all invariants from scratch (used by tests and debug builds).
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        let mut mask = 0u8;
+        let mut mem = 0u8;
+        for p in &self.placements {
+            if !p.start_is_valid() || mask & p.slice_mask() != 0 {
+                return false;
+            }
+            mask |= p.slice_mask();
+            mem += p.profile.memory_slices();
+        }
+        mask == self.occupied_mask && mem == self.mem_slices_used && mem <= MEMORY_SLICES
+    }
+}
+
+impl std::fmt::Display for GpuState {
+    /// Render like the rows of paper Fig. 1, e.g. `[3 3 3 . 2 2 1]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut cells = ['.'; COMPUTE_SLICES as usize];
+        for p in &self.placements {
+            for s in p.slices() {
+                cells[s as usize] =
+                    char::from_digit(u32::from(p.profile.gpcs()), 10).unwrap_or('?');
+            }
+        }
+        write!(f, "[")?;
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use InstanceProfile::*;
+
+    #[test]
+    fn empty_gpu() {
+        let g = GpuState::new();
+        assert!(g.is_empty());
+        assert_eq!(g.gpcs_used(), 0);
+        assert_eq!(g.gpcs_free(), 7);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn place_g7_fills_gpu() {
+        let mut g = GpuState::new();
+        let p = g.place(G7).unwrap();
+        assert_eq!(p.start, 0);
+        assert!(g.is_full());
+        assert_eq!(g.gpcs_used(), 7);
+        assert_eq!(g.mem_slices_used(), 8);
+    }
+
+    #[test]
+    fn g7_rejected_on_nonempty_gpu() {
+        let mut g = GpuState::new();
+        g.place(G1).unwrap();
+        assert_eq!(g.place(G7), Err(PlaceError::NoRoom));
+    }
+
+    #[test]
+    fn paper_config_4_3() {
+        let mut g = GpuState::new();
+        g.place(G4).unwrap();
+        let p3 = g.place(G3).unwrap();
+        assert_eq!(p3.start, 4);
+        assert!(g.is_full());
+        assert_eq!(g.gpcs_used(), 7);
+    }
+
+    #[test]
+    fn g3_prefers_slot_4_then_0() {
+        let mut g = GpuState::new();
+        assert_eq!(g.place(G3).unwrap().start, 4);
+        assert_eq!(g.place(G3).unwrap().start, 0);
+    }
+
+    #[test]
+    fn two_g3_exhaust_memory_stranding_slice_3() {
+        // Paper Fig. 1 row 5: 3g+3g leaves compute slice 3 unusable.
+        let mut g = GpuState::new();
+        g.place(G3).unwrap();
+        g.place(G3).unwrap();
+        assert_eq!(g.gpcs_free(), 1); // slice 3 physically free ...
+        assert_eq!(g.place(G1), Err(PlaceError::NoRoom)); // ... but no memory
+        assert!(g.is_full());
+    }
+
+    #[test]
+    fn g3_plus_g1_plus_g2_plus_g1_is_valid() {
+        // Paper Fig. 1 row 6-equivalent: 3@0 + 1@3 + 2@4 + 1@6 (memory 4+1+2+1=8).
+        let mut g = GpuState::new();
+        g.place_at(Placement::new(G3, 0)).unwrap();
+        g.place_at(Placement::new(G1, 3)).unwrap();
+        g.place_at(Placement::new(G2, 4)).unwrap();
+        g.place_at(Placement::new(G1, 6)).unwrap();
+        assert_eq!(g.gpcs_used(), 7);
+        assert_eq!(g.mem_slices_used(), 8);
+        assert!(g.is_full());
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn seven_g1s() {
+        let mut g = GpuState::new();
+        for i in 0..7 {
+            let p = g.place(G1).unwrap();
+            // preference order 0,1,2,3,5,6,4
+            let expect = [0, 1, 2, 3, 5, 6, 4][i];
+            assert_eq!(p.start, expect);
+        }
+        assert!(g.is_full());
+        assert_eq!(g.mem_slices_used(), 7); // one memory slice left over
+    }
+
+    #[test]
+    fn invalid_starts_rejected() {
+        let mut g = GpuState::new();
+        assert_eq!(g.place_at(Placement::new(G4, 1)), Err(PlaceError::InvalidStart));
+        assert_eq!(g.place_at(Placement::new(G3, 2)), Err(PlaceError::InvalidStart));
+        assert_eq!(g.place_at(Placement::new(G2, 1)), Err(PlaceError::InvalidStart));
+        assert_eq!(g.place_at(Placement::new(G7, 1)), Err(PlaceError::InvalidStart));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut g = GpuState::new();
+        g.place_at(Placement::new(G2, 0)).unwrap();
+        assert_eq!(g.place_at(Placement::new(G1, 1)), Err(PlaceError::SliceOccupied));
+        assert_eq!(g.place_at(Placement::new(G4, 0)), Err(PlaceError::SliceOccupied));
+    }
+
+    #[test]
+    fn remove_restores_room() {
+        let mut g = GpuState::new();
+        let p = g.place(G4).unwrap();
+        g.place(G3).unwrap();
+        assert!(g.remove(p));
+        assert!(!g.remove(p)); // second removal is a no-op
+        assert_eq!(g.gpcs_used(), 3);
+        let p4 = g.place(G4).unwrap();
+        assert_eq!(p4.start, 0);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = GpuState::new();
+        g.place(G4).unwrap();
+        g.place(G2).unwrap();
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.validate());
+        g.place(G7).unwrap();
+    }
+
+    #[test]
+    fn display_rendering() {
+        let mut g = GpuState::new();
+        g.place_at(Placement::new(G3, 0)).unwrap();
+        g.place_at(Placement::new(G2, 4)).unwrap();
+        assert_eq!(g.to_string(), "[3 3 3 . 2 2 .]");
+    }
+
+    #[test]
+    fn slice_mask_math() {
+        assert_eq!(Placement::new(G2, 4).slice_mask(), 0b0011_0000);
+        assert_eq!(Placement::new(G7, 0).slice_mask(), 0b0111_1111);
+        assert_eq!(Placement::new(G1, 6).slice_mask(), 0b0100_0000);
+    }
+
+    #[test]
+    fn g4_plus_g2_plus_g1() {
+        // Paper Fig. 1 row 3: 4-2-1.
+        let mut g = GpuState::new();
+        g.place(G4).unwrap();
+        let p2 = g.place(G2).unwrap();
+        assert_eq!(p2.start, 4);
+        let p1 = g.place(G1).unwrap();
+        assert_eq!(p1.start, 6);
+        assert!(g.is_full());
+    }
+}

@@ -1,0 +1,195 @@
+//! # parva-mig — Multi-Instance GPU geometry model
+//!
+//! A faithful software model of NVIDIA's Multi-Instance GPU (MIG) partitioning
+//! rules on Ampere/Hopper-class datacenter GPUs (A100/H100), as required by the
+//! ParvaGPU scheduler (SC 2024, §II-B and Fig. 1).
+//!
+//! A MIG-capable GPU exposes **7 compute slices** (GPU Processing Clusters,
+//! GPCs) and **8 memory slices**. GPU instances come in five profiles —
+//! 1, 2, 3, 4 or 7 GPCs — and each profile may only *start* at specific
+//! compute slices and consumes a fixed number of memory slices:
+//!
+//! | profile | compute slices | valid starts | memory slices | memory (80 GB GPU) |
+//! |---------|----------------|--------------|---------------|--------------------|
+//! | 1 GPC   | 1              | 0–6          | 1             | 10 GB              |
+//! | 2 GPC   | 2              | 0, 2, 4      | 2             | 20 GB              |
+//! | 3 GPC   | 3              | 0, 4         | 4             | 40 GB              |
+//! | 4 GPC   | 4              | 0            | 4             | 40 GB              |
+//! | 7 GPC   | 7              | 0            | 8             | 80 GB              |
+//!
+//! The memory-slice budget is what limits a GPU to exactly **19 maximal
+//! configurations** (paper Fig. 1): e.g. two 3-GPC instances consume all
+//! 8 memory slices, so the leftover compute slice 3 cannot host a 1-GPC
+//! instance. [`configs::all_configurations`] derives the 19 configurations
+//! from these rules rather than hard-coding them.
+//!
+//! [`GpuState`] tracks a single GPU's occupancy and enforces validity on
+//! every placement; ParvaGPU's Segment Allocator drives it with the slot
+//! preference orders described in §III-E-1 of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod geometry;
+pub mod gpu;
+pub mod profile;
+
+pub use configs::{all_configurations, Configuration};
+pub use geometry::{GenericConfiguration, GenericPlacement, MigGeometry, ProfileRule};
+pub use gpu::{GpuState, PlaceError, Placement};
+pub use profile::InstanceProfile;
+
+/// Number of compute slices (GPC slots) on a MIG-capable GPU.
+pub const COMPUTE_SLICES: u8 = 7;
+
+/// Number of memory slices on a MIG-capable GPU.
+pub const MEMORY_SLICES: u8 = 8;
+
+/// Streaming multiprocessors per compute slice (A100: 98 usable SMs / 7).
+pub const SMS_PER_SLICE: u32 = 14;
+
+/// Usable SMs on a whole MIG-enabled GPU.
+pub const SMS_PER_GPU: u32 = SMS_PER_SLICE * COMPUTE_SLICES as u32;
+
+/// A MIG-capable GPU model. The paper evaluates on A100 80 GB; H100 80 GB has
+/// identical MIG geometry (§V), differing only in speed, which is handled by
+/// the performance model, not the geometry.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuModel {
+    /// Human-readable name, e.g. `"A100-80GB"`.
+    pub name: &'static str,
+    /// Memory per memory slice in GiB (80 GB GPU → 10 GiB per slice).
+    pub mem_per_slice_gib: f64,
+}
+
+impl GpuModel {
+    /// NVIDIA A100 80 GB (the paper's evaluation GPU, p4de.24xlarge).
+    pub const A100_80GB: GpuModel = GpuModel {
+        name: "A100-80GB",
+        mem_per_slice_gib: 10.0,
+    };
+
+    /// NVIDIA H100 80 GB — identical MIG geometry (paper §V).
+    pub const H100_80GB: GpuModel = GpuModel {
+        name: "H100-80GB",
+        mem_per_slice_gib: 10.0,
+    };
+
+    /// NVIDIA A100 40 GB — the original Ampere part: same slices, half the
+    /// memory per slice (instances of 5/10/20/20/40 GB).
+    pub const A100_40GB: GpuModel = GpuModel {
+        name: "A100-40GB",
+        mem_per_slice_gib: 5.0,
+    };
+
+    /// NVIDIA H200 141 GB (paper §V: "NVIDIA's H200 GPU with MIG offers
+    /// 141GB" — the memory that keeps spatial sharing viable for LLMs).
+    pub const H200_141GB: GpuModel = GpuModel {
+        name: "H200-141GB",
+        mem_per_slice_gib: 141.0 / 8.0,
+    };
+
+    /// NVIDIA B200 192 GB (paper §V: "the B200 GPU provides 192GB"; the
+    /// Blackwell generation keeps the identical MIG configurations).
+    pub const B200_192GB: GpuModel = GpuModel {
+        name: "B200-192GB",
+        mem_per_slice_gib: 24.0,
+    };
+
+    /// Every 7-slice-geometry model this crate knows, smallest memory first.
+    /// (The A30's 4-slice geometry is expressed separately in [`geometry`];
+    /// `GpuModel` covers the families the ParvaGPU algorithms target.)
+    pub const CATALOG: [GpuModel; 5] = [
+        Self::A100_40GB,
+        Self::A100_80GB,
+        Self::H100_80GB,
+        Self::H200_141GB,
+        Self::B200_192GB,
+    ];
+
+    /// Look a model up by its catalog name, e.g. `"H200-141GB"`.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<GpuModel> {
+        Self::CATALOG.into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Memory available to an instance of `profile` on this GPU model, GiB.
+    #[must_use]
+    pub fn instance_memory_gib(&self, profile: InstanceProfile) -> f64 {
+        f64::from(profile.memory_slices()) * self.mem_per_slice_gib
+    }
+
+    /// Total GPU memory in GiB.
+    #[must_use]
+    pub fn total_memory_gib(&self) -> f64 {
+        f64::from(MEMORY_SLICES) * self.mem_per_slice_gib
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::A100_80GB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_constants_match_a100() {
+        assert_eq!(COMPUTE_SLICES, 7);
+        assert_eq!(MEMORY_SLICES, 8);
+        assert_eq!(SMS_PER_GPU, 98);
+    }
+
+    #[test]
+    fn a100_memory_ladder_matches_paper() {
+        // Paper §II-B: "10, 20, 40, 40, 80GB of GPU memory, respectively".
+        let m = GpuModel::A100_80GB;
+        let gb: Vec<f64> = InstanceProfile::ALL
+            .iter()
+            .map(|p| m.instance_memory_gib(*p))
+            .collect();
+        assert_eq!(gb, vec![10.0, 20.0, 40.0, 40.0, 80.0]);
+    }
+
+    #[test]
+    fn h100_same_geometry() {
+        let (a, h) = (GpuModel::A100_80GB, GpuModel::H100_80GB);
+        assert_eq!(a.total_memory_gib(), h.total_memory_gib());
+    }
+
+    #[test]
+    fn catalog_totals_match_marketing_capacities() {
+        // Paper §V quotes 141 GB (H200) and 192 GB (B200).
+        let total = |m: GpuModel| m.total_memory_gib();
+        assert!((total(GpuModel::A100_40GB) - 40.0).abs() < 1e-9);
+        assert!((total(GpuModel::H200_141GB) - 141.0).abs() < 1e-9);
+        assert!((total(GpuModel::B200_192GB) - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_lookup_by_name() {
+        assert_eq!(GpuModel::by_name("h200-141gb"), Some(GpuModel::H200_141GB));
+        assert_eq!(GpuModel::by_name("B200-192GB"), Some(GpuModel::B200_192GB));
+        assert_eq!(GpuModel::by_name("TPUv5"), None);
+    }
+
+    #[test]
+    fn catalog_is_memory_sorted() {
+        let totals: Vec<f64> = GpuModel::CATALOG.iter().map(GpuModel::total_memory_gib).collect();
+        assert!(totals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn larger_memory_models_host_larger_working_sets() {
+        // The §V argument in one assertion: a 41 GiB working set (Guanaco
+        // 65B) fits a 4-GPC instance only from the H200 up.
+        let fits = |m: GpuModel| m.instance_memory_gib(InstanceProfile::G4) >= 41.0;
+        assert!(!fits(GpuModel::A100_80GB));
+        assert!(fits(GpuModel::H200_141GB));
+        assert!(fits(GpuModel::B200_192GB));
+    }
+}

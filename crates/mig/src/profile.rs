@@ -1,0 +1,205 @@
+//! MIG instance profiles (1/2/3/4/7 GPC) and their placement rules.
+
+use serde::{Deserialize, Serialize};
+
+/// A MIG GPU-instance profile, identified by its compute-slice (GPC) count.
+///
+/// Due to hardware limitations, 5- and 6-GPC instances do not exist
+/// (paper §II-B); the only profiles are 1, 2, 3, 4 and 7 GPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InstanceProfile {
+    /// 1 GPC, 1 memory slice (A100: `1g.10gb`).
+    G1,
+    /// 2 GPCs, 2 memory slices (`2g.20gb`).
+    G2,
+    /// 3 GPCs, 4 memory slices (`3g.40gb`).
+    G3,
+    /// 4 GPCs, 4 memory slices (`4g.40gb`).
+    G4,
+    /// 7 GPCs, 8 memory slices (`7g.80gb`) — the whole GPU.
+    G7,
+}
+
+impl InstanceProfile {
+    /// All profiles, ascending by GPC count.
+    pub const ALL: [InstanceProfile; 5] = [Self::G1, Self::G2, Self::G3, Self::G4, Self::G7];
+
+    /// All profiles, descending by GPC count — the Segment Allocator's
+    /// queue-processing order (paper Alg. 2: "starting with those containing
+    /// larger segment sizes").
+    pub const DESCENDING: [InstanceProfile; 5] = [Self::G7, Self::G4, Self::G3, Self::G2, Self::G1];
+
+    /// Number of compute slices (GPCs) the instance occupies.
+    #[must_use]
+    pub const fn gpcs(self) -> u8 {
+        match self {
+            Self::G1 => 1,
+            Self::G2 => 2,
+            Self::G3 => 3,
+            Self::G4 => 4,
+            Self::G7 => 7,
+        }
+    }
+
+    /// Number of memory slices the instance consumes.
+    ///
+    /// This is the constraint that yields exactly 19 valid configurations:
+    /// a 3-GPC instance consumes 4 of the 8 memory slices, so `3g + 3g`
+    /// exhausts memory and strands compute slice 3 (paper Fig. 1, rows 5–7).
+    #[must_use]
+    pub const fn memory_slices(self) -> u8 {
+        match self {
+            Self::G1 => 1,
+            Self::G2 => 2,
+            Self::G3 => 4,
+            Self::G4 => 4,
+            Self::G7 => 8,
+        }
+    }
+
+    /// Compute slices at which this profile may start (NVIDIA placement rule).
+    #[must_use]
+    pub const fn valid_starts(self) -> &'static [u8] {
+        match self {
+            Self::G1 => &[0, 1, 2, 3, 4, 5, 6],
+            Self::G2 => &[0, 2, 4],
+            Self::G3 => &[0, 4],
+            Self::G4 => &[0],
+            Self::G7 => &[0],
+        }
+    }
+
+    /// Start slices in the Segment Allocator's *preference* order
+    /// (paper §III-E-1):
+    ///
+    /// * size 3 → prefer slot 4, so slots 0–3 stay available for a 4-GPC
+    ///   instance or 2-GPC pairs;
+    /// * size 2 → prefer slots 0 and 2, avoiding 4 (keep it for a size 3);
+    /// * size 1 → slots 0–3 first, then 5, 6, and slot 4 last, to avoid
+    ///   blocking a later size-3 placement at slot 4.
+    #[must_use]
+    pub const fn preferred_starts(self) -> &'static [u8] {
+        match self {
+            Self::G1 => &[0, 1, 2, 3, 5, 6, 4],
+            Self::G2 => &[0, 2, 4],
+            Self::G3 => &[4, 0],
+            Self::G4 => &[0],
+            Self::G7 => &[0],
+        }
+    }
+
+    /// Parse from a GPC count.
+    #[must_use]
+    pub const fn from_gpcs(gpcs: u8) -> Option<Self> {
+        match gpcs {
+            1 => Some(Self::G1),
+            2 => Some(Self::G2),
+            3 => Some(Self::G3),
+            4 => Some(Self::G4),
+            7 => Some(Self::G7),
+            _ => None,
+        }
+    }
+
+    /// Streaming-multiprocessor count of this instance (14 SMs per GPC).
+    #[must_use]
+    pub const fn sms(self) -> u32 {
+        self.gpcs() as u32 * crate::SMS_PER_SLICE
+    }
+
+    /// NVIDIA-style profile name on an 80 GB GPU, e.g. `3g.40gb`.
+    #[must_use]
+    pub fn nvidia_name(self) -> String {
+        format!("{}g.{}gb", self.gpcs(), self.memory_slices() * 10)
+    }
+}
+
+impl std::fmt::Display for InstanceProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}g", self.gpcs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpc_counts() {
+        let gpcs: Vec<u8> = InstanceProfile::ALL.iter().map(|p| p.gpcs()).collect();
+        assert_eq!(gpcs, vec![1, 2, 3, 4, 7]);
+    }
+
+    #[test]
+    fn no_5_or_6_gpc_profiles() {
+        assert!(InstanceProfile::from_gpcs(5).is_none());
+        assert!(InstanceProfile::from_gpcs(6).is_none());
+        assert!(InstanceProfile::from_gpcs(0).is_none());
+        assert!(InstanceProfile::from_gpcs(8).is_none());
+    }
+
+    #[test]
+    fn from_gpcs_roundtrip() {
+        for p in InstanceProfile::ALL {
+            assert_eq!(InstanceProfile::from_gpcs(p.gpcs()), Some(p));
+        }
+    }
+
+    #[test]
+    fn memory_slices_sum_constraint() {
+        // Two 3-GPC instances exhaust all 8 memory slices.
+        assert_eq!(InstanceProfile::G3.memory_slices() * 2, crate::MEMORY_SLICES);
+    }
+
+    #[test]
+    fn valid_starts_within_bounds() {
+        for p in InstanceProfile::ALL {
+            for &s in p.valid_starts() {
+                assert!(s + p.gpcs() <= crate::COMPUTE_SLICES, "{p} start {s} overflows");
+            }
+        }
+    }
+
+    #[test]
+    fn preferred_starts_is_permutation_of_valid_starts() {
+        for p in InstanceProfile::ALL {
+            let mut v: Vec<u8> = p.valid_starts().to_vec();
+            let mut pref: Vec<u8> = p.preferred_starts().to_vec();
+            v.sort_unstable();
+            pref.sort_unstable();
+            assert_eq!(v, pref, "{p}");
+        }
+    }
+
+    #[test]
+    fn g3_prefers_slot_4() {
+        // Paper §III-E-1: "priority is given to allocating size 3 segments
+        // in slot 4".
+        assert_eq!(InstanceProfile::G3.preferred_starts()[0], 4);
+    }
+
+    #[test]
+    fn g2_avoids_slot_4_first() {
+        let pref = InstanceProfile::G2.preferred_starts();
+        assert_eq!(&pref[..2], &[0, 2]);
+    }
+
+    #[test]
+    fn nvidia_names() {
+        assert_eq!(InstanceProfile::G1.nvidia_name(), "1g.10gb");
+        assert_eq!(InstanceProfile::G3.nvidia_name(), "3g.40gb");
+        assert_eq!(InstanceProfile::G7.nvidia_name(), "7g.80gb");
+    }
+
+    #[test]
+    fn sm_counts() {
+        assert_eq!(InstanceProfile::G1.sms(), 14);
+        assert_eq!(InstanceProfile::G7.sms(), 98);
+    }
+
+    #[test]
+    fn descending_order() {
+        let g: Vec<u8> = InstanceProfile::DESCENDING.iter().map(|p| p.gpcs()).collect();
+        assert_eq!(g, vec![7, 4, 3, 2, 1]);
+    }
+}

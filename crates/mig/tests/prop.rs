@@ -1,0 +1,95 @@
+//! Property-based tests for the MIG geometry model.
+
+use parva_mig::{all_configurations, GpuState, InstanceProfile, Placement};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = InstanceProfile> {
+    prop::sample::select(InstanceProfile::ALL.to_vec())
+}
+
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    (arb_profile(), 0u8..7).prop_map(|(p, s)| Placement::new(p, s))
+}
+
+proptest! {
+    /// Any sequence of successful placements keeps the state internally
+    /// consistent and a subset of at least one of the 19 configurations.
+    #[test]
+    fn placements_stay_valid_and_reachable(ops in prop::collection::vec(arb_placement(), 0..12)) {
+        let configs = all_configurations();
+        let mut g = GpuState::new();
+        for op in ops {
+            let _ = g.place_at(op);
+            prop_assert!(g.validate());
+            prop_assert!(
+                configs.iter().any(|c| c.contains(&g)),
+                "state {g} not a subset of any configuration"
+            );
+        }
+    }
+
+    /// place + remove is an exact inverse.
+    #[test]
+    fn place_remove_roundtrip(ops in prop::collection::vec(arb_placement(), 0..10), extra in arb_placement()) {
+        let mut g = GpuState::new();
+        for op in ops {
+            let _ = g.place_at(op);
+        }
+        let before = g.clone();
+        if g.place_at(extra).is_ok() {
+            prop_assert!(g.remove(extra));
+            // Placement order may differ but the semantic state must match.
+            prop_assert_eq!(g.gpcs_used(), before.gpcs_used());
+            prop_assert_eq!(g.mem_slices_used(), before.mem_slices_used());
+            prop_assert_eq!(g.occupied_mask(), before.occupied_mask());
+        }
+    }
+
+    /// Memory slices never exceed 8 and GPC count never exceeds 7, no matter
+    /// what is attempted.
+    #[test]
+    fn hard_limits_hold(ops in prop::collection::vec(arb_placement(), 0..64)) {
+        let mut g = GpuState::new();
+        for op in ops {
+            let _ = g.place_at(op);
+        }
+        prop_assert!(g.mem_slices_used() <= 8);
+        prop_assert!(g.gpcs_used() <= 7);
+    }
+
+    /// `find_start` only returns starts that `place_at` then accepts, and
+    /// `None` only when every valid start is truly blocked.
+    #[test]
+    fn find_start_is_sound_and_complete(ops in prop::collection::vec(arb_placement(), 0..10), p in arb_profile()) {
+        let mut g = GpuState::new();
+        for op in ops {
+            let _ = g.place_at(op);
+        }
+        match g.find_start(p) {
+            Some(s) => {
+                let mut g2 = g.clone();
+                prop_assert!(g2.place_at(Placement::new(p, s)).is_ok());
+            }
+            None => {
+                for &s in p.valid_starts() {
+                    prop_assert!(g.check(Placement::new(p, s)).is_err());
+                }
+            }
+        }
+    }
+
+    /// Greedy fill with any profile order always terminates in a maximal
+    /// state consistent with a configuration.
+    #[test]
+    fn greedy_fill_reaches_maximal(order in prop::collection::vec(arb_profile(), 1..20)) {
+        let configs = all_configurations();
+        let mut g = GpuState::new();
+        for p in order {
+            let _ = g.place(p);
+        }
+        // Top up with 1-GPC instances until nothing fits.
+        while g.place(InstanceProfile::G1).is_ok() {}
+        prop_assert!(g.is_full());
+        prop_assert!(configs.iter().any(|c| c.contains(&g)));
+    }
+}

@@ -1,0 +1,436 @@
+//! Simulated devices and GPU-instance handles.
+
+use crate::error::NvmlError;
+use parva_mig::{GpuModel, GpuState, InstanceProfile, Placement};
+use serde::{Deserialize, Serialize};
+
+/// An opaque GPU-instance handle, unique across the fleet's lifetime (NVML
+/// hands out instance ids scoped to the device; a fleet-unique id simplifies
+/// bookkeeping without changing the call shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+/// A live MIG GPU instance (we model one compute instance spanning each GPU
+/// instance, which is how ParvaGPU uses MIG — MPS then multiplexes processes
+/// *inside* the instance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuInstance {
+    /// Fleet-unique handle.
+    pub id: InstanceId,
+    /// Index of the parent device.
+    pub device: usize,
+    /// Profile + start slice.
+    pub placement: Placement,
+    /// MIG device UUID, e.g. `MIG-GPU-1f1a0a0c-0-3`.
+    pub uuid: String,
+    /// Instance memory, GiB (from the parent's GPU model).
+    pub memory_gib: f64,
+    /// MPS processes currently launched in the instance (0 = idle).
+    pub mps_processes: u32,
+}
+
+impl GpuInstance {
+    /// NVIDIA-style profile name on the parent GPU, e.g. `3g.40gb`.
+    #[must_use]
+    pub fn profile_name(&self) -> String {
+        format!(
+            "{}g.{}gb",
+            self.placement.profile.gpcs(),
+            self.memory_gib.round() as u64
+        )
+    }
+}
+
+/// One simulated GPU device. (`Serialize` only: [`parva_mig::GpuModel`]
+/// borrows its name for `'static`, so fleet state serializes for dumps but
+/// is reconstructed through the API, never deserialized.)
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Device {
+    /// Device index in the fleet.
+    pub index: usize,
+    /// GPU model (memory ladder).
+    pub model: GpuModel,
+    /// Device UUID, e.g. `GPU-00000000-0000-4000-8000-000000000003`.
+    pub uuid: String,
+    /// Whether MIG mode is enabled.
+    mig_enabled: bool,
+    /// MIG occupancy (placement validity authority).
+    state: GpuState,
+}
+
+impl Device {
+    fn new(index: usize, model: GpuModel) -> Self {
+        Self {
+            index,
+            model,
+            uuid: format!("GPU-00000000-0000-4000-8000-{index:012x}"),
+            mig_enabled: false,
+            state: GpuState::new(),
+        }
+    }
+
+    /// Whether MIG mode is on.
+    #[must_use]
+    pub fn mig_enabled(&self) -> bool {
+        self.mig_enabled
+    }
+
+    /// The MIG occupancy state (read-only view).
+    #[must_use]
+    pub fn state(&self) -> &GpuState {
+        &self.state
+    }
+
+    /// GPCs not covered by instances.
+    #[must_use]
+    pub fn gpcs_free(&self) -> u8 {
+        self.state.gpcs_free()
+    }
+}
+
+/// The simulated NVML session: a homogeneous fleet of MIG-capable devices.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimNvml {
+    devices: Vec<Device>,
+    instances: Vec<GpuInstance>,
+    next_id: u64,
+}
+
+impl SimNvml {
+    /// Initialize a fleet of `count` devices of the given model (MIG off —
+    /// NVML devices boot in non-MIG mode).
+    #[must_use]
+    pub fn new(count: usize, model: GpuModel) -> Self {
+        Self {
+            devices: (0..count).map(|i| Device::new(i, model)).collect(),
+            instances: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Number of devices (`nvmlDeviceGetCount`).
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device by index (`nvmlDeviceGetHandleByIndex`).
+    ///
+    /// # Errors
+    /// [`NvmlError::InvalidDevice`] when out of range.
+    pub fn device(&self, index: usize) -> Result<&Device, NvmlError> {
+        self.devices
+            .get(index)
+            .ok_or(NvmlError::InvalidDevice { index, count: self.devices.len() })
+    }
+
+    /// Grow the fleet (cloud-side: attach more GPUs). New devices boot with
+    /// MIG off.
+    pub fn grow(&mut self, additional: usize) {
+        let model = self.devices.first().map_or(GpuModel::A100_80GB, |d| d.model);
+        for _ in 0..additional {
+            let idx = self.devices.len();
+            self.devices.push(Device::new(idx, model));
+        }
+    }
+
+    /// Enable or disable MIG mode (`nvmlDeviceSetMigMode`). Disabling (or
+    /// re-enabling) requires the device to carry no instances.
+    ///
+    /// # Errors
+    /// [`NvmlError::DeviceBusy`] when instances are live;
+    /// [`NvmlError::InvalidDevice`] when out of range.
+    pub fn set_mig_mode(&mut self, device: usize, enabled: bool) -> Result<(), NvmlError> {
+        let count = self.devices.len();
+        let dev = self
+            .devices
+            .get_mut(device)
+            .ok_or(NvmlError::InvalidDevice { index: device, count })?;
+        if dev.mig_enabled == enabled {
+            return Ok(());
+        }
+        let live = self.instances.iter().filter(|i| i.device == device).count();
+        if live > 0 {
+            return Err(NvmlError::DeviceBusy { device, live_instances: live });
+        }
+        dev.mig_enabled = enabled;
+        Ok(())
+    }
+
+    /// Create a GPU instance at an explicit placement
+    /// (`nvmlDeviceCreateGpuInstanceWithPlacement`).
+    ///
+    /// # Errors
+    /// Propagates placement violations and MIG-mode preconditions.
+    pub fn create_gpu_instance_at(
+        &mut self,
+        device: usize,
+        placement: Placement,
+    ) -> Result<InstanceId, NvmlError> {
+        let count = self.devices.len();
+        let dev = self
+            .devices
+            .get_mut(device)
+            .ok_or(NvmlError::InvalidDevice { index: device, count })?;
+        if !dev.mig_enabled {
+            return Err(NvmlError::MigDisabled { device });
+        }
+        dev.state
+            .place_at(placement)
+            .map_err(|e| NvmlError::InvalidPlacement { device, reason: e.to_string() })?;
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        self.instances.push(GpuInstance {
+            id,
+            device,
+            placement,
+            uuid: format!(
+                "MIG-GPU-{device:08x}-{}-{}",
+                placement.start,
+                placement.profile.gpcs()
+            ),
+            memory_gib: dev.model.instance_memory_gib(placement.profile),
+            mps_processes: 0,
+        });
+        Ok(id)
+    }
+
+    /// Create a GPU instance wherever the profile first fits
+    /// (`nvmlDeviceCreateGpuInstance`), using the profile's preferred starts.
+    ///
+    /// # Errors
+    /// [`NvmlError::InsufficientResources`] when nothing fits.
+    pub fn create_gpu_instance(
+        &mut self,
+        device: usize,
+        profile: InstanceProfile,
+    ) -> Result<InstanceId, NvmlError> {
+        let dev = self.device(device)?;
+        if !dev.mig_enabled {
+            return Err(NvmlError::MigDisabled { device });
+        }
+        let start = dev
+            .state
+            .find_start(profile)
+            .ok_or(NvmlError::InsufficientResources { device, gpcs: profile.gpcs() })?;
+        self.create_gpu_instance_at(device, Placement::new(profile, start))
+    }
+
+    /// Destroy a GPU instance (`nvmlGpuInstanceDestroy`).
+    ///
+    /// # Errors
+    /// [`NvmlError::UnknownInstance`] for stale handles.
+    pub fn destroy_gpu_instance(&mut self, id: InstanceId) -> Result<(), NvmlError> {
+        let idx = self
+            .instances
+            .iter()
+            .position(|i| i.id == id)
+            .ok_or(NvmlError::UnknownInstance { id: id.0 })?;
+        let inst = self.instances.swap_remove(idx);
+        let removed = self.devices[inst.device].state.remove(inst.placement);
+        debug_assert!(removed, "device state out of sync with instance table");
+        Ok(())
+    }
+
+    /// Set the number of MPS processes launched inside an instance (the
+    /// deployment's process count; 0 stops the servers).
+    ///
+    /// # Errors
+    /// [`NvmlError::UnknownInstance`] for stale handles.
+    pub fn set_mps_processes(&mut self, id: InstanceId, procs: u32) -> Result<(), NvmlError> {
+        let inst = self
+            .instances
+            .iter_mut()
+            .find(|i| i.id == id)
+            .ok_or(NvmlError::UnknownInstance { id: id.0 })?;
+        inst.mps_processes = procs;
+        Ok(())
+    }
+
+    /// All live instances, fleet-wide.
+    #[must_use]
+    pub fn instances(&self) -> &[GpuInstance] {
+        &self.instances
+    }
+
+    /// Live instances on one device, in start-slice order.
+    #[must_use]
+    pub fn instances_on(&self, device: usize) -> Vec<&GpuInstance> {
+        let mut v: Vec<&GpuInstance> =
+            self.instances.iter().filter(|i| i.device == device).collect();
+        v.sort_by_key(|i| i.placement.start);
+        v
+    }
+
+    /// Look up a live instance by handle.
+    #[must_use]
+    pub fn instance(&self, id: InstanceId) -> Option<&GpuInstance> {
+        self.instances.iter().find(|i| i.id == id)
+    }
+
+    /// Destroy every instance and disable MIG everywhere (fleet reset).
+    pub fn reset(&mut self) {
+        self.instances.clear();
+        for d in &mut self.devices {
+            d.state.clear();
+            d.mig_enabled = false;
+        }
+    }
+
+    /// Fleet audit: every instance's placement is present in its device
+    /// state, every device placement has exactly one instance, and every
+    /// device state validates.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        if !self.devices.iter().all(|d| d.state.validate()) {
+            return false;
+        }
+        let mut counted = 0usize;
+        for d in &self.devices {
+            for p in d.state.placements() {
+                let n = self
+                    .instances
+                    .iter()
+                    .filter(|i| i.device == d.index && i.placement == *p)
+                    .count();
+                if n != 1 {
+                    return false;
+                }
+                counted += 1;
+            }
+        }
+        counted == self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> SimNvml {
+        let mut nvml = SimNvml::new(2, GpuModel::A100_80GB);
+        nvml.set_mig_mode(0, true).unwrap();
+        nvml.set_mig_mode(1, true).unwrap();
+        nvml
+    }
+
+    #[test]
+    fn boot_state() {
+        let nvml = SimNvml::new(3, GpuModel::A100_80GB);
+        assert_eq!(nvml.device_count(), 3);
+        assert!(!nvml.device(0).unwrap().mig_enabled());
+        assert!(nvml.device(3).is_err());
+        assert!(nvml.validate());
+    }
+
+    #[test]
+    fn uuids_are_unique_and_stable() {
+        let nvml = SimNvml::new(4, GpuModel::A100_80GB);
+        let mut uuids: Vec<String> =
+            (0..4).map(|i| nvml.device(i).unwrap().uuid.clone()).collect();
+        uuids.dedup();
+        assert_eq!(uuids.len(), 4);
+        assert!(uuids[3].ends_with("000000000003"));
+    }
+
+    #[test]
+    fn instance_requires_mig_mode() {
+        let mut nvml = SimNvml::new(1, GpuModel::A100_80GB);
+        let err = nvml.create_gpu_instance(0, InstanceProfile::G1).unwrap_err();
+        assert_eq!(err, NvmlError::MigDisabled { device: 0 });
+    }
+
+    #[test]
+    fn create_and_destroy_roundtrip() {
+        let mut nvml = fleet();
+        let id = nvml.create_gpu_instance(0, InstanceProfile::G3).unwrap();
+        assert_eq!(nvml.instances().len(), 1);
+        let inst = nvml.instance(id).unwrap();
+        assert_eq!(inst.profile_name(), "3g.40gb");
+        assert_eq!(inst.memory_gib, 40.0);
+        assert!(nvml.validate());
+        nvml.destroy_gpu_instance(id).unwrap();
+        assert!(nvml.instances().is_empty());
+        assert_eq!(nvml.device(0).unwrap().gpcs_free(), 7);
+        // Double destroy is a stale handle.
+        assert_eq!(nvml.destroy_gpu_instance(id), Err(NvmlError::UnknownInstance { id: id.0 }));
+    }
+
+    #[test]
+    fn explicit_placement_validated() {
+        let mut nvml = fleet();
+        // 3g at start 2 violates the NVIDIA start rule (starts are 0 or 4).
+        let bad = Placement::new(InstanceProfile::G3, 2);
+        assert!(matches!(
+            nvml.create_gpu_instance_at(0, bad),
+            Err(NvmlError::InvalidPlacement { device: 0, .. })
+        ));
+        // A valid one goes through.
+        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G3, 4)).unwrap();
+        assert!(nvml.validate());
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let mut nvml = fleet();
+        nvml.create_gpu_instance(0, InstanceProfile::G7).unwrap();
+        assert_eq!(
+            nvml.create_gpu_instance(0, InstanceProfile::G1),
+            Err(NvmlError::InsufficientResources { device: 0, gpcs: 1 })
+        );
+        // The other device still has room.
+        nvml.create_gpu_instance(1, InstanceProfile::G1).unwrap();
+    }
+
+    #[test]
+    fn mig_mode_change_blocked_while_busy() {
+        let mut nvml = fleet();
+        nvml.create_gpu_instance(0, InstanceProfile::G2).unwrap();
+        assert_eq!(
+            nvml.set_mig_mode(0, false),
+            Err(NvmlError::DeviceBusy { device: 0, live_instances: 1 })
+        );
+        // Device 1 is idle and can leave MIG mode.
+        nvml.set_mig_mode(1, false).unwrap();
+    }
+
+    #[test]
+    fn mps_process_control() {
+        let mut nvml = fleet();
+        let id = nvml.create_gpu_instance(0, InstanceProfile::G2).unwrap();
+        nvml.set_mps_processes(id, 3).unwrap();
+        assert_eq!(nvml.instance(id).unwrap().mps_processes, 3);
+        assert!(nvml.set_mps_processes(InstanceId(999), 1).is_err());
+    }
+
+    #[test]
+    fn instances_on_sorted_by_slice() {
+        let mut nvml = fleet();
+        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G3, 4)).unwrap();
+        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G1, 0)).unwrap();
+        let starts: Vec<u8> = nvml.instances_on(0).iter().map(|i| i.placement.start).collect();
+        assert_eq!(starts, vec![0, 4]);
+    }
+
+    #[test]
+    fn grow_and_reset() {
+        let mut nvml = fleet();
+        nvml.create_gpu_instance(0, InstanceProfile::G4).unwrap();
+        nvml.grow(2);
+        assert_eq!(nvml.device_count(), 4);
+        assert!(!nvml.device(2).unwrap().mig_enabled());
+        nvml.reset();
+        assert!(nvml.instances().is_empty());
+        assert!(!nvml.device(0).unwrap().mig_enabled());
+        assert!(nvml.validate());
+    }
+
+    #[test]
+    fn h200_memory_ladder_in_names() {
+        let mut nvml = SimNvml::new(1, GpuModel::H200_141GB);
+        nvml.set_mig_mode(0, true).unwrap();
+        let id = nvml.create_gpu_instance(0, InstanceProfile::G2).unwrap();
+        // 2 memory slices × 17.625 GiB ≈ 35 GiB.
+        assert_eq!(nvml.instance(id).unwrap().profile_name(), "2g.35gb");
+    }
+}

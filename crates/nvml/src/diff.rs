@@ -1,0 +1,342 @@
+//! Minimal-diff reconfiguration between deployment maps.
+//!
+//! Paper §III-F: "This method minimizes the overhead of reconfiguration, as
+//! services whose placement has not changed do not require reconfiguration."
+//! Given the deployment before and after a scheduling update, this module
+//! computes the smallest operation set that transforms the live fleet:
+//!
+//! * a slot occupied by the *same* (service, triplet) in both maps is
+//!   **kept** — zero ops, zero downtime;
+//! * a slot whose instance profile and service survive but whose MPS
+//!   process count changed is **retuned** — an MPS relaunch, no MIG
+//!   teardown (MPS reconfiguration is the milliseconds end of the paper's
+//!   "milliseconds to a few seconds" range);
+//! * everything else is a **destroy** of the old instance and/or a
+//!   **create** of the new one (the seconds end — a MIG instance rebuild).
+
+use crate::device::SimNvml;
+use crate::error::NvmlError;
+use parva_deploy::{MigDeployment, Segment};
+use parva_mig::Placement;
+use serde::{Deserialize, Serialize};
+
+/// One physical reconfiguration operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReconfigOp {
+    /// Tear down the instance at (device, placement).
+    Destroy {
+        /// Device index.
+        device: usize,
+        /// Placement of the doomed instance.
+        placement: Placement,
+        /// Service that was running there (for shadow planning).
+        service_id: u32,
+    },
+    /// Create an instance and launch its MPS processes.
+    Create {
+        /// Device index.
+        device: usize,
+        /// Placement of the new instance.
+        placement: Placement,
+        /// The segment to run there.
+        segment: Segment,
+    },
+    /// Same instance, same service — only the MPS process count (or batch)
+    /// changes: relaunch servers without touching MIG.
+    RetuneMps {
+        /// Device index.
+        device: usize,
+        /// Placement of the retuned instance.
+        placement: Placement,
+        /// New process count.
+        procs: u32,
+    },
+}
+
+/// The diff between two deployment maps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentDiff {
+    /// Slots carried over untouched: (device, placement, service id).
+    pub kept: Vec<(usize, Placement, u32)>,
+    /// Operations to execute, destroys first (frees slices for creates).
+    pub ops: Vec<ReconfigOp>,
+}
+
+impl DeploymentDiff {
+    /// Devices touched by at least one operation — the GPUs that need
+    /// physical reconfiguration (and shadow coverage, §III-F).
+    #[must_use]
+    pub fn touched_devices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                ReconfigOp::Destroy { device, .. }
+                | ReconfigOp::Create { device, .. }
+                | ReconfigOp::RetuneMps { device, .. } => *device,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Services disturbed by destroys or creates (MPS retunes keep serving
+    /// through the relaunch, one process at a time).
+    #[must_use]
+    pub fn disturbed_services(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ReconfigOp::Destroy { service_id, .. } => Some(*service_id),
+                ReconfigOp::Create { segment, .. } => Some(segment.service_id),
+                ReconfigOp::RetuneMps { .. } => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Count of MIG-level rebuilds (destroys + creates), the expensive kind.
+    #[must_use]
+    pub fn mig_rebuilds(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, ReconfigOp::RetuneMps { .. }))
+            .count()
+    }
+
+    /// Devices needing *MIG* reconfiguration (instance rebuilds). Devices
+    /// receiving only MPS retunes keep their layout — the paper's
+    /// `reconfigured_gpus` notion (§III-F) counts exactly these.
+    #[must_use]
+    pub fn mig_touched_devices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ReconfigOp::Destroy { device, .. } | ReconfigOp::Create { device, .. } => {
+                    Some(*device)
+                }
+                ReconfigOp::RetuneMps { .. } => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Compute the minimal diff transforming `old` into `new`.
+#[must_use]
+pub fn diff_deployments(old: &MigDeployment, new: &MigDeployment) -> DeploymentDiff {
+    let slot = |d: &MigDeployment| -> Vec<(usize, Placement, Segment)> {
+        d.segments().iter().map(|ps| (ps.gpu, ps.placement, ps.segment)).collect()
+    };
+    let old_slots = slot(old);
+    let new_slots = slot(new);
+
+    let mut diff = DeploymentDiff::default();
+    let mut destroys = Vec::new();
+    let mut creates = Vec::new();
+
+    for (device, placement, seg) in &old_slots {
+        match new_slots.iter().find(|(d2, p2, _)| d2 == device && p2 == placement) {
+            Some((_, _, seg2))
+                if seg2.service_id == seg.service_id
+                    && seg2.triplet.instance == seg.triplet.instance =>
+            {
+                if seg2.triplet.procs == seg.triplet.procs && seg2.triplet.batch == seg.triplet.batch
+                {
+                    diff.kept.push((*device, *placement, seg.service_id));
+                } else {
+                    diff.ops.push(ReconfigOp::RetuneMps {
+                        device: *device,
+                        placement: *placement,
+                        procs: seg2.triplet.procs,
+                    });
+                }
+            }
+            _ => destroys.push(ReconfigOp::Destroy {
+                device: *device,
+                placement: *placement,
+                service_id: seg.service_id,
+            }),
+        }
+    }
+    for (device, placement, seg) in &new_slots {
+        let survives = old_slots.iter().any(|(d2, p2, seg2)| {
+            d2 == device
+                && p2 == placement
+                && seg2.service_id == seg.service_id
+                && seg2.triplet.instance == seg.triplet.instance
+        });
+        if !survives {
+            creates.push(ReconfigOp::Create {
+                device: *device,
+                placement: *placement,
+                segment: *seg,
+            });
+        }
+    }
+    // Destroys first so creates find free slices, then MPS retunes (cheap,
+    // order-independent) are already interleaved in `ops`.
+    let retunes = std::mem::take(&mut diff.ops);
+    diff.ops = destroys;
+    diff.ops.extend(creates);
+    diff.ops.extend(retunes);
+    diff
+}
+
+/// Execute a diff against the live fleet.
+///
+/// # Errors
+/// Propagates NVML errors (stale handles, placement conflicts). The fleet
+/// must currently realize the diff's `old` side.
+pub fn apply_diff(nvml: &mut SimNvml, diff: &DeploymentDiff) -> Result<(), NvmlError> {
+    // Resolve (device, placement) → handle for destroys/retunes up front.
+    let lookup = |nvml: &SimNvml, device: usize, placement: Placement| {
+        nvml.instances()
+            .iter()
+            .find(|i| i.device == device && i.placement == placement)
+            .map(|i| i.id)
+            .ok_or(NvmlError::UnknownInstance { id: 0 })
+    };
+    for op in &diff.ops {
+        match op {
+            ReconfigOp::Destroy { device, placement, .. } => {
+                let id = lookup(nvml, *device, *placement)?;
+                nvml.destroy_gpu_instance(id)?;
+            }
+            ReconfigOp::Create { device, placement, segment } => {
+                if *device >= nvml.device_count() {
+                    nvml.grow(*device + 1 - nvml.device_count());
+                }
+                nvml.set_mig_mode(*device, true)?;
+                let id = nvml.create_gpu_instance_at(*device, *placement)?;
+                nvml.set_mps_processes(id, segment.triplet.procs)?;
+            }
+            ReconfigOp::RetuneMps { device, placement, procs } => {
+                let id = lookup(nvml, *device, *placement)?;
+                nvml.set_mps_processes(id, *procs)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::{apply_deployment, fleet_matches};
+    use parva_mig::{GpuModel, InstanceProfile};
+    use parva_perf::Model;
+    use parva_profile::Triplet;
+
+    fn seg(id: u32, g: InstanceProfile, batch: u32, procs: u32) -> Segment {
+        Segment {
+            service_id: id,
+            model: Model::ResNet50,
+            triplet: Triplet::new(g, batch, procs),
+            throughput_rps: 100.0,
+            latency_ms: 10.0,
+        }
+    }
+
+    fn base() -> MigDeployment {
+        let mut d = MigDeployment::new();
+        d.place_first_fit(seg(0, InstanceProfile::G4, 8, 2));
+        d.place_first_fit(seg(1, InstanceProfile::G3, 8, 3));
+        d.place_first_fit(seg(2, InstanceProfile::G2, 16, 1));
+        d
+    }
+
+    #[test]
+    fn identical_maps_need_no_ops() {
+        let d = base();
+        let diff = diff_deployments(&d, &d);
+        assert!(diff.ops.is_empty());
+        assert_eq!(diff.kept.len(), 3);
+        assert!(diff.touched_devices().is_empty());
+    }
+
+    #[test]
+    fn unrelated_services_are_kept() {
+        // Replace service 2's segment with a different profile at the same
+        // spot; services 0 and 1 stay put.
+        let old = base();
+        let mut new = MigDeployment::new();
+        new.place_first_fit(seg(0, InstanceProfile::G4, 8, 2));
+        new.place_first_fit(seg(1, InstanceProfile::G3, 8, 3));
+        new.place_first_fit(seg(3, InstanceProfile::G2, 16, 2));
+        let diff = diff_deployments(&old, &new);
+        assert_eq!(diff.kept.len(), 2);
+        assert_eq!(diff.mig_rebuilds(), 2); // destroy old G2 + create new G2
+        assert_eq!(diff.disturbed_services(), vec![2, 3]);
+    }
+
+    #[test]
+    fn procs_change_is_a_retune_not_a_rebuild() {
+        let old = base();
+        let mut new = MigDeployment::new();
+        new.place_first_fit(seg(0, InstanceProfile::G4, 8, 3)); // 2 → 3 procs
+        new.place_first_fit(seg(1, InstanceProfile::G3, 8, 3));
+        new.place_first_fit(seg(2, InstanceProfile::G2, 16, 1));
+        let diff = diff_deployments(&old, &new);
+        assert_eq!(diff.mig_rebuilds(), 0);
+        assert_eq!(diff.ops.len(), 1);
+        assert!(matches!(diff.ops[0], ReconfigOp::RetuneMps { procs: 3, .. }));
+        // Retunes disturb no service (rolling relaunch).
+        assert!(diff.disturbed_services().is_empty());
+    }
+
+    #[test]
+    fn apply_diff_converges_fleet_to_new_map() {
+        let old = base();
+        let mut new = MigDeployment::new();
+        new.place_first_fit(seg(0, InstanceProfile::G4, 8, 2));
+        new.place_first_fit(seg(5, InstanceProfile::G3, 4, 2)); // new service
+        new.place_first_fit(seg(2, InstanceProfile::G2, 16, 2)); // retune
+
+        let mut nvml = SimNvml::new(1, GpuModel::A100_80GB);
+        apply_deployment(&mut nvml, &old).unwrap();
+        let diff = diff_deployments(&old, &new);
+        apply_diff(&mut nvml, &diff).unwrap();
+        assert!(nvml.validate());
+        assert!(fleet_matches(&nvml, &new));
+    }
+
+    #[test]
+    fn destroys_ordered_before_creates() {
+        // Swap the services in two same-profile slots — creates must find
+        // the slices already freed.
+        let mut old = MigDeployment::new();
+        old.place_first_fit(seg(0, InstanceProfile::G3, 8, 1));
+        let mut new = MigDeployment::new();
+        new.place_first_fit(seg(9, InstanceProfile::G3, 8, 1));
+        let diff = diff_deployments(&old, &new);
+        assert_eq!(diff.ops.len(), 2);
+        assert!(matches!(diff.ops[0], ReconfigOp::Destroy { .. }));
+        assert!(matches!(diff.ops[1], ReconfigOp::Create { .. }));
+        // And it really applies.
+        let mut nvml = SimNvml::new(1, GpuModel::A100_80GB);
+        apply_deployment(&mut nvml, &old).unwrap();
+        apply_diff(&mut nvml, &diff).unwrap();
+        assert!(fleet_matches(&nvml, &new));
+    }
+
+    #[test]
+    fn growth_to_new_devices() {
+        let old = MigDeployment::new();
+        let mut new = MigDeployment::new();
+        new.place_first_fit(seg(0, InstanceProfile::G7, 8, 1));
+        new.place_first_fit(seg(1, InstanceProfile::G7, 8, 1));
+        let diff = diff_deployments(&old, &new);
+        let mut nvml = SimNvml::new(0, GpuModel::A100_80GB);
+        apply_diff(&mut nvml, &diff).unwrap();
+        assert_eq!(nvml.device_count(), 2);
+        assert!(fleet_matches(&nvml, &new));
+    }
+}

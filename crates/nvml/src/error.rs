@@ -1,0 +1,91 @@
+//! NVML-shaped error codes.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the simulated NVML layer. Variants mirror the NVML
+/// return codes a MIG management sequence can hit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NvmlError {
+    /// Device index out of range (`NVML_ERROR_INVALID_ARGUMENT`).
+    InvalidDevice {
+        /// The requested index.
+        index: usize,
+        /// Number of devices present.
+        count: usize,
+    },
+    /// Operation requires MIG mode but it is disabled
+    /// (`NVML_ERROR_NOT_SUPPORTED` on instance calls without MIG).
+    MigDisabled {
+        /// Offending device index.
+        device: usize,
+    },
+    /// No placement can host the requested profile
+    /// (`NVML_ERROR_INSUFFICIENT_RESOURCES`).
+    InsufficientResources {
+        /// Offending device index.
+        device: usize,
+        /// Requested profile GPCs.
+        gpcs: u8,
+    },
+    /// The requested placement violates MIG rules
+    /// (`NVML_ERROR_INVALID_ARGUMENT`).
+    InvalidPlacement {
+        /// Offending device index.
+        device: usize,
+        /// Why the GPU state rejected it.
+        reason: String,
+    },
+    /// Unknown GPU-instance handle (`NVML_ERROR_NOT_FOUND`).
+    UnknownInstance {
+        /// The stale handle.
+        id: u64,
+    },
+    /// MIG mode cannot change while instances exist
+    /// (`NVML_ERROR_IN_USE`).
+    DeviceBusy {
+        /// Offending device index.
+        device: usize,
+        /// Live instances blocking the transition.
+        live_instances: usize,
+    },
+}
+
+impl std::fmt::Display for NvmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidDevice { index, count } => {
+                write!(f, "device index {index} out of range (fleet has {count})")
+            }
+            Self::MigDisabled { device } => {
+                write!(f, "device {device}: MIG mode is disabled")
+            }
+            Self::InsufficientResources { device, gpcs } => {
+                write!(f, "device {device}: no placement for a {gpcs}-GPC instance")
+            }
+            Self::InvalidPlacement { device, reason } => {
+                write!(f, "device {device}: invalid placement: {reason}")
+            }
+            Self::UnknownInstance { id } => write!(f, "unknown GPU-instance handle {id}"),
+            Self::DeviceBusy { device, live_instances } => write!(
+                f,
+                "device {device}: cannot change MIG mode with {live_instances} live instance(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NvmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NvmlError::InsufficientResources { device: 3, gpcs: 4 };
+        assert!(e.to_string().contains("device 3"));
+        assert!(e.to_string().contains("4-GPC"));
+        let e = NvmlError::DeviceBusy { device: 0, live_instances: 2 };
+        assert!(e.to_string().contains("2 live instance"));
+    }
+}

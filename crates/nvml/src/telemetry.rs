@@ -1,0 +1,204 @@
+//! DCGM-style telemetry fields over GPU instances.
+//!
+//! The paper's internal-slack metric (Eq. 3) is defined over DCGM's
+//! *SM activity* — "a measure of GPU utilization that reflects both spatial
+//! and temporal aspects" (§IV-B2). This module models the relevant slice of
+//! the DCGM field API: per-instance field samples with timestamps, windowed
+//! means, and the fleet-level weighted activity aggregate Eq. 3 consumes.
+
+use crate::device::InstanceId;
+use serde::{Deserialize, Serialize};
+
+/// The DCGM fields the reproduction records (subset of `DCGM_FI_PROF_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldId {
+    /// `DCGM_FI_PROF_SM_ACTIVE`: fraction of cycles ≥1 warp was resident,
+    /// in `[0, 1]`.
+    SmActivity,
+    /// Framebuffer memory used, GiB.
+    MemoryUsedGib,
+    /// Served request throughput, req/s (custom field in the reproduction).
+    ThroughputRps,
+}
+
+/// One recorded sample of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldSample {
+    /// Sample timestamp, microseconds since simulation start.
+    pub timestamp_us: u64,
+    /// Sample value (unit depends on the field).
+    pub value: f64,
+}
+
+/// An append-only store of field samples per (instance, field) — the watch
+/// window a DCGM field group provides.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryStore {
+    samples: Vec<(InstanceId, FieldId, FieldSample)>,
+}
+
+impl TelemetryStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Timestamps are expected to be non-decreasing per
+    /// (instance, field) stream; out-of-order samples are accepted but the
+    /// windowed queries assume monotone time.
+    pub fn record(&mut self, instance: InstanceId, field: FieldId, sample: FieldSample) {
+        self.samples.push((instance, field, sample));
+    }
+
+    /// Number of samples stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample of a field on an instance.
+    #[must_use]
+    pub fn latest(&self, instance: InstanceId, field: FieldId) -> Option<FieldSample> {
+        self.samples
+            .iter()
+            .filter(|(i, f, _)| *i == instance && *f == field)
+            .max_by_key(|(_, _, s)| s.timestamp_us)
+            .map(|(_, _, s)| *s)
+    }
+
+    /// Mean of a field over samples with `timestamp_us` in
+    /// `[from_us, to_us)`; `None` when the window holds no samples.
+    #[must_use]
+    pub fn window_mean(
+        &self,
+        instance: InstanceId,
+        field: FieldId,
+        from_us: u64,
+        to_us: u64,
+    ) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|(i, f, s)| {
+                *i == instance
+                    && *f == field
+                    && s.timestamp_us >= from_us
+                    && s.timestamp_us < to_us
+            })
+            .map(|(_, _, s)| s.value)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// The paper's Eq. 3 aggregate over latest samples: SM-weighted mean
+    /// activity across instances, where `sms` gives each instance's SM
+    /// count. Returns `None` when no instance has an activity sample.
+    #[must_use]
+    pub fn weighted_activity(&self, instances: &[(InstanceId, u32)]) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut total_sms = 0.0;
+        for (id, sms) in instances {
+            if let Some(s) = self.latest(*id, FieldId::SmActivity) {
+                weighted += f64::from(*sms) * s.value;
+                total_sms += f64::from(*sms);
+            }
+        }
+        if total_sms > 0.0 {
+            Some(weighted / total_sms)
+        } else {
+            None
+        }
+    }
+
+    /// Drop samples older than `horizon_us` (DCGM keeps a bounded watch
+    /// window; this is the retention pass).
+    pub fn trim(&mut self, horizon_us: u64) {
+        self.samples.retain(|(_, _, s)| s.timestamp_us >= horizon_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: u64, v: f64) -> FieldSample {
+        FieldSample { timestamp_us: t, value: v }
+    }
+
+    #[test]
+    fn latest_picks_newest() {
+        let mut store = TelemetryStore::new();
+        let id = InstanceId(1);
+        store.record(id, FieldId::SmActivity, s(10, 0.5));
+        store.record(id, FieldId::SmActivity, s(30, 0.8));
+        store.record(id, FieldId::SmActivity, s(20, 0.6));
+        assert_eq!(store.latest(id, FieldId::SmActivity), Some(s(30, 0.8)));
+        assert_eq!(store.latest(id, FieldId::MemoryUsedGib), None);
+        assert_eq!(store.latest(InstanceId(2), FieldId::SmActivity), None);
+    }
+
+    #[test]
+    fn window_mean_half_open() {
+        let mut store = TelemetryStore::new();
+        let id = InstanceId(1);
+        for (t, v) in [(0, 0.2), (100, 0.4), (200, 0.6), (300, 0.8)] {
+            store.record(id, FieldId::SmActivity, s(t, v));
+        }
+        // [100, 300) → samples at 100 and 200.
+        let m = store.window_mean(id, FieldId::SmActivity, 100, 300).unwrap();
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(store.window_mean(id, FieldId::SmActivity, 400, 500), None);
+    }
+
+    #[test]
+    fn weighted_activity_matches_eq3_semantics() {
+        // Two instances: 14 SMs at 100% and 42 SMs at 50% → (14 + 21)/56.
+        let mut store = TelemetryStore::new();
+        store.record(InstanceId(1), FieldId::SmActivity, s(0, 1.0));
+        store.record(InstanceId(2), FieldId::SmActivity, s(0, 0.5));
+        let agg = store.weighted_activity(&[(InstanceId(1), 14), (InstanceId(2), 42)]).unwrap();
+        assert!((agg - 35.0 / 56.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_activity_skips_unsampled() {
+        let mut store = TelemetryStore::new();
+        store.record(InstanceId(1), FieldId::SmActivity, s(0, 0.9));
+        // Instance 2 never reported; only instance 1 contributes.
+        let agg = store.weighted_activity(&[(InstanceId(1), 14), (InstanceId(2), 42)]).unwrap();
+        assert!((agg - 0.9).abs() < 1e-12);
+        assert_eq!(TelemetryStore::new().weighted_activity(&[(InstanceId(1), 14)]), None);
+    }
+
+    #[test]
+    fn trim_retention() {
+        let mut store = TelemetryStore::new();
+        let id = InstanceId(7);
+        store.record(id, FieldId::MemoryUsedGib, s(10, 5.0));
+        store.record(id, FieldId::MemoryUsedGib, s(1000, 6.0));
+        store.trim(500);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.latest(id, FieldId::MemoryUsedGib), Some(s(1000, 6.0)));
+    }
+
+    #[test]
+    fn fields_are_independent_streams() {
+        let mut store = TelemetryStore::new();
+        let id = InstanceId(1);
+        store.record(id, FieldId::SmActivity, s(0, 0.7));
+        store.record(id, FieldId::ThroughputRps, s(0, 812.0));
+        assert_eq!(store.latest(id, FieldId::SmActivity).unwrap().value, 0.7);
+        assert_eq!(store.latest(id, FieldId::ThroughputRps).unwrap().value, 812.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: apply/diff correctness over arbitrary deployment maps.
+
+use parva_deploy::{MigDeployment, Segment};
+use parva_mig::{GpuModel, InstanceProfile};
+use parva_nvml::{apply_deployment, apply_diff, diff_deployments, fleet_matches, SimNvml};
+use parva_perf::Model;
+use parva_profile::Triplet;
+use proptest::prelude::*;
+
+/// Strategy: a sequence of (service id, profile, batch, procs) placed
+/// first-fit — every generated map is valid by construction.
+fn arb_deployment(max_segments: usize) -> impl Strategy<Value = MigDeployment> {
+    prop::collection::vec(
+        (0u32..6, 0usize..5, prop::sample::select(vec![1u32, 4, 16, 64]), 1u32..=3),
+        0..max_segments,
+    )
+    .prop_map(|items| {
+        let mut d = MigDeployment::new();
+        for (svc, prof_idx, batch, procs) in items {
+            let profile = InstanceProfile::ALL[prof_idx];
+            d.place_first_fit(Segment {
+                service_id: svc,
+                model: Model::ALL[(svc as usize) % Model::ALL.len()],
+                triplet: Triplet::new(profile, batch, procs),
+                throughput_rps: 50.0 * f64::from(profile.gpcs()),
+                latency_ms: 12.0,
+            });
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apply_always_realizes_the_map(d in arb_deployment(24)) {
+        let mut nvml = SimNvml::new(0, GpuModel::A100_80GB);
+        apply_deployment(&mut nvml, &d).expect("valid map applies");
+        prop_assert!(nvml.validate());
+        prop_assert!(fleet_matches(&nvml, &d));
+        prop_assert_eq!(nvml.instances().len(), d.segments().len());
+    }
+
+    #[test]
+    fn diff_transforms_any_fleet_to_any_map(
+        old in arb_deployment(16),
+        new in arb_deployment(16),
+    ) {
+        let mut nvml = SimNvml::new(0, GpuModel::A100_80GB);
+        apply_deployment(&mut nvml, &old).expect("old applies");
+        let diff = diff_deployments(&old, &new);
+        apply_diff(&mut nvml, &diff).expect("diff applies");
+        prop_assert!(nvml.validate());
+        prop_assert!(fleet_matches(&nvml, &new));
+    }
+
+    #[test]
+    fn self_diff_is_empty(d in arb_deployment(24)) {
+        let diff = diff_deployments(&d, &d);
+        prop_assert!(diff.ops.is_empty());
+        prop_assert_eq!(diff.kept.len(), d.segments().len());
+    }
+
+    #[test]
+    fn diff_op_count_bounded_by_slot_changes(
+        old in arb_deployment(16),
+        new in arb_deployment(16),
+    ) {
+        // Minimality (upper bound): never more ops than tearing everything
+        // down and rebuilding, and kept slots are never double-counted.
+        let diff = diff_deployments(&old, &new);
+        prop_assert!(diff.ops.len() <= old.segments().len() + new.segments().len());
+        prop_assert!(
+            diff.kept.len() <= old.segments().len().min(new.segments().len())
+        );
+        // Conservation: every old slot is kept, retuned or destroyed.
+        let destroys = diff.ops.iter().filter(|o| matches!(o, parva_nvml::ReconfigOp::Destroy { .. })).count();
+        let retunes = diff.ops.iter().filter(|o| matches!(o, parva_nvml::ReconfigOp::RetuneMps { .. })).count();
+        prop_assert_eq!(diff.kept.len() + retunes + destroys, old.segments().len());
+    }
+}

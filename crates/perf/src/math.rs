@@ -1,0 +1,284 @@
+//! The batch-cycle performance equations (see crate docs for derivation).
+
+use crate::model::Model;
+use crate::params::{PerfParams, CTX_GIB_PER_PROCESS, ETA};
+use crate::resource::ComputeShare;
+use serde::{Deserialize, Serialize};
+
+/// SM-occupying compute time for one batch, ms.
+#[must_use]
+pub fn t_comp(params: &PerfParams, gpcs: f64, batch: u32) -> f64 {
+    debug_assert!(gpcs > 0.0, "compute share must be positive");
+    (params.c0 + params.c1 * f64::from(batch)) / gpcs + params.serial
+}
+
+/// Non-SM overhead (host work + transfers) for one batch, ms.
+#[must_use]
+pub fn t_ovh(params: &PerfParams, batch: u32) -> f64 {
+    params.o0 + params.o1 * f64::from(batch)
+}
+
+/// Steady-state batch cycle time with `procs` homogeneous MPS processes, ms.
+///
+/// `interference` is the pairwise-κ sum from heterogeneous co-residents on
+/// the same (non-isolated) GPU; pass `0.0` for MIG instances.
+#[must_use]
+pub fn cycle_ms_with_interference(
+    params: &PerfParams,
+    gpcs: f64,
+    batch: u32,
+    procs: u32,
+    interference: f64,
+) -> f64 {
+    let comp = t_comp(params, gpcs, batch) * (1.0 + interference.max(0.0));
+    let unsaturated = comp + t_ovh(params, batch);
+    let saturated = f64::from(procs.max(1)) * comp * ETA;
+    unsaturated.max(saturated)
+}
+
+/// Steady-state batch cycle time (isolated share), ms.
+#[must_use]
+pub fn cycle_ms(model: Model, share: ComputeShare, batch: u32, procs: u32) -> f64 {
+    let params = PerfParams::for_model(model);
+    cycle_ms_with_interference(&params, share.effective_gpcs(), batch, procs, 0.0)
+}
+
+/// Per-request inference latency (one full batch cycle), ms.
+#[must_use]
+pub fn latency_ms(model: Model, share: ComputeShare, batch: u32, procs: u32) -> f64 {
+    cycle_ms(model, share, batch, procs)
+}
+
+/// Aggregate steady-state throughput of the share, requests per second.
+#[must_use]
+pub fn throughput_rps(model: Model, share: ComputeShare, batch: u32, procs: u32) -> f64 {
+    let cycle = cycle_ms(model, share, batch, procs);
+    f64::from(procs) * f64::from(batch) * 1000.0 / cycle
+}
+
+/// GPU memory demand of `procs` MPS processes serving batches of `batch`, GiB.
+///
+/// Every process maps its own CUDA context, weights copy and activation
+/// workspace (MPS does not share allocations across processes).
+#[must_use]
+pub fn memory_gib(model: Model, batch: u32, procs: u32) -> f64 {
+    let p = PerfParams::for_model(model);
+    f64::from(procs.max(1))
+        * (CTX_GIB_PER_PROCESS + p.weights_gib + p.act_gib_per_sample * f64::from(batch))
+}
+
+/// Whether the share's memory can hold the working set (the Profiler's OOM
+/// filter, paper §III-C) on the paper's evaluation GPU (A100 80 GB).
+#[must_use]
+pub fn fits_memory(model: Model, share: ComputeShare, batch: u32, procs: u32) -> bool {
+    fits_memory_on(model, share, batch, procs, parva_mig::GpuModel::A100_80GB)
+}
+
+/// [`fits_memory`] generalized over the GPU model — the §V discussion's
+/// question: which segments stay feasible for memory-hungry workloads as
+/// per-slice memory grows (A100 → H200 → B200)?
+#[must_use]
+pub fn fits_memory_on(
+    model: Model,
+    share: ComputeShare,
+    batch: u32,
+    procs: u32,
+    gpu: parva_mig::GpuModel,
+) -> bool {
+    memory_gib(model, batch, procs) <= share.memory_gib(gpu)
+}
+
+/// One evaluated profiling point: the tuple the Profiler records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Aggregate throughput, requests/s.
+    pub throughput_rps: f64,
+    /// Per-request latency, ms.
+    pub latency_ms: f64,
+    /// GPU memory demand, GiB.
+    pub memory_gib: f64,
+}
+
+/// Evaluate the full performance point for a (share, batch, procs) triple.
+#[must_use]
+pub fn evaluate(model: Model, share: ComputeShare, batch: u32, procs: u32) -> PerfPoint {
+    PerfPoint {
+        throughput_rps: throughput_rps(model, share, batch, procs),
+        latency_ms: latency_ms(model, share, batch, procs),
+        memory_gib: memory_gib(model, batch, procs),
+    }
+}
+
+/// Fraction of the share's SMs kept busy when serving `served_rps` requests
+/// per second with the given triplet — the DCGM "SM activity" semantics used
+/// by the paper's internal-slack metric (Eq. 3): each completed batch
+/// occupies the SMs for `T_comp` ms.
+#[must_use]
+pub fn sm_activity(model: Model, share: ComputeShare, batch: u32, served_rps: f64) -> f64 {
+    let params = PerfParams::for_model(model);
+    let comp = t_comp(&params, share.effective_gpcs(), batch);
+    let batches_per_ms = served_rps / f64::from(batch) / 1000.0;
+    (batches_per_ms * comp).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_mig::InstanceProfile;
+
+    const G: [ComputeShare; 5] = [
+        ComputeShare::Mig(InstanceProfile::G1),
+        ComputeShare::Mig(InstanceProfile::G2),
+        ComputeShare::Mig(InstanceProfile::G3),
+        ComputeShare::Mig(InstanceProfile::G4),
+        ComputeShare::Mig(InstanceProfile::G7),
+    ];
+
+    #[test]
+    fn throughput_monotone_in_instance_size() {
+        for m in Model::ALL {
+            for b in [1u32, 4, 16, 64] {
+                for p in 1..=3u32 {
+                    let tputs: Vec<f64> = G.iter().map(|g| throughput_rps(m, *g, b, p)).collect();
+                    for w in tputs.windows(2) {
+                        assert!(w[1] >= w[0] - 1e-9, "{m} b={b} p={p}: {tputs:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_monotone_decreasing_in_instance_size() {
+        for m in Model::ALL {
+            for b in [1u32, 8, 32] {
+                let lats: Vec<f64> =
+                    G.iter().map(|g| latency_ms(m, *g, b, 1)).collect();
+                for w in lats.windows(2) {
+                    assert!(w[1] <= w[0] + 1e-9, "{m} b={b}: {lats:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_batch() {
+        for m in Model::ALL {
+            for g in G {
+                for p in 1..=3u32 {
+                    let lats: Vec<f64> =
+                        [1u32, 2, 4, 8, 16, 32].iter().map(|b| latency_ms(m, g, *b, p)).collect();
+                    for w in lats.windows(2) {
+                        assert!(w[1] >= w[0] - 1e-9, "{m} {g} p={p}: {lats:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_procs() {
+        for m in Model::ALL {
+            for g in G {
+                for b in [1u32, 8, 64] {
+                    let l1 = latency_ms(m, g, b, 1);
+                    let l2 = latency_ms(m, g, b, 2);
+                    let l3 = latency_ms(m, g, b, 3);
+                    assert!(l2 >= l1 - 1e-9 && l3 >= l2 - 1e-9, "{m} {g} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interference_slows_down() {
+        let params = PerfParams::for_model(Model::ResNet50);
+        let clean = cycle_ms_with_interference(&params, 3.5, 8, 1, 0.0);
+        let dirty = cycle_ms_with_interference(&params, 3.5, 8, 1, 0.25);
+        assert!(dirty > clean * 1.1);
+    }
+
+    #[test]
+    fn memory_scales_with_procs_and_batch() {
+        let m = Model::Vgg16;
+        assert!(memory_gib(m, 8, 2) > memory_gib(m, 8, 1));
+        assert!(memory_gib(m, 16, 1) > memory_gib(m, 8, 1));
+    }
+
+    #[test]
+    fn oom_on_small_instance_large_batch() {
+        // 128-sample BERT activations cannot fit a 1-GPC (10 GiB) instance.
+        assert!(!fits_memory(
+            Model::BertLarge,
+            ComputeShare::Mig(InstanceProfile::G1),
+            128,
+            1
+        ));
+        // But a tiny batch fits.
+        assert!(fits_memory(
+            Model::BertLarge,
+            ComputeShare::Mig(InstanceProfile::G1),
+            1,
+            1
+        ));
+    }
+
+    #[test]
+    fn sm_activity_bounds() {
+        let g = ComputeShare::Mig(InstanceProfile::G2);
+        let cap = throughput_rps(Model::ResNet50, g, 8, 2);
+        // Serving at capacity → activity near (but never above) 1.
+        let a = sm_activity(Model::ResNet50, g, 8, cap);
+        assert!(a > 0.5 && a <= 1.0, "{a}");
+        // Idle → zero.
+        assert_eq!(sm_activity(Model::ResNet50, g, 8, 0.0), 0.0);
+    }
+
+    #[test]
+    fn llm_memory_gates_follow_section_v() {
+        // Guanaco-65B (41 GiB weights): no instance below the full GPU fits
+        // on A100-80, but a 4-GPC instance fits from the H200 up and a
+        // 2-GPC instance on the B200 — the §V spatial-sharing argument.
+        use parva_mig::GpuModel;
+        let m = Model::Guanaco65B;
+        let g2 = ComputeShare::Mig(InstanceProfile::G2);
+        let g4 = ComputeShare::Mig(InstanceProfile::G4);
+        let g7 = ComputeShare::Mig(InstanceProfile::G7);
+        assert!(!fits_memory_on(m, g4, 1, 1, GpuModel::A100_80GB));
+        assert!(fits_memory_on(m, g7, 1, 1, GpuModel::A100_80GB));
+        assert!(fits_memory_on(m, g4, 1, 1, GpuModel::H200_141GB));
+        assert!(fits_memory_on(m, g2, 1, 1, GpuModel::B200_192GB));
+        // The lightweight 7B models fit a single slice even on A100-80.
+        assert!(fits_memory_on(Model::Guanaco7B, ComputeShare::Mig(InstanceProfile::G1), 1, 1, GpuModel::A100_80GB));
+        assert!(fits_memory_on(Model::LlamaLite7B, ComputeShare::Mig(InstanceProfile::G1), 1, 1, GpuModel::A100_80GB));
+    }
+
+    #[test]
+    fn llms_slower_than_cnns() {
+        let g7 = ComputeShare::Mig(InstanceProfile::G7);
+        assert!(latency_ms(Model::LlamaLite7B, g7, 1, 1) > latency_ms(Model::BertLarge, g7, 1, 1));
+        assert!(
+            latency_ms(Model::Guanaco65B, g7, 1, 1) > latency_ms(Model::LlamaLite7B, g7, 1, 1)
+        );
+    }
+
+    #[test]
+    fn evaluate_is_consistent() {
+        let g = ComputeShare::Mig(InstanceProfile::G3);
+        let pt = evaluate(Model::DenseNet169, g, 16, 2);
+        assert_eq!(pt.throughput_rps, throughput_rps(Model::DenseNet169, g, 16, 2));
+        assert_eq!(pt.latency_ms, latency_ms(Model::DenseNet169, g, 16, 2));
+        assert_eq!(pt.memory_gib, memory_gib(Model::DenseNet169, 16, 2));
+    }
+
+    #[test]
+    fn throughput_efficiency_peaks_at_small_instances_for_light_models() {
+        // Throughput per GPC should be no worse on g=1 than g=7 for light
+        // models at moderate batch — this is what makes Demand Matching pick
+        // small optimal segments and is the source of MIG's fine-tuning win.
+        let m = Model::MobileNetV2;
+        let per_gpc =
+            |g: ComputeShare| throughput_rps(m, g, 32, 3) / g.effective_gpcs();
+        assert!(per_gpc(G[0]) >= per_gpc(G[4]) * 0.9);
+    }
+}

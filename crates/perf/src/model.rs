@@ -1,0 +1,199 @@
+//! The 11 DNN inference workloads of the paper's evaluation (Table IV).
+
+use serde::{Deserialize, Serialize};
+
+/// A DNN inference workload from the paper's model zoo.
+///
+/// Parameter counts are the "Workload features" row of Table IV; they drive
+/// the synthetic memory model and the display tables only — the performance
+/// parameters live in [`crate::params::PerfParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Model {
+    BertLarge,
+    DenseNet121,
+    DenseNet169,
+    DenseNet201,
+    InceptionV3,
+    MobileNetV2,
+    ResNet101,
+    ResNet152,
+    ResNet50,
+    Vgg16,
+    Vgg19,
+    /// Lightweight LLaMA-class 7B model served in 8-bit (paper §V: "a
+    /// lightweight LLaMA model requires only 7GB of memory while maintaining
+    /// accuracy close to that of larger models").
+    LlamaLite7B,
+    /// Guanaco 7B with QLoRA tuning (paper §V: "memory usage of 5GB for 7B
+    /// parameters").
+    Guanaco7B,
+    /// Guanaco 65B with QLoRA tuning (paper §V: "41GB for 65B parameters").
+    Guanaco65B,
+}
+
+impl Model {
+    /// All 11 models, in the column order of Table IV.
+    pub const ALL: [Model; 11] = [
+        Model::BertLarge,
+        Model::DenseNet121,
+        Model::DenseNet169,
+        Model::DenseNet201,
+        Model::InceptionV3,
+        Model::MobileNetV2,
+        Model::ResNet101,
+        Model::ResNet152,
+        Model::ResNet50,
+        Model::Vgg16,
+        Model::Vgg19,
+    ];
+
+    /// The memory-intensive LLM workloads of the paper's §V discussion.
+    /// They are not part of the Table IV evaluation set ([`Model::ALL`]);
+    /// they drive the GPU-memory feasibility analysis on H200/B200-class
+    /// parts.
+    pub const LLMS: [Model; 3] = [Model::LlamaLite7B, Model::Guanaco7B, Model::Guanaco65B];
+
+    /// Every built-in workload: the Table IV zoo followed by the §V LLMs.
+    pub const EXTENDED: [Model; 14] = [
+        Model::BertLarge,
+        Model::DenseNet121,
+        Model::DenseNet169,
+        Model::DenseNet201,
+        Model::InceptionV3,
+        Model::MobileNetV2,
+        Model::ResNet101,
+        Model::ResNet152,
+        Model::ResNet50,
+        Model::Vgg16,
+        Model::Vgg19,
+        Model::LlamaLite7B,
+        Model::Guanaco7B,
+        Model::Guanaco65B,
+    ];
+
+    /// Human-readable name as printed in the paper.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Model::BertLarge => "BERT-large",
+            Model::DenseNet121 => "DenseNet-121",
+            Model::DenseNet169 => "DenseNet-169",
+            Model::DenseNet201 => "DenseNet-201",
+            Model::InceptionV3 => "InceptionV3",
+            Model::MobileNetV2 => "MobileNetV2",
+            Model::ResNet101 => "ResNet-101",
+            Model::ResNet152 => "ResNet-152",
+            Model::ResNet50 => "ResNet-50",
+            Model::Vgg16 => "VGG-16",
+            Model::Vgg19 => "VGG-19",
+            Model::LlamaLite7B => "LLaMA-7B-lite",
+            Model::Guanaco7B => "Guanaco-7B",
+            Model::Guanaco65B => "Guanaco-65B",
+        }
+    }
+
+    /// Number of parameters in millions (Table IV "Number of parameters").
+    #[must_use]
+    pub const fn params_millions(self) -> f64 {
+        match self {
+            Model::BertLarge => 330.0,
+            Model::DenseNet121 => 8.0,
+            Model::DenseNet169 => 14.1,
+            Model::DenseNet201 => 20.0,
+            Model::InceptionV3 => 27.2,
+            Model::MobileNetV2 => 3.5,
+            Model::ResNet101 => 44.5,
+            Model::ResNet152 => 60.2,
+            Model::ResNet50 => 25.6,
+            Model::Vgg16 => 138.4,
+            Model::Vgg19 => 143.7,
+            Model::LlamaLite7B => 6_700.0,
+            Model::Guanaco7B => 7_000.0,
+            Model::Guanaco65B => 65_000.0,
+        }
+    }
+
+    /// Parse the paper's display name (case-insensitive, punctuation-tolerant).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Model> {
+        let key: String = s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase();
+        Model::EXTENDED.iter().copied().find(|m| {
+            m.name()
+                .chars()
+                .filter(char::is_ascii_alphanumeric)
+                .collect::<String>()
+                .to_lowercase()
+                == key
+        })
+    }
+
+    /// Stable small integer id (index in [`Model::EXTENDED`]; the first 11
+    /// indices coincide with the Table IV column order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        Model::EXTENDED.iter().position(|m| *m == self).expect("model in EXTENDED")
+    }
+
+    /// Whether this is one of the §V LLM workloads.
+    #[must_use]
+    pub fn is_llm(self) -> bool {
+        Model::LLMS.contains(&self)
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_models() {
+        assert_eq!(Model::ALL.len(), 11);
+    }
+
+    #[test]
+    fn table_iv_parameter_counts() {
+        assert_eq!(Model::BertLarge.params_millions(), 330.0);
+        assert_eq!(Model::MobileNetV2.params_millions(), 3.5);
+        assert_eq!(Model::Vgg19.params_millions(), 143.7);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for m in Model::ALL {
+            assert_eq!(Model::parse(m.name()), Some(m), "{m}");
+        }
+        assert_eq!(Model::parse("resnet50"), Some(Model::ResNet50));
+        assert_eq!(Model::parse("BERT LARGE"), Some(Model::BertLarge));
+        assert_eq!(Model::parse("no-such-model"), None);
+    }
+
+    #[test]
+    fn index_is_stable() {
+        for (i, m) in Model::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        for (i, m) in Model::EXTENDED.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn extended_is_all_then_llms() {
+        assert_eq!(&Model::EXTENDED[..11], &Model::ALL[..]);
+        assert_eq!(&Model::EXTENDED[11..], &Model::LLMS[..]);
+    }
+
+    #[test]
+    fn llm_classification() {
+        assert!(Model::Guanaco65B.is_llm());
+        assert!(!Model::BertLarge.is_llm());
+        assert_eq!(Model::parse("guanaco-65b"), Some(Model::Guanaco65B));
+    }
+}

@@ -1,0 +1,108 @@
+//! Compute-share abstraction: MIG instances vs MPS fractional partitions.
+//!
+//! ParvaGPU always runs a workload inside a MIG instance (isolated, integer
+//! GPC count). The MPS-only baselines (gpulet, iGniter) instead carve a
+//! *fraction* of a whole GPU's SMs via `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`.
+//! Both map onto the same performance model through an effective GPC count.
+
+use parva_mig::InstanceProfile;
+use serde::{Deserialize, Serialize};
+
+/// A share of one GPU's compute resources assigned to a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ComputeShare {
+    /// An isolated MIG instance (1/2/3/4/7 GPCs, own L2 and memory
+    /// controllers — no inter-workload interference).
+    Mig(InstanceProfile),
+    /// An MPS partition covering `fraction` ∈ (0, 1] of a whole GPU's SMs.
+    /// Caches and memory controllers are shared, so co-located workloads
+    /// interfere (paper §II-A).
+    Fraction(f64),
+}
+
+impl ComputeShare {
+    /// Effective GPC count used by the performance model.
+    ///
+    /// A whole GPU is 7 GPCs; an MPS partition of fraction *f* behaves like
+    /// `7·f` GPCs of compute (it has no cache isolation, which is charged
+    /// separately through interference).
+    #[must_use]
+    pub fn effective_gpcs(self) -> f64 {
+        match self {
+            ComputeShare::Mig(p) => f64::from(p.gpcs()),
+            ComputeShare::Fraction(f) => 7.0 * f,
+        }
+    }
+
+    /// SM count of this share (A100: 14 SMs per GPC, 98 per GPU).
+    #[must_use]
+    pub fn sms(self) -> f64 {
+        self.effective_gpcs() * f64::from(parva_mig::SMS_PER_SLICE)
+    }
+
+    /// Memory available to the workload(s) in this share, GiB.
+    ///
+    /// MIG instances have dedicated memory (10/20/40/40/80 GiB on an 80 GiB
+    /// GPU); MPS partitions share the full GPU memory, so a partition's
+    /// nominal ceiling is the whole card (enforcement against co-residents
+    /// happens at the GPU level by the caller).
+    #[must_use]
+    pub fn memory_gib(self, gpu: parva_mig::GpuModel) -> f64 {
+        match self {
+            ComputeShare::Mig(p) => gpu.instance_memory_gib(p),
+            ComputeShare::Fraction(_) => gpu.total_memory_gib(),
+        }
+    }
+
+    /// Whether this share is isolated from co-located workloads.
+    #[must_use]
+    pub fn is_isolated(self) -> bool {
+        matches!(self, ComputeShare::Mig(_))
+    }
+}
+
+impl std::fmt::Display for ComputeShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComputeShare::Mig(p) => write!(f, "MIG:{p}"),
+            ComputeShare::Fraction(x) => write!(f, "MPS:{:.0}%", x * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_mig::GpuModel;
+
+    #[test]
+    fn mig_effective_gpcs() {
+        assert_eq!(ComputeShare::Mig(InstanceProfile::G3).effective_gpcs(), 3.0);
+        assert_eq!(ComputeShare::Mig(InstanceProfile::G7).effective_gpcs(), 7.0);
+    }
+
+    #[test]
+    fn fraction_effective_gpcs() {
+        assert!((ComputeShare::Fraction(0.5).effective_gpcs() - 3.5).abs() < 1e-12);
+        assert!((ComputeShare::Fraction(1.0).effective_gpcs() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolation() {
+        assert!(ComputeShare::Mig(InstanceProfile::G1).is_isolated());
+        assert!(!ComputeShare::Fraction(0.3).is_isolated());
+    }
+
+    #[test]
+    fn memory_ceilings() {
+        let gpu = GpuModel::A100_80GB;
+        assert_eq!(ComputeShare::Mig(InstanceProfile::G2).memory_gib(gpu), 20.0);
+        assert_eq!(ComputeShare::Fraction(0.2).memory_gib(gpu), 80.0);
+    }
+
+    #[test]
+    fn sm_counts() {
+        assert_eq!(ComputeShare::Mig(InstanceProfile::G7).sms(), 98.0);
+        assert!((ComputeShare::Fraction(0.5).sms() - 49.0).abs() < 1e-12);
+    }
+}

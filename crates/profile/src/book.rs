@@ -1,0 +1,139 @@
+//! The profile book: one profile table per registered model.
+
+use crate::sweep::SweepGrid;
+use crate::table::ProfileTable;
+use parva_perf::Model;
+use serde::{Deserialize, Serialize};
+
+/// A bundle of [`ProfileTable`]s, the Profiler's output handed to the GPU
+/// Segment Configurator (paper Fig. 2: "Profiled Data").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileBook {
+    tables: Vec<ProfileTable>,
+}
+
+impl ProfileBook {
+    /// Profile the full 11-model zoo on the paper's default grid.
+    #[must_use]
+    pub fn builtin() -> Self {
+        Self::measure(&Model::ALL, &SweepGrid::paper_default())
+    }
+
+    /// Profile the zoo with single-process triplets only (the
+    /// `ParvaGPU-single` ablation: MPS disabled, paper §IV-A).
+    #[must_use]
+    pub fn builtin_single_process() -> Self {
+        Self::measure(&Model::ALL, &SweepGrid::single_process())
+    }
+
+    /// Profile an arbitrary set of models on an arbitrary grid.
+    #[must_use]
+    pub fn measure(models: &[Model], grid: &SweepGrid) -> Self {
+        Self {
+            tables: models.iter().map(|m| ProfileTable::measure(*m, grid)).collect(),
+        }
+    }
+
+    /// Profile on a specific GPU model (per-slice memory changes the OOM
+    /// filter; see [`ProfileTable::measure_on`]). Used by the §V LLM
+    /// feasibility analysis on H200/B200-class parts.
+    #[must_use]
+    pub fn measure_on(models: &[Model], grid: &SweepGrid, gpu: parva_mig::GpuModel) -> Self {
+        Self {
+            tables: models.iter().map(|m| ProfileTable::measure_on(*m, grid, gpu)).collect(),
+        }
+    }
+
+    /// Profile with measurement noise (see
+    /// [`ProfileTable::measure_with_noise`]).
+    #[must_use]
+    pub fn measure_with_noise(
+        models: &[Model],
+        grid: &SweepGrid,
+        seed: u64,
+        rel_err: f64,
+    ) -> Self {
+        Self {
+            tables: models
+                .iter()
+                .map(|m| ProfileTable::measure_with_noise(*m, grid, seed, rel_err))
+                .collect(),
+        }
+    }
+
+    /// The table for `model`, if profiled.
+    #[must_use]
+    pub fn table(&self, model: Model) -> Option<&ProfileTable> {
+        self.tables.iter().find(|t| t.model == model)
+    }
+
+    /// All tables.
+    #[must_use]
+    pub fn tables(&self) -> &[ProfileTable] {
+        &self.tables
+    }
+
+    /// Number of profiled models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when nothing has been profiled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Serialize to a JSON string (the "profile once" artifact).
+    ///
+    /// # Errors
+    /// Propagates serializer failures (infallible for this type in practice).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Load from a JSON string produced by [`ProfileBook::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_all_models() {
+        let book = ProfileBook::builtin();
+        assert_eq!(book.len(), 11);
+        for m in Model::ALL {
+            assert!(book.table(m).is_some(), "{m}");
+        }
+    }
+
+    #[test]
+    fn single_process_book_has_no_mps_points() {
+        let book = ProfileBook::builtin_single_process();
+        for t in book.tables() {
+            assert!(t.entries().iter().all(|e| e.triplet.procs == 1));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let book = ProfileBook::measure(&[Model::ResNet50], &SweepGrid::paper_default());
+        let json = book.to_json().unwrap();
+        let back = ProfileBook::from_json(&json).unwrap();
+        assert_eq!(book, back);
+    }
+
+    #[test]
+    fn missing_model_is_none() {
+        let book = ProfileBook::measure(&[Model::ResNet50], &SweepGrid::paper_default());
+        assert!(book.table(Model::Vgg19).is_none());
+    }
+}

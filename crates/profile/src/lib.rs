@@ -1,0 +1,33 @@
+//! # parva-profile — the Profiler
+//!
+//! Implements the Profiler component of ParvaGPU's architecture (paper
+//! Fig. 2, §III-C): when a service is registered, its model is profiled once
+//! over
+//!
+//! * the **five** MIG instance sizes (1, 2, 3, 4, 7 GPCs),
+//! * **eight** batch sizes growing exponentially from 1 to 128,
+//! * up to **three** MPS process counts,
+//!
+//! recording throughput and latency at each point and dropping points whose
+//! working set exceeds the instance memory (out-of-memory, §III-C). On real
+//! hardware this is a measurement campaign; here the measurements come from
+//! the calibrated analytic model in [`parva_perf`] — the sweep structure,
+//! OOM filtering and query interface are identical.
+//!
+//! The result is a [`ProfileTable`] per model, bundled into a [`ProfileBook`]
+//! for the scheduler. Tables serialize to JSON (and CSV for the figure
+//! harness) so a "profile once, schedule many times" workflow works exactly
+//! as in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod book;
+pub mod sweep;
+pub mod table;
+pub mod triplet;
+
+pub use book::ProfileBook;
+pub use sweep::{SweepGrid, DEFAULT_BATCHES, DEFAULT_PROCS};
+pub use table::{ProfileEntry, ProfileTable};
+pub use triplet::Triplet;

@@ -1,0 +1,116 @@
+//! Sweep-grid definition: which (instance, batch, procs) points to profile.
+
+use parva_mig::InstanceProfile;
+use serde::{Deserialize, Serialize};
+
+/// The paper's default batch ladder: "a set of eight common batch sizes,
+/// exponentially increasing from 1 to 128" (§III-C).
+pub const DEFAULT_BATCHES: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// The paper's default process counts: "limit the number of processes to
+/// three, considering out-of-memory scenarios" (§III-C).
+pub const DEFAULT_PROCS: [u32; 3] = [1, 2, 3];
+
+/// A profiling sweep grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Instance sizes to profile (the 5 MIG profiles by default).
+    pub instances: Vec<InstanceProfile>,
+    /// Batch sizes to profile.
+    pub batches: Vec<u32>,
+    /// MPS process counts to profile.
+    pub procs: Vec<u32>,
+}
+
+impl SweepGrid {
+    /// The paper's grid: 5 instances × 8 batches × 3 process counts = 120
+    /// points per model.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            instances: InstanceProfile::ALL.to_vec(),
+            batches: DEFAULT_BATCHES.to_vec(),
+            procs: DEFAULT_PROCS.to_vec(),
+        }
+    }
+
+    /// Single-process grid (used by the `ParvaGPU-single` ablation and by
+    /// MIG-serving, which does not use MPS).
+    #[must_use]
+    pub fn single_process() -> Self {
+        Self {
+            procs: vec![1],
+            ..Self::paper_default()
+        }
+    }
+
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instances.len() * self.batches.len() * self.procs.len()
+    }
+
+    /// True when the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all (instance, batch, procs) points in deterministic
+    /// order (instance-major, procs-minor).
+    pub fn points(&self) -> impl Iterator<Item = (InstanceProfile, u32, u32)> + '_ {
+        self.instances.iter().flat_map(move |i| {
+            self.batches.iter().flat_map(move |b| self.procs.iter().map(move |p| (*i, *b, *p)))
+        })
+    }
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_120_points() {
+        // §III-G: I=5, B=8, P=3.
+        let g = SweepGrid::paper_default();
+        assert_eq!(g.len(), 120);
+        assert_eq!(g.points().count(), 120);
+    }
+
+    #[test]
+    fn single_process_grid() {
+        let g = SweepGrid::single_process();
+        assert_eq!(g.len(), 40);
+        assert!(g.points().all(|(_, _, p)| p == 1));
+    }
+
+    #[test]
+    fn batch_ladder_is_exponential() {
+        for w in DEFAULT_BATCHES.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert_eq!(DEFAULT_BATCHES[0], 1);
+        assert_eq!(DEFAULT_BATCHES[7], 128);
+    }
+
+    #[test]
+    fn points_deterministic_order() {
+        let g = SweepGrid::paper_default();
+        let first: Vec<_> = g.points().take(4).collect();
+        assert_eq!(
+            first,
+            vec![
+                (InstanceProfile::G1, 1, 1),
+                (InstanceProfile::G1, 1, 2),
+                (InstanceProfile::G1, 1, 3),
+                (InstanceProfile::G1, 2, 1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Profile tables: the recorded measurement points for one model.
+
+use crate::sweep::SweepGrid;
+use crate::triplet::Triplet;
+use parva_mig::InstanceProfile;
+use parva_perf::{ComputeShare, Model, PerfPoint};
+use serde::{Deserialize, Serialize};
+
+/// One recorded profiling measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// The operating point.
+    pub triplet: Triplet,
+    /// Measured throughput/latency/memory at that point.
+    pub point: PerfPoint,
+}
+
+/// All profiling measurements for one model. Out-of-memory grid points are
+/// *absent* (the paper drops them from the graphs and the search, §III-B/C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileTable {
+    /// The profiled model.
+    pub model: Model,
+    entries: Vec<ProfileEntry>,
+}
+
+impl ProfileTable {
+    /// Profile `model` over `grid` using the analytic performance substrate,
+    /// applying the OOM filter.
+    #[must_use]
+    pub fn measure(model: Model, grid: &SweepGrid) -> Self {
+        Self::measure_with_noise(model, grid, 0, 0.0)
+    }
+
+    /// Profile `model` on a specific GPU model: identical sweep, but the
+    /// OOM filter uses that GPU's per-slice memory. This is how the §V
+    /// discussion's H200/B200 feasibility questions are answered — a
+    /// memory-hungry LLM that loses every sub-7g point on an A100-80 keeps
+    /// its small-instance points on a B200.
+    #[must_use]
+    pub fn measure_on(model: Model, grid: &SweepGrid, gpu: parva_mig::GpuModel) -> Self {
+        let entries = grid
+            .points()
+            .filter(|(inst, batch, procs)| {
+                parva_perf::math::fits_memory_on(
+                    model,
+                    ComputeShare::Mig(*inst),
+                    *batch,
+                    *procs,
+                    gpu,
+                )
+            })
+            .map(|(inst, batch, procs)| ProfileEntry {
+                triplet: Triplet::new(inst, batch, procs),
+                point: parva_perf::math::evaluate(model, ComputeShare::Mig(inst), batch, procs),
+            })
+            .collect();
+        Self { model, entries }
+    }
+
+    /// Like [`ProfileTable::measure`], but perturbing every throughput and
+    /// latency measurement by a deterministic pseudo-random relative error
+    /// up to `rel_err` — modeling the measurement noise a real profiling
+    /// campaign carries (run-to-run variance, clock jitter, thermal state).
+    /// Used by the robustness ablation: how much profiling error can the
+    /// scheduler absorb before SLOs start slipping?
+    #[must_use]
+    pub fn measure_with_noise(model: Model, grid: &SweepGrid, seed: u64, rel_err: f64) -> Self {
+        let noise = |salt: u64| -> f64 {
+            if rel_err <= 0.0 {
+                return 1.0;
+            }
+            // SplitMix64-style hash → unit interval → ±rel_err.
+            let mut z = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+            1.0 + (2.0 * unit - 1.0) * rel_err
+        };
+        let entries = grid
+            .points()
+            .filter(|(inst, batch, procs)| {
+                parva_perf::math::fits_memory(model, ComputeShare::Mig(*inst), *batch, *procs)
+            })
+            .map(|(inst, batch, procs)| {
+                let point =
+                    parva_perf::math::evaluate(model, ComputeShare::Mig(inst), batch, procs);
+                let salt = (model.index() as u64) << 32
+                    | u64::from(inst.gpcs()) << 24
+                    | u64::from(batch) << 8
+                    | u64::from(procs);
+                ProfileEntry {
+                    triplet: Triplet::new(inst, batch, procs),
+                    point: parva_perf::PerfPoint {
+                        throughput_rps: point.throughput_rps * noise(salt),
+                        latency_ms: point.latency_ms * noise(salt.wrapping_add(1)),
+                        memory_gib: point.memory_gib,
+                    },
+                }
+            })
+            .collect();
+        Self { model, entries }
+    }
+
+    /// All recorded entries (OOM points excluded), in sweep order.
+    #[must_use]
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Entries restricted to one instance size.
+    pub fn entries_for_instance(
+        &self,
+        instance: InstanceProfile,
+    ) -> impl Iterator<Item = &ProfileEntry> {
+        self.entries.iter().filter(move |e| e.triplet.instance == instance)
+    }
+
+    /// Highest-throughput entry for `instance` whose latency is strictly
+    /// below `max_latency_ms` — the inner step of the Optimal Triplet
+    /// Decision (paper Alg. 1, `UPDATE_MAXTRIPLETS`).
+    #[must_use]
+    pub fn best_for_instance(
+        &self,
+        instance: InstanceProfile,
+        max_latency_ms: f64,
+    ) -> Option<ProfileEntry> {
+        self.entries_for_instance(instance)
+            .filter(|e| e.point.latency_ms < max_latency_ms)
+            .max_by(|a, b| {
+                a.point
+                    .throughput_rps
+                    .total_cmp(&b.point.throughput_rps)
+                    // Deterministic tie-break: cheaper memory first.
+                    .then(b.point.memory_gib.total_cmp(&a.point.memory_gib))
+            })
+            .copied()
+    }
+
+    /// Look up the exact entry for a triplet, if it was profiled (and not
+    /// dropped for OOM).
+    #[must_use]
+    pub fn get(&self, triplet: Triplet) -> Option<ProfileEntry> {
+        self.entries.iter().find(|e| e.triplet == triplet).copied()
+    }
+
+    /// Serialize as CSV rows `instance,batch,procs,throughput_rps,latency_ms,memory_gib`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("instance_gpcs,batch,procs,throughput_rps,latency_ms,memory_gib\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{},{},{:.2},{:.3},{:.2}\n",
+                e.triplet.instance.gpcs(),
+                e.triplet.batch,
+                e.triplet.procs,
+                e.point.throughput_rps,
+                e.point.latency_ms,
+                e.point.memory_gib
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(m: Model) -> ProfileTable {
+        ProfileTable::measure(m, &SweepGrid::paper_default())
+    }
+
+    #[test]
+    fn resnet50_full_grid_survives_oom_filter_partially() {
+        let t = table(Model::ResNet50);
+        // Some points must exist, some (big batch × procs on 1g) must be gone.
+        assert!(!t.entries().is_empty());
+        assert!(t.entries().len() < 120, "OOM filter removed nothing");
+        // b=128, p=3 on 1 GPC needs 3*(0.3+0.1+11.52) GiB >> 10 GiB.
+        assert!(t.get(Triplet::new(InstanceProfile::G1, 128, 3)).is_none());
+        // b=1, p=1 on 1 GPC always fits.
+        assert!(t.get(Triplet::new(InstanceProfile::G1, 1, 1)).is_some());
+    }
+
+    #[test]
+    fn best_for_instance_respects_latency_bound() {
+        let t = table(Model::InceptionV3);
+        let tight = t.best_for_instance(InstanceProfile::G4, 15.0).unwrap();
+        assert!(tight.point.latency_ms < 15.0);
+        let loose = t.best_for_instance(InstanceProfile::G4, 500.0).unwrap();
+        assert!(loose.point.throughput_rps >= tight.point.throughput_rps);
+    }
+
+    #[test]
+    fn best_for_instance_none_when_slo_infeasible() {
+        let t = table(Model::BertLarge);
+        // Sub-millisecond SLO: nothing qualifies.
+        assert!(t.best_for_instance(InstanceProfile::G7, 0.5).is_none());
+    }
+
+    #[test]
+    fn best_is_max_throughput() {
+        let t = table(Model::ResNet50);
+        let best = t.best_for_instance(InstanceProfile::G2, 100.0).unwrap();
+        for e in t.entries_for_instance(InstanceProfile::G2) {
+            if e.point.latency_ms < 100.0 {
+                assert!(e.point.throughput_rps <= best.point.throughput_rps);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = table(Model::MobileNetV2);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("instance_gpcs,"));
+        assert_eq!(lines.len(), t.entries().len() + 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = table(Model::Vgg16);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ProfileTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let grid = SweepGrid::paper_default();
+        let a = ProfileTable::measure_with_noise(Model::ResNet50, &grid, 7, 0.1);
+        let b = ProfileTable::measure_with_noise(Model::ResNet50, &grid, 7, 0.1);
+        assert_eq!(a, b, "noise must be reproducible");
+        let clean = ProfileTable::measure(Model::ResNet50, &grid);
+        assert_ne!(a, clean, "noise must actually perturb");
+        for (n, c) in a.entries().iter().zip(clean.entries()) {
+            assert_eq!(n.triplet, c.triplet);
+            let rel = (n.point.throughput_rps - c.point.throughput_rps).abs()
+                / c.point.throughput_rps;
+            assert!(rel <= 0.1 + 1e-9, "throughput error {rel}");
+            let rel = (n.point.latency_ms - c.point.latency_ms).abs() / c.point.latency_ms;
+            assert!(rel <= 0.1 + 1e-9, "latency error {rel}");
+        }
+    }
+
+    #[test]
+    fn zero_noise_equals_clean_measurement() {
+        let grid = SweepGrid::paper_default();
+        let a = ProfileTable::measure_with_noise(Model::Vgg16, &grid, 3, 0.0);
+        let b = ProfileTable::measure(Model::Vgg16, &grid);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let grid = SweepGrid::paper_default();
+        let a = ProfileTable::measure_with_noise(Model::ResNet50, &grid, 1, 0.05);
+        let b = ProfileTable::measure_with_noise(Model::ResNet50, &grid, 2, 0.05);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bert_oom_kills_g1_large_batches() {
+        let t = table(Model::BertLarge);
+        // 0.3+1.4+0.2*64 = 14.5 GiB > 10 GiB → gone.
+        assert!(t.get(Triplet::new(InstanceProfile::G1, 64, 1)).is_none());
+        // On the 7g/80GiB instance, p=1 b=128 fits (27.3 GiB).
+        assert!(t.get(Triplet::new(InstanceProfile::G7, 128, 1)).is_some());
+    }
+}

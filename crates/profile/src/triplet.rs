@@ -1,0 +1,58 @@
+//! The (instance size, batch size, process count) triplet.
+
+use parva_mig::InstanceProfile;
+use serde::{Deserialize, Serialize};
+
+/// A GPU-segment operating point: "Each triplet consists of an instance
+/// size, a batch size, and a process size" (paper §III-D-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triplet {
+    /// MIG instance size.
+    pub instance: InstanceProfile,
+    /// Model batch size.
+    pub batch: u32,
+    /// Number of MPS processes of the (same) workload in the instance.
+    pub procs: u32,
+}
+
+impl Triplet {
+    /// Create a triplet.
+    #[must_use]
+    pub const fn new(instance: InstanceProfile, batch: u32, procs: u32) -> Self {
+        Self { instance, batch, procs }
+    }
+
+    /// GPC count of the instance — the "cost" side of Demand Matching's
+    /// throughput-per-GPC ratio (paper Eq. 2).
+    #[must_use]
+    pub const fn gpcs(self) -> u8 {
+        self.instance.gpcs()
+    }
+}
+
+impl std::fmt::Display for Triplet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Matches the paper's Fig. 2 compact notation: e.g. "383" is
+        // instance 3, batch 8, 3 processes; batches >9 are bracketed.
+        write!(f, "({}g, b{}, p{})", self.instance.gpcs(), self.batch, self.procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Triplet::new(InstanceProfile::G3, 8, 3);
+        assert_eq!(t.gpcs(), 3);
+        assert_eq!(t.batch, 8);
+        assert_eq!(t.procs, 3);
+    }
+
+    #[test]
+    fn display() {
+        let t = Triplet::new(InstanceProfile::G4, 16, 2);
+        assert_eq!(t.to_string(), "(4g, b16, p2)");
+    }
+}

@@ -1,0 +1,168 @@
+//! Pin test: every cell of the paper's Table IV, restated independently of
+//! the crate's own tables. A transcription slip in either place fails here.
+
+use parva_perf::Model;
+use parva_scenarios::Scenario;
+
+/// (scenario, [(model, rate req/s, SLO ms); present models only]).
+fn paper_table4() -> Vec<(Scenario, Vec<(Model, f64, f64)>)> {
+    use Model::*;
+    vec![
+        (
+            Scenario::S1,
+            vec![
+                (BertLarge, 19.0, 6_434.0),
+                (DenseNet121, 353.0, 183.0),
+                (InceptionV3, 460.0, 419.0),
+                (MobileNetV2, 677.0, 167.0),
+                (ResNet50, 829.0, 205.0),
+                (Vgg19, 354.0, 397.0),
+            ],
+        ),
+        (
+            Scenario::S2,
+            vec![
+                (BertLarge, 19.0, 6_434.0),
+                (DenseNet121, 353.0, 183.0),
+                (DenseNet169, 308.0, 217.0),
+                (DenseNet201, 276.0, 169.0),
+                (InceptionV3, 460.0, 419.0),
+                (MobileNetV2, 677.0, 167.0),
+                (ResNet101, 393.0, 212.0),
+                (ResNet152, 281.0, 213.0),
+                (ResNet50, 829.0, 205.0),
+                (Vgg16, 410.0, 400.0),
+                (Vgg19, 354.0, 397.0),
+            ],
+        ),
+        (
+            Scenario::S3,
+            vec![
+                (BertLarge, 46.0, 4_294.0),
+                (DenseNet121, 728.0, 126.0),
+                (DenseNet169, 633.0, 150.0),
+                (DenseNet201, 493.0, 119.0),
+                (InceptionV3, 1_051.0, 282.0),
+                (MobileNetV2, 1_546.0, 113.0),
+                (ResNet101, 760.0, 144.0),
+                (ResNet152, 543.0, 146.0),
+                (ResNet50, 1_463.0, 138.0),
+                (Vgg16, 780.0, 227.0),
+                (Vgg19, 673.0, 265.0),
+            ],
+        ),
+        (
+            Scenario::S4,
+            vec![
+                (BertLarge, 69.0, 4_294.0),
+                (DenseNet121, 1_091.0, 126.0),
+                (DenseNet169, 949.0, 150.0),
+                (DenseNet201, 739.0, 119.0),
+                (InceptionV3, 1_576.0, 282.0),
+                (MobileNetV2, 2_318.0, 113.0),
+                (ResNet101, 1_140.0, 144.0),
+                (ResNet152, 815.0, 146.0),
+                (ResNet50, 2_195.0, 138.0),
+                (Vgg16, 1_169.0, 227.0),
+                (Vgg19, 1_010.0, 265.0),
+            ],
+        ),
+        (
+            Scenario::S5,
+            vec![
+                (BertLarge, 843.0, 2_153.0),
+                (DenseNet121, 2_228.0, 69.0),
+                (DenseNet169, 3_507.0, 84.0),
+                (DenseNet201, 1_513.0, 70.0),
+                (InceptionV3, 3_815.0, 146.0),
+                (MobileNetV2, 5_009.0, 59.0),
+                (ResNet101, 1_874.0, 77.0),
+                (ResNet152, 1_340.0, 80.0),
+                (ResNet50, 2_796.0, 72.0),
+                (Vgg16, 1_773.0, 115.0),
+                (Vgg19, 1_531.0, 134.0),
+            ],
+        ),
+        (
+            Scenario::S6,
+            vec![
+                (BertLarge, 1_264.0, 6_434.0),
+                (DenseNet121, 3_342.0, 183.0),
+                (DenseNet169, 5_260.0, 217.0),
+                (DenseNet201, 2_269.0, 169.0),
+                (InceptionV3, 5_722.0, 419.0),
+                (MobileNetV2, 7_513.0, 167.0),
+                (ResNet101, 2_811.0, 212.0),
+                (ResNet152, 2_010.0, 213.0),
+                (ResNet50, 4_196.0, 205.0),
+                (Vgg16, 2_659.0, 400.0),
+                (Vgg19, 2_296.0, 397.0),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn every_table4_cell_matches_the_paper() {
+    for (scenario, expected) in paper_table4() {
+        let services = scenario.services();
+        assert_eq!(services.len(), expected.len(), "{scenario:?}: service count");
+        for (model, rate, slo) in expected {
+            let svc = services
+                .iter()
+                .find(|s| s.model == model)
+                .unwrap_or_else(|| panic!("{scenario:?}: {model} missing"));
+            assert_eq!(svc.request_rate_rps, rate, "{scenario:?} {model} rate");
+            assert_eq!(svc.slo.latency_ms, slo, "{scenario:?} {model} SLO");
+        }
+    }
+}
+
+#[test]
+fn s1_is_a_strict_subset_of_s2() {
+    // Paper: "Scenario 1 is designed to observe performance changes when
+    // the number of services is reduced, using six models from Scenario 2."
+    let s2 = Scenario::S2.services();
+    for s1_svc in Scenario::S1.services() {
+        let twin = s2.iter().find(|s| s.model == s1_svc.model).expect("model in S2");
+        assert_eq!(twin.request_rate_rps, s1_svc.request_rate_rps);
+        assert_eq!(twin.slo.latency_ms, s1_svc.slo.latency_ms);
+    }
+}
+
+#[test]
+fn s3_to_s4_scales_rate_at_constant_slo() {
+    // Paper: "Scenarios 3 and 4 explore increasing request rates while
+    // maintaining the same SLO latency."
+    let (s3, s4) = (Scenario::S3.services(), Scenario::S4.services());
+    for (a, b) in s3.iter().zip(&s4) {
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.slo.latency_ms, b.slo.latency_ms, "{}", a.model);
+        assert!(b.request_rate_rps > a.request_rate_rps, "{}", a.model);
+        let factor = b.request_rate_rps / a.request_rate_rps;
+        assert!((1.4..1.6).contains(&factor), "{}: ×{factor:.2}", a.model);
+    }
+}
+
+#[test]
+fn s6_reuses_s2_slos_at_higher_rates() {
+    let (s2, s6) = (Scenario::S2.services(), Scenario::S6.services());
+    for (a, b) in s2.iter().zip(&s6) {
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.slo.latency_ms, b.slo.latency_ms, "{}", a.model);
+        assert!(b.request_rate_rps > 5.0 * a.request_rate_rps, "{}", a.model);
+    }
+}
+
+#[test]
+fn s5_has_the_tightest_slos() {
+    // Paper: S5 "reflect[s] conditions that require high computational
+    // power, with stricter SLO latency".
+    let min_slo = |sc: Scenario| {
+        sc.services().iter().map(|s| s.slo.latency_ms).fold(f64::INFINITY, f64::min)
+    };
+    let s5 = min_slo(Scenario::S5);
+    for sc in [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S6] {
+        assert!(s5 < min_slo(sc), "{sc:?}");
+    }
+}

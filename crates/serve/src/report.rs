@@ -1,0 +1,172 @@
+//! Serving measurement reports.
+
+use parva_des::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Per-service serving outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Service id.
+    pub service_id: u32,
+    /// Offered requests during the measurement window.
+    pub offered: u64,
+    /// Requests completed during the window.
+    pub completed: u64,
+    /// Batches completed during the window.
+    pub batches: u64,
+    /// Batches whose worst request latency exceeded the client SLO.
+    pub violated_batches: u64,
+    /// Requests completed within the client SLO.
+    pub completed_within_slo: u64,
+    /// Per-request latency distribution (ms).
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceReport {
+    /// SLO compliance rate over batches (1.0 when no batch completed).
+    #[must_use]
+    pub fn compliance_rate(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            1.0 - self.violated_batches as f64 / self.batches as f64
+        }
+    }
+
+    /// Request-level SLO compliance: in-SLO completions over *offered*
+    /// requests, so requests a crippled deployment never serves count as
+    /// violations. The batch-level [`ServiceReport::compliance_rate`]
+    /// (the paper's Fig. 8 metric) is blind to dropped traffic — a service
+    /// with zero capacity completes zero batches and scores 1.0 there;
+    /// this metric scores it 0.0. Used by the §III-F disruption analysis.
+    #[must_use]
+    pub fn request_compliance_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            (self.completed_within_slo as f64 / self.offered as f64).min(1.0)
+        }
+    }
+}
+
+/// Per-server (segment or partition) activity for the slack metric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServerActivity {
+    /// Owning service.
+    pub service_id: u32,
+    /// SMs allocated to this server.
+    pub sms: f64,
+    /// Measured SM activity ∈ [0, 1] over the window (DCGM semantics).
+    pub activity: f64,
+}
+
+/// Full serving report for one deployment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Measurement window length, seconds.
+    pub duration_s: f64,
+    /// Per-service outcomes, ordered by service id.
+    pub services: Vec<ServiceReport>,
+    /// Per-server activity (order follows the deployment's server list).
+    pub servers: Vec<ServerActivity>,
+}
+
+impl ServingReport {
+    /// Batch-weighted SLO compliance across services (Fig. 8's y-axis).
+    #[must_use]
+    pub fn overall_compliance_rate(&self) -> f64 {
+        let batches: u64 = self.services.iter().map(|s| s.batches).sum();
+        if batches == 0 {
+            return 1.0;
+        }
+        let violated: u64 = self.services.iter().map(|s| s.violated_batches).sum();
+        1.0 - violated as f64 / batches as f64
+    }
+
+    /// Offered-request-weighted SLO compliance across services, counting
+    /// unserved requests as violations (see
+    /// [`ServiceReport::request_compliance_rate`]).
+    #[must_use]
+    pub fn overall_request_compliance_rate(&self) -> f64 {
+        let offered: u64 = self.services.iter().map(|s| s.offered).sum();
+        if offered == 0 {
+            return 1.0;
+        }
+        let within: u64 = self.services.iter().map(|s| s.completed_within_slo).sum();
+        (within as f64 / offered as f64).min(1.0)
+    }
+
+    /// GPU internal slack (paper Eq. 3): `1 − Σ(SMᵢ·Aᵢ) / Σ SMᵢ`.
+    #[must_use]
+    pub fn internal_slack(&self) -> f64 {
+        let sm_total: f64 = self.servers.iter().map(|s| s.sms).sum();
+        if sm_total <= 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = self.servers.iter().map(|s| s.sms * s.activity).sum();
+        1.0 - weighted / sm_total
+    }
+
+    /// The report for one service, if present.
+    #[must_use]
+    pub fn service(&self, id: u32) -> Option<&ServiceReport> {
+        self.services.iter().find(|s| s.service_id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(id: u32, batches: u64, violated: u64) -> ServiceReport {
+        ServiceReport {
+            service_id: id,
+            offered: batches * 8,
+            completed: batches * 8,
+            batches,
+            violated_batches: violated,
+            completed_within_slo: batches * 8 - violated * 8,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    #[test]
+    fn compliance_math() {
+        let r = svc(0, 200, 7);
+        assert!((r.compliance_rate() - 0.965).abs() < 1e-12);
+        assert_eq!(svc(0, 0, 0).compliance_rate(), 1.0);
+    }
+
+    #[test]
+    fn overall_compliance_weighted_by_batches() {
+        let report = ServingReport {
+            duration_s: 10.0,
+            services: vec![svc(0, 100, 0), svc(1, 300, 30)],
+            servers: vec![],
+        };
+        // 30 violations / 400 batches.
+        assert!((report.overall_compliance_rate() - 0.925).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_slack_eq3() {
+        let report = ServingReport {
+            duration_s: 10.0,
+            services: vec![],
+            servers: vec![
+                ServerActivity { service_id: 0, sms: 42.0, activity: 1.0 },
+                ServerActivity { service_id: 1, sms: 42.0, activity: 0.5 },
+            ],
+        };
+        // 1 - (42 + 21)/84 = 0.25.
+        assert!((report.internal_slack() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let report = ServingReport { duration_s: 1.0, services: vec![], servers: vec![] };
+        assert_eq!(report.overall_compliance_rate(), 1.0);
+        assert_eq!(report.internal_slack(), 0.0);
+        assert!(report.service(3).is_none());
+    }
+}

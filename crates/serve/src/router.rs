@@ -1,0 +1,100 @@
+//! Capacity-weighted deterministic request routing.
+
+/// Weighted round-robin router (deficit style): each arrival goes to the
+/// server with the largest outstanding credit `weight_i · total − sent_i`,
+/// so long-run shares converge to the capacity weights without randomness.
+#[derive(Debug, Clone)]
+pub struct Router {
+    weights: Vec<f64>,
+    sent: Vec<u64>,
+    total: u64,
+}
+
+impl Router {
+    /// Build from capacity weights (must be non-empty; non-positive weights
+    /// are clamped to a tiny epsilon so the server can still drain).
+    #[must_use]
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "router needs at least one server");
+        let sum: f64 = weights.iter().map(|w| w.max(1e-12)).sum();
+        let weights = weights.iter().map(|w| w.max(1e-12) / sum).collect::<Vec<_>>();
+        let n = weights.len();
+        Self { weights, sent: vec![0; n], total: 0 }
+    }
+
+    /// Route one request, returning the chosen server index.
+    pub fn route(&mut self) -> usize {
+        self.total += 1;
+        let mut best = 0usize;
+        let mut best_credit = f64::NEG_INFINITY;
+        for (i, w) in self.weights.iter().enumerate() {
+            let credit = w * self.total as f64 - self.sent[i] as f64;
+            if credit > best_credit {
+                best_credit = credit;
+                best = i;
+            }
+        }
+        self.sent[best] += 1;
+        best
+    }
+
+    /// Requests sent to each server so far.
+    #[must_use]
+    pub fn sent(&self) -> &[u64] {
+        &self.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_converge_to_weights() {
+        let mut r = Router::new(vec![3.0, 1.0]);
+        for _ in 0..4000 {
+            r.route();
+        }
+        let s = r.sent();
+        assert!((s[0] as f64 / 4000.0 - 0.75).abs() < 0.01, "{s:?}");
+    }
+
+    #[test]
+    fn single_server_gets_everything() {
+        let mut r = Router::new(vec![42.0]);
+        for _ in 0..10 {
+            assert_eq!(r.route(), 0);
+        }
+    }
+
+    #[test]
+    fn equal_weights_alternate() {
+        let mut r = Router::new(vec![1.0, 1.0]);
+        let seq: Vec<usize> = (0..6).map(|_| r.route()).collect();
+        assert_eq!(seq.iter().filter(|&&i| i == 0).count(), 3);
+    }
+
+    #[test]
+    fn zero_weight_servers_starved_but_alive() {
+        let mut r = Router::new(vec![1.0, 0.0]);
+        for _ in 0..1000 {
+            r.route();
+        }
+        assert!(r.sent()[1] <= 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = Router::new(vec![2.0, 1.0, 1.0]);
+        let mut b = Router::new(vec![2.0, 1.0, 1.0]);
+        for _ in 0..100 {
+            assert_eq!(a.route(), b.route());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_rejected() {
+        let _ = Router::new(vec![]);
+    }
+}

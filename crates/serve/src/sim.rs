@@ -1,0 +1,632 @@
+//! The serving simulation proper.
+
+use crate::report::{ServerActivity, ServiceReport, ServingReport};
+use crate::router::Router;
+use parva_deploy::{Deployment, ServiceSpec};
+use parva_des::{EventQueue, LatencyHistogram, RngStream, SimTime};
+use parva_perf::interference::total_interference;
+use parva_perf::{ComputeShare, Model, PerfParams};
+use std::collections::VecDeque;
+
+/// The request arrival process offered to each service.
+///
+/// The paper's load generator offers each service its Table IV rate; a
+/// Poisson stream is the standard open-loop model (and what the SLO/2
+/// queuing budget of §IV-A is sized for). The bursty variant stresses that
+/// budget: a Markov-modulated Poisson process alternates calm and burst
+/// phases around the same mean rate, fattening the queue-length tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at the offered rate (the default).
+    Poisson,
+    /// Two-phase Markov-modulated Poisson process with the same mean rate:
+    /// phases flip after exp-distributed durations, the burst phase runs at
+    /// `burst_factor` × the calm phase's rate.
+    Mmpp {
+        /// Burst-to-calm rate ratio (> 1).
+        burst_factor: f64,
+        /// Mean phase duration, seconds.
+        mean_phase_s: f64,
+    },
+    /// Evenly spaced arrivals (variance-free control case).
+    Deterministic,
+}
+
+impl ArrivalProcess {
+    /// Instantaneous rate multiplier of the current phase.
+    fn phase_rate(self, rate_rps: f64, bursting: bool) -> f64 {
+        match self {
+            Self::Poisson | Self::Deterministic => rate_rps,
+            Self::Mmpp { burst_factor, .. } => {
+                // Mean preserved: (calm + burst)/2 = rate.
+                let calm = 2.0 * rate_rps / (1.0 + burst_factor);
+                if bursting {
+                    calm * burst_factor
+                } else {
+                    calm
+                }
+            }
+        }
+    }
+}
+
+/// Serving-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingConfig {
+    /// Warm-up period excluded from measurement, seconds.
+    pub warmup_s: f64,
+    /// Measurement window, seconds.
+    pub duration_s: f64,
+    /// Post-window drain period (events beyond it are discarded), seconds.
+    pub drain_s: f64,
+    /// Master RNG seed (per-service arrival streams derive from it).
+    pub seed: u64,
+    /// Arrival process shape.
+    pub arrivals: ArrivalProcess,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            warmup_s: 2.0,
+            duration_s: 10.0,
+            drain_s: 5.0,
+            seed: 42,
+            arrivals: ArrivalProcess::Poisson,
+        }
+    }
+}
+
+/// One executable server: a MIG segment (p processes) or an MPS partition.
+#[derive(Debug)]
+struct Server {
+    service: usize,
+    model: Model,
+    share: ComputeShare,
+    batch: u32,
+    procs: u32,
+    /// True interference sum from heterogeneous MPS co-residents.
+    interference: f64,
+    /// Adaptive-batching deadline: a partial batch launches once its oldest
+    /// request has waited this long (SLO/2 queue budget minus one full batch
+    /// cycle — the standard batching-with-timeout of Clipper/GSLICE, which
+    /// every scheduler in the paper's lineup assumes).
+    batch_timeout: SimTime,
+    queue: VecDeque<SimTime>,
+    busy: u32,
+    /// SM-occupancy microseconds accumulated inside the window.
+    busy_comp_us: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival { service: usize },
+    Done { server: usize, arrivals: Vec<SimTime>, comp_us: u64 },
+    /// Re-check `server`'s queue for an expired batch deadline.
+    Deadline { server: usize },
+}
+
+/// Batching deadline for a server: the SLO/2 queuing budget minus one full
+/// batch cycle, floored at 1 ms and capped at 250 ms (production batchers
+/// cap the artificial delay regardless of how loose the SLO is).
+fn batch_timeout(spec: &ServiceSpec, server: &Server) -> SimTime {
+    let (full_cycle, _) = batch_times(server, server.batch, server.procs);
+    let budget_us = SimTime::from_ms(spec.slo.internal_target_ms()).micros();
+    SimTime(budget_us.saturating_sub(full_cycle.micros()).clamp(1_000, 250_000))
+}
+
+fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> {
+    let idx_of = |id: u32| specs.iter().position(|s| s.id == id);
+    let mut servers = Vec::new();
+    match deployment {
+        Deployment::Mig(d) => {
+            for ps in d.segments() {
+                let Some(service) = idx_of(ps.segment.service_id) else { continue };
+                let mut server = Server {
+                    service,
+                    model: ps.segment.model,
+                    share: ComputeShare::Mig(ps.segment.triplet.instance),
+                    batch: ps.segment.triplet.batch,
+                    procs: ps.segment.triplet.procs,
+                    interference: 0.0, // MIG isolates (paper §II-B)
+                    batch_timeout: SimTime::ZERO,
+                    queue: VecDeque::new(),
+                    busy: 0,
+                    busy_comp_us: 0,
+                };
+                server.batch_timeout = batch_timeout(&specs[service], &server);
+                servers.push(server);
+            }
+        }
+        Deployment::Mps(d) => {
+            for (gi, gpu) in d.gpus.iter().enumerate() {
+                for (pi, p) in gpu.partitions.iter().enumerate() {
+                    let Some(service) = idx_of(p.service_id) else { continue };
+                    let co = d.gpus[gi].co_residents(pi);
+                    let mut server = Server {
+                        service,
+                        model: p.model,
+                        share: ComputeShare::Fraction(p.fraction),
+                        batch: p.batch,
+                        procs: p.procs.max(1),
+                        interference: total_interference(p.model, &co),
+                        batch_timeout: SimTime::ZERO,
+                        queue: VecDeque::new(),
+                        busy: 0,
+                        busy_comp_us: 0,
+                    };
+                    server.batch_timeout = batch_timeout(&specs[service], &server);
+                    servers.push(server);
+                }
+            }
+        }
+    }
+    servers
+}
+
+/// Routing weight of each server (its scheduler-predicted throughput).
+fn predicted_weights(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Vec<(usize, f64)>> {
+    // For each service index: list of (server index, weight).
+    let mut per_service: Vec<Vec<(usize, f64)>> = vec![Vec::new(); specs.len()];
+    let mut si = 0usize;
+    match deployment {
+        Deployment::Mig(d) => {
+            for ps in d.segments() {
+                if let Some(s) = specs.iter().position(|x| x.id == ps.segment.service_id) {
+                    per_service[s].push((si, ps.segment.throughput_rps));
+                    si += 1;
+                }
+            }
+        }
+        Deployment::Mps(d) => {
+            for (_, p) in d.partitions() {
+                if let Some(s) = specs.iter().position(|x| x.id == p.service_id) {
+                    per_service[s].push((si, p.throughput_rps));
+                    si += 1;
+                }
+            }
+        }
+    }
+    per_service
+}
+
+/// Service time and SM-occupancy of one batch starting now on `server` with
+/// `n_busy` concurrently active processes.
+fn batch_times(server: &Server, b_eff: u32, n_busy: u32) -> (SimTime, u64) {
+    let params = PerfParams::for_model(server.model);
+    let gpcs = server.share.effective_gpcs();
+    let cycle_ms = parva_perf::math::cycle_ms_with_interference(
+        &params,
+        gpcs,
+        b_eff,
+        n_busy,
+        server.interference,
+    );
+    let comp_ms =
+        parva_perf::math::t_comp(&params, gpcs, b_eff) * (1.0 + server.interference);
+    (SimTime::from_ms(cycle_ms), SimTime::from_ms(comp_ms).micros())
+}
+
+/// Run the serving simulation for `deployment` under `specs`' offered load.
+///
+/// Fully deterministic for a given `config.seed`.
+#[must_use]
+pub fn simulate(
+    deployment: &Deployment,
+    specs: &[ServiceSpec],
+    config: &ServingConfig,
+) -> ServingReport {
+    let mut servers = build_servers(deployment, specs);
+    let weights = predicted_weights(deployment, specs);
+    let mut routers: Vec<Option<Router>> = weights
+        .iter()
+        .map(|w| {
+            if w.is_empty() {
+                None
+            } else {
+                Some(Router::new(w.iter().map(|(_, t)| *t).collect()))
+            }
+        })
+        .collect();
+
+    let win_start = SimTime::from_secs(config.warmup_s);
+    let win_end = SimTime::from_secs(config.warmup_s + config.duration_s);
+    let sim_end = SimTime::from_secs(config.warmup_s + config.duration_s + config.drain_s);
+
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut arrival_rng: Vec<RngStream> =
+        specs.iter().map(|s| RngStream::new(config.seed, u64::from(s.id))).collect();
+
+    // MMPP phase state per service (ignored by the other processes). Phase
+    // streams are separate RNG streams so flipping the arrival process does
+    // not perturb the arrival sample path structure.
+    let mut bursting: Vec<bool> = vec![false; specs.len()];
+    let mut phase_until: Vec<SimTime> = vec![SimTime::ZERO; specs.len()];
+    let mut phase_rng: Vec<RngStream> = specs
+        .iter()
+        .map(|s| RngStream::new(config.seed ^ 0x9E37_79B9, u64::from(s.id)))
+        .collect();
+
+    // Draw the next interarrival gap for service `i` as of time `now`.
+    let next_gap = |i: usize,
+                        now: SimTime,
+                        rng: &mut Vec<RngStream>,
+                        bursting: &mut Vec<bool>,
+                        phase_until: &mut Vec<SimTime>,
+                        phase_rng: &mut Vec<RngStream>|
+     -> SimTime {
+        let rate = specs[i].request_rate_rps;
+        match config.arrivals {
+            ArrivalProcess::Poisson => rng[i].exp_interarrival(rate),
+            ArrivalProcess::Deterministic => SimTime::from_secs(1.0 / rate),
+            ArrivalProcess::Mmpp { mean_phase_s, .. } => {
+                while now >= phase_until[i] {
+                    bursting[i] = !bursting[i];
+                    phase_until[i] = phase_until[i]
+                        + phase_rng[i].exp_interarrival(1.0 / mean_phase_s.max(1e-6));
+                }
+                let phase_rate = config.arrivals.phase_rate(rate, bursting[i]);
+                rng[i].exp_interarrival(phase_rate)
+            }
+        }
+    };
+
+    // Per-service accounting.
+    let mut offered = vec![0u64; specs.len()];
+    let mut completed = vec![0u64; specs.len()];
+    let mut batches = vec![0u64; specs.len()];
+    let mut violated = vec![0u64; specs.len()];
+    let mut within_slo = vec![0u64; specs.len()];
+    let mut latency: Vec<LatencyHistogram> =
+        (0..specs.len()).map(|_| LatencyHistogram::new()).collect();
+
+    // Seed first arrivals.
+    for i in 0..specs.len() {
+        let t = next_gap(
+            i,
+            SimTime::ZERO,
+            &mut arrival_rng,
+            &mut bursting,
+            &mut phase_until,
+            &mut phase_rng,
+        );
+        q.schedule(t, Event::Arrival { service: i });
+    }
+
+    // Launch one batch of `size` on `server` (caller checked feasibility).
+    fn launch(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize, size: u32) {
+        let arrivals: Vec<SimTime> = servers[server].queue.drain(..size as usize).collect();
+        servers[server].busy += 1;
+        let n_busy = servers[server].busy;
+        let (cycle, comp_us) = batch_times(&servers[server], size, n_busy);
+        q.schedule_in(cycle, Event::Done { server, arrivals, comp_us });
+    }
+
+    // Adaptive batching: launch full batches eagerly; for a partial queue,
+    // launch once the head request's deadline expires, else arm a deadline.
+    fn try_start(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize) {
+        while servers[server].busy < servers[server].procs
+            && servers[server].queue.len() >= servers[server].batch as usize
+        {
+            let full = servers[server].batch;
+            launch(q, servers, server, full);
+        }
+        if servers[server].busy < servers[server].procs && !servers[server].queue.is_empty() {
+            let head = *servers[server].queue.front().expect("non-empty");
+            let deadline = head + servers[server].batch_timeout;
+            if q.now() >= deadline {
+                let size = servers[server].queue.len() as u32;
+                launch(q, servers, server, size.min(servers[server].batch));
+            } else {
+                q.schedule(deadline, Event::Deadline { server });
+            }
+        }
+    }
+
+    while let Some((t, ev)) = q.pop() {
+        if t > sim_end {
+            break;
+        }
+        match ev {
+            Event::Arrival { service } => {
+                // Schedule the next arrival while load generation is on.
+                let next = t + next_gap(
+                    service,
+                    t,
+                    &mut arrival_rng,
+                    &mut bursting,
+                    &mut phase_until,
+                    &mut phase_rng,
+                );
+                if next < win_end {
+                    q.schedule(next, Event::Arrival { service });
+                }
+                if t >= win_start && t < win_end {
+                    offered[service] += 1;
+                }
+                if let Some(router) = routers[service].as_mut() {
+                    let k = router.route();
+                    let (sidx, _) = weights[service][k];
+                    servers[sidx].queue.push_back(t);
+                    try_start(&mut q, &mut servers, sidx);
+                }
+            }
+            Event::Done { server, arrivals, comp_us } => {
+                servers[server].busy -= 1;
+                let service = servers[server].service;
+                let in_window = t >= win_start && t < win_end;
+                if in_window {
+                    servers[server].busy_comp_us += comp_us;
+                    batches[service] += 1;
+                    let slo_ms = specs[service].slo.latency_ms;
+                    let mut worst = 0.0f64;
+                    for a in &arrivals {
+                        let lat_ms = t.since(*a).as_ms();
+                        latency[service].record_ms(lat_ms);
+                        worst = worst.max(lat_ms);
+                        completed[service] += 1;
+                        if lat_ms <= slo_ms {
+                            within_slo[service] += 1;
+                        }
+                    }
+                    if worst > slo_ms {
+                        violated[service] += 1;
+                    }
+                }
+                try_start(&mut q, &mut servers, server);
+            }
+            Event::Deadline { server } => {
+                // Stale deadlines (batch already launched) fall through
+                // harmlessly: try_start re-evaluates the queue state.
+                try_start(&mut q, &mut servers, server);
+            }
+        }
+    }
+
+    let window_us = win_end.since(win_start).micros() as f64;
+    let server_reports = servers
+        .iter()
+        .map(|s| ServerActivity {
+            service_id: specs[s.service].id,
+            sms: s.share.sms(),
+            activity: (s.busy_comp_us as f64 / window_us).clamp(0.0, 1.0),
+        })
+        .collect();
+
+    ServingReport {
+        duration_s: config.duration_s,
+        services: specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| ServiceReport {
+                service_id: spec.id,
+                offered: offered[i],
+                completed: completed[i],
+                batches: batches[i],
+                violated_batches: violated[i],
+                completed_within_slo: within_slo[i],
+                latency: latency[i].clone(),
+            })
+            .collect(),
+        servers: server_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_core::ParvaGpu;
+    use parva_deploy::Scheduler;
+    use parva_profile::ProfileBook;
+    use parva_scenarios::Scenario;
+
+    fn quick_config() -> ServingConfig {
+        ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 7, ..Default::default() }
+    }
+
+    fn parva_s2() -> (Deployment, Vec<ServiceSpec>) {
+        let book = ProfileBook::builtin();
+        let specs = Scenario::S2.services();
+        let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+        (d, specs)
+    }
+
+    #[test]
+    fn parvagpu_s2_no_slo_violations() {
+        let (d, specs) = parva_s2();
+        let report = simulate(&d, &specs, &quick_config());
+        assert!(
+            (report.overall_compliance_rate() - 1.0).abs() < 1e-9,
+            "compliance {:.4}",
+            report.overall_compliance_rate()
+        );
+    }
+
+    #[test]
+    fn parvagpu_s2_bounded_internal_slack() {
+        // S2's configured demand (~17 GPCs) is padded to 3 full GPUs for 0%
+        // fragmentation, which physically bounds slack from below at ~20%
+        // on this substrate (see EXPERIMENTS.md); the paper's 3-5% regime
+        // is reproduced at the larger scenarios (tested in end_to_end).
+        let (d, specs) = parva_s2();
+        let report = simulate(&d, &specs, &quick_config());
+        let slack = report.internal_slack();
+        assert!(slack < 0.35, "slack {slack:.3} too high");
+        assert!(slack >= 0.0);
+    }
+
+    #[test]
+    fn conservation_laws() {
+        let (d, specs) = parva_s2();
+        let report = simulate(&d, &specs, &quick_config());
+        for s in &report.services {
+            // Completions within the window may exceed window arrivals only
+            // by what was queued at window start; bound loosely.
+            assert!(s.completed <= s.offered + 1_000, "service {}", s.service_id);
+            assert!(s.violated_batches <= s.batches);
+            assert_eq!(s.latency.count(), s.completed);
+        }
+    }
+
+    #[test]
+    fn throughput_matches_offered_rate() {
+        let (d, specs) = parva_s2();
+        let report = simulate(&d, &specs, &quick_config());
+        for (spec, s) in specs.iter().zip(&report.services) {
+            let measured_rps = s.completed as f64 / report.duration_s;
+            assert!(
+                measured_rps > spec.request_rate_rps * 0.85,
+                "service {} served only {measured_rps:.0}/{:.0} req/s",
+                spec.id,
+                spec.request_rate_rps
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let (d, specs) = parva_s2();
+        let a = simulate(&d, &specs, &quick_config());
+        let b = simulate(&d, &specs, &quick_config());
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn different_seed_different_sample_path() {
+        let (d, specs) = parva_s2();
+        let a = simulate(&d, &specs, &quick_config());
+        let b = simulate(
+            &d,
+            &specs,
+            &ServingConfig { seed: 1234, ..quick_config() },
+        );
+        let oa: u64 = a.services.iter().map(|s| s.offered).sum();
+        let ob: u64 = b.services.iter().map(|s| s.offered).sum();
+        assert_ne!(oa, ob);
+    }
+
+    #[test]
+    fn activities_bounded() {
+        let (d, specs) = parva_s2();
+        let report = simulate(&d, &specs, &quick_config());
+        for s in &report.servers {
+            assert!((0.0..=1.0).contains(&s.activity));
+            assert!(s.sms > 0.0);
+        }
+    }
+
+    #[test]
+    fn undersized_deployment_violates_slo() {
+        // Serve S2's ResNet-50 (829 req/s) with a single 1-GPC segment of
+        // roughly a third the capacity: the queue must blow through the SLO.
+        use parva_deploy::{MigDeployment, Segment};
+        use parva_mig::InstanceProfile;
+        use parva_profile::Triplet;
+        let triplet = Triplet::new(InstanceProfile::G1, 2, 1);
+        let point = parva_perf::math::evaluate(
+            parva_perf::Model::ResNet50,
+            parva_perf::ComputeShare::Mig(InstanceProfile::G1),
+            2,
+            1,
+        );
+        let mut mig = MigDeployment::new();
+        mig.place_first_fit(Segment {
+            service_id: 0,
+            model: parva_perf::Model::ResNet50,
+            triplet,
+            throughput_rps: point.throughput_rps,
+            latency_ms: point.latency_ms,
+        });
+        assert!(point.throughput_rps < 500.0, "segment unexpectedly large");
+        let real = vec![ServiceSpec::new(0, parva_perf::Model::ResNet50, 829.0, 205.0)];
+        let report = simulate(&Deployment::Mig(mig), &real, &quick_config());
+        assert!(
+            report.overall_compliance_rate() < 0.9,
+            "compliance {:.3} despite ~2× overload",
+            report.overall_compliance_rate()
+        );
+    }
+
+    #[test]
+    fn mmpp_preserves_mean_rate() {
+        let (d, specs) = parva_s2();
+        let cfg = ServingConfig {
+            duration_s: 8.0,
+            arrivals: ArrivalProcess::Mmpp { burst_factor: 4.0, mean_phase_s: 0.5 },
+            ..quick_config()
+        };
+        let report = simulate(&d, &specs, &cfg);
+        let offered: f64 =
+            report.services.iter().map(|s| s.offered as f64).sum::<f64>() / cfg.duration_s;
+        let nominal: f64 = specs.iter().map(|s| s.request_rate_rps).sum();
+        assert!(
+            (offered - nominal).abs() / nominal < 0.15,
+            "MMPP mean drifted: offered {offered:.0} vs nominal {nominal:.0}"
+        );
+    }
+
+    #[test]
+    fn bursts_fatten_the_latency_tail() {
+        let (d, specs) = parva_s2();
+        let calm = simulate(&d, &specs, &quick_config());
+        let bursty = simulate(
+            &d,
+            &specs,
+            &ServingConfig {
+                arrivals: ArrivalProcess::Mmpp { burst_factor: 6.0, mean_phase_s: 0.5 },
+                ..quick_config()
+            },
+        );
+        // Aggregate p99 across services must degrade under bursts.
+        let p99 = |r: &crate::report::ServingReport| {
+            r.services.iter().map(|s| s.latency.quantile_ms(0.99)).fold(0.0, f64::max)
+        };
+        assert!(
+            p99(&bursty) > p99(&calm),
+            "bursty p99 {:.1} ms not above calm {:.1} ms",
+            p99(&bursty),
+            p99(&calm)
+        );
+    }
+
+    #[test]
+    fn deterministic_arrivals_have_thinner_tails_than_poisson() {
+        let (d, specs) = parva_s2();
+        let poisson = simulate(&d, &specs, &quick_config());
+        let uniform = simulate(
+            &d,
+            &specs,
+            &ServingConfig { arrivals: ArrivalProcess::Deterministic, ..quick_config() },
+        );
+        let p99_sum = |r: &crate::report::ServingReport| {
+            r.services.iter().map(|s| s.latency.quantile_ms(0.99)).sum::<f64>()
+        };
+        assert!(p99_sum(&uniform) <= p99_sum(&poisson) * 1.05);
+        // And the offered counts are exact (rate × window ± rounding).
+        for (spec, s) in specs.iter().zip(&uniform.services) {
+            let expect = spec.request_rate_rps * 4.0;
+            assert!((s.offered as f64 - expect).abs() <= 2.0, "svc {}", spec.id);
+        }
+    }
+
+    #[test]
+    fn mps_deployment_runs_with_interference() {
+        let specs = Scenario::S2.services();
+        let d = parva_baselines::Gpulet::new().schedule(&specs).unwrap();
+        let report = simulate(&d, &specs, &quick_config());
+        // gpulet must at least broadly serve the load.
+        let total: u64 = report.services.iter().map(|s| s.completed).sum();
+        assert!(total > 0);
+        // And cannot beat perfect compliance.
+        assert!(report.overall_compliance_rate() <= 1.0);
+    }
+
+    #[test]
+    fn empty_deployment_serves_nothing() {
+        let specs = vec![ServiceSpec::new(0, parva_perf::Model::ResNet50, 100.0, 200.0)];
+        let d = Deployment::Mig(parva_deploy::MigDeployment::new());
+        let report = simulate(&d, &specs, &quick_config());
+        assert_eq!(report.services[0].completed, 0);
+        assert!(report.services[0].offered > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: serving-simulator physics over arbitrary single-service
+//! deployments.
+
+use parva_deploy::{Deployment, MigDeployment, Segment, ServiceSpec};
+use parva_mig::InstanceProfile;
+use parva_perf::{ComputeShare, Model};
+use parva_profile::Triplet;
+use parva_serve::{simulate, ArrivalProcess, ServingConfig};
+use proptest::prelude::*;
+
+/// A single-service MIG deployment with `n` segments of one profile, sized
+/// from the true performance model.
+fn deployment(model: Model, profile: InstanceProfile, batch: u32, procs: u32, n: usize) -> Deployment {
+    let point = parva_perf::math::evaluate(model, ComputeShare::Mig(profile), batch, procs);
+    let mut d = MigDeployment::new();
+    for _ in 0..n {
+        d.place_first_fit(Segment {
+            service_id: 0,
+            model,
+            triplet: Triplet::new(profile, batch, procs),
+            throughput_rps: point.throughput_rps,
+            latency_ms: point.latency_ms,
+        });
+    }
+    Deployment::Mig(d)
+}
+
+fn cfg(seed: u64) -> ServingConfig {
+    ServingConfig { warmup_s: 0.5, duration_s: 2.0, drain_s: 1.0, seed, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_and_bounds(
+        model_idx in 0usize..11,
+        prof_idx in 0usize..5,
+        batch in prop::sample::select(vec![1u32, 4, 16]),
+        procs in 1u32..=3,
+        seed in 0u64..1000,
+    ) {
+        let model = Model::ALL[model_idx];
+        let profile = InstanceProfile::ALL[prof_idx];
+        if !parva_perf::math::fits_memory(model, ComputeShare::Mig(profile), batch, procs) {
+            return Ok(()); // OOM point: the profiler would have dropped it
+        }
+        let d = deployment(model, profile, batch, procs, 2);
+        let cap = d.capacity_of(0);
+        // Offer 60% of capacity with a latency bound 4 full cycles wide.
+        let lat = parva_perf::latency_ms(model, ComputeShare::Mig(profile), batch, procs);
+        let spec = ServiceSpec::new(0, model, cap * 0.6, (lat * 8.0).max(20.0));
+        let report = simulate(&d, &[spec], &cfg(seed));
+        let s = &report.services[0];
+        prop_assert!(s.completed_within_slo <= s.completed);
+        prop_assert!(s.violated_batches <= s.batches);
+        prop_assert_eq!(s.latency.count(), s.completed);
+        // Latency can never beat one batch-compute floor.
+        if s.completed > 0 {
+            let floor = parva_perf::math::t_comp(
+                &parva_perf::PerfParams::for_model(model),
+                f64::from(profile.gpcs()),
+                1,
+            );
+            prop_assert!(s.latency.quantile_ms(0.01) >= floor * 0.5);
+        }
+        for server in &report.servers {
+            prop_assert!((0.0..=1.0).contains(&server.activity));
+        }
+    }
+
+    #[test]
+    fn more_capacity_never_hurts_compliance(
+        model_idx in 0usize..11,
+        seed in 0u64..100,
+    ) {
+        let model = Model::ALL[model_idx];
+        let profile = InstanceProfile::G2;
+        let batch = 8u32;
+        if !parva_perf::math::fits_memory(model, ComputeShare::Mig(profile), batch, 2) {
+            return Ok(());
+        }
+        let small = deployment(model, profile, batch, 2, 1);
+        let big = deployment(model, profile, batch, 2, 3);
+        // Offer 1.2× the small deployment's capacity: small overloads,
+        // big has 2.5× headroom.
+        let rate = small.capacity_of(0) * 1.2;
+        let lat = parva_perf::latency_ms(model, ComputeShare::Mig(profile), batch, 2);
+        let spec = ServiceSpec::new(0, model, rate, (lat * 6.0).max(20.0));
+        let r_small = simulate(&small, &[spec], &cfg(seed));
+        let r_big = simulate(&big, &[spec], &cfg(seed));
+        prop_assert!(
+            r_big.overall_request_compliance_rate()
+                >= r_small.overall_request_compliance_rate() - 0.02
+        );
+    }
+
+    #[test]
+    fn arrival_processes_agree_on_mean_throughput(
+        model_idx in 0usize..11,
+        seed in 0u64..100,
+    ) {
+        let model = Model::ALL[model_idx];
+        let d = deployment(model, InstanceProfile::G3, 8, 2, 2);
+        let rate = d.capacity_of(0) * 0.5;
+        let spec = ServiceSpec::new(0, model, rate, 10_000.0);
+        for arrivals in [
+            ArrivalProcess::Poisson,
+            ArrivalProcess::Deterministic,
+            ArrivalProcess::Mmpp { burst_factor: 3.0, mean_phase_s: 0.3 },
+        ] {
+            let c = ServingConfig { arrivals, duration_s: 4.0, ..cfg(seed) };
+            let r = simulate(&d, &[spec], &c);
+            let s = &r.services[0];
+            // Conservation at 2× headroom: everything offered in the window
+            // gets served (up to boundary effects of one batch per server).
+            prop_assert!(
+                s.completed as f64 >= s.offered as f64 * 0.93,
+                "{arrivals:?}: served {} of {} offered",
+                s.completed,
+                s.offered
+            );
+            // Deterministic arrivals additionally pin the offered count to
+            // the nominal rate (±1% for the µs rounding of the gap, which
+            // accumulates at high rates); the random processes only agree
+            // in expectation, which a 4 s window does not resolve for MMPP.
+            if arrivals == ArrivalProcess::Deterministic {
+                let tol = (rate * 4.0 * 0.01).max(2.0);
+                prop_assert!(
+                    (s.offered as f64 - rate * 4.0).abs() <= tol,
+                    "offered {} vs nominal {:.0}",
+                    s.offered,
+                    rate * 4.0
+                );
+            }
+        }
+    }
+}

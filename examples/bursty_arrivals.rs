@@ -1,0 +1,56 @@
+//! How much burstiness does the SLO/2 queuing budget absorb?
+//!
+//! The paper sizes deployments against half the client SLO (§IV-A), leaving
+//! the other half for queuing — a budget implicitly calibrated for Poisson
+//! arrivals. This example offers the same mean rates through increasingly
+//! bursty Markov-modulated Poisson processes and watches the tail walk
+//! through the budget.
+//!
+//! Run: `cargo run --release --example bursty_arrivals`
+
+use parvagpu::prelude::*;
+
+fn main() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S2.services();
+    let deployment = ParvaGpu::new(&book).schedule(&specs).expect("S2 feasible");
+    println!("ParvaGPU serves S2 on {} GPUs; offered mean load is identical in every row.\n", deployment.gpu_count());
+
+    println!(
+        "{:<16} {:>10} {:>12} {:>14}",
+        "arrivals", "batch %", "request %", "worst p99/SLO"
+    );
+    let mut cases = vec![
+        ("deterministic".to_string(), ArrivalProcess::Deterministic),
+        ("poisson".to_string(), ArrivalProcess::Poisson),
+    ];
+    for factor in [2.0, 4.0, 8.0] {
+        cases.push((
+            format!("mmpp ×{factor:.0}"),
+            ArrivalProcess::Mmpp { burst_factor: factor, mean_phase_s: 0.5 },
+        ));
+    }
+    for (label, arrivals) in cases {
+        let cfg = ServingConfig {
+            warmup_s: 1.0,
+            duration_s: 6.0,
+            drain_s: 2.0,
+            seed: 21,
+            arrivals,
+        };
+        let report = simulate(&deployment, &specs, &cfg);
+        let worst_ratio = specs
+            .iter()
+            .zip(&report.services)
+            .map(|(spec, s)| s.latency.quantile_ms(0.99) / spec.slo.latency_ms)
+            .fold(0.0, f64::max);
+        println!(
+            "{label:<16} {:>9.2}% {:>11.2}% {:>14.2}",
+            report.overall_compliance_rate() * 100.0,
+            report.overall_request_compliance_rate() * 100.0,
+            worst_ratio
+        );
+    }
+    println!("\nPoisson and ~2× bursts ride inside the SLO/2 budget; beyond that the");
+    println!("p99 crosses the SLO and compliance erodes smoothly (no cliff).");
+}

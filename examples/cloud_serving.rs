@@ -1,0 +1,51 @@
+//! Cloud serving end-to-end: schedule the paper's Scenario 2 (11 DNN
+//! services), then run the serving simulator against Poisson load and
+//! report the paper's quality metrics — SLO compliance, internal slack and
+//! external fragmentation.
+//!
+//! Run: `cargo run --release --example cloud_serving`
+
+use parvagpu::prelude::*;
+
+fn main() {
+    let profiles = ProfileBook::builtin();
+    let services = Scenario::S2.services();
+
+    println!("Scheduling {} services of scenario S2 …", services.len());
+    let scheduler = ParvaGpu::new(&profiles);
+    let deployment = scheduler.schedule(&services).expect("S2 is feasible");
+    println!("→ {} GPUs allocated", deployment.gpu_count());
+
+    println!("\nServing 10 simulated seconds of Poisson traffic …");
+    let config = ServingConfig::default();
+    let report = simulate(&deployment, &services, &config);
+
+    println!("\n=== Service quality (paper §IV-C) ===");
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>10} {:>9}",
+        "model", "offered", "served", "batches", "compliance", "p99 (ms)"
+    );
+    for (spec, svc) in services.iter().zip(&report.services) {
+        println!(
+            "{:<14} {:>9} {:>9} {:>8} {:>9.2}% {:>9.1}",
+            spec.model.name(),
+            svc.offered,
+            svc.completed,
+            svc.batches,
+            svc.compliance_rate() * 100.0,
+            svc.latency.quantile_ms(0.99),
+        );
+    }
+
+    println!("\n=== Cluster metrics ===");
+    println!("SLO compliance : {:.2}%", report.overall_compliance_rate() * 100.0);
+    println!("internal slack : {:.1}%  (Eq. 3)", internal_slack(&report) * 100.0);
+    println!(
+        "fragmentation  : {:.1}%  (Eq. 4)",
+        external_fragmentation(&deployment) * 100.0
+    );
+    assert!(
+        (report.overall_compliance_rate() - 1.0).abs() < 1e-9,
+        "ParvaGPU must not violate SLOs on S2"
+    );
+}

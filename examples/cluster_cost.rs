@@ -1,0 +1,72 @@
+//! Cluster cost planning: from a deployment map to a monthly cloud bill.
+//!
+//! The paper's evaluation rents Amazon p4de.24xlarge nodes (8× A100-80GB);
+//! clouds bill whole nodes, so the GPU savings of Figure 5 become money
+//! only after node packing. This example schedules the paper's S5 scenario
+//! (the high-request-rate one) with ParvaGPU and gpulet, packs both onto
+//! p4de nodes, and compares bills across pricing plans.
+//!
+//! Run: `cargo run --example cluster_cost`
+
+use parvagpu::cluster::{pack, CostReport, NodeType, PricingPlan};
+use parvagpu::prelude::*;
+use parvagpu::profile::ProfileBook as Book;
+
+fn main() {
+    let book = Book::builtin();
+    let services = Scenario::S5.services();
+    let node = NodeType::P4DE_24XLARGE;
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(ParvaGpu::new(&book)),
+        Box::new(parvagpu::baselines::Gpulet::new()),
+        Box::new(parvagpu::baselines::MigServing::new(&book)),
+    ];
+
+    let mut reports = Vec::new();
+    for sched in &schedulers {
+        match sched.schedule(&services) {
+            Ok(deployment) => {
+                let plan = pack(&deployment, node);
+                println!(
+                    "{:<12} {:>3} GPUs → {} node(s), {} idle GPU(s), {:.0}% GPU utilization",
+                    sched.name(),
+                    deployment.gpu_count(),
+                    plan.node_count(),
+                    plan.idle_gpus,
+                    plan.gpu_utilization() * 100.0
+                );
+                reports.push(CostReport::from_plan(sched.name(), &plan, PricingPlan::OnDemand));
+            }
+            Err(e) => println!("{:<12} infeasible: {e}", sched.name()),
+        }
+    }
+
+    println!("\nMonthly bills (on-demand):");
+    for r in &reports {
+        println!("  {:<12} ${:>10.0}/month ({} nodes)", r.scheduler, r.usd_per_month, r.nodes);
+    }
+    if let Some(parva) = reports.iter().find(|r| r.scheduler == "ParvaGPU") {
+        for r in reports.iter().filter(|r| r.scheduler != "ParvaGPU") {
+            println!(
+                "  ParvaGPU saves {:.0}% vs {}",
+                parva.saving_vs(r) * 100.0,
+                r.scheduler
+            );
+        }
+    }
+
+    println!("\nPricing plans for the ParvaGPU fleet:");
+    if let Ok(deployment) = ParvaGpu::new(&book).schedule(&services) {
+        let plan = pack(&deployment, node);
+        for pricing in [
+            PricingPlan::OnDemand,
+            PricingPlan::Reserved1Yr,
+            PricingPlan::Reserved3Yr,
+            PricingPlan::Spot,
+        ] {
+            let r = CostReport::from_plan("ParvaGPU", &plan, pricing);
+            println!("  {:<12} ${:>9.0}/month", format!("{pricing:?}"), r.usd_per_month);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Framework shoot-out on one scenario: schedule S2 with every Table I
+//! framework, then compare GPUs, fragmentation, measured internal slack and
+//! SLO compliance — a one-scenario slice of Figures 5–9. GSLICE and
+//! PARIS+ELSA appear too; per their Table I rows they reject S2's rates
+//! (no multi-GPU / multi-instance scale-out).
+//!
+//! Run: `cargo run --release --example compare_frameworks`
+
+use parvagpu::prelude::*;
+
+fn main() {
+    let profiles = ProfileBook::builtin();
+    let services = Scenario::S2.services();
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Gslice::new()),
+        Box::new(Gpulet::new()),
+        Box::new(IGniter::new()),
+        Box::new(ParisElsa::new()),
+        Box::new(MigServing::new(&profiles)),
+        Box::new(ParvaGpu::new(&profiles)),
+    ];
+
+    println!(
+        "{:<13} {:>6} {:>8} {:>8} {:>12} {:>12}",
+        "framework", "GPUs", "frag %", "slack %", "compliance %", "sched delay"
+    );
+    for sched in schedulers {
+        let start = std::time::Instant::now();
+        match sched.schedule(&services) {
+            Ok(deployment) => {
+                let delay = start.elapsed();
+                let report = simulate(&deployment, &services, &ServingConfig::default());
+                println!(
+                    "{:<13} {:>6} {:>8.1} {:>8.1} {:>12.2} {:>11.1?}",
+                    sched.name(),
+                    deployment.gpu_count(),
+                    external_fragmentation(&deployment) * 100.0,
+                    internal_slack(&report) * 100.0,
+                    report.overall_compliance_rate() * 100.0,
+                    delay
+                );
+            }
+            Err(e) => println!("{:<13} cannot run S2: {e}", sched.name()),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Autoscaling under a diurnal load curve: the paper's runtime story
+//! (§III-F) end to end. Rates swing over a simulated day; at each epoch the
+//! deployment is updated *incrementally* through ParvaGPU's reconfiguration
+//! path, and we watch fleet size, SLO compliance and reconfiguration churn.
+//!
+//! Run: `cargo run --release --example diurnal_autoscaling`
+
+use parvagpu::prelude::*;
+
+fn main() {
+    let profiles = ProfileBook::builtin();
+    // A mid-size catalogue: half of scenario S3's load as the daily mean.
+    let base: Vec<ServiceSpec> = Scenario::S3
+        .services()
+        .into_iter()
+        .map(|s| ServiceSpec::new(s.id, s.model, s.request_rate_rps * 0.5, s.slo.latency_ms))
+        .collect();
+
+    // 12 epochs ≈ one day in 2-hour steps, load swinging 0.4×–1.8×.
+    let trace = RateTrace::diurnal(12, 0.4, 1.8);
+    let serving = ServingConfig { warmup_s: 1.0, duration_s: 5.0, drain_s: 2.0, seed: 42, ..Default::default() };
+
+    println!("running {} epochs of diurnal load …\n", trace.epochs());
+    let report = run_traced(&profiles, &base, &trace, &serving).expect("feasible");
+
+    println!(
+        "{:>6} {:>6} {:>6} {:>9} {:>11} {:>8}",
+        "epoch", "load", "GPUs", "reconfigs", "compliance", "slack"
+    );
+    for e in &report.epochs {
+        println!(
+            "{:>6} {:>5.2}x {:>6} {:>9} {:>10.2}% {:>7.1}%",
+            e.epoch,
+            e.multiplier,
+            e.gpus,
+            e.reconfigured_gpus,
+            e.compliance * 100.0,
+            e.internal_slack * 100.0
+        );
+    }
+    println!(
+        "\npeak fleet {} GPUs, worst compliance {:.2}%, total churn {} GPU reconfigurations",
+        report.peak_gpus(),
+        report.min_compliance() * 100.0,
+        report.total_reconfigurations()
+    );
+    assert!(report.min_compliance() > 0.999, "SLOs must hold through the day");
+}

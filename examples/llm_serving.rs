@@ -1,0 +1,60 @@
+//! LLM serving across GPU generations — the paper's §V discussion, live.
+//!
+//! Large models gate which MIG segments are usable: a 65B QLoRA model
+//! (41 GiB of weights) only fits a full A100-80 GPU, but fits a 3-GPC
+//! instance on an H200 (141 GB) and a 2-GPC instance on a B200 (192 GB),
+//! restoring ParvaGPU-style spatial sharing for LLM fleets.
+//!
+//! Run: `cargo run --example llm_serving`
+
+use parvagpu::mig::InstanceProfile;
+use parvagpu::perf::ComputeShare;
+use parvagpu::prelude::*;
+use parvagpu::profile::SweepGrid;
+
+fn main() {
+    let services = vec![
+        ServiceSpec::new(0, Model::LlamaLite7B, 30.0, 4_000.0),
+        ServiceSpec::new(1, Model::Guanaco7B, 20.0, 5_000.0),
+        ServiceSpec::new(2, Model::Guanaco65B, 2.0, 15_000.0),
+    ];
+    let grid = SweepGrid {
+        instances: InstanceProfile::ALL.to_vec(),
+        batches: vec![1, 2, 4, 8],
+        procs: vec![1, 2, 3],
+    };
+
+    for gpu in [GpuModel::A100_80GB, GpuModel::H200_141GB, GpuModel::B200_192GB] {
+        println!("=== {} ===", gpu.name);
+
+        // Which instances can even hold each model?
+        for m in Model::LLMS {
+            let smallest = InstanceProfile::ALL.iter().copied().find(|g| {
+                parvagpu::perf::math::fits_memory_on(m, ComputeShare::Mig(*g), 1, 1, gpu)
+            });
+            println!(
+                "  {:<14} smallest feasible instance: {}",
+                m.name(),
+                smallest.map_or("none".to_string(), |g| g.to_string())
+            );
+        }
+
+        // Profile on this GPU model and schedule with ParvaGPU.
+        let book = parvagpu::profile::ProfileBook::measure_on(&Model::LLMS, &grid, gpu);
+        match ParvaGpu::new(&book).schedule(&services) {
+            Ok(deployment) => {
+                println!(
+                    "  ParvaGPU: {} GPU(s), fragmentation {:.1}%",
+                    deployment.gpu_count(),
+                    external_fragmentation(&deployment) * 100.0
+                );
+                let mig = deployment.as_mig().expect("MIG deployment");
+                for (i, gpu_state) in mig.gpus().iter().enumerate() {
+                    println!("    GPU {i}: {gpu_state}");
+                }
+            }
+            Err(e) => println!("  ParvaGPU: infeasible — {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: profile a model zoo once, register a few services, schedule
+//! them with ParvaGPU and inspect the deployment map.
+//!
+//! Run: `cargo run --example quickstart`
+
+use parvagpu::prelude::*;
+
+fn main() {
+    // 1. The Profiler sweeps every model over (instance size × batch ×
+    //    process count) once — paper §III-C. Here the measurements come from
+    //    the calibrated analytic substrate.
+    let profiles = ProfileBook::builtin();
+
+    // 2. Clients register services: a model, an offered request rate
+    //    (req/s) and an SLO latency (ms).
+    let services = vec![
+        ServiceSpec::new(0, Model::ResNet50, 829.0, 205.0),
+        ServiceSpec::new(1, Model::MobileNetV2, 677.0, 167.0),
+        ServiceSpec::new(2, Model::BertLarge, 19.0, 6_434.0),
+    ];
+
+    // 3. Schedule: Segment Configurator + Segment Allocator.
+    let scheduler = ParvaGpu::new(&profiles);
+    let (configured, deployment) = scheduler.plan(&services).expect("feasible SLOs");
+
+    println!("=== Configured services (Table II fields) ===");
+    for svc in &configured {
+        println!(
+            "{}: optimal segment {} ×{}, last segment {}",
+            svc.spec,
+            svc.opt_seg.triplet,
+            svc.num_opt_seg,
+            svc.last_seg.map_or("none".to_string(), |s| s.triplet.to_string()),
+        );
+    }
+
+    println!("\n=== Deployment map ({} GPU(s)) ===", deployment.gpu_count());
+    for (i, gpu) in deployment.gpus().iter().enumerate() {
+        println!("GPU {i}: {gpu}");
+        for ps in deployment.segments_on(i) {
+            println!("   {} at slice {}", ps.segment, ps.placement.start);
+        }
+    }
+
+    let dep = parvagpu::deploy::Deployment::Mig(deployment);
+    println!("\nexternal fragmentation: {:.1}%", external_fragmentation(&dep) * 100.0);
+    for s in &services {
+        println!(
+            "service #{} capacity {:.0} req/s for offered {:.0} req/s",
+            s.id,
+            dep.capacity_of(s.id),
+            s.request_rate_rps
+        );
+    }
+}

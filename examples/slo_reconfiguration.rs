@@ -1,0 +1,59 @@
+//! Runtime SLO reconfiguration (paper §III-F): a running deployment adapts
+//! to a tightened SLO for one service without re-profiling and without
+//! touching unaffected services' placements.
+//!
+//! Run: `cargo run --example slo_reconfiguration`
+
+use parvagpu::core::{reconfigure, ParvaGpu};
+use parvagpu::prelude::*;
+
+fn main() {
+    let profiles = ProfileBook::builtin();
+    let services = Scenario::S2.services();
+    let scheduler = ParvaGpu::new(&profiles);
+
+    let (configured, deployment) = scheduler.plan(&services).expect("S2 feasible");
+    println!("initial deployment: {} GPUs", deployment.gpu_count());
+    let inception = services.iter().find(|s| s.model == Model::InceptionV3).unwrap();
+    println!(
+        "InceptionV3 currently: SLO {:.0} ms, {} segment(s)",
+        inception.slo.latency_ms,
+        deployment.segments_of(inception.id).count()
+    );
+
+    // The client tightens InceptionV3's SLO from 419 ms to 150 ms.
+    let updated = ServiceSpec::new(
+        inception.id,
+        Model::InceptionV3,
+        inception.request_rate_rps,
+        150.0,
+    );
+    println!("\ntightening InceptionV3 SLO: 419 ms → 150 ms …");
+    let outcome = reconfigure::update_service(&scheduler, &deployment, &configured, updated)
+        .expect("still feasible");
+
+    println!("new deployment: {} GPUs", outcome.deployment.gpu_count());
+    println!(
+        "segments for InceptionV3 now: {:?}",
+        outcome
+            .deployment
+            .segments_of(updated.id)
+            .map(|ps| ps.segment.triplet.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "GPUs needing physical MIG reconfiguration: {:?} (others keep serving untouched)",
+        outcome.reconfigured_gpus
+    );
+
+    // Every new segment satisfies the *tighter* internal target.
+    for ps in outcome.deployment.segments_of(updated.id) {
+        assert!(ps.segment.latency_ms < updated.slo.internal_target_ms());
+    }
+    // And every service is still fully covered.
+    for spec in &services {
+        let rate = if spec.id == updated.id { updated.request_rate_rps } else { spec.request_rate_rps };
+        assert!(outcome.deployment.capacity_of(spec.id) + 1e-6 >= rate);
+    }
+    println!("\nall services remain covered — reconfiguration complete");
+}

@@ -1,0 +1,81 @@
+//! `parvactl` — command-line front-end to the ParvaGPU scheduler.
+//!
+//! ```text
+//! parvactl plan <services.json> [--scheduler NAME]
+//! parvactl simulate <services.json> [--scheduler NAME] [--seconds N] [--seed N]
+//! parvactl compare <services.json>
+//! parvactl cost <services.json> [--scheduler NAME]
+//! parvactl feasibility <model-name>
+//! parvactl scenarios
+//! ```
+//!
+//! `services.json` is a JSON array of `{"model", "rate_rps", "slo_ms"}`
+//! objects; see `parvagpu::cli` for the full format.
+
+use parvagpu::cli;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  parvactl plan <services.json> [--scheduler NAME]\n  \
+         parvactl simulate <services.json> [--scheduler NAME] [--seconds N] [--seed N]\n  \
+         parvactl compare <services.json>\n  \
+         parvactl cost <services.json> [--scheduler NAME]\n  \
+         parvactl feasibility <model-name>\n  parvactl scenarios\n\n\
+         schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
+         paris-elsa, mig-serving"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn read_json(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let scheduler = flag(&args, "--scheduler").unwrap_or_else(|| "parvagpu".into());
+
+    let result = match command.as_str() {
+        "plan" => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            cli::run_plan(&read_json(path), &scheduler)
+        }
+        "simulate" => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            let seconds =
+                flag(&args, "--seconds").and_then(|s| s.parse().ok()).unwrap_or(10.0);
+            let seed = flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+            cli::run_simulate(&read_json(path), &scheduler, seconds, seed)
+        }
+        "compare" => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            cli::run_compare(&read_json(path))
+        }
+        "cost" => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            cli::run_cost(&read_json(path), &scheduler)
+        }
+        "feasibility" => {
+            let Some(model) = args.get(1) else { usage() };
+            cli::run_feasibility(model)
+        }
+        "scenarios" => Ok(cli::run_scenarios()),
+        _ => usage(),
+    };
+
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

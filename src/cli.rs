@@ -1,0 +1,392 @@
+//! Library support for the `parvactl` command-line tool.
+//!
+//! All logic lives here (testable); `src/bin/parvactl.rs` is a thin shell.
+//! The input format is a JSON array of service descriptions:
+//!
+//! ```json
+//! [
+//!   {"model": "ResNet-50",    "rate_rps": 829.0, "slo_ms": 205.0},
+//!   {"model": "MobileNetV2",  "rate_rps": 677.0, "slo_ms": 167.0}
+//! ]
+//! ```
+
+use crate::prelude::*;
+use serde::Deserialize;
+
+/// One service as described in the CLI's JSON input.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ServiceInput {
+    /// Model name (the paper's display names; punctuation-insensitive).
+    pub model: String,
+    /// Offered request rate, req/s.
+    pub rate_rps: f64,
+    /// SLO latency, ms.
+    pub slo_ms: f64,
+    /// Optional explicit id (defaults to the array position).
+    #[serde(default)]
+    pub id: Option<u32>,
+}
+
+/// Parse the CLI's JSON service list.
+///
+/// # Errors
+/// Returns a human-readable message for malformed JSON, unknown models or
+/// invalid rates/SLOs.
+pub fn parse_services(json: &str) -> Result<Vec<ServiceSpec>, String> {
+    let inputs: Vec<ServiceInput> =
+        serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    if inputs.is_empty() {
+        return Err("service list is empty".into());
+    }
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let model = Model::parse(&input.model)
+                .ok_or_else(|| format!("unknown model '{}' (entry {i})", input.model))?;
+            let spec = ServiceSpec::new(
+                input.id.unwrap_or(i as u32),
+                model,
+                input.rate_rps,
+                input.slo_ms,
+            );
+            if !spec.is_valid() {
+                return Err(format!(
+                    "entry {i}: rate and SLO must be positive finite numbers"
+                ));
+            }
+            Ok(spec)
+        })
+        .collect()
+}
+
+/// Build a scheduler by CLI name.
+///
+/// # Errors
+/// Lists the valid names on mismatch.
+pub fn make_scheduler(
+    name: &str,
+    book: &ProfileBook,
+) -> Result<Box<dyn Scheduler>, String> {
+    let key = name.to_lowercase().replace(['-', '_'], "");
+    Ok(match key.as_str() {
+        "parvagpu" | "parva" => Box::new(ParvaGpu::new(book)),
+        "parvagpusingle" | "single" => Box::new(crate::core::ParvaGpuSingle::new(book)),
+        "parvagpuunoptimized" | "unoptimized" => {
+            Box::new(crate::core::ParvaGpuUnoptimized::new(book))
+        }
+        "gslice" => Box::new(crate::baselines::Gslice::new()),
+        "gpulet" => Box::new(Gpulet::new()),
+        "igniter" => Box::new(IGniter::new()),
+        "migserving" => Box::new(MigServing::new(book)),
+        "pariselsa" | "paris" => Box::new(crate::baselines::ParisElsa::new()),
+        _ => {
+            return Err(format!(
+                "unknown scheduler '{name}' (expected one of: parvagpu, single, \
+                 unoptimized, gslice, gpulet, igniter, paris-elsa, mig-serving)"
+            ))
+        }
+    })
+}
+
+/// `parvactl plan`: schedule and render the deployment.
+///
+/// # Errors
+/// Propagates parse and scheduling failures as display strings.
+pub fn run_plan(json: &str, scheduler_name: &str) -> Result<String, String> {
+    let specs = parse_services(json)?;
+    let book = ProfileBook::builtin();
+    let sched = make_scheduler(scheduler_name, &book)?;
+    let deployment = sched.schedule(&specs).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{}: {} GPU(s), external fragmentation {:.1}%\n",
+        sched.name(),
+        deployment.gpu_count(),
+        external_fragmentation(&deployment) * 100.0
+    );
+    match &deployment {
+        Deployment::Mig(d) => {
+            for (i, gpu) in d.gpus().iter().enumerate() {
+                out.push_str(&format!("GPU {i}: {gpu}\n"));
+                for ps in d.segments_on(i) {
+                    out.push_str(&format!("   {}\n", ps.segment));
+                }
+            }
+        }
+        Deployment::Mps(d) => {
+            for (i, gpu) in d.gpus.iter().enumerate() {
+                out.push_str(&format!("GPU {i}:\n"));
+                for p in &gpu.partitions {
+                    out.push_str(&format!(
+                        "   svc#{} {} {:.0}% batch {} → {:.0} req/s @ {:.1} ms\n",
+                        p.service_id,
+                        p.model,
+                        p.fraction * 100.0,
+                        p.batch,
+                        p.throughput_rps,
+                        p.latency_ms
+                    ));
+                }
+            }
+        }
+    }
+    for s in &specs {
+        out.push_str(&format!(
+            "service #{}: capacity {:.0} req/s for offered {:.0} req/s\n",
+            s.id,
+            deployment.capacity_of(s.id),
+            s.request_rate_rps
+        ));
+    }
+    Ok(out)
+}
+
+/// `parvactl simulate`: schedule, serve, report quality metrics.
+///
+/// # Errors
+/// Propagates parse and scheduling failures as display strings.
+pub fn run_simulate(
+    json: &str,
+    scheduler_name: &str,
+    seconds: f64,
+    seed: u64,
+) -> Result<String, String> {
+    let specs = parse_services(json)?;
+    let book = ProfileBook::builtin();
+    let sched = make_scheduler(scheduler_name, &book)?;
+    let deployment = sched.schedule(&specs).map_err(|e| e.to_string())?;
+    let config = ServingConfig {
+        duration_s: seconds.max(1.0),
+        seed,
+        ..ServingConfig::default()
+    };
+    let report = simulate(&deployment, &specs, &config);
+    let mut out = format!(
+        "{}: {} GPU(s) | compliance {:.2}% | internal slack {:.1}% | fragmentation {:.1}%\n",
+        sched.name(),
+        deployment.gpu_count(),
+        report.overall_compliance_rate() * 100.0,
+        internal_slack(&report) * 100.0,
+        external_fragmentation(&deployment) * 100.0
+    );
+    for (spec, svc) in specs.iter().zip(&report.services) {
+        out.push_str(&format!(
+            "service #{} {}: served {}/{} req, p99 {:.1} ms (SLO {:.0} ms), compliance {:.2}%\n",
+            spec.id,
+            spec.model,
+            svc.completed,
+            svc.offered,
+            svc.latency.quantile_ms(0.99),
+            spec.slo.latency_ms,
+            svc.compliance_rate() * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+/// `parvactl compare`: all frameworks on one service set.
+///
+/// # Errors
+/// Propagates parse failures as display strings.
+pub fn run_compare(json: &str) -> Result<String, String> {
+    let specs = parse_services(json)?;
+    let book = ProfileBook::builtin();
+    let mut out = format!(
+        "{:<22} {:>6} {:>8} {:>12}\n",
+        "framework", "GPUs", "frag %", "sched delay"
+    );
+    for name in ["gpulet", "igniter", "mig-serving", "unoptimized", "single", "parvagpu"] {
+        let sched = make_scheduler(name, &book)?;
+        let start = std::time::Instant::now();
+        match sched.schedule(&specs) {
+            Ok(d) => {
+                out.push_str(&format!(
+                    "{:<22} {:>6} {:>8.1} {:>11.1?}\n",
+                    sched.name(),
+                    d.gpu_count(),
+                    external_fragmentation(&d) * 100.0,
+                    start.elapsed()
+                ));
+            }
+            Err(e) => out.push_str(&format!("{:<22} cannot schedule: {e}\n", sched.name())),
+        }
+    }
+    Ok(out)
+}
+
+/// `parvactl cost`: schedule, pack onto p4de nodes, price the fleet.
+///
+/// # Errors
+/// Propagates parse and scheduling failures as display strings.
+pub fn run_cost(json: &str, scheduler_name: &str) -> Result<String, String> {
+    use crate::cluster::{pack, CostReport, NodeType, PricingPlan};
+    let specs = parse_services(json)?;
+    let book = ProfileBook::builtin();
+    let sched = make_scheduler(scheduler_name, &book)?;
+    let deployment = sched.schedule(&specs).map_err(|e| e.to_string())?;
+    let plan = pack(&deployment, NodeType::P4DE_24XLARGE);
+    let mut out = format!(
+        "{}: {} GPU(s) → {} p4de.24xlarge node(s), {} idle GPU(s), {:.0}% GPU utilization\n",
+        sched.name(),
+        deployment.gpu_count(),
+        plan.node_count(),
+        plan.idle_gpus,
+        plan.gpu_utilization() * 100.0
+    );
+    for pricing in [
+        PricingPlan::OnDemand,
+        PricingPlan::Reserved1Yr,
+        PricingPlan::Reserved3Yr,
+        PricingPlan::Spot,
+    ] {
+        let r = CostReport::from_plan(sched.name(), &plan, pricing);
+        out.push_str(&format!(
+            "  {:<12} ${:>9.2}/hour  ${:>11.0}/month\n",
+            format!("{pricing:?}"),
+            r.usd_per_hour,
+            r.usd_per_month
+        ));
+    }
+    Ok(out)
+}
+
+/// `parvactl feasibility`: the §V memory-feasibility matrix for a model on
+/// every catalog GPU.
+///
+/// # Errors
+/// Reports unknown model names.
+pub fn run_feasibility(model_name: &str) -> Result<String, String> {
+    use crate::mig::{GpuModel, InstanceProfile};
+    use crate::perf::ComputeShare;
+    let model = Model::parse(model_name)
+        .ok_or_else(|| format!("unknown model '{model_name}'"))?;
+    let mut out = format!("Memory feasibility of {} (batch 1, one process):\n", model.name());
+    for gpu in GpuModel::CATALOG {
+        let smallest = InstanceProfile::ALL.iter().copied().find(|g| {
+            crate::perf::math::fits_memory_on(model, ComputeShare::Mig(*g), 1, 1, gpu)
+        });
+        out.push_str(&format!(
+            "  {:<12} smallest instance: {}\n",
+            gpu.name,
+            smallest.map_or("none".to_string(), |g| format!(
+                "{} ({:.0} GiB)",
+                g,
+                gpu.instance_memory_gib(g)
+            ))
+        ));
+    }
+    Ok(out)
+}
+
+/// `parvactl scenarios`: render Table IV.
+#[must_use]
+pub fn run_scenarios() -> String {
+    let mut out = String::from("Table IV scenarios (rate req/s @ SLO ms):\n");
+    for sc in Scenario::ALL {
+        out.push_str(&format!("\n{sc} — total {:.0} req/s\n", sc.total_rate_rps()));
+        for s in sc.services() {
+            out.push_str(&format!(
+                "  {:<14} {:>6.0} @ {:>5.0}\n",
+                s.model.name(),
+                s.request_rate_rps,
+                s.slo.latency_ms
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"[
+        {"model": "ResNet-50", "rate_rps": 829.0, "slo_ms": 205.0},
+        {"model": "mobilenetv2", "rate_rps": 677.0, "slo_ms": 167.0}
+    ]"#;
+
+    #[test]
+    fn parse_good_input() {
+        let specs = parse_services(GOOD).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].model, Model::ResNet50);
+        assert_eq!(specs[1].model, Model::MobileNetV2);
+        assert_eq!(specs[1].id, 1);
+    }
+
+    #[test]
+    fn parse_explicit_ids() {
+        let json = r#"[{"model": "VGG-16", "rate_rps": 10.0, "slo_ms": 300.0, "id": 42}]"#;
+        assert_eq!(parse_services(json).unwrap()[0].id, 42);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(parse_services("not json").unwrap_err().contains("invalid JSON"));
+        assert!(parse_services("[]").unwrap_err().contains("empty"));
+        let bad_model = r#"[{"model": "GPT-9", "rate_rps": 1.0, "slo_ms": 1.0}]"#;
+        assert!(parse_services(bad_model).unwrap_err().contains("GPT-9"));
+        let bad_rate = r#"[{"model": "VGG-16", "rate_rps": -1.0, "slo_ms": 100.0}]"#;
+        assert!(parse_services(bad_rate).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn scheduler_lookup() {
+        let book = ProfileBook::builtin();
+        for name in ["parvagpu", "single", "unoptimized", "gpulet", "igniter", "MIG-serving"] {
+            assert!(make_scheduler(name, &book).is_ok(), "{name}");
+        }
+        assert!(make_scheduler("slurm", &book).is_err());
+    }
+
+    #[test]
+    fn plan_renders_deployment() {
+        let out = run_plan(GOOD, "parvagpu").unwrap();
+        assert!(out.contains("GPU 0"));
+        assert!(out.contains("fragmentation 0.0%"));
+    }
+
+    #[test]
+    fn simulate_reports_compliance() {
+        let out = run_simulate(GOOD, "parvagpu", 2.0, 7).unwrap();
+        assert!(out.contains("compliance 100.00%"), "{out}");
+    }
+
+    #[test]
+    fn compare_lists_all_frameworks() {
+        let out = run_compare(GOOD).unwrap();
+        for name in ["gpulet", "iGniter", "MIG-serving", "ParvaGPU"] {
+            assert!(out.contains(name), "{name} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn scenarios_table_renders() {
+        let out = run_scenarios();
+        assert!(out.contains("S5"));
+        assert!(out.contains("MobileNetV2"));
+    }
+
+    #[test]
+    fn new_baseline_lookup() {
+        let book = ProfileBook::builtin();
+        for name in ["gslice", "paris-elsa", "paris"] {
+            assert!(make_scheduler(name, &book).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn cost_renders_pricing_ladder() {
+        let out = run_cost(GOOD, "parvagpu").unwrap();
+        assert!(out.contains("p4de.24xlarge"), "{out}");
+        assert!(out.contains("OnDemand") && out.contains("Spot"));
+    }
+
+    #[test]
+    fn feasibility_matrix_for_llm() {
+        let out = run_feasibility("Guanaco-65B").unwrap();
+        assert!(out.contains("A100-40GB") && out.contains("none"), "{out}");
+        assert!(out.contains("B200-192GB"), "{out}");
+        assert!(run_feasibility("GPT-9").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # ParvaGPU — spatial GPU sharing for large-scale DNN inference
+//!
+//! This is the facade crate of the ParvaGPU workspace, a full reproduction of
+//! *“ParvaGPU: Efficient Spatial GPU Sharing for Large-Scale DNN Inference in
+//! Cloud Environments”* (SC 2024). It re-exports the public API of every
+//! subsystem crate so downstream users can depend on a single crate:
+//!
+//! * [`mig`] — A100/H100 MIG geometry (profiles, 19 configurations, placement)
+//! * [`perf`] — analytic DNN workload performance/memory model
+//! * [`profile`] — the Profiler (instance × batch × process sweeps)
+//! * [`deploy`] — shared deployment vocabulary and the `Scheduler` trait
+//! * [`des`] — deterministic discrete-event simulation engine
+//! * [`serve`] — cluster serving simulator (requests, batching, SLO tracking)
+//! * [`core`] — the ParvaGPU Segment Configurator and Segment Allocator
+//! * [`baselines`] — GSLICE, gpulet, iGniter, PARIS+ELSA and MIG-serving
+//!   reimplementations (the paper's Table I comparison set)
+//! * [`scenarios`] — the paper's Table IV evaluation scenarios
+//! * [`metrics`] — internal slack, external fragmentation, SLO compliance
+//! * [`nvml`] — simulated NVML/DCGM layer: instance lifecycle, minimal-diff
+//!   reconfiguration (§III-F), SM-activity telemetry
+//! * [`cluster`] — p4de.24xlarge node packing and cost accounting
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parvagpu::prelude::*;
+//!
+//! // Profile a model zoo once (paper §III-C), then schedule services.
+//! let profiles = ProfileBook::builtin();
+//! let services = vec![
+//!     ServiceSpec::new(0, Model::ResNet50, 800.0, 200.0),
+//!     ServiceSpec::new(1, Model::MobileNetV2, 600.0, 150.0),
+//! ];
+//! let scheduler = ParvaGpu::new(&profiles);
+//! let deployment = scheduler.schedule(&services).expect("feasible");
+//! assert!(deployment.gpu_count() >= 1);
+//! ```
+
+pub mod cli;
+
+pub use parva_autoscale as autoscale;
+pub use parva_baselines as baselines;
+pub use parva_cluster as cluster;
+pub use parva_core as core;
+pub use parva_deploy as deploy;
+pub use parva_des as des;
+pub use parva_metrics as metrics;
+pub use parva_mig as mig;
+pub use parva_nvml as nvml;
+pub use parva_perf as perf;
+pub use parva_profile as profile;
+pub use parva_scenarios as scenarios;
+pub use parva_serve as serve;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use parva_autoscale::{run_traced, RateTrace};
+    pub use parva_baselines::{Gpulet, Gslice, IGniter, MigServing, ParisElsa};
+    pub use parva_core::{ParvaGpu, ParvaGpuSingle, ParvaGpuUnoptimized};
+    pub use parva_deploy::{Deployment, ScheduleError, Scheduler, ServiceSpec, Slo};
+    pub use parva_metrics::{external_fragmentation, internal_slack};
+    pub use parva_mig::{GpuModel, GpuState, InstanceProfile};
+    pub use parva_perf::Model;
+    pub use parva_profile::ProfileBook;
+    pub use parva_scenarios::Scenario;
+    pub use parva_serve::{ArrivalProcess, ServingConfig, ServingReport, simulate};
+}

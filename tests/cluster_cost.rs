@@ -1,0 +1,100 @@
+//! Node packing and cost accounting over real scheduler output — the §I
+//! cost-efficiency claim at cloud billing granularity.
+
+use parvagpu::baselines::{Gpulet, MigServing};
+use parvagpu::cluster::{pack, CostReport, NodeType, PricingPlan, VCPUS_PER_PROCESS};
+use parvagpu::prelude::*;
+
+#[test]
+fn packing_respects_node_capacity_for_every_framework() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S4.services();
+    let node = NodeType::P4DE_24XLARGE;
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(ParvaGpu::new(&book)),
+        Box::new(Gpulet::new()),
+        Box::new(MigServing::new(&book)),
+    ];
+    for sched in schedulers {
+        let d = sched.schedule(&specs).unwrap();
+        let plan = pack(&d, node);
+        // Lower bound: ceil(gpus / 8); upper bound sanity: one node per GPU.
+        assert!(plan.node_count() >= node.nodes_for_gpus(d.gpu_count()), "{}", sched.name());
+        assert!(plan.node_count() <= d.gpu_count().max(1), "{}", sched.name());
+        for n in &plan.nodes {
+            assert!(n.gpu_indices.len() <= usize::from(node.gpus), "{}", sched.name());
+            assert!(n.vcpus_used <= node.vcpus, "{}", sched.name());
+        }
+        // Every deployment GPU appears exactly once.
+        let mut all: Vec<usize> =
+            plan.nodes.iter().flat_map(|n| n.gpu_indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.gpu_count()).collect::<Vec<_>>(), "{}", sched.name());
+    }
+}
+
+#[test]
+fn parvagpu_monthly_bill_never_exceeds_baselines() {
+    let book = ProfileBook::builtin();
+    let node = NodeType::P4DE_24XLARGE;
+    for scenario in Scenario::ALL {
+        let specs = scenario.services();
+        let parva = ParvaGpu::new(&book).schedule(&specs).unwrap();
+        let parva_cost =
+            CostReport::from_plan("ParvaGPU", &pack(&parva, node), PricingPlan::OnDemand);
+        for baseline in [
+            Gpulet::new().schedule(&specs).ok(),
+            MigServing::new(&book).schedule(&specs).ok(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let cost = CostReport::from_plan("baseline", &pack(&baseline, node), PricingPlan::OnDemand);
+            assert!(
+                parva_cost.usd_per_month <= cost.usd_per_month + 1e-9,
+                "{scenario:?}: ParvaGPU ${:.0} > baseline ${:.0}",
+                parva_cost.usd_per_month,
+                cost.usd_per_month
+            );
+        }
+    }
+}
+
+#[test]
+fn vcpu_accounting_counts_every_process() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S2.services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let plan = pack(&d, NodeType::P4DE_24XLARGE);
+    let total_procs: u32 = d
+        .as_mig()
+        .unwrap()
+        .segments()
+        .iter()
+        .map(|ps| ps.segment.triplet.procs)
+        .sum();
+    let total_vcpus: u32 = plan.nodes.iter().map(|n| n.vcpus_used).sum();
+    assert_eq!(total_vcpus, total_procs * VCPUS_PER_PROCESS);
+}
+
+#[test]
+fn spot_pricing_is_cheapest_reserved_in_between() {
+    let book = ProfileBook::builtin();
+    let d = ParvaGpu::new(&book).schedule(&Scenario::S3.services()).unwrap();
+    let plan = pack(&d, NodeType::P4DE_24XLARGE);
+    let bill = |p: PricingPlan| CostReport::from_plan("x", &plan, p).usd_per_month;
+    assert!(bill(PricingPlan::Spot) < bill(PricingPlan::Reserved3Yr));
+    assert!(bill(PricingPlan::Reserved3Yr) < bill(PricingPlan::Reserved1Yr));
+    assert!(bill(PricingPlan::Reserved1Yr) < bill(PricingPlan::OnDemand));
+}
+
+#[test]
+fn p4d_is_cheaper_but_smaller_memory() {
+    // The A100-40GB node is cheaper per hour; memory-heavy working sets are
+    // the reason to pay for p4de (§V's memory argument at node granularity).
+    let (p4d, p4de) = (NodeType::P4D_24XLARGE, NodeType::P4DE_24XLARGE);
+    assert!(p4d.on_demand_usd_per_hour < p4de.on_demand_usd_per_hour);
+    assert!(
+        p4d.gpu_model.total_memory_gib() < p4de.gpu_model.total_memory_gib()
+    );
+}

@@ -1,0 +1,144 @@
+//! Comparative integration tests: the cross-framework *shape* claims of the
+//! paper's evaluation (who wins, and why) must hold on this substrate.
+
+use parvagpu::prelude::*;
+
+fn gpus(sched: &dyn Scheduler, specs: &[ServiceSpec]) -> Option<usize> {
+    sched.schedule(specs).ok().map(|d| d.gpu_count())
+}
+
+#[test]
+fn parvagpu_uses_fewest_gpus_everywhere() {
+    // Paper Fig. 5: ParvaGPU conserves 46.5%/34.6%/41.0% GPUs on average vs
+    // gpulet/iGniter/MIG-serving. The invariant we pin: ParvaGPU is never
+    // beaten by any baseline in any scenario.
+    let book = ProfileBook::builtin();
+    let parva = ParvaGpu::new(&book);
+    let baselines: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Gpulet::new()),
+        Box::new(IGniter::new()),
+        Box::new(MigServing::new(&book)),
+    ];
+    for sc in Scenario::ALL {
+        let specs = sc.services();
+        let p = gpus(&parva, &specs).unwrap_or_else(|| panic!("{sc}: ParvaGPU failed"));
+        for b in &baselines {
+            if let Some(g) = gpus(b.as_ref(), &specs) {
+                assert!(p <= g, "{sc}: {} used {g} GPUs, ParvaGPU {p}", b.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn parvagpu_beats_its_own_ablations() {
+    // Fig. 5: ParvaGPU ≤ ParvaGPU-single; Fig. 7: ParvaGPU frag ≤
+    // unoptimized frag.
+    let book = ProfileBook::builtin();
+    let full = ParvaGpu::new(&book);
+    let single = ParvaGpuSingle::new(&book);
+    let unopt = ParvaGpuUnoptimized::new(&book);
+    for sc in Scenario::ALL {
+        let specs = sc.services();
+        let d_full = full.schedule(&specs).unwrap();
+        let d_single = single.schedule(&specs).unwrap();
+        let d_unopt = unopt.schedule(&specs).unwrap();
+        assert!(d_full.gpu_count() <= d_single.gpu_count(), "{sc}: MPS should not cost GPUs");
+        assert!(
+            external_fragmentation(&d_full) <= external_fragmentation(&d_unopt) + 1e-9,
+            "{sc}: optimization increased fragmentation"
+        );
+    }
+}
+
+#[test]
+fn mps_reduces_gpus_at_high_load() {
+    // Paper §IV-B1: ParvaGPU vs ParvaGPU-single shows reductions in the
+    // large scenarios (S4/S5/S6). We require a strict win in at least one.
+    let book = ProfileBook::builtin();
+    let full = ParvaGpu::new(&book);
+    let single = ParvaGpuSingle::new(&book);
+    let mut strict_win = false;
+    for sc in [Scenario::S4, Scenario::S5, Scenario::S6] {
+        let specs = sc.services();
+        let f = full.schedule(&specs).unwrap().gpu_count();
+        let s = single.schedule(&specs).unwrap().gpu_count();
+        if f < s {
+            strict_win = true;
+        }
+    }
+    assert!(strict_win, "MPS never reduced the fleet in S4-S6");
+}
+
+#[test]
+fn igniter_fails_only_high_rate_scenarios() {
+    // Paper: iGniter runs S1-S4 but not S5/S6.
+    let ign = IGniter::new();
+    for sc in [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4] {
+        assert!(ign.schedule(&sc.services()).is_ok(), "{sc} should be feasible for iGniter");
+    }
+    for sc in [Scenario::S5, Scenario::S6] {
+        assert!(
+            matches!(ign.schedule(&sc.services()), Err(ScheduleError::RateTooHigh { .. })),
+            "{sc} should exceed iGniter's per-workload ceiling"
+        );
+    }
+}
+
+#[test]
+fn fragmentation_ranking_matches_fig7() {
+    // iGniter fragments; gpulet and full ParvaGPU do not; unoptimized
+    // ParvaGPU sits in between on average.
+    let book = ProfileBook::builtin();
+    let mut unopt_frag_sum = 0.0;
+    let mut igniter_frag_sum = 0.0;
+    let mut n = 0.0;
+    for sc in [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4] {
+        let specs = sc.services();
+        let d_ign = IGniter::new().schedule(&specs).unwrap();
+        let d_unopt = ParvaGpuUnoptimized::new(&book).schedule(&specs).unwrap();
+        let d_full = ParvaGpu::new(&book).schedule(&specs).unwrap();
+        let d_gpulet = Gpulet::new().schedule(&specs).unwrap();
+        igniter_frag_sum += external_fragmentation(&d_ign);
+        unopt_frag_sum += external_fragmentation(&d_unopt);
+        n += 1.0;
+        assert!(external_fragmentation(&d_full) < 1e-9, "{sc}");
+        assert!(external_fragmentation(&d_gpulet) < 1e-6, "{sc}");
+    }
+    assert!(igniter_frag_sum / n > 0.05, "iGniter unexpectedly tight");
+    assert!(unopt_frag_sum / n > 0.0, "unoptimized ParvaGPU never fragments?");
+}
+
+#[test]
+fn slack_ordering_matches_fig6_on_s4() {
+    // Measured internal slack: ParvaGPU lowest; iGniter and MIG-serving
+    // substantially higher (paper: +32% and +30% on average). S4 is used
+    // because the small scenarios carry a padding-quantization artifact on
+    // this substrate (see EXPERIMENTS.md).
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S4.services();
+    let cfg = ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 3, ..Default::default() };
+    let slack_of = |d: &Deployment| internal_slack(&simulate(d, &specs, &cfg));
+
+    let parva = slack_of(&ParvaGpu::new(&book).schedule(&specs).unwrap());
+    let migserv = slack_of(&MigServing::new(&book).schedule(&specs).unwrap());
+    let igniter = slack_of(&IGniter::new().schedule(&specs).unwrap());
+    let gpulet = slack_of(&Gpulet::new().schedule(&specs).unwrap());
+
+    assert!(parva < migserv, "ParvaGPU {parva:.3} vs MIG-serving {migserv:.3}");
+    assert!(parva < igniter, "ParvaGPU {parva:.3} vs iGniter {igniter:.3}");
+    assert!(parva < gpulet, "ParvaGPU {parva:.3} vs gpulet {gpulet:.3}");
+    assert!(migserv > parva + 0.10, "MIG-serving slack gap too small: {migserv:.3}");
+    assert!(gpulet > parva + 0.10, "gpulet slack gap too small: {gpulet:.3}");
+}
+
+#[test]
+fn high_rate_support_matches_table1() {
+    // gpulet, MIG-serving and ParvaGPU handle S6; iGniter does not.
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S6.services();
+    assert!(Gpulet::new().schedule(&specs).is_ok());
+    assert!(MigServing::new(&book).schedule(&specs).is_ok());
+    assert!(ParvaGpu::new(&book).schedule(&specs).is_ok());
+    assert!(IGniter::new().schedule(&specs).is_err());
+}

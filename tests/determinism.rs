@@ -1,0 +1,61 @@
+//! Reproducibility: identical inputs must produce bit-identical outputs
+//! across the whole pipeline — schedulers, serving simulation, metrics.
+
+use parvagpu::prelude::*;
+
+#[test]
+fn schedulers_are_pure_functions() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S3.services();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(ParvaGpu::new(&book)),
+        Box::new(ParvaGpuSingle::new(&book)),
+        Box::new(ParvaGpuUnoptimized::new(&book)),
+        Box::new(Gpulet::new()),
+        Box::new(IGniter::new()),
+        Box::new(MigServing::new(&book)),
+    ];
+    for s in schedulers {
+        let a = s.schedule(&specs);
+        let b = s.schedule(&specs);
+        assert_eq!(a, b, "{} is nondeterministic", s.name());
+    }
+}
+
+#[test]
+fn serving_simulation_reproducible() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S1.services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let cfg = ServingConfig { warmup_s: 0.5, duration_s: 3.0, drain_s: 1.0, seed: 99, ..Default::default() };
+    let a = simulate(&d, &specs, &cfg);
+    let b = simulate(&d, &specs, &cfg);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "serving simulation diverged under a fixed seed"
+    );
+}
+
+#[test]
+fn profile_book_is_stable() {
+    let a = ProfileBook::builtin();
+    let b = ProfileBook::builtin();
+    assert_eq!(a, b);
+    // And survives serialization.
+    let json = a.to_json().unwrap();
+    assert_eq!(ProfileBook::from_json(&json).unwrap(), a);
+}
+
+#[test]
+fn service_order_does_not_change_gpu_count() {
+    // The allocator sorts by segment size internally; permuting the service
+    // list may reshuffle placements but must not change fleet size.
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let mut specs = Scenario::S2.services();
+    let forward = sched.schedule(&specs).unwrap().gpu_count();
+    specs.reverse();
+    let backward = sched.schedule(&specs).unwrap().gpu_count();
+    assert_eq!(forward, backward);
+}

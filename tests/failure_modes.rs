@@ -1,0 +1,122 @@
+//! Failure-injection integration tests: infeasible inputs must fail loudly
+//! and precisely, never panic or silently under-provision.
+
+use parvagpu::prelude::*;
+use parvagpu::profile::SweepGrid;
+
+#[test]
+fn impossible_slo_is_infeasible_for_every_framework() {
+    let book = ProfileBook::builtin();
+    let specs = vec![ServiceSpec::new(0, Model::BertLarge, 50.0, 2.0)];
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(ParvaGpu::new(&book)),
+        Box::new(ParvaGpuSingle::new(&book)),
+        Box::new(ParvaGpuUnoptimized::new(&book)),
+        Box::new(Gpulet::new()),
+        Box::new(IGniter::new()),
+        Box::new(MigServing::new(&book)),
+    ];
+    for s in schedulers {
+        assert!(s.schedule(&specs).is_err(), "{} accepted an impossible SLO", s.name());
+    }
+}
+
+#[test]
+fn invalid_specs_rejected() {
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    for bad in [
+        ServiceSpec::new(0, Model::ResNet50, 0.0, 100.0),
+        ServiceSpec::new(1, Model::ResNet50, -10.0, 100.0),
+        ServiceSpec::new(2, Model::ResNet50, 100.0, 0.0),
+        ServiceSpec::new(3, Model::ResNet50, f64::NAN, 100.0),
+    ] {
+        assert!(
+            matches!(
+                sched.schedule(&[bad]),
+                Err(ScheduleError::InvalidService { .. })
+            ),
+            "accepted {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn unprofiled_model_reported_with_service_id() {
+    let book = ProfileBook::measure(&[Model::ResNet50], &SweepGrid::paper_default());
+    let sched = ParvaGpu::new(&book);
+    let specs = vec![
+        ServiceSpec::new(0, Model::ResNet50, 100.0, 200.0),
+        ServiceSpec::new(77, Model::Vgg19, 100.0, 200.0),
+    ];
+    assert_eq!(
+        sched.schedule(&specs),
+        Err(ScheduleError::NotProfiled { service_id: 77 })
+    );
+}
+
+#[test]
+fn one_bad_service_fails_the_whole_batch() {
+    // A deployment must satisfy *every* SLO (paper §I); partial deployments
+    // are not a thing.
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let mut specs = Scenario::S2.services();
+    specs.push(ServiceSpec::new(99, Model::BertLarge, 10.0, 1.0));
+    assert!(matches!(
+        sched.schedule(&specs),
+        Err(ScheduleError::InfeasibleSlo { service_id: 99, .. })
+    ));
+}
+
+#[test]
+fn oom_constrained_service_still_schedulable_on_big_instances() {
+    // A memory-hungry configuration (BERT at huge batch) is OOM on small
+    // instances; the Configurator must route around it via larger ones.
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let specs = vec![ServiceSpec::new(0, Model::BertLarge, 400.0, 3_000.0)];
+    let d = sched.schedule(&specs).expect("feasible via large instances");
+    assert!(d.capacity_of(0) >= 400.0);
+}
+
+#[test]
+fn empty_service_list_yields_empty_deployment() {
+    let book = ProfileBook::builtin();
+    for s in [
+        Box::new(ParvaGpu::new(&book)) as Box<dyn Scheduler>,
+        Box::new(Gpulet::new()),
+        Box::new(IGniter::new()),
+        Box::new(MigServing::new(&book)),
+    ] {
+        let d = s.schedule(&[]).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        assert_eq!(d.gpu_count(), 0, "{}", s.name());
+    }
+}
+
+#[test]
+fn extreme_rate_still_covered() {
+    // 20k req/s of MobileNetV2 — dozens of segments across many GPUs.
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let specs = vec![ServiceSpec::new(0, Model::MobileNetV2, 20_000.0, 167.0)];
+    let d = sched.schedule(&specs).unwrap();
+    assert!(d.capacity_of(0) >= 20_000.0);
+    assert!(d.gpu_count() >= 2);
+    assert!(external_fragmentation(&d) < 1e-9);
+}
+
+#[test]
+fn duplicate_service_ids_do_not_corrupt_state() {
+    // Two services sharing an id is a client error, but the deployment must
+    // still validate structurally (capacity queries aggregate them).
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let specs = vec![
+        ServiceSpec::new(5, Model::ResNet50, 300.0, 205.0),
+        ServiceSpec::new(5, Model::MobileNetV2, 300.0, 167.0),
+    ];
+    if let Ok(d) = sched.schedule(&specs) {
+        assert!(d.validate());
+    }
+}

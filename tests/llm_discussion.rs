@@ -1,0 +1,116 @@
+//! The §V discussion, end to end: memory-intensive LLM workloads on
+//! successive GPU generations.
+
+use parvagpu::mig::InstanceProfile;
+use parvagpu::perf::math::fits_memory_on;
+use parvagpu::perf::ComputeShare;
+use parvagpu::prelude::*;
+use parvagpu::profile::{ProfileBook as Book, ProfileTable, SweepGrid};
+
+fn llm_grid() -> SweepGrid {
+    SweepGrid {
+        instances: InstanceProfile::ALL.to_vec(),
+        batches: vec![1, 2, 4, 8],
+        procs: vec![1, 2, 3],
+    }
+}
+
+fn llm_services() -> Vec<ServiceSpec> {
+    vec![
+        ServiceSpec::new(0, Model::LlamaLite7B, 30.0, 4_000.0),
+        ServiceSpec::new(1, Model::Guanaco7B, 20.0, 5_000.0),
+        ServiceSpec::new(2, Model::Guanaco65B, 2.0, 15_000.0),
+    ]
+}
+
+/// Smallest instance profile whose memory holds the model at batch 1.
+fn smallest_fit(model: Model, gpu: GpuModel) -> Option<InstanceProfile> {
+    InstanceProfile::ALL
+        .iter()
+        .copied()
+        .find(|g| fits_memory_on(model, ComputeShare::Mig(*g), 1, 1, gpu))
+}
+
+#[test]
+fn paper_quoted_memory_footprints() {
+    // §V: 7 GB (lightweight LLaMA), 5 GB (Guanaco 7B QLoRA), 41 GB
+    // (Guanaco 65B) — weights only; the working set adds context + KV.
+    let weights = |m: Model| parvagpu::perf::PerfParams::for_model(m).weights_gib;
+    assert_eq!(weights(Model::LlamaLite7B), 7.0);
+    assert_eq!(weights(Model::Guanaco7B), 5.0);
+    assert_eq!(weights(Model::Guanaco65B), 41.0);
+}
+
+#[test]
+fn feasibility_ladder_improves_with_gpu_memory() {
+    // For every LLM, the smallest feasible instance is non-increasing in
+    // GPU memory, and the 65B model specifically walks 7g → 3g → 2g.
+    let gpus = [GpuModel::A100_80GB, GpuModel::H200_141GB, GpuModel::B200_192GB];
+    for m in Model::LLMS {
+        let ladder: Vec<Option<u8>> =
+            gpus.iter().map(|g| smallest_fit(m, *g).map(|p| p.gpcs())).collect();
+        for w in ladder.windows(2) {
+            let (a, b) = (w[0].unwrap_or(u8::MAX), w[1].unwrap_or(u8::MAX));
+            assert!(b <= a, "{m}: ladder {ladder:?} not improving");
+        }
+    }
+    let g65 = |gpu| smallest_fit(Model::Guanaco65B, gpu).map(|p| p.gpcs());
+    assert_eq!(g65(GpuModel::A100_80GB), Some(7));
+    assert_eq!(g65(GpuModel::H200_141GB), Some(3));
+    assert_eq!(g65(GpuModel::B200_192GB), Some(2));
+}
+
+#[test]
+fn a100_40gb_cannot_host_the_65b_at_all() {
+    assert_eq!(smallest_fit(Model::Guanaco65B, GpuModel::A100_40GB), None);
+    // And the profiler concurs: the sweep drops every point.
+    let table = ProfileTable::measure_on(Model::Guanaco65B, &llm_grid(), GpuModel::A100_40GB);
+    assert!(table.entries().is_empty());
+}
+
+#[test]
+fn parvagpu_fleet_shrinks_with_gpu_memory() {
+    let mut gpu_counts = Vec::new();
+    for gpu in [GpuModel::A100_80GB, GpuModel::H200_141GB, GpuModel::B200_192GB] {
+        let book = Book::measure_on(&Model::LLMS, &llm_grid(), gpu);
+        let d = ParvaGpu::new(&book)
+            .schedule(&llm_services())
+            .unwrap_or_else(|e| panic!("{}: {e}", gpu.name));
+        assert!(external_fragmentation(&d) < 1e-9, "{}", gpu.name);
+        gpu_counts.push(d.gpu_count());
+    }
+    assert!(
+        gpu_counts.windows(2).all(|w| w[1] <= w[0]),
+        "fleet should shrink with memory: {gpu_counts:?}"
+    );
+    assert!(
+        gpu_counts[0] > *gpu_counts.last().unwrap(),
+        "B200 should strictly beat A100-80 on this scenario: {gpu_counts:?}"
+    );
+}
+
+#[test]
+fn llm_capacity_still_covers_rates() {
+    let book = Book::measure_on(&Model::LLMS, &llm_grid(), GpuModel::B200_192GB);
+    let specs = llm_services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    for s in &specs {
+        assert!(
+            d.capacity_of(s.id) * 0.95 >= s.request_rate_rps,
+            "svc {} under-provisioned",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn cnn_zoo_unaffected_by_llm_additions() {
+    // Adding LLM variants must not disturb the Table IV evaluation set.
+    assert_eq!(Model::ALL.len(), 11);
+    assert!(Model::ALL.iter().all(|m| !m.is_llm()));
+    assert_eq!(Model::LLMS.len(), 3);
+    // Index stability: the first 11 extended indices are the Table IV order.
+    for (i, m) in Model::ALL.iter().enumerate() {
+        assert_eq!(m.index(), i);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based integration tests over the full ParvaGPU pipeline:
+//! random service mixes must always yield valid, covering, unfragmented
+//! deployments.
+
+use parvagpu::prelude::*;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    prop::sample::select(Model::ALL.to_vec())
+}
+
+/// Service generator constrained to the feasible regime (loose enough SLOs
+/// that at least one profile point qualifies; positive rates).
+fn arb_service(id: u32) -> impl Strategy<Value = ServiceSpec> {
+    (arb_model(), 10.0f64..3_000.0, 150.0f64..5_000.0)
+        .prop_map(move |(m, rate, slo)| ServiceSpec::new(id, m, rate, slo))
+}
+
+fn arb_services() -> impl Strategy<Value = Vec<ServiceSpec>> {
+    prop::collection::vec(any::<u8>(), 1..8).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_service(i as u32))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariants: validity, SLO-feasible segments, demand
+    /// coverage and zero external fragmentation for arbitrary mixes.
+    #[test]
+    fn parvagpu_invariants_hold(specs in arb_services()) {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let d = sched.schedule(&specs).expect("feasible regime by construction");
+        prop_assert!(d.validate());
+        for s in &specs {
+            prop_assert!(
+                d.capacity_of(s.id) + 1e-6 >= s.request_rate_rps,
+                "service {} uncovered", s.id
+            );
+        }
+        prop_assert!(external_fragmentation(&d) < 1e-9);
+        let mig = d.as_mig().unwrap();
+        for ps in mig.segments() {
+            let spec = specs.iter().find(|s| s.id == ps.segment.service_id).unwrap();
+            prop_assert!(ps.segment.latency_ms < spec.slo.internal_target_ms());
+        }
+    }
+
+    /// The optimizer may only ever help: fleet size never exceeds the
+    /// unoptimized ablation's.
+    #[test]
+    fn optimization_is_monotone(specs in arb_services()) {
+        let book = ProfileBook::builtin();
+        let full = ParvaGpu::new(&book).schedule(&specs).expect("feasible");
+        let unopt = ParvaGpuUnoptimized::new(&book).schedule(&specs).expect("feasible");
+        prop_assert!(full.gpu_count() <= unopt.gpu_count());
+    }
+
+    /// Doubling every rate can only need at least as many GPUs.
+    #[test]
+    fn gpu_count_monotone_in_load(specs in arb_services()) {
+        let book = ProfileBook::builtin();
+        let sched = ParvaGpu::new(&book);
+        let doubled: Vec<ServiceSpec> = specs
+            .iter()
+            .map(|s| ServiceSpec::new(s.id, s.model, s.request_rate_rps * 2.0, s.slo.latency_ms))
+            .collect();
+        let base = sched.schedule(&specs).expect("feasible").gpu_count();
+        let more = sched.schedule(&doubled).expect("feasible").gpu_count();
+        prop_assert!(more >= base, "doubling load shrank the fleet: {base} -> {more}");
+    }
+
+    /// MIG-realizability: every GPU layout ParvaGPU emits is one of the 19
+    /// valid configurations (or a sub-configuration).
+    #[test]
+    fn deployments_always_mig_realizable(specs in arb_services()) {
+        let book = ProfileBook::builtin();
+        let configs = parvagpu::mig::all_configurations();
+        let d = ParvaGpu::new(&book).schedule(&specs).expect("feasible");
+        for gpu in d.as_mig().unwrap().gpus() {
+            prop_assert!(configs.iter().any(|c| c.contains(gpu)));
+        }
+    }
+}

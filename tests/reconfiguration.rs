@@ -1,0 +1,89 @@
+//! Integration tests for runtime reconfiguration (paper §III-F).
+
+use parvagpu::core::{reconfigure, ParvaGpu};
+use parvagpu::prelude::*;
+
+fn setup() -> (ParvaGpu, Vec<ServiceSpec>, Vec<parvagpu::core::Service>, parvagpu::deploy::MigDeployment)
+{
+    let book = ProfileBook::builtin();
+    let sched = ParvaGpu::new(&book);
+    let specs = Scenario::S2.services();
+    let (services, deployment) = sched.plan(&specs).unwrap();
+    (sched, specs, services, deployment)
+}
+
+#[test]
+fn tightened_slo_respected_after_reconfig() {
+    let (sched, _, services, deployment) = setup();
+    let updated = ServiceSpec::new(8, Model::ResNet50, 829.0, 100.0);
+    let out = reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
+    for ps in out.deployment.segments_of(8) {
+        assert!(ps.segment.latency_ms < 50.0);
+    }
+    assert!(out.deployment.validate());
+    assert!(out.deployment.capacity_of(8) >= 829.0);
+}
+
+#[test]
+fn loosened_slo_never_grows_the_fleet() {
+    let (sched, _, services, deployment) = setup();
+    let updated = ServiceSpec::new(5, Model::MobileNetV2, 677.0, 1_000.0);
+    let out = reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
+    assert!(out.deployment.gpu_count() <= deployment.gpu_count() + 1);
+}
+
+#[test]
+fn rate_spike_reconfig_covers_new_demand() {
+    let (sched, specs, services, deployment) = setup();
+    let updated = ServiceSpec::new(4, Model::InceptionV3, 2_000.0, 419.0);
+    let out = reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
+    assert!(out.deployment.capacity_of(4) >= 2_000.0);
+    // All other services keep their coverage.
+    for s in &specs {
+        if s.id != 4 {
+            assert!(out.deployment.capacity_of(s.id) + 1e-6 >= s.request_rate_rps);
+        }
+    }
+}
+
+#[test]
+fn reconfig_reports_changed_gpus_only() {
+    let (sched, _, services, deployment) = setup();
+    // Tiny rate bump for BERT (it has a single small segment).
+    let updated = ServiceSpec::new(0, Model::BertLarge, 21.0, 6_434.0);
+    let out = reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
+    // The diff set is consistent: every reported GPU index exists in one of
+    // the two maps.
+    let max_gpus = deployment.gpu_count().max(out.deployment.gpu_count());
+    for g in &out.reconfigured_gpus {
+        assert!(*g < max_gpus);
+    }
+}
+
+#[test]
+fn sequential_reconfigurations_stay_consistent() {
+    let (sched, specs, mut services, mut deployment) = setup();
+    // Apply three successive updates and re-validate after each.
+    let updates = [
+        ServiceSpec::new(1, Model::DenseNet121, 700.0, 183.0),
+        ServiceSpec::new(9, Model::Vgg16, 410.0, 250.0),
+        ServiceSpec::new(1, Model::DenseNet121, 353.0, 183.0), // revert
+    ];
+    for updated in updates {
+        let out =
+            reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
+        assert!(out.deployment.validate());
+        deployment = out.deployment;
+        let idx = services.iter().position(|s| s.spec.id == updated.id).unwrap();
+        services[idx] = out.service;
+        for s in &specs {
+            let expected = services.iter().find(|x| x.spec.id == s.id).unwrap();
+            assert!(
+                deployment.capacity_of(s.id) + 1e-6 >= expected.spec.request_rate_rps,
+                "service {} lost coverage after updating {}",
+                s.id,
+                updated.id
+            );
+        }
+    }
+}

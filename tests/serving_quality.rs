@@ -1,0 +1,173 @@
+//! Serving-quality integration tests: latency distributions, interference
+//! visibility and measurement consistency of the serving substrate.
+
+use parvagpu::prelude::*;
+
+fn cfg(seed: u64) -> ServingConfig {
+    ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed, ..Default::default() }
+}
+
+#[test]
+fn latencies_respect_physical_lower_bound() {
+    // No request can complete faster than one minimal batch cycle on the
+    // largest instance.
+    let book = ProfileBook::builtin();
+    let specs = vec![ServiceSpec::new(0, Model::ResNet50, 400.0, 300.0)];
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let report = simulate(&d, &specs, &cfg(1));
+    let svc = report.service(0).unwrap();
+    let floor = parvagpu::perf::latency_ms(
+        Model::ResNet50,
+        parvagpu::perf::ComputeShare::Mig(parvagpu::mig::InstanceProfile::G7),
+        1,
+        1,
+    );
+    // Histogram quantile is bucket-upper-edge; compare against half the
+    // analytic floor to stay robust to bucketing.
+    assert!(
+        svc.latency.quantile_ms(0.01) > floor / 2.0,
+        "p1 latency {:.2} below physical floor {:.2}",
+        svc.latency.quantile_ms(0.01),
+        floor
+    );
+}
+
+#[test]
+fn p99_latency_within_slo_for_parvagpu() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S2.services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let report = simulate(&d, &specs, &cfg(2));
+    for (spec, svc) in specs.iter().zip(&report.services) {
+        // quantile_ms reports the upper bucket edge (buckets ~9% wide), so
+        // allow 10% above the SLO even though no request violated it.
+        assert!(
+            svc.latency.quantile_ms(0.99) <= spec.slo.latency_ms * 1.10,
+            "service {} p99 {:.1} ms vs SLO {:.0} ms",
+            spec.id,
+            svc.latency.quantile_ms(0.99),
+            spec.slo.latency_ms
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_interference_slows_co_residents() {
+    // Two MPS partitions sharing a GPU must serve measurably slower than
+    // the same partitions on separate GPUs.
+    use parvagpu::deploy::{MpsDeployment, MpsGpu, MpsPartition};
+    let mk = |svc: u32, model: Model| MpsPartition {
+        service_id: svc,
+        model,
+        fraction: 0.5,
+        batch: 16,
+        procs: 1,
+        throughput_rps: 500.0,
+        latency_ms: 20.0,
+    };
+    let specs = vec![
+        ServiceSpec::new(0, Model::ResNet50, 300.0, 400.0),
+        ServiceSpec::new(1, Model::DenseNet121, 300.0, 400.0),
+    ];
+
+    let mut shared = MpsDeployment::new();
+    shared.gpus.push(MpsGpu {
+        partitions: vec![mk(0, Model::ResNet50), mk(1, Model::DenseNet121)],
+    });
+    let mut isolated = MpsDeployment::new();
+    isolated.gpus.push(MpsGpu { partitions: vec![mk(0, Model::ResNet50)] });
+    isolated.gpus.push(MpsGpu { partitions: vec![mk(1, Model::DenseNet121)] });
+
+    let shared_report = simulate(&Deployment::Mps(shared), &specs, &cfg(3));
+    let isolated_report = simulate(&Deployment::Mps(isolated), &specs, &cfg(3));
+    let mean = |r: &ServingReport, id: u32| r.service(id).unwrap().latency.mean_ms();
+    assert!(
+        mean(&shared_report, 0) > mean(&isolated_report, 0) * 1.02,
+        "co-location did not slow ResNet-50: {:.2} vs {:.2}",
+        mean(&shared_report, 0),
+        mean(&isolated_report, 0)
+    );
+}
+
+#[test]
+fn mig_segments_are_isolated() {
+    // Two MIG segments on one GPU behave identically to the same segments
+    // on two GPUs — the isolation property ParvaGPU is built on.
+    use parvagpu::deploy::{MigDeployment, Segment};
+    use parvagpu::mig::InstanceProfile;
+    use parvagpu::profile::Triplet;
+    let seg = |svc: u32, model: Model| Segment {
+        service_id: svc,
+        model,
+        triplet: Triplet::new(InstanceProfile::G3, 16, 2),
+        throughput_rps: parvagpu::perf::throughput_rps(
+            model,
+            parvagpu::perf::ComputeShare::Mig(InstanceProfile::G3),
+            16,
+            2,
+        ),
+        latency_ms: 20.0,
+    };
+    let specs = vec![
+        ServiceSpec::new(0, Model::ResNet50, 400.0, 400.0),
+        ServiceSpec::new(1, Model::DenseNet121, 400.0, 400.0),
+    ];
+    let mut same_gpu = MigDeployment::new();
+    same_gpu.place_first_fit(seg(0, Model::ResNet50));
+    same_gpu.place_first_fit(seg(1, Model::DenseNet121));
+    let mut split = MigDeployment::new();
+    split.place_first_fit(seg(0, Model::ResNet50));
+    // Force the second segment onto a new GPU by filling... simply place on
+    // GPU 1 explicitly.
+    split
+        .place_at(
+            seg(1, Model::DenseNet121),
+            1,
+            parvagpu::mig::Placement::new(InstanceProfile::G3, 4),
+        )
+        .unwrap();
+
+    let a = simulate(&Deployment::Mig(same_gpu), &specs, &cfg(4));
+    let b = simulate(&Deployment::Mig(split), &specs, &cfg(4));
+    for id in [0u32, 1] {
+        let la = a.service(id).unwrap().latency.mean_ms();
+        let lb = b.service(id).unwrap().latency.mean_ms();
+        assert!(
+            (la - lb).abs() < 1e-9,
+            "MIG isolation violated for service {id}: {la:.3} vs {lb:.3}"
+        );
+    }
+}
+
+#[test]
+fn offered_load_matches_configured_rate() {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S1.services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let report = simulate(&d, &specs, &cfg(5));
+    for (spec, svc) in specs.iter().zip(&report.services) {
+        let offered_rps = svc.offered as f64 / report.duration_s;
+        let rel = (offered_rps - spec.request_rate_rps).abs() / spec.request_rate_rps;
+        assert!(
+            rel < 0.15,
+            "service {}: offered {:.0} rps vs configured {:.0}",
+            spec.id,
+            offered_rps,
+            spec.request_rate_rps
+        );
+    }
+}
+
+#[test]
+fn slack_decomposition_is_consistent() {
+    // Eq. 3 recomputed from the raw per-server activities must equal the
+    // report's aggregate.
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S2.services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let report = simulate(&d, &specs, &cfg(6));
+    let sm: f64 = report.servers.iter().map(|s| s.sms).sum();
+    let weighted: f64 = report.servers.iter().map(|s| s.sms * s.activity).sum();
+    let manual = 1.0 - weighted / sm;
+    assert!((manual - internal_slack(&report)).abs() < 1e-12);
+}
