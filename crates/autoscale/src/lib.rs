@@ -23,5 +23,5 @@ pub mod shadow;
 pub mod trace;
 
 pub use orchestrator::{run_traced, EpochReport, TraceReport};
-pub use shadow::{simulate_window, DisruptionReport};
+pub use shadow::{simulate_displacement_window, simulate_window, DisruptionReport};
 pub use trace::RateTrace;

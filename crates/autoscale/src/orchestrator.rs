@@ -55,7 +55,14 @@ impl TraceReport {
 
 fn scaled_specs(base: &[ServiceSpec], multiplier: f64) -> Vec<ServiceSpec> {
     base.iter()
-        .map(|s| ServiceSpec::new(s.id, s.model, s.request_rate_rps * multiplier, s.slo.latency_ms))
+        .map(|s| {
+            ServiceSpec::new(
+                s.id,
+                s.model,
+                s.request_rate_rps * multiplier,
+                s.slo.latency_ms,
+            )
+        })
         .collect()
 }
 
@@ -81,10 +88,15 @@ pub fn run_traced(
 
     // Epoch 0: full plan.
     let specs0 = scaled_specs(base, trace.multiplier(0));
-    let (mut services, mut deployment): (Vec<Service>, MigDeployment) =
-        scheduler.plan(&specs0)?;
+    let (mut services, mut deployment): (Vec<Service>, MigDeployment) = scheduler.plan(&specs0)?;
     let report0 = simulate(&Deployment::Mig(deployment.clone()), &specs0, serving);
-    epochs.push(epoch_report(0, trace.multiplier(0), &deployment, 0, &report0));
+    epochs.push(epoch_report(
+        0,
+        trace.multiplier(0),
+        &deployment,
+        0,
+        &report0,
+    ));
 
     for epoch in 1..trace.epochs() {
         let specs = scaled_specs(base, trace.multiplier(epoch));
@@ -146,11 +158,16 @@ pub fn run_traced_replan(
     for epoch in 0..trace.epochs() {
         let specs = scaled_specs(base, trace.multiplier(epoch));
         let services = configure(&specs, scheduler.book(), scheduler.max_procs())?;
-        let deployment =
-            parva_core::allocator::allocate(&services, scheduler.allocator_config());
+        let deployment = parva_core::allocator::allocate(&services, scheduler.allocator_config());
         let churn = prev.as_ref().map_or(0, |p| diff_count(p, &deployment));
         let report = simulate(&Deployment::Mig(deployment.clone()), &specs, serving);
-        epochs.push(epoch_report(epoch, trace.multiplier(epoch), &deployment, churn, &report));
+        epochs.push(epoch_report(
+            epoch,
+            trace.multiplier(epoch),
+            &deployment,
+            churn,
+            &report,
+        ));
         prev = Some(deployment);
     }
     Ok(TraceReport { epochs })
@@ -189,14 +206,19 @@ mod tests {
     }
 
     fn quick() -> ServingConfig {
-        ServingConfig { warmup_s: 0.5, duration_s: 2.0, drain_s: 1.0, seed: 5, ..Default::default() }
+        ServingConfig {
+            warmup_s: 0.5,
+            duration_s: 2.0,
+            drain_s: 1.0,
+            seed: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn flat_trace_no_churn_after_epoch0() {
         let book = ProfileBook::builtin();
-        let report =
-            run_traced(&book, &base(), &RateTrace::flat(3), &quick()).unwrap();
+        let report = run_traced(&book, &base(), &RateTrace::flat(3), &quick()).unwrap();
         assert_eq!(report.epochs.len(), 3);
         // Identical rates → reconfiguration is a no-op.
         for e in &report.epochs[1..] {
@@ -219,8 +241,7 @@ mod tests {
     #[test]
     fn spike_grows_then_shrinks_fleet() {
         let book = ProfileBook::builtin();
-        let report =
-            run_traced(&book, &base(), &RateTrace::spike(5, 4.0, 1), &quick()).unwrap();
+        let report = run_traced(&book, &base(), &RateTrace::spike(5, 4.0, 1), &quick()).unwrap();
         let gpus: Vec<usize> = report.epochs.iter().map(|e| e.gpus).collect();
         let peak = report.peak_gpus();
         assert!(peak > gpus[0], "spike did not grow the fleet: {gpus:?}");
@@ -233,11 +254,13 @@ mod tests {
     #[test]
     fn ramp_fleet_monotone() {
         let book = ProfileBook::builtin();
-        let report =
-            run_traced(&book, &base(), &RateTrace::ramp(4, 0.5, 2.0), &quick()).unwrap();
+        let report = run_traced(&book, &base(), &RateTrace::ramp(4, 0.5, 2.0), &quick()).unwrap();
         let gpus: Vec<usize> = report.epochs.iter().map(|e| e.gpus).collect();
         for w in gpus.windows(2) {
-            assert!(w[1] + 1 >= w[0], "fleet shrank under growing load: {gpus:?}");
+            assert!(
+                w[1] + 1 >= w[0],
+                "fleet shrank under growing load: {gpus:?}"
+            );
         }
     }
 
@@ -246,8 +269,7 @@ mod tests {
         let book = ProfileBook::builtin();
         let inc = run_traced(&book, &base(), &RateTrace::diurnal(4, 0.5, 1.5), &quick()).unwrap();
         let rep =
-            run_traced_replan(&book, &base(), &RateTrace::diurnal(4, 0.5, 1.5), &quick())
-                .unwrap();
+            run_traced_replan(&book, &base(), &RateTrace::diurnal(4, 0.5, 1.5), &quick()).unwrap();
         assert_eq!(inc.epochs.len(), rep.epochs.len());
         // Both serve all epochs compliantly.
         assert!(inc.min_compliance() > 0.999);

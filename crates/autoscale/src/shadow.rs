@@ -70,7 +70,22 @@ pub fn simulate_window(
     specs: &[ServiceSpec],
     config: &ServingConfig,
 ) -> DisruptionReport {
-    let doomed = doomed_segments(before, &outcome.reconfigured_gpus);
+    simulate_displacement_window(before, &outcome.reconfigured_gpus, specs, config)
+}
+
+/// Simulate a disruption window in which the segments on `displaced_gpus`
+/// are offline, with and without shadow processes — the event-driven form
+/// of [`simulate_window`] used when capacity is lost to node failures or
+/// spot preemptions rather than to a planned reconfiguration. The GPU
+/// indices refer to `before`'s (logical) fleet order.
+#[must_use]
+pub fn simulate_displacement_window(
+    before: &MigDeployment,
+    displaced_gpus: &[usize],
+    specs: &[ServiceSpec],
+    config: &ServingConfig,
+) -> DisruptionReport {
+    let doomed = doomed_segments(before, displaced_gpus);
     let mut affected: Vec<u32> = doomed.iter().map(|ps| ps.segment.service_id).collect();
     affected.sort_unstable();
     affected.dedup();
@@ -85,8 +100,8 @@ pub fn simulate_window(
     for ps in &doomed {
         blackout.remove(ps.gpu, ps.placement);
     }
-    let blackout_compliance =
-        simulate(&Deployment::Mig(blackout.clone()), specs, config).overall_request_compliance_rate();
+    let blackout_compliance = simulate(&Deployment::Mig(blackout.clone()), specs, config)
+        .overall_request_compliance_rate();
 
     // (3) Shadowed: replicate the dark segments on spare GPUs appended to
     // the fleet. The shadow first-fit scans the spare region only — reusing
@@ -127,7 +142,13 @@ mod tests {
     use parva_scenarios::Scenario;
 
     fn quick() -> ServingConfig {
-        ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 17, ..Default::default() }
+        ServingConfig {
+            warmup_s: 1.0,
+            duration_s: 4.0,
+            drain_s: 2.0,
+            seed: 17,
+            ..Default::default()
+        }
     }
 
     /// A reconfiguration that disturbs *existing* GPUs: a 3× rate spike on
@@ -150,7 +171,10 @@ mod tests {
             .reconfigured_gpus
             .iter()
             .any(|g| before.segments_on(*g).next().is_some());
-        assert!(disturbs_live, "spike must disturb live GPUs for this fixture");
+        assert!(
+            disturbs_live,
+            "spike must disturb live GPUs for this fixture"
+        );
         specs[8] = updated;
         (before, outcome, specs)
     }
@@ -188,8 +212,7 @@ mod tests {
         let sched = ParvaGpu::new(&book);
         let specs = Scenario::S1.services();
         let (services, before) = sched.plan(&specs).unwrap();
-        let outcome =
-            reconfigure::update_service(&sched, &before, &services, specs[0]).unwrap();
+        let outcome = reconfigure::update_service(&sched, &before, &services, specs[0]).unwrap();
         assert!(outcome.reconfigured_gpus.is_empty());
         let report = simulate_window(&before, &outcome, &specs, &quick());
         assert!(report.affected_services.is_empty());

@@ -61,7 +61,15 @@ impl RateTrace {
         let w = width.clamp(1, n);
         let start = (n - w) / 2;
         Self::new(
-            (0..n).map(|i| if i >= start && i < start + w { factor } else { 1.0 }).collect(),
+            (0..n)
+                .map(|i| {
+                    if i >= start && i < start + w {
+                        factor
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
         )
     }
 
@@ -109,8 +117,7 @@ impl RateTrace {
         RateTrace::new(
             (0..n)
                 .map(|i| {
-                    self.multipliers[i % self.epochs()]
-                        * other.multipliers[i % other.epochs()]
+                    self.multipliers[i % self.epochs()] * other.multipliers[i % other.epochs()]
                 })
                 .collect(),
         )

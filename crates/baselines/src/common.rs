@@ -88,9 +88,7 @@ pub fn most_efficient_point(model: Model, max_latency_ms: f64, procs: u32) -> Op
     fractions()
         .into_iter()
         .filter_map(|f| best_batch_at(model, f, max_latency_ms, 0.0, procs))
-        .max_by(|a, b| {
-            (a.throughput_rps / a.fraction).total_cmp(&(b.throughput_rps / b.fraction))
-        })
+        .max_by(|a, b| (a.throughput_rps / a.fraction).total_cmp(&(b.throughput_rps / b.fraction)))
 }
 
 /// Smallest fraction whose best batch covers `rate_rps` under the latency
@@ -129,10 +127,8 @@ mod tests {
 
     #[test]
     fn throughput_grows_with_fraction() {
-        let t = |f| {
-            best_batch_at(Model::ResNet50, f, 100.0, 0.0, 1)
-                .map_or(0.0, |p| p.throughput_rps)
-        };
+        let t =
+            |f| best_batch_at(Model::ResNet50, f, 100.0, 0.0, 1).map_or(0.0, |p| p.throughput_rps);
         assert!(t(0.5) > t(0.2));
         assert!(t(1.0) > t(0.5));
     }
@@ -149,7 +145,13 @@ mod tests {
         let p = min_fraction_covering(Model::MobileNetV2, 500.0, 100.0, 1).unwrap();
         assert!(p.throughput_rps >= 500.0);
         if p.fraction > FRACTION_STEP + 1e-12 {
-            let below = best_batch_at(Model::MobileNetV2, p.fraction - FRACTION_STEP, 100.0, 0.0, 1);
+            let below = best_batch_at(
+                Model::MobileNetV2,
+                p.fraction - FRACTION_STEP,
+                100.0,
+                0.0,
+                1,
+            );
             assert!(below.is_none_or(|q| q.throughput_rps < 500.0));
         }
     }

@@ -58,7 +58,9 @@ impl Gpulet {
     /// gpulet with the default interference-predictor error.
     #[must_use]
     pub fn new() -> Self {
-        Self { kappa_error: DEFAULT_KAPPA_ERROR }
+        Self {
+            kappa_error: DEFAULT_KAPPA_ERROR,
+        }
     }
 
     /// Override the predictor error (0 = oracle predictor).
@@ -73,12 +75,16 @@ impl Gpulet {
     /// then each chunk gets the smallest partition fraction covering it.
     fn chunks_for(&self, spec: &ServiceSpec) -> Result<Vec<Chunk>, ScheduleError> {
         if !spec.is_valid() {
-            return Err(ScheduleError::InvalidService { service_id: spec.id });
+            return Err(ScheduleError::InvalidService {
+                service_id: spec.id,
+            });
         }
         let target = spec.slo.internal_target_ms();
-        let full_gpu = best_batch_at(spec.model, 1.0, target, 0.0, 1).ok_or(
-            ScheduleError::InfeasibleSlo { service_id: spec.id, internal_target_ms: target },
-        )?;
+        let full_gpu =
+            best_batch_at(spec.model, 1.0, target, 0.0, 1).ok_or(ScheduleError::InfeasibleSlo {
+                service_id: spec.id,
+                internal_target_ms: target,
+            })?;
         let per_gpu = full_gpu.throughput_rps * TARGET_UTILIZATION;
         let k = (spec.request_rate_rps / per_gpu).ceil().max(1.0) as u32;
         let per_chunk = spec.request_rate_rps / f64::from(k);
@@ -87,7 +93,13 @@ impl Gpulet {
             .filter_map(|f| best_batch_at(spec.model, f, target, 0.0, 1))
             .find(|p| p.throughput_rps * TARGET_UTILIZATION >= per_chunk)
             .expect("a full GPU covers rate/k by construction of k");
-        Ok((0..k).map(|_| Chunk { spec: *spec, point, rate_rps: per_chunk }).collect())
+        Ok((0..k)
+            .map(|_| Chunk {
+                spec: *spec,
+                point,
+                rate_rps: per_chunk,
+            })
+            .collect())
     }
 
     /// Refit a chunk's fraction under predicted interference from `other`:
@@ -118,12 +130,19 @@ impl Gpulet {
     /// Inflate `partition` to absorb all remaining GPU fraction (gpulet's
     /// remainder rule), re-deriving its batch/throughput at the larger size.
     fn inflate(&self, chunk: &Chunk, to_fraction: f64, co_resident: Option<Model>) -> MpsPartition {
-        let k_hat = co_resident
-            .map_or(0.0, |m| kappa_estimate(chunk.spec.model, m, self.kappa_error));
+        let k_hat = co_resident.map_or(0.0, |m| {
+            kappa_estimate(chunk.spec.model, m, self.kappa_error)
+        });
         let target = chunk.spec.slo.internal_target_ms();
-        let point = best_batch_at(chunk.spec.model, to_fraction, target, k_hat, 1)
-            .unwrap_or(chunk.point);
-        Self::partition_from(chunk, MpsPoint { fraction: to_fraction, ..point })
+        let point =
+            best_batch_at(chunk.spec.model, to_fraction, target, k_hat, 1).unwrap_or(chunk.point);
+        Self::partition_from(
+            chunk,
+            MpsPoint {
+                fraction: to_fraction,
+                ..point
+            },
+        )
     }
 }
 
@@ -152,8 +171,12 @@ impl Scheduler for Gpulet {
         while let Some(c1) = remaining.pop_front() {
             let mut best: Option<(usize, MpsPoint, MpsPoint)> = None;
             for (i, c2) in remaining.iter().enumerate() {
-                let Some(p1) = self.refit(&c1, c2.spec.model) else { continue };
-                let Some(p2) = self.refit(c2, c1.spec.model) else { continue };
+                let Some(p1) = self.refit(&c1, c2.spec.model) else {
+                    continue;
+                };
+                let Some(p2) = self.refit(c2, c1.spec.model) else {
+                    continue;
+                };
                 if p1.fraction + p2.fraction > 1.0 + 1e-9 {
                     continue;
                 }
@@ -178,7 +201,8 @@ impl Scheduler for Gpulet {
                     // (paper: "the remaining GPU resources are then entirely
                     // assigned to the second workload's MPS partition").
                     let remainder = 1.0 - p1.fraction;
-                    gpu.partitions.push(self.inflate(&c2, remainder, Some(c1.spec.model)));
+                    gpu.partitions
+                        .push(self.inflate(&c2, remainder, Some(c1.spec.model)));
                 }
                 None => {
                     // Alone on the GPU: gpulet gives it the whole card.
@@ -200,8 +224,12 @@ mod tests {
     use super::*;
 
     fn s2_specs() -> Vec<ServiceSpec> {
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -256,13 +284,7 @@ mod tests {
         let over = mps
             .partitions()
             .filter(|(_, p)| {
-                let solo = best_batch_at(
-                    p.model,
-                    p.fraction,
-                    f64::INFINITY,
-                    0.0,
-                    1,
-                );
+                let solo = best_batch_at(p.model, p.fraction, f64::INFINITY, 0.0, 1);
                 solo.is_some_and(|s| s.throughput_rps > p.throughput_rps * 1.05)
                     || p.fraction >= 0.99
             })

@@ -61,7 +61,13 @@ impl Gslice {
         residents: &[Model],
     ) -> Option<MpsPoint> {
         let interference = total_interference(model, residents);
-        best_batch_at(model, fraction, max_latency_ms, interference, PROCS_PER_PARTITION)
+        best_batch_at(
+            model,
+            fraction,
+            max_latency_ms,
+            interference,
+            PROCS_PER_PARTITION,
+        )
     }
 
     /// The self-tuning loop for one service against a fixed resident set:
@@ -100,10 +106,13 @@ impl Gslice {
                 return false;
             };
             let residents = gpu.co_residents(i);
-            Self::measure(p.model, p.fraction, spec.slo.internal_target_ms(), &residents)
-                .is_some_and(|pt| {
-                    pt.throughput_rps * TARGET_UTILIZATION >= spec.request_rate_rps
-                })
+            Self::measure(
+                p.model,
+                p.fraction,
+                spec.slo.internal_target_ms(),
+                &residents,
+            )
+            .is_some_and(|pt| pt.throughput_rps * TARGET_UTILIZATION >= spec.request_rate_rps)
         })
     }
 }
@@ -117,17 +126,20 @@ impl Scheduler for Gslice {
         let mut deployment = MpsDeployment::new();
         'services: for spec in services {
             if !spec.is_valid() {
-                return Err(ScheduleError::InvalidService { service_id: spec.id });
+                return Err(ScheduleError::InvalidService {
+                    service_id: spec.id,
+                });
             }
             // Try each existing GPU in order: tune against its residents,
             // keep the placement only if everyone still meets their SLO.
             for gpu in &mut deployment.gpus {
                 let residents: Vec<Model> = gpu.partitions.iter().map(|p| p.model).collect();
-                let Some(tuned) = Self::self_tune(spec, &residents) else { continue };
+                let Some(tuned) = Self::self_tune(spec, &residents) else {
+                    continue;
+                };
                 let mem = parva_perf::math::memory_gib(tuned.model, tuned.batch, tuned.procs);
                 if gpu.fraction_free() + 1e-9 < tuned.fraction
-                    || gpu.memory_gib() + mem
-                        > parva_mig::GpuModel::A100_80GB.total_memory_gib()
+                    || gpu.memory_gib() + mem > parva_mig::GpuModel::A100_80GB.total_memory_gib()
                 {
                     continue;
                 }
@@ -143,7 +155,10 @@ impl Scheduler for Gslice {
                 let max_rps = best_batch_at(spec.model, 1.0, target, 0.0, PROCS_PER_PARTITION)
                     .map_or(0.0, |p| p.throughput_rps * TARGET_UTILIZATION);
                 return Err(if max_rps <= 0.0 {
-                    ScheduleError::InfeasibleSlo { service_id: spec.id, internal_target_ms: target }
+                    ScheduleError::InfeasibleSlo {
+                        service_id: spec.id,
+                        internal_target_ms: target,
+                    }
                 } else {
                     ScheduleError::RateTooHigh {
                         service_id: spec.id,
@@ -152,7 +167,9 @@ impl Scheduler for Gslice {
                     }
                 });
             };
-            deployment.gpus.push(MpsGpu { partitions: vec![tuned] });
+            deployment.gpus.push(MpsGpu {
+                partitions: vec![tuned],
+            });
         }
         Ok(Deployment::Mps(deployment))
     }
@@ -179,7 +196,11 @@ mod tests {
         let d = Gslice::new().schedule(&low_rate_specs()).unwrap();
         assert!(d.validate());
         for s in low_rate_specs() {
-            assert!(d.capacity_of(s.id) + 1e-6 >= s.request_rate_rps, "svc {}", s.id);
+            assert!(
+                d.capacity_of(s.id) + 1e-6 >= s.request_rate_rps,
+                "svc {}",
+                s.id
+            );
         }
     }
 
@@ -197,8 +218,9 @@ mod tests {
                 spec.slo.internal_target_ms(),
                 &[],
             );
-            assert!(below
-                .is_none_or(|p| p.throughput_rps < spec.request_rate_rps / TARGET_UTILIZATION));
+            assert!(
+                below.is_none_or(|p| p.throughput_rps < spec.request_rate_rps / TARGET_UTILIZATION)
+            );
         }
     }
 
@@ -211,10 +233,10 @@ mod tests {
         let tuned = Gslice::self_tune(&spec, &[]).unwrap();
         let step_down = tuned.fraction - crate::common::FRACTION_STEP;
         if step_down > 1e-12 {
-            let below =
-                Gslice::measure(spec.model, step_down, spec.slo.internal_target_ms(), &[]);
-            assert!(below
-                .is_none_or(|p| p.throughput_rps * TARGET_UTILIZATION < spec.request_rate_rps));
+            let below = Gslice::measure(spec.model, step_down, spec.slo.internal_target_ms(), &[]);
+            assert!(
+                below.is_none_or(|p| p.throughput_rps * TARGET_UTILIZATION < spec.request_rate_rps)
+            );
         }
     }
 

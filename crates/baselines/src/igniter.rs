@@ -52,7 +52,9 @@ impl IGniter {
     /// by the interference headroom.
     fn size(&self, spec: &ServiceSpec) -> Result<MpsPartition, ScheduleError> {
         if !spec.is_valid() {
-            return Err(ScheduleError::InvalidService { service_id: spec.id });
+            return Err(ScheduleError::InvalidService {
+                service_id: spec.id,
+            });
         }
         let target = spec.slo.internal_target_ms();
         let planned_rate = spec.request_rate_rps / TARGET_UTILIZATION;
@@ -77,10 +79,10 @@ impl IGniter {
             })?;
 
         // Headroom grows with the model's own interference sensitivity.
-        let gamma =
-            BASE_HEADROOM + 0.10 * PerfParams::for_model(spec.model).memory_intensity();
+        let gamma = BASE_HEADROOM + 0.10 * PerfParams::for_model(spec.model).memory_intensity();
         let inflated = ceil_fraction(fitted.fraction * (1.0 + gamma));
-        let point = best_batch_at(spec.model, inflated, target, 0.0, PIPELINE_DEPTH).unwrap_or(fitted);
+        let point =
+            best_batch_at(spec.model, inflated, target, 0.0, PIPELINE_DEPTH).unwrap_or(fitted);
         Ok(MpsPartition {
             service_id: spec.id,
             model: spec.model,
@@ -103,9 +105,14 @@ impl IGniter {
         let mut all: Vec<&MpsPartition> = gpu.partitions.iter().collect();
         all.push(candidate);
         all.iter().all(|p| {
-            let Some(spec) = spec_of(p.service_id) else { return false };
-            let others: Vec<Model> =
-                all.iter().filter(|q| !std::ptr::eq(*q, p)).map(|q| q.model).collect();
+            let Some(spec) = spec_of(p.service_id) else {
+                return false;
+            };
+            let others: Vec<Model> = all
+                .iter()
+                .filter(|q| !std::ptr::eq(*q, p))
+                .map(|q| q.model)
+                .collect();
             let interference = total_interference(p.model, &others);
             best_batch_at(
                 p.model,
@@ -125,11 +132,15 @@ impl Scheduler for IGniter {
     }
 
     fn schedule(&self, services: &[ServiceSpec]) -> Result<Deployment, ScheduleError> {
-        let mut partitions: Vec<MpsPartition> =
-            services.iter().map(|s| self.size(s)).collect::<Result<_, _>>()?;
+        let mut partitions: Vec<MpsPartition> = services
+            .iter()
+            .map(|s| self.size(s))
+            .collect::<Result<_, _>>()?;
         // First-fit decreasing.
         partitions.sort_by(|a, b| {
-            b.fraction.total_cmp(&a.fraction).then_with(|| a.service_id.cmp(&b.service_id))
+            b.fraction
+                .total_cmp(&a.fraction)
+                .then_with(|| a.service_id.cmp(&b.service_id))
         });
 
         let mut deployment = MpsDeployment::new();
@@ -146,7 +157,9 @@ impl Scheduler for IGniter {
                     continue 'outer;
                 }
             }
-            deployment.gpus.push(MpsGpu { partitions: vec![p] });
+            deployment.gpus.push(MpsGpu {
+                partitions: vec![p],
+            });
         }
         Ok(Deployment::Mps(deployment))
     }
@@ -161,8 +174,12 @@ mod tests {
     use super::*;
 
     fn s2_specs() -> Vec<ServiceSpec> {
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -172,10 +189,12 @@ mod tests {
 
     fn s5_specs() -> Vec<ServiceSpec> {
         let rates = [
-            843.0, 2_228.0, 3_507.0, 1_513.0, 3_815.0, 5_009.0, 1_874.0, 1_340.0, 2_796.0,
-            1_773.0, 1_531.0,
+            843.0, 2_228.0, 3_507.0, 1_513.0, 3_815.0, 5_009.0, 1_874.0, 1_340.0, 2_796.0, 1_773.0,
+            1_531.0,
         ];
-        let lats = [2_153.0, 69.0, 84.0, 70.0, 146.0, 59.0, 77.0, 80.0, 72.0, 115.0, 134.0];
+        let lats = [
+            2_153.0, 69.0, 84.0, 70.0, 146.0, 59.0, 77.0, 80.0, 72.0, 115.0, 134.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -188,7 +207,11 @@ mod tests {
         let d = IGniter::new().schedule(&s2_specs()).unwrap();
         assert!(d.validate());
         for s in s2_specs() {
-            assert!(d.capacity_of(s.id) + 1e-6 >= s.request_rate_rps, "svc {}", s.id);
+            assert!(
+                d.capacity_of(s.id) + 1e-6 >= s.request_rate_rps,
+                "svc {}",
+                s.id
+            );
         }
     }
 
@@ -197,7 +220,10 @@ mod tests {
         let d = IGniter::new().schedule(&s2_specs()).unwrap();
         let mps = d.as_mps().unwrap();
         for s in s2_specs() {
-            let n = mps.partitions().filter(|(_, p)| p.service_id == s.id).count();
+            let n = mps
+                .partitions()
+                .filter(|(_, p)| p.service_id == s.id)
+                .count();
             assert_eq!(n, 1, "service {} split across partitions", s.id);
         }
     }
@@ -225,8 +251,7 @@ mod tests {
     fn headroom_inflates_fractions() {
         let spec = ServiceSpec::new(0, Model::ResNet50, 400.0, 200.0);
         let sized = IGniter::new().size(&spec).unwrap();
-        let fitted =
-            min_fraction_covering(Model::ResNet50, 400.0, 100.0, PIPELINE_DEPTH).unwrap();
+        let fitted = min_fraction_covering(Model::ResNet50, 400.0, 100.0, PIPELINE_DEPTH).unwrap();
         assert!(sized.fraction >= fitted.fraction, "no headroom added");
     }
 

@@ -41,13 +41,19 @@ impl MigServing {
     /// (MIG-serving does not employ MPS); the book may contain more.
     #[must_use]
     pub fn new(book: &ProfileBook) -> Self {
-        Self { book: book.clone(), improvement_rounds: 2 }
+        Self {
+            book: book.clone(),
+            improvement_rounds: 2,
+        }
     }
 
     /// Build with the profiler's single-process grid (convenience).
     #[must_use]
     pub fn with_builtin_profiles() -> Self {
-        Self::new(&ProfileBook::measure(&parva_perf::Model::ALL, &SweepGrid::single_process()))
+        Self::new(&ProfileBook::measure(
+            &parva_perf::Model::ALL,
+            &SweepGrid::single_process(),
+        ))
     }
 
     /// Override the improvement-sweep count (0 disables it).
@@ -61,11 +67,7 @@ impl MigServing {
     /// the internal latency target. Deliberately a full table scan per call:
     /// the real system re-evaluates candidate configurations against raw
     /// profiles in its inner loop, which is where its overhead lives.
-    fn entry_for(
-        &self,
-        spec: &ServiceSpec,
-        instance: InstanceProfile,
-    ) -> Option<Segment> {
+    fn entry_for(&self, spec: &ServiceSpec, instance: InstanceProfile) -> Option<Segment> {
         let table = self.book.table(spec.model)?;
         table
             .entries_for_instance(instance)
@@ -105,7 +107,9 @@ impl MigServing {
             // Candidate serving the most remaining demand at ≤ 70% load.
             let mut best: Option<(usize, Segment, f64)> = None;
             for (si, spec) in specs.iter().enumerate() {
-                let Some(seg) = self.entry_for(spec, instance) else { continue };
+                let Some(seg) = self.entry_for(spec, instance) else {
+                    continue;
+                };
                 let served = (UTILIZATION_TARGET * seg.throughput_rps).min(rem[si]);
                 let better = match &best {
                     None => true,
@@ -171,12 +175,19 @@ impl Scheduler for MigServing {
         // Feasibility gate: every service needs at least one workable size.
         for spec in services {
             if !spec.is_valid() {
-                return Err(ScheduleError::InvalidService { service_id: spec.id });
+                return Err(ScheduleError::InvalidService {
+                    service_id: spec.id,
+                });
             }
             if self.book.table(spec.model).is_none() {
-                return Err(ScheduleError::NotProfiled { service_id: spec.id });
+                return Err(ScheduleError::NotProfiled {
+                    service_id: spec.id,
+                });
             }
-            if InstanceProfile::ALL.iter().all(|i| self.entry_for(spec, *i).is_none()) {
+            if InstanceProfile::ALL
+                .iter()
+                .all(|i| self.entry_for(spec, *i).is_none())
+            {
                 return Err(ScheduleError::InfeasibleSlo {
                     service_id: spec.id,
                     internal_target_ms: spec.slo.internal_target_ms(),
@@ -202,9 +213,7 @@ impl Scheduler for MigServing {
                     .rev()
                     .find_map(|p| self.entry_for(spec, *p))
                     .expect("feasibility gate passed");
-                remaining[si] = (remaining[si]
-                    - seg.throughput_rps * UTILIZATION_TARGET)
-                    .max(0.0);
+                remaining[si] = (remaining[si] - seg.throughput_rps * UTILIZATION_TARGET).max(0.0);
                 queues.push(seg);
             }
             // Place the initial grants largest-first.
@@ -253,8 +262,10 @@ impl Scheduler for MigServing {
             // Find the GPU with the least committed throughput.
             let Some((gpu, _)) = (0..deployment.gpu_count())
                 .map(|g| {
-                    let tput: f64 =
-                        deployment.segments_on(g).map(|ps| ps.segment.throughput_rps).sum();
+                    let tput: f64 = deployment
+                        .segments_on(g)
+                        .map(|ps| ps.segment.throughput_rps)
+                        .sum();
                     (g, tput)
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -298,8 +309,12 @@ mod tests {
     use parva_perf::Model;
 
     fn s2_specs() -> Vec<ServiceSpec> {
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -332,7 +347,10 @@ mod tests {
     fn only_single_process_segments() {
         let d = sched().schedule(&s2_specs()).unwrap();
         let mig = d.as_mig().unwrap();
-        assert!(mig.segments().iter().all(|ps| ps.segment.triplet.procs == 1));
+        assert!(mig
+            .segments()
+            .iter()
+            .all(|ps| ps.segment.triplet.procs == 1));
     }
 
     #[test]
@@ -354,7 +372,11 @@ mod tests {
         // instances — far more capacity than demand.
         let specs = vec![ServiceSpec::new(0, Model::MobileNetV2, 30.0, 300.0)];
         let d = sched().schedule(&specs).unwrap();
-        assert!(d.capacity_of(0) > 10.0 * 30.0, "capacity {:.0}", d.capacity_of(0));
+        assert!(
+            d.capacity_of(0) > 10.0 * 30.0,
+            "capacity {:.0}",
+            d.capacity_of(0)
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl BatchDistribution {
     pub fn for_service(spec: &ServiceSpec) -> Self {
         let window_s = spec.slo.internal_target_ms() / 2.0 / 1000.0;
         let mean = (spec.request_rate_rps * window_s).clamp(1.0, 128.0);
-        Self { mean, std: mean.sqrt() }
+        Self {
+            mean,
+            std: mean.sqrt(),
+        }
     }
 
     /// The 50th-percentile (typical) batch, clamped to a valid batch size.
@@ -144,7 +147,9 @@ impl ParisElsa {
     /// internal target, with the instance memory bound respected.
     fn size(spec: &ServiceSpec) -> Result<Sized, ScheduleError> {
         if !spec.is_valid() {
-            return Err(ScheduleError::InvalidService { service_id: spec.id });
+            return Err(ScheduleError::InvalidService {
+                service_id: spec.id,
+            });
         }
         let target = spec.slo.internal_target_ms();
         let dist = BatchDistribution::for_service(spec);
@@ -164,7 +169,10 @@ impl ParisElsa {
         };
         // Smallest profile meeting both the tail-batch latency bound and the
         // typical-batch throughput demand.
-        let chosen = InstanceProfile::ALL.iter().copied().find(|g| latency_ok(*g) && rate_ok(*g));
+        let chosen = InstanceProfile::ALL
+            .iter()
+            .copied()
+            .find(|g| latency_ok(*g) && rate_ok(*g));
         let Some(instance) = chosen else {
             if !InstanceProfile::ALL.iter().any(|g| latency_ok(*g)) {
                 return Err(ScheduleError::InfeasibleSlo {
@@ -222,12 +230,14 @@ impl ParisElsa {
     /// # Errors
     /// Propagates PARIS sizing failures.
     pub fn temporal_plan(&self, services: &[ServiceSpec]) -> Result<TemporalPlan, ScheduleError> {
-        let sized: Vec<Sized> =
-            services.iter().map(|s| Self::size(s)).collect::<Result<_, _>>()?;
+        let sized: Vec<Sized> = services.iter().map(Self::size).collect::<Result<_, _>>()?;
         let mut plan = TemporalPlan::default();
         let mut residents: Vec<Option<Sized>> = Vec::new();
         for s in sized {
-            let tenant = Tenant { service_id: s.spec.id, utilization: s.utilization };
+            let tenant = Tenant {
+                service_id: s.spec.id,
+                utilization: s.utilization,
+            };
             let slot = residents
                 .iter()
                 .position(|r| r.as_ref().is_some_and(|r| Self::can_share(r, &s)));
@@ -249,8 +259,7 @@ impl Scheduler for ParisElsa {
     }
 
     fn schedule(&self, services: &[ServiceSpec]) -> Result<Deployment, ScheduleError> {
-        let sized: Vec<Sized> =
-            services.iter().map(|s| Self::size(s)).collect::<Result<_, _>>()?;
+        let sized: Vec<Sized> = services.iter().map(Self::size).collect::<Result<_, _>>()?;
         // ELSA's placement walks instances largest-first onto the fleet but
         // applies no slot preferences or fragmentation repair.
         let mut order = sized;
@@ -294,7 +303,8 @@ mod tests {
 
     #[test]
     fn batch_distribution_tracks_rate() {
-        let slow = BatchDistribution::for_service(&ServiceSpec::new(0, Model::ResNet50, 10.0, 200.0));
+        let slow =
+            BatchDistribution::for_service(&ServiceSpec::new(0, Model::ResNet50, 10.0, 200.0));
         let fast =
             BatchDistribution::for_service(&ServiceSpec::new(0, Model::ResNet50, 1000.0, 200.0));
         assert!(fast.mean > slow.mean);
@@ -359,12 +369,8 @@ mod tests {
         let seg = mig.segments_of(0).next().unwrap().segment;
         let dist = BatchDistribution::for_service(&spec);
         let typical_ok = InstanceProfile::ALL.iter().copied().find(|g| {
-            parva_perf::latency_ms(
-                spec.model,
-                ComputeShare::Mig(*g),
-                dist.typical_batch(),
-                1,
-            ) < spec.slo.internal_target_ms()
+            parva_perf::latency_ms(spec.model, ComputeShare::Mig(*g), dist.typical_batch(), 1)
+                < spec.slo.internal_target_ms()
         });
         assert!(typical_ok.unwrap().gpcs() <= seg.triplet.instance.gpcs());
     }

@@ -36,7 +36,10 @@ fn main() {
     for factor in [2.0, 4.0, 6.0, 8.0] {
         cases.push((
             format!("mmpp x{factor:.0}"),
-            ArrivalProcess::Mmpp { burst_factor: factor, mean_phase_s: 0.5 },
+            ArrivalProcess::Mmpp {
+                burst_factor: factor,
+                mean_phase_s: 0.5,
+            },
         ));
     }
 
@@ -53,7 +56,12 @@ fn main() {
         let worst = specs
             .iter()
             .zip(&report.services)
-            .map(|(spec, s)| (s.latency.quantile_ms(0.99), s.latency.quantile_ms(0.99) / spec.slo.latency_ms))
+            .map(|(spec, s)| {
+                (
+                    s.latency.quantile_ms(0.99),
+                    s.latency.quantile_ms(0.99) / spec.slo.latency_ms,
+                )
+            })
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap_or((0.0, 0.0));
         table.row(vec![

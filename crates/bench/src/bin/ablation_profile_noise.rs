@@ -21,18 +21,16 @@ use parva_serve::{simulate, ServingConfig};
 fn main() {
     let specs = Scenario::S2.services();
     let serving = ServingConfig::default();
-    let mut table = TextTable::new(vec![
-        "noise %",
-        "seed",
-        "GPUs",
-        "compliance %",
-        "slack %",
-    ]);
+    let mut table = TextTable::new(vec!["noise %", "seed", "GPUs", "compliance %", "slack %"]);
     println!("Ablation — profiling measurement noise (ParvaGPU on S2)\n");
     for rel_err in [0.0, 0.02, 0.05, 0.10, 0.15] {
         for seed in [1u64, 2, 3] {
-            let book =
-                ProfileBook::measure_with_noise(&Model::ALL, &SweepGrid::paper_default(), seed, rel_err);
+            let book = ProfileBook::measure_with_noise(
+                &Model::ALL,
+                &SweepGrid::paper_default(),
+                seed,
+                rel_err,
+            );
             let sched = ParvaGpu::new(&book);
             match sched.schedule(&specs) {
                 Ok(d) => {

@@ -19,8 +19,12 @@ use parva_scenarios::Scenario;
 
 fn main() {
     let book = ProfileBook::builtin();
-    let mut table =
-        TextTable::new(vec!["threshold", "total GPUs (S1-S6)", "mean frag %", "max frag %"]);
+    let mut table = TextTable::new(vec![
+        "threshold",
+        "total GPUs (S1-S6)",
+        "mean frag %",
+        "max frag %",
+    ]);
     println!("Ablation — Allocation Optimization threshold sweep\n");
     println!("(fill pass disabled so the threshold's own effect is visible;");
     println!(" with the fill pass on, every threshold reaches 0% fragmentation)\n");

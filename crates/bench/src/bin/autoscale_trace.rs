@@ -27,7 +27,13 @@ fn base() -> Vec<ServiceSpec> {
 }
 
 fn run(name: &str, trace: &RateTrace, book: &ProfileBook) {
-    let serving = ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 42, ..Default::default() };
+    let serving = ServingConfig {
+        warmup_s: 1.0,
+        duration_s: 4.0,
+        drain_s: 2.0,
+        seed: 42,
+        ..Default::default()
+    };
     let inc = orchestrator::run_traced(book, &base(), trace, &serving).expect("feasible");
     let rep = orchestrator::run_traced_replan(book, &base(), trace, &serving).expect("feasible");
 

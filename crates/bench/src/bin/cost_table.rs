@@ -43,9 +43,9 @@ fn main() {
             match &r.deployment {
                 Ok(d) => {
                     let report = CostReport::from_plan(r.name, &pack(d, node), pricing);
-                    let saving = parva_report
-                        .as_ref()
-                        .map_or(String::new(), |p| format!("{:.1}", p.saving_vs(&report) * 100.0));
+                    let saving = parva_report.as_ref().map_or(String::new(), |p| {
+                        format!("{:.1}", p.saving_vs(&report) * 100.0)
+                    });
                     table.row(vec![
                         scenario.label().to_string(),
                         r.name.to_string(),

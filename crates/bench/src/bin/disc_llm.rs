@@ -63,15 +63,18 @@ fn main() {
     ]);
     for gpu in gpu_lineup() {
         for llm in Model::LLMS {
-            let smallest = InstanceProfile::ALL.iter().copied().find(|g| {
-                parva_perf::math::fits_memory_on(llm, ComputeShare::Mig(*g), 1, 1, gpu)
-            });
+            let smallest = InstanceProfile::ALL
+                .iter()
+                .copied()
+                .find(|g| parva_perf::math::fits_memory_on(llm, ComputeShare::Mig(*g), 1, 1, gpu));
             let table = parva_profile::ProfileTable::measure_on(llm, &llm_grid(), gpu);
             feas.row(vec![
                 gpu.name.to_string(),
                 llm.name().to_string(),
                 smallest.map_or("none".into(), |g| g.to_string()),
-                smallest.map_or(f64::NAN, |g| gpu.instance_memory_gib(g)).to_string(),
+                smallest
+                    .map_or(f64::NAN, |g| gpu.instance_memory_gib(g))
+                    .to_string(),
                 table.entries().len().to_string(),
                 llm_grid().len().to_string(),
             ]);

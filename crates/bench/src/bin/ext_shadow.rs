@@ -23,7 +23,13 @@ fn main() {
     let sched = ParvaGpu::new(&book);
     let specs = Scenario::S2.services();
     let (services, before) = sched.plan(&specs).expect("S2 feasible");
-    let cfg = ServingConfig { warmup_s: 1.0, duration_s: 6.0, drain_s: 2.0, seed: 17, ..Default::default() };
+    let cfg = ServingConfig {
+        warmup_s: 1.0,
+        duration_s: 6.0,
+        drain_s: 2.0,
+        seed: 17,
+        ..Default::default()
+    };
 
     let mut table = TextTable::new(vec![
         "spike factor",
@@ -43,10 +49,17 @@ fn main() {
             specs[8].request_rate_rps * factor,
             specs[8].slo.latency_ms,
         );
-        let Ok(outcome) = reconfigure::update_service(&sched, &before, &services, updated)
-        else {
-            table.row(vec![format!("{factor:.1}"), "infeasible".into(), String::new(),
-                String::new(), String::new(), String::new(), String::new(), String::new()]);
+        let Ok(outcome) = reconfigure::update_service(&sched, &before, &services, updated) else {
+            table.row(vec![
+                format!("{factor:.1}"),
+                "infeasible".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
             continue;
         };
         let report = simulate_window(&before, &outcome, &specs, &cfg);

@@ -8,7 +8,10 @@ use parva_mig::{all_configurations, GpuState};
 
 fn main() {
     let configs = all_configurations();
-    println!("Figure 1 — {} supported MIG configurations on the A100\n", configs.len());
+    println!(
+        "Figure 1 — {} supported MIG configurations on the A100\n",
+        configs.len()
+    );
     let mut table = TextTable::new(vec!["config", "slices 0-6", "sizes", "GPCs used"]);
     for (i, c) in configs.iter().enumerate() {
         let mut g = GpuState::new();
@@ -24,6 +27,10 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    assert_eq!(configs.len(), 19, "paper Fig. 1 lists exactly 19 configurations");
+    assert_eq!(
+        configs.len(),
+        19,
+        "paper Fig. 1 lists exactly 19 configurations"
+    );
     write_csv("fig1_mig_configurations.csv", &table.to_csv());
 }

@@ -65,7 +65,10 @@ fn main() {
     }
 
     println!("Figure 10 — total GPUs:\n{}", gpus_table.render());
-    println!("Figure 11 — scheduling delay (log10 ms):\n{}", delay_table.render());
+    println!(
+        "Figure 11 — scheduling delay (log10 ms):\n{}",
+        delay_table.render()
+    );
     write_csv("fig10_gpu_scaling.csv", &gpus_table.to_csv());
     write_csv("fig11_delay_scaling.csv", &delay_table.to_csv());
 }

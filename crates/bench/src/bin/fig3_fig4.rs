@@ -30,7 +30,12 @@ fn surface(procs: u32) -> String {
                     let w = f64::from(gpc - 4) / 3.0;
                     let t = (1.0 - w)
                         * parva_perf::math::throughput_rps(Model::InceptionV3, lo, batch, procs)
-                        + w * parva_perf::math::throughput_rps(Model::InceptionV3, hi, batch, procs);
+                        + w * parva_perf::math::throughput_rps(
+                            Model::InceptionV3,
+                            hi,
+                            batch,
+                            procs,
+                        );
                     let l = (1.0 - w)
                         * parva_perf::math::latency_ms(Model::InceptionV3, lo, batch, procs)
                         + w * parva_perf::math::latency_ms(Model::InceptionV3, hi, batch, procs);
@@ -55,18 +60,66 @@ fn main() {
     let g4 = ComputeShare::Mig(parva_mig::InstanceProfile::G4);
     println!("anchor points (paper → model):");
     let anchors: Vec<(&str, f64, f64)> = vec![
-        ("g=1 b=4 p=1 tput", 354.0, parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 1)),
-        ("g=1 b=4 p=2 tput", 444.0, parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 2)),
-        ("g=1 b=4 p=3 tput", 446.0, parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 3)),
-        ("g=1 b=4 p=1 lat", 11.0, parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 1)),
-        ("g=1 b=4 p=2 lat", 18.0, parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 2)),
-        ("g=1 b=4 p=3 lat", 27.0, parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 3)),
-        ("g=4 b=8 p=1 tput", 786.0, parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 1)),
-        ("g=4 b=8 p=2 tput", 1695.0, parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 2)),
-        ("g=4 b=8 p=3 tput", 1810.0, parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 3)),
-        ("g=4 b=8 p=1 lat", 10.0, parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 1)),
-        ("g=4 b=8 p=2 lat", 9.0, parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 2)),
-        ("g=4 b=8 p=3 lat", 13.0, parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 3)),
+        (
+            "g=1 b=4 p=1 tput",
+            354.0,
+            parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 1),
+        ),
+        (
+            "g=1 b=4 p=2 tput",
+            444.0,
+            parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 2),
+        ),
+        (
+            "g=1 b=4 p=3 tput",
+            446.0,
+            parva_perf::math::throughput_rps(Model::InceptionV3, g1, 4, 3),
+        ),
+        (
+            "g=1 b=4 p=1 lat",
+            11.0,
+            parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 1),
+        ),
+        (
+            "g=1 b=4 p=2 lat",
+            18.0,
+            parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 2),
+        ),
+        (
+            "g=1 b=4 p=3 lat",
+            27.0,
+            parva_perf::math::latency_ms(Model::InceptionV3, g1, 4, 3),
+        ),
+        (
+            "g=4 b=8 p=1 tput",
+            786.0,
+            parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 1),
+        ),
+        (
+            "g=4 b=8 p=2 tput",
+            1695.0,
+            parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 2),
+        ),
+        (
+            "g=4 b=8 p=3 tput",
+            1810.0,
+            parva_perf::math::throughput_rps(Model::InceptionV3, g4, 8, 3),
+        ),
+        (
+            "g=4 b=8 p=1 lat",
+            10.0,
+            parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 1),
+        ),
+        (
+            "g=4 b=8 p=2 lat",
+            9.0,
+            parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 2),
+        ),
+        (
+            "g=4 b=8 p=3 lat",
+            13.0,
+            parva_perf::math::latency_ms(Model::InceptionV3, g4, 8, 3),
+        ),
     ];
     let mut anchor_csv = String::from("point,paper,model\n");
     for (name, paper, model) in anchors {

@@ -1,0 +1,55 @@
+//! Fleet-chaos experiment: sweep seeds over a heterogeneous fleet and
+//! tabulate recovery behaviour — migrations, re-flashes, compliance dips,
+//! recovery latency and mixed-pricing cost — then write `fleet_chaos.csv`
+//! under `results/`.
+//!
+//! Usage: `cargo run --release -p parva-bench --bin fleet_chaos [seeds]`
+
+use parva_bench::write_csv;
+use parva_fleet::{demo_services, run_chaos, FleetConfig, FleetSpec};
+use parva_profile::ProfileBook;
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let book = ProfileBook::builtin();
+    let spec = FleetSpec::mixed_demo(2);
+
+    let mut csv = String::from(
+        "seed,events,migrations,reflashes,worst_dip_pct,worst_recovery_ms,final_usd_per_hour,recovered\n",
+    );
+    println!("== fleet chaos: {seeds} seeds, mixed A100-80/A100-40/H100-spot fleet ==\n");
+    for seed in 0..seeds as u64 {
+        let config = FleetConfig {
+            seed,
+            intervals: 8,
+            ..FleetConfig::default()
+        };
+        match run_chaos(&book, &demo_services(), &spec, &config) {
+            Ok(report) => {
+                let last_cost = report
+                    .events
+                    .last()
+                    .map_or(report.baseline_usd_per_hour, |e| e.usd_per_hour);
+                csv.push_str(&format!(
+                    "{seed},{},{},{},{:.3},{:.0},{:.2},{}\n",
+                    report.events.len(),
+                    report.total_migrations(),
+                    report.total_reflashes(),
+                    report.worst_dip() * 100.0,
+                    report.worst_recovery_latency_ms(),
+                    last_cost,
+                    report.fully_recovered()
+                ));
+                println!("{}", report.render());
+            }
+            Err(e) => {
+                csv.push_str(&format!("{seed},0,0,0,0,0,0,error\n"));
+                println!("seed {seed}: {e}\n");
+            }
+        }
+    }
+    write_csv("fleet_chaos.csv", &csv);
+}

@@ -1,6 +1,6 @@
 //! Runs every experiment of the paper end to end and writes all CSVs under
 //! `results/`. Scenario evaluations (which include serving simulations) run
-//! in parallel across scenarios via crossbeam scoped threads.
+//! in parallel across scenarios via std scoped threads.
 //!
 //! Usage: `cargo run --release -p parva-bench --bin repro_all`
 
@@ -10,8 +10,15 @@ use parva_profile::ProfileBook;
 use parva_scenarios::Scenario;
 use parva_serve::ServingConfig;
 
-fn column(eval: &ScenarioEval, name: &str, f: impl Fn(&parva_bench::FrameworkResult) -> String) -> String {
-    eval.results.iter().find(|r| r.name == name).map_or("n/a".into(), f)
+fn column(
+    eval: &ScenarioEval,
+    name: &str,
+    f: impl Fn(&parva_bench::FrameworkResult) -> String,
+) -> String {
+    eval.results
+        .iter()
+        .find(|r| r.name == name)
+        .map_or("n/a".into(), f)
 }
 
 fn main() {
@@ -23,27 +30,37 @@ fn main() {
     // Scenario-based figures (5, 6, 7, 8, 9) — evaluate each scenario once
     // with serving, in parallel.
     let mut evals: Vec<Option<ScenarioEval>> = vec![None; Scenario::ALL.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for sc in Scenario::ALL {
             let book = &book;
             let serving = &serving;
-            handles.push((sc, scope.spawn(move |_| evaluate_scenario(book, sc, true, serving))));
+            handles.push((
+                sc,
+                scope.spawn(move || evaluate_scenario(book, sc, true, serving)),
+            ));
         }
         for (i, (sc, h)) in handles.into_iter().enumerate() {
             evals[i] = Some(h.join().expect("scenario evaluation panicked"));
             eprintln!("  evaluated {sc}");
         }
-    })
-    .expect("crossbeam scope");
+    });
     let evals: Vec<ScenarioEval> = evals.into_iter().map(|e| e.expect("filled")).collect();
 
-    let frameworks =
-        ["gpulet", "iGniter", "MIG-serving", "ParvaGPU-unoptimized", "ParvaGPU-single", "ParvaGPU"];
+    let frameworks = [
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-unoptimized",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ];
 
     // Fig. 5 — GPU counts.
     let mut fig5 = TextTable::new(
-        std::iter::once("scenario").chain(frameworks).collect::<Vec<_>>(),
+        std::iter::once("scenario")
+            .chain(frameworks)
+            .collect::<Vec<_>>(),
     );
     for e in &evals {
         let mut row = vec![e.scenario.label().to_string()];
@@ -59,13 +76,16 @@ fn main() {
 
     // Fig. 6 — internal slack.
     let mut fig6 = TextTable::new(
-        std::iter::once("scenario").chain(frameworks).collect::<Vec<_>>(),
+        std::iter::once("scenario")
+            .chain(frameworks)
+            .collect::<Vec<_>>(),
     );
     for e in &evals {
         let mut row = vec![e.scenario.label().to_string()];
         for fw in frameworks {
             row.push(column(e, fw, |r| {
-                r.slack.map_or("fail".into(), |s| format!("{:.1}", s * 100.0))
+                r.slack
+                    .map_or("fail".into(), |s| format!("{:.1}", s * 100.0))
             }));
         }
         fig6.row(row);
@@ -75,13 +95,16 @@ fn main() {
 
     // Fig. 7 — external fragmentation.
     let mut fig7 = TextTable::new(
-        std::iter::once("scenario").chain(frameworks).collect::<Vec<_>>(),
+        std::iter::once("scenario")
+            .chain(frameworks)
+            .collect::<Vec<_>>(),
     );
     for e in &evals {
         let mut row = vec![e.scenario.label().to_string()];
         for fw in frameworks {
             row.push(column(e, fw, |r| {
-                r.fragmentation.map_or("fail".into(), |f| format!("{:.1}", f * 100.0))
+                r.fragmentation
+                    .map_or("fail".into(), |f| format!("{:.1}", f * 100.0))
             }));
         }
         fig7.row(row);
@@ -91,13 +114,16 @@ fn main() {
 
     // Fig. 8 — SLO compliance.
     let mut fig8 = TextTable::new(
-        std::iter::once("scenario").chain(frameworks).collect::<Vec<_>>(),
+        std::iter::once("scenario")
+            .chain(frameworks)
+            .collect::<Vec<_>>(),
     );
     for e in &evals {
         let mut row = vec![e.scenario.label().to_string()];
         for fw in frameworks {
             row.push(column(e, fw, |r| {
-                r.compliance.map_or("fail".into(), |c| format!("{:.2}", c * 100.0))
+                r.compliance
+                    .map_or("fail".into(), |c| format!("{:.2}", c * 100.0))
             }));
         }
         fig8.row(row);
@@ -107,7 +133,9 @@ fn main() {
 
     // Fig. 9 — scheduling delay.
     let mut fig9 = TextTable::new(
-        std::iter::once("scenario").chain(frameworks).collect::<Vec<_>>(),
+        std::iter::once("scenario")
+            .chain(frameworks)
+            .collect::<Vec<_>>(),
     );
     for e in &evals {
         let mut row = vec![e.scenario.label().to_string()];
@@ -122,11 +150,16 @@ fn main() {
         }
         fig9.row(row);
     }
-    println!("\nFigure 9 — scheduling delay (log10 ms)\n{}", fig9.render());
+    println!(
+        "\nFigure 9 — scheduling delay (log10 ms)\n{}",
+        fig9.render()
+    );
     write_csv("fig9_scheduling_delay.csv", &fig9.to_csv());
 
     println!("\nScenario figures complete. Run the remaining binaries for the rest:");
     println!("  table1, fig1, fig3_fig4, table4, fig10_fig11      (paper tables/figures)");
-    println!("  cost_table, disc_llm, ext_shadow                  (cost + \u{a7}V/\u{a7}III-F analyses)");
+    println!(
+        "  cost_table, disc_llm, ext_shadow                  (cost + \u{a7}V/\u{a7}III-F analyses)"
+    );
     println!("  ablation_threshold, ablation_profile_noise, ablation_burstiness, autoscale_trace");
 }

@@ -13,7 +13,11 @@ fn main() {
 
     // Parameter-count row (the table's "Workload features").
     let mut params: Vec<String> = vec!["—".into(), "params (M)".into()];
-    params.extend(Model::ALL.iter().map(|m| format!("{:.1}", m.params_millions())));
+    params.extend(
+        Model::ALL
+            .iter()
+            .map(|m| format!("{:.1}", m.params_millions())),
+    );
     table.row(params);
 
     for sc in Scenario::ALL {
@@ -26,12 +30,17 @@ fn main() {
         };
         let mut rate_row: Vec<String> = vec![sc.label().into(), "rate (req/s)".into()];
         rate_row.extend(
-            Model::ALL.iter().map(|m| cell(*m, &|s| format!("{:.0}", s.request_rate_rps))),
+            Model::ALL
+                .iter()
+                .map(|m| cell(*m, &|s| format!("{:.0}", s.request_rate_rps))),
         );
         table.row(rate_row);
         let mut lat_row: Vec<String> = vec![sc.label().into(), "SLO (ms)".into()];
-        lat_row
-            .extend(Model::ALL.iter().map(|m| cell(*m, &|s| format!("{:.0}", s.slo.latency_ms))));
+        lat_row.extend(
+            Model::ALL
+                .iter()
+                .map(|m| cell(*m, &|s| format!("{:.0}", s.slo.latency_ms))),
+        );
         table.row(lat_row);
     }
 

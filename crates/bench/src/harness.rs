@@ -12,7 +12,14 @@ use std::time::Duration;
 /// The framework lineup of the paper's figures, in legend order.
 #[must_use]
 pub fn framework_names() -> Vec<&'static str> {
-    vec!["gpulet", "iGniter", "MIG-serving", "ParvaGPU-unoptimized", "ParvaGPU-single", "ParvaGPU"]
+    vec![
+        "gpulet",
+        "iGniter",
+        "MIG-serving",
+        "ParvaGPU-unoptimized",
+        "ParvaGPU-single",
+        "ParvaGPU",
+    ]
 }
 
 /// Construct every scheduler afresh (they are cheap to build; the profile
@@ -83,7 +90,9 @@ pub fn evaluate_scenario(
             // allocator's cold-cache noise.
             let _ = sched.schedule(&specs);
             let mut delay = std::time::Duration::MAX;
-            let mut deployment = Err(ScheduleError::InvalidService { service_id: u32::MAX });
+            let mut deployment = Err(ScheduleError::InvalidService {
+                service_id: u32::MAX,
+            });
             for _ in 0..3 {
                 let start = std::time::Instant::now();
                 deployment = sched.schedule(&specs);

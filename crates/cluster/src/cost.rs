@@ -2,12 +2,12 @@
 
 use crate::node::NodeType;
 use crate::pack::NodePlan;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// How the nodes are paid for. Multipliers are representative of public
 /// AWS pricing ratios (reserved ≈ 37% off 1-yr, ≈ 60% off 3-yr; spot
 /// fluctuates around one third of on-demand for p4-class capacity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PricingPlan {
     /// Pay-as-you-go.
     OnDemand,
@@ -39,7 +39,7 @@ impl PricingPlan {
 }
 
 /// The dollar view of one scheduler's deployment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostReport {
     /// Scheduler name.
     pub scheduler: String,
@@ -97,7 +97,11 @@ mod tests {
             });
         }
         let used: usize = packed.iter().map(|n| n.gpu_indices.len()).sum();
-        NodePlan { node, nodes: packed, idle_gpus: nodes * 8 - used }
+        NodePlan {
+            node,
+            nodes: packed,
+            idle_gpus: nodes * 8 - used,
+        }
     }
 
     #[test]

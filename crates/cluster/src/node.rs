@@ -1,10 +1,10 @@
 //! Cloud node (instance) types.
 
 use parva_mig::GpuModel;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A GPU cloud instance type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeType {
     /// Instance-type name, e.g. `"p4de.24xlarge"`.
     pub name: &'static str,

@@ -2,14 +2,14 @@
 
 use crate::node::NodeType;
 use parva_deploy::Deployment;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// vCPUs consumed per inference-server process (model worker + data
 /// feeding); the paper's servers are PyTorch processes pinned to host cores.
 pub const VCPUS_PER_PROCESS: u32 = 2;
 
 /// One packed node: which deployment GPUs it hosts and its vCPU load.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PackedNode {
     /// Deployment GPU indices resident on this node.
     pub gpu_indices: Vec<usize>,
@@ -18,7 +18,7 @@ pub struct PackedNode {
 }
 
 /// The node-level view of a deployment.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodePlan {
     /// The node type packed onto.
     pub node: NodeType,
@@ -74,7 +74,10 @@ fn processes_per_gpu(deployment: &Deployment) -> Vec<u32> {
 pub fn pack(deployment: &Deployment, node: NodeType) -> NodePlan {
     let procs = processes_per_gpu(deployment);
     let mut nodes: Vec<PackedNode> = Vec::new();
-    let mut current = PackedNode { gpu_indices: Vec::new(), vcpus_used: 0 };
+    let mut current = PackedNode {
+        gpu_indices: Vec::new(),
+        vcpus_used: 0,
+    };
     for (gpu, p) in procs.iter().enumerate() {
         let demand = p * VCPUS_PER_PROCESS;
         let gpu_slots_full = current.gpu_indices.len() >= usize::from(node.gpus);
@@ -82,7 +85,10 @@ pub fn pack(deployment: &Deployment, node: NodeType) -> NodePlan {
         if !current.gpu_indices.is_empty() && (gpu_slots_full || vcpus_full) {
             nodes.push(std::mem::replace(
                 &mut current,
-                PackedNode { gpu_indices: Vec::new(), vcpus_used: 0 },
+                PackedNode {
+                    gpu_indices: Vec::new(),
+                    vcpus_used: 0,
+                },
             ));
         }
         current.gpu_indices.push(gpu);
@@ -93,7 +99,11 @@ pub fn pack(deployment: &Deployment, node: NodeType) -> NodePlan {
     }
     let used: usize = nodes.iter().map(|n| n.gpu_indices.len()).sum();
     let idle = nodes.len() * usize::from(node.gpus) - used;
-    NodePlan { node, nodes, idle_gpus: idle }
+    NodePlan {
+        node,
+        nodes,
+        idle_gpus: idle,
+    }
 }
 
 #[cfg(test)]
@@ -159,13 +169,20 @@ mod tests {
     #[test]
     fn gpu_order_preserved() {
         let plan = pack(&mig_deployment(10, 1), NodeType::P4DE_24XLARGE);
-        let all: Vec<usize> = plan.nodes.iter().flat_map(|n| n.gpu_indices.clone()).collect();
+        let all: Vec<usize> = plan
+            .nodes
+            .iter()
+            .flat_map(|n| n.gpu_indices.clone())
+            .collect();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_deployment_packs_to_nothing() {
-        let plan = pack(&Deployment::Mig(MigDeployment::new()), NodeType::P4DE_24XLARGE);
+        let plan = pack(
+            &Deployment::Mig(MigDeployment::new()),
+            NodeType::P4DE_24XLARGE,
+        );
         assert_eq!(plan.node_count(), 0);
         assert_eq!(plan.idle_gpus, 0);
         assert_eq!(plan.gpu_utilization(), 1.0);

@@ -49,7 +49,11 @@ pub struct AllocatorConfig {
 
 impl Default for AllocatorConfig {
     fn default() -> Self {
-        Self { frag_threshold_gpcs: 4, optimize: true, fill: true }
+        Self {
+            frag_threshold_gpcs: 4,
+            optimize: true,
+            fill: true,
+        }
     }
 }
 
@@ -86,7 +90,10 @@ impl SegmentQueues {
     /// Total queued segments.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.queues.iter().map(std::collections::VecDeque::len).sum()
+        self.queues
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .sum()
     }
 
     /// True when nothing is queued.
@@ -136,7 +143,11 @@ fn used_gpus(d: &MigDeployment) -> usize {
 }
 
 fn free_gpcs_on_used(d: &MigDeployment) -> u32 {
-    d.gpus().iter().filter(|g| !g.is_empty()).map(|g| u32::from(g.gpcs_free())).sum()
+    d.gpus()
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| u32::from(g.gpcs_free()))
+        .sum()
 }
 
 /// `(used GPUs, free GPCs)` — lexicographic "badness" for rollback guards.
@@ -162,11 +173,7 @@ fn small_segments(svc: &Service, need: f64) -> Vec<Segment> {
 }
 
 /// Stage 2 — `ALLOCATION_OPTIMIZATION` (paper Alg. 2 lines 12–31).
-pub fn optimize(
-    deployment: &mut MigDeployment,
-    services: &[Service],
-    config: &AllocatorConfig,
-) {
+pub fn optimize(deployment: &mut MigDeployment, services: &[Service], config: &AllocatorConfig) {
     let by_id: HashMap<u32, &Service> = services.iter().map(|s| (s.spec.id, s)).collect();
     // The freed-throughput ledger lives across GPU iterations (paper line
     // 13: `freed_rate` is declared outside the loop), so surplus coverage
@@ -195,8 +202,7 @@ pub fn optimize(
                 continue;
             }
             any_freed = true;
-            *freed_rate.entry(ps.segment.service_id).or_insert(0.0) +=
-                ps.segment.throughput_rps;
+            *freed_rate.entry(ps.segment.service_id).or_insert(0.0) += ps.segment.throughput_rps;
             deployment.remove(gpu, ps.placement);
         }
         if !any_freed {
@@ -246,7 +252,11 @@ fn stranding_victim(
     d.segments_on(gpu)
         .filter(|ps| ps.placement.profile == InstanceProfile::G3)
         .filter(|ps| !by_id[&ps.segment.service_id].small_triplets().is_empty())
-        .min_by(|a, b| a.segment.throughput_rps.total_cmp(&b.segment.throughput_rps))
+        .min_by(|a, b| {
+            a.segment
+                .throughput_rps
+                .total_cmp(&b.segment.throughput_rps)
+        })
         .copied()
 }
 
@@ -369,8 +379,12 @@ mod tests {
     }
 
     fn s2_specs() -> Vec<ServiceSpec> {
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -436,7 +450,11 @@ mod tests {
             d.gpcs_allocated(),
             d.gpcs_capacity(),
             "fragmented deployment:\n{}",
-            d.gpus().iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+            d.gpus()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
         );
     }
 
@@ -445,7 +463,11 @@ mod tests {
         let svcs = configure(&s2_specs(), &book(), 3).unwrap();
         let unopt = allocate(
             &svcs,
-            &AllocatorConfig { optimize: false, fill: false, ..AllocatorConfig::default() },
+            &AllocatorConfig {
+                optimize: false,
+                fill: false,
+                ..AllocatorConfig::default()
+            },
         );
         let full = allocate(&svcs, &AllocatorConfig::default());
         assert!(full.gpu_count() <= unopt.gpu_count());
@@ -511,8 +533,10 @@ mod tests {
             let total: f64 = segs.iter().map(|s| s.throughput_rps).sum();
             assert!(total >= 500.0);
             // Minimality: dropping the last one must under-cover.
-            let without_last: f64 =
-                segs[..segs.len() - 1].iter().map(|s| s.throughput_rps).sum();
+            let without_last: f64 = segs[..segs.len() - 1]
+                .iter()
+                .map(|s| s.throughput_rps)
+                .sum();
             assert!(without_last < 500.0);
         }
     }

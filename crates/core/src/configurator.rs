@@ -110,18 +110,26 @@ pub fn configure_service(
     max_procs: u32,
 ) -> Result<Service, ScheduleError> {
     if !spec.is_valid() {
-        return Err(ScheduleError::InvalidService { service_id: spec.id });
+        return Err(ScheduleError::InvalidService {
+            service_id: spec.id,
+        });
     }
-    let table = book
-        .table(spec.model)
-        .ok_or(ScheduleError::NotProfiled { service_id: spec.id })?;
+    let table = book.table(spec.model).ok_or(ScheduleError::NotProfiled {
+        service_id: spec.id,
+    })?;
     let opt_triplets = optimal_triplets(spec, table, max_procs);
     let (opt_seg, num_opt_seg, last_seg) =
         demand_match(spec, &opt_triplets).ok_or(ScheduleError::InfeasibleSlo {
             service_id: spec.id,
             internal_target_ms: spec.slo.internal_target_ms(),
         })?;
-    Ok(Service { spec: *spec, opt_triplets, opt_seg, num_opt_seg, last_seg })
+    Ok(Service {
+        spec: *spec,
+        opt_triplets,
+        opt_seg,
+        num_opt_seg,
+        last_seg,
+    })
 }
 
 /// Run the Configurator for a whole service set (paper Alg. 1 top level).
@@ -134,7 +142,10 @@ pub fn configure(
     book: &ProfileBook,
     max_procs: u32,
 ) -> Result<Vec<Service>, ScheduleError> {
-    specs.iter().map(|s| configure_service(s, book, max_procs)).collect()
+    specs
+        .iter()
+        .map(|s| configure_service(s, book, max_procs))
+        .collect()
 }
 
 #[cfg(test)]
@@ -194,8 +205,7 @@ mod tests {
         // cover: ceil(rate/(υ·opt_tput)) × opt_gpcs.
         let spec = ServiceSpec::new(0, Model::DenseNet169, 3_507.0, 84.0);
         let svc = configure_service(&spec, &book(), 3).unwrap();
-        let naive = (spec.request_rate_rps
-            / (svc.opt_seg.throughput_rps * TARGET_UTILIZATION))
+        let naive = (spec.request_rate_rps / (svc.opt_seg.throughput_rps * TARGET_UTILIZATION))
             .ceil() as u32
             * u32::from(svc.opt_seg.gpcs());
         assert!(svc.configured_gpcs() <= naive);
@@ -224,9 +234,7 @@ mod tests {
         let svc = configure_service(&spec, &book(), 3).unwrap();
         if let Some(last) = svc.last_seg {
             let left = spec.request_rate_rps
-                - f64::from(svc.num_opt_seg)
-                    * svc.opt_seg.throughput_rps
-                    * TARGET_UTILIZATION;
+                - f64::from(svc.num_opt_seg) * svc.opt_seg.throughput_rps * TARGET_UTILIZATION;
             assert!(last.throughput_rps * TARGET_UTILIZATION >= left);
             for t in &svc.opt_triplets {
                 if t.gpcs() < last.gpcs() {
@@ -259,7 +267,10 @@ mod tests {
 
     #[test]
     fn unprofiled_model_reported() {
-        let book = ProfileBook::measure(&[Model::ResNet50], &parva_profile::SweepGrid::paper_default());
+        let book = ProfileBook::measure(
+            &[Model::ResNet50],
+            &parva_profile::SweepGrid::paper_default(),
+        );
         let spec = ServiceSpec::new(4, Model::Vgg19, 100.0, 300.0);
         assert_eq!(
             configure_service(&spec, &book, 3),
@@ -274,9 +285,7 @@ mod tests {
         assert!(svc.opt_triplets.iter().all(|s| s.triplet.procs == 1));
         // MPS off can never beat MPS on in capacity per GPC.
         let svc_mps = configure_service(&spec, &book(), 3).unwrap();
-        assert!(
-            svc_mps.opt_seg.throughput_per_gpc() >= svc.opt_seg.throughput_per_gpc() - 1e-9
-        );
+        assert!(svc_mps.opt_seg.throughput_per_gpc() >= svc.opt_seg.throughput_per_gpc() - 1e-9);
     }
 
     #[test]
@@ -303,8 +312,12 @@ mod tests {
     #[test]
     fn whole_table_iv_scenario2_feasible() {
         // All 11 services of scenario S2 must configure.
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         let specs: Vec<ServiceSpec> = Model::ALL
             .iter()
             .enumerate()

@@ -103,8 +103,7 @@ pub fn update_service(
 
     // 2. Remove the service's old segments from the map.
     let mut new_deployment = deployment.clone();
-    let old: Vec<PlacedSegment> =
-        new_deployment.segments_of(updated.id).copied().collect();
+    let old: Vec<PlacedSegment> = new_deployment.segments_of(updated.id).copied().collect();
     for ps in &old {
         new_deployment.remove(ps.gpu, ps.placement);
     }
@@ -138,7 +137,11 @@ pub fn update_service(
     // 5. Diff the layouts to find GPUs that need physical reconfiguration.
     let reconfigured_gpus = diff_gpus(deployment, &new_deployment);
 
-    Ok(ReconfigOutcome { deployment: new_deployment, service: new_service, reconfigured_gpus })
+    Ok(ReconfigOutcome {
+        deployment: new_deployment,
+        service: new_service,
+        reconfigured_gpus,
+    })
 }
 
 /// GPUs whose (segment set, placement) differ between two deployments.
@@ -170,8 +173,12 @@ mod tests {
     use parva_profile::ProfileBook;
 
     fn specs() -> Vec<ServiceSpec> {
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -191,7 +198,11 @@ mod tests {
 
         assert!(out.deployment.validate());
         for s in specs() {
-            let rate = if s.id == 4 { updated.request_rate_rps } else { s.request_rate_rps };
+            let rate = if s.id == 4 {
+                updated.request_rate_rps
+            } else {
+                s.request_rate_rps
+            };
             assert!(
                 out.deployment.capacity_of(s.id) + 1e-6 >= rate,
                 "service {} uncovered after reconfig",

@@ -21,7 +21,11 @@ impl ParvaGpu {
     /// Build from a profile book (the Profiler's output).
     #[must_use]
     pub fn new(book: &ProfileBook) -> Self {
-        Self { book: book.clone(), max_procs: 3, allocator: AllocatorConfig::default() }
+        Self {
+            book: book.clone(),
+            max_procs: 3,
+            allocator: AllocatorConfig::default(),
+        }
     }
 
     /// Override the allocator configuration (threshold tuning, ablations).
@@ -96,7 +100,9 @@ impl ParvaGpuSingle {
     /// Build from a profile book.
     #[must_use]
     pub fn new(book: &ProfileBook) -> Self {
-        Self { inner: ParvaGpu::new(book).with_max_procs(1) }
+        Self {
+            inner: ParvaGpu::new(book).with_max_procs(1),
+        }
     }
 
     /// Full pipeline (see [`ParvaGpu::plan`]).
@@ -121,7 +127,10 @@ impl Scheduler for ParvaGpuSingle {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities { mps_support: false, ..Capabilities::parvagpu() }
+        Capabilities {
+            mps_support: false,
+            ..Capabilities::parvagpu()
+        }
     }
 }
 
@@ -181,8 +190,12 @@ mod tests {
     use parva_perf::Model;
 
     fn specs() -> Vec<ServiceSpec> {
-        let rates = [19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0];
-        let lats = [6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0];
+        let rates = [
+            19.0, 353.0, 308.0, 276.0, 460.0, 677.0, 393.0, 281.0, 829.0, 410.0, 354.0,
+        ];
+        let lats = [
+            6_434.0, 183.0, 217.0, 169.0, 419.0, 167.0, 212.0, 213.0, 205.0, 400.0, 397.0,
+        ];
         Model::ALL
             .iter()
             .enumerate()
@@ -215,7 +228,10 @@ mod tests {
         let book = ProfileBook::builtin();
         assert_eq!(ParvaGpu::new(&book).name(), "ParvaGPU");
         assert_eq!(ParvaGpuSingle::new(&book).name(), "ParvaGPU-single");
-        assert_eq!(ParvaGpuUnoptimized::new(&book).name(), "ParvaGPU-unoptimized");
+        assert_eq!(
+            ParvaGpuUnoptimized::new(&book).name(),
+            "ParvaGPU-unoptimized"
+        );
     }
 
     #[test]
@@ -224,7 +240,9 @@ mod tests {
         assert!(ParvaGpu::new(&book).capabilities().mig_support);
         assert!(!ParvaGpuSingle::new(&book).capabilities().mps_support);
         assert_eq!(
-            ParvaGpuUnoptimized::new(&book).capabilities().external_fragmentation_prevention,
+            ParvaGpuUnoptimized::new(&book)
+                .capabilities()
+                .external_fragmentation_prevention,
             Some(false)
         );
     }

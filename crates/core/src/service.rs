@@ -50,8 +50,12 @@ impl Service {
     /// Optimization's `SMALL_SEGMENTS` step, best throughput-per-GPC first.
     #[must_use]
     pub fn small_triplets(&self) -> Vec<Segment> {
-        let mut v: Vec<Segment> =
-            self.opt_triplets.iter().copied().filter(|s| s.gpcs() <= 2).collect();
+        let mut v: Vec<Segment> = self
+            .opt_triplets
+            .iter()
+            .copied()
+            .filter(|s| s.gpcs() <= 2)
+            .collect();
         v.sort_by(|a, b| b.throughput_per_gpc().total_cmp(&a.throughput_per_gpc()));
         v
     }

@@ -146,7 +146,8 @@ impl Capabilities {
             tick(self.mps_support),
             tick(self.mig_support),
             tick(self.internal_slack_prevention),
-            self.external_fragmentation_prevention.map_or("N/A".into(), tick),
+            self.external_fragmentation_prevention
+                .map_or("N/A".into(), tick),
             match self.spatial_scheduling {
                 SpatialScheduling::Full => "yes".into(),
                 SpatialScheduling::UpTo(n) => n.to_string(),
@@ -189,7 +190,10 @@ mod tests {
 
     #[test]
     fn gpulet_limited_to_two() {
-        assert_eq!(Capabilities::gpulet().spatial_scheduling, SpatialScheduling::UpTo(2));
+        assert_eq!(
+            Capabilities::gpulet().spatial_scheduling,
+            SpatialScheduling::UpTo(2)
+        );
     }
 
     #[test]

@@ -64,10 +64,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ScheduleError::RateTooHigh { service_id: 3, rate_rps: 5009.0, max_rps: 900.0 };
+        let e = ScheduleError::RateTooHigh {
+            service_id: 3,
+            rate_rps: 5009.0,
+            max_rps: 900.0,
+        };
         let msg = e.to_string();
         assert!(msg.contains("#3") && msg.contains("5009"));
-        let e = ScheduleError::InfeasibleSlo { service_id: 1, internal_target_ms: 29.5 };
+        let e = ScheduleError::InfeasibleSlo {
+            service_id: 1,
+            internal_target_ms: 29.5,
+        };
         assert!(e.to_string().contains("29.5"));
     }
 }

@@ -50,7 +50,9 @@ impl MigDeployment {
 
     /// Segments of one service.
     pub fn segments_of(&self, service_id: u32) -> impl Iterator<Item = &PlacedSegment> {
-        self.segments.iter().filter(move |s| s.segment.service_id == service_id)
+        self.segments
+            .iter()
+            .filter(move |s| s.segment.service_id == service_id)
     }
 
     /// Segments placed on one GPU.
@@ -73,7 +75,9 @@ impl MigDeployment {
     /// Predicted aggregate capacity for a service, requests/s.
     #[must_use]
     pub fn capacity_of(&self, service_id: u32) -> f64 {
-        self.segments_of(service_id).map(|s| s.segment.throughput_rps).sum()
+        self.segments_of(service_id)
+            .map(|s| s.segment.throughput_rps)
+            .sum()
     }
 
     /// Place a segment on GPU `gpu` (growing the fleet as needed) at an
@@ -91,7 +95,11 @@ impl MigDeployment {
             self.gpus.push(GpuState::new());
         }
         self.gpus[gpu].place_at(placement)?;
-        self.segments.push(PlacedSegment { segment, gpu, placement });
+        self.segments.push(PlacedSegment {
+            segment,
+            gpu,
+            placement,
+        });
         Ok(())
     }
 
@@ -104,18 +112,30 @@ impl MigDeployment {
         for gpu in 0..self.gpus.len() {
             if let Some(start) = self.gpus[gpu].find_start(profile) {
                 let placement = Placement::new(profile, start);
-                self.gpus[gpu].place_at(placement).expect("find_start verified");
-                let placed = PlacedSegment { segment, gpu, placement };
+                self.gpus[gpu]
+                    .place_at(placement)
+                    .expect("find_start verified");
+                let placed = PlacedSegment {
+                    segment,
+                    gpu,
+                    placement,
+                };
                 self.segments.push(placed);
                 return placed;
             }
         }
         let gpu = self.gpus.len();
         self.gpus.push(GpuState::new());
-        let start = self.gpus[gpu].find_start(profile).expect("empty GPU hosts any profile");
+        let start = self.gpus[gpu]
+            .find_start(profile)
+            .expect("empty GPU hosts any profile");
         let placement = Placement::new(profile, start);
         self.gpus[gpu].place_at(placement).expect("empty GPU");
-        let placed = PlacedSegment { segment, gpu, placement };
+        let placed = PlacedSegment {
+            segment,
+            gpu,
+            placement,
+        };
         self.segments.push(placed);
         placed
     }
@@ -235,9 +255,14 @@ mod tests {
         assert_eq!(d.gpu_count(), 2);
         assert!(d.validate());
         // Segment on old GPU 2 must have been renumbered to 1.
-        assert!(d.segments().iter().any(|s| s.gpu == 1 && s.segment.service_id == 2));
+        assert!(d
+            .segments()
+            .iter()
+            .any(|s| s.gpu == 1 && s.segment.service_id == 2));
         // Removing again fails.
-        assert!(d.remove(a.gpu, parva_mig::Placement::new(InstanceProfile::G1, 0)).is_none());
+        assert!(d
+            .remove(a.gpu, parva_mig::Placement::new(InstanceProfile::G1, 0))
+            .is_none());
     }
 
     #[test]

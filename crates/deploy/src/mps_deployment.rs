@@ -126,7 +126,9 @@ impl MpsDeployment {
     #[must_use]
     pub fn validate(&self) -> bool {
         self.gpus.iter().all(|g| {
-            g.partitions.iter().all(|p| p.fraction > 0.0 && p.fraction <= 1.0 + 1e-9)
+            g.partitions
+                .iter()
+                .all(|p| p.fraction > 0.0 && p.fraction <= 1.0 + 1e-9)
                 && g.fraction_used() <= 1.0 + 1e-9
                 && g.memory_gib() <= parva_mig::GpuModel::A100_80GB.total_memory_gib() + 1e-9
         })

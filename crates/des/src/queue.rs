@@ -87,8 +87,16 @@ impl<E> EventQueue<E> {
     /// In debug builds, scheduling into the past panics — it would violate
     /// causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
-        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

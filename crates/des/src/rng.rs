@@ -1,15 +1,26 @@
 //! Seeded random streams for workload generation.
 
 use crate::time::SimTime;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// An independent pseudo-random stream, derived deterministically from a
 /// master seed and a stream id (so every service's arrival process is
 /// reproducible and independent of how many other services exist).
+///
+/// The generator is xoshiro256++ seeded through splitmix64 — self-contained
+/// so the simulation core carries no external dependencies and stays
+/// bit-reproducible across toolchains.
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: SmallRng,
+    state: [u64; 4],
+}
+
+/// One splitmix64 step (seeding and stream separation).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RngStream {
@@ -17,16 +28,38 @@ impl RngStream {
     #[must_use]
     pub fn new(seed: u64, stream_id: u64) -> Self {
         // SplitMix64-style mixing so nearby (seed, id) pairs diverge.
-        let mut z = seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        Self { rng: SmallRng::seed_from_u64(z) }
+        let mut mix = seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        mix = (mix ^ (mix >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        mix = (mix ^ (mix >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        mix ^= mix >> 31;
+        let mut sm = mix;
+        Self {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponential sample with the given rate (events per second), as a
@@ -45,7 +78,9 @@ impl RngStream {
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.rng.gen_range(0..n)
+        // Rejection-free multiply-shift; bias is negligible for simulation
+        // fan-out sizes (n ≪ 2^32).
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 }
 

@@ -1,0 +1,135 @@
+//! The seeded chaos event stream driving the fleet.
+
+use crate::node::Fleet;
+use parva_des::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// A disturbance (or grant) hitting the fleet at an interval boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// Hardware/host failure of one node: its GPUs vanish immediately.
+    NodeFailure {
+        /// The failed node id.
+        node: usize,
+    },
+    /// The provider reclaims one spot node (two-minute warning collapsed to
+    /// the interval boundary).
+    SpotPreemption {
+        /// The preempted node id.
+        node: usize,
+    },
+    /// A pending scale-up is granted: fresh nodes join the fleet.
+    ScaleUpGrant {
+        /// Pool the nodes come from.
+        pool: usize,
+        /// Number of nodes granted.
+        nodes: usize,
+    },
+    /// Demand shifts: every service's offered rate is scaled to
+    /// `multiplier` × its base rate.
+    LoadShift {
+        /// New rate multiplier relative to the base service set.
+        multiplier: f64,
+    },
+    /// Nothing happens this interval (control point in the trace).
+    Quiet,
+}
+
+impl std::fmt::Display for FleetEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NodeFailure { node } => write!(f, "node {node} failed"),
+            Self::SpotPreemption { node } => write!(f, "spot node {node} preempted"),
+            Self::ScaleUpGrant { pool, nodes } => {
+                write!(f, "scale-up: {nodes} node(s) from pool {pool}")
+            }
+            Self::LoadShift { multiplier } => write!(f, "load shift to {multiplier:.2}x"),
+            Self::Quiet => write!(f, "quiet"),
+        }
+    }
+}
+
+/// Draw the next event for the current fleet state. Deterministic given the
+/// stream state; events that need a victim fall back to [`FleetEvent::Quiet`]
+/// when no candidate exists (e.g. preempting with no spot nodes left).
+pub fn next_event(rng: &mut RngStream, fleet: &Fleet) -> FleetEvent {
+    let roll = rng.uniform();
+    if roll < 0.30 {
+        // Fail any alive node — spot or not — but never the last one.
+        let alive = fleet.alive_nodes();
+        if alive.len() <= 1 {
+            return FleetEvent::Quiet;
+        }
+        FleetEvent::NodeFailure {
+            node: alive[rng.index(alive.len())],
+        }
+    } else if roll < 0.55 {
+        let spot = fleet.alive_spot_nodes();
+        if spot.is_empty() || fleet.alive_nodes().len() <= 1 {
+            return FleetEvent::Quiet;
+        }
+        FleetEvent::SpotPreemption {
+            node: spot[rng.index(spot.len())],
+        }
+    } else if roll < 0.75 {
+        let pool = rng.index(fleet.pools().len());
+        FleetEvent::ScaleUpGrant { pool, nodes: 1 }
+    } else if roll < 0.95 {
+        // 0.70×–1.30× of the base rates, quantized for readable reports.
+        let step = rng.index(13);
+        FleetEvent::LoadShift {
+            multiplier: 0.70 + 0.05 * step as f64,
+        }
+    } else {
+        FleetEvent::Quiet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::FleetSpec;
+
+    #[test]
+    fn event_stream_is_deterministic() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        let draw = |seed: u64| -> Vec<FleetEvent> {
+            let mut rng = RngStream::new(seed, 0);
+            (0..32).map(|_| next_event(&mut rng, &fleet)).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn events_respect_fleet_state() {
+        let mut fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        for id in fleet.alive_spot_nodes() {
+            fleet.kill(id);
+        }
+        let mut rng = RngStream::new(3, 1);
+        for _ in 0..200 {
+            match next_event(&mut rng, &fleet) {
+                FleetEvent::SpotPreemption { .. } => panic!("no spot nodes left to preempt"),
+                FleetEvent::NodeFailure { node } => assert!(fleet.node(node).alive),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn last_node_is_never_killed() {
+        let mut fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let alive = fleet.alive_nodes();
+        for &id in &alive[1..] {
+            fleet.kill(id);
+        }
+        let mut rng = RngStream::new(11, 0);
+        for _ in 0..200 {
+            assert!(!matches!(
+                next_event(&mut rng, &fleet),
+                FleetEvent::NodeFailure { .. } | FleetEvent::SpotPreemption { .. }
+            ));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Migration planning: what physically moves when the fleet recovers.
+//!
+//! A recovery step transforms `(deployment, placement)` — the logical map
+//! plus its physical assignment — into a new pair. The migration plan is
+//! the physical diff: which segments land on a different physical GPU (and
+//! must reload weights there), which physical GPUs change MIG layout (and
+//! must re-flash, paper §III-F's "milliseconds to a few seconds" window),
+//! and how many GPCs are left stranded on in-service GPUs afterwards.
+
+use crate::node::{Fleet, GpuSlot};
+use crate::placer::FleetPlacement;
+use parva_deploy::MigDeployment;
+use parva_mig::Placement;
+use parva_perf::PerfParams;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fixed cost of re-flashing one GPU's MIG layout (destroy + create
+/// instances via NVML), milliseconds. Re-flashes run in parallel across
+/// GPUs, so the plan charges it once if any GPU re-flashes.
+pub const MIG_REFLASH_MS: f64 = 800.0;
+
+/// Host-to-device copy bandwidth for reloading model weights on the target
+/// GPU, GiB/s (PCIe Gen4 x16 effective).
+pub const WEIGHT_COPY_GIB_PER_S: f64 = 22.0;
+
+/// Scheduler + control-plane overhead charged per recovery, milliseconds.
+pub const CONTROL_PLANE_MS: f64 = 150.0;
+
+/// The physical movement a recovery implies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// Segments that ended up on a different physical GPU (weights reload).
+    pub migrated_segments: usize,
+    /// Physical GPUs whose MIG layout changed (need a re-flash).
+    pub reflashed_gpus: usize,
+    /// Model weights moved to new GPUs, GiB.
+    pub weight_copy_gib: f64,
+    /// Free GPCs stranded on in-service physical GPUs after recovery.
+    pub stranded_gpcs: u32,
+    /// Analytic end-to-end recovery latency, ms: control plane + one
+    /// parallel re-flash wave + the largest per-GPU weight-copy batch.
+    pub recovery_latency_ms: f64,
+}
+
+/// One physical segment identity: where it runs and what it is.
+type PhysicalSegment = (GpuSlot, Placement, u32);
+
+fn physical_segments(
+    deployment: &MigDeployment,
+    placement: &FleetPlacement,
+) -> Vec<(PhysicalSegment, f64)> {
+    deployment
+        .segments()
+        .iter()
+        .filter_map(|ps| {
+            placement.slot_of(ps.gpu).map(|slot| {
+                let weights = PerfParams::for_model(ps.segment.model).weights_gib;
+                ((slot, ps.placement, ps.segment.service_id), weights)
+            })
+        })
+        .collect()
+}
+
+/// Per-physical-GPU layout (multiset of placements).
+fn layouts(
+    deployment: &MigDeployment,
+    placement: &FleetPlacement,
+) -> BTreeMap<GpuSlot, Vec<Placement>> {
+    let mut map: BTreeMap<GpuSlot, Vec<Placement>> = BTreeMap::new();
+    for ps in deployment.segments() {
+        if let Some(slot) = placement.slot_of(ps.gpu) {
+            map.entry(slot).or_default().push(ps.placement);
+        }
+    }
+    for v in map.values_mut() {
+        v.sort_unstable();
+    }
+    map
+}
+
+impl MigrationPlan {
+    /// Diff two `(deployment, placement)` states into a migration plan.
+    #[must_use]
+    pub fn between(
+        before: (&MigDeployment, &FleetPlacement),
+        after: (&MigDeployment, &FleetPlacement),
+        fleet: &Fleet,
+    ) -> Self {
+        let old: Vec<(PhysicalSegment, f64)> = physical_segments(before.0, before.1);
+        let new: Vec<(PhysicalSegment, f64)> = physical_segments(after.0, after.1);
+
+        // A segment "stays" when an identical physical identity existed
+        // before; extras (count-aware) are migrations/new launches.
+        let mut old_counts: BTreeMap<PhysicalSegment, usize> = BTreeMap::new();
+        for (k, _) in &old {
+            *old_counts.entry(*k).or_insert(0) += 1;
+        }
+        let mut migrated = 0usize;
+        let mut weight_copy_gib = 0.0;
+        let mut per_gpu_copy: BTreeMap<GpuSlot, f64> = BTreeMap::new();
+        for (k, weights) in &new {
+            match old_counts.get_mut(k) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => {
+                    migrated += 1;
+                    weight_copy_gib += weights;
+                    *per_gpu_copy.entry(k.0).or_insert(0.0) += weights;
+                }
+            }
+        }
+
+        let old_layouts = layouts(before.0, before.1);
+        let new_layouts = layouts(after.0, after.1);
+        let mut reflashed = 0usize;
+        for (slot, layout) in &new_layouts {
+            if old_layouts.get(slot) != Some(layout) {
+                reflashed += 1;
+            }
+        }
+        // GPUs that went fully dark on *surviving* nodes also re-flash to
+        // empty; dead nodes' GPUs do not — nobody is left to flash them.
+        for slot in old_layouts.keys() {
+            if !new_layouts.contains_key(slot) && fleet.node(slot.node).alive {
+                reflashed += 1;
+            }
+        }
+
+        let stranded_gpcs: u32 = {
+            let mut used: BTreeMap<GpuSlot, u32> = BTreeMap::new();
+            for ps in after.0.segments() {
+                if let Some(slot) = after.1.slot_of(ps.gpu) {
+                    *used.entry(slot).or_insert(0) += u32::from(ps.segment.gpcs());
+                }
+            }
+            used.values()
+                .map(|&gpcs| u32::from(parva_mig::COMPUTE_SLICES).saturating_sub(gpcs))
+                .sum()
+        };
+
+        let worst_copy_s =
+            per_gpu_copy.values().fold(0.0f64, |a, &b| a.max(b)) / WEIGHT_COPY_GIB_PER_S;
+        let recovery_latency_ms = CONTROL_PLANE_MS
+            + if reflashed > 0 { MIG_REFLASH_MS } else { 0.0 }
+            + worst_copy_s * 1_000.0;
+
+        Self {
+            migrated_segments: migrated,
+            reflashed_gpus: reflashed,
+            weight_copy_gib,
+            stranded_gpcs,
+            recovery_latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Fleet, FleetSpec};
+    use crate::placer::place_on_fleet;
+    use parva_deploy::Segment;
+    use parva_mig::InstanceProfile;
+    use parva_perf::Model;
+    use parva_profile::Triplet;
+
+    fn deployment(n: usize) -> MigDeployment {
+        let mut d = MigDeployment::new();
+        for i in 0..n {
+            d.place_first_fit(Segment {
+                service_id: i as u32,
+                model: Model::ResNet50,
+                triplet: Triplet::new(InstanceProfile::G7, 8, 2),
+                throughput_rps: 1000.0,
+                latency_ms: 10.0,
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn identity_diff_is_empty() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let d = deployment(4);
+        let p = place_on_fleet(&d, &fleet).unwrap();
+        let plan = MigrationPlan::between((&d, &p), (&d, &p), &fleet);
+        assert_eq!(plan.migrated_segments, 0);
+        assert_eq!(plan.reflashed_gpus, 0);
+        assert_eq!(plan.weight_copy_gib, 0.0);
+        assert!((plan.recovery_latency_ms - CONTROL_PLANE_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_one_gpu_charges_reflash_and_copy() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let d = deployment(2);
+        let before = place_on_fleet(&d, &fleet).unwrap();
+        let mut after = before.clone();
+        // Relocate logical GPU 1 to a different physical slot.
+        let taken: Vec<_> = before.slots.iter().map(|(_, s)| *s).collect();
+        let spare = fleet
+            .alive_slots()
+            .into_iter()
+            .find(|s| !taken.contains(s))
+            .expect("fleet has spare slots");
+        after.slots[1].1 = spare;
+        let plan = MigrationPlan::between((&d, &before), (&d, &after), &fleet);
+        assert_eq!(plan.migrated_segments, 1);
+        // The vacated slot re-flashes to empty, the target re-flashes to
+        // the new layout.
+        assert_eq!(plan.reflashed_gpus, 2);
+        assert!(plan.weight_copy_gib > 0.0);
+        assert!(plan.recovery_latency_ms > CONTROL_PLANE_MS + MIG_REFLASH_MS);
+    }
+}

@@ -1,0 +1,302 @@
+//! The living node inventory: heterogeneous pools, spot/on-demand pricing,
+//! node lifecycle (alive / failed / preempted / granted).
+
+use parva_cluster::{NodeType, PricingPlan};
+use parva_mig::GpuModel;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous slice of the fleet: one cloud instance type bought under
+/// one pricing plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodePool {
+    /// Pool label, e.g. `"p4de-ondemand"`.
+    pub name: String,
+    /// The instance type (GPU model, GPU count, vCPUs, on-demand price).
+    pub node: NodeType,
+    /// How the pool's nodes are paid for.
+    pub pricing: PricingPlan,
+    /// Spot pools can be preempted by the provider.
+    pub preemptible: bool,
+    /// Nodes initially provisioned.
+    pub count: usize,
+}
+
+/// The fleet composition: a list of pools.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Pools in provisioning order.
+    pub pools: Vec<NodePool>,
+}
+
+/// An H100 80 GB node modelled after p5.48xlarge (8 GPUs, 192 vCPUs).
+#[must_use]
+pub fn h100_node() -> NodeType {
+    NodeType {
+        name: "p5.48xlarge",
+        gpus: 8,
+        gpu_model: GpuModel::H100_80GB,
+        vcpus: 192,
+        host_memory_gib: 2_048,
+        on_demand_usd_per_hour: 98.32,
+    }
+}
+
+/// An H200 141 GB node modelled after p5e.48xlarge.
+#[must_use]
+pub fn h200_node() -> NodeType {
+    NodeType {
+        name: "p5e.48xlarge",
+        gpus: 8,
+        gpu_model: GpuModel::H200_141GB,
+        vcpus: 192,
+        host_memory_gib: 2_048,
+        on_demand_usd_per_hour: 118.40,
+    }
+}
+
+/// A B200 192 GB node modelled after p6-b200.48xlarge.
+#[must_use]
+pub fn b200_node() -> NodeType {
+    NodeType {
+        name: "p6-b200.48xlarge",
+        gpus: 8,
+        gpu_model: GpuModel::B200_192GB,
+        vcpus: 192,
+        host_memory_gib: 2_048,
+        on_demand_usd_per_hour: 142.26,
+    }
+}
+
+impl FleetSpec {
+    /// The demo composition used by the chaos harness: reserved A100-80GB
+    /// base capacity, an on-demand A100-40GB tier, and a preemptible H100
+    /// spot tier — ≥ 2 GPU models, mixed pricing, spot exposure.
+    #[must_use]
+    pub fn mixed_demo(base_nodes: usize) -> Self {
+        Self {
+            pools: vec![
+                NodePool {
+                    name: "p4de-reserved".into(),
+                    node: NodeType::P4DE_24XLARGE,
+                    pricing: PricingPlan::Reserved1Yr,
+                    preemptible: false,
+                    count: base_nodes.max(1),
+                },
+                NodePool {
+                    name: "p4d-ondemand".into(),
+                    node: NodeType::P4D_24XLARGE,
+                    pricing: PricingPlan::OnDemand,
+                    preemptible: false,
+                    count: 1,
+                },
+                NodePool {
+                    name: "h100-spot".into(),
+                    node: h100_node(),
+                    pricing: PricingPlan::Spot,
+                    preemptible: true,
+                    count: 1,
+                },
+            ],
+        }
+    }
+
+    /// Total GPUs across all pools.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|p| p.count * usize::from(p.node.gpus))
+            .sum()
+    }
+}
+
+/// One provisioned node and its lifecycle state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetNode {
+    /// Stable node id (never reused).
+    pub id: usize,
+    /// Index of the pool this node came from.
+    pub pool: usize,
+    /// The instance type.
+    pub node: NodeType,
+    /// Pricing plan it is billed under.
+    pub pricing: PricingPlan,
+    /// Whether the provider may preempt it.
+    pub preemptible: bool,
+    /// Whether the node is currently serving.
+    pub alive: bool,
+}
+
+/// One physical GPU slot on an alive node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuSlot {
+    /// Hosting node id.
+    pub node: usize,
+    /// GPU index within the node.
+    pub slot: u8,
+}
+
+/// The live node inventory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fleet {
+    nodes: Vec<FleetNode>,
+    pools: Vec<NodePool>,
+}
+
+impl Fleet {
+    /// Provision a fleet from a spec.
+    #[must_use]
+    pub fn provision(spec: &FleetSpec) -> Self {
+        let mut nodes = Vec::new();
+        for (pi, pool) in spec.pools.iter().enumerate() {
+            for _ in 0..pool.count {
+                nodes.push(FleetNode {
+                    id: nodes.len(),
+                    pool: pi,
+                    node: pool.node,
+                    pricing: pool.pricing,
+                    preemptible: pool.preemptible,
+                    alive: true,
+                });
+            }
+        }
+        Self {
+            nodes,
+            pools: spec.pools.clone(),
+        }
+    }
+
+    /// All nodes, dead and alive, in id order.
+    #[must_use]
+    pub fn nodes(&self) -> &[FleetNode] {
+        &self.nodes
+    }
+
+    /// The pool definitions.
+    #[must_use]
+    pub fn pools(&self) -> &[NodePool] {
+        &self.pools
+    }
+
+    /// One node by id.
+    #[must_use]
+    pub fn node(&self, id: usize) -> &FleetNode {
+        &self.nodes[id]
+    }
+
+    /// Ids of currently alive nodes.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of alive preemptible (spot) nodes.
+    #[must_use]
+    pub fn alive_spot_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive && n.preemptible)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Every GPU slot on alive nodes, node-major.
+    #[must_use]
+    pub fn alive_slots(&self) -> Vec<GpuSlot> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            if n.alive {
+                for slot in 0..n.node.gpus {
+                    out.push(GpuSlot { node: n.id, slot });
+                }
+            }
+        }
+        out
+    }
+
+    /// GPU model installed in a slot's node.
+    #[must_use]
+    pub fn slot_model(&self, slot: GpuSlot) -> GpuModel {
+        self.nodes[slot.node].node.gpu_model
+    }
+
+    /// Kill a node (failure or preemption). Returns `false` if it was
+    /// already dead.
+    pub fn kill(&mut self, id: usize) -> bool {
+        let node = &mut self.nodes[id];
+        let was_alive = node.alive;
+        node.alive = false;
+        was_alive
+    }
+
+    /// Grant `count` fresh nodes from pool `pool` (a scale-up). Returns the
+    /// new node ids.
+    pub fn grant(&mut self, pool: usize, count: usize) -> Vec<usize> {
+        let template = self.pools[pool].clone();
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = self.nodes.len();
+            self.nodes.push(FleetNode {
+                id,
+                pool,
+                node: template.node,
+                pricing: template.pricing,
+                preemptible: template.preemptible,
+                alive: true,
+            });
+            ids.push(id);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_counts_and_heterogeneity() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        assert_eq!(fleet.nodes().len(), 4);
+        assert_eq!(fleet.alive_slots().len(), 32);
+        let models: std::collections::BTreeSet<&str> = fleet
+            .nodes()
+            .iter()
+            .map(|n| n.node.gpu_model.name)
+            .collect();
+        assert!(
+            models.len() >= 2,
+            "demo fleet must be heterogeneous: {models:?}"
+        );
+        assert_eq!(fleet.alive_spot_nodes().len(), 1);
+    }
+
+    #[test]
+    fn kill_and_grant_lifecycle() {
+        let mut fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let spot = fleet.alive_spot_nodes()[0];
+        assert!(fleet.kill(spot));
+        assert!(!fleet.kill(spot));
+        assert!(!fleet.node(spot).alive);
+        let before_slots = fleet.alive_slots().len();
+        let granted = fleet.grant(0, 2);
+        assert_eq!(granted.len(), 2);
+        assert_eq!(fleet.alive_slots().len(), before_slots + 16);
+        // Ids are stable and never reused.
+        assert_eq!(granted[0], 3);
+    }
+
+    #[test]
+    fn slot_model_follows_node() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let slots = fleet.alive_slots();
+        let models: Vec<&str> = slots.iter().map(|s| fleet.slot_model(*s).name).collect();
+        assert!(models.contains(&"A100-80GB"));
+        assert!(models.contains(&"A100-40GB"));
+        assert!(models.contains(&"H100-80GB"));
+    }
+}

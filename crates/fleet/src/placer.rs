@@ -1,0 +1,366 @@
+//! Mapping the scheduler's *logical* GPUs onto *physical* heterogeneous
+//! fleet slots.
+//!
+//! The ParvaGPU two-stage scheduler (paper §III) emits a [`MigDeployment`]
+//! over anonymous, A100-geometry GPUs. All catalog models share the 7-slice
+//! MIG geometry (paper §V), so a logical GPU's *layout* is realizable on any
+//! slot; what differs per model is **memory per slice**, which decides
+//! whether each resident segment's working set still fits. The placer
+//! therefore solves a feasibility-aware assignment:
+//!
+//! * every logical GPU with segments gets exactly one physical slot whose
+//!   GPU model can hold all of its segments' working sets;
+//! * per-node vCPU budgets (2 vCPUs per inference process, as in
+//!   `parva_cluster::pack`) are respected;
+//! * assignment is best-fit by memory (demanding layouts go to roomy
+//!   GPUs last, keeping big-memory slots free), deterministic, and —
+//!   via [`place_sticky`] — minimally disruptive: logical GPUs keep their
+//!   previous slot whenever it is still alive and feasible.
+
+use crate::node::{Fleet, GpuSlot};
+use parva_cluster::VCPUS_PER_PROCESS;
+use parva_deploy::MigDeployment;
+use parva_mig::{GpuModel, Placement};
+use parva_perf::math::fits_memory_on;
+use parva_perf::ComputeShare;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A complete logical → physical assignment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetPlacement {
+    /// `logical GPU index → physical slot` (only GPUs with segments).
+    pub slots: Vec<(usize, GpuSlot)>,
+}
+
+impl FleetPlacement {
+    /// The slot of one logical GPU, if assigned.
+    #[must_use]
+    pub fn slot_of(&self, logical: usize) -> Option<GpuSlot> {
+        self.slots
+            .iter()
+            .find(|(l, _)| *l == logical)
+            .map(|(_, s)| *s)
+    }
+
+    /// Node ids hosting at least one logical GPU.
+    #[must_use]
+    pub fn nodes_in_service(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.slots.iter().map(|(_, s)| s.node).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Why a placement attempt failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementError {
+    /// A logical GPU's segments fit no alive slot (by memory or because
+    /// every feasible slot is taken / vCPU-exhausted).
+    NoFeasibleSlot {
+        /// The logical GPU that could not be hosted.
+        logical_gpu: usize,
+        /// GiB demanded by its most memory-hungry segment per memory slice.
+        needed_gib_per_slice: f64,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoFeasibleSlot { logical_gpu, needed_gib_per_slice } => write!(
+                f,
+                "logical GPU {logical_gpu} (needs {needed_gib_per_slice:.1} GiB/slice) fits no alive slot"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Can every segment on `logical` run on GPU model `model`?
+fn gpu_feasible(deployment: &MigDeployment, logical: usize, model: GpuModel) -> bool {
+    deployment.segments_on(logical).all(|ps| {
+        fits_memory_on(
+            ps.segment.model,
+            ComputeShare::Mig(ps.segment.triplet.instance),
+            ps.segment.triplet.batch,
+            ps.segment.triplet.procs,
+            model,
+        )
+    })
+}
+
+/// Smallest per-slice memory (GiB) a logical GPU's segment set requires —
+/// the sort key that sends demanding layouts to roomy slots first.
+fn min_gib_per_slice(deployment: &MigDeployment, logical: usize) -> f64 {
+    deployment
+        .segments_on(logical)
+        .map(|ps| {
+            let t = &ps.segment.triplet;
+            let need = parva_perf::math::memory_gib(ps.segment.model, t.batch, t.procs);
+            need / f64::from(t.instance.memory_slices())
+        })
+        .fold(0.0, f64::max)
+}
+
+/// vCPUs a logical GPU's server processes consume on its host node.
+fn vcpus_of(deployment: &MigDeployment, logical: usize) -> u32 {
+    deployment
+        .segments_on(logical)
+        .map(|ps| ps.segment.triplet.procs)
+        .sum::<u32>()
+        * VCPUS_PER_PROCESS
+}
+
+/// One element of a [`LayoutSignature`]: `(placement, service, batch,
+/// procs)`.
+type SignatureEntry = (Placement, u32, u32, u32);
+
+/// Layout signature of a logical GPU — identical signatures mean
+/// physically indistinguishable GPUs.
+type LayoutSignature = Vec<SignatureEntry>;
+
+fn layout_signature(deployment: &MigDeployment, logical: usize) -> LayoutSignature {
+    let mut sig: LayoutSignature = deployment
+        .segments_on(logical)
+        .map(|ps| {
+            (
+                ps.placement,
+                ps.segment.service_id,
+                ps.segment.triplet.batch,
+                ps.segment.triplet.procs,
+            )
+        })
+        .collect();
+    sig.sort_unstable();
+    sig
+}
+
+/// Carry a placement across a deployment transformation that may have
+/// renumbered logical GPUs (the §III-F reconfiguration path ends in
+/// `compact()`): a new logical GPU inherits the slot of an old logical GPU
+/// with the identical layout signature, so the sticky placer keeps
+/// physically unchanged GPUs in place and migration counts stay honest.
+#[must_use]
+pub fn translate_placement(
+    old: (&MigDeployment, &FleetPlacement),
+    new_deployment: &MigDeployment,
+) -> FleetPlacement {
+    let mut pool: Vec<(LayoutSignature, GpuSlot)> = old
+        .1
+        .slots
+        .iter()
+        .map(|&(logical, slot)| (layout_signature(old.0, logical), slot))
+        .collect();
+    let mut out = FleetPlacement::default();
+    for logical in 0..new_deployment.gpu_count() {
+        let sig = layout_signature(new_deployment, logical);
+        if sig.is_empty() {
+            continue;
+        }
+        if let Some(i) = pool.iter().position(|(s, _)| *s == sig) {
+            let (_, slot) = pool.swap_remove(i);
+            out.slots.push((logical, slot));
+        }
+    }
+    out.slots.sort_unstable_by_key(|(l, _)| *l);
+    out
+}
+
+/// Assign every non-empty logical GPU a physical slot, from scratch.
+///
+/// # Errors
+/// [`PlacementError::NoFeasibleSlot`] when the alive fleet cannot host some
+/// logical GPU.
+pub fn place_on_fleet(
+    deployment: &MigDeployment,
+    fleet: &Fleet,
+) -> Result<FleetPlacement, PlacementError> {
+    place_sticky(deployment, fleet, &FleetPlacement::default())
+}
+
+/// Like [`place_on_fleet`], but logical GPUs keep their slot from
+/// `previous` whenever that slot is still alive and feasible — the live-
+/// migration minimizer: only displaced or newly created logical GPUs move.
+///
+/// # Errors
+/// [`PlacementError::NoFeasibleSlot`] when the alive fleet cannot host some
+/// logical GPU.
+pub fn place_sticky(
+    deployment: &MigDeployment,
+    fleet: &Fleet,
+    previous: &FleetPlacement,
+) -> Result<FleetPlacement, PlacementError> {
+    let mut free: Vec<GpuSlot> = fleet.alive_slots();
+    let mut node_vcpus: HashMap<usize, u32> = HashMap::new();
+    let mut out = FleetPlacement::default();
+
+    let occupied: Vec<usize> = (0..deployment.gpu_count())
+        .filter(|&g| deployment.segments_on(g).next().is_some())
+        .collect();
+
+    // Pass 1: sticky retention.
+    let mut pending: Vec<usize> = Vec::new();
+    for &logical in &occupied {
+        let prev = previous.slot_of(logical).filter(|s| free.contains(s));
+        match prev {
+            Some(slot)
+                if gpu_feasible(deployment, logical, fleet.slot_model(slot))
+                    && fits_node_vcpus(
+                        fleet,
+                        &node_vcpus,
+                        slot.node,
+                        vcpus_of(deployment, logical),
+                    ) =>
+            {
+                free.retain(|s| *s != slot);
+                *node_vcpus.entry(slot.node).or_insert(0) += vcpus_of(deployment, logical);
+                out.slots.push((logical, slot));
+            }
+            _ => pending.push(logical),
+        }
+    }
+
+    // Pass 2: best-fit for the rest, most memory-demanding first.
+    pending.sort_by(|&a, &b| {
+        min_gib_per_slice(deployment, b)
+            .total_cmp(&min_gib_per_slice(deployment, a))
+            .then(a.cmp(&b))
+    });
+    for logical in pending {
+        let need_vcpus = vcpus_of(deployment, logical);
+        // Among feasible free slots, pick the smallest-memory GPU model;
+        // ties break on (node, slot) for determinism.
+        let best = free
+            .iter()
+            .copied()
+            .filter(|&s| {
+                gpu_feasible(deployment, logical, fleet.slot_model(s))
+                    && fits_node_vcpus(fleet, &node_vcpus, s.node, need_vcpus)
+            })
+            .min_by(|&a, &b| {
+                fleet
+                    .slot_model(a)
+                    .mem_per_slice_gib
+                    .total_cmp(&fleet.slot_model(b).mem_per_slice_gib)
+                    .then(a.node.cmp(&b.node))
+                    .then(a.slot.cmp(&b.slot))
+            });
+        let Some(slot) = best else {
+            return Err(PlacementError::NoFeasibleSlot {
+                logical_gpu: logical,
+                needed_gib_per_slice: min_gib_per_slice(deployment, logical),
+            });
+        };
+        free.retain(|s| *s != slot);
+        *node_vcpus.entry(slot.node).or_insert(0) += need_vcpus;
+        out.slots.push((logical, slot));
+    }
+
+    out.slots.sort_unstable_by_key(|(l, _)| *l);
+    Ok(out)
+}
+
+fn fits_node_vcpus(
+    fleet: &Fleet,
+    node_vcpus: &HashMap<usize, u32>,
+    node: usize,
+    demand: u32,
+) -> bool {
+    node_vcpus.get(&node).copied().unwrap_or(0) + demand <= fleet.node(node).node.vcpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::FleetSpec;
+    use parva_deploy::Segment;
+    use parva_mig::InstanceProfile;
+    use parva_perf::Model;
+    use parva_profile::Triplet;
+
+    fn seg(id: u32, model: Model, profile: InstanceProfile, batch: u32) -> Segment {
+        Segment {
+            service_id: id,
+            model,
+            triplet: Triplet::new(profile, batch, 1),
+            throughput_rps: 100.0,
+            latency_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn assigns_each_logical_gpu_one_alive_slot() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let mut d = MigDeployment::new();
+        for i in 0..5 {
+            d.place_first_fit(seg(i, Model::ResNet50, InstanceProfile::G7, 8));
+        }
+        let p = place_on_fleet(&d, &fleet).unwrap();
+        assert_eq!(p.slots.len(), 5);
+        let mut slots: Vec<GpuSlot> = p.slots.iter().map(|(_, s)| *s).collect();
+        slots.sort_unstable_by_key(|s| (s.node, s.slot));
+        slots.dedup();
+        assert_eq!(slots.len(), 5, "double-booked slot");
+    }
+
+    #[test]
+    fn memory_hungry_layouts_avoid_small_gpus() {
+        // Guanaco-65B's ~41 GiB working set exceeds a whole A100-40GB but
+        // fits 80 GB parts — the placer must route it off the p4d pool.
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let mut d = MigDeployment::new();
+        d.place_first_fit(seg(0, Model::Guanaco65B, InstanceProfile::G7, 1));
+        let model_40 = parva_mig::GpuModel::A100_40GB;
+        assert!(
+            !gpu_feasible(&d, 0, model_40),
+            "fixture must not fit the 40 GB part"
+        );
+        let p = place_on_fleet(&d, &fleet).unwrap();
+        let slot = p.slot_of(0).unwrap();
+        assert!(fleet.slot_model(slot).mem_per_slice_gib > model_40.mem_per_slice_gib);
+    }
+
+    #[test]
+    fn sticky_keeps_surviving_assignments() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let mut d = MigDeployment::new();
+        for i in 0..4 {
+            d.place_first_fit(seg(i, Model::MobileNetV2, InstanceProfile::G3, 8));
+        }
+        let first = place_on_fleet(&d, &fleet).unwrap();
+        // Add one more logical GPU; previous assignments must not move.
+        d.place_first_fit(seg(9, Model::MobileNetV2, InstanceProfile::G7, 8));
+        let second = place_sticky(&d, &fleet, &first).unwrap();
+        for (logical, slot) in &first.slots {
+            assert_eq!(
+                second.slot_of(*logical),
+                Some(*slot),
+                "logical {logical} moved"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_when_fleet_too_small() {
+        let fleet = Fleet::provision(&FleetSpec {
+            pools: vec![crate::node::NodePool {
+                name: "tiny".into(),
+                node: parva_cluster::NodeType::P4DE_24XLARGE,
+                pricing: parva_cluster::PricingPlan::OnDemand,
+                preemptible: false,
+                count: 1,
+            }],
+        });
+        let mut d = MigDeployment::new();
+        for i in 0..9 {
+            d.place_first_fit(seg(i, Model::ResNet50, InstanceProfile::G7, 8));
+        }
+        assert!(matches!(
+            place_on_fleet(&d, &fleet),
+            Err(PlacementError::NoFeasibleSlot { .. })
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! The chaos-run report: per-event recovery accounting plus fleet summary.
+
+use crate::event::FleetEvent;
+use crate::migration::MigrationPlan;
+use serde::{Deserialize, Serialize};
+
+/// What one event did to the fleet and how the orchestrator recovered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventOutcome {
+    /// Interval index (1-based; interval 0 is the undisturbed baseline).
+    pub interval: usize,
+    /// The injected event.
+    pub event: FleetEvent,
+    /// Segments whose capacity was lost at the instant of the event.
+    pub displaced_segments: usize,
+    /// Replacement nodes the control plane provisioned because the
+    /// surviving fleet could not host the deployment.
+    pub replacement_nodes: usize,
+    /// The physical migration the recovery required.
+    pub migration: MigrationPlan,
+    /// Request-level compliance just before the event (control window).
+    pub compliance_before: f64,
+    /// Request-level compliance during the disruption window with the lost
+    /// capacity dark and no shadows (the dip).
+    pub compliance_during: f64,
+    /// Request-level compliance during the window with §III-F shadow
+    /// processes bridging the lost capacity.
+    pub compliance_shadowed: f64,
+    /// Batch-level compliance of the recovered deployment serving the next
+    /// interval (steady state after recovery).
+    pub compliance_after: f64,
+    /// Nodes in service after recovery.
+    pub nodes_in_service: usize,
+    /// Hourly cost of the in-service fleet after recovery, USD.
+    pub usd_per_hour: f64,
+    /// GPUs stranded on dead nodes (capacity paid for but unreachable —
+    /// zero unless billing outlives the failure).
+    pub lost_gpus: usize,
+}
+
+impl EventOutcome {
+    /// The compliance dip the event caused before recovery
+    /// (control − blackout window).
+    #[must_use]
+    pub fn compliance_dip(&self) -> f64 {
+        (self.compliance_before - self.compliance_during).max(0.0)
+    }
+
+    /// Did steady-state compliance return to at least the pre-event level?
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.compliance_after + 1e-9 >= self.compliance_before
+    }
+}
+
+/// Full outcome of a chaos run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Master seed of the run (event stream + serving arrivals).
+    pub seed: u64,
+    /// Baseline (interval 0) batch-level compliance of the undisturbed
+    /// fleet.
+    pub baseline_compliance: f64,
+    /// Baseline hourly cost, USD.
+    pub baseline_usd_per_hour: f64,
+    /// Per-event outcomes, interval order.
+    pub events: Vec<EventOutcome>,
+}
+
+impl FleetReport {
+    /// Total segments migrated across all recoveries.
+    #[must_use]
+    pub fn total_migrations(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.migration.migrated_segments)
+            .sum()
+    }
+
+    /// Total GPU re-flashes across all recoveries.
+    #[must_use]
+    pub fn total_reflashes(&self) -> usize {
+        self.events.iter().map(|e| e.migration.reflashed_gpus).sum()
+    }
+
+    /// Total replacement nodes provisioned across all recoveries.
+    #[must_use]
+    pub fn total_replacements(&self) -> usize {
+        self.events.iter().map(|e| e.replacement_nodes).sum()
+    }
+
+    /// The worst disruption-window compliance dip.
+    #[must_use]
+    pub fn worst_dip(&self) -> f64 {
+        self.events
+            .iter()
+            .map(EventOutcome::compliance_dip)
+            .fold(0.0, f64::max)
+    }
+
+    /// The slowest single recovery, ms.
+    #[must_use]
+    pub fn worst_recovery_latency_ms(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.migration.recovery_latency_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every event's steady state recovered to the pre-event level.
+    #[must_use]
+    pub fn fully_recovered(&self) -> bool {
+        self.events.iter().all(EventOutcome::recovered)
+    }
+
+    /// Render as a human-readable table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos run (seed {}): baseline compliance {:.2}% at ${:.2}/h\n\
+             {:<4} {:<34} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>6} {:>9}\n",
+            self.seed,
+            self.baseline_compliance * 100.0,
+            self.baseline_usd_per_hour,
+            "ivl",
+            "event",
+            "disp",
+            "mig",
+            "reflash",
+            "dip %",
+            "after %",
+            "rec ms",
+            "nodes",
+            "$/h"
+        );
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:<4} {:<34} {:>5} {:>5} {:>7} {:>9.2} {:>9.2} {:>9.0} {:>6} {:>9.2}\n",
+                e.interval,
+                e.event.to_string(),
+                e.displaced_segments,
+                e.migration.migrated_segments,
+                e.migration.reflashed_gpus,
+                e.compliance_dip() * 100.0,
+                e.compliance_after * 100.0,
+                e.migration.recovery_latency_ms,
+                e.nodes_in_service,
+                e.usd_per_hour
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} migrations, {} re-flashes, {} replacement node(s), worst dip {:.2}%, \
+             worst recovery {:.0} ms, {}\n",
+            self.total_migrations(),
+            self.total_reflashes(),
+            self.total_replacements(),
+            self.worst_dip() * 100.0,
+            self.worst_recovery_latency_ms(),
+            if self.fully_recovered() {
+                "all events recovered"
+            } else {
+                "UNRECOVERED EVENTS"
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::CONTROL_PLANE_MS;
+
+    fn outcome(dip: f64, after: f64) -> EventOutcome {
+        EventOutcome {
+            interval: 1,
+            event: FleetEvent::Quiet,
+            displaced_segments: 0,
+            replacement_nodes: 0,
+            migration: MigrationPlan {
+                migrated_segments: 2,
+                reflashed_gpus: 1,
+                weight_copy_gib: 0.5,
+                stranded_gpcs: 0,
+                recovery_latency_ms: CONTROL_PLANE_MS,
+            },
+            compliance_before: 1.0,
+            compliance_during: 1.0 - dip,
+            compliance_shadowed: 1.0,
+            compliance_after: after,
+            nodes_in_service: 2,
+            usd_per_hour: 50.0,
+            lost_gpus: 0,
+        }
+    }
+
+    #[test]
+    fn summary_math() {
+        let report = FleetReport {
+            seed: 1,
+            baseline_compliance: 1.0,
+            baseline_usd_per_hour: 60.0,
+            events: vec![outcome(0.2, 1.0), outcome(0.05, 0.9)],
+        };
+        assert_eq!(report.total_migrations(), 4);
+        assert_eq!(report.total_reflashes(), 2);
+        assert!((report.worst_dip() - 0.2).abs() < 1e-12);
+        assert!(!report.fully_recovered());
+        let rendered = report.render();
+        assert!(rendered.contains("chaos run"));
+        assert!(rendered.contains("UNRECOVERED"));
+    }
+
+    #[test]
+    fn recovered_tolerates_rounding() {
+        let e = outcome(0.1, 1.0);
+        assert!(e.recovered());
+        assert!((e.compliance_dip() - 0.1).abs() < 1e-12);
+    }
+}

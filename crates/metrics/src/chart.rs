@@ -12,7 +12,10 @@ impl BarChart {
     /// An empty chart rendered `width` characters wide (default 40).
     #[must_use]
     pub fn new() -> Self {
-        Self { rows: Vec::new(), width: 40 }
+        Self {
+            rows: Vec::new(),
+            width: 40,
+        }
     }
 
     /// Override the bar width in characters.
@@ -24,7 +27,11 @@ impl BarChart {
 
     /// Add one bar. Negative or non-finite values are clamped to zero.
     pub fn bar<S: Into<String>>(&mut self, label: S, value: f64) -> &mut Self {
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         self.rows.push((label.into(), v));
         self
     }
@@ -97,8 +104,7 @@ mod tests {
         let mut c = BarChart::new().with_width(4);
         c.bar("short", 1.0).bar("a-much-longer-label", 2.0);
         let s = c.render();
-        let starts: Vec<usize> =
-            s.lines().map(|l| l.find('█').unwrap_or(l.len())).collect();
+        let starts: Vec<usize> = s.lines().map(|l| l.find('█').unwrap_or(l.len())).collect();
         assert_eq!(starts[0], starts[1], "bars must start at the same column");
     }
 }

@@ -91,21 +91,27 @@ mod tests {
     #[test]
     fn parvagpu_s2_zero_fragmentation() {
         let book = ProfileBook::builtin();
-        let d = ParvaGpu::new(&book).schedule(&Scenario::S2.services()).unwrap();
+        let d = ParvaGpu::new(&book)
+            .schedule(&Scenario::S2.services())
+            .unwrap();
         let frag = external_fragmentation(&d);
         assert!(frag.abs() < 1e-9, "fragmentation {frag:.4}");
     }
 
     #[test]
     fn igniter_s2_nonzero_fragmentation() {
-        let d = parva_baselines::IGniter::new().schedule(&Scenario::S2.services()).unwrap();
+        let d = parva_baselines::IGniter::new()
+            .schedule(&Scenario::S2.services())
+            .unwrap();
         assert!(external_fragmentation(&d) > 0.02);
     }
 
     #[test]
     fn gpulet_s2_zero_fragmentation() {
         // gpulet's remainder rule fills every GPU.
-        let d = parva_baselines::Gpulet::new().schedule(&Scenario::S2.services()).unwrap();
+        let d = parva_baselines::Gpulet::new()
+            .schedule(&Scenario::S2.services())
+            .unwrap();
         assert!(external_fragmentation(&d) < 1e-6);
     }
 

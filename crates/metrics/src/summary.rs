@@ -117,9 +117,13 @@ pub const MANIFEST: &[Artifact] = &[
 #[must_use]
 pub fn csv_to_markdown(csv: &str) -> String {
     let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
-    let Some(header) = lines.next() else { return String::from("*(empty)*\n") };
+    let Some(header) = lines.next() else {
+        return String::from("*(empty)*\n");
+    };
     let cells = |line: &str| -> Vec<String> {
-        line.split(',').map(|c| c.trim().replace('|', "\\|")).collect()
+        line.split(',')
+            .map(|c| c.trim().replace('|', "\\|"))
+            .collect()
     };
     let head = cells(header);
     let mut out = format!("| {} |\n", head.join(" | "));

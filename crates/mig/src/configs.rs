@@ -38,7 +38,10 @@ impl Configuration {
     /// Whether `state`'s placements are a subset of this configuration.
     #[must_use]
     pub fn contains(&self, state: &GpuState) -> bool {
-        state.placements().iter().all(|p| self.placements.contains(p))
+        state
+            .placements()
+            .iter()
+            .all(|p| self.placements.contains(p))
     }
 }
 
@@ -160,7 +163,11 @@ mod tests {
     #[test]
     fn configurations_memory_feasible() {
         for c in all_configurations() {
-            let mem: u8 = c.placements().iter().map(|p| p.profile.memory_slices()).sum();
+            let mem: u8 = c
+                .placements()
+                .iter()
+                .map(|p| p.profile.memory_slices())
+                .sum();
             assert!(mem <= crate::MEMORY_SLICES, "{c} uses {mem} memory slices");
         }
     }
@@ -170,7 +177,8 @@ mod tests {
         for c in all_configurations() {
             let mut g = GpuState::new();
             for p in c.placements() {
-                g.place_at(*p).unwrap_or_else(|e| panic!("{c}: {p} rejected: {e}"));
+                g.place_at(*p)
+                    .unwrap_or_else(|e| panic!("{c}: {p} rejected: {e}"));
             }
             assert!(g.is_full(), "{c} is not maximal");
         }

@@ -63,7 +63,10 @@ impl GenericConfiguration {
     /// GPC sizes in start-slice order, e.g. `[2, 1, 1]`.
     #[must_use]
     pub fn sizes(&self, geometry: &MigGeometry) -> Vec<u8> {
-        self.placements.iter().map(|p| geometry.profiles[p.profile].gpcs).collect()
+        self.placements
+            .iter()
+            .map(|p| geometry.profiles[p.profile].gpcs)
+            .collect()
     }
 }
 
@@ -116,8 +119,18 @@ impl MigGeometry {
                     valid_starts: vec![0, 1, 2, 3],
                     memory_gib: 6,
                 },
-                ProfileRule { gpcs: 2, memory_slices: 2, valid_starts: vec![0, 2], memory_gib: 12 },
-                ProfileRule { gpcs: 4, memory_slices: 4, valid_starts: vec![0], memory_gib: 24 },
+                ProfileRule {
+                    gpcs: 2,
+                    memory_slices: 2,
+                    valid_starts: vec![0, 2],
+                    memory_gib: 12,
+                },
+                ProfileRule {
+                    gpcs: 4,
+                    memory_slices: 4,
+                    valid_starts: vec![0],
+                    memory_gib: 24,
+                },
             ],
         }
     }
@@ -125,7 +138,10 @@ impl MigGeometry {
     /// Largest profile (whole GPU), by GPC count.
     #[must_use]
     pub fn whole_gpu_profile(&self) -> &ProfileRule {
-        self.profiles.iter().max_by_key(|p| p.gpcs).expect("geometry has profiles")
+        self.profiles
+            .iter()
+            .max_by_key(|p| p.gpcs)
+            .expect("geometry has profiles")
     }
 
     /// Derive every maximal configuration for this geometry by the same
@@ -140,7 +156,13 @@ impl MigGeometry {
         let mut occupied = vec![false; usize::from(self.compute_slices)];
         let mut memory_used = 0u8;
         let mut placements: Vec<GenericPlacement> = Vec::new();
-        self.dfs(0, &mut occupied, &mut memory_used, &mut placements, &mut out);
+        self.dfs(
+            0,
+            &mut occupied,
+            &mut memory_used,
+            &mut placements,
+            &mut out,
+        );
         out.sort();
         out
     }
@@ -156,9 +178,8 @@ impl MigGeometry {
 
     /// No instance of any profile fits anywhere: the state is maximal.
     fn is_maximal(&self, occupied: &[bool], memory_used: u8) -> bool {
-        (0..self.compute_slices).all(|s| {
-            (0..self.profiles.len()).all(|p| !self.fits(p, s, occupied, memory_used))
-        })
+        (0..self.compute_slices)
+            .all(|s| (0..self.profiles.len()).all(|p| !self.fits(p, s, occupied, memory_used)))
     }
 
     fn dfs(
@@ -188,7 +209,10 @@ impl MigGeometry {
                     occupied[usize::from(s)] = true;
                 }
                 *memory_used += rule_mem;
-                placements.push(GenericPlacement { profile: p, start: slice });
+                placements.push(GenericPlacement {
+                    profile: p,
+                    start: slice,
+                });
                 self.dfs(slice + rule_gpcs, occupied, memory_used, placements, out);
                 placements.pop();
                 *memory_used -= rule_mem;
@@ -229,8 +253,11 @@ mod tests {
         let spec_sets: Vec<Vec<(u8, u8)>> = specialized
             .iter()
             .map(|c| {
-                let mut v: Vec<(u8, u8)> =
-                    c.placements().iter().map(|p| (p.profile.gpcs(), p.start)).collect();
+                let mut v: Vec<(u8, u8)> = c
+                    .placements()
+                    .iter()
+                    .map(|p| (p.profile.gpcs(), p.start))
+                    .collect();
                 v.sort_unstable();
                 v
             })
@@ -242,7 +269,10 @@ mod tests {
                 .map(|p| (geometry.profiles[p.profile].gpcs, p.start))
                 .collect();
             v.sort_unstable();
-            assert!(spec_sets.contains(&v), "generic config {v:?} not in specialized set");
+            assert!(
+                spec_sets.contains(&v),
+                "generic config {v:?} not in specialized set"
+            );
         }
     }
 
@@ -255,7 +285,13 @@ mod tests {
         let sets = size_multisets(&geometry, &configs);
         assert_eq!(
             sets,
-            vec![vec![1, 1, 1, 1], vec![1, 1, 2], vec![1, 1, 2], vec![2, 2], vec![4]]
+            vec![
+                vec![1, 1, 1, 1],
+                vec![1, 1, 2],
+                vec![1, 1, 2],
+                vec![2, 2],
+                vec![4]
+            ]
         );
     }
 
@@ -278,15 +314,26 @@ mod tests {
     #[test]
     fn a30_profile_names() {
         let geometry = MigGeometry::a30();
-        let names: Vec<String> = geometry.profiles.iter().map(ProfileRule::nvidia_name).collect();
+        let names: Vec<String> = geometry
+            .profiles
+            .iter()
+            .map(ProfileRule::nvidia_name)
+            .collect();
         assert_eq!(names, vec!["1g.6gb", "2g.12gb", "4g.24gb"]);
     }
 
     #[test]
     fn a100_profile_names_match_specialized() {
         let geometry = MigGeometry::a100();
-        let names: Vec<String> = geometry.profiles.iter().map(ProfileRule::nvidia_name).collect();
-        assert_eq!(names, vec!["1g.10gb", "2g.20gb", "3g.40gb", "4g.40gb", "7g.80gb"]);
+        let names: Vec<String> = geometry
+            .profiles
+            .iter()
+            .map(ProfileRule::nvidia_name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["1g.10gb", "2g.20gb", "3g.40gb", "4g.40gb", "7g.80gb"]
+        );
     }
 
     #[test]
@@ -299,8 +346,11 @@ mod tests {
     fn a30_configurations_are_memory_feasible_and_maximal() {
         let geometry = MigGeometry::a30();
         for c in geometry.derive_configurations() {
-            let mem: u8 =
-                c.placements.iter().map(|p| geometry.profiles[p.profile].memory_slices).sum();
+            let mem: u8 = c
+                .placements
+                .iter()
+                .map(|p| geometry.profiles[p.profile].memory_slices)
+                .sum();
             assert!(mem <= geometry.memory_slices);
             // Re-play the placements and confirm maximality.
             let mut occupied = vec![false; usize::from(geometry.compute_slices)];
@@ -313,7 +363,10 @@ mod tests {
                 }
                 mem_used += rule.memory_slices;
             }
-            assert!(geometry.is_maximal(&occupied, mem_used), "{c:?} not maximal");
+            assert!(
+                geometry.is_maximal(&occupied, mem_used),
+                "{c:?} not maximal"
+            );
         }
     }
 

@@ -124,7 +124,9 @@ impl GpuState {
     /// True when no further instance of any profile fits.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        InstanceProfile::ALL.iter().all(|p| self.find_start(*p).is_none())
+        InstanceProfile::ALL
+            .iter()
+            .all(|p| self.find_start(*p).is_none())
     }
 
     /// Bitmask of occupied compute slices.
@@ -320,18 +322,36 @@ mod tests {
     #[test]
     fn invalid_starts_rejected() {
         let mut g = GpuState::new();
-        assert_eq!(g.place_at(Placement::new(G4, 1)), Err(PlaceError::InvalidStart));
-        assert_eq!(g.place_at(Placement::new(G3, 2)), Err(PlaceError::InvalidStart));
-        assert_eq!(g.place_at(Placement::new(G2, 1)), Err(PlaceError::InvalidStart));
-        assert_eq!(g.place_at(Placement::new(G7, 1)), Err(PlaceError::InvalidStart));
+        assert_eq!(
+            g.place_at(Placement::new(G4, 1)),
+            Err(PlaceError::InvalidStart)
+        );
+        assert_eq!(
+            g.place_at(Placement::new(G3, 2)),
+            Err(PlaceError::InvalidStart)
+        );
+        assert_eq!(
+            g.place_at(Placement::new(G2, 1)),
+            Err(PlaceError::InvalidStart)
+        );
+        assert_eq!(
+            g.place_at(Placement::new(G7, 1)),
+            Err(PlaceError::InvalidStart)
+        );
     }
 
     #[test]
     fn overlap_rejected() {
         let mut g = GpuState::new();
         g.place_at(Placement::new(G2, 0)).unwrap();
-        assert_eq!(g.place_at(Placement::new(G1, 1)), Err(PlaceError::SliceOccupied));
-        assert_eq!(g.place_at(Placement::new(G4, 0)), Err(PlaceError::SliceOccupied));
+        assert_eq!(
+            g.place_at(Placement::new(G1, 1)),
+            Err(PlaceError::SliceOccupied)
+        );
+        assert_eq!(
+            g.place_at(Placement::new(G4, 0)),
+            Err(PlaceError::SliceOccupied)
+        );
     }
 
     #[test]

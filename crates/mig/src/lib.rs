@@ -111,7 +111,9 @@ impl GpuModel {
     /// Look a model up by its catalog name, e.g. `"H200-141GB"`.
     #[must_use]
     pub fn by_name(name: &str) -> Option<GpuModel> {
-        Self::CATALOG.into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+        Self::CATALOG
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
     }
 
     /// Memory available to an instance of `profile` on this GPU model, GiB.
@@ -179,7 +181,10 @@ mod tests {
 
     #[test]
     fn catalog_is_memory_sorted() {
-        let totals: Vec<f64> = GpuModel::CATALOG.iter().map(GpuModel::total_memory_gib).collect();
+        let totals: Vec<f64> = GpuModel::CATALOG
+            .iter()
+            .map(GpuModel::total_memory_gib)
+            .collect();
         assert!(totals.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -148,14 +148,20 @@ mod tests {
     #[test]
     fn memory_slices_sum_constraint() {
         // Two 3-GPC instances exhaust all 8 memory slices.
-        assert_eq!(InstanceProfile::G3.memory_slices() * 2, crate::MEMORY_SLICES);
+        assert_eq!(
+            InstanceProfile::G3.memory_slices() * 2,
+            crate::MEMORY_SLICES
+        );
     }
 
     #[test]
     fn valid_starts_within_bounds() {
         for p in InstanceProfile::ALL {
             for &s in p.valid_starts() {
-                assert!(s + p.gpcs() <= crate::COMPUTE_SLICES, "{p} start {s} overflows");
+                assert!(
+                    s + p.gpcs() <= crate::COMPUTE_SLICES,
+                    "{p} start {s} overflows"
+                );
             }
         }
     }
@@ -199,7 +205,10 @@ mod tests {
 
     #[test]
     fn descending_order() {
-        let g: Vec<u8> = InstanceProfile::DESCENDING.iter().map(|p| p.gpcs()).collect();
+        let g: Vec<u8> = InstanceProfile::DESCENDING
+            .iter()
+            .map(|p| p.gpcs())
+            .collect();
         assert_eq!(g, vec![7, 4, 3, 2, 1]);
     }
 }

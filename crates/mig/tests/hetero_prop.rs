@@ -1,0 +1,142 @@
+//! Property tests for heterogeneous MIG geometry: the A30 4-slice rules in
+//! `mig::geometry` and the full `GpuModel::CATALOG` memory ladder. (The
+//! pre-existing `prop.rs` only exercises the specialized 7-slice A100
+//! path.)
+
+use parva_mig::{GenericConfiguration, GpuModel, InstanceProfile, MigGeometry};
+use proptest::prelude::*;
+
+/// Replay a placement list against a geometry's rules, greedily accepting
+/// only hardware-valid, non-overlapping, memory-feasible placements.
+/// Returns the accepted `(profile index, start)` set.
+fn greedy_replay(geometry: &MigGeometry, ops: &[(usize, u8)]) -> Vec<(usize, u8)> {
+    let mut occupied = vec![false; usize::from(geometry.compute_slices)];
+    let mut memory = 0u8;
+    let mut accepted = Vec::new();
+    for &(raw_profile, raw_start) in ops {
+        let profile = raw_profile % geometry.profiles.len();
+        let start = raw_start % geometry.compute_slices;
+        let rule = &geometry.profiles[profile];
+        let fits = rule.valid_starts.contains(&start)
+            && start + rule.gpcs <= geometry.compute_slices
+            && memory + rule.memory_slices <= geometry.memory_slices
+            && (start..start + rule.gpcs).all(|s| !occupied[usize::from(s)]);
+        if fits {
+            for s in start..start + rule.gpcs {
+                occupied[usize::from(s)] = true;
+            }
+            memory += rule.memory_slices;
+            accepted.push((profile, start));
+        }
+    }
+    accepted
+}
+
+/// Is `state` a subset of `config`'s placements (exact profile+start match)?
+fn subset_of(state: &[(usize, u8)], config: &GenericConfiguration) -> bool {
+    state.iter().all(|&(profile, start)| {
+        config
+            .placements
+            .iter()
+            .any(|p| p.profile == profile && p.start == start)
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = MigGeometry> {
+    prop::sample::select(vec![MigGeometry::a100(), MigGeometry::a30()])
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    prop::collection::vec((0usize..5, 0u8..7), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of valid placements on the A30 stays a subset of one of
+    /// its 5 maximal configurations — the 4-slice analogue of the paper's
+    /// Fig. 1 claim for the A100's 19.
+    #[test]
+    fn a30_states_reach_a_configuration(ops in arb_ops()) {
+        let geometry = MigGeometry::a30();
+        let configs = geometry.derive_configurations();
+        prop_assert_eq!(configs.len(), 5);
+        let state = greedy_replay(&geometry, &ops);
+        prop_assert!(
+            configs.iter().any(|c| subset_of(&state, c)),
+            "A30 state {:?} not within any configuration",
+            state
+        );
+    }
+
+    /// Hardware limits hold for every geometry the crate ships, under any
+    /// op sequence: compute ≤ compute_slices, memory ≤ memory_slices, and
+    /// no accepted placement uses an illegal start.
+    #[test]
+    fn geometry_limits_hold(geometry in arb_geometry(), ops in arb_ops()) {
+        let state = greedy_replay(&geometry, &ops);
+        let gpcs: u8 = state.iter().map(|&(p, _)| geometry.profiles[p].gpcs).sum();
+        let memory: u8 = state.iter().map(|&(p, _)| geometry.profiles[p].memory_slices).sum();
+        prop_assert!(gpcs <= geometry.compute_slices);
+        prop_assert!(memory <= geometry.memory_slices);
+        for &(p, s) in &state {
+            prop_assert!(geometry.profiles[p].valid_starts.contains(&s));
+        }
+    }
+
+    /// Every derived configuration of both geometries is non-overlapping,
+    /// memory-feasible, and replayable through the placement rules.
+    #[test]
+    fn derived_configurations_replay_cleanly(geometry in arb_geometry()) {
+        for config in geometry.derive_configurations() {
+            let ops: Vec<(usize, u8)> =
+                config.placements.iter().map(|p| (p.profile, p.start)).collect();
+            let replayed = greedy_replay(&geometry, &ops);
+            prop_assert_eq!(
+                replayed.len(),
+                config.placements.len(),
+                "configuration {:?} not replayable",
+                config
+            );
+        }
+    }
+
+    /// The catalog memory ladder: instance memory is slices × per-slice
+    /// GiB on every model, and `by_name` round-trips every catalog entry.
+    #[test]
+    fn catalog_memory_ladder_consistent(
+        model_idx in 0usize..5,
+        profile in prop::sample::select(InstanceProfile::ALL.to_vec()),
+    ) {
+        let model = GpuModel::CATALOG[model_idx];
+        let expect = f64::from(profile.memory_slices()) * model.mem_per_slice_gib;
+        prop_assert!((model.instance_memory_gib(profile) - expect).abs() < 1e-9);
+        prop_assert_eq!(GpuModel::by_name(model.name), Some(model));
+        prop_assert!((model.total_memory_gib()
+            - f64::from(parva_mig::MEMORY_SLICES) * model.mem_per_slice_gib)
+            .abs() < 1e-9);
+    }
+
+    /// Memory feasibility is monotone along the catalog: a working set that
+    /// fits an instance on one model fits the same instance on every later
+    /// (roomier) model — the §V upgrade argument as an invariant.
+    #[test]
+    fn feasibility_monotone_across_catalog(
+        working_set_gib in 0.1f64..250.0,
+        profile in prop::sample::select(InstanceProfile::ALL.to_vec()),
+    ) {
+        let fits: Vec<bool> = GpuModel::CATALOG
+            .iter()
+            .map(|m| working_set_gib <= m.instance_memory_gib(profile))
+            .collect();
+        for w in fits.windows(2) {
+            prop_assert!(
+                !w[0] || w[1],
+                "feasibility not monotone for {:.1} GiB on {}: {:?}",
+                working_set_gib,
+                profile,
+                fits
+            );
+        }
+    }
+}

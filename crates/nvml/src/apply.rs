@@ -76,7 +76,9 @@ pub fn fleet_matches(nvml: &SimNvml, deployment: &MigDeployment) -> bool {
         return false;
     }
     for device in 0..deployment.gpu_count() {
-        let Ok(dev) = nvml.device(device) else { return false };
+        let Ok(dev) = nvml.device(device) else {
+            return false;
+        };
         if !dev.mig_enabled() {
             return false;
         }

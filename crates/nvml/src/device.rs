@@ -119,15 +119,19 @@ impl SimNvml {
     /// # Errors
     /// [`NvmlError::InvalidDevice`] when out of range.
     pub fn device(&self, index: usize) -> Result<&Device, NvmlError> {
-        self.devices
-            .get(index)
-            .ok_or(NvmlError::InvalidDevice { index, count: self.devices.len() })
+        self.devices.get(index).ok_or(NvmlError::InvalidDevice {
+            index,
+            count: self.devices.len(),
+        })
     }
 
     /// Grow the fleet (cloud-side: attach more GPUs). New devices boot with
     /// MIG off.
     pub fn grow(&mut self, additional: usize) {
-        let model = self.devices.first().map_or(GpuModel::A100_80GB, |d| d.model);
+        let model = self
+            .devices
+            .first()
+            .map_or(GpuModel::A100_80GB, |d| d.model);
         for _ in 0..additional {
             let idx = self.devices.len();
             self.devices.push(Device::new(idx, model));
@@ -145,13 +149,19 @@ impl SimNvml {
         let dev = self
             .devices
             .get_mut(device)
-            .ok_or(NvmlError::InvalidDevice { index: device, count })?;
+            .ok_or(NvmlError::InvalidDevice {
+                index: device,
+                count,
+            })?;
         if dev.mig_enabled == enabled {
             return Ok(());
         }
         let live = self.instances.iter().filter(|i| i.device == device).count();
         if live > 0 {
-            return Err(NvmlError::DeviceBusy { device, live_instances: live });
+            return Err(NvmlError::DeviceBusy {
+                device,
+                live_instances: live,
+            });
         }
         dev.mig_enabled = enabled;
         Ok(())
@@ -171,13 +181,19 @@ impl SimNvml {
         let dev = self
             .devices
             .get_mut(device)
-            .ok_or(NvmlError::InvalidDevice { index: device, count })?;
+            .ok_or(NvmlError::InvalidDevice {
+                index: device,
+                count,
+            })?;
         if !dev.mig_enabled {
             return Err(NvmlError::MigDisabled { device });
         }
         dev.state
             .place_at(placement)
-            .map_err(|e| NvmlError::InvalidPlacement { device, reason: e.to_string() })?;
+            .map_err(|e| NvmlError::InvalidPlacement {
+                device,
+                reason: e.to_string(),
+            })?;
         let id = InstanceId(self.next_id);
         self.next_id += 1;
         self.instances.push(GpuInstance {
@@ -212,7 +228,10 @@ impl SimNvml {
         let start = dev
             .state
             .find_start(profile)
-            .ok_or(NvmlError::InsufficientResources { device, gpcs: profile.gpcs() })?;
+            .ok_or(NvmlError::InsufficientResources {
+                device,
+                gpcs: profile.gpcs(),
+            })?;
         self.create_gpu_instance_at(device, Placement::new(profile, start))
     }
 
@@ -256,8 +275,11 @@ impl SimNvml {
     /// Live instances on one device, in start-slice order.
     #[must_use]
     pub fn instances_on(&self, device: usize) -> Vec<&GpuInstance> {
-        let mut v: Vec<&GpuInstance> =
-            self.instances.iter().filter(|i| i.device == device).collect();
+        let mut v: Vec<&GpuInstance> = self
+            .instances
+            .iter()
+            .filter(|i| i.device == device)
+            .collect();
         v.sort_by_key(|i| i.placement.start);
         v
     }
@@ -326,8 +348,9 @@ mod tests {
     #[test]
     fn uuids_are_unique_and_stable() {
         let nvml = SimNvml::new(4, GpuModel::A100_80GB);
-        let mut uuids: Vec<String> =
-            (0..4).map(|i| nvml.device(i).unwrap().uuid.clone()).collect();
+        let mut uuids: Vec<String> = (0..4)
+            .map(|i| nvml.device(i).unwrap().uuid.clone())
+            .collect();
         uuids.dedup();
         assert_eq!(uuids.len(), 4);
         assert!(uuids[3].ends_with("000000000003"));
@@ -336,7 +359,9 @@ mod tests {
     #[test]
     fn instance_requires_mig_mode() {
         let mut nvml = SimNvml::new(1, GpuModel::A100_80GB);
-        let err = nvml.create_gpu_instance(0, InstanceProfile::G1).unwrap_err();
+        let err = nvml
+            .create_gpu_instance(0, InstanceProfile::G1)
+            .unwrap_err();
         assert_eq!(err, NvmlError::MigDisabled { device: 0 });
     }
 
@@ -353,7 +378,10 @@ mod tests {
         assert!(nvml.instances().is_empty());
         assert_eq!(nvml.device(0).unwrap().gpcs_free(), 7);
         // Double destroy is a stale handle.
-        assert_eq!(nvml.destroy_gpu_instance(id), Err(NvmlError::UnknownInstance { id: id.0 }));
+        assert_eq!(
+            nvml.destroy_gpu_instance(id),
+            Err(NvmlError::UnknownInstance { id: id.0 })
+        );
     }
 
     #[test]
@@ -366,7 +394,8 @@ mod tests {
             Err(NvmlError::InvalidPlacement { device: 0, .. })
         ));
         // A valid one goes through.
-        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G3, 4)).unwrap();
+        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G3, 4))
+            .unwrap();
         assert!(nvml.validate());
     }
 
@@ -388,7 +417,10 @@ mod tests {
         nvml.create_gpu_instance(0, InstanceProfile::G2).unwrap();
         assert_eq!(
             nvml.set_mig_mode(0, false),
-            Err(NvmlError::DeviceBusy { device: 0, live_instances: 1 })
+            Err(NvmlError::DeviceBusy {
+                device: 0,
+                live_instances: 1
+            })
         );
         // Device 1 is idle and can leave MIG mode.
         nvml.set_mig_mode(1, false).unwrap();
@@ -406,9 +438,15 @@ mod tests {
     #[test]
     fn instances_on_sorted_by_slice() {
         let mut nvml = fleet();
-        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G3, 4)).unwrap();
-        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G1, 0)).unwrap();
-        let starts: Vec<u8> = nvml.instances_on(0).iter().map(|i| i.placement.start).collect();
+        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G3, 4))
+            .unwrap();
+        nvml.create_gpu_instance_at(0, Placement::new(InstanceProfile::G1, 0))
+            .unwrap();
+        let starts: Vec<u8> = nvml
+            .instances_on(0)
+            .iter()
+            .map(|i| i.placement.start)
+            .collect();
         assert_eq!(starts, vec![0, 4]);
     }
 

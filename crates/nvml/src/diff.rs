@@ -133,7 +133,10 @@ impl DeploymentDiff {
 #[must_use]
 pub fn diff_deployments(old: &MigDeployment, new: &MigDeployment) -> DeploymentDiff {
     let slot = |d: &MigDeployment| -> Vec<(usize, Placement, Segment)> {
-        d.segments().iter().map(|ps| (ps.gpu, ps.placement, ps.segment)).collect()
+        d.segments()
+            .iter()
+            .map(|ps| (ps.gpu, ps.placement, ps.segment))
+            .collect()
     };
     let old_slots = slot(old);
     let new_slots = slot(new);
@@ -143,12 +146,16 @@ pub fn diff_deployments(old: &MigDeployment, new: &MigDeployment) -> DeploymentD
     let mut creates = Vec::new();
 
     for (device, placement, seg) in &old_slots {
-        match new_slots.iter().find(|(d2, p2, _)| d2 == device && p2 == placement) {
+        match new_slots
+            .iter()
+            .find(|(d2, p2, _)| d2 == device && p2 == placement)
+        {
             Some((_, _, seg2))
                 if seg2.service_id == seg.service_id
                     && seg2.triplet.instance == seg.triplet.instance =>
             {
-                if seg2.triplet.procs == seg.triplet.procs && seg2.triplet.batch == seg.triplet.batch
+                if seg2.triplet.procs == seg.triplet.procs
+                    && seg2.triplet.batch == seg.triplet.batch
                 {
                     diff.kept.push((*device, *placement, seg.service_id));
                 } else {
@@ -206,11 +213,17 @@ pub fn apply_diff(nvml: &mut SimNvml, diff: &DeploymentDiff) -> Result<(), NvmlE
     };
     for op in &diff.ops {
         match op {
-            ReconfigOp::Destroy { device, placement, .. } => {
+            ReconfigOp::Destroy {
+                device, placement, ..
+            } => {
                 let id = lookup(nvml, *device, *placement)?;
                 nvml.destroy_gpu_instance(id)?;
             }
-            ReconfigOp::Create { device, placement, segment } => {
+            ReconfigOp::Create {
+                device,
+                placement,
+                segment,
+            } => {
                 if *device >= nvml.device_count() {
                     nvml.grow(*device + 1 - nvml.device_count());
                 }
@@ -218,7 +231,11 @@ pub fn apply_diff(nvml: &mut SimNvml, diff: &DeploymentDiff) -> Result<(), NvmlE
                 let id = nvml.create_gpu_instance_at(*device, *placement)?;
                 nvml.set_mps_processes(id, segment.triplet.procs)?;
             }
-            ReconfigOp::RetuneMps { device, placement, procs } => {
+            ReconfigOp::RetuneMps {
+                device,
+                placement,
+                procs,
+            } => {
                 let id = lookup(nvml, *device, *placement)?;
                 nvml.set_mps_processes(id, *procs)?;
             }
@@ -287,7 +304,10 @@ mod tests {
         let diff = diff_deployments(&old, &new);
         assert_eq!(diff.mig_rebuilds(), 0);
         assert_eq!(diff.ops.len(), 1);
-        assert!(matches!(diff.ops[0], ReconfigOp::RetuneMps { procs: 3, .. }));
+        assert!(matches!(
+            diff.ops[0],
+            ReconfigOp::RetuneMps { procs: 3, .. }
+        ));
         // Retunes disturb no service (rolling relaunch).
         assert!(diff.disturbed_services().is_empty());
     }

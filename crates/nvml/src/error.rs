@@ -66,7 +66,10 @@ impl std::fmt::Display for NvmlError {
                 write!(f, "device {device}: invalid placement: {reason}")
             }
             Self::UnknownInstance { id } => write!(f, "unknown GPU-instance handle {id}"),
-            Self::DeviceBusy { device, live_instances } => write!(
+            Self::DeviceBusy {
+                device,
+                live_instances,
+            } => write!(
                 f,
                 "device {device}: cannot change MIG mode with {live_instances} live instance(s)"
             ),
@@ -85,7 +88,10 @@ mod tests {
         let e = NvmlError::InsufficientResources { device: 3, gpcs: 4 };
         assert!(e.to_string().contains("device 3"));
         assert!(e.to_string().contains("4-GPC"));
-        let e = NvmlError::DeviceBusy { device: 0, live_instances: 2 };
+        let e = NvmlError::DeviceBusy {
+            device: 0,
+            live_instances: 2,
+        };
         assert!(e.to_string().contains("2 live instance"));
     }
 }

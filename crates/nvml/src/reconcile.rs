@@ -52,7 +52,8 @@ pub fn reconcile_plan(nvml: &SimNvml, target: &MigDeployment) -> DeploymentDiff 
             .find(|ps| ps.placement == inst.placement);
         match planned {
             Some(ps) if ps.segment.triplet.procs == inst.mps_processes => {
-                diff.kept.push((inst.device, inst.placement, ps.segment.service_id));
+                diff.kept
+                    .push((inst.device, inst.placement, ps.segment.service_id));
             }
             Some(ps) => retunes.push(ReconfigOp::RetuneMps {
                 device: inst.device,
@@ -91,10 +92,7 @@ pub fn reconcile_plan(nvml: &SimNvml, target: &MigDeployment) -> DeploymentDiff 
 ///
 /// # Errors
 /// Propagates NVML errors from executing the plan.
-pub fn reconcile(
-    nvml: &mut SimNvml,
-    target: &MigDeployment,
-) -> Result<ReconcileReport, NvmlError> {
+pub fn reconcile(nvml: &mut SimNvml, target: &MigDeployment) -> Result<ReconcileReport, NvmlError> {
     let plan = reconcile_plan(nvml, target);
     let report = ReconcileReport {
         strays_removed: plan
@@ -196,8 +194,12 @@ mod tests {
     fn repairs_wiped_device() {
         let mut nvml = converged_fleet();
         // Driver reset: every instance on device 0 vanishes.
-        let doomed: Vec<_> =
-            nvml.instances().iter().filter(|i| i.device == 0).map(|i| i.id).collect();
+        let doomed: Vec<_> = nvml
+            .instances()
+            .iter()
+            .filter(|i| i.device == 0)
+            .map(|i| i.id)
+            .collect();
         assert!(!doomed.is_empty());
         for id in doomed {
             nvml.destroy_gpu_instance(id).unwrap();

@@ -87,10 +87,7 @@ impl TelemetryStore {
             .samples
             .iter()
             .filter(|(i, f, s)| {
-                *i == instance
-                    && *f == field
-                    && s.timestamp_us >= from_us
-                    && s.timestamp_us < to_us
+                *i == instance && *f == field && s.timestamp_us >= from_us && s.timestamp_us < to_us
             })
             .map(|(_, _, s)| s.value)
             .collect();
@@ -124,7 +121,8 @@ impl TelemetryStore {
     /// Drop samples older than `horizon_us` (DCGM keeps a bounded watch
     /// window; this is the retention pass).
     pub fn trim(&mut self, horizon_us: u64) {
-        self.samples.retain(|(_, _, s)| s.timestamp_us >= horizon_us);
+        self.samples
+            .retain(|(_, _, s)| s.timestamp_us >= horizon_us);
     }
 }
 
@@ -133,7 +131,10 @@ mod tests {
     use super::*;
 
     fn s(t: u64, v: f64) -> FieldSample {
-        FieldSample { timestamp_us: t, value: v }
+        FieldSample {
+            timestamp_us: t,
+            value: v,
+        }
     }
 
     #[test]
@@ -156,7 +157,9 @@ mod tests {
             store.record(id, FieldId::SmActivity, s(t, v));
         }
         // [100, 300) → samples at 100 and 200.
-        let m = store.window_mean(id, FieldId::SmActivity, 100, 300).unwrap();
+        let m = store
+            .window_mean(id, FieldId::SmActivity, 100, 300)
+            .unwrap();
         assert!((m - 0.5).abs() < 1e-12);
         assert_eq!(store.window_mean(id, FieldId::SmActivity, 400, 500), None);
     }
@@ -167,7 +170,9 @@ mod tests {
         let mut store = TelemetryStore::new();
         store.record(InstanceId(1), FieldId::SmActivity, s(0, 1.0));
         store.record(InstanceId(2), FieldId::SmActivity, s(0, 0.5));
-        let agg = store.weighted_activity(&[(InstanceId(1), 14), (InstanceId(2), 42)]).unwrap();
+        let agg = store
+            .weighted_activity(&[(InstanceId(1), 14), (InstanceId(2), 42)])
+            .unwrap();
         assert!((agg - 35.0 / 56.0).abs() < 1e-12);
     }
 
@@ -176,9 +181,14 @@ mod tests {
         let mut store = TelemetryStore::new();
         store.record(InstanceId(1), FieldId::SmActivity, s(0, 0.9));
         // Instance 2 never reported; only instance 1 contributes.
-        let agg = store.weighted_activity(&[(InstanceId(1), 14), (InstanceId(2), 42)]).unwrap();
+        let agg = store
+            .weighted_activity(&[(InstanceId(1), 14), (InstanceId(2), 42)])
+            .unwrap();
         assert!((agg - 0.9).abs() < 1e-12);
-        assert_eq!(TelemetryStore::new().weighted_activity(&[(InstanceId(1), 14)]), None);
+        assert_eq!(
+            TelemetryStore::new().weighted_activity(&[(InstanceId(1), 14)]),
+            None
+        );
     }
 
     #[test]
@@ -199,6 +209,9 @@ mod tests {
         store.record(id, FieldId::SmActivity, s(0, 0.7));
         store.record(id, FieldId::ThroughputRps, s(0, 812.0));
         assert_eq!(store.latest(id, FieldId::SmActivity).unwrap().value, 0.7);
-        assert_eq!(store.latest(id, FieldId::ThroughputRps).unwrap().value, 812.0);
+        assert_eq!(
+            store.latest(id, FieldId::ThroughputRps).unwrap().value,
+            812.0
+        );
     }
 }

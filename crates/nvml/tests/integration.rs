@@ -12,7 +12,9 @@ use parva_scenarios::Scenario;
 fn s2_deployment_applies_to_fleet() {
     let book = ProfileBook::builtin();
     let scheduler = ParvaGpu::new(&book);
-    let (_, deployment) = scheduler.plan(&Scenario::S2.services()).expect("S2 feasible");
+    let (_, deployment) = scheduler
+        .plan(&Scenario::S2.services())
+        .expect("S2 feasible");
     let mut nvml = SimNvml::new(0, GpuModel::A100_80GB);
     let applied = apply_deployment(&mut nvml, &deployment).expect("apply clean fleet");
     assert_eq!(applied.len(), deployment.segments().len());
@@ -92,7 +94,11 @@ fn unchanged_slo_means_zero_ops() {
     let outcome = reconfigure::update_service(&scheduler, &before, &services, specs[0])
         .expect("no-op reconfig");
     let diff = diff_deployments(&before, &outcome.deployment);
-    assert!(diff.ops.is_empty(), "no-op update must not touch the fleet: {:?}", diff.ops);
+    assert!(
+        diff.ops.is_empty(),
+        "no-op update must not touch the fleet: {:?}",
+        diff.ops
+    );
     assert_eq!(diff.kept.len(), before.segments().len());
 }
 
@@ -115,7 +121,11 @@ fn fresh_schedule_vs_diff_converge_to_same_fleet() {
 
     let mut via_diff = SimNvml::new(0, GpuModel::A100_80GB);
     apply_deployment(&mut via_diff, &before).unwrap();
-    apply_diff(&mut via_diff, &diff_deployments(&before, &outcome.deployment)).unwrap();
+    apply_diff(
+        &mut via_diff,
+        &diff_deployments(&before, &outcome.deployment),
+    )
+    .unwrap();
 
     let mut fresh = SimNvml::new(0, GpuModel::A100_80GB);
     apply_deployment(&mut fresh, &outcome.deployment).unwrap();
@@ -129,7 +139,9 @@ fn telemetry_tracks_applied_instances() {
     use parva_nvml::{FieldId, FieldSample, TelemetryStore};
     let book = ProfileBook::builtin();
     let scheduler = ParvaGpu::new(&book);
-    let (_, deployment) = scheduler.plan(&Scenario::S1.services()).expect("S1 feasible");
+    let (_, deployment) = scheduler
+        .plan(&Scenario::S1.services())
+        .expect("S1 feasible");
     let mut nvml = SimNvml::new(0, GpuModel::A100_80GB);
     let applied = apply_deployment(&mut nvml, &deployment).unwrap();
 
@@ -139,13 +151,18 @@ fn telemetry_tracks_applied_instances() {
         telemetry.record(
             a.instance,
             FieldId::SmActivity,
-            FieldSample { timestamp_us: 1_000, value: 0.90 + 0.01 * (k % 5) as f64 },
+            FieldSample {
+                timestamp_us: 1_000,
+                value: 0.90 + 0.01 * (k % 5) as f64,
+            },
         );
     }
     let weights: Vec<_> = applied
         .iter()
         .map(|a| (a.instance, a.placement.profile.sms()))
         .collect();
-    let activity = telemetry.weighted_activity(&weights).expect("all instances sampled");
+    let activity = telemetry
+        .weighted_activity(&weights)
+        .expect("all instances sampled");
     assert!(activity > 0.89 && activity < 0.95, "{activity}");
 }

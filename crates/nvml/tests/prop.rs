@@ -11,7 +11,12 @@ use proptest::prelude::*;
 /// first-fit — every generated map is valid by construction.
 fn arb_deployment(max_segments: usize) -> impl Strategy<Value = MigDeployment> {
     prop::collection::vec(
-        (0u32..6, 0usize..5, prop::sample::select(vec![1u32, 4, 16, 64]), 1u32..=3),
+        (
+            0u32..6,
+            0usize..5,
+            prop::sample::select(vec![1u32, 4, 16, 64]),
+            1u32..=3,
+        ),
         0..max_segments,
     )
     .prop_map(|items| {

@@ -99,7 +99,10 @@ mod tests {
         let g1 = ComputeShare::Mig(InstanceProfile::G1);
         let tp2 = throughput_rps(m, g1, 4, 2);
         let tp3 = throughput_rps(m, g1, 4, 3);
-        assert!((tp3 - tp2) / tp2 < 0.05, "saturated instance should plateau");
+        assert!(
+            (tp3 - tp2) / tp2 < 0.05,
+            "saturated instance should plateau"
+        );
         let lat2 = latency_ms(m, g1, 4, 2);
         let lat3 = latency_ms(m, g1, 4, 3);
         assert!(lat3 / lat2 > 1.3, "latency should grow disproportionately");

@@ -152,8 +152,7 @@ mod tests {
     fn latency_monotone_decreasing_in_instance_size() {
         for m in Model::ALL {
             for b in [1u32, 8, 32] {
-                let lats: Vec<f64> =
-                    G.iter().map(|g| latency_ms(m, *g, b, 1)).collect();
+                let lats: Vec<f64> = G.iter().map(|g| latency_ms(m, *g, b, 1)).collect();
                 for w in lats.windows(2) {
                     assert!(w[1] <= w[0] + 1e-9, "{m} b={b}: {lats:?}");
                 }
@@ -166,8 +165,10 @@ mod tests {
         for m in Model::ALL {
             for g in G {
                 for p in 1..=3u32 {
-                    let lats: Vec<f64> =
-                        [1u32, 2, 4, 8, 16, 32].iter().map(|b| latency_ms(m, g, *b, p)).collect();
+                    let lats: Vec<f64> = [1u32, 2, 4, 8, 16, 32]
+                        .iter()
+                        .map(|b| latency_ms(m, g, *b, p))
+                        .collect();
                     for w in lats.windows(2) {
                         assert!(w[1] >= w[0] - 1e-9, "{m} {g} p={p}: {lats:?}");
                     }
@@ -249,24 +250,37 @@ mod tests {
         assert!(fits_memory_on(m, g4, 1, 1, GpuModel::H200_141GB));
         assert!(fits_memory_on(m, g2, 1, 1, GpuModel::B200_192GB));
         // The lightweight 7B models fit a single slice even on A100-80.
-        assert!(fits_memory_on(Model::Guanaco7B, ComputeShare::Mig(InstanceProfile::G1), 1, 1, GpuModel::A100_80GB));
-        assert!(fits_memory_on(Model::LlamaLite7B, ComputeShare::Mig(InstanceProfile::G1), 1, 1, GpuModel::A100_80GB));
+        assert!(fits_memory_on(
+            Model::Guanaco7B,
+            ComputeShare::Mig(InstanceProfile::G1),
+            1,
+            1,
+            GpuModel::A100_80GB
+        ));
+        assert!(fits_memory_on(
+            Model::LlamaLite7B,
+            ComputeShare::Mig(InstanceProfile::G1),
+            1,
+            1,
+            GpuModel::A100_80GB
+        ));
     }
 
     #[test]
     fn llms_slower_than_cnns() {
         let g7 = ComputeShare::Mig(InstanceProfile::G7);
         assert!(latency_ms(Model::LlamaLite7B, g7, 1, 1) > latency_ms(Model::BertLarge, g7, 1, 1));
-        assert!(
-            latency_ms(Model::Guanaco65B, g7, 1, 1) > latency_ms(Model::LlamaLite7B, g7, 1, 1)
-        );
+        assert!(latency_ms(Model::Guanaco65B, g7, 1, 1) > latency_ms(Model::LlamaLite7B, g7, 1, 1));
     }
 
     #[test]
     fn evaluate_is_consistent() {
         let g = ComputeShare::Mig(InstanceProfile::G3);
         let pt = evaluate(Model::DenseNet169, g, 16, 2);
-        assert_eq!(pt.throughput_rps, throughput_rps(Model::DenseNet169, g, 16, 2));
+        assert_eq!(
+            pt.throughput_rps,
+            throughput_rps(Model::DenseNet169, g, 16, 2)
+        );
         assert_eq!(pt.latency_ms, latency_ms(Model::DenseNet169, g, 16, 2));
         assert_eq!(pt.memory_gib, memory_gib(Model::DenseNet169, 16, 2));
     }
@@ -277,8 +291,7 @@ mod tests {
         // models at moderate batch — this is what makes Demand Matching pick
         // small optimal segments and is the source of MIG's fine-tuning win.
         let m = Model::MobileNetV2;
-        let per_gpc =
-            |g: ComputeShare| throughput_rps(m, g, 32, 3) / g.effective_gpcs();
+        let per_gpc = |g: ComputeShare| throughput_rps(m, g, 32, 3) / g.effective_gpcs();
         assert!(per_gpc(G[0]) >= per_gpc(G[4]) * 0.9);
     }
 }

@@ -117,7 +117,11 @@ impl Model {
     /// Parse the paper's display name (case-insensitive, punctuation-tolerant).
     #[must_use]
     pub fn parse(s: &str) -> Option<Model> {
-        let key: String = s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase();
+        let key: String = s
+            .chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_lowercase();
         Model::EXTENDED.iter().copied().find(|m| {
             m.name()
                 .chars()
@@ -132,7 +136,10 @@ impl Model {
     /// indices coincide with the Table IV column order).
     #[must_use]
     pub fn index(self) -> usize {
-        Model::EXTENDED.iter().position(|m| *m == self).expect("model in EXTENDED")
+        Model::EXTENDED
+            .iter()
+            .position(|m| *m == self)
+            .expect("model in EXTENDED")
     }
 
     /// Whether this is one of the §V LLM workloads.

@@ -30,7 +30,10 @@ impl ProfileBook {
     #[must_use]
     pub fn measure(models: &[Model], grid: &SweepGrid) -> Self {
         Self {
-            tables: models.iter().map(|m| ProfileTable::measure(*m, grid)).collect(),
+            tables: models
+                .iter()
+                .map(|m| ProfileTable::measure(*m, grid))
+                .collect(),
         }
     }
 
@@ -40,19 +43,17 @@ impl ProfileBook {
     #[must_use]
     pub fn measure_on(models: &[Model], grid: &SweepGrid, gpu: parva_mig::GpuModel) -> Self {
         Self {
-            tables: models.iter().map(|m| ProfileTable::measure_on(*m, grid, gpu)).collect(),
+            tables: models
+                .iter()
+                .map(|m| ProfileTable::measure_on(*m, grid, gpu))
+                .collect(),
         }
     }
 
     /// Profile with measurement noise (see
     /// [`ProfileTable::measure_with_noise`]).
     #[must_use]
-    pub fn measure_with_noise(
-        models: &[Model],
-        grid: &SweepGrid,
-        seed: u64,
-        rel_err: f64,
-    ) -> Self {
+    pub fn measure_with_noise(models: &[Model], grid: &SweepGrid, seed: u64, rel_err: f64) -> Self {
         Self {
             tables: models
                 .iter()

@@ -60,7 +60,9 @@ impl SweepGrid {
     /// order (instance-major, procs-minor).
     pub fn points(&self) -> impl Iterator<Item = (InstanceProfile, u32, u32)> + '_ {
         self.instances.iter().flat_map(move |i| {
-            self.batches.iter().flat_map(move |b| self.procs.iter().map(move |p| (*i, *b, *p)))
+            self.batches
+                .iter()
+                .flat_map(move |b| self.procs.iter().map(move |p| (*i, *b, *p)))
         })
     }
 }

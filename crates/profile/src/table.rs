@@ -117,7 +117,9 @@ impl ProfileTable {
         &self,
         instance: InstanceProfile,
     ) -> impl Iterator<Item = &ProfileEntry> {
-        self.entries.iter().filter(move |e| e.triplet.instance == instance)
+        self.entries
+            .iter()
+            .filter(move |e| e.triplet.instance == instance)
     }
 
     /// Highest-throughput entry for `instance` whose latency is strictly
@@ -151,7 +153,8 @@ impl ProfileTable {
     /// Serialize as CSV rows `instance,batch,procs,throughput_rps,latency_ms,memory_gib`.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("instance_gpcs,batch,procs,throughput_rps,latency_ms,memory_gib\n");
+        let mut out =
+            String::from("instance_gpcs,batch,procs,throughput_rps,latency_ms,memory_gib\n");
         for e in &self.entries {
             out.push_str(&format!(
                 "{},{},{},{:.2},{:.3},{:.2}\n",
@@ -241,8 +244,8 @@ mod tests {
         assert_ne!(a, clean, "noise must actually perturb");
         for (n, c) in a.entries().iter().zip(clean.entries()) {
             assert_eq!(n.triplet, c.triplet);
-            let rel = (n.point.throughput_rps - c.point.throughput_rps).abs()
-                / c.point.throughput_rps;
+            let rel =
+                (n.point.throughput_rps - c.point.throughput_rps).abs() / c.point.throughput_rps;
             assert!(rel <= 0.1 + 1e-9, "throughput error {rel}");
             let rel = (n.point.latency_ms - c.point.latency_ms).abs() / c.point.latency_ms;
             assert!(rel <= 0.1 + 1e-9, "latency error {rel}");

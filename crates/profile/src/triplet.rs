@@ -19,7 +19,11 @@ impl Triplet {
     /// Create a triplet.
     #[must_use]
     pub const fn new(instance: InstanceProfile, batch: u32, procs: u32) -> Self {
-        Self { instance, batch, procs }
+        Self {
+            instance,
+            batch,
+            procs,
+        }
     }
 
     /// GPC count of the instance — the "cost" side of Demand Matching's
@@ -34,7 +38,13 @@ impl std::fmt::Display for Triplet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Matches the paper's Fig. 2 compact notation: e.g. "383" is
         // instance 3, batch 8, 3 processes; batches >9 are bracketed.
-        write!(f, "({}g, b{}, p{})", self.instance.gpcs(), self.batch, self.procs)
+        write!(
+            f,
+            "({}g, b{}, p{})",
+            self.instance.gpcs(),
+            self.batch,
+            self.procs
+        )
     }
 }
 

@@ -35,17 +35,17 @@ pub enum Scenario {
 type Row = [Option<(f64, f64)>; 11];
 
 const S1: Row = [
-    Some((19.0, 6_434.0)),  // BERT-large
-    Some((353.0, 183.0)),   // DenseNet-121
-    None,                   // DenseNet-169
-    None,                   // DenseNet-201
-    Some((460.0, 419.0)),   // InceptionV3
-    Some((677.0, 167.0)),   // MobileNetV2
-    None,                   // ResNet-101
-    None,                   // ResNet-152
-    Some((829.0, 205.0)),   // ResNet-50
-    None,                   // VGG-16
-    Some((354.0, 397.0)),   // VGG-19
+    Some((19.0, 6_434.0)), // BERT-large
+    Some((353.0, 183.0)),  // DenseNet-121
+    None,                  // DenseNet-169
+    None,                  // DenseNet-201
+    Some((460.0, 419.0)),  // InceptionV3
+    Some((677.0, 167.0)),  // MobileNetV2
+    None,                  // ResNet-101
+    None,                  // ResNet-152
+    Some((829.0, 205.0)),  // ResNet-50
+    None,                  // VGG-16
+    Some((354.0, 397.0)),  // VGG-19
 ];
 
 const S2: Row = [
@@ -120,8 +120,14 @@ const S6: Row = [
 
 impl Scenario {
     /// All six scenarios in paper order.
-    pub const ALL: [Scenario; 6] =
-        [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S5, Scenario::S6];
+    pub const ALL: [Scenario; 6] = [
+        Scenario::S1,
+        Scenario::S2,
+        Scenario::S3,
+        Scenario::S4,
+        Scenario::S5,
+        Scenario::S6,
+    ];
 
     fn row(self) -> &'static Row {
         match self {
@@ -205,7 +211,13 @@ mod tests {
 
     #[test]
     fn s2_through_s6_have_eleven_services() {
-        for s in [Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S5, Scenario::S6] {
+        for s in [
+            Scenario::S2,
+            Scenario::S3,
+            Scenario::S4,
+            Scenario::S5,
+            Scenario::S6,
+        ] {
             assert_eq!(s.services().len(), 11, "{s}");
         }
     }
@@ -274,10 +286,16 @@ mod tests {
     #[test]
     fn total_rates_ordered() {
         // S2 < S3 < S4 < S5 < S6 in aggregate offered load.
-        let rates: Vec<f64> = [Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S5, Scenario::S6]
-            .iter()
-            .map(|s| s.total_rate_rps())
-            .collect();
+        let rates: Vec<f64> = [
+            Scenario::S2,
+            Scenario::S3,
+            Scenario::S4,
+            Scenario::S5,
+            Scenario::S6,
+        ]
+        .iter()
+        .map(|s| s.total_rate_rps())
+        .collect();
         for w in rates.windows(2) {
             assert!(w[1] > w[0]);
         }

@@ -4,8 +4,11 @@
 use parva_perf::Model;
 use parva_scenarios::Scenario;
 
+/// One scenario's rows: `(model, rate req/s, SLO ms)` for present models.
+type ScenarioRows = Vec<(Model, f64, f64)>;
+
 /// (scenario, [(model, rate req/s, SLO ms); present models only]).
-fn paper_table4() -> Vec<(Scenario, Vec<(Model, f64, f64)>)> {
+fn paper_table4() -> Vec<(Scenario, ScenarioRows)> {
     use Model::*;
     vec![
         (
@@ -106,7 +109,11 @@ fn paper_table4() -> Vec<(Scenario, Vec<(Model, f64, f64)>)> {
 fn every_table4_cell_matches_the_paper() {
     for (scenario, expected) in paper_table4() {
         let services = scenario.services();
-        assert_eq!(services.len(), expected.len(), "{scenario:?}: service count");
+        assert_eq!(
+            services.len(),
+            expected.len(),
+            "{scenario:?}: service count"
+        );
         for (model, rate, slo) in expected {
             let svc = services
                 .iter()
@@ -124,7 +131,10 @@ fn s1_is_a_strict_subset_of_s2() {
     // the number of services is reduced, using six models from Scenario 2."
     let s2 = Scenario::S2.services();
     for s1_svc in Scenario::S1.services() {
-        let twin = s2.iter().find(|s| s.model == s1_svc.model).expect("model in S2");
+        let twin = s2
+            .iter()
+            .find(|s| s.model == s1_svc.model)
+            .expect("model in S2");
         assert_eq!(twin.request_rate_rps, s1_svc.request_rate_rps);
         assert_eq!(twin.slo.latency_ms, s1_svc.slo.latency_ms);
     }
@@ -159,10 +169,19 @@ fn s5_has_the_tightest_slos() {
     // Paper: S5 "reflect[s] conditions that require high computational
     // power, with stricter SLO latency".
     let min_slo = |sc: Scenario| {
-        sc.services().iter().map(|s| s.slo.latency_ms).fold(f64::INFINITY, f64::min)
+        sc.services()
+            .iter()
+            .map(|s| s.slo.latency_ms)
+            .fold(f64::INFINITY, f64::min)
     };
     let s5 = min_slo(Scenario::S5);
-    for sc in [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S6] {
+    for sc in [
+        Scenario::S1,
+        Scenario::S2,
+        Scenario::S3,
+        Scenario::S4,
+        Scenario::S6,
+    ] {
         assert!(s5 < min_slo(sc), "{sc:?}");
     }
 }

@@ -154,8 +154,16 @@ mod tests {
             duration_s: 10.0,
             services: vec![],
             servers: vec![
-                ServerActivity { service_id: 0, sms: 42.0, activity: 1.0 },
-                ServerActivity { service_id: 1, sms: 42.0, activity: 0.5 },
+                ServerActivity {
+                    service_id: 0,
+                    sms: 42.0,
+                    activity: 1.0,
+                },
+                ServerActivity {
+                    service_id: 1,
+                    sms: 42.0,
+                    activity: 0.5,
+                },
             ],
         };
         // 1 - (42 + 21)/84 = 0.25.
@@ -164,7 +172,11 @@ mod tests {
 
     #[test]
     fn empty_report_defaults() {
-        let report = ServingReport { duration_s: 1.0, services: vec![], servers: vec![] };
+        let report = ServingReport {
+            duration_s: 1.0,
+            services: vec![],
+            servers: vec![],
+        };
         assert_eq!(report.overall_compliance_rate(), 1.0);
         assert_eq!(report.internal_slack(), 0.0);
         assert!(report.service(3).is_none());

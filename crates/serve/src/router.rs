@@ -11,15 +11,31 @@ pub struct Router {
 }
 
 impl Router {
-    /// Build from capacity weights (must be non-empty; non-positive weights
-    /// are clamped to a tiny epsilon so the server can still drain).
+    /// Build from capacity weights (must be non-empty). Negative, NaN and
+    /// zero weights are clamped to zero *before* normalization, so a
+    /// healthy server never loses share to a degenerate co-server; when no
+    /// weight is positive the router falls back to uniform shares instead
+    /// of normalizing an epsilon-sum (which amplified the clamp values by
+    /// ~1e12 and made the shares depend on the clamp constant).
     #[must_use]
     pub fn new(weights: Vec<f64>) -> Self {
         assert!(!weights.is_empty(), "router needs at least one server");
-        let sum: f64 = weights.iter().map(|w| w.max(1e-12)).sum();
-        let weights = weights.iter().map(|w| w.max(1e-12) / sum).collect::<Vec<_>>();
-        let n = weights.len();
-        Self { weights, sent: vec![0; n], total: 0 }
+        let clamped: Vec<f64> = weights
+            .iter()
+            .map(|w| if w.is_finite() && *w > 0.0 { *w } else { 0.0 })
+            .collect();
+        let sum: f64 = clamped.iter().sum();
+        let n = clamped.len();
+        let weights = if sum > 0.0 {
+            clamped.iter().map(|w| w / sum).collect()
+        } else {
+            vec![1.0 / n as f64; n]
+        };
+        Self {
+            weights,
+            sent: vec![0; n],
+            total: 0,
+        }
     }
 
     /// Route one request, returning the chosen server index.
@@ -96,5 +112,44 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_rejected() {
         let _ = Router::new(vec![]);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        // Regression: the old clamp-then-normalize path divided 1e-12 by an
+        // n·1e-12 sum, so all-zero inputs silently produced shares defined
+        // by the clamp constant rather than an explicit uniform fallback.
+        let mut r = Router::new(vec![0.0, 0.0, 0.0]);
+        for _ in 0..3000 {
+            r.route();
+        }
+        for &s in r.sent() {
+            assert!((s as f64 - 1000.0).abs() <= 1.0, "{:?}", r.sent());
+        }
+    }
+
+    #[test]
+    fn negative_and_nan_weights_are_starved_not_amplified() {
+        // A negative or NaN weight is a scheduler bug upstream; the router
+        // must treat it as "no capacity", not as epsilon capacity that
+        // steals share under normalization.
+        let mut r = Router::new(vec![2.0, -5.0, f64::NAN]);
+        for _ in 0..1000 {
+            r.route();
+        }
+        assert_eq!(r.sent()[0], 1000, "{:?}", r.sent());
+        assert_eq!(r.sent()[1], 0);
+        assert_eq!(r.sent()[2], 0);
+    }
+
+    #[test]
+    fn mixed_zero_weight_normalization_unchanged() {
+        let mut r = Router::new(vec![3.0, 0.0, 1.0]);
+        for _ in 0..4000 {
+            r.route();
+        }
+        let s = r.sent();
+        assert!((s[0] as f64 / 4000.0 - 0.75).abs() < 0.01, "{s:?}");
+        assert!(s[1] <= 1, "{s:?}");
     }
 }

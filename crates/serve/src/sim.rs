@@ -100,10 +100,18 @@ struct Server {
 
 #[derive(Debug)]
 enum Event {
-    Arrival { service: usize },
-    Done { server: usize, arrivals: Vec<SimTime>, comp_us: u64 },
+    Arrival {
+        service: usize,
+    },
+    Done {
+        server: usize,
+        arrivals: Vec<SimTime>,
+        comp_us: u64,
+    },
     /// Re-check `server`'s queue for an expired batch deadline.
-    Deadline { server: usize },
+    Deadline {
+        server: usize,
+    },
 }
 
 /// Batching deadline for a server: the SLO/2 queuing budget minus one full
@@ -112,7 +120,11 @@ enum Event {
 fn batch_timeout(spec: &ServiceSpec, server: &Server) -> SimTime {
     let (full_cycle, _) = batch_times(server, server.batch, server.procs);
     let budget_us = SimTime::from_ms(spec.slo.internal_target_ms()).micros();
-    SimTime(budget_us.saturating_sub(full_cycle.micros()).clamp(1_000, 250_000))
+    SimTime(
+        budget_us
+            .saturating_sub(full_cycle.micros())
+            .clamp(1_000, 250_000),
+    )
 }
 
 fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> {
@@ -121,7 +133,9 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
     match deployment {
         Deployment::Mig(d) => {
             for ps in d.segments() {
-                let Some(service) = idx_of(ps.segment.service_id) else { continue };
+                let Some(service) = idx_of(ps.segment.service_id) else {
+                    continue;
+                };
                 let mut server = Server {
                     service,
                     model: ps.segment.model,
@@ -141,7 +155,9 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
         Deployment::Mps(d) => {
             for (gi, gpu) in d.gpus.iter().enumerate() {
                 for (pi, p) in gpu.partitions.iter().enumerate() {
-                    let Some(service) = idx_of(p.service_id) else { continue };
+                    let Some(service) = idx_of(p.service_id) else {
+                        continue;
+                    };
                     let co = d.gpus[gi].co_residents(pi);
                     let mut server = Server {
                         service,
@@ -202,9 +218,11 @@ fn batch_times(server: &Server, b_eff: u32, n_busy: u32) -> (SimTime, u64) {
         n_busy,
         server.interference,
     );
-    let comp_ms =
-        parva_perf::math::t_comp(&params, gpcs, b_eff) * (1.0 + server.interference);
-    (SimTime::from_ms(cycle_ms), SimTime::from_ms(comp_ms).micros())
+    let comp_ms = parva_perf::math::t_comp(&params, gpcs, b_eff) * (1.0 + server.interference);
+    (
+        SimTime::from_ms(cycle_ms),
+        SimTime::from_ms(comp_ms).micros(),
+    )
 }
 
 /// Run the serving simulation for `deployment` under `specs`' offered load.
@@ -234,8 +252,10 @@ pub fn simulate(
     let sim_end = SimTime::from_secs(config.warmup_s + config.duration_s + config.drain_s);
 
     let mut q: EventQueue<Event> = EventQueue::new();
-    let mut arrival_rng: Vec<RngStream> =
-        specs.iter().map(|s| RngStream::new(config.seed, u64::from(s.id))).collect();
+    let mut arrival_rng: Vec<RngStream> = specs
+        .iter()
+        .map(|s| RngStream::new(config.seed, u64::from(s.id)))
+        .collect();
 
     // MMPP phase state per service (ignored by the other processes). Phase
     // streams are separate RNG streams so flipping the arrival process does
@@ -249,11 +269,11 @@ pub fn simulate(
 
     // Draw the next interarrival gap for service `i` as of time `now`.
     let next_gap = |i: usize,
-                        now: SimTime,
-                        rng: &mut Vec<RngStream>,
-                        bursting: &mut Vec<bool>,
-                        phase_until: &mut Vec<SimTime>,
-                        phase_rng: &mut Vec<RngStream>|
+                    now: SimTime,
+                    rng: &mut Vec<RngStream>,
+                    bursting: &mut Vec<bool>,
+                    phase_until: &mut Vec<SimTime>,
+                    phase_rng: &mut Vec<RngStream>|
      -> SimTime {
         let rate = specs[i].request_rate_rps;
         match config.arrivals {
@@ -262,8 +282,7 @@ pub fn simulate(
             ArrivalProcess::Mmpp { mean_phase_s, .. } => {
                 while now >= phase_until[i] {
                     bursting[i] = !bursting[i];
-                    phase_until[i] = phase_until[i]
-                        + phase_rng[i].exp_interarrival(1.0 / mean_phase_s.max(1e-6));
+                    phase_until[i] += phase_rng[i].exp_interarrival(1.0 / mean_phase_s.max(1e-6));
                 }
                 let phase_rate = config.arrivals.phase_rate(rate, bursting[i]);
                 rng[i].exp_interarrival(phase_rate)
@@ -299,7 +318,14 @@ pub fn simulate(
         servers[server].busy += 1;
         let n_busy = servers[server].busy;
         let (cycle, comp_us) = batch_times(&servers[server], size, n_busy);
-        q.schedule_in(cycle, Event::Done { server, arrivals, comp_us });
+        q.schedule_in(
+            cycle,
+            Event::Done {
+                server,
+                arrivals,
+                comp_us,
+            },
+        );
     }
 
     // Adaptive batching: launch full batches eagerly; for a partial queue,
@@ -351,7 +377,11 @@ pub fn simulate(
                     try_start(&mut q, &mut servers, sidx);
                 }
             }
-            Event::Done { server, arrivals, comp_us } => {
+            Event::Done {
+                server,
+                arrivals,
+                comp_us,
+            } => {
                 servers[server].busy -= 1;
                 let service = servers[server].service;
                 let in_window = t >= win_start && t < win_end;
@@ -421,7 +451,13 @@ mod tests {
     use parva_scenarios::Scenario;
 
     fn quick_config() -> ServingConfig {
-        ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 7, ..Default::default() }
+        ServingConfig {
+            warmup_s: 1.0,
+            duration_s: 4.0,
+            drain_s: 2.0,
+            seed: 7,
+            ..Default::default()
+        }
     }
 
     fn parva_s2() -> (Deployment, Vec<ServiceSpec>) {
@@ -488,7 +524,10 @@ mod tests {
         let (d, specs) = parva_s2();
         let a = simulate(&d, &specs, &quick_config());
         let b = simulate(&d, &specs, &quick_config());
-        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]
@@ -498,7 +537,10 @@ mod tests {
         let b = simulate(
             &d,
             &specs,
-            &ServingConfig { seed: 1234, ..quick_config() },
+            &ServingConfig {
+                seed: 1234,
+                ..quick_config()
+            },
         );
         let oa: u64 = a.services.iter().map(|s| s.offered).sum();
         let ob: u64 = b.services.iter().map(|s| s.offered).sum();
@@ -538,7 +580,12 @@ mod tests {
             latency_ms: point.latency_ms,
         });
         assert!(point.throughput_rps < 500.0, "segment unexpectedly large");
-        let real = vec![ServiceSpec::new(0, parva_perf::Model::ResNet50, 829.0, 205.0)];
+        let real = vec![ServiceSpec::new(
+            0,
+            parva_perf::Model::ResNet50,
+            829.0,
+            205.0,
+        )];
         let report = simulate(&Deployment::Mig(mig), &real, &quick_config());
         assert!(
             report.overall_compliance_rate() < 0.9,
@@ -552,12 +599,19 @@ mod tests {
         let (d, specs) = parva_s2();
         let cfg = ServingConfig {
             duration_s: 8.0,
-            arrivals: ArrivalProcess::Mmpp { burst_factor: 4.0, mean_phase_s: 0.5 },
+            arrivals: ArrivalProcess::Mmpp {
+                burst_factor: 4.0,
+                mean_phase_s: 0.5,
+            },
             ..quick_config()
         };
         let report = simulate(&d, &specs, &cfg);
-        let offered: f64 =
-            report.services.iter().map(|s| s.offered as f64).sum::<f64>() / cfg.duration_s;
+        let offered: f64 = report
+            .services
+            .iter()
+            .map(|s| s.offered as f64)
+            .sum::<f64>()
+            / cfg.duration_s;
         let nominal: f64 = specs.iter().map(|s| s.request_rate_rps).sum();
         assert!(
             (offered - nominal).abs() / nominal < 0.15,
@@ -573,13 +627,19 @@ mod tests {
             &d,
             &specs,
             &ServingConfig {
-                arrivals: ArrivalProcess::Mmpp { burst_factor: 6.0, mean_phase_s: 0.5 },
+                arrivals: ArrivalProcess::Mmpp {
+                    burst_factor: 6.0,
+                    mean_phase_s: 0.5,
+                },
                 ..quick_config()
             },
         );
         // Aggregate p99 across services must degrade under bursts.
         let p99 = |r: &crate::report::ServingReport| {
-            r.services.iter().map(|s| s.latency.quantile_ms(0.99)).fold(0.0, f64::max)
+            r.services
+                .iter()
+                .map(|s| s.latency.quantile_ms(0.99))
+                .fold(0.0, f64::max)
         };
         assert!(
             p99(&bursty) > p99(&calm),
@@ -596,10 +656,16 @@ mod tests {
         let uniform = simulate(
             &d,
             &specs,
-            &ServingConfig { arrivals: ArrivalProcess::Deterministic, ..quick_config() },
+            &ServingConfig {
+                arrivals: ArrivalProcess::Deterministic,
+                ..quick_config()
+            },
         );
         let p99_sum = |r: &crate::report::ServingReport| {
-            r.services.iter().map(|s| s.latency.quantile_ms(0.99)).sum::<f64>()
+            r.services
+                .iter()
+                .map(|s| s.latency.quantile_ms(0.99))
+                .sum::<f64>()
         };
         assert!(p99_sum(&uniform) <= p99_sum(&poisson) * 1.05);
         // And the offered counts are exact (rate × window ± rounding).
@@ -623,7 +689,12 @@ mod tests {
 
     #[test]
     fn empty_deployment_serves_nothing() {
-        let specs = vec![ServiceSpec::new(0, parva_perf::Model::ResNet50, 100.0, 200.0)];
+        let specs = vec![ServiceSpec::new(
+            0,
+            parva_perf::Model::ResNet50,
+            100.0,
+            200.0,
+        )];
         let d = Deployment::Mig(parva_deploy::MigDeployment::new());
         let report = simulate(&d, &specs, &quick_config());
         assert_eq!(report.services[0].completed, 0);

@@ -10,7 +10,13 @@ use proptest::prelude::*;
 
 /// A single-service MIG deployment with `n` segments of one profile, sized
 /// from the true performance model.
-fn deployment(model: Model, profile: InstanceProfile, batch: u32, procs: u32, n: usize) -> Deployment {
+fn deployment(
+    model: Model,
+    profile: InstanceProfile,
+    batch: u32,
+    procs: u32,
+    n: usize,
+) -> Deployment {
     let point = parva_perf::math::evaluate(model, ComputeShare::Mig(profile), batch, procs);
     let mut d = MigDeployment::new();
     for _ in 0..n {
@@ -26,7 +32,13 @@ fn deployment(model: Model, profile: InstanceProfile, batch: u32, procs: u32, n:
 }
 
 fn cfg(seed: u64) -> ServingConfig {
-    ServingConfig { warmup_s: 0.5, duration_s: 2.0, drain_s: 1.0, seed, ..Default::default() }
+    ServingConfig {
+        warmup_s: 0.5,
+        duration_s: 2.0,
+        drain_s: 1.0,
+        seed,
+        ..Default::default()
+    }
 }
 
 proptest! {

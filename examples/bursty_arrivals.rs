@@ -14,7 +14,10 @@ fn main() {
     let book = ProfileBook::builtin();
     let specs = Scenario::S2.services();
     let deployment = ParvaGpu::new(&book).schedule(&specs).expect("S2 feasible");
-    println!("ParvaGPU serves S2 on {} GPUs; offered mean load is identical in every row.\n", deployment.gpu_count());
+    println!(
+        "ParvaGPU serves S2 on {} GPUs; offered mean load is identical in every row.\n",
+        deployment.gpu_count()
+    );
 
     println!(
         "{:<16} {:>10} {:>12} {:>14}",
@@ -27,7 +30,10 @@ fn main() {
     for factor in [2.0, 4.0, 8.0] {
         cases.push((
             format!("mmpp ×{factor:.0}"),
-            ArrivalProcess::Mmpp { burst_factor: factor, mean_phase_s: 0.5 },
+            ArrivalProcess::Mmpp {
+                burst_factor: factor,
+                mean_phase_s: 0.5,
+            },
         ));
     }
     for (label, arrivals) in cases {

@@ -13,11 +13,16 @@ fn main() {
     let scheduler = ParvaGpu::new(&profiles);
 
     println!("fleet size required as the S5 catalogue grows 1..6-fold:\n");
-    println!("{:>7} {:>10} {:>10} {:>14}", "factor", "services", "GPUs", "plan time");
+    println!(
+        "{:>7} {:>10} {:>10} {:>14}",
+        "factor", "services", "GPUs", "plan time"
+    );
     for k in 1..=6u32 {
         let specs = Scenario::S5.scaled(k);
         let start = Instant::now();
-        let deployment = scheduler.schedule(&specs).expect("S5 feasible for ParvaGPU");
+        let deployment = scheduler
+            .schedule(&specs)
+            .expect("S5 feasible for ParvaGPU");
         let elapsed = start.elapsed();
         println!(
             "{:>6}x {:>10} {:>10} {:>11.1?}",

@@ -38,8 +38,14 @@ fn main() {
     }
 
     println!("\n=== Cluster metrics ===");
-    println!("SLO compliance : {:.2}%", report.overall_compliance_rate() * 100.0);
-    println!("internal slack : {:.1}%  (Eq. 3)", internal_slack(&report) * 100.0);
+    println!(
+        "SLO compliance : {:.2}%",
+        report.overall_compliance_rate() * 100.0
+    );
+    println!(
+        "internal slack : {:.1}%  (Eq. 3)",
+        internal_slack(&report) * 100.0
+    );
     println!(
         "fragmentation  : {:.1}%  (Eq. 4)",
         external_fragmentation(&deployment) * 100.0

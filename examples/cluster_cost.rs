@@ -36,7 +36,11 @@ fn main() {
                     plan.idle_gpus,
                     plan.gpu_utilization() * 100.0
                 );
-                reports.push(CostReport::from_plan(sched.name(), &plan, PricingPlan::OnDemand));
+                reports.push(CostReport::from_plan(
+                    sched.name(),
+                    &plan,
+                    PricingPlan::OnDemand,
+                ));
             }
             Err(e) => println!("{:<12} infeasible: {e}", sched.name()),
         }
@@ -44,7 +48,10 @@ fn main() {
 
     println!("\nMonthly bills (on-demand):");
     for r in &reports {
-        println!("  {:<12} ${:>10.0}/month ({} nodes)", r.scheduler, r.usd_per_month, r.nodes);
+        println!(
+            "  {:<12} ${:>10.0}/month ({} nodes)",
+            r.scheduler, r.usd_per_month, r.nodes
+        );
     }
     if let Some(parva) = reports.iter().find(|r| r.scheduler == "ParvaGPU") {
         for r in reports.iter().filter(|r| r.scheduler != "ParvaGPU") {
@@ -66,7 +73,11 @@ fn main() {
             PricingPlan::Spot,
         ] {
             let r = CostReport::from_plan("ParvaGPU", &plan, pricing);
-            println!("  {:<12} ${:>9.0}/month", format!("{pricing:?}"), r.usd_per_month);
+            println!(
+                "  {:<12} ${:>9.0}/month",
+                format!("{pricing:?}"),
+                r.usd_per_month
+            );
         }
     }
 }

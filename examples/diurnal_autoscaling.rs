@@ -18,7 +18,13 @@ fn main() {
 
     // 12 epochs ≈ one day in 2-hour steps, load swinging 0.4×–1.8×.
     let trace = RateTrace::diurnal(12, 0.4, 1.8);
-    let serving = ServingConfig { warmup_s: 1.0, duration_s: 5.0, drain_s: 2.0, seed: 42, ..Default::default() };
+    let serving = ServingConfig {
+        warmup_s: 1.0,
+        duration_s: 5.0,
+        drain_s: 2.0,
+        seed: 42,
+        ..Default::default()
+    };
 
     println!("running {} epochs of diurnal load …\n", trace.epochs());
     let report = run_traced(&profiles, &base, &trace, &serving).expect("feasible");
@@ -44,5 +50,8 @@ fn main() {
         report.min_compliance() * 100.0,
         report.total_reconfigurations()
     );
-    assert!(report.min_compliance() > 0.999, "SLOs must hold through the day");
+    assert!(
+        report.min_compliance() > 0.999,
+        "SLOs must hold through the day"
+    );
 }

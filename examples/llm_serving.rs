@@ -24,7 +24,11 @@ fn main() {
         procs: vec![1, 2, 3],
     };
 
-    for gpu in [GpuModel::A100_80GB, GpuModel::H200_141GB, GpuModel::B200_192GB] {
+    for gpu in [
+        GpuModel::A100_80GB,
+        GpuModel::H200_141GB,
+        GpuModel::B200_192GB,
+    ] {
         println!("=== {} ===", gpu.name);
 
         // Which instances can even hold each model?

@@ -17,11 +17,22 @@ fn main() {
     // Apply the plan to a fresh fleet.
     let mut nvml = SimNvml::new(0, GpuModel::A100_80GB);
     let applied = apply_deployment(&mut nvml, &deployment).expect("clean fleet");
-    println!("applied {} instances across {} devices:", applied.len(), nvml.device_count());
+    println!(
+        "applied {} instances across {} devices:",
+        applied.len(),
+        nvml.device_count()
+    );
     for dev in 0..nvml.device_count() {
-        let names: Vec<String> =
-            nvml.instances_on(dev).iter().map(|i| i.profile_name()).collect();
-        println!("  {}  [{}]", nvml.device(dev).unwrap().uuid, names.join(" | "));
+        let names: Vec<String> = nvml
+            .instances_on(dev)
+            .iter()
+            .map(|i| i.profile_name())
+            .collect();
+        println!(
+            "  {}  [{}]",
+            nvml.device(dev).unwrap().uuid,
+            names.join(" | ")
+        );
     }
     assert!(fleet_matches(&nvml, &deployment));
 
@@ -32,7 +43,10 @@ fn main() {
         specs[2].request_rate_rps * 4.0,
         specs[2].slo.latency_ms,
     );
-    println!("\nrate spike: {} → {:.0} req/s", specs[2], updated.request_rate_rps);
+    println!(
+        "\nrate spike: {} → {:.0} req/s",
+        specs[2], updated.request_rate_rps
+    );
     let outcome = reconfigure::update_service(&scheduler, &deployment, &services, updated)
         .expect("reconfig feasible");
 
@@ -54,8 +68,11 @@ fn main() {
     assert!(fleet_matches(&nvml, &outcome.deployment));
     println!("\nfleet after the diff ({} devices):", nvml.device_count());
     for dev in 0..nvml.device_count() {
-        let names: Vec<String> =
-            nvml.instances_on(dev).iter().map(|i| i.profile_name()).collect();
+        let names: Vec<String> = nvml
+            .instances_on(dev)
+            .iter()
+            .map(|i| i.profile_name())
+            .collect();
         println!("  device {dev}  [{}]", names.join(" | "));
     }
 }

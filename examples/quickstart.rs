@@ -30,11 +30,15 @@ fn main() {
             svc.spec,
             svc.opt_seg.triplet,
             svc.num_opt_seg,
-            svc.last_seg.map_or("none".to_string(), |s| s.triplet.to_string()),
+            svc.last_seg
+                .map_or("none".to_string(), |s| s.triplet.to_string()),
         );
     }
 
-    println!("\n=== Deployment map ({} GPU(s)) ===", deployment.gpu_count());
+    println!(
+        "\n=== Deployment map ({} GPU(s)) ===",
+        deployment.gpu_count()
+    );
     for (i, gpu) in deployment.gpus().iter().enumerate() {
         println!("GPU {i}: {gpu}");
         for ps in deployment.segments_on(i) {
@@ -43,7 +47,10 @@ fn main() {
     }
 
     let dep = parvagpu::deploy::Deployment::Mig(deployment);
-    println!("\nexternal fragmentation: {:.1}%", external_fragmentation(&dep) * 100.0);
+    println!(
+        "\nexternal fragmentation: {:.1}%",
+        external_fragmentation(&dep) * 100.0
+    );
     for s in &services {
         println!(
             "service #{} capacity {:.0} req/s for offered {:.0} req/s",

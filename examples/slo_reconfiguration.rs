@@ -14,7 +14,10 @@ fn main() {
 
     let (configured, deployment) = scheduler.plan(&services).expect("S2 feasible");
     println!("initial deployment: {} GPUs", deployment.gpu_count());
-    let inception = services.iter().find(|s| s.model == Model::InceptionV3).unwrap();
+    let inception = services
+        .iter()
+        .find(|s| s.model == Model::InceptionV3)
+        .unwrap();
     println!(
         "InceptionV3 currently: SLO {:.0} ms, {} segment(s)",
         inception.slo.latency_ms,
@@ -52,7 +55,11 @@ fn main() {
     }
     // And every service is still fully covered.
     for spec in &services {
-        let rate = if spec.id == updated.id { updated.request_rate_rps } else { spec.request_rate_rps };
+        let rate = if spec.id == updated.id {
+            updated.request_rate_rps
+        } else {
+            spec.request_rate_rps
+        };
         assert!(outcome.deployment.capacity_of(spec.id) + 1e-6 >= rate);
     }
     println!("\nall services remain covered — reconfiguration complete");

@@ -7,6 +7,7 @@
 //! parvactl cost <services.json> [--scheduler NAME]
 //! parvactl feasibility <model-name>
 //! parvactl scenarios
+//! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N]
 //! ```
 //!
 //! `services.json` is a JSON array of `{"model", "rate_rps", "slo_ms"}`
@@ -20,7 +21,8 @@ fn usage() -> ! {
          parvactl simulate <services.json> [--scheduler NAME] [--seconds N] [--seed N]\n  \
          parvactl compare <services.json>\n  \
          parvactl cost <services.json> [--scheduler NAME]\n  \
-         parvactl feasibility <model-name>\n  parvactl scenarios\n\n\
+         parvactl feasibility <model-name>\n  parvactl scenarios\n  \
+         parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N]\n\n\
          schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
          paris-elsa, mig-serving"
     );
@@ -28,7 +30,9 @@ fn usage() -> ! {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn read_json(path: &str) -> String {
@@ -45,22 +49,33 @@ fn main() {
 
     let result = match command.as_str() {
         "plan" => {
-            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                usage()
+            };
             cli::run_plan(&read_json(path), &scheduler)
         }
         "simulate" => {
-            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
-            let seconds =
-                flag(&args, "--seconds").and_then(|s| s.parse().ok()).unwrap_or(10.0);
-            let seed = flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                usage()
+            };
+            let seconds = flag(&args, "--seconds")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10.0);
+            let seed = flag(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
             cli::run_simulate(&read_json(path), &scheduler, seconds, seed)
         }
         "compare" => {
-            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                usage()
+            };
             cli::run_compare(&read_json(path))
         }
         "cost" => {
-            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                usage()
+            };
             cli::run_cost(&read_json(path), &scheduler)
         }
         "feasibility" => {
@@ -68,6 +83,22 @@ fn main() {
             cli::run_feasibility(model)
         }
         "scenarios" => Ok(cli::run_scenarios()),
+        "fleet" => {
+            let json = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .map(|p| read_json(p));
+            let seed = flag(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            let intervals = flag(&args, "--intervals")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(8);
+            let nodes = flag(&args, "--nodes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2);
+            cli::run_fleet(json.as_deref(), seed, intervals, nodes)
+        }
         _ => usage(),
     };
 

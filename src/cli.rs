@@ -64,10 +64,7 @@ pub fn parse_services(json: &str) -> Result<Vec<ServiceSpec>, String> {
 ///
 /// # Errors
 /// Lists the valid names on mismatch.
-pub fn make_scheduler(
-    name: &str,
-    book: &ProfileBook,
-) -> Result<Box<dyn Scheduler>, String> {
+pub fn make_scheduler(name: &str, book: &ProfileBook) -> Result<Box<dyn Scheduler>, String> {
     let key = name.to_lowercase().replace(['-', '_'], "");
     Ok(match key.as_str() {
         "parvagpu" | "parva" => Box::new(ParvaGpu::new(book)),
@@ -195,7 +192,14 @@ pub fn run_compare(json: &str) -> Result<String, String> {
         "{:<22} {:>6} {:>8} {:>12}\n",
         "framework", "GPUs", "frag %", "sched delay"
     );
-    for name in ["gpulet", "igniter", "mig-serving", "unoptimized", "single", "parvagpu"] {
+    for name in [
+        "gpulet",
+        "igniter",
+        "mig-serving",
+        "unoptimized",
+        "single",
+        "parvagpu",
+    ] {
         let sched = make_scheduler(name, &book)?;
         let start = std::time::Instant::now();
         match sched.schedule(&specs) {
@@ -258,13 +262,16 @@ pub fn run_cost(json: &str, scheduler_name: &str) -> Result<String, String> {
 pub fn run_feasibility(model_name: &str) -> Result<String, String> {
     use crate::mig::{GpuModel, InstanceProfile};
     use crate::perf::ComputeShare;
-    let model = Model::parse(model_name)
-        .ok_or_else(|| format!("unknown model '{model_name}'"))?;
-    let mut out = format!("Memory feasibility of {} (batch 1, one process):\n", model.name());
+    let model = Model::parse(model_name).ok_or_else(|| format!("unknown model '{model_name}'"))?;
+    let mut out = format!(
+        "Memory feasibility of {} (batch 1, one process):\n",
+        model.name()
+    );
     for gpu in GpuModel::CATALOG {
-        let smallest = InstanceProfile::ALL.iter().copied().find(|g| {
-            crate::perf::math::fits_memory_on(model, ComputeShare::Mig(*g), 1, 1, gpu)
-        });
+        let smallest = InstanceProfile::ALL
+            .iter()
+            .copied()
+            .find(|g| crate::perf::math::fits_memory_on(model, ComputeShare::Mig(*g), 1, 1, gpu));
         out.push_str(&format!(
             "  {:<12} smallest instance: {}\n",
             gpu.name,
@@ -278,12 +285,49 @@ pub fn run_feasibility(model_name: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// `parvactl fleet`: chaos-run a heterogeneous fleet (failures, spot
+/// preemptions, scale-ups, load shifts) and render the recovery report.
+///
+/// `json` optionally overrides the built-in demo service set.
+///
+/// # Errors
+/// Propagates parse, scheduling and fleet-exhaustion failures.
+pub fn run_fleet(
+    json: Option<&str>,
+    seed: u64,
+    intervals: usize,
+    base_nodes: usize,
+) -> Result<String, String> {
+    use crate::fleet::{run_chaos, FleetConfig, FleetSpec};
+    let specs = match json {
+        Some(j) => parse_services(j)?,
+        None => crate::fleet::demo_services(),
+    };
+    let book = ProfileBook::builtin();
+    let config = FleetConfig {
+        seed,
+        intervals: intervals.max(1),
+        ..FleetConfig::default()
+    };
+    let report = run_chaos(
+        &book,
+        &specs,
+        &FleetSpec::mixed_demo(base_nodes.max(1)),
+        &config,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(report.render())
+}
+
 /// `parvactl scenarios`: render Table IV.
 #[must_use]
 pub fn run_scenarios() -> String {
     let mut out = String::from("Table IV scenarios (rate req/s @ SLO ms):\n");
     for sc in Scenario::ALL {
-        out.push_str(&format!("\n{sc} — total {:.0} req/s\n", sc.total_rate_rps()));
+        out.push_str(&format!(
+            "\n{sc} — total {:.0} req/s\n",
+            sc.total_rate_rps()
+        ));
         for s in sc.services() {
             out.push_str(&format!(
                 "  {:<14} {:>6.0} @ {:>5.0}\n",
@@ -322,7 +366,9 @@ mod tests {
 
     #[test]
     fn parse_errors_are_descriptive() {
-        assert!(parse_services("not json").unwrap_err().contains("invalid JSON"));
+        assert!(parse_services("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
         assert!(parse_services("[]").unwrap_err().contains("empty"));
         let bad_model = r#"[{"model": "GPT-9", "rate_rps": 1.0, "slo_ms": 1.0}]"#;
         assert!(parse_services(bad_model).unwrap_err().contains("GPT-9"));
@@ -333,7 +379,14 @@ mod tests {
     #[test]
     fn scheduler_lookup() {
         let book = ProfileBook::builtin();
-        for name in ["parvagpu", "single", "unoptimized", "gpulet", "igniter", "MIG-serving"] {
+        for name in [
+            "parvagpu",
+            "single",
+            "unoptimized",
+            "gpulet",
+            "igniter",
+            "MIG-serving",
+        ] {
             assert!(make_scheduler(name, &book).is_ok(), "{name}");
         }
         assert!(make_scheduler("slurm", &book).is_err());
@@ -373,6 +426,16 @@ mod tests {
         for name in ["gslice", "paris-elsa", "paris"] {
             assert!(make_scheduler(name, &book).is_ok(), "{name}");
         }
+    }
+
+    #[test]
+    fn fleet_chaos_renders_and_is_deterministic() {
+        let a = run_fleet(None, 7, 3, 2).unwrap();
+        let b = run_fleet(None, 7, 3, 2).unwrap();
+        assert_eq!(a, b, "fleet chaos must be deterministic per seed");
+        assert!(a.contains("chaos run"), "{a}");
+        assert!(a.contains("all events recovered"), "{a}");
+        assert!(run_fleet(Some("not json"), 1, 1, 1).is_err());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`nvml`] — simulated NVML/DCGM layer: instance lifecycle, minimal-diff
 //!   reconfiguration (§III-F), SM-activity telemetry
 //! * [`cluster`] — p4de.24xlarge node packing and cost accounting
+//! * [`fleet`] — heterogeneous multi-node fleet orchestration: failures,
+//!   spot preemption, live migration, event-driven recovery
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use parva_cluster as cluster;
 pub use parva_core as core;
 pub use parva_deploy as deploy;
 pub use parva_des as des;
+pub use parva_fleet as fleet;
 pub use parva_metrics as metrics;
 pub use parva_mig as mig;
 pub use parva_nvml as nvml;
@@ -58,10 +61,11 @@ pub mod prelude {
     pub use parva_baselines::{Gpulet, Gslice, IGniter, MigServing, ParisElsa};
     pub use parva_core::{ParvaGpu, ParvaGpuSingle, ParvaGpuUnoptimized};
     pub use parva_deploy::{Deployment, ScheduleError, Scheduler, ServiceSpec, Slo};
+    pub use parva_fleet::{run_chaos, FleetConfig, FleetReport, FleetSpec};
     pub use parva_metrics::{external_fragmentation, internal_slack};
     pub use parva_mig::{GpuModel, GpuState, InstanceProfile};
     pub use parva_perf::Model;
     pub use parva_profile::ProfileBook;
     pub use parva_scenarios::Scenario;
-    pub use parva_serve::{ArrivalProcess, ServingConfig, ServingReport, simulate};
+    pub use parva_serve::{simulate, ArrivalProcess, ServingConfig, ServingReport};
 }

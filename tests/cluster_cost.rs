@@ -19,17 +19,37 @@ fn packing_respects_node_capacity_for_every_framework() {
         let d = sched.schedule(&specs).unwrap();
         let plan = pack(&d, node);
         // Lower bound: ceil(gpus / 8); upper bound sanity: one node per GPU.
-        assert!(plan.node_count() >= node.nodes_for_gpus(d.gpu_count()), "{}", sched.name());
-        assert!(plan.node_count() <= d.gpu_count().max(1), "{}", sched.name());
+        assert!(
+            plan.node_count() >= node.nodes_for_gpus(d.gpu_count()),
+            "{}",
+            sched.name()
+        );
+        assert!(
+            plan.node_count() <= d.gpu_count().max(1),
+            "{}",
+            sched.name()
+        );
         for n in &plan.nodes {
-            assert!(n.gpu_indices.len() <= usize::from(node.gpus), "{}", sched.name());
+            assert!(
+                n.gpu_indices.len() <= usize::from(node.gpus),
+                "{}",
+                sched.name()
+            );
             assert!(n.vcpus_used <= node.vcpus, "{}", sched.name());
         }
         // Every deployment GPU appears exactly once.
-        let mut all: Vec<usize> =
-            plan.nodes.iter().flat_map(|n| n.gpu_indices.clone()).collect();
+        let mut all: Vec<usize> = plan
+            .nodes
+            .iter()
+            .flat_map(|n| n.gpu_indices.clone())
+            .collect();
         all.sort_unstable();
-        assert_eq!(all, (0..d.gpu_count()).collect::<Vec<_>>(), "{}", sched.name());
+        assert_eq!(
+            all,
+            (0..d.gpu_count()).collect::<Vec<_>>(),
+            "{}",
+            sched.name()
+        );
     }
 }
 
@@ -49,7 +69,8 @@ fn parvagpu_monthly_bill_never_exceeds_baselines() {
         .into_iter()
         .flatten()
         {
-            let cost = CostReport::from_plan("baseline", &pack(&baseline, node), PricingPlan::OnDemand);
+            let cost =
+                CostReport::from_plan("baseline", &pack(&baseline, node), PricingPlan::OnDemand);
             assert!(
                 parva_cost.usd_per_month <= cost.usd_per_month + 1e-9,
                 "{scenario:?}: ParvaGPU ${:.0} > baseline ${:.0}",
@@ -80,7 +101,9 @@ fn vcpu_accounting_counts_every_process() {
 #[test]
 fn spot_pricing_is_cheapest_reserved_in_between() {
     let book = ProfileBook::builtin();
-    let d = ParvaGpu::new(&book).schedule(&Scenario::S3.services()).unwrap();
+    let d = ParvaGpu::new(&book)
+        .schedule(&Scenario::S3.services())
+        .unwrap();
     let plan = pack(&d, NodeType::P4DE_24XLARGE);
     let bill = |p: PricingPlan| CostReport::from_plan("x", &plan, p).usd_per_month;
     assert!(bill(PricingPlan::Spot) < bill(PricingPlan::Reserved3Yr));
@@ -94,7 +117,5 @@ fn p4d_is_cheaper_but_smaller_memory() {
     // the reason to pay for p4de (§V's memory argument at node granularity).
     let (p4d, p4de) = (NodeType::P4D_24XLARGE, NodeType::P4DE_24XLARGE);
     assert!(p4d.on_demand_usd_per_hour < p4de.on_demand_usd_per_hour);
-    assert!(
-        p4d.gpu_model.total_memory_gib() < p4de.gpu_model.total_memory_gib()
-    );
+    assert!(p4d.gpu_model.total_memory_gib() < p4de.gpu_model.total_memory_gib());
 }

@@ -43,7 +43,10 @@ fn parvagpu_beats_its_own_ablations() {
         let d_full = full.schedule(&specs).unwrap();
         let d_single = single.schedule(&specs).unwrap();
         let d_unopt = unopt.schedule(&specs).unwrap();
-        assert!(d_full.gpu_count() <= d_single.gpu_count(), "{sc}: MPS should not cost GPUs");
+        assert!(
+            d_full.gpu_count() <= d_single.gpu_count(),
+            "{sc}: MPS should not cost GPUs"
+        );
         assert!(
             external_fragmentation(&d_full) <= external_fragmentation(&d_unopt) + 1e-9,
             "{sc}: optimization increased fragmentation"
@@ -75,11 +78,17 @@ fn igniter_fails_only_high_rate_scenarios() {
     // Paper: iGniter runs S1-S4 but not S5/S6.
     let ign = IGniter::new();
     for sc in [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4] {
-        assert!(ign.schedule(&sc.services()).is_ok(), "{sc} should be feasible for iGniter");
+        assert!(
+            ign.schedule(&sc.services()).is_ok(),
+            "{sc} should be feasible for iGniter"
+        );
     }
     for sc in [Scenario::S5, Scenario::S6] {
         assert!(
-            matches!(ign.schedule(&sc.services()), Err(ScheduleError::RateTooHigh { .. })),
+            matches!(
+                ign.schedule(&sc.services()),
+                Err(ScheduleError::RateTooHigh { .. })
+            ),
             "{sc} should exceed iGniter's per-workload ceiling"
         );
     }
@@ -106,7 +115,10 @@ fn fragmentation_ranking_matches_fig7() {
         assert!(external_fragmentation(&d_gpulet) < 1e-6, "{sc}");
     }
     assert!(igniter_frag_sum / n > 0.05, "iGniter unexpectedly tight");
-    assert!(unopt_frag_sum / n > 0.0, "unoptimized ParvaGPU never fragments?");
+    assert!(
+        unopt_frag_sum / n > 0.0,
+        "unoptimized ParvaGPU never fragments?"
+    );
 }
 
 #[test]
@@ -117,7 +129,13 @@ fn slack_ordering_matches_fig6_on_s4() {
     // this substrate (see EXPERIMENTS.md).
     let book = ProfileBook::builtin();
     let specs = Scenario::S4.services();
-    let cfg = ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 3, ..Default::default() };
+    let cfg = ServingConfig {
+        warmup_s: 1.0,
+        duration_s: 4.0,
+        drain_s: 2.0,
+        seed: 3,
+        ..Default::default()
+    };
     let slack_of = |d: &Deployment| internal_slack(&simulate(d, &specs, &cfg));
 
     let parva = slack_of(&ParvaGpu::new(&book).schedule(&specs).unwrap());
@@ -125,11 +143,23 @@ fn slack_ordering_matches_fig6_on_s4() {
     let igniter = slack_of(&IGniter::new().schedule(&specs).unwrap());
     let gpulet = slack_of(&Gpulet::new().schedule(&specs).unwrap());
 
-    assert!(parva < migserv, "ParvaGPU {parva:.3} vs MIG-serving {migserv:.3}");
-    assert!(parva < igniter, "ParvaGPU {parva:.3} vs iGniter {igniter:.3}");
+    assert!(
+        parva < migserv,
+        "ParvaGPU {parva:.3} vs MIG-serving {migserv:.3}"
+    );
+    assert!(
+        parva < igniter,
+        "ParvaGPU {parva:.3} vs iGniter {igniter:.3}"
+    );
     assert!(parva < gpulet, "ParvaGPU {parva:.3} vs gpulet {gpulet:.3}");
-    assert!(migserv > parva + 0.10, "MIG-serving slack gap too small: {migserv:.3}");
-    assert!(gpulet > parva + 0.10, "gpulet slack gap too small: {gpulet:.3}");
+    assert!(
+        migserv > parva + 0.10,
+        "MIG-serving slack gap too small: {migserv:.3}"
+    );
+    assert!(
+        gpulet > parva + 0.10,
+        "gpulet slack gap too small: {gpulet:.3}"
+    );
 }
 
 #[test]

@@ -27,7 +27,13 @@ fn serving_simulation_reproducible() {
     let book = ProfileBook::builtin();
     let specs = Scenario::S1.services();
     let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
-    let cfg = ServingConfig { warmup_s: 0.5, duration_s: 3.0, drain_s: 1.0, seed: 99, ..Default::default() };
+    let cfg = ServingConfig {
+        warmup_s: 0.5,
+        duration_s: 3.0,
+        drain_s: 1.0,
+        seed: 99,
+        ..Default::default()
+    };
     let a = simulate(&d, &specs, &cfg);
     let b = simulate(&d, &specs, &cfg);
     assert_eq!(

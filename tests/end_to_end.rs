@@ -5,7 +5,13 @@
 use parvagpu::prelude::*;
 
 fn quick_serving() -> ServingConfig {
-    ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed: 11, ..Default::default() }
+    ServingConfig {
+        warmup_s: 1.0,
+        duration_s: 4.0,
+        drain_s: 2.0,
+        seed: 11,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -14,7 +20,9 @@ fn every_scenario_schedules_and_validates() {
     let sched = ParvaGpu::new(&book);
     for sc in Scenario::ALL {
         let specs = sc.services();
-        let d = sched.schedule(&specs).unwrap_or_else(|e| panic!("{sc}: {e}"));
+        let d = sched
+            .schedule(&specs)
+            .unwrap_or_else(|e| panic!("{sc}: {e}"));
         assert!(d.validate(), "{sc}: structurally invalid deployment");
         for s in &specs {
             assert!(
@@ -35,7 +43,11 @@ fn zero_external_fragmentation_in_all_scenarios() {
     for sc in Scenario::ALL {
         let d = sched.schedule(&sc.services()).unwrap();
         let frag = external_fragmentation(&d);
-        assert!(frag.abs() < 1e-9, "{sc}: fragmentation {:.2}%", frag * 100.0);
+        assert!(
+            frag.abs() < 1e-9,
+            "{sc}: fragmentation {:.2}%",
+            frag * 100.0
+        );
     }
 }
 
@@ -79,10 +91,16 @@ fn internal_slack_is_single_digit_on_s5() {
 fn scenario_gpu_counts_scale_with_load() {
     let book = ProfileBook::builtin();
     let sched = ParvaGpu::new(&book);
-    let gpus: Vec<usize> = [Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S5, Scenario::S6]
-        .iter()
-        .map(|sc| sched.schedule(&sc.services()).unwrap().gpu_count())
-        .collect();
+    let gpus: Vec<usize> = [
+        Scenario::S2,
+        Scenario::S3,
+        Scenario::S4,
+        Scenario::S5,
+        Scenario::S6,
+    ]
+    .iter()
+    .map(|sc| sched.schedule(&sc.services()).unwrap().gpu_count())
+    .collect();
     // Monotone non-decreasing in offered load (S5's strict SLOs may need
     // more than S6 despite lower aggregate rate — compare within the chains
     // the paper sets up: S2 ≤ S3 ≤ S4 and S4 ≤ S6).
@@ -100,7 +118,10 @@ fn segments_respect_internal_latency_target() {
         let d = sched.schedule(&specs).unwrap();
         let mig = d.as_mig().unwrap();
         for ps in mig.segments() {
-            let spec = specs.iter().find(|s| s.id == ps.segment.service_id).unwrap();
+            let spec = specs
+                .iter()
+                .find(|s| s.id == ps.segment.service_id)
+                .unwrap();
             assert!(
                 ps.segment.latency_ms < spec.slo.internal_target_ms(),
                 "{sc}: segment {} breaks the internal target",

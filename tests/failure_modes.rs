@@ -17,7 +17,11 @@ fn impossible_slo_is_infeasible_for_every_framework() {
         Box::new(MigServing::new(&book)),
     ];
     for s in schedulers {
-        assert!(s.schedule(&specs).is_err(), "{} accepted an impossible SLO", s.name());
+        assert!(
+            s.schedule(&specs).is_err(),
+            "{} accepted an impossible SLO",
+            s.name()
+        );
     }
 }
 
@@ -76,7 +80,9 @@ fn oom_constrained_service_still_schedulable_on_big_instances() {
     let book = ProfileBook::builtin();
     let sched = ParvaGpu::new(&book);
     let specs = vec![ServiceSpec::new(0, Model::BertLarge, 400.0, 3_000.0)];
-    let d = sched.schedule(&specs).expect("feasible via large instances");
+    let d = sched
+        .schedule(&specs)
+        .expect("feasible via large instances");
     assert!(d.capacity_of(0) >= 400.0);
 }
 
@@ -89,7 +95,9 @@ fn empty_service_list_yields_empty_deployment() {
         Box::new(IGniter::new()),
         Box::new(MigServing::new(&book)),
     ] {
-        let d = s.schedule(&[]).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        let d = s
+            .schedule(&[])
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
         assert_eq!(d.gpu_count(), 0, "{}", s.name());
     }
 }

@@ -45,10 +45,16 @@ fn paper_quoted_memory_footprints() {
 fn feasibility_ladder_improves_with_gpu_memory() {
     // For every LLM, the smallest feasible instance is non-increasing in
     // GPU memory, and the 65B model specifically walks 7g → 3g → 2g.
-    let gpus = [GpuModel::A100_80GB, GpuModel::H200_141GB, GpuModel::B200_192GB];
+    let gpus = [
+        GpuModel::A100_80GB,
+        GpuModel::H200_141GB,
+        GpuModel::B200_192GB,
+    ];
     for m in Model::LLMS {
-        let ladder: Vec<Option<u8>> =
-            gpus.iter().map(|g| smallest_fit(m, *g).map(|p| p.gpcs())).collect();
+        let ladder: Vec<Option<u8>> = gpus
+            .iter()
+            .map(|g| smallest_fit(m, *g).map(|p| p.gpcs()))
+            .collect();
         for w in ladder.windows(2) {
             let (a, b) = (w[0].unwrap_or(u8::MAX), w[1].unwrap_or(u8::MAX));
             assert!(b <= a, "{m}: ladder {ladder:?} not improving");
@@ -71,7 +77,11 @@ fn a100_40gb_cannot_host_the_65b_at_all() {
 #[test]
 fn parvagpu_fleet_shrinks_with_gpu_memory() {
     let mut gpu_counts = Vec::new();
-    for gpu in [GpuModel::A100_80GB, GpuModel::H200_141GB, GpuModel::B200_192GB] {
+    for gpu in [
+        GpuModel::A100_80GB,
+        GpuModel::H200_141GB,
+        GpuModel::B200_192GB,
+    ] {
         let book = Book::measure_on(&Model::LLMS, &llm_grid(), gpu);
         let d = ParvaGpu::new(&book)
             .schedule(&llm_services())

@@ -3,8 +3,12 @@
 use parvagpu::core::{reconfigure, ParvaGpu};
 use parvagpu::prelude::*;
 
-fn setup() -> (ParvaGpu, Vec<ServiceSpec>, Vec<parvagpu::core::Service>, parvagpu::deploy::MigDeployment)
-{
+fn setup() -> (
+    ParvaGpu,
+    Vec<ServiceSpec>,
+    Vec<parvagpu::core::Service>,
+    parvagpu::deploy::MigDeployment,
+) {
     let book = ProfileBook::builtin();
     let sched = ParvaGpu::new(&book);
     let specs = Scenario::S2.services();
@@ -70,11 +74,13 @@ fn sequential_reconfigurations_stay_consistent() {
         ServiceSpec::new(1, Model::DenseNet121, 353.0, 183.0), // revert
     ];
     for updated in updates {
-        let out =
-            reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
+        let out = reconfigure::update_service(&sched, &deployment, &services, updated).unwrap();
         assert!(out.deployment.validate());
         deployment = out.deployment;
-        let idx = services.iter().position(|s| s.spec.id == updated.id).unwrap();
+        let idx = services
+            .iter()
+            .position(|s| s.spec.id == updated.id)
+            .unwrap();
         services[idx] = out.service;
         for s in &specs {
             let expected = services.iter().find(|x| x.spec.id == s.id).unwrap();

@@ -4,7 +4,13 @@
 use parvagpu::prelude::*;
 
 fn cfg(seed: u64) -> ServingConfig {
-    ServingConfig { warmup_s: 1.0, duration_s: 4.0, drain_s: 2.0, seed, ..Default::default() }
+    ServingConfig {
+        warmup_s: 1.0,
+        duration_s: 4.0,
+        drain_s: 2.0,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -75,8 +81,12 @@ fn heterogeneous_interference_slows_co_residents() {
         partitions: vec![mk(0, Model::ResNet50), mk(1, Model::DenseNet121)],
     });
     let mut isolated = MpsDeployment::new();
-    isolated.gpus.push(MpsGpu { partitions: vec![mk(0, Model::ResNet50)] });
-    isolated.gpus.push(MpsGpu { partitions: vec![mk(1, Model::DenseNet121)] });
+    isolated.gpus.push(MpsGpu {
+        partitions: vec![mk(0, Model::ResNet50)],
+    });
+    isolated.gpus.push(MpsGpu {
+        partitions: vec![mk(1, Model::DenseNet121)],
+    });
 
     let shared_report = simulate(&Deployment::Mps(shared), &specs, &cfg(3));
     let isolated_report = simulate(&Deployment::Mps(isolated), &specs, &cfg(3));

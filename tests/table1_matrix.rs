@@ -36,8 +36,14 @@ fn six_rows_match_the_paper() {
         ("gpulet", ["yes", "no", "no", "N/A", "2", "yes", "Medium"]),
         ("iGniter", ["yes", "no", "no", "no", "yes", "no", "Low"]),
         ("PARIS+ELSA", ["no", "yes", "no", "no", "N/A", "no", "N/A"]),
-        ("MIG-serving", ["no", "yes", "no", "yes", "yes", "yes", "VeryHigh"]),
-        ("ParvaGPU", ["yes", "yes", "yes", "yes", "yes", "yes", "Low"]),
+        (
+            "MIG-serving",
+            ["no", "yes", "no", "yes", "yes", "yes", "VeryHigh"],
+        ),
+        (
+            "ParvaGPU",
+            ["yes", "yes", "yes", "yes", "yes", "yes", "Low"],
+        ),
     ];
     for (sched, (name, row)) in all_schedulers(&book).iter().zip(expect) {
         assert_eq!(sched.name(), name);
@@ -53,7 +59,11 @@ fn every_framework_schedules_the_low_rate_set() {
         let d = sched
             .schedule(&specs)
             .unwrap_or_else(|e| panic!("{} failed: {e}", sched.name()));
-        assert!(d.validate(), "{} produced an invalid deployment", sched.name());
+        assert!(
+            d.validate(),
+            "{} produced an invalid deployment",
+            sched.name()
+        );
         for s in &specs {
             assert!(
                 d.capacity_of(s.id) > 0.0,
@@ -74,7 +84,12 @@ fn high_rate_column_is_behavioural_not_declarative() {
     for sched in all_schedulers(&book) {
         let outcome = sched.schedule(&s5);
         if sched.capabilities().high_request_rate {
-            assert!(outcome.is_ok(), "{} should handle S5: {:?}", sched.name(), outcome.err());
+            assert!(
+                outcome.is_ok(),
+                "{} should handle S5: {:?}",
+                sched.name(),
+                outcome.err()
+            );
         } else {
             assert!(
                 matches!(outcome, Err(ScheduleError::RateTooHigh { .. })),
@@ -94,7 +109,9 @@ fn mig_column_determines_deployment_kind() {
         let d = sched.schedule(&specs).unwrap();
         match d {
             Deployment::Mig(_) => assert!(caps.mig_support, "{}", sched.name()),
-            Deployment::Mps(_) => assert!(caps.mps_support && !caps.mig_support, "{}", sched.name()),
+            Deployment::Mps(_) => {
+                assert!(caps.mps_support && !caps.mig_support, "{}", sched.name())
+            }
         }
     }
 }
@@ -111,7 +128,11 @@ fn overhead_classes_reflect_measured_delay_order() {
         for _ in 0..5 {
             sched.schedule(&specs).unwrap();
         }
-        measured.push((sched.name(), sched.capabilities().overhead, t0.elapsed() / 5));
+        measured.push((
+            sched.name(),
+            sched.capabilities().overhead,
+            t0.elapsed() / 5,
+        ));
     }
     let slowest = measured.iter().max_by_key(|(_, _, d)| *d).unwrap();
     assert_eq!(

@@ -1,0 +1,482 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors a tree-based `serde` shim (see `vendor/serde`)
+//! because the build environment has no access to crates.io. This crate
+//! derives that shim's `Serialize`/`Deserialize` traits for the type shapes
+//! the workspace actually uses: non-generic structs (named, tuple, unit)
+//! and enums with unit, tuple and struct variants. The only field attribute
+//! honoured is `#[serde(default)]`.
+//!
+//! The parser works directly on `proc_macro::TokenStream` (no `syn`/`quote`)
+//! and emits code as strings, which keeps the shim dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// Variant payload shape.
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Does an attribute group body (`serde(...)`) request `default`?
+fn attr_is_serde_default(body: &TokenStream) -> bool {
+    let mut it = body.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g)))
+            if i.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(d) if d.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes; report whether any is `#[serde(default)]`.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut default = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            if attr_is_serde_default(&g.stream()) {
+                default = true;
+            }
+        }
+    }
+    default
+}
+
+/// Consume `pub` / `pub(...)` if present.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Skip tokens to the next top-level `,` (angle-bracket aware). Returns
+/// `true` if any tokens were consumed (a non-empty chunk).
+fn skip_to_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    let mut any = false;
+    while let Some(tok) = iter.peek() {
+        if let TokenTree::Punct(p) = tok {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                iter.next();
+                return any;
+            }
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' && !prev_dash {
+                depth -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        any = true;
+        iter.next();
+    }
+    any
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    _ => return Err(format!("expected `:` after field `{name}`")),
+                }
+                skip_to_comma(&mut iter);
+                fields.push(Field {
+                    name: name.to_string(),
+                    default,
+                });
+            }
+            None => break,
+            Some(other) => return Err(format!("unexpected token in fields: `{other}`")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut iter = ts.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        // Leading attrs / visibility on each element.
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        if skip_to_comma(&mut iter) {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: `{other}`")),
+        };
+        let data = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantData::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantData::Named(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        // Optional `= discriminant`, then the separating comma.
+        skip_to_comma(&mut iter);
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility ahead of the struct/enum keyword.
+    let keyword = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            iter.next();
+                        }
+                    }
+                    "struct" | "enum" => break s,
+                    _ => return Err(format!("serde shim derive: unsupported item `{s}`")),
+                }
+            }
+            Some(other) => return Err(format!("unexpected token `{other}`")),
+            None => return Err("empty derive input".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    let kind = if keyword == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantData::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantData::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Seq(::std::vec![{vals}]))])",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(::std::vec![{vals}]))])",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+/// Deserialization expression for one named-field set, reading from the
+/// slice binding `__m`.
+fn named_fields_init(owner: &str, type_path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(&::std::format!(\"missing field `{n}` in `{owner}`\")))"
+                )
+            };
+            format!(
+                "{n}: match ::serde::find_field(__m, {n:?}) {{ \
+                   ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   ::std::option::Option::None => {missing}, \
+                 }}"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let init = named_fields_init(name, name, fields);
+            format!(
+                "let __m = match __v {{ \
+                   ::serde::Value::Map(__m) => __m, \
+                   _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for `{name}`\")), \
+                 }}; \
+                 let _ = &__m; \
+                 ::std::result::Result::Ok({init})"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = match __v {{ \
+                   ::serde::Value::Seq(__s) if __s.len() == {n} => __s, \
+                   _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected {n}-element sequence for `{name}`\")), \
+                 }}; \
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn})",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => None,
+                        VariantData::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))"
+                        )),
+                        VariantData::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ \
+                                   let __s = match __inner {{ \
+                                     ::serde::Value::Seq(__s) if __s.len() == {n} => __s, \
+                                     _ => return ::std::result::Result::Err(::serde::Error::custom(\"bad payload for `{name}::{vn}`\")), \
+                                   }}; \
+                                   ::std::result::Result::Ok({name}::{vn}({elems})) \
+                                 }}",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        VariantData::Named(fields) => {
+                            let init = named_fields_init(
+                                &format!("{name}::{vn}"),
+                                &format!("{name}::{vn}"),
+                                fields,
+                            );
+                            Some(format!(
+                                "{vn:?} => {{ \
+                                   let __m = match __inner {{ \
+                                     ::serde::Value::Map(__m) => __m, \
+                                     _ => return ::std::result::Result::Err(::serde::Error::custom(\"bad payload for `{name}::{vn}`\")), \
+                                   }}; \
+                                   let _ = &__m; \
+                                   ::std::result::Result::Ok({init}) \
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms}{unit_sep} \
+                     _ => ::std::result::Result::Err(::serde::Error::custom(&::std::format!(\"unknown `{name}` variant `{{__s}}`\"))), \
+                   }}, \
+                   ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                     let (__k, __inner) = &__m[0]; \
+                     let _ = __inner; \
+                     match __k.as_str() {{ \
+                       {payload_arms}{payload_sep} \
+                       _ => ::std::result::Result::Err(::serde::Error::custom(&::std::format!(\"unknown `{name}` variant `{{__k}}`\"))), \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum `{name}`\")), \
+                 }}",
+                unit_arms = unit_arms.join(", "),
+                unit_sep = if unit_arms.is_empty() { "" } else { "," },
+                payload_arms = payload_arms.join(", "),
+                payload_sep = if payload_arms.is_empty() { "" } else { "," },
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
