@@ -10,9 +10,11 @@ use parva_scenarios::Scenario;
 fn bench_allocator(c: &mut Criterion) {
     let book = ProfileBook::builtin();
     let mut group = c.benchmark_group("allocator");
-    for (label, scenario, k) in
-        [("S2", Scenario::S2, 1u32), ("S5", Scenario::S5, 1), ("S5x4", Scenario::S5, 4)]
-    {
+    for (label, scenario, k) in [
+        ("S2", Scenario::S2, 1u32),
+        ("S5", Scenario::S5, 1),
+        ("S5x4", Scenario::S5, 4),
+    ] {
         let specs = scenario.scaled(k);
         let services = configure(&specs, &book, 3).unwrap();
         group.bench_with_input(

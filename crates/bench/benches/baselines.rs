@@ -16,7 +16,14 @@ fn feasible_everywhere() -> Vec<ServiceSpec> {
     Scenario::S2
         .services()
         .into_iter()
-        .map(|s| ServiceSpec::new(s.id, s.model, (s.request_rate_rps * 0.25).max(5.0), s.slo.latency_ms))
+        .map(|s| {
+            ServiceSpec::new(
+                s.id,
+                s.model,
+                (s.request_rate_rps * 0.25).max(5.0),
+                s.slo.latency_ms,
+            )
+        })
         .collect()
 }
 

@@ -23,8 +23,7 @@ fn bench_nvml(c: &mut Criterion) {
         specs[8].request_rate_rps * 3.0,
         specs[8].slo.latency_ms,
     );
-    let outcome =
-        reconfigure::update_service(&sched, &before, &services, spike).expect("reconfig");
+    let outcome = reconfigure::update_service(&sched, &before, &services, spike).expect("reconfig");
     let diff = diff_deployments(&before, &outcome.deployment);
 
     let mut group = c.benchmark_group("nvml");

@@ -12,8 +12,13 @@ fn bench_serving(c: &mut Criterion) {
     let book = ProfileBook::builtin();
     let specs = Scenario::S2.services();
     let deployment = ParvaGpu::new(&book).schedule(&specs).unwrap();
-    let config =
-        ServingConfig { warmup_s: 0.2, duration_s: 1.0, drain_s: 0.5, seed: 42, ..Default::default() };
+    let config = ServingConfig {
+        warmup_s: 0.2,
+        duration_s: 1.0,
+        drain_s: 0.5,
+        seed: 42,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("serving_sim");
     group.sample_size(10);

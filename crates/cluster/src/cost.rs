@@ -36,6 +36,16 @@ impl PricingPlan {
     pub fn node_usd_per_hour(self, node: NodeType) -> f64 {
         node.on_demand_usd_per_hour * self.multiplier()
     }
+
+    /// Hourly price of one node under this plan in a region whose price
+    /// index is `region_multiplier` (1.0 = the reference region; e.g.
+    /// us-east-1 ≈ 1.0, eu-west ≈ 1.05–1.10, ap-south ≈ 1.10–1.20 for
+    /// GPU capacity). The regional index composes multiplicatively with
+    /// the plan discount.
+    #[must_use]
+    pub fn node_usd_per_hour_in_region(self, node: NodeType, region_multiplier: f64) -> f64 {
+        self.node_usd_per_hour(node) * region_multiplier
+    }
 }
 
 /// The dollar view of one scheduler's deployment.
@@ -59,7 +69,20 @@ impl CostReport {
     /// Build from a node plan.
     #[must_use]
     pub fn from_plan(scheduler: &str, plan: &NodePlan, pricing: PricingPlan) -> Self {
-        let hourly = plan.node_count() as f64 * pricing.node_usd_per_hour(plan.node);
+        Self::from_plan_in_region(scheduler, plan, pricing, 1.0)
+    }
+
+    /// Build from a node plan priced in a region with the given price
+    /// index (see [`PricingPlan::node_usd_per_hour_in_region`]).
+    #[must_use]
+    pub fn from_plan_in_region(
+        scheduler: &str,
+        plan: &NodePlan,
+        pricing: PricingPlan,
+        region_multiplier: f64,
+    ) -> Self {
+        let hourly = plan.node_count() as f64
+            * pricing.node_usd_per_hour_in_region(plan.node, region_multiplier);
         Self {
             scheduler: scheduler.to_string(),
             gpus: plan.nodes.iter().map(|n| n.gpu_indices.len()).sum(),
@@ -134,5 +157,21 @@ mod tests {
         let od = CostReport::from_plan("x", &plan(1, 8), PricingPlan::OnDemand);
         let r3 = CostReport::from_plan("x", &plan(1, 8), PricingPlan::Reserved3Yr);
         assert!((r3.usd_per_hour / od.usd_per_hour - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regional_index_composes_with_plan_discount() {
+        let node = NodeType::P4DE_24XLARGE;
+        let base = PricingPlan::Reserved1Yr.node_usd_per_hour(node);
+        let eu = PricingPlan::Reserved1Yr.node_usd_per_hour_in_region(node, 1.08);
+        assert!((eu / base - 1.08).abs() < 1e-12);
+        // The reference region is the identity.
+        assert_eq!(
+            PricingPlan::Spot.node_usd_per_hour_in_region(node, 1.0),
+            PricingPlan::Spot.node_usd_per_hour(node)
+        );
+        let report = CostReport::from_plan_in_region("x", &plan(2, 8), PricingPlan::OnDemand, 1.15);
+        let reference = CostReport::from_plan("x", &plan(2, 8), PricingPlan::OnDemand);
+        assert!((report.usd_per_hour / reference.usd_per_hour - 1.15).abs() < 1e-12);
     }
 }

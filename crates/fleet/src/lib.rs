@@ -48,7 +48,8 @@ pub use event::{next_event, FleetEvent};
 pub use migration::MigrationPlan;
 pub use node::{Fleet, FleetNode, FleetSpec, GpuSlot, NodePool};
 pub use orchestrator::{
-    run_chaos, FleetConfig, FleetError, FleetOrchestrator, DEFAULT_MAX_REPLACEMENTS,
+    run_chaos, FleetConfig, FleetError, FleetOrchestrator, RecoveryOutcome,
+    DEFAULT_MAX_REPLACEMENTS,
 };
 pub use pack::{FleetPacking, NodeUsage};
 pub use placer::{

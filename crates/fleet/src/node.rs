@@ -19,6 +19,11 @@ pub struct NodePool {
     pub preemptible: bool,
     /// Nodes initially provisioned.
     pub count: usize,
+    /// Cloud region hosting the pool (`None` for single-region fleets).
+    /// Multi-region federations tag every pool so placements, reports and
+    /// pricing can be attributed to a region.
+    #[serde(default)]
+    pub region: Option<String>,
 }
 
 /// The fleet composition: a list of pools.
@@ -81,6 +86,7 @@ impl FleetSpec {
                     pricing: PricingPlan::Reserved1Yr,
                     preemptible: false,
                     count: base_nodes.max(1),
+                    region: None,
                 },
                 NodePool {
                     name: "p4d-ondemand".into(),
@@ -88,6 +94,7 @@ impl FleetSpec {
                     pricing: PricingPlan::OnDemand,
                     preemptible: false,
                     count: 1,
+                    region: None,
                 },
                 NodePool {
                     name: "h100-spot".into(),
@@ -95,6 +102,7 @@ impl FleetSpec {
                     pricing: PricingPlan::Spot,
                     preemptible: true,
                     count: 1,
+                    region: None,
                 },
             ],
         }
@@ -107,6 +115,22 @@ impl FleetSpec {
             .iter()
             .map(|p| p.count * usize::from(p.node.gpus))
             .sum()
+    }
+
+    /// A copy of the spec with every pool tagged as belonging to `region`
+    /// (how a federation stamps its per-region fleets).
+    #[must_use]
+    pub fn in_region(&self, region: &str) -> Self {
+        Self {
+            pools: self
+                .pools
+                .iter()
+                .map(|p| NodePool {
+                    region: Some(region.to_string()),
+                    ..p.clone()
+                })
+                .collect(),
+        }
     }
 }
 

@@ -70,6 +70,23 @@ impl Default for FleetConfig {
     }
 }
 
+/// Accounting of one recovery step driven through the exported hooks
+/// ([`FleetOrchestrator::retarget`],
+/// [`FleetOrchestrator::apply_capacity_event`]) — what a higher-level
+/// control plane (e.g. a multi-region federation) needs to price the
+/// disruption without running serving windows of its own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Segments whose capacity was lost at the instant of the event.
+    pub displaced_segments: usize,
+    /// Logical GPUs whose layout changed through the §III-F path.
+    pub reconfigured_gpus: usize,
+    /// Replacement nodes provisioned to host the recovered plan.
+    pub replacement_nodes: usize,
+    /// The physical migration the recovery required.
+    pub migration: MigrationPlan,
+}
+
 /// Why a chaos run aborted.
 #[derive(Debug)]
 pub enum FleetError {
@@ -174,6 +191,13 @@ impl FleetOrchestrator {
         &self.placement
     }
 
+    /// The service specs currently being served (base specs scaled by the
+    /// last load shift, or the last [`FleetOrchestrator::retarget`]).
+    #[must_use]
+    pub fn specs(&self) -> &[ServiceSpec] {
+        &self.specs
+    }
+
     /// Serve one interval with the current deployment; batch-level
     /// compliance.
     #[must_use]
@@ -262,7 +286,7 @@ impl FleetOrchestrator {
     /// Apply a load shift through the per-service reconfiguration path.
     /// Returns the logical GPUs whose layout changed.
     fn apply_load_shift(&mut self, multiplier: f64) -> Result<Vec<usize>, ScheduleError> {
-        self.specs = self
+        let targets: Vec<ServiceSpec> = self
             .base_specs
             .iter()
             .map(|s| {
@@ -274,6 +298,16 @@ impl FleetOrchestrator {
                 )
             })
             .collect();
+        self.update_services(&targets)
+    }
+
+    /// Drive every service to its target spec through
+    /// [`reconfigure::update_service`] (the §III-F per-service path).
+    /// Returns the logical GPUs whose layout changed. On error the state is
+    /// left partially updated; callers wanting transactional semantics
+    /// snapshot first (see [`FleetOrchestrator::retarget`]).
+    fn update_services(&mut self, targets: &[ServiceSpec]) -> Result<Vec<usize>, ScheduleError> {
+        self.specs = targets.to_vec();
         let mut churn = std::collections::BTreeSet::new();
         for spec in self.specs.clone() {
             let outcome = reconfigure::update_service(
@@ -289,6 +323,129 @@ impl FleetOrchestrator {
             }
         }
         Ok(churn.into_iter().collect())
+    }
+
+    /// Retarget the fleet to a new demand vector through the §III-F
+    /// per-service reconfiguration path, then re-anchor and (if needed)
+    /// provision replacement nodes. This is the exported planner hook a
+    /// multi-region federation drives every interval: `targets` must cover
+    /// the same service ids/models as the base set, with new rates.
+    ///
+    /// Transactional: on error the orchestrator is restored to its
+    /// pre-call state (so the caller can keep serving the old plan and
+    /// spill the excess demand elsewhere).
+    ///
+    /// # Errors
+    /// [`FleetError::Schedule`] when a target is infeasible,
+    /// [`FleetError::Placement`] when the fleet (plus the replacement
+    /// budget) cannot host the retargeted plan.
+    pub fn retarget(
+        &mut self,
+        interval: usize,
+        targets: &[ServiceSpec],
+    ) -> Result<RecoveryOutcome, FleetError> {
+        let snap_deployment = self.deployment.clone();
+        let snap_placement = self.placement.clone();
+        let snap_services = self.services.clone();
+        let snap_specs = self.specs.clone();
+        let snap_fleet = self.fleet.clone();
+        let attempt = (|| -> Result<(usize, usize), FleetError> {
+            let churn = self.update_services(targets)?;
+            self.placement =
+                translate_placement((&snap_deployment, &snap_placement), &self.deployment);
+            let replacements = self.reanchor(interval)?;
+            Ok((churn.len(), replacements))
+        })();
+        match attempt {
+            Ok((reconfigured_gpus, replacement_nodes)) => {
+                let migration = MigrationPlan::between(
+                    (&snap_deployment, &snap_placement),
+                    (&self.deployment, &self.placement),
+                    &self.fleet,
+                );
+                Ok(RecoveryOutcome {
+                    displaced_segments: 0,
+                    reconfigured_gpus,
+                    replacement_nodes,
+                    migration,
+                })
+            }
+            Err(e) => {
+                self.deployment = snap_deployment;
+                self.placement = snap_placement;
+                self.services = snap_services;
+                self.specs = snap_specs;
+                self.fleet = snap_fleet;
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply a capacity event (failure / preemption / grant) through the
+    /// incremental recovery path *without* running serving windows — the
+    /// exported hook for callers that serve routed load themselves.
+    /// [`FleetEvent::LoadShift`] is demand, not capacity: drive it through
+    /// [`FleetOrchestrator::retarget`] instead (here it is a no-op).
+    ///
+    /// Not transactional: a placement error leaves the fleet with the node
+    /// already dead, which callers should treat as a region that can no
+    /// longer host its plan (cross-region failover).
+    ///
+    /// # Errors
+    /// [`FleetError::Placement`] when the surviving fleet cannot host the
+    /// recovered deployment.
+    pub fn apply_capacity_event(
+        &mut self,
+        interval: usize,
+        event: &FleetEvent,
+    ) -> Result<RecoveryOutcome, FleetError> {
+        let before_deployment = self.deployment.clone();
+        let before_placement = self.placement.clone();
+        let (displaced_segments, replacement_nodes) = match event {
+            FleetEvent::NodeFailure { node } | FleetEvent::SpotPreemption { node } => {
+                self.fleet.kill(*node);
+                let displaced_logical: Vec<usize> = self
+                    .placement
+                    .slots
+                    .iter()
+                    .filter(|(_, s)| s.node == *node)
+                    .map(|(l, _)| *l)
+                    .collect();
+                let displaced = self.reschedule_displaced(&displaced_logical);
+                let replacements = self.reanchor(interval)?;
+                (displaced, replacements)
+            }
+            FleetEvent::ScaleUpGrant { pool, nodes } => {
+                self.fleet.grant(*pool, *nodes);
+                (0, 0)
+            }
+            FleetEvent::LoadShift { .. } | FleetEvent::Quiet => (0, 0),
+        };
+        let migration = MigrationPlan::between(
+            (&before_deployment, &before_placement),
+            (&self.deployment, &self.placement),
+            &self.fleet,
+        );
+        Ok(RecoveryOutcome {
+            displaced_segments,
+            reconfigured_gpus: 0,
+            replacement_nodes,
+            migration,
+        })
+    }
+
+    /// Region-evacuation drain: retire every node and withdraw the
+    /// deployment. Returns the number of segments drained — capacity the
+    /// caller must re-place in surviving regions through their incremental
+    /// paths.
+    pub fn evacuate(&mut self) -> usize {
+        let drained = self.deployment.segments().len();
+        for id in self.fleet.alive_nodes() {
+            self.fleet.kill(id);
+        }
+        self.deployment = MigDeployment::new();
+        self.placement = FleetPlacement::default();
+        drained
     }
 
     /// Handle one event end-to-end; returns the outcome row.
@@ -574,6 +731,7 @@ mod tests {
                 pricing: parva_cluster::PricingPlan::OnDemand,
                 preemptible: false,
                 count: 2,
+                region: None,
             }],
         };
         let mut orchestrator = FleetOrchestrator::bootstrap(&book, &base_specs(), &spec)
@@ -607,6 +765,103 @@ mod tests {
     }
 
     #[test]
+    fn retarget_scales_capacity_to_new_demand() {
+        let book = ProfileBook::builtin();
+        let mut orchestrator =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2)).unwrap();
+        let targets: Vec<ServiceSpec> = base_specs()
+            .iter()
+            .map(|s| ServiceSpec::new(s.id, s.model, s.request_rate_rps * 1.4, s.slo.latency_ms))
+            .collect();
+        let outcome = orchestrator.retarget(1, &targets).unwrap();
+        assert!(
+            outcome.reconfigured_gpus > 0,
+            "1.4x demand must reconfigure"
+        );
+        for t in &targets {
+            assert!(
+                orchestrator.deployment().capacity_of(t.id) + 1e-6 >= t.request_rate_rps,
+                "service {} under-provisioned after retarget",
+                t.id
+            );
+        }
+        assert_eq!(
+            orchestrator.specs()[0].request_rate_rps,
+            targets[0].request_rate_rps
+        );
+        assert!(orchestrator.deployment().validate());
+    }
+
+    #[test]
+    fn retarget_failure_is_transactional() {
+        let book = ProfileBook::builtin();
+        // One tight node, no replacements: a 100x surge cannot be hosted.
+        let spec = FleetSpec {
+            pools: vec![crate::node::NodePool {
+                name: "tight".into(),
+                node: parva_cluster::NodeType::P4DE_24XLARGE,
+                pricing: parva_cluster::PricingPlan::OnDemand,
+                preemptible: false,
+                count: 1,
+                region: None,
+            }],
+        };
+        let mut orchestrator = FleetOrchestrator::bootstrap(&book, &base_specs(), &spec)
+            .unwrap()
+            .with_max_replacements(0);
+        let before_deployment = orchestrator.deployment().clone();
+        let before_placement = orchestrator.placement().clone();
+        let before_rate = orchestrator.specs()[0].request_rate_rps;
+        let surge: Vec<ServiceSpec> = base_specs()
+            .iter()
+            .map(|s| ServiceSpec::new(s.id, s.model, s.request_rate_rps * 100.0, s.slo.latency_ms))
+            .collect();
+        assert!(orchestrator.retarget(1, &surge).is_err());
+        // Everything rolled back: same map, same anchor, same demand.
+        assert_eq!(
+            orchestrator.deployment().segments(),
+            before_deployment.segments()
+        );
+        assert_eq!(orchestrator.placement(), &before_placement);
+        assert_eq!(orchestrator.specs()[0].request_rate_rps, before_rate);
+    }
+
+    #[test]
+    fn capacity_event_hook_recovers_without_serving() {
+        let book = ProfileBook::builtin();
+        let mut orchestrator =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2)).unwrap();
+        let victim = orchestrator.placement().slot_of(0).unwrap().node;
+        let outcome = orchestrator
+            .apply_capacity_event(1, &FleetEvent::NodeFailure { node: victim })
+            .unwrap();
+        assert!(outcome.displaced_segments > 0);
+        assert!(outcome.migration.migrated_segments >= outcome.displaced_segments);
+        for spec in base_specs() {
+            assert!(
+                orchestrator.deployment().capacity_of(spec.id) + 1e-6 >= spec.request_rate_rps,
+                "service {} uncovered after hook recovery",
+                spec.id
+            );
+        }
+        assert!(orchestrator.deployment().validate());
+    }
+
+    #[test]
+    fn evacuate_drains_everything() {
+        let book = ProfileBook::builtin();
+        let mut orchestrator =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(1)).unwrap();
+        let segments = orchestrator.deployment().segments().len();
+        assert!(segments > 0);
+        let drained = orchestrator.evacuate();
+        assert_eq!(drained, segments);
+        assert!(orchestrator.fleet().alive_nodes().is_empty());
+        assert_eq!(orchestrator.deployment().segments().len(), 0);
+        assert!(orchestrator.placement().slots.is_empty());
+    }
+
+    #[test]
     fn replacement_nodes_backfill_dead_capacity() {
         let book = ProfileBook::builtin();
         // A minimal fleet with zero headroom beyond what the plan needs:
@@ -619,6 +874,7 @@ mod tests {
                 pricing: parva_cluster::PricingPlan::OnDemand,
                 preemptible: false,
                 count: 1,
+                region: None,
             }],
         };
         let mut orchestrator = FleetOrchestrator::bootstrap(&book, &base_specs(), &spec).unwrap();

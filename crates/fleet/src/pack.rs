@@ -40,9 +40,23 @@ pub struct FleetPacking {
 }
 
 impl FleetPacking {
-    /// Derive the node view of `(deployment, placement)` on `fleet`.
+    /// Derive the node view of `(deployment, placement)` on `fleet`, at
+    /// the reference region's prices.
     #[must_use]
     pub fn derive(deployment: &MigDeployment, placement: &FleetPlacement, fleet: &Fleet) -> Self {
+        Self::derive_in_region(deployment, placement, fleet, 1.0)
+    }
+
+    /// Like [`FleetPacking::derive`], with every node hour priced through
+    /// the hosting region's price index (see
+    /// [`parva_cluster::PricingPlan::node_usd_per_hour_in_region`]).
+    #[must_use]
+    pub fn derive_in_region(
+        deployment: &MigDeployment,
+        placement: &FleetPlacement,
+        fleet: &Fleet,
+        region_multiplier: f64,
+    ) -> Self {
         let mut nodes: Vec<NodeUsage> = Vec::new();
         for id in placement.nodes_in_service() {
             let gpu_indices: Vec<usize> = placement
@@ -64,7 +78,9 @@ impl FleetPacking {
                     gpu_indices,
                     vcpus_used,
                 },
-                usd_per_hour: node.pricing.node_usd_per_hour(node.node),
+                usd_per_hour: node
+                    .pricing
+                    .node_usd_per_hour_in_region(node.node, region_multiplier),
             });
         }
         let rented: usize = nodes

@@ -352,6 +352,7 @@ mod tests {
                 pricing: parva_cluster::PricingPlan::OnDemand,
                 preemptible: false,
                 count: 1,
+                region: None,
             }],
         });
         let mut d = MigDeployment::new();

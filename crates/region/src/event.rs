@@ -1,0 +1,147 @@
+//! The seeded federation-level chaos stream.
+//!
+//! Region-local disturbances reuse the single-fleet event vocabulary
+//! ([`FleetEvent`]); on top of it the federation adds the two events only
+//! a multi-region deployment can see: **region evacuation** (every node in
+//! a region drains — a large-scale outage, a forced maintenance window, a
+//! regulatory pull-out) and **failback** (the region re-provisions and
+//! takes its traffic home).
+
+use parva_des::RngStream;
+use parva_fleet::{next_event, Fleet, FleetEvent};
+use serde::{Deserialize, Serialize};
+
+/// A federation-level event at an interval boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegionEvent {
+    /// A single-fleet disturbance inside one region.
+    Local {
+        /// The region hit.
+        region: usize,
+        /// The fleet-level event.
+        event: FleetEvent,
+    },
+    /// Every node in the region drains; its demand fails over
+    /// cross-region until failback.
+    Evacuation {
+        /// The evacuated region.
+        region: usize,
+    },
+    /// An evacuated region re-provisions and resumes serving.
+    Failback {
+        /// The returning region.
+        region: usize,
+    },
+    /// Nothing happens this interval.
+    Quiet,
+}
+
+impl std::fmt::Display for RegionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Local { region, event } => write!(f, "r{region}: {event}"),
+            Self::Evacuation { region } => write!(f, "EVACUATE region {region}"),
+            Self::Failback { region } => write!(f, "failback region {region}"),
+            Self::Quiet => write!(f, "quiet"),
+        }
+    }
+}
+
+/// Draw the next federation event. `fleets[r]` is `Some` for regions with
+/// a live fleet; `held` optionally names a region whose evacuation is
+/// being driven by an external drill and must not fail back spontaneously.
+///
+/// Deterministic given the stream state; falls back to
+/// [`RegionEvent::Quiet`] when a drawn event has no candidate (e.g. an
+/// evacuation that would kill the last active region).
+pub fn next_region_event(
+    rng: &mut RngStream,
+    fleets: &[Option<&Fleet>],
+    held: Option<usize>,
+) -> RegionEvent {
+    let active: Vec<usize> = (0..fleets.len()).filter(|&r| fleets[r].is_some()).collect();
+    let evacuated: Vec<usize> = (0..fleets.len())
+        .filter(|&r| fleets[r].is_none() && Some(r) != held)
+        .collect();
+    let roll = rng.uniform();
+    if roll < 0.60 {
+        // A local fleet event in a uniformly chosen active region.
+        if active.is_empty() {
+            return RegionEvent::Quiet;
+        }
+        let region = active[rng.index(active.len())];
+        let event = next_event(rng, fleets[region].expect("active region has a fleet"));
+        RegionEvent::Local { region, event }
+    } else if roll < 0.70 {
+        // Spontaneous evacuation: never the last active region.
+        if active.len() <= 1 {
+            return RegionEvent::Quiet;
+        }
+        RegionEvent::Evacuation {
+            region: active[rng.index(active.len())],
+        }
+    } else if roll < 0.88 {
+        if evacuated.is_empty() {
+            return RegionEvent::Quiet;
+        }
+        RegionEvent::Failback {
+            region: evacuated[rng.index(evacuated.len())],
+        }
+    } else {
+        RegionEvent::Quiet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_fleet::FleetSpec;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let fleets = vec![Some(&fleet), Some(&fleet), None];
+        let draw = |seed: u64| -> Vec<RegionEvent> {
+            let mut rng = RngStream::new(seed, 9);
+            (0..64)
+                .map(|_| next_region_event(&mut rng, &fleets, None))
+                .collect()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn events_respect_region_state() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let fleets = vec![Some(&fleet), None, Some(&fleet)];
+        let mut rng = RngStream::new(7, 0);
+        let mut saw_failback = false;
+        for _ in 0..300 {
+            match next_region_event(&mut rng, &fleets, None) {
+                RegionEvent::Local { region, .. } => assert!(region != 1),
+                RegionEvent::Evacuation { region } => assert!(region != 1),
+                RegionEvent::Failback { region } => {
+                    assert_eq!(region, 1);
+                    saw_failback = true;
+                }
+                RegionEvent::Quiet => {}
+            }
+        }
+        assert!(saw_failback);
+    }
+
+    #[test]
+    fn last_active_region_is_never_evacuated_and_held_never_fails_back() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let fleets = vec![Some(&fleet), None, None];
+        let mut rng = RngStream::new(11, 2);
+        for _ in 0..300 {
+            match next_region_event(&mut rng, &fleets, Some(1)) {
+                RegionEvent::Evacuation { .. } => panic!("evacuated the last region"),
+                RegionEvent::Failback { region } => assert_eq!(region, 2, "held region returned"),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,966 @@
+//! The federation control loop: one fleet orchestrator per region, a
+//! geo-aware router between them, and region-scale chaos on top.
+//!
+//! Every interval the federation:
+//!
+//! 1. computes each region's offered demand (global service rates ×
+//!    demand share × the region's sun-phased diurnal multiplier),
+//! 2. injects one [`RegionEvent`] — a region-local fleet disturbance, a
+//!    region evacuation (every node drains), or a failback,
+//! 3. routes demand with [`crate::router`]: live regions serve locally,
+//!    evacuated regions' demand spills cross-region with the RTT charged
+//!    against the SLO,
+//! 4. retargets every live region's fleet to its routed demand through
+//!    the §III-F incremental path ([`FleetOrchestrator::retarget`]) —
+//!    this is where evacuated services are re-placed in surviving
+//!    regions; a region that cannot host its plan is rebalanced (its
+//!    excess re-spills) or, after a capacity event, forced into failover,
+//! 5. serves each region's routed load in the DES simulator with
+//!    per-flow RTT ingress classes ([`parva_serve::simulate_with_ingress`]),
+//! 6. prices each region's surviving fleet at regional prices.
+
+use crate::event::{next_region_event, RegionEvent};
+use crate::report::{FederationReport, IntervalOutcome, RegionOutcome};
+use crate::router::{inbound, route_demand, route_from, Demand, Flow};
+use crate::spec::FederationSpec;
+use parva_deploy::ServiceSpec;
+use parva_des::RngStream;
+use parva_fleet::{FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
+use parva_profile::ProfileBook;
+use parva_scenarios::diurnal_multiplier;
+use parva_serve::{simulate_with_ingress, IngressClass, ServingConfig, ServingReport};
+
+/// A scripted evacuation + failback exercise overlaid on the seeded
+/// chaos stream — the deterministic scenario behind `parvactl region`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvacuationDrill {
+    /// Region to drain.
+    pub region: usize,
+    /// Interval at which the evacuation fires.
+    pub evacuate_at: usize,
+    /// Interval at which the region fails back (must be later).
+    pub failback_at: usize,
+}
+
+/// Federation-run parameters.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Master seed: the event stream and every serving window derive from
+    /// it.
+    pub seed: u64,
+    /// Number of disturbed intervals after the baseline.
+    pub intervals: usize,
+    /// Serving-window shape of each interval.
+    pub serving: ServingConfig,
+    /// Per-recovery replacement-node budget of each region's fleet.
+    pub max_replacements_per_event: usize,
+    /// Wall-clock hours the federation clock advances per interval (the
+    /// diurnal curve is 24 h long).
+    pub hours_per_interval: f64,
+    /// Diurnal demand trough multiplier.
+    pub diurnal_low: f64,
+    /// Diurnal demand peak multiplier.
+    pub diurnal_high: f64,
+    /// Optional scripted evacuation exercise; `None` leaves evacuations
+    /// to the seeded stream.
+    pub drill: Option<EvacuationDrill>,
+}
+
+impl FederationConfig {
+    /// Validate the run parameters: positive finite diurnal bounds with
+    /// `low <= high`, a positive finite interval clock, and a drill whose
+    /// failback strictly follows its evacuation.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.diurnal_low > 0.0
+            && self.diurnal_high >= self.diurnal_low
+            && self.diurnal_high.is_finite())
+        {
+            return Err(format!(
+                "diurnal bounds need 0 < low <= high (got {} .. {})",
+                self.diurnal_low, self.diurnal_high
+            ));
+        }
+        if !(self.hours_per_interval > 0.0 && self.hours_per_interval.is_finite()) {
+            return Err(format!(
+                "hours_per_interval must be positive finite (got {})",
+                self.hours_per_interval
+            ));
+        }
+        if let Some(drill) = &self.drill {
+            if drill.failback_at <= drill.evacuate_at {
+                return Err(format!(
+                    "drill failback (interval {}) must come after the evacuation (interval {})",
+                    drill.failback_at, drill.evacuate_at
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            intervals: 8,
+            serving: ServingConfig {
+                warmup_s: 0.5,
+                duration_s: 3.0,
+                drain_s: 1.0,
+                ..ServingConfig::default()
+            },
+            max_replacements_per_event: parva_fleet::DEFAULT_MAX_REPLACEMENTS,
+            hours_per_interval: 3.0,
+            diurnal_low: 0.7,
+            diurnal_high: 1.2,
+            drill: Some(EvacuationDrill {
+                region: 0,
+                evacuate_at: 3,
+                failback_at: 6,
+            }),
+        }
+    }
+}
+
+/// Why a federation run aborted.
+#[derive(Debug)]
+pub enum FederationError {
+    /// The topology failed validation.
+    Spec(String),
+    /// A region could not host its share of the baseline demand.
+    Bootstrap {
+        /// The failing region.
+        region: usize,
+        /// The underlying fleet failure.
+        source: FleetError,
+    },
+    /// A failing-back region could not re-host its local demand.
+    Failback {
+        /// The failing region.
+        region: usize,
+        /// The underlying fleet failure.
+        source: FleetError,
+    },
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Spec(msg) => write!(f, "invalid federation spec: {msg}"),
+            Self::Bootstrap { region, source } => {
+                write!(f, "region {region} failed bootstrap: {source}")
+            }
+            Self::Failback { region, source } => {
+                write!(f, "region {region} failed failback: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+/// One region's live state.
+struct RegionState {
+    /// `Some` while the region's fleet serves; `None` while evacuated.
+    orchestrator: Option<FleetOrchestrator>,
+    /// The region's local demand multiplier from the last
+    /// [`parva_fleet::FleetEvent::LoadShift`] (1.0 = nominal).
+    demand_factor: f64,
+}
+
+/// The living federation: per-region fleet orchestrators plus the glue.
+pub struct Federation {
+    spec: FederationSpec,
+    book: ProfileBook,
+    base_services: Vec<ServiceSpec>,
+    regions: Vec<RegionState>,
+    config: FederationConfig,
+}
+
+/// Sum flow rates, collapsing the `-0.0` that `f64`'s empty-iterator
+/// `Sum` identity produces (it renders as `-0` in reports).
+fn sum_rates<'a>(flows: impl Iterator<Item = &'a Flow>) -> f64 {
+    flows.map(|f| f.rate_rps).sum::<f64>() + 0.0
+}
+
+/// What one region did during an interval's recovery phase.
+#[derive(Default, Clone)]
+struct RecoveryRow {
+    displaced: usize,
+    reconfigured: usize,
+    migrated: usize,
+    replacements: usize,
+}
+
+impl RecoveryRow {
+    fn absorb(&mut self, o: &RecoveryOutcome) {
+        self.displaced += o.displaced_segments;
+        self.reconfigured += o.reconfigured_gpus;
+        self.migrated += o.migration.migrated_segments;
+        self.replacements += o.replacement_nodes;
+    }
+}
+
+impl Federation {
+    /// Plan every region's share of the baseline demand and anchor it on
+    /// its fleet.
+    ///
+    /// # Errors
+    /// [`FederationError::Spec`] for invalid topologies or run
+    /// parameters, [`FederationError::Bootstrap`] when a region cannot
+    /// host its share.
+    pub fn bootstrap(
+        book: &ProfileBook,
+        services: &[ServiceSpec],
+        spec: &FederationSpec,
+        config: &FederationConfig,
+    ) -> Result<Self, FederationError> {
+        spec.validate().map_err(FederationError::Spec)?;
+        config
+            .validate()
+            .map_err(|msg| FederationError::Spec(format!("config: {msg}")))?;
+        let mut regions = Vec::with_capacity(spec.regions.len());
+        let mut fed = Self {
+            spec: spec.clone(),
+            book: book.clone(),
+            base_services: services.to_vec(),
+            regions: Vec::new(),
+            config: config.clone(),
+        };
+        for (r, rs) in spec.regions.iter().enumerate() {
+            let local = fed.local_demand(r, 0, 1.0);
+            let orchestrator = FleetOrchestrator::bootstrap(book, &local, &rs.fleet)
+                .map_err(|source| FederationError::Bootstrap { region: r, source })?
+                .with_max_replacements(config.max_replacements_per_event);
+            regions.push(RegionState {
+                orchestrator: Some(orchestrator),
+                demand_factor: 1.0,
+            });
+        }
+        fed.regions = regions;
+        Ok(fed)
+    }
+
+    /// Region `r`'s local per-service demand at `interval`, scaled by
+    /// `factor` (the region's load-shift state).
+    fn local_demand(&self, r: usize, interval: usize, factor: f64) -> Vec<ServiceSpec> {
+        let hour = interval as f64 * self.config.hours_per_interval;
+        let m = diurnal_multiplier(
+            hour,
+            self.config.diurnal_low,
+            self.config.diurnal_high,
+            self.spec.regions[r].diurnal_phase_hours,
+        );
+        self.base_services
+            .iter()
+            .map(|s| {
+                ServiceSpec::new(
+                    s.id,
+                    s.model,
+                    s.request_rate_rps * self.spec.regions[r].demand_share * m * factor,
+                    s.slo.latency_ms,
+                )
+            })
+            .collect()
+    }
+
+    /// Is region `r` currently serving?
+    #[must_use]
+    pub fn is_active(&self, r: usize) -> bool {
+        self.regions[r].orchestrator.is_some()
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Per-region offered demand at `interval`.
+    fn offered_at(&self, interval: usize) -> Vec<Vec<Demand>> {
+        (0..self.regions.len())
+            .map(|r| {
+                self.local_demand(r, interval, self.regions[r].demand_factor)
+                    .iter()
+                    .map(|s| Demand {
+                        service: s.id,
+                        rate_rps: s.request_rate_rps,
+                        slo_ms: s.slo.latency_ms,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Capacity weight of each region for spill routing (alive GPUs).
+    fn capacity_weights(&self) -> Vec<f64> {
+        self.regions
+            .iter()
+            .map(|r| {
+                r.orchestrator
+                    .as_ref()
+                    .map_or(0.0, |o| o.fleet().alive_slots().len() as f64)
+            })
+            .collect()
+    }
+
+    fn active_mask(&self) -> Vec<bool> {
+        self.regions
+            .iter()
+            .map(|r| r.orchestrator.is_some())
+            .collect()
+    }
+
+    /// Drive one interval end-to-end. Interval numbers start at 1; the
+    /// undisturbed interval 0 is produced by `Federation::baseline`.
+    ///
+    /// # Errors
+    /// [`FederationError::Failback`] when a returning region cannot host
+    /// its local demand even with the replacement budget.
+    pub fn step(
+        &mut self,
+        interval: usize,
+        event: RegionEvent,
+    ) -> Result<IntervalOutcome, FederationError> {
+        let mut recovery: Vec<RecoveryRow> = vec![RecoveryRow::default(); self.regions.len()];
+        let mut forced_failovers: Vec<usize> = Vec::new();
+
+        // 1. The event.
+        match &event {
+            RegionEvent::Evacuation { region } => {
+                if let Some(orchestrator) = self.regions[*region].orchestrator.as_mut() {
+                    recovery[*region].displaced = orchestrator.evacuate();
+                    self.regions[*region].orchestrator = None;
+                }
+            }
+            RegionEvent::Failback { region } => {
+                if self.regions[*region].orchestrator.is_none() {
+                    let local =
+                        self.local_demand(*region, interval, self.regions[*region].demand_factor);
+                    let orchestrator = FleetOrchestrator::bootstrap(
+                        &self.book,
+                        &local,
+                        &self.spec.regions[*region].fleet,
+                    )
+                    .map_err(|source| FederationError::Failback {
+                        region: *region,
+                        source,
+                    })?
+                    .with_max_replacements(self.config.max_replacements_per_event);
+                    self.regions[*region].orchestrator = Some(orchestrator);
+                }
+            }
+            RegionEvent::Local { region, event } => {
+                if let Some(orchestrator) = self.regions[*region].orchestrator.as_mut() {
+                    if let parva_fleet::FleetEvent::LoadShift { multiplier } = event {
+                        // Demand, not capacity: the shift flows into this
+                        // interval's offered load and the retarget below.
+                        self.regions[*region].demand_factor = *multiplier;
+                    } else {
+                        match orchestrator.apply_capacity_event(interval, event) {
+                            Ok(outcome) => recovery[*region].absorb(&outcome),
+                            Err(_) => {
+                                // The fleet can no longer host its plan:
+                                // cross-region failover.
+                                recovery[*region].displaced += self.regions[*region]
+                                    .orchestrator
+                                    .as_mut()
+                                    .map_or(0, |o| o.evacuate());
+                                self.regions[*region].orchestrator = None;
+                                forced_failovers.push(*region);
+                            }
+                        }
+                    }
+                }
+            }
+            RegionEvent::Quiet => {}
+        }
+
+        // 2. Route demand across the surviving topology.
+        let offered = self.offered_at(interval);
+        let mut flows = route_demand(
+            &offered,
+            &self.active_mask(),
+            &self.capacity_weights(),
+            &self.spec.rtt,
+        );
+
+        // 3. Retarget every live region to its routed demand through the
+        //    §III-F incremental path; overloaded regions rebalance. A
+        //    region retargeted during a peer's rebalance round is not
+        //    retargeted again with identical targets.
+        let mut retargeted = vec![false; self.regions.len()];
+        for d in 0..self.regions.len() {
+            if self.regions[d].orchestrator.is_none() || retargeted[d] {
+                continue;
+            }
+            let targets = self.targets_for(d, &flows);
+            if targets.is_empty() {
+                continue;
+            }
+            let result = {
+                let orchestrator = self.regions[d].orchestrator.as_mut().expect("active");
+                orchestrator.retarget(interval, &targets)
+            };
+            retargeted[d] = true;
+            match result {
+                Ok(outcome) => recovery[d].absorb(&outcome),
+                Err(_) => {
+                    // The region keeps serving its previous plan; the
+                    // excess re-spills to its peers (one rebalance round).
+                    let orchestrator = self.regions[d].orchestrator.as_ref().expect("active");
+                    let excess: Vec<Demand> = targets
+                        .iter()
+                        .map(|t| Demand {
+                            service: t.id,
+                            rate_rps: (t.request_rate_rps
+                                - orchestrator.deployment().capacity_of(t.id))
+                            .max(0.0),
+                            slo_ms: t.slo.latency_ms,
+                        })
+                        .filter(|e| e.rate_rps > 0.0)
+                        .collect();
+                    if excess.is_empty() {
+                        continue;
+                    }
+                    // Shrink the inbound flows of `d` proportionally so
+                    // flow accounting matches what `d` will actually hold,
+                    // remembering how much of each *true source*'s traffic
+                    // was turned away.
+                    let mut removed: std::collections::BTreeMap<(usize, u32), f64> =
+                        std::collections::BTreeMap::new();
+                    for e in &excess {
+                        let total: f64 = flows
+                            .iter()
+                            .filter(|f| f.dst == d && f.service == e.service)
+                            .map(|f| f.rate_rps)
+                            .sum();
+                        if total <= 0.0 {
+                            continue;
+                        }
+                        let keep = 1.0 - (e.rate_rps / total).min(1.0);
+                        for f in flows
+                            .iter_mut()
+                            .filter(|f| f.dst == d && f.service == e.service)
+                        {
+                            *removed.entry((f.src, f.service)).or_insert(0.0) +=
+                                f.rate_rps * (1.0 - keep);
+                            f.rate_rps *= keep;
+                        }
+                    }
+                    // Re-spill each turned-away share from its true
+                    // origin, so the SLO feasibility filter and the RTT
+                    // charge follow the users (not the overloaded
+                    // middlebox). `d` is excluded as a destination.
+                    let mut mask = self.active_mask();
+                    mask[d] = false;
+                    let weights = self.capacity_weights();
+                    let mut respill = Vec::new();
+                    let sources: std::collections::BTreeSet<usize> =
+                        removed.keys().map(|&(src, _)| src).collect();
+                    for src in sources {
+                        let demand: Vec<Demand> = removed
+                            .iter()
+                            .filter(|(&(s, _), &rate)| s == src && rate > 0.0)
+                            .map(|(&(_, service), &rate_rps)| Demand {
+                                service,
+                                rate_rps,
+                                slo_ms: self.slo_of(service),
+                            })
+                            .collect();
+                        respill.extend(route_from(src, &demand, &mask, &weights, &self.spec.rtt));
+                    }
+                    flows.extend(respill);
+                    // One follow-up retarget round for the peers that took
+                    // the excess (a second failure leaves the overload to
+                    // show up as SLO violations — honest degradation).
+                    let peers: Vec<usize> = (0..self.regions.len())
+                        .filter(|&p| p != d && self.regions[p].orchestrator.is_some())
+                        .collect();
+                    for p in peers {
+                        let targets = self.targets_for(p, &flows);
+                        let orchestrator = self.regions[p].orchestrator.as_mut().expect("active");
+                        if let Ok(outcome) = orchestrator.retarget(interval, &targets) {
+                            recovery[p].absorb(&outcome);
+                        }
+                        retargeted[p] = true;
+                    }
+                }
+            }
+        }
+
+        // 4. Serve each region's routed load with RTT ingress classes.
+        Ok(self.measure(
+            interval,
+            event,
+            &flows,
+            &offered,
+            &recovery,
+            forced_failovers,
+        ))
+    }
+
+    /// A service's latency SLO, ms (0 for unknown ids, which the router
+    /// treats as nowhere-feasible best-effort).
+    fn slo_of(&self, service: u32) -> f64 {
+        self.base_services
+            .iter()
+            .find(|s| s.id == service)
+            .map_or(0.0, |s| s.slo.latency_ms)
+    }
+
+    /// The per-service target specs of region `d` given the flow set.
+    fn targets_for(&self, d: usize, flows: &[Flow]) -> Vec<ServiceSpec> {
+        let rates = inbound(flows, d);
+        self.base_services
+            .iter()
+            .filter_map(|s| {
+                let rate = rates
+                    .iter()
+                    .find(|(id, _)| *id == s.id)
+                    .map_or(0.0, |(_, r)| *r);
+                (rate > 0.0).then(|| ServiceSpec::new(s.id, s.model, rate, s.slo.latency_ms))
+            })
+            .collect()
+    }
+
+    /// Serve + price every region for one interval and assemble the row.
+    #[allow(clippy::too_many_lines)]
+    fn measure(
+        &self,
+        interval: usize,
+        event: RegionEvent,
+        flows: &[Flow],
+        offered: &[Vec<Demand>],
+        recovery: &[RecoveryRow],
+        forced_failovers: Vec<usize>,
+    ) -> IntervalOutcome {
+        let mut regions = Vec::with_capacity(self.regions.len());
+        let mut within: f64 = 0.0;
+        let mut total_offered: f64 = 0.0;
+        let mut total_cost = 0.0;
+
+        let offered_rps: Vec<f64> = offered
+            .iter()
+            .map(|o| o.iter().map(|d| d.rate_rps).sum())
+            .collect();
+        let routed_rps: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        let unrouted_rps = (offered_rps.iter().sum::<f64>() - routed_rps).max(0.0);
+        let spilled_rps = sum_rates(flows.iter().filter(|f| f.src != f.dst));
+
+        for (d, state) in self.regions.iter().enumerate() {
+            let spill_out = sum_rates(flows.iter().filter(|f| f.src == d && f.dst != d));
+            let Some(orchestrator) = state.orchestrator.as_ref() else {
+                regions.push(RegionOutcome {
+                    region: d,
+                    name: self.spec.regions[d].name.clone(),
+                    active: false,
+                    offered_rps: offered_rps[d],
+                    routed_in_rps: 0.0,
+                    spill_in_rps: 0.0,
+                    spill_out_rps: spill_out,
+                    compliance: 1.0,
+                    local_p99_ms: 0.0,
+                    spilled_p99_ms: 0.0,
+                    displaced_segments: recovery[d].displaced,
+                    reconfigured_gpus: recovery[d].reconfigured,
+                    migrated_segments: recovery[d].migrated,
+                    replacement_nodes: recovery[d].replacements,
+                    nodes_in_service: 0,
+                    usd_per_hour: 0.0,
+                });
+                continue;
+            };
+
+            let report = self.serve_region(d, orchestrator, flows);
+            let spill_in = sum_rates(flows.iter().filter(|f| f.dst == d && f.src != d));
+            let routed_in = sum_rates(flows.iter().filter(|f| f.dst == d));
+            let local_p99 = report
+                .classes
+                .iter()
+                .filter(|c| c.network_ms == 0.0 && c.completed > 0)
+                .map(|c| c.latency.quantile_ms(0.99))
+                .fold(0.0, f64::max);
+            let spilled_p99 = report
+                .classes
+                .iter()
+                .filter(|c| c.network_ms > 0.0 && c.completed > 0)
+                .map(|c| c.latency.quantile_ms(0.99))
+                .fold(0.0, f64::max);
+            let region_offered: u64 = report.services.iter().map(|s| s.offered).sum();
+            let region_within: u64 = report.services.iter().map(|s| s.completed_within_slo).sum();
+            within += region_within as f64;
+            total_offered += region_offered as f64;
+
+            let packing = FleetPacking::derive_in_region(
+                orchestrator.deployment(),
+                orchestrator.placement(),
+                orchestrator.fleet(),
+                self.spec.regions[d].pricing_multiplier,
+            );
+            total_cost += packing.usd_per_hour;
+            regions.push(RegionOutcome {
+                region: d,
+                name: self.spec.regions[d].name.clone(),
+                active: true,
+                offered_rps: offered_rps[d],
+                routed_in_rps: routed_in,
+                spill_in_rps: spill_in,
+                spill_out_rps: spill_out,
+                compliance: report.overall_request_compliance_rate(),
+                local_p99_ms: local_p99,
+                spilled_p99_ms: spilled_p99,
+                displaced_segments: recovery[d].displaced,
+                reconfigured_gpus: recovery[d].reconfigured,
+                migrated_segments: recovery[d].migrated,
+                replacement_nodes: recovery[d].replacements,
+                nodes_in_service: packing.nodes.len(),
+                usd_per_hour: packing.usd_per_hour,
+            });
+        }
+
+        // Unrouted demand counts as violated at the window's scale.
+        let unrouted_requests = unrouted_rps * self.config.serving.duration_s;
+        let denominator = total_offered + unrouted_requests;
+        let global_compliance = if denominator <= 0.0 {
+            1.0
+        } else {
+            (within / denominator).min(1.0)
+        };
+
+        IntervalOutcome {
+            interval,
+            event,
+            forced_failovers,
+            regions,
+            global_compliance,
+            spilled_rps,
+            unrouted_rps,
+            usd_per_hour: total_cost,
+        }
+    }
+
+    /// Run the DES for one region: its deployment against the flows
+    /// routed into it, each flow an ingress class carrying its RTT.
+    fn serve_region(
+        &self,
+        d: usize,
+        orchestrator: &FleetOrchestrator,
+        flows: &[Flow],
+    ) -> ServingReport {
+        let specs = orchestrator.specs().to_vec();
+        let ingress: Vec<Vec<IngressClass>> = specs
+            .iter()
+            .map(|s| {
+                // Local class first, then inbound spill by source order.
+                let mut classes = vec![IngressClass::local(
+                    flows
+                        .iter()
+                        .filter(|f| f.dst == d && f.src == d && f.service == s.id)
+                        .map(|f| f.rate_rps)
+                        .sum(),
+                )];
+                for src in 0..self.regions.len() {
+                    if src == d {
+                        continue;
+                    }
+                    let rate: f64 = flows
+                        .iter()
+                        .filter(|f| f.dst == d && f.src == src && f.service == s.id)
+                        .map(|f| f.rate_rps)
+                        .sum();
+                    if rate > 0.0 {
+                        classes.push(IngressClass {
+                            rate_rps: rate,
+                            network_ms: self.spec.rtt.rtt_ms(src, d),
+                        });
+                    }
+                }
+                classes
+            })
+            .collect();
+        let serving = ServingConfig {
+            seed: self
+                .config
+                .seed
+                .wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..self.config.serving
+        };
+        simulate_with_ingress(
+            &parva_deploy::Deployment::Mig(orchestrator.deployment().clone()),
+            &specs,
+            &ingress,
+            &serving,
+        )
+    }
+
+    /// Measure the undisturbed interval 0 (all regions serving locally).
+    #[must_use]
+    pub fn baseline(&self) -> IntervalOutcome {
+        let offered = self.offered_at(0);
+        let flows = route_demand(
+            &offered,
+            &self.active_mask(),
+            &self.capacity_weights(),
+            &self.spec.rtt,
+        );
+        self.measure(
+            0,
+            RegionEvent::Quiet,
+            &flows,
+            &offered,
+            &vec![RecoveryRow::default(); self.regions.len()],
+            Vec::new(),
+        )
+    }
+}
+
+/// Run a full federation trace: bootstrap, baseline, then
+/// `config.intervals` events (the seeded stream plus the optional
+/// scripted drill) with geo-aware recovery after each.
+///
+/// Deterministic: the same `(book, services, spec, config)` always
+/// produces the identical [`FederationReport`].
+///
+/// # Errors
+/// Propagates bootstrap and failback failures ([`FederationError`]).
+pub fn run_federation(
+    book: &ProfileBook,
+    services: &[ServiceSpec],
+    spec: &FederationSpec,
+    config: &FederationConfig,
+) -> Result<FederationReport, FederationError> {
+    let mut federation = Federation::bootstrap(book, services, spec, config)?;
+    let mut rng = RngStream::new(config.seed, 0xFED);
+    let baseline = federation.baseline();
+
+    let mut intervals = Vec::with_capacity(config.intervals);
+    for interval in 1..=config.intervals {
+        let drill = config
+            .drill
+            .filter(|d| d.region < federation.region_count());
+        let event = match drill {
+            Some(d) if interval == d.evacuate_at && federation.is_active(d.region) => {
+                RegionEvent::Evacuation { region: d.region }
+            }
+            Some(d) if interval == d.failback_at && !federation.is_active(d.region) => {
+                RegionEvent::Failback { region: d.region }
+            }
+            _ => {
+                let states: Vec<Option<&parva_fleet::Fleet>> = (0..federation.region_count())
+                    .map(|r| {
+                        federation.regions[r]
+                            .orchestrator
+                            .as_ref()
+                            .map(FleetOrchestrator::fleet)
+                    })
+                    .collect();
+                // While the drill holds a region down, it must not fail
+                // back spontaneously.
+                let held = drill
+                    .filter(|d| !federation.is_active(d.region) && interval < d.failback_at)
+                    .map(|d| d.region);
+                next_region_event(&mut rng, &states, held)
+            }
+        };
+        intervals.push(federation.step(interval, event)?);
+    }
+
+    Ok(FederationReport {
+        seed: config.seed,
+        region_names: spec.regions.iter().map(|r| r.name.clone()).collect(),
+        baseline,
+        intervals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FederationSpec;
+
+    fn quick_config(seed: u64, intervals: usize) -> FederationConfig {
+        FederationConfig {
+            seed,
+            intervals,
+            serving: ServingConfig {
+                warmup_s: 0.3,
+                duration_s: 1.5,
+                drain_s: 0.7,
+                ..ServingConfig::default()
+            },
+            drill: Some(EvacuationDrill {
+                region: 0,
+                evacuate_at: intervals.div_ceil(3).max(1),
+                failback_at: (2 * intervals).div_ceil(3).max(2),
+            }),
+            ..FederationConfig::default()
+        }
+    }
+
+    #[test]
+    fn federation_run_is_deterministic() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let a = run_federation(&book, &services, &spec, &quick_config(7, 6)).unwrap();
+        let b = run_federation(&book, &services, &spec, &quick_config(7, 6)).unwrap();
+        assert_eq!(a, b, "identical seeds must give identical reports");
+        let c = run_federation(&book, &services, &spec, &quick_config(8, 6)).unwrap();
+        assert_ne!(a.intervals, c.intervals, "different seeds should diverge");
+    }
+
+    #[test]
+    fn evacuation_spills_with_rtt_and_fails_back() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let config = quick_config(11, 6);
+        let drill = config.drill.unwrap();
+        let report = run_federation(&book, &services, &spec, &config).unwrap();
+
+        let evac = &report.intervals[drill.evacuate_at - 1];
+        assert!(matches!(evac.event, RegionEvent::Evacuation { region } if region == drill.region));
+        // (a) the drained capacity was re-placed in surviving regions:
+        // the evacuated region drained segments, the survivors
+        // reconfigured, and global attainment held.
+        assert!(evac.regions[drill.region].displaced_segments > 0);
+        assert!(!evac.regions[drill.region].active);
+        let survivor_churn: usize = evac
+            .regions
+            .iter()
+            .filter(|r| r.region != drill.region)
+            .map(|r| r.reconfigured_gpus + r.migrated_segments + r.replacement_nodes)
+            .sum();
+        assert!(survivor_churn > 0, "survivors did not re-place anything");
+        assert!(evac.spilled_rps > 0.0, "no traffic spilled");
+        // (b) spilled p99 reflects the RTT matrix: at least the nearest
+        // RTT out of the evacuated region, and above the local p99.
+        let nearest = spec.rtt.nearest_rtt_ms(drill.region);
+        for r in evac.regions.iter().filter(|r| r.active) {
+            if r.spill_in_rps > 0.0 {
+                assert!(
+                    r.spilled_p99_ms >= nearest,
+                    "region {}: spilled p99 {:.0} below nearest RTT {nearest:.0}",
+                    r.name,
+                    r.spilled_p99_ms
+                );
+                assert!(r.spilled_p99_ms > r.local_p99_ms);
+            }
+        }
+        // While evacuated, the dark region bills nothing.
+        assert_eq!(evac.regions[drill.region].usd_per_hour, 0.0);
+
+        // The failback interval brings the region home.
+        let back = &report.intervals[drill.failback_at - 1];
+        assert!(matches!(back.event, RegionEvent::Failback { region } if region == drill.region));
+        assert!(back.regions[drill.region].active);
+        // And the final interval's attainment recovers to baseline level.
+        assert!(
+            report.recovered(),
+            "final compliance {:.4} vs baseline {:.4}\n{}",
+            report.final_compliance(),
+            report.baseline_compliance(),
+            report.render()
+        );
+    }
+
+    #[test]
+    fn regional_prices_honor_multipliers() {
+        let book = ProfileBook::builtin();
+        let mut spec = FederationSpec::three_region_demo();
+        // Make regions 1 and 2 identical except for the price index.
+        spec.regions[2].fleet = spec.regions[1].fleet.clone().in_region("ap-south");
+        spec.regions[2].demand_share = spec.regions[1].demand_share;
+        spec.regions[2].diurnal_phase_hours = spec.regions[1].diurnal_phase_hours;
+        let federation =
+            Federation::bootstrap(&book, &crate::demo_services(), &spec, &quick_config(3, 2))
+                .unwrap();
+        let baseline = federation.baseline();
+        let (r1, r2) = (&baseline.regions[1], &baseline.regions[2]);
+        assert_eq!(r1.nodes_in_service, r2.nodes_in_service);
+        let want = spec.regions[2].pricing_multiplier / spec.regions[1].pricing_multiplier;
+        assert!(
+            (r2.usd_per_hour / r1.usd_per_hour - want).abs() < 1e-9,
+            "{} vs {}",
+            r2.usd_per_hour,
+            r1.usd_per_hour
+        );
+    }
+
+    #[test]
+    fn demand_follows_the_sun_across_regions() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let federation =
+            Federation::bootstrap(&book, &crate::demo_services(), &spec, &quick_config(3, 2))
+                .unwrap();
+        // Sweep a day: each region's offered demand must peak at a
+        // different federation hour (phases 0 / 5 / 10.5 h).
+        let mut peak_hour = [0usize; 3];
+        let mut peak = [0.0f64; 3];
+        for interval in 0..8 {
+            let offered = federation.offered_at(interval);
+            for r in 0..3 {
+                let total: f64 = offered[r].iter().map(|d| d.rate_rps).sum();
+                if total > peak[r] {
+                    peak[r] = total;
+                    peak_hour[r] = interval;
+                }
+            }
+        }
+        assert!(peak_hour[1] != peak_hour[0] || peak_hour[2] != peak_hour[0]);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_not_panicked() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let bad_diurnal = FederationConfig {
+            diurnal_low: 0.0,
+            ..quick_config(1, 2)
+        };
+        let Err(err) = Federation::bootstrap(&book, &services, &spec, &bad_diurnal) else {
+            panic!("zero diurnal low must be rejected");
+        };
+        assert!(
+            matches!(&err, FederationError::Spec(m) if m.contains("diurnal")),
+            "{err}"
+        );
+        let bad_drill = FederationConfig {
+            drill: Some(EvacuationDrill {
+                region: 0,
+                evacuate_at: 4,
+                failback_at: 4,
+            }),
+            ..quick_config(1, 6)
+        };
+        let Err(err) = Federation::bootstrap(&book, &services, &spec, &bad_drill) else {
+            panic!("inverted drill must be rejected");
+        };
+        assert!(
+            matches!(&err, FederationError::Spec(m) if m.contains("failback")),
+            "{err}"
+        );
+        let bad_clock = FederationConfig {
+            hours_per_interval: f64::NAN,
+            ..quick_config(1, 2)
+        };
+        assert!(Federation::bootstrap(&book, &services, &spec, &bad_clock).is_err());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let book = ProfileBook::builtin();
+        let mut spec = FederationSpec::three_region_demo();
+        spec.regions[0].demand_share = -1.0;
+        assert!(matches!(
+            Federation::bootstrap(&book, &crate::demo_services(), &spec, &quick_config(1, 1)),
+            Err(FederationError::Spec(_))
+        ));
+    }
+}

@@ -1,0 +1,398 @@
+//! Geo-aware demand routing at the rate level.
+//!
+//! The per-request deficit router of `parva-serve` balances traffic
+//! *within* a region; this module decides how much of each region's
+//! offered demand is served *where*. The policy mirrors production
+//! geo-DNS / anycast steering:
+//!
+//! * a region with a live fleet serves its own demand locally (RTT 0);
+//! * demand from an evacuated or failed region spills to surviving
+//!   regions, weighted by their capacity and discounted by distance —
+//!   a destination twice as far (in RTT) receives proportionally less,
+//!   so most spilled traffic lands in the nearest healthy region;
+//! * spill is **SLO-feasibility-filtered** per service: a destination
+//!   whose RTT would eat more than [`SPILL_MAX_SLO_FRACTION`] of the
+//!   service's latency SLO gets no share (no point shipping 205 ms-SLO
+//!   traffic over a 210 ms ocean round-trip). When *no* destination is
+//!   feasible the filter relaxes to best-effort — degraded service beats
+//!   dropped service;
+//! * overload excess (a region that can no longer host its routed plan)
+//!   re-spills the same way, excluding the overloaded region.
+//!
+//! Every cross-region flow carries its RTT so the serving simulator can
+//! charge it against the SLO (see [`parva_serve::IngressClass`]).
+
+use crate::spec::RttMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Distance soft-decay constant: a destination `RTT_HALF_MS` away gets
+/// half the weight of an equally-sized co-located one.
+pub const RTT_HALF_MS: f64 = 100.0;
+
+/// Largest fraction of a service's SLO the spill RTT may consume before
+/// the destination is excluded (the rest is queueing + service budget).
+pub const SPILL_MAX_SLO_FRACTION: f64 = 0.75;
+
+/// One source region's demand for one service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Service id.
+    pub service: u32,
+    /// Offered rate, req/s.
+    pub rate_rps: f64,
+    /// The service's latency SLO, ms (bounds how far it may spill).
+    pub slo_ms: f64,
+}
+
+/// One routed traffic stream: demand of `service` originating in `src`,
+/// served by `dst`'s fleet, with the RTT it pays on the way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Region the demand originates in.
+    pub src: usize,
+    /// Region whose fleet serves it.
+    pub dst: usize,
+    /// Service id.
+    pub service: u32,
+    /// Routed rate, req/s.
+    pub rate_rps: f64,
+    /// Round-trip time charged to every request of this flow, ms.
+    pub rtt_ms: f64,
+}
+
+/// Geo weight of a destination: capacity over softened distance.
+fn geo_weight(capacity_weight: f64, rtt_ms: f64) -> f64 {
+    capacity_weight / (1.0 + rtt_ms / RTT_HALF_MS)
+}
+
+/// Split one source region's demand across destinations.
+fn route_source(
+    src: usize,
+    offered: &[Demand],
+    active: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+    out: &mut Vec<Flow>,
+) {
+    if active[src] {
+        for d in offered {
+            if d.rate_rps > 0.0 {
+                out.push(Flow {
+                    src,
+                    dst: src,
+                    service: d.service,
+                    rate_rps: d.rate_rps,
+                    rtt_ms: 0.0,
+                });
+            }
+        }
+        return;
+    }
+    let candidates: Vec<usize> = (0..active.len())
+        .filter(|&d| active[d] && capacity_weight[d] > 0.0)
+        .collect();
+    if candidates.is_empty() {
+        return; // nowhere to go: the caller accounts this as unrouted
+    }
+    for demand in offered {
+        if demand.rate_rps <= 0.0 {
+            continue;
+        }
+        // SLO-feasible destinations first; best-effort when none is.
+        let feasible: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&d| rtt.rtt_ms(src, d) <= demand.slo_ms * SPILL_MAX_SLO_FRACTION)
+            .collect();
+        let pool: &[usize] = if feasible.is_empty() {
+            &candidates
+        } else {
+            &feasible
+        };
+        let weights: Vec<(usize, f64)> = pool
+            .iter()
+            .map(|&d| (d, geo_weight(capacity_weight[d], rtt.rtt_ms(src, d))))
+            .collect();
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            continue;
+        }
+        for &(d, w) in &weights {
+            out.push(Flow {
+                src,
+                dst: d,
+                service: demand.service,
+                rate_rps: demand.rate_rps * w / total,
+                rtt_ms: rtt.rtt_ms(src, d),
+            });
+        }
+    }
+}
+
+/// Route every region's offered demand (`offered[r]` = region `r`'s
+/// per-service [`Demand`] rows) across the federation.
+///
+/// `active[r]` marks regions with a live fleet; `capacity_weight[r]` is a
+/// relative size proxy (e.g. alive GPU count). Demand of an inactive
+/// region that finds no active destination is silently dropped — the
+/// caller compares routed vs. offered totals to account it.
+#[must_use]
+pub fn route_demand(
+    offered: &[Vec<Demand>],
+    active: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+) -> Vec<Flow> {
+    let mut out = Vec::new();
+    for (src, o) in offered.iter().enumerate() {
+        route_source(src, o, active, capacity_weight, rtt, &mut out);
+    }
+    out
+}
+
+/// Route `demand` away from its true origin `src` across the regions
+/// marked active in `mask` (with `src` treated as unavailable even if
+/// the mask says otherwise). The per-service SLO filter and the RTT
+/// carried by each flow are evaluated from `src`'s own RTT row, so
+/// rerouted traffic is never undercharged for the distance its users
+/// actually pay.
+#[must_use]
+pub fn route_from(
+    src: usize,
+    demand: &[Demand],
+    mask: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+) -> Vec<Flow> {
+    let mut mask = mask.to_vec();
+    mask[src] = false;
+    let mut out = Vec::new();
+    route_source(src, demand, &mask, capacity_weight, rtt, &mut out);
+    out
+}
+
+/// Re-spill overload excess out of region `over`: the per-service excess
+/// demand is split across the *other* active regions by the same rules,
+/// sourced at `over` (its RTT row prices the detour). For excess whose
+/// true origin is a third region, use [`route_from`] with that origin
+/// instead, so the RTT charge follows the users rather than the
+/// overloaded middlebox.
+#[must_use]
+pub fn spill_excess(
+    over: usize,
+    excess: &[Demand],
+    active: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+) -> Vec<Flow> {
+    route_from(over, excess, active, capacity_weight, rtt)
+}
+
+/// Sum the flows routed into `dst`, per service id (ascending).
+#[must_use]
+pub fn inbound(flows: &[Flow], dst: usize) -> Vec<(u32, f64)> {
+    let mut per: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    for f in flows.iter().filter(|f| f.dst == dst) {
+        *per.entry(f.service).or_insert(0.0) += f.rate_rps;
+    }
+    per.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtt3() -> RttMatrix {
+        RttMatrix::from_upper(3, &[80.0, 210.0, 140.0])
+    }
+
+    fn demand(service: u32, rate_rps: f64, slo_ms: f64) -> Demand {
+        Demand {
+            service,
+            rate_rps,
+            slo_ms,
+        }
+    }
+
+    fn offered3() -> Vec<Vec<Demand>> {
+        vec![
+            vec![demand(0, 500.0, 400.0), demand(1, 300.0, 400.0)],
+            vec![demand(0, 300.0, 400.0), demand(1, 180.0, 400.0)],
+            vec![demand(0, 200.0, 400.0), demand(1, 120.0, 400.0)],
+        ]
+    }
+
+    #[test]
+    fn active_regions_serve_locally() {
+        let flows = route_demand(&offered3(), &[true; 3], &[32.0, 24.0, 24.0], &rtt3());
+        assert!(flows.iter().all(|f| f.src == f.dst && f.rtt_ms == 0.0));
+        let total: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        assert!((total - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evacuated_demand_spills_nearest_heavy() {
+        // Region 0 down; its demand splits over 1 (80 ms) and 2 (210 ms).
+        let flows = route_demand(
+            &offered3(),
+            &[false, true, true],
+            &[32.0, 24.0, 24.0],
+            &rtt3(),
+        );
+        let spilled: Vec<&Flow> = flows.iter().filter(|f| f.src == 0).collect();
+        assert!(spilled.iter().all(|f| f.dst != 0));
+        assert!(spilled.iter().all(|f| f.rtt_ms > 0.0));
+        // Conservation per service.
+        let s0: f64 = spilled
+            .iter()
+            .filter(|f| f.service == 0)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!((s0 - 500.0).abs() < 1e-9);
+        // Geo-awareness: equal capacity ⇒ the nearer region takes more.
+        let to_1: f64 = spilled
+            .iter()
+            .filter(|f| f.dst == 1)
+            .map(|f| f.rate_rps)
+            .sum();
+        let to_2: f64 = spilled
+            .iter()
+            .filter(|f| f.dst == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!(
+            to_1 > to_2,
+            "nearer region got {to_1:.0} vs farther {to_2:.0}"
+        );
+        // And the RTT carried matches the matrix.
+        for f in &spilled {
+            assert_eq!(f.rtt_ms, rtt3().rtt_ms(0, f.dst));
+        }
+    }
+
+    #[test]
+    fn slo_infeasible_destinations_get_nothing() {
+        // A 205 ms SLO cannot absorb a 210 ms RTT (nor 0.75·205 = 154):
+        // everything must go to the 80 ms region. The 400 ms SLO service
+        // may use both.
+        let offered = vec![
+            vec![demand(0, 400.0, 205.0), demand(1, 200.0, 400.0)],
+            vec![],
+            vec![],
+        ];
+        let flows = route_demand(&offered, &[false, true, true], &[10.0, 10.0, 10.0], &rtt3());
+        let tight_to_far: f64 = flows
+            .iter()
+            .filter(|f| f.service == 0 && f.dst == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert_eq!(tight_to_far, 0.0, "205 ms SLO crossed a 210 ms RTT");
+        let tight_near: f64 = flows
+            .iter()
+            .filter(|f| f.service == 0 && f.dst == 1)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!((tight_near - 400.0).abs() < 1e-9);
+        let loose_to_far: f64 = flows
+            .iter()
+            .filter(|f| f.service == 1 && f.dst == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!(loose_to_far > 0.0, "400 ms SLO may use the far region");
+    }
+
+    #[test]
+    fn no_feasible_destination_degrades_to_best_effort() {
+        // A 50 ms SLO fits nowhere; the demand must still be served (and
+        // will violate) rather than dropped.
+        let offered = vec![vec![demand(0, 100.0, 50.0)], vec![], vec![]];
+        let flows = route_demand(&offered, &[false, true, true], &[10.0, 10.0, 10.0], &rtt3());
+        let total: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spill_weights_follow_capacity() {
+        // Same distance, 3× capacity ⇒ 3× share.
+        let rtt = RttMatrix::from_upper(3, &[100.0, 100.0, 50.0]);
+        let offered = vec![vec![demand(0, 400.0, 1000.0)], vec![], vec![]];
+        let flows = route_demand(&offered, &[false, true, true], &[0.0, 30.0, 10.0], &rtt);
+        let to_1: f64 = flows
+            .iter()
+            .filter(|f| f.dst == 1)
+            .map(|f| f.rate_rps)
+            .sum();
+        let to_2: f64 = flows
+            .iter()
+            .filter(|f| f.dst == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!((to_1 / to_2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_active_region_drops_demand() {
+        let flows = route_demand(&offered3(), &[false; 3], &[1.0; 3], &rtt3());
+        assert!(flows.is_empty());
+    }
+
+    #[test]
+    fn route_from_prices_rtt_from_the_true_origin() {
+        // Traffic originating at region 0 is rerouted away from an
+        // overloaded region 1: the flows must carry region 0's RTTs (not
+        // region 1's) and respect region 0's SLO feasibility — a 205 ms
+        // SLO cannot land in region 2 (210 ms from its users) even though
+        // region 2 is only 140 ms from the overloaded middlebox.
+        let flows = route_from(
+            0,
+            &[demand(0, 100.0, 205.0), demand(1, 100.0, 400.0)],
+            &[true, false, true],
+            &[10.0, 10.0, 10.0],
+            &rtt3(),
+        );
+        for f in &flows {
+            assert_eq!(f.src, 0);
+            assert_ne!(f.dst, 0, "route_from must route away from src");
+            assert_eq!(f.rtt_ms, rtt3().rtt_ms(0, f.dst));
+        }
+        // The tight-SLO service found no feasible destination (region 1
+        // masked out, region 2 infeasible) and degraded to best-effort on
+        // region 2 — but still priced at its true 210 ms.
+        let tight: Vec<&Flow> = flows.iter().filter(|f| f.service == 0).collect();
+        assert!(tight.iter().all(|f| f.dst == 2 && f.rtt_ms == 210.0));
+    }
+
+    #[test]
+    fn excess_respill_excludes_the_overloaded_region() {
+        let flows = spill_excess(
+            1,
+            &[demand(0, 90.0, 1000.0)],
+            &[true, true, true],
+            &[32.0, 24.0, 24.0],
+            &rtt3(),
+        );
+        assert!(!flows.is_empty());
+        assert!(flows.iter().all(|f| f.dst != 1 && f.src == 1));
+        let total: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        assert!((total - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inbound_aggregates_per_service() {
+        let flows = route_demand(
+            &offered3(),
+            &[false, true, true],
+            &[32.0, 24.0, 24.0],
+            &rtt3(),
+        );
+        let into_1 = inbound(&flows, 1);
+        assert_eq!(into_1.len(), 2);
+        // Local 300 + a share of the 500 spilled.
+        assert!(into_1[0].1 > 300.0);
+        let all: f64 = (0..3)
+            .flat_map(|d| inbound(&flows, d))
+            .map(|(_, r)| r)
+            .sum();
+        assert!((all - 1600.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! The region topology: per-region fleets, price indices, demand shares,
+//! diurnal phases, and the symmetric inter-region RTT matrix.
+
+use parva_fleet::FleetSpec;
+use serde::{Deserialize, Serialize};
+
+/// One cloud region of the federation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region label, e.g. `"us-east"`.
+    pub name: String,
+    /// The fleet provisioned in this region (pools are tagged with the
+    /// region name on provisioning, see [`FleetSpec::in_region`]).
+    pub fleet: FleetSpec,
+    /// Regional price index applied on top of each node's pricing plan
+    /// (1.0 = reference region; see
+    /// [`parva_cluster::PricingPlan::node_usd_per_hour_in_region`]).
+    pub pricing_multiplier: f64,
+    /// Fraction of global demand originating in this region.
+    pub demand_share: f64,
+    /// Offset of the region's local day against the federation clock,
+    /// hours — demand follows the sun (see
+    /// [`parva_scenarios::diurnal_multiplier`]).
+    pub diurnal_phase_hours: f64,
+}
+
+/// Symmetric inter-region round-trip times, milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RttMatrix {
+    regions: usize,
+    /// Row-major full matrix (diagonal zero, symmetric).
+    ms: Vec<f64>,
+}
+
+impl RttMatrix {
+    /// Build from the strict upper triangle in `(0,1), (0,2), …, (1,2), …`
+    /// order — `n·(n−1)/2` entries for `n` regions.
+    ///
+    /// # Panics
+    /// Panics when the entry count does not match `n·(n−1)/2` or any RTT
+    /// is negative / non-finite.
+    #[must_use]
+    pub fn from_upper(regions: usize, upper: &[f64]) -> Self {
+        assert_eq!(
+            upper.len(),
+            regions * regions.saturating_sub(1) / 2,
+            "need n(n-1)/2 upper-triangle entries"
+        );
+        assert!(
+            upper.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "RTTs must be non-negative finite"
+        );
+        let mut ms = vec![0.0; regions * regions];
+        let mut k = 0;
+        for i in 0..regions {
+            for j in (i + 1)..regions {
+                ms[i * regions + j] = upper[k];
+                ms[j * regions + i] = upper[k];
+                k += 1;
+            }
+        }
+        Self { regions, ms }
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Round-trip time between regions `a` and `b`, ms (0 for `a == b`).
+    #[must_use]
+    pub fn rtt_ms(&self, a: usize, b: usize) -> f64 {
+        self.ms[a * self.regions + b]
+    }
+
+    /// The smallest non-zero RTT out of region `a` (∞ for a 1-region
+    /// matrix).
+    #[must_use]
+    pub fn nearest_rtt_ms(&self, a: usize) -> f64 {
+        (0..self.regions)
+            .filter(|&b| b != a)
+            .map(|b| self.rtt_ms(a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The full federation topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationSpec {
+    /// Regions in index order.
+    pub regions: Vec<RegionSpec>,
+    /// Inter-region RTTs; must cover `regions.len()` regions.
+    pub rtt: RttMatrix,
+}
+
+impl FederationSpec {
+    /// The demo federation: three regions following the sun with
+    /// representative price indices and RTTs (us-east ↔ eu-west ≈ 80 ms,
+    /// us-east ↔ ap-south ≈ 210 ms, eu-west ↔ ap-south ≈ 140 ms). Each
+    /// region runs the mixed heterogeneous fleet of
+    /// [`FleetSpec::mixed_demo`] sized by its demand share.
+    #[must_use]
+    pub fn three_region_demo() -> Self {
+        Self {
+            regions: vec![
+                RegionSpec {
+                    name: "us-east".into(),
+                    fleet: FleetSpec::mixed_demo(2).in_region("us-east"),
+                    pricing_multiplier: 1.0,
+                    demand_share: 0.5,
+                    diurnal_phase_hours: 0.0,
+                },
+                RegionSpec {
+                    name: "eu-west".into(),
+                    fleet: FleetSpec::mixed_demo(1).in_region("eu-west"),
+                    pricing_multiplier: 1.08,
+                    demand_share: 0.3,
+                    diurnal_phase_hours: 5.0,
+                },
+                RegionSpec {
+                    name: "ap-south".into(),
+                    fleet: FleetSpec::mixed_demo(1).in_region("ap-south"),
+                    pricing_multiplier: 1.15,
+                    demand_share: 0.2,
+                    diurnal_phase_hours: 10.5,
+                },
+            ],
+            rtt: RttMatrix::from_upper(3, &[80.0, 210.0, 140.0]),
+        }
+    }
+
+    /// Validate shape invariants: ≥ 1 region, RTT matrix of matching size,
+    /// positive demand shares and price indices.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.regions.is_empty() {
+            return Err("federation needs at least one region".into());
+        }
+        if self.rtt.regions() != self.regions.len() {
+            return Err(format!(
+                "RTT matrix covers {} regions, federation has {}",
+                self.rtt.regions(),
+                self.regions.len()
+            ));
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if !(r.demand_share > 0.0 && r.demand_share.is_finite()) {
+                return Err(format!(
+                    "region {i} ({}) needs a positive demand share",
+                    r.name
+                ));
+            }
+            if !(r.pricing_multiplier > 0.0 && r.pricing_multiplier.is_finite()) {
+                return Err(format!(
+                    "region {i} ({}) needs a positive price index",
+                    r.name
+                ));
+            }
+            if r.fleet.pools.is_empty() {
+                return Err(format!("region {i} ({}) has an empty fleet", r.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_matrix_is_symmetric_with_zero_diagonal() {
+        let m = RttMatrix::from_upper(3, &[80.0, 210.0, 140.0]);
+        for a in 0..3 {
+            assert_eq!(m.rtt_ms(a, a), 0.0);
+            for b in 0..3 {
+                assert_eq!(m.rtt_ms(a, b), m.rtt_ms(b, a));
+            }
+        }
+        assert_eq!(m.rtt_ms(0, 1), 80.0);
+        assert_eq!(m.rtt_ms(1, 2), 140.0);
+        assert_eq!(m.nearest_rtt_ms(2), 140.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper-triangle")]
+    fn wrong_entry_count_rejected() {
+        let _ = RttMatrix::from_upper(3, &[80.0]);
+    }
+
+    #[test]
+    fn demo_spec_validates() {
+        let spec = FederationSpec::three_region_demo();
+        spec.validate().unwrap();
+        let shares: f64 = spec.regions.iter().map(|r| r.demand_share).sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+        // Every pool is tagged with its region.
+        for r in &spec.regions {
+            for p in &r.fleet.pools {
+                assert_eq!(p.region.as_deref(), Some(r.name.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut spec = FederationSpec::three_region_demo();
+        spec.regions[1].demand_share = 0.0;
+        assert!(spec.validate().unwrap_err().contains("demand share"));
+        let mut spec = FederationSpec::three_region_demo();
+        spec.regions.pop();
+        assert!(spec.validate().unwrap_err().contains("RTT matrix"));
+    }
+}

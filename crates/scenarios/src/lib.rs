@@ -198,6 +198,30 @@ impl std::fmt::Display for Scenario {
     }
 }
 
+/// Phase-offset diurnal demand multiplier — how a region's offered load
+/// follows the sun.
+///
+/// `hour_utc` is the global wall clock; `phase_hours` shifts a region's
+/// local day against it (a region at UTC+6 peaks six hours before the
+/// reference region). The multiplier swings sinusoidally between `low`
+/// (local 3 a.m. trough) and `high` (local 3 p.m. peak), matching the
+/// single-region [`RateTrace::diurnal`] shape of `parva-autoscale`.
+///
+/// # Panics
+/// Panics unless `0 < low <= high`.
+#[must_use]
+pub fn diurnal_multiplier(hour_utc: f64, low: f64, high: f64, phase_hours: f64) -> f64 {
+    assert!(
+        low > 0.0 && high >= low && low.is_finite() && high.is_finite(),
+        "need 0 < low <= high"
+    );
+    let local = (hour_utc + phase_hours).rem_euclid(24.0);
+    let mid = f64::midpoint(low, high);
+    let amp = (high - low) / 2.0;
+    // Trough at local hour 0 (≈ 3 a.m.), peak half a day later.
+    mid - amp * (2.0 * std::f64::consts::PI * local / 24.0).cos()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +332,36 @@ mod tests {
                 assert!(s.is_valid(), "{sc}: {s}");
             }
         }
+    }
+
+    #[test]
+    fn diurnal_multiplier_swings_between_bounds() {
+        for h in 0..48 {
+            let m = diurnal_multiplier(f64::from(h) * 0.5, 0.4, 1.2, 0.0);
+            assert!((0.4 - 1e-12..=1.2 + 1e-12).contains(&m), "{m}");
+        }
+        // Trough at phase-local hour 0, peak at hour 12.
+        assert!((diurnal_multiplier(0.0, 0.4, 1.2, 0.0) - 0.4).abs() < 1e-12);
+        assert!((diurnal_multiplier(12.0, 0.4, 1.2, 0.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_follows_the_sun() {
+        // A region 6 hours ahead peaks 6 hours earlier on the UTC clock.
+        let (low, high) = (0.5, 1.0);
+        assert!((diurnal_multiplier(6.0, low, high, 6.0) - high).abs() < 1e-12);
+        assert!((diurnal_multiplier(18.0, low, high, 6.0) - low).abs() < 1e-12);
+        // Offsetting the clock by the phase difference maps one region's
+        // curve onto the other's.
+        for h in 0..24 {
+            let a = diurnal_multiplier(f64::from(h), low, high, 9.5);
+            let b = diurnal_multiplier(f64::from(h) + 9.5, low, high, 0.0);
+            assert!((a - b).abs() < 1e-12, "hour {h}");
+        }
+        // Phase wraps modulo 24.
+        assert_eq!(
+            diurnal_multiplier(3.0, low, high, 25.0),
+            diurnal_multiplier(3.0, low, high, 1.0)
+        );
     }
 }

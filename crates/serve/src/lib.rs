@@ -28,6 +28,6 @@ pub mod report;
 pub mod router;
 pub mod sim;
 
-pub use report::{ServerActivity, ServiceReport, ServingReport};
+pub use report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 pub use router::Router;
-pub use sim::{simulate, ArrivalProcess, ServingConfig};
+pub use sim::{simulate, simulate_with_ingress, ArrivalProcess, IngressClass, ServingConfig};

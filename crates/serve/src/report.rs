@@ -49,6 +49,42 @@ impl ServiceReport {
     }
 }
 
+/// Per-ingress-class serving outcome (see
+/// [`crate::sim::simulate_with_ingress`]): one row per `(service, class)`.
+/// Latencies here *include* the class's network term, so a spilled class's
+/// histogram directly shows the RTT-shifted distribution its remote users
+/// experience.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Owning service id.
+    pub service_id: u32,
+    /// Class index within the service (0 = local by convention).
+    pub class: usize,
+    /// Network latency charged to every request of this class, ms.
+    pub network_ms: f64,
+    /// Offered requests during the measurement window.
+    pub offered: u64,
+    /// Requests completed during the window.
+    pub completed: u64,
+    /// Requests completed within the client SLO (network term included).
+    pub completed_within_slo: u64,
+    /// Per-request latency distribution including the network term (ms).
+    pub latency: LatencyHistogram,
+}
+
+impl ClassReport {
+    /// Request-level SLO compliance of this class: in-SLO completions over
+    /// offered requests (1.0 when nothing was offered).
+    #[must_use]
+    pub fn request_compliance_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            (self.completed_within_slo as f64 / self.offered as f64).min(1.0)
+        }
+    }
+}
+
 /// Per-server (segment or partition) activity for the slack metric.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ServerActivity {
@@ -69,6 +105,11 @@ pub struct ServingReport {
     pub services: Vec<ServiceReport>,
     /// Per-server activity (order follows the deployment's server list).
     pub servers: Vec<ServerActivity>,
+    /// Per-ingress-class outcomes, service-major then class order. Plain
+    /// [`crate::sim::simulate`] runs have exactly one (local) class per
+    /// service.
+    #[serde(default)]
+    pub classes: Vec<ClassReport>,
 }
 
 impl ServingReport {
@@ -112,6 +153,12 @@ impl ServingReport {
     pub fn service(&self, id: u32) -> Option<&ServiceReport> {
         self.services.iter().find(|s| s.service_id == id)
     }
+
+    /// The per-class rows of one service, class order.
+    #[must_use]
+    pub fn classes_of(&self, id: u32) -> Vec<&ClassReport> {
+        self.classes.iter().filter(|c| c.service_id == id).collect()
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +190,7 @@ mod tests {
             duration_s: 10.0,
             services: vec![svc(0, 100, 0), svc(1, 300, 30)],
             servers: vec![],
+            classes: vec![],
         };
         // 30 violations / 400 batches.
         assert!((report.overall_compliance_rate() - 0.925).abs() < 1e-12);
@@ -165,6 +213,7 @@ mod tests {
                     activity: 0.5,
                 },
             ],
+            classes: vec![],
         };
         // 1 - (42 + 21)/84 = 0.25.
         assert!((report.internal_slack() - 0.25).abs() < 1e-12);
@@ -176,6 +225,7 @@ mod tests {
             duration_s: 1.0,
             services: vec![],
             servers: vec![],
+            classes: vec![],
         };
         assert_eq!(report.overall_compliance_rate(), 1.0);
         assert_eq!(report.internal_slack(), 0.0);

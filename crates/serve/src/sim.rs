@@ -1,12 +1,42 @@
 //! The serving simulation proper.
 
-use crate::report::{ServerActivity, ServiceReport, ServingReport};
+use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 use crate::router::Router;
 use parva_deploy::{Deployment, ServiceSpec};
 use parva_des::{EventQueue, LatencyHistogram, RngStream, SimTime};
 use parva_perf::interference::total_interference;
 use parva_perf::{ComputeShare, Model, PerfParams};
 use std::collections::VecDeque;
+
+/// One ingress class of a service's offered load.
+///
+/// A class is a sub-stream of a service's traffic that enters the cluster
+/// with a fixed network latency already spent — the multi-region serving
+/// model: class 0 is the region's local traffic (`network_ms == 0`), later
+/// classes are traffic spilled from remote regions, each charged the
+/// inter-region RTT. The network term rides through the DES request path:
+/// every completed request's measured latency is `queue + service +
+/// network_ms`, and the SLO check runs against that sum, so a spilled
+/// request has a tighter effective queueing budget than a local one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngressClass {
+    /// Offered rate of this class, req/s.
+    pub rate_rps: f64,
+    /// Network latency each request of this class has already paid before
+    /// reaching the cluster, ms (charged against the SLO).
+    pub network_ms: f64,
+}
+
+impl IngressClass {
+    /// A purely local class at `rate_rps` (no network term).
+    #[must_use]
+    pub fn local(rate_rps: f64) -> Self {
+        Self {
+            rate_rps,
+            network_ms: 0.0,
+        }
+    }
+}
 
 /// The request arrival process offered to each service.
 ///
@@ -92,7 +122,8 @@ struct Server {
     /// cycle — the standard batching-with-timeout of Clipper/GSLICE, which
     /// every scheduler in the paper's lineup assumes).
     batch_timeout: SimTime,
-    queue: VecDeque<SimTime>,
+    /// Waiting requests: `(arrival time, ingress class)`.
+    queue: VecDeque<(SimTime, u32)>,
     busy: u32,
     /// SM-occupancy microseconds accumulated inside the window.
     busy_comp_us: u64,
@@ -102,10 +133,11 @@ struct Server {
 enum Event {
     Arrival {
         service: usize,
+        class: usize,
     },
     Done {
         server: usize,
-        arrivals: Vec<SimTime>,
+        arrivals: Vec<(SimTime, u32)>,
         comp_us: u64,
     },
     /// Re-check `server`'s queue for an expired batch deadline.
@@ -227,13 +259,51 @@ fn batch_times(server: &Server, b_eff: u32, n_busy: u32) -> (SimTime, u64) {
 
 /// Run the serving simulation for `deployment` under `specs`' offered load.
 ///
-/// Fully deterministic for a given `config.seed`.
+/// Fully deterministic for a given `config.seed`. Each service is offered
+/// one purely local ingress class at its spec rate; use
+/// [`simulate_with_ingress`] for multi-class (cross-region) load.
 #[must_use]
 pub fn simulate(
     deployment: &Deployment,
     specs: &[ServiceSpec],
     config: &ServingConfig,
 ) -> ServingReport {
+    simulate_with_ingress(deployment, specs, &[], config)
+}
+
+/// Salt mixed into the arrival stream seed of ingress classes ≥ 1 so every
+/// class has an independent sample path. Class 0 uses the raw seed, which
+/// keeps single-class runs bit-identical to [`simulate`] from before
+/// ingress classes existed.
+fn class_seed(seed: u64, class: usize) -> u64 {
+    seed ^ (class as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+}
+
+/// Run the serving simulation with explicit per-service ingress classes.
+///
+/// `ingress[i]` lists the arrival classes of `specs[i]`; when `ingress` is
+/// empty (or shorter than `specs`) the missing services fall back to one
+/// local class at the spec's rate. A class's `network_ms` is added to every
+/// one of its requests' measured latency and charged against the service
+/// SLO — the RTT term of cross-region serving. Per-class outcomes land in
+/// [`ServingReport::classes`].
+///
+/// Fully deterministic for a given `config.seed`.
+#[must_use]
+pub fn simulate_with_ingress(
+    deployment: &Deployment,
+    specs: &[ServiceSpec],
+    ingress: &[Vec<IngressClass>],
+    config: &ServingConfig,
+) -> ServingReport {
+    let classes: Vec<Vec<IngressClass>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| match ingress.get(i) {
+            Some(c) if !c.is_empty() => c.clone(),
+            _ => vec![IngressClass::local(s.request_rate_rps)],
+        })
+        .collect();
     let mut servers = build_servers(deployment, specs);
     let weights = predicted_weights(deployment, specs);
     let mut routers: Vec<Option<Router>> = weights
@@ -252,9 +322,16 @@ pub fn simulate(
     let sim_end = SimTime::from_secs(config.warmup_s + config.duration_s + config.drain_s);
 
     let mut q: EventQueue<Event> = EventQueue::new();
-    let mut arrival_rng: Vec<RngStream> = specs
+    // One arrival stream per (service, class); class 0 reuses the exact
+    // pre-ingress stream derivation for backwards-identical sample paths.
+    let mut arrival_rng: Vec<Vec<RngStream>> = specs
         .iter()
-        .map(|s| RngStream::new(config.seed, u64::from(s.id)))
+        .zip(&classes)
+        .map(|(s, cls)| {
+            (0..cls.len())
+                .map(|c| RngStream::new(class_seed(config.seed, c), u64::from(s.id)))
+                .collect()
+        })
         .collect();
 
     // MMPP phase state per service (ignored by the other processes). Phase
@@ -267,17 +344,20 @@ pub fn simulate(
         .map(|s| RngStream::new(config.seed ^ 0x9E37_79B9, u64::from(s.id)))
         .collect();
 
-    // Draw the next interarrival gap for service `i` as of time `now`.
+    // Draw the next interarrival gap for class `c` of service `i` as of
+    // time `now`. The MMPP phase state is shared across a service's classes
+    // (one demand process, several ingress paths).
     let next_gap = |i: usize,
+                    c: usize,
                     now: SimTime,
-                    rng: &mut Vec<RngStream>,
+                    rng: &mut Vec<Vec<RngStream>>,
                     bursting: &mut Vec<bool>,
                     phase_until: &mut Vec<SimTime>,
                     phase_rng: &mut Vec<RngStream>|
      -> SimTime {
-        let rate = specs[i].request_rate_rps;
+        let rate = classes[i][c].rate_rps;
         match config.arrivals {
-            ArrivalProcess::Poisson => rng[i].exp_interarrival(rate),
+            ArrivalProcess::Poisson => rng[i][c].exp_interarrival(rate),
             ArrivalProcess::Deterministic => SimTime::from_secs(1.0 / rate),
             ArrivalProcess::Mmpp { mean_phase_s, .. } => {
                 while now >= phase_until[i] {
@@ -285,12 +365,12 @@ pub fn simulate(
                     phase_until[i] += phase_rng[i].exp_interarrival(1.0 / mean_phase_s.max(1e-6));
                 }
                 let phase_rate = config.arrivals.phase_rate(rate, bursting[i]);
-                rng[i].exp_interarrival(phase_rate)
+                rng[i][c].exp_interarrival(phase_rate)
             }
         }
     };
 
-    // Per-service accounting.
+    // Per-service accounting, plus per-(service, class) accounting.
     let mut offered = vec![0u64; specs.len()];
     let mut completed = vec![0u64; specs.len()];
     let mut batches = vec![0u64; specs.len()];
@@ -298,23 +378,44 @@ pub fn simulate(
     let mut within_slo = vec![0u64; specs.len()];
     let mut latency: Vec<LatencyHistogram> =
         (0..specs.len()).map(|_| LatencyHistogram::new()).collect();
+    let mut class_offered: Vec<Vec<u64>> = classes.iter().map(|c| vec![0; c.len()]).collect();
+    let mut class_completed: Vec<Vec<u64>> = classes.iter().map(|c| vec![0; c.len()]).collect();
+    let mut class_within: Vec<Vec<u64>> = classes.iter().map(|c| vec![0; c.len()]).collect();
+    let mut class_latency: Vec<Vec<LatencyHistogram>> = classes
+        .iter()
+        .map(|c| (0..c.len()).map(|_| LatencyHistogram::new()).collect())
+        .collect();
 
-    // Seed first arrivals.
-    for i in 0..specs.len() {
-        let t = next_gap(
-            i,
-            SimTime::ZERO,
-            &mut arrival_rng,
-            &mut bursting,
-            &mut phase_until,
-            &mut phase_rng,
-        );
-        q.schedule(t, Event::Arrival { service: i });
+    // Seed first arrivals (zero-rate classes never generate traffic).
+    // `next_gap` holds a shared borrow of `classes`, which coexists with
+    // this shared iteration.
+    for (i, cls) in classes.iter().enumerate() {
+        for (c, class) in cls.iter().enumerate() {
+            if class.rate_rps <= 0.0 {
+                continue;
+            }
+            let t = next_gap(
+                i,
+                c,
+                SimTime::ZERO,
+                &mut arrival_rng,
+                &mut bursting,
+                &mut phase_until,
+                &mut phase_rng,
+            );
+            q.schedule(
+                t,
+                Event::Arrival {
+                    service: i,
+                    class: c,
+                },
+            );
+        }
     }
 
     // Launch one batch of `size` on `server` (caller checked feasibility).
     fn launch(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize, size: u32) {
-        let arrivals: Vec<SimTime> = servers[server].queue.drain(..size as usize).collect();
+        let arrivals: Vec<(SimTime, u32)> = servers[server].queue.drain(..size as usize).collect();
         servers[server].busy += 1;
         let n_busy = servers[server].busy;
         let (cycle, comp_us) = batch_times(&servers[server], size, n_busy);
@@ -338,7 +439,7 @@ pub fn simulate(
             launch(q, servers, server, full);
         }
         if servers[server].busy < servers[server].procs && !servers[server].queue.is_empty() {
-            let head = *servers[server].queue.front().expect("non-empty");
+            let (head, _) = *servers[server].queue.front().expect("non-empty");
             let deadline = head + servers[server].batch_timeout;
             if q.now() >= deadline {
                 let size = servers[server].queue.len() as u32;
@@ -354,10 +455,11 @@ pub fn simulate(
             break;
         }
         match ev {
-            Event::Arrival { service } => {
+            Event::Arrival { service, class } => {
                 // Schedule the next arrival while load generation is on.
                 let next = t + next_gap(
                     service,
+                    class,
                     t,
                     &mut arrival_rng,
                     &mut bursting,
@@ -365,15 +467,16 @@ pub fn simulate(
                     &mut phase_rng,
                 );
                 if next < win_end {
-                    q.schedule(next, Event::Arrival { service });
+                    q.schedule(next, Event::Arrival { service, class });
                 }
                 if t >= win_start && t < win_end {
                     offered[service] += 1;
+                    class_offered[service][class] += 1;
                 }
                 if let Some(router) = routers[service].as_mut() {
                     let k = router.route();
                     let (sidx, _) = weights[service][k];
-                    servers[sidx].queue.push_back(t);
+                    servers[sidx].queue.push_back((t, class as u32));
                     try_start(&mut q, &mut servers, sidx);
                 }
             }
@@ -390,13 +493,19 @@ pub fn simulate(
                     batches[service] += 1;
                     let slo_ms = specs[service].slo.latency_ms;
                     let mut worst = 0.0f64;
-                    for a in &arrivals {
-                        let lat_ms = t.since(*a).as_ms();
+                    for &(a, class) in &arrivals {
+                        let c = class as usize;
+                        // The RTT term: network latency already spent by
+                        // this ingress class counts against the SLO.
+                        let lat_ms = t.since(a).as_ms() + classes[service][c].network_ms;
                         latency[service].record_ms(lat_ms);
+                        class_latency[service][c].record_ms(lat_ms);
                         worst = worst.max(lat_ms);
                         completed[service] += 1;
+                        class_completed[service][c] += 1;
                         if lat_ms <= slo_ms {
                             within_slo[service] += 1;
+                            class_within[service][c] += 1;
                         }
                     }
                     if worst > slo_ms {
@@ -423,6 +532,26 @@ pub fn simulate(
         })
         .collect();
 
+    let class_reports = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, spec)| {
+            classes[i]
+                .iter()
+                .enumerate()
+                .map(|(c, cls)| ClassReport {
+                    service_id: spec.id,
+                    class: c,
+                    network_ms: cls.network_ms,
+                    offered: class_offered[i][c],
+                    completed: class_completed[i][c],
+                    completed_within_slo: class_within[i][c],
+                    latency: class_latency[i][c].clone(),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
     ServingReport {
         duration_s: config.duration_s,
         services: specs
@@ -439,6 +568,7 @@ pub fn simulate(
             })
             .collect(),
         servers: server_reports,
+        classes: class_reports,
     }
 }
 
@@ -685,6 +815,123 @@ mod tests {
         assert!(total > 0);
         // And cannot beat perfect compliance.
         assert!(report.overall_compliance_rate() <= 1.0);
+    }
+
+    #[test]
+    fn explicit_local_class_matches_plain_simulate() {
+        // One local class per service at the spec rate is the defaulting
+        // rule; spelling it out must not change a single sample path.
+        let (d, specs) = parva_s2();
+        let ingress: Vec<Vec<IngressClass>> = specs
+            .iter()
+            .map(|s| vec![IngressClass::local(s.request_rate_rps)])
+            .collect();
+        let plain = simulate(&d, &specs, &quick_config());
+        let classed = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&classed).unwrap()
+        );
+        assert_eq!(plain.classes.len(), specs.len());
+        for c in &plain.classes {
+            assert_eq!(c.network_ms, 0.0);
+            assert_eq!(c.class, 0);
+        }
+    }
+
+    #[test]
+    fn class_totals_conserve_service_totals() {
+        let (d, specs) = parva_s2();
+        // Split every service 70/30 between a local and a remote class.
+        let ingress: Vec<Vec<IngressClass>> = specs
+            .iter()
+            .map(|s| {
+                vec![
+                    IngressClass::local(s.request_rate_rps * 0.7),
+                    IngressClass {
+                        rate_rps: s.request_rate_rps * 0.3,
+                        network_ms: 40.0,
+                    },
+                ]
+            })
+            .collect();
+        let report = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        for (spec, svc) in specs.iter().zip(&report.services) {
+            let classes = report.classes_of(spec.id);
+            assert_eq!(classes.len(), 2, "service {}", spec.id);
+            let offered: u64 = classes.iter().map(|c| c.offered).sum();
+            let completed: u64 = classes.iter().map(|c| c.completed).sum();
+            let within: u64 = classes.iter().map(|c| c.completed_within_slo).sum();
+            assert_eq!(offered, svc.offered);
+            assert_eq!(completed, svc.completed);
+            assert_eq!(within, svc.completed_within_slo);
+            // Both classes actually carried traffic.
+            assert!(classes.iter().all(|c| c.offered > 0));
+        }
+    }
+
+    #[test]
+    fn network_term_shifts_latency_and_costs_compliance() {
+        // A remote class whose RTT eats most of the SLO budget must show an
+        // RTT-shifted latency distribution and strictly worse compliance.
+        let (d, specs) = parva_s2();
+        let rtt = 150.0;
+        let ingress: Vec<Vec<IngressClass>> = specs
+            .iter()
+            .map(|s| {
+                vec![
+                    IngressClass::local(s.request_rate_rps * 0.8),
+                    IngressClass {
+                        rate_rps: s.request_rate_rps * 0.2,
+                        network_ms: rtt,
+                    },
+                ]
+            })
+            .collect();
+        let report = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        let mut remote_worse = 0usize;
+        for spec in &specs {
+            let classes = report.classes_of(spec.id);
+            let (local, remote) = (classes[0], classes[1]);
+            // The remote distribution sits at least one RTT up.
+            assert!(
+                remote.latency.quantile_ms(0.5) >= rtt,
+                "service {}: remote p50 {:.1} below the RTT floor",
+                spec.id,
+                remote.latency.quantile_ms(0.5)
+            );
+            assert!(remote.latency.quantile_ms(0.99) > local.latency.quantile_ms(0.99));
+            if remote.request_compliance_rate() < local.request_compliance_rate() {
+                remote_worse += 1;
+            }
+        }
+        // Services with SLOs near the RTT must lose compliance remotely
+        // (S2 has several sub-220 ms SLOs; 150 ms leaves them < 70 ms of
+        // queueing budget).
+        assert!(remote_worse >= 3, "only {remote_worse} services degraded");
+    }
+
+    #[test]
+    fn zero_rate_class_is_inert() {
+        let (d, specs) = parva_s2();
+        let ingress: Vec<Vec<IngressClass>> = specs
+            .iter()
+            .map(|s| {
+                vec![
+                    IngressClass::local(s.request_rate_rps),
+                    IngressClass {
+                        rate_rps: 0.0,
+                        network_ms: 500.0,
+                    },
+                ]
+            })
+            .collect();
+        let report = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        for spec in &specs {
+            let classes = report.classes_of(spec.id);
+            assert_eq!(classes[1].offered, 0);
+            assert_eq!(classes[1].completed, 0);
+        }
     }
 
     #[test]

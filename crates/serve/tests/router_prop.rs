@@ -1,0 +1,79 @@
+//! Property: the deficit-style weighted router is *prefix-fair*.
+//!
+//! For any rational weight vector, after any number of routed requests
+//! `t`, every backend's `sent()` count stays within one request of its
+//! ideal weighted share `w_i · t` — not just in the long-run average but
+//! over every prefix. This pins down the scheduling discipline itself
+//! (largest-outstanding-credit), and locks in the zero/negative-weight
+//! normalization semantics: degenerate weights get share 0, and an
+//! all-degenerate vector falls back to uniform.
+
+use parva_serve::Router;
+use proptest::prelude::*;
+
+/// Check the prefix-share bound for `steps` requests over integer weight
+/// numerators (rational weights `n_i / Σn`).
+fn assert_prefix_fair(numerators: &[u32], steps: usize) -> Result<(), TestCaseError> {
+    let total: u64 = numerators.iter().map(|&n| u64::from(n)).sum();
+    let mut router = Router::new(numerators.iter().map(|&n| f64::from(n)).collect());
+    for t in 1..=steps {
+        router.route();
+        for (i, &sent) in router.sent().iter().enumerate() {
+            let ideal = t as f64 * f64::from(numerators[i]) / total as f64;
+            prop_assert!(
+                (sent as f64 - ideal).abs() <= 1.0 + 1e-9,
+                "after {t} requests, backend {i} sent {sent} vs ideal {ideal:.3} \
+                 (weights {numerators:?})"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_backend_prefix_shares_stay_within_one_request(
+        numerators in prop::collection::vec(1u32..=24, 1..7),
+        steps in 1usize..300,
+    ) {
+        assert_prefix_fair(&numerators, steps)?;
+    }
+
+    #[test]
+    fn skewed_weights_also_prefix_fair(
+        big in 50u32..=400,
+        small in 1u32..=3,
+        steps in 1usize..500,
+    ) {
+        // Heavily skewed vectors are where naive round-robin drifts.
+        assert_prefix_fair(&[big, small, small], steps)?;
+    }
+
+    #[test]
+    fn zero_weight_backends_never_perturb_the_fair_ones(
+        numerators in prop::collection::vec(1u32..=9, 2..5),
+        zero_at in 0usize..5,
+        steps in 1usize..200,
+    ) {
+        // Insert a zero-weight (dead) backend anywhere: the live backends'
+        // prefix shares must be exactly as fair as without it, and the
+        // dead backend must receive (almost) nothing.
+        let at = zero_at % (numerators.len() + 1);
+        let mut weights: Vec<f64> = numerators.iter().map(|&n| f64::from(n)).collect();
+        weights.insert(at, 0.0);
+        let total: u64 = numerators.iter().map(|&n| u64::from(n)).sum();
+        let mut router = Router::new(weights);
+        for t in 1..=steps {
+            router.route();
+            prop_assert!(router.sent()[at] <= 1, "dead backend got traffic");
+            for (i, &n) in numerators.iter().enumerate() {
+                let idx = if i >= at { i + 1 } else { i };
+                let ideal = t as f64 * f64::from(n) / total as f64;
+                let sent = router.sent()[idx] as f64;
+                prop_assert!((sent - ideal).abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Multi-region federation demo: three regions follow the sun, one gets
+//! evacuated mid-run, its traffic fails over cross-region (RTT charged
+//! against the SLO), and the region later fails back.
+//!
+//! Run: `cargo run --release --example region_failover [seed]`
+//!
+//! The topology is the built-in three-region demo (us-east / eu-west /
+//! ap-south): per-region pricing indices, demand shares, sun-phase
+//! offsets and a symmetric RTT matrix (80 / 210 / 140 ms). The drill
+//! evacuates us-east — half the planet's demand — and the surviving
+//! regions re-place its services through the §III-F incremental path.
+
+use parvagpu::prelude::*;
+use parvagpu::region::EvacuationDrill;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let book = ProfileBook::builtin();
+    let services = parvagpu::region::demo_services();
+    let spec = FederationSpec::three_region_demo();
+
+    println!("federation topology:");
+    for (i, r) in spec.regions.iter().enumerate() {
+        println!(
+            "  {:<9} share {:>4.0}% | price x{:.2} | sun phase {:>4.1} h | {} GPUs",
+            r.name,
+            r.demand_share * 100.0,
+            r.pricing_multiplier,
+            r.diurnal_phase_hours,
+            r.fleet.total_gpus()
+        );
+        for (j, other) in spec.regions.iter().enumerate().skip(i + 1) {
+            println!(
+                "    rtt {} <-> {}: {:.0} ms",
+                r.name,
+                other.name,
+                spec.rtt.rtt_ms(i, j)
+            );
+        }
+    }
+    println!();
+
+    let config = FederationConfig {
+        seed,
+        intervals: 8,
+        drill: Some(EvacuationDrill {
+            region: 0,
+            evacuate_at: 3,
+            failback_at: 6,
+        }),
+        ..FederationConfig::default()
+    };
+    match run_federation(&book, &services, &spec, &config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            assert!(
+                report.recovered(),
+                "the final interval must return to baseline SLO attainment"
+            );
+        }
+        Err(e) => eprintln!("federation run aborted: {e}"),
+    }
+}

@@ -7,7 +7,8 @@
 //! parvactl cost <services.json> [--scheduler NAME]
 //! parvactl feasibility <model-name>
 //! parvactl scenarios
-//! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N]
+//! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json]
+//! parvactl region [services.json] [--seed N] [--intervals N] [--json]
 //! ```
 //!
 //! `services.json` is a JSON array of `{"model", "rate_rps", "slo_ms"}`
@@ -22,7 +23,8 @@ fn usage() -> ! {
          parvactl compare <services.json>\n  \
          parvactl cost <services.json> [--scheduler NAME]\n  \
          parvactl feasibility <model-name>\n  parvactl scenarios\n  \
-         parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N]\n\n\
+         parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json]\n  \
+         parvactl region [services.json] [--seed N] [--intervals N] [--json]\n\n\
          schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
          paris-elsa, mig-serving"
     );
@@ -97,7 +99,31 @@ fn main() {
             let nodes = flag(&args, "--nodes")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(2);
-            cli::run_fleet(json.as_deref(), seed, intervals, nodes)
+            cli::run_fleet(
+                json.as_deref(),
+                seed,
+                intervals,
+                nodes,
+                args.iter().any(|a| a == "--json"),
+            )
+        }
+        "region" => {
+            let json = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .map(|p| read_json(p));
+            let seed = flag(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            let intervals = flag(&args, "--intervals")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(8);
+            cli::run_region(
+                json.as_deref(),
+                seed,
+                intervals,
+                args.iter().any(|a| a == "--json"),
+            )
         }
         _ => usage(),
     };

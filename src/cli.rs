@@ -288,7 +288,8 @@ pub fn run_feasibility(model_name: &str) -> Result<String, String> {
 /// `parvactl fleet`: chaos-run a heterogeneous fleet (failures, spot
 /// preemptions, scale-ups, load shifts) and render the recovery report.
 ///
-/// `json` optionally overrides the built-in demo service set.
+/// `json` optionally overrides the built-in demo service set; `json_out`
+/// prints the full [`crate::fleet::FleetReport`] as JSON for scripting.
 ///
 /// # Errors
 /// Propagates parse, scheduling and fleet-exhaustion failures.
@@ -297,6 +298,7 @@ pub fn run_fleet(
     seed: u64,
     intervals: usize,
     base_nodes: usize,
+    json_out: bool,
 ) -> Result<String, String> {
     use crate::fleet::{run_chaos, FleetConfig, FleetSpec};
     let specs = match json {
@@ -316,7 +318,65 @@ pub fn run_fleet(
         &config,
     )
     .map_err(|e| e.to_string())?;
-    Ok(report.render())
+    if json_out {
+        serde_json::to_string(&report)
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string())
+    } else {
+        Ok(report.render())
+    }
+}
+
+/// `parvactl region`: run the three-region federation through a scripted
+/// region-evacuation + failback drill on top of the seeded chaos stream,
+/// and render the federation report.
+///
+/// `json` optionally overrides the built-in global demo service set;
+/// `json_out` prints the full [`crate::region::FederationReport`] as JSON
+/// for scripting.
+///
+/// # Errors
+/// Propagates parse, bootstrap and failback failures.
+pub fn run_region(
+    json: Option<&str>,
+    seed: u64,
+    intervals: usize,
+    json_out: bool,
+) -> Result<String, String> {
+    use crate::region::{run_federation, EvacuationDrill, FederationConfig, FederationSpec};
+    let services = match json {
+        Some(j) => parse_services(j)?,
+        None => crate::region::demo_services(),
+    };
+    let book = ProfileBook::builtin();
+    let intervals = intervals.max(1);
+    // The scripted drill needs one interval for the evacuation and a
+    // later one for the failback; shorter runs are pure seeded chaos.
+    let drill = (intervals >= 2).then(|| EvacuationDrill {
+        region: 0,
+        evacuate_at: intervals.div_ceil(3),
+        failback_at: (2 * intervals).div_ceil(3).max(intervals.div_ceil(3) + 1),
+    });
+    let config = FederationConfig {
+        seed,
+        intervals,
+        drill,
+        ..FederationConfig::default()
+    };
+    let report = run_federation(
+        &book,
+        &services,
+        &FederationSpec::three_region_demo(),
+        &config,
+    )
+    .map_err(|e| e.to_string())?;
+    if json_out {
+        serde_json::to_string(&report)
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string())
+    } else {
+        Ok(report.render())
+    }
 }
 
 /// `parvactl scenarios`: render Table IV.
@@ -430,12 +490,39 @@ mod tests {
 
     #[test]
     fn fleet_chaos_renders_and_is_deterministic() {
-        let a = run_fleet(None, 7, 3, 2).unwrap();
-        let b = run_fleet(None, 7, 3, 2).unwrap();
+        let a = run_fleet(None, 7, 3, 2, false).unwrap();
+        let b = run_fleet(None, 7, 3, 2, false).unwrap();
         assert_eq!(a, b, "fleet chaos must be deterministic per seed");
         assert!(a.contains("chaos run"), "{a}");
         assert!(a.contains("all events recovered"), "{a}");
-        assert!(run_fleet(Some("not json"), 1, 1, 1).is_err());
+        assert!(run_fleet(Some("not json"), 1, 1, 1, false).is_err());
+    }
+
+    #[test]
+    fn fleet_json_output_round_trips() {
+        let out = run_fleet(None, 7, 3, 2, true).unwrap();
+        let report: crate::fleet::FleetReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.seed, 7);
+        assert_eq!(report.events.len(), 3);
+    }
+
+    #[test]
+    fn region_drill_renders_and_is_deterministic() {
+        let a = run_region(None, 5, 4, false).unwrap();
+        let b = run_region(None, 5, 4, false).unwrap();
+        assert_eq!(a, b, "federation runs must be deterministic per seed");
+        assert!(a.contains("federation run"), "{a}");
+        assert!(a.contains("EVACUATE"), "drill must evacuate a region:\n{a}");
+        assert!(run_region(Some("not json"), 1, 3, false).is_err());
+    }
+
+    #[test]
+    fn region_json_output_round_trips() {
+        let out = run_region(None, 5, 4, true).unwrap();
+        let report: crate::region::FederationReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.seed, 5);
+        assert_eq!(report.intervals.len(), 4);
+        assert_eq!(report.region_names.len(), 3);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`cluster`] — p4de.24xlarge node packing and cost accounting
 //! * [`fleet`] — heterogeneous multi-node fleet orchestration: failures,
 //!   spot preemption, live migration, event-driven recovery
+//! * [`region`] — multi-region fleet federation: geo-aware routing with
+//!   RTT charged against the SLO, region evacuation, cross-region
+//!   failover, per-region pricing
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use parva_mig as mig;
 pub use parva_nvml as nvml;
 pub use parva_perf as perf;
 pub use parva_profile as profile;
+pub use parva_region as region;
 pub use parva_scenarios as scenarios;
 pub use parva_serve as serve;
 
@@ -66,6 +70,9 @@ pub mod prelude {
     pub use parva_mig::{GpuModel, GpuState, InstanceProfile};
     pub use parva_perf::Model;
     pub use parva_profile::ProfileBook;
+    pub use parva_region::{run_federation, FederationConfig, FederationReport, FederationSpec};
     pub use parva_scenarios::Scenario;
-    pub use parva_serve::{simulate, ArrivalProcess, ServingConfig, ServingReport};
+    pub use parva_serve::{
+        simulate, simulate_with_ingress, ArrivalProcess, IngressClass, ServingConfig, ServingReport,
+    };
 }

@@ -1,0 +1,282 @@
+//! Minimal offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! exactly the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `sample_size`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a plain wall-clock measurement
+//! loop (one warm-up call, then `sample_size` timed iterations; min /
+//! mean / max reported). No statistics, outlier analysis or plotting.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — override every group's sample size (use
+//!   `CRITERION_SAMPLE_SIZE=1` for a smoke pass).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("pack", "8gpus")` → `pack/8gpus`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], mirroring criterion's blanket
+/// string support.
+pub trait IntoBenchmarkId {
+    /// The id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// The per-iteration timing context handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` once untimed (warm-up), then `sample_size` timed
+    /// iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn effective_sample_size(requested: usize) -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(requested)
+        .max(1)
+}
+
+fn run_one(group: &str, id: &BenchmarkId, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: effective_sample_size(sample_size),
+    };
+    f(&mut bencher);
+    let name = if group.is_empty() {
+        id.label.clone()
+    } else {
+        format!("{group}/{}", id.label)
+    };
+    if bencher.samples.is_empty() {
+        println!("{name:<52} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{name:<52} time: [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        bencher.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one("", &id.into_benchmark_id(), self.default_sample_size, |b| {
+            f(b)
+        });
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_benchmark_id(), self.sample_size, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Benchmark a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from bench functions, as criterion
+/// does. Only the simple `criterion_group!(name, target, …)` form is
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 4,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5, "one warm-up + four timed");
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", "x").label, "f/x");
+        assert_eq!(BenchmarkId::from_parameter(3).label, "3");
+        assert_eq!("plain".into_benchmark_id().label, "plain");
+    }
+
+    #[test]
+    fn groups_and_macros_compile_and_run() {
+        fn target(c: &mut Criterion) {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(2);
+            group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+                b.iter(|| black_box(n * n))
+            });
+            group.finish();
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}
