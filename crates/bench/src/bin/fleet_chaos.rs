@@ -18,7 +18,9 @@ fn main() {
     let spec = FleetSpec::mixed_demo(2);
 
     let mut csv = String::from(
-        "seed,events,migrations,reflashes,worst_dip_pct,worst_recovery_ms,final_usd_per_hour,recovered\n",
+        "seed,events,migrations,reflashes,worst_measured_dip_pct,worst_analytic_dip_pct,\
+         worst_sim_recovery_ms,worst_analytic_recovery_ms,precopied_gib,final_usd_per_hour,\
+         recovered\n",
     );
     println!("== fleet chaos: {seeds} seeds, mixed A100-80/A100-40/H100-spot fleet ==\n");
     for seed in 0..seeds as u64 {
@@ -34,19 +36,22 @@ fn main() {
                     .last()
                     .map_or(report.baseline_usd_per_hour, |e| e.usd_per_hour);
                 csv.push_str(&format!(
-                    "{seed},{},{},{},{:.3},{:.0},{:.2},{}\n",
+                    "{seed},{},{},{},{:.3},{:.3},{:.0},{:.0},{:.1},{:.2},{}\n",
                     report.events.len(),
                     report.total_migrations(),
                     report.total_reflashes(),
+                    report.worst_measured_dip() * 100.0,
                     report.worst_dip() * 100.0,
+                    report.worst_simulated_recovery_ms(),
                     report.worst_recovery_latency_ms(),
+                    report.total_precopied_gib(),
                     last_cost,
                     report.fully_recovered()
                 ));
                 println!("{}", report.render());
             }
             Err(e) => {
-                csv.push_str(&format!("{seed},0,0,0,0,0,0,error\n"));
+                csv.push_str(&format!("{seed},0,0,0,0,0,0,0,0,0,error\n"));
                 println!("seed {seed}: {e}\n");
             }
         }

@@ -26,7 +26,7 @@ fn main() {
 
     let mut csv = String::from(
         "seed,intervals,spill_rps_total,worst_spilled_p99_ms,worst_dip_pct,\
-         final_compliance_pct,final_usd_per_hour,recovered\n",
+         worst_recovery_ms,precopied_gib,final_compliance_pct,final_usd_per_hour,recovered\n",
     );
     println!("== region failover: {seeds} seeds, 3-region federation, evacuation drill ==\n");
     for seed in 0..seeds as u64 {
@@ -47,11 +47,13 @@ fn main() {
                     .last()
                     .map_or(report.baseline.usd_per_hour, |i| i.usd_per_hour);
                 csv.push_str(&format!(
-                    "{seed},{},{:.0},{:.0},{:.3},{:.3},{:.2},{}\n",
+                    "{seed},{},{:.0},{:.0},{:.3},{:.0},{:.1},{:.3},{:.2},{}\n",
                     report.intervals.len(),
                     report.total_spilled_rps(),
                     report.worst_spilled_p99_ms(),
                     report.worst_dip() * 100.0,
+                    report.worst_recovery_latency_ms(),
+                    report.total_precopied_gib(),
                     report.final_compliance() * 100.0,
                     final_cost,
                     report.recovered()
@@ -59,7 +61,7 @@ fn main() {
                 println!("{}", report.render());
             }
             Err(e) => {
-                csv.push_str(&format!("{seed},0,0,0,0,0,0,error\n"));
+                csv.push_str(&format!("{seed},0,0,0,0,0,0,0,0,error\n"));
                 println!("seed {seed}: {e}\n");
             }
         }

@@ -9,6 +9,8 @@
 //! * [`EventQueue`] — a binary-heap event queue with a monotone sequence
 //!   number as tie-breaker (FIFO among simultaneous events),
 //! * [`RngStream`] — independent seeded random streams (Poisson arrivals),
+//! * [`SerialResource`] — FIFO resource tokens for jobs contending for
+//!   shared hardware (NVML re-flash locks, per-node PCIe links),
 //! * [`stats`] — online statistics (Welford mean/variance, log-bucketed
 //!   latency histogram with percentile queries).
 //!
@@ -19,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod queue;
+pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
+pub use resource::SerialResource;
 pub use rng::RngStream;
 pub use stats::{LatencyHistogram, Welford};
 pub use time::SimTime;

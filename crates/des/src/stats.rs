@@ -92,12 +92,29 @@ impl LatencyHistogram {
         }
     }
 
+    // The raw `floor(log2(us) * 8)` index starts at 8 for the first
+    // representable value above 1 µs (integer µs skip the 1–2 µs octave's
+    // interior), which would leave buckets 1–7 permanently unreachable and
+    // collapse every sub-2 µs sample into bucket 0. Shifting the index down
+    // by 7 keeps the array contiguous: bucket 0 is `us <= 1`, bucket 1
+    // starts at 2 µs, and the top bucket still covers ~71 minutes.
+    const INDEX_SHIFT: usize = 7;
+
     fn bucket_of(us: u64) -> usize {
         if us <= 1 {
             return 0;
         }
-        let idx = ((us as f64).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
-        idx.min(BUCKETS - 1)
+        let raw = ((us as f64).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
+        (raw - Self::INDEX_SHIFT).min(BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `i`, microseconds.
+    fn bucket_upper_us(i: usize) -> f64 {
+        if i == 0 {
+            1.0
+        } else {
+            2f64.powf((i + Self::INDEX_SHIFT + 1) as f64 / BUCKETS_PER_OCTAVE)
+        }
     }
 
     /// Record a latency in microseconds.
@@ -140,7 +157,19 @@ impl LatencyHistogram {
         }
     }
 
-    /// Approximate `q`-quantile (0 < q ≤ 1) in ms, upper bucket edge.
+    /// Exact minimum in ms (0 when empty).
+    #[must_use]
+    pub fn min_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_us as f64 / 1000.0
+        }
+    }
+
+    /// Approximate `q`-quantile (0 < q ≤ 1) in ms: the upper edge of the
+    /// target bucket, clamped into the exact observed `[min, max]` range so
+    /// a quantile can never fall below the smallest recorded sample.
     #[must_use]
     pub fn quantile_ms(&self, q: f64) -> f64 {
         if self.count == 0 {
@@ -151,9 +180,10 @@ impl LatencyHistogram {
         for (i, c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                // Upper edge of bucket i.
-                let upper_us = 2f64.powf((i as f64 + 1.0) / BUCKETS_PER_OCTAVE);
-                return upper_us.min(self.max_us as f64) / 1000.0;
+                return Self::bucket_upper_us(i)
+                    .min(self.max_us as f64)
+                    .max(self.min_us as f64)
+                    / 1000.0;
             }
         }
         self.max_ms()
@@ -251,5 +281,70 @@ mod tests {
             assert!(b >= last, "{us}µs bucket {b} < {last}");
             last = b;
         }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_from_zero() {
+        // 2 µs must land in bucket 1 (adjacent to the ≤1 µs bucket), not
+        // jump to bucket 8 leaving 1–7 permanently empty.
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        // The old mapping jumped straight from bucket 0 to bucket 8;
+        // adjacent integer microsecond values now advance by at most the
+        // sub-octave resolution (no 7-bucket dead zone).
+        for us in 1..1_000u64 {
+            let step =
+                LatencyHistogram::bucket_of(us + 1).saturating_sub(LatencyHistogram::bucket_of(us));
+            assert!(step <= 4, "{us}→{} jumps {step} buckets", us + 1);
+        }
+        // And each bucket's samples sit below its upper edge.
+        for us in 1..10_000u64 {
+            let b = LatencyHistogram::bucket_of(us);
+            assert!(
+                (us as f64) <= LatencyHistogram::bucket_upper_us(b),
+                "{us}µs above bucket {b}'s upper edge"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_never_below_recorded_minimum() {
+        let mut h = LatencyHistogram::new();
+        h.record_ms(9.7);
+        h.record_ms(9.9);
+        h.record_ms(10.2);
+        assert!((h.min_ms() - 9.7).abs() < 1e-9);
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile_ms(q);
+            assert!(
+                v >= h.min_ms() && v <= h.max_ms(),
+                "q{q}: {v} outside [{}, {}]",
+                h.min_ms(),
+                h.max_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn sub_two_microsecond_samples_are_distinguished() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(1);
+        h.record_us(2);
+        h.record_us(3);
+        // 1 µs and 2 µs land in different buckets now.
+        assert_ne!(
+            LatencyHistogram::bucket_of(1),
+            LatencyHistogram::bucket_of(2)
+        );
+        assert_eq!(h.count(), 3);
+        assert!((h.min_ms() - 0.001).abs() < 1e-12);
+        // The p100 is clamped to the exact max.
+        assert!((h.quantile_ms(1.0) - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_min_is_zero() {
+        assert_eq!(LatencyHistogram::new().min_ms(), 0.0);
     }
 }

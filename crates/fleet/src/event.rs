@@ -13,9 +13,18 @@ pub enum FleetEvent {
         node: usize,
     },
     /// The provider reclaims one spot node (two-minute warning collapsed to
-    /// the interval boundary).
+    /// the interval boundary — the warning was *not* acted on).
     SpotPreemption {
         /// The preempted node id.
+        node: usize,
+    },
+    /// The provider announces it will reclaim one spot node (the
+    /// two-minute warning, honored): the control plane pre-copies weights
+    /// and pre-flashes target GPUs *before* the capacity dies, so only the
+    /// control-plane delay is paid live (paper §III-F shadows, applied
+    /// forward).
+    PreemptionWarning {
+        /// The warned (and then preempted) node id.
         node: usize,
     },
     /// A pending scale-up is granted: fresh nodes join the fleet.
@@ -40,6 +49,9 @@ impl std::fmt::Display for FleetEvent {
         match self {
             Self::NodeFailure { node } => write!(f, "node {node} failed"),
             Self::SpotPreemption { node } => write!(f, "spot node {node} preempted"),
+            Self::PreemptionWarning { node } => {
+                write!(f, "spot node {node} warned (2-min, pre-copy)")
+            }
             Self::ScaleUpGrant { pool, nodes } => {
                 write!(f, "scale-up: {nodes} node(s) from pool {pool}")
             }
@@ -68,8 +80,13 @@ pub fn next_event(rng: &mut RngStream, fleet: &Fleet) -> FleetEvent {
         if spot.is_empty() || fleet.alive_nodes().len() <= 1 {
             return FleetEvent::Quiet;
         }
-        FleetEvent::SpotPreemption {
-            node: spot[rng.index(spot.len())],
+        let node = spot[rng.index(spot.len())];
+        // Half the reclaims arrive with the two-minute warning intact
+        // (most real notices do); the rest hit cold.
+        if rng.uniform() < 0.5 {
+            FleetEvent::PreemptionWarning { node }
+        } else {
+            FleetEvent::SpotPreemption { node }
         }
     } else if roll < 0.75 {
         let pool = rng.index(fleet.pools().len());
@@ -110,11 +127,32 @@ mod tests {
         let mut rng = RngStream::new(3, 1);
         for _ in 0..200 {
             match next_event(&mut rng, &fleet) {
-                FleetEvent::SpotPreemption { .. } => panic!("no spot nodes left to preempt"),
+                FleetEvent::SpotPreemption { .. } | FleetEvent::PreemptionWarning { .. } => {
+                    panic!("no spot nodes left to preempt")
+                }
                 FleetEvent::NodeFailure { node } => assert!(fleet.node(node).alive),
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn spot_reclaims_split_between_warned_and_cold() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        let mut rng = RngStream::new(5, 2);
+        let (mut warned, mut cold) = (0usize, 0usize);
+        for _ in 0..400 {
+            match next_event(&mut rng, &fleet) {
+                FleetEvent::PreemptionWarning { node } => {
+                    assert!(fleet.node(node).preemptible);
+                    warned += 1;
+                }
+                FleetEvent::SpotPreemption { .. } => cold += 1,
+                _ => {}
+            }
+        }
+        assert!(warned > 0, "no warnings drawn in 400 events");
+        assert!(cold > 0, "no cold preemptions drawn in 400 events");
     }
 
     #[test]
@@ -128,7 +166,9 @@ mod tests {
         for _ in 0..200 {
             assert!(!matches!(
                 next_event(&mut rng, &fleet),
-                FleetEvent::NodeFailure { .. } | FleetEvent::SpotPreemption { .. }
+                FleetEvent::NodeFailure { .. }
+                    | FleetEvent::SpotPreemption { .. }
+                    | FleetEvent::PreemptionWarning { .. }
             ));
         }
     }

@@ -25,8 +25,14 @@
 //!   re-packs the surviving nodes, and serves the next interval in the DES
 //!   simulator to prove SLO compliance returned.
 //! * [`migration`] — the physical diff each recovery implies: moved
-//!   segments, GPU MIG re-flashes, stranded GPCs, and an analytic recovery
-//!   latency.
+//!   segments, GPU MIG re-flashes (serialized per node), stranded GPCs, an
+//!   analytic recovery latency, and the lowering of the plan into serving-
+//!   DES recovery ops ([`MigrationPlan::to_recovery_spec`]) so weight
+//!   copies and re-flashes compete with live traffic and the disruption
+//!   dip is *measured*, not assumed. Spot two-minute warnings
+//!   ([`FleetEvent::PreemptionWarning`]) pre-copy weights and pre-flash
+//!   targets before the capacity dies, shrinking the measured dip toward
+//!   the control-plane delay.
 //! * [`pack`] / [`report`] — node-granularity cost under mixed pricing and
 //!   the per-event [`FleetReport`].
 //!
@@ -55,7 +61,7 @@ pub use pack::{FleetPacking, NodeUsage};
 pub use placer::{
     place_on_fleet, place_sticky, translate_placement, FleetPlacement, PlacementError,
 };
-pub use report::{EventOutcome, FleetReport};
+pub use report::{EventOutcome, FleetReport, RECOVERY_TOLERANCE};
 
 /// The demo service mix used by the chaos surfaces (`parvactl fleet`, the
 /// `fleet_chaos` bench binary and example): four CNN services sized to fit

@@ -12,12 +12,15 @@ use crate::placer::FleetPlacement;
 use parva_deploy::MigDeployment;
 use parva_mig::Placement;
 use parva_perf::PerfParams;
+use parva_serve::{RecoveryOp, RecoverySpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Fixed cost of re-flashing one GPU's MIG layout (destroy + create
 /// instances via NVML), milliseconds. Re-flashes run in parallel across
-/// GPUs, so the plan charges it once if any GPU re-flashes.
+/// *nodes*, but NVML serializes re-flashes on the same node, so the
+/// analytic model charges the worst per-node re-flash count as one wave
+/// per queued GPU.
 pub const MIG_REFLASH_MS: f64 = 800.0;
 
 /// Host-to-device copy bandwidth for reloading model weights on the target
@@ -34,13 +37,23 @@ pub struct MigrationPlan {
     pub migrated_segments: usize,
     /// Physical GPUs whose MIG layout changed (need a re-flash).
     pub reflashed_gpus: usize,
+    /// Worst per-node re-flash count: NVML serializes re-flashes on one
+    /// node, so this many waves run back to back on the busiest node.
+    pub reflash_waves: usize,
     /// Model weights moved to new GPUs, GiB.
     pub weight_copy_gib: f64,
     /// Free GPCs stranded on in-service physical GPUs after recovery.
     pub stranded_gpcs: u32,
-    /// Analytic end-to-end recovery latency, ms: control plane + one
-    /// parallel re-flash wave + the largest per-GPU weight-copy batch.
+    /// Analytic end-to-end recovery latency, ms: control plane + the worst
+    /// per-node serialized re-flash queue + the largest per-GPU
+    /// weight-copy batch. The DES-simulated path
+    /// ([`MigrationPlan::to_recovery_spec`]) additionally charges PCIe
+    /// contention between copies landing on the same node.
     pub recovery_latency_ms: f64,
+    /// Per-GPU recovery work lowered for the serving DES (deterministic
+    /// slot order): hosting node, logical GPU of the recovered map,
+    /// re-flash flag and inbound weight GiB.
+    pub ops: Vec<RecoveryOp>,
 }
 
 /// One physical segment identity: where it runs and what it is.
@@ -112,19 +125,60 @@ impl MigrationPlan {
 
         let old_layouts = layouts(before.0, before.1);
         let new_layouts = layouts(after.0, after.1);
+        // Physical slot → logical GPU of the recovered map (placements are
+        // injective: each logical GPU owns one slot).
+        let logical_of: BTreeMap<GpuSlot, usize> =
+            after.1.slots.iter().map(|&(l, s)| (s, l)).collect();
         let mut reflashed = 0usize;
+        let mut reflashed_slots: Vec<GpuSlot> = Vec::new();
         for (slot, layout) in &new_layouts {
             if old_layouts.get(slot) != Some(layout) {
                 reflashed += 1;
+                reflashed_slots.push(*slot);
             }
         }
         // GPUs that went fully dark on *surviving* nodes also re-flash to
         // empty; dead nodes' GPUs do not — nobody is left to flash them.
+        let mut vacated_slots: Vec<GpuSlot> = Vec::new();
         for slot in old_layouts.keys() {
             if !new_layouts.contains_key(slot) && fleet.node(slot.node).alive {
                 reflashed += 1;
+                vacated_slots.push(*slot);
             }
         }
+
+        // Lower the physical work to per-GPU recovery ops, slot order.
+        let mut ops: Vec<RecoveryOp> = Vec::new();
+        let affected: std::collections::BTreeSet<GpuSlot> = reflashed_slots
+            .iter()
+            .chain(per_gpu_copy.keys())
+            .copied()
+            .collect();
+        for slot in affected {
+            ops.push(RecoveryOp {
+                node: slot.node,
+                logical_gpu: logical_of.get(&slot).copied(),
+                reflash: reflashed_slots.contains(&slot),
+                copy_gib: per_gpu_copy.get(&slot).copied().unwrap_or(0.0),
+                prepared: false,
+            });
+        }
+        for slot in vacated_slots {
+            ops.push(RecoveryOp {
+                node: slot.node,
+                logical_gpu: None,
+                reflash: true,
+                copy_gib: 0.0,
+                prepared: false,
+            });
+        }
+
+        // Worst per-node re-flash queue (NVML serializes within a node).
+        let mut per_node_reflash: BTreeMap<usize, usize> = BTreeMap::new();
+        for op in ops.iter().filter(|o| o.reflash) {
+            *per_node_reflash.entry(op.node).or_insert(0) += 1;
+        }
+        let reflash_waves = per_node_reflash.values().copied().max().unwrap_or(0);
 
         let stranded_gpcs: u32 = {
             let mut used: BTreeMap<GpuSlot, u32> = BTreeMap::new();
@@ -140,17 +194,79 @@ impl MigrationPlan {
 
         let worst_copy_s =
             per_gpu_copy.values().fold(0.0f64, |a, &b| a.max(b)) / WEIGHT_COPY_GIB_PER_S;
-        let recovery_latency_ms = CONTROL_PLANE_MS
-            + if reflashed > 0 { MIG_REFLASH_MS } else { 0.0 }
-            + worst_copy_s * 1_000.0;
+        let recovery_latency_ms =
+            CONTROL_PLANE_MS + reflash_waves as f64 * MIG_REFLASH_MS + worst_copy_s * 1_000.0;
 
         Self {
             migrated_segments: migrated,
             reflashed_gpus: reflashed,
+            reflash_waves,
             weight_copy_gib,
             stranded_gpcs,
             recovery_latency_ms,
+            ops,
         }
+    }
+
+    /// The provable lower bound on any recovery's end-to-end latency: the
+    /// control plane must react, and the slowest single GPU must finish
+    /// its own re-flash (if any) followed by its own inbound weight copy.
+    /// Per op those two serialize — the layout must exist before weights
+    /// load — but re-flashes and copies on *different* GPUs overlap, so
+    /// the bound maximizes over ops rather than summing the global worst
+    /// re-flash and worst copy (which the DES can legitimately beat by
+    /// overlapping them). The DES-simulated latency can only sit at or
+    /// above this (it additionally queues re-flashes and copies per node).
+    #[must_use]
+    pub fn analytic_lower_bound_ms(&self) -> f64 {
+        let worst_op_ms = self
+            .ops
+            .iter()
+            .map(|o| {
+                let reflash = if o.reflash { MIG_REFLASH_MS } else { 0.0 };
+                reflash + o.copy_gib / WEIGHT_COPY_GIB_PER_S * 1_000.0
+            })
+            .fold(0.0f64, f64::max);
+        CONTROL_PLANE_MS + worst_op_ms
+    }
+
+    /// The matching upper bound: every re-flash wave on the busiest node
+    /// plus *all* copies serialized behind each other on one link. The
+    /// DES schedule can never exceed it.
+    #[must_use]
+    pub fn analytic_upper_bound_ms(&self) -> f64 {
+        let total_copy_s: f64 =
+            self.ops.iter().map(|o| o.copy_gib).sum::<f64>() / WEIGHT_COPY_GIB_PER_S;
+        CONTROL_PLANE_MS + self.reflash_waves as f64 * MIG_REFLASH_MS + total_copy_s * 1_000.0
+    }
+
+    /// Lower the plan into a serving-DES recovery spec starting at
+    /// `start_ms` into the window. `prepared` marks every op pre-staged
+    /// (§III-F shadow pre-copy on a spot warning / evacuation notice):
+    /// only the control-plane delay remains to be paid live.
+    #[must_use]
+    pub fn to_recovery_spec(&self, start_ms: f64, prepared: bool) -> RecoverySpec {
+        let spec = recovery_spec_from_ops(self.ops.clone(), start_ms);
+        if prepared {
+            spec.prepared()
+        } else {
+            spec
+        }
+    }
+}
+
+/// Assemble a serving-DES recovery spec from already-lowered ops, wiring
+/// in the fleet's physical constants (control plane, re-flash cost, PCIe
+/// bandwidth). Shared by [`MigrationPlan::to_recovery_spec`] and callers
+/// that accumulate ops across several plans (the region federation).
+#[must_use]
+pub fn recovery_spec_from_ops(ops: Vec<RecoveryOp>, start_ms: f64) -> RecoverySpec {
+    RecoverySpec {
+        start_ms,
+        control_plane_ms: CONTROL_PLANE_MS,
+        reflash_ms: MIG_REFLASH_MS,
+        link_gib_per_s: WEIGHT_COPY_GIB_PER_S,
+        ops,
     }
 }
 

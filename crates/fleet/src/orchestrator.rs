@@ -33,7 +33,7 @@ use parva_core::{reconfigure, ParvaGpu, Service};
 use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
 use parva_des::RngStream;
 use parva_profile::ProfileBook;
-use parva_serve::{simulate, ServingConfig};
+use parva_serve::{simulate, simulate_with_recovery, ServingConfig};
 
 /// Default per-recovery replacement-node budget (see
 /// [`FleetConfig::max_replacements_per_event`]).
@@ -52,6 +52,12 @@ pub struct FleetConfig {
     /// this many replacement nodes per recovery (what a cloud control plane
     /// does when a node dies) before giving up. `0` disables replacement.
     pub max_replacements_per_event: usize,
+    /// Run each recovery through the serving DES (weight copies on
+    /// contended PCIe links, per-node serialized MIG re-flashes, control
+    /// plane) so the disruption dip and recovery latency are *measured*
+    /// against live traffic. `false` falls back to the analytic blackout
+    /// numbers only.
+    pub des_recovery: bool,
 }
 
 impl Default for FleetConfig {
@@ -66,6 +72,7 @@ impl Default for FleetConfig {
                 ..ServingConfig::default()
             },
             max_replacements_per_event: DEFAULT_MAX_REPLACEMENTS,
+            des_recovery: true,
         }
     }
 }
@@ -130,6 +137,7 @@ pub struct FleetOrchestrator {
     fleet: Fleet,
     placement: FleetPlacement,
     max_replacements_per_event: usize,
+    des_recovery: bool,
 }
 
 impl FleetOrchestrator {
@@ -162,6 +170,7 @@ impl FleetOrchestrator {
             fleet,
             placement,
             max_replacements_per_event: DEFAULT_MAX_REPLACEMENTS,
+            des_recovery: true,
         })
     }
 
@@ -170,6 +179,14 @@ impl FleetOrchestrator {
     #[must_use]
     pub fn with_max_replacements(mut self, max: usize) -> Self {
         self.max_replacements_per_event = max;
+        self
+    }
+
+    /// Enable/disable the DES-simulated recovery path (see
+    /// [`FleetConfig::des_recovery`]; enabled by default).
+    #[must_use]
+    pub fn with_des_recovery(mut self, on: bool) -> Self {
+        self.des_recovery = on;
         self
     }
 
@@ -402,7 +419,9 @@ impl FleetOrchestrator {
         let before_deployment = self.deployment.clone();
         let before_placement = self.placement.clone();
         let (displaced_segments, replacement_nodes) = match event {
-            FleetEvent::NodeFailure { node } | FleetEvent::SpotPreemption { node } => {
+            FleetEvent::NodeFailure { node }
+            | FleetEvent::SpotPreemption { node }
+            | FleetEvent::PreemptionWarning { node } => {
                 self.fleet.kill(*node);
                 let displaced_logical: Vec<usize> = self
                     .placement
@@ -473,7 +492,9 @@ impl FleetOrchestrator {
         let mut lost_gpus = 0usize;
         let mut replacement_nodes = 0usize;
         let (compliance_during, compliance_shadowed) = match &event {
-            FleetEvent::NodeFailure { node } | FleetEvent::SpotPreemption { node } => {
+            FleetEvent::NodeFailure { node }
+            | FleetEvent::SpotPreemption { node }
+            | FleetEvent::PreemptionWarning { node } => {
                 lost_gpus = usize::from(self.fleet.node(*node).node.gpus);
                 self.fleet.kill(*node);
                 // Logical GPUs anchored to the dead node are displaced.
@@ -527,8 +548,47 @@ impl FleetOrchestrator {
             (&self.deployment, &self.placement),
             &self.fleet,
         );
+
+        // The DES-measured disruption window: the recovered deployment
+        // serves live traffic while its migration rides the same event
+        // queue — affected servers dark from window start until their
+        // re-flash (serialized per node) and weight copy (queued on the
+        // node's PCIe link) complete. *Planned* work is bridged before it
+        // starts — an honored two-minute warning pre-copies and
+        // pre-flashes (provided the copy volume fits the warning's
+        // bandwidth budget), and a load-shift reconfiguration runs behind
+        // §III-F shadow processes — leaving only the control-plane delay;
+        // unannounced losses pay the full window.
+        let warning_covers = migration.weight_copy_gib
+            <= parva_scenarios::warning_precopy_budget_gib(crate::migration::WEIGHT_COPY_GIB_PER_S);
+        let prepared = matches!(event, FleetEvent::LoadShift { .. })
+            || (matches!(event, FleetEvent::PreemptionWarning { .. }) && warning_covers);
+        let (compliance_measured, simulated_recovery_ms, precopied_gib) =
+            if self.des_recovery && !migration.ops.is_empty() {
+                let spec = migration.to_recovery_spec(serving.warmup_s * 1_000.0, prepared);
+                let report = simulate_with_recovery(
+                    &Deployment::Mig(self.deployment.clone()),
+                    &self.specs,
+                    &[],
+                    Some(&spec),
+                    serving,
+                );
+                let rec = report.recovery.as_ref().expect("recovery was simulated");
+                (
+                    report.overall_request_compliance_rate(),
+                    rec.latency_ms,
+                    rec.precopied_gib,
+                )
+            } else {
+                (compliance_during, 0.0, 0.0)
+            };
+
         let packing = FleetPacking::derive(&self.deployment, &self.placement, &self.fleet);
-        let compliance_after = self.serve_interval(serving);
+        let after = simulate(
+            &Deployment::Mig(self.deployment.clone()),
+            &self.specs,
+            serving,
+        );
 
         Ok(EventOutcome {
             interval,
@@ -539,7 +599,11 @@ impl FleetOrchestrator {
             compliance_before,
             compliance_during,
             compliance_shadowed,
-            compliance_after,
+            compliance_measured,
+            compliance_after: after.overall_request_compliance_rate(),
+            compliance_after_batch: after.overall_compliance_rate(),
+            simulated_recovery_ms,
+            precopied_gib,
             nodes_in_service: packing.nodes.len(),
             usd_per_hour: packing.usd_per_hour,
             lost_gpus,
@@ -562,7 +626,8 @@ pub fn run_chaos(
     config: &FleetConfig,
 ) -> Result<FleetReport, FleetError> {
     let mut orchestrator = FleetOrchestrator::bootstrap(book, specs, fleet_spec)?
-        .with_max_replacements(config.max_replacements_per_event);
+        .with_max_replacements(config.max_replacements_per_event)
+        .with_des_recovery(config.des_recovery);
     let mut event_rng = RngStream::new(config.seed, 0xF1EE7);
     let serving = ServingConfig {
         seed: config.seed,
@@ -609,6 +674,7 @@ mod tests {
                 ..ServingConfig::default()
             },
             max_replacements_per_event: 4,
+            des_recovery: true,
         }
     }
 
@@ -681,6 +747,114 @@ mod tests {
             );
         }
         assert!(orchestrator.deployment().validate());
+    }
+
+    #[test]
+    fn warned_preemption_shrinks_the_measured_dip() {
+        use crate::migration::CONTROL_PLANE_MS;
+        let book = ProfileBook::builtin();
+        let serving = quick_config(5, 1).serving;
+        let mut cold =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2)).unwrap();
+        let victim = cold.placement().slot_of(0).unwrap().node;
+        let cold_out = cold
+            .handle_event(1, FleetEvent::SpotPreemption { node: victim }, &serving)
+            .unwrap();
+        let mut warm =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2)).unwrap();
+        let warm_out = warm
+            .handle_event(1, FleetEvent::PreemptionWarning { node: victim }, &serving)
+            .unwrap();
+        // Identical failure, identical recovery plan — but the warning
+        // pre-staged the weights and layouts, so only the control plane is
+        // paid live and the measured dip can only shrink.
+        assert!(cold_out.displaced_segments > 0);
+        assert_eq!(
+            warm_out.migration.migrated_segments,
+            cold_out.migration.migrated_segments
+        );
+        assert!(
+            cold_out.measured_dip() > 0.0,
+            "cold preemption must dip for the comparison to bite"
+        );
+        assert!(
+            warm_out.measured_dip() < cold_out.measured_dip(),
+            "pre-copy must strictly shrink the dip: warned {:.4} vs cold {:.4}",
+            warm_out.measured_dip(),
+            cold_out.measured_dip()
+        );
+        assert!((warm_out.simulated_recovery_ms - CONTROL_PLANE_MS).abs() < 1e-9);
+        assert!(warm_out.simulated_recovery_ms < cold_out.simulated_recovery_ms);
+        assert!(warm_out.precopied_gib > 0.0);
+        assert_eq!(cold_out.precopied_gib, 0.0);
+    }
+
+    #[test]
+    fn simulated_recovery_sits_inside_the_analytic_envelope() {
+        use crate::migration::{CONTROL_PLANE_MS, MIG_REFLASH_MS};
+        let book = ProfileBook::builtin();
+        let mut orchestrator =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2)).unwrap();
+        let serving = quick_config(5, 1).serving;
+        let victim = orchestrator.placement().slot_of(0).unwrap().node;
+        let outcome = orchestrator
+            .handle_event(1, FleetEvent::NodeFailure { node: victim }, &serving)
+            .unwrap();
+        let plan = &outcome.migration;
+        assert!(!plan.ops.is_empty());
+        // SimTime quantizes to whole microseconds per op, so the DES and
+        // the f64 analytic bounds can differ by sub-ms rounding.
+        let eps = 0.5;
+        // Lower bound: control + the slowest single GPU's own re-flash
+        // followed by its own copy (re-flashes and copies on different
+        // GPUs may overlap, so the global worsts don't sum).
+        assert!(
+            outcome.simulated_recovery_ms >= plan.analytic_lower_bound_ms() - eps,
+            "sim {:.1} below lower bound {:.1}",
+            outcome.simulated_recovery_ms,
+            plan.analytic_lower_bound_ms()
+        );
+        // Upper bound: busiest node fully serialized + all copies queued.
+        assert!(
+            outcome.simulated_recovery_ms <= plan.analytic_upper_bound_ms() + eps,
+            "sim {:.1} above upper bound {:.1}",
+            outcome.simulated_recovery_ms,
+            plan.analytic_upper_bound_ms()
+        );
+        // The serialized re-flash waves actually show up in the schedule.
+        assert!(
+            outcome.simulated_recovery_ms
+                >= CONTROL_PLANE_MS + plan.reflash_waves as f64 * MIG_REFLASH_MS - eps
+        );
+        // And the analytic estimate agrees with the DES within the copy
+        // contention it cannot see (the only term it models optimistically).
+        let tolerance = plan.weight_copy_gib / crate::migration::WEIGHT_COPY_GIB_PER_S * 1_000.0;
+        assert!(
+            (outcome.simulated_recovery_ms - plan.recovery_latency_ms).abs() <= tolerance + eps,
+            "sim {:.1} vs analytic {:.1} beyond copy tolerance {:.1}",
+            outcome.simulated_recovery_ms,
+            plan.recovery_latency_ms,
+            tolerance
+        );
+        // The measured window dipped but recovered within the interval.
+        assert!(outcome.measured_dip() > 0.0);
+        assert!(outcome.recovered());
+    }
+
+    #[test]
+    fn analytic_fallback_reports_blackout_dip() {
+        let book = ProfileBook::builtin();
+        let mut orchestrator =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2))
+                .unwrap()
+                .with_des_recovery(false);
+        let serving = quick_config(5, 1).serving;
+        let victim = orchestrator.placement().slot_of(0).unwrap().node;
+        let outcome = orchestrator
+            .handle_event(1, FleetEvent::NodeFailure { node: victim }, &serving)
+            .unwrap();
+        assert_eq!(outcome.compliance_measured, outcome.compliance_during);
+        assert_eq!(outcome.simulated_recovery_ms, 0.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn config(seed: u64) -> FleetConfig {
             ..ServingConfig::default()
         },
         max_replacements_per_event: 4,
+        des_recovery: true,
     }
 }
 
@@ -74,10 +75,14 @@ fn report_floats_are_finite_and_canonical() {
     for e in &report.events {
         assert!(e.compliance_before.is_finite());
         assert!(e.compliance_during.is_finite());
+        assert!(e.compliance_measured.is_finite());
         assert!(e.compliance_after.is_finite());
+        assert!(e.compliance_after_batch.is_finite());
         assert!(e.usd_per_hour.is_finite());
         assert!(e.migration.recovery_latency_ms.is_finite());
         assert!(e.migration.weight_copy_gib.is_finite());
+        assert!(e.simulated_recovery_ms.is_finite());
+        assert!(e.precopied_gib.is_finite());
     }
     let parsed: parva_fleet::FleetReport =
         serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();

@@ -28,7 +28,9 @@ use parva_des::RngStream;
 use parva_fleet::{FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
 use parva_profile::ProfileBook;
 use parva_scenarios::diurnal_multiplier;
-use parva_serve::{simulate_with_ingress, IngressClass, ServingConfig, ServingReport};
+use parva_serve::{
+    simulate_with_recovery, IngressClass, RecoveryOp, RecoverySpec, ServingConfig, ServingReport,
+};
 
 /// A scripted evacuation + failback exercise overlaid on the seeded
 /// chaos stream — the deterministic scenario behind `parvactl region`.
@@ -193,14 +195,42 @@ struct RecoveryRow {
     reconfigured: usize,
     migrated: usize,
     replacements: usize,
+    /// Recovery ops accumulated across the interval's retargets, lowered
+    /// for the serving DES. Ops from an earlier retarget reference the
+    /// deployment as it stood then; the darkening is by logical GPU, so a
+    /// later `compact()` can shift which servers a stale op hits — an
+    /// accepted approximation (the *amount* of dark capacity is right).
+    ops: Vec<RecoveryOp>,
 }
 
 impl RecoveryRow {
-    fn absorb(&mut self, o: &RecoveryOutcome) {
+    /// Fold one recovery outcome in. `prepared` marks its ops pre-staged:
+    /// *planned* reconfiguration (diurnal retargets, announced
+    /// evacuations) is bridged by §III-F shadow processes / cross-region
+    /// pre-copy and pays only the control-plane delay live; unannounced
+    /// capacity loss pays its full re-flash + weight-copy window.
+    fn absorb(&mut self, o: &RecoveryOutcome, prepared: bool) {
         self.displaced += o.displaced_segments;
         self.reconfigured += o.reconfigured_gpus;
         self.migrated += o.migration.migrated_segments;
         self.replacements += o.replacement_nodes;
+        self.ops
+            .extend(o.migration.ops.iter().cloned().map(|mut op| {
+                op.prepared = prepared;
+                op
+            }));
+    }
+
+    /// Lower the row into a DES recovery spec starting at the window
+    /// start; `None` when the interval required no physical work.
+    fn to_spec(&self, serving: &ServingConfig) -> Option<RecoverySpec> {
+        if self.ops.is_empty() {
+            return None;
+        }
+        Some(parva_fleet::migration::recovery_spec_from_ops(
+            self.ops.clone(),
+            serving.warmup_s * 1_000.0,
+        ))
     }
 }
 
@@ -332,6 +362,11 @@ impl Federation {
         match &event {
             RegionEvent::Evacuation { region } => {
                 if let Some(orchestrator) = self.regions[*region].orchestrator.as_mut() {
+                    // An evacuation is announced, not sprung: the notice
+                    // triggers cross-region weight pre-copy into the
+                    // regions the geo router will spill to, so the
+                    // survivors' retargets below absorb as *prepared* ops
+                    // and pay only the control-plane delay live.
                     recovery[*region].displaced = orchestrator.evacuate();
                     self.regions[*region].orchestrator = None;
                 }
@@ -360,8 +395,13 @@ impl Federation {
                         // interval's offered load and the retarget below.
                         self.regions[*region].demand_factor = *multiplier;
                     } else {
+                        // A two-minute warning pre-stages this region's
+                        // recovery (weights + layouts) before the node
+                        // dies; unannounced losses pay the full window.
+                        let warned =
+                            matches!(event, parva_fleet::FleetEvent::PreemptionWarning { .. });
                         match orchestrator.apply_capacity_event(interval, event) {
-                            Ok(outcome) => recovery[*region].absorb(&outcome),
+                            Ok(outcome) => recovery[*region].absorb(&outcome, warned),
                             Err(_) => {
                                 // The fleet can no longer host its plan:
                                 // cross-region failover.
@@ -392,6 +432,13 @@ impl Federation {
         //    §III-F incremental path; overloaded regions rebalance. A
         //    region retargeted during a peer's rebalance round is not
         //    retargeted again with identical targets.
+        //    Retarget migrations are *planned* work — diurnal drift, or an
+        //    announced evacuation whose notice pre-copied weights along
+        //    the router's spill weights — so their ops absorb as prepared
+        //    (§III-F shadows). The exception is an interval with a forced
+        //    failover: that collapse was unannounced, and the survivors'
+        //    re-placement pays its full re-flash + copy window.
+        let retarget_prepared = forced_failovers.is_empty();
         let mut retargeted = vec![false; self.regions.len()];
         for d in 0..self.regions.len() {
             if self.regions[d].orchestrator.is_none() || retargeted[d] {
@@ -407,7 +454,7 @@ impl Federation {
             };
             retargeted[d] = true;
             match result {
-                Ok(outcome) => recovery[d].absorb(&outcome),
+                Ok(outcome) => recovery[d].absorb(&outcome, retarget_prepared),
                 Err(_) => {
                     // The region keeps serving its previous plan; the
                     // excess re-spills to its peers (one rebalance round).
@@ -484,7 +531,7 @@ impl Federation {
                         let targets = self.targets_for(p, &flows);
                         let orchestrator = self.regions[p].orchestrator.as_mut().expect("active");
                         if let Ok(outcome) = orchestrator.retarget(interval, &targets) {
-                            recovery[p].absorb(&outcome);
+                            recovery[p].absorb(&outcome, retarget_prepared);
                         }
                         retargeted[p] = true;
                     }
@@ -569,13 +616,20 @@ impl Federation {
                     reconfigured_gpus: recovery[d].reconfigured,
                     migrated_segments: recovery[d].migrated,
                     replacement_nodes: recovery[d].replacements,
+                    recovery_latency_ms: 0.0,
+                    precopied_gib: 0.0,
                     nodes_in_service: 0,
                     usd_per_hour: 0.0,
                 });
                 continue;
             };
 
-            let report = self.serve_region(d, orchestrator, flows);
+            let rec_spec = recovery[d].to_spec(&self.config.serving);
+            let report = self.serve_region(d, orchestrator, flows, rec_spec.as_ref());
+            let (recovery_latency_ms, precopied_gib) = report
+                .recovery
+                .as_ref()
+                .map_or((0.0, 0.0), |r| (r.latency_ms, r.precopied_gib));
             let spill_in = sum_rates(flows.iter().filter(|f| f.dst == d && f.src != d));
             let routed_in = sum_rates(flows.iter().filter(|f| f.dst == d));
             let local_p99 = report
@@ -617,6 +671,8 @@ impl Federation {
                 reconfigured_gpus: recovery[d].reconfigured,
                 migrated_segments: recovery[d].migrated,
                 replacement_nodes: recovery[d].replacements,
+                recovery_latency_ms,
+                precopied_gib,
                 nodes_in_service: packing.nodes.len(),
                 usd_per_hour: packing.usd_per_hour,
             });
@@ -644,12 +700,14 @@ impl Federation {
     }
 
     /// Run the DES for one region: its deployment against the flows
-    /// routed into it, each flow an ingress class carrying its RTT.
+    /// routed into it, each flow an ingress class carrying its RTT, and
+    /// the interval's recovery work (if any) riding the same event queue.
     fn serve_region(
         &self,
         d: usize,
         orchestrator: &FleetOrchestrator,
         flows: &[Flow],
+        recovery: Option<&RecoverySpec>,
     ) -> ServingReport {
         let specs = orchestrator.specs().to_vec();
         let ingress: Vec<Vec<IngressClass>> = specs
@@ -689,10 +747,11 @@ impl Federation {
                 .wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             ..self.config.serving
         };
-        simulate_with_ingress(
+        simulate_with_recovery(
             &parva_deploy::Deployment::Mig(orchestrator.deployment().clone()),
             &specs,
             &ingress,
+            recovery,
             &serving,
         )
     }
@@ -866,6 +925,34 @@ mod tests {
             report.baseline_compliance(),
             report.render()
         );
+    }
+
+    #[test]
+    fn evacuation_notice_precopies_into_spill_targets() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let config = quick_config(11, 6);
+        let drill = config.drill.unwrap();
+        let report = run_federation(&book, &services, &spec, &config).unwrap();
+        let evac = &report.intervals[drill.evacuate_at - 1];
+        assert!(matches!(evac.event, RegionEvent::Evacuation { .. }));
+        // The notice pre-copied weights into at least one spill target,
+        // and every prepared survivor pays only the control-plane delay.
+        let movers: Vec<_> = evac
+            .regions
+            .iter()
+            .filter(|r| r.active && r.precopied_gib > 0.0)
+            .collect();
+        assert!(!movers.is_empty(), "no survivor absorbed prepared weights");
+        for r in movers {
+            assert!(
+                (r.recovery_latency_ms - parva_fleet::migration::CONTROL_PLANE_MS).abs() < 0.5,
+                "{}: prepared recovery took {:.0} ms",
+                r.name,
+                r.recovery_latency_ms
+            );
+        }
     }
 
     #[test]

@@ -222,6 +222,19 @@ pub fn diurnal_multiplier(hour_utc: f64, low: f64, high: f64, phase_hours: f64) 
     mid - amp * (2.0 * std::f64::consts::PI * local / 24.0).cos()
 }
 
+/// Cloud spot two-minute reclaim warning, seconds (AWS/GCP/Azure all give
+/// ~120 s of notice before pulling a spot instance).
+pub const SPOT_WARNING_S: f64 = 120.0;
+
+/// How many GiB of model weights a spot warning buys time to pre-copy at
+/// `link_gib_per_s` of host-to-device bandwidth. A recovery whose total
+/// copy volume exceeds this budget cannot be fully staged before the
+/// capacity dies and must pay its window live.
+#[must_use]
+pub fn warning_precopy_budget_gib(link_gib_per_s: f64) -> f64 {
+    SPOT_WARNING_S * link_gib_per_s.max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +356,13 @@ mod tests {
         // Trough at phase-local hour 0, peak at hour 12.
         assert!((diurnal_multiplier(0.0, 0.4, 1.2, 0.0) - 0.4).abs() < 1e-12);
         assert!((diurnal_multiplier(12.0, 0.4, 1.2, 0.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warning_budget_scales_with_bandwidth() {
+        assert!((warning_precopy_budget_gib(22.0) - 2_640.0).abs() < 1e-9);
+        assert_eq!(warning_precopy_budget_gib(0.0), 0.0);
+        assert_eq!(warning_precopy_budget_gib(-5.0), 0.0);
     }
 
     #[test]

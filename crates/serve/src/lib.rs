@@ -24,10 +24,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod recovery;
 pub mod report;
 pub mod router;
 pub mod sim;
 
+pub use recovery::{RecoveryOp, RecoverySimReport, RecoverySpec};
 pub use report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 pub use router::Router;
-pub use sim::{simulate, simulate_with_ingress, ArrivalProcess, IngressClass, ServingConfig};
+pub use sim::{
+    simulate, simulate_with_ingress, simulate_with_recovery, ArrivalProcess, IngressClass,
+    ServingConfig,
+};

@@ -1,5 +1,6 @@
 //! Serving measurement reports.
 
+use crate::recovery::RecoverySimReport;
 use parva_des::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +111,11 @@ pub struct ServingReport {
     /// service.
     #[serde(default)]
     pub classes: Vec<ClassReport>,
+    /// What the DES measured about recovery work riding this window
+    /// ([`crate::sim::simulate_with_recovery`]); `None` when no recovery
+    /// was simulated.
+    #[serde(default)]
+    pub recovery: Option<RecoverySimReport>,
 }
 
 impl ServingReport {
@@ -191,6 +197,7 @@ mod tests {
             services: vec![svc(0, 100, 0), svc(1, 300, 30)],
             servers: vec![],
             classes: vec![],
+            recovery: None,
         };
         // 30 violations / 400 batches.
         assert!((report.overall_compliance_rate() - 0.925).abs() < 1e-12);
@@ -214,6 +221,7 @@ mod tests {
                 },
             ],
             classes: vec![],
+            recovery: None,
         };
         // 1 - (42 + 21)/84 = 0.25.
         assert!((report.internal_slack() - 0.25).abs() < 1e-12);
@@ -226,6 +234,7 @@ mod tests {
             services: vec![],
             servers: vec![],
             classes: vec![],
+            recovery: None,
         };
         assert_eq!(report.overall_compliance_rate(), 1.0);
         assert_eq!(report.internal_slack(), 0.0);

@@ -1,12 +1,13 @@
 //! The serving simulation proper.
 
+use crate::recovery::{RecoverySimReport, RecoverySpec};
 use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 use crate::router::Router;
 use parva_deploy::{Deployment, ServiceSpec};
-use parva_des::{EventQueue, LatencyHistogram, RngStream, SimTime};
+use parva_des::{EventQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
 use parva_perf::interference::total_interference;
 use parva_perf::{ComputeShare, Model, PerfParams};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One ingress class of a service's offered load.
 ///
@@ -111,6 +112,9 @@ impl Default for ServingConfig {
 #[derive(Debug)]
 struct Server {
     service: usize,
+    /// Logical GPU hosting this server (MIG: the segment's GPU index; MPS:
+    /// the partition's GPU index) — the unit recovery events darken.
+    gpu: usize,
     model: Model,
     share: ComputeShare,
     batch: u32,
@@ -122,6 +126,14 @@ struct Server {
     /// cycle — the standard batching-with-timeout of Clipper/GSLICE, which
     /// every scheduler in the paper's lineup assumes).
     batch_timeout: SimTime,
+    /// Per-ingress-class deadlines: the class's network term is already
+    /// spent before arrival, so remote classes get the base timeout minus
+    /// their RTT (floored at zero) — holding a spilled request for queueing
+    /// budget it no longer has would blow its SLO for free.
+    class_timeouts: Vec<SimTime>,
+    /// True while the server's GPU has recovery work outstanding (re-flash
+    /// or weight copy): requests queue but no batch launches.
+    dark: bool,
     /// Waiting requests: `(arrival time, ingress class)`.
     queue: VecDeque<(SimTime, u32)>,
     busy: u32,
@@ -143,6 +155,13 @@ enum Event {
     /// Re-check `server`'s queue for an expired batch deadline.
     Deadline {
         server: usize,
+    },
+    /// The capacity loss hits: darken affected servers, start recovery.
+    RecoveryBegin,
+    /// Recovery op `op` is fully recovered (re-flash + weight copy done):
+    /// its servers light back up.
+    GpuRecovered {
+        op: usize,
     },
 }
 
@@ -170,12 +189,15 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
                 };
                 let mut server = Server {
                     service,
+                    gpu: ps.gpu,
                     model: ps.segment.model,
                     share: ComputeShare::Mig(ps.segment.triplet.instance),
                     batch: ps.segment.triplet.batch,
                     procs: ps.segment.triplet.procs,
                     interference: 0.0, // MIG isolates (paper §II-B)
                     batch_timeout: SimTime::ZERO,
+                    class_timeouts: Vec::new(),
+                    dark: false,
                     queue: VecDeque::new(),
                     busy: 0,
                     busy_comp_us: 0,
@@ -193,12 +215,15 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
                     let co = d.gpus[gi].co_residents(pi);
                     let mut server = Server {
                         service,
+                        gpu: gi,
                         model: p.model,
                         share: ComputeShare::Fraction(p.fraction),
                         batch: p.batch,
                         procs: p.procs.max(1),
                         interference: total_interference(p.model, &co),
                         batch_timeout: SimTime::ZERO,
+                        class_timeouts: Vec::new(),
+                        dark: false,
                         queue: VecDeque::new(),
                         busy: 0,
                         busy_comp_us: 0,
@@ -257,6 +282,47 @@ fn batch_times(server: &Server, b_eff: u32, n_busy: u32) -> (SimTime, u64) {
     )
 }
 
+/// Book the deterministic recovery timeline: per op, the instant the GPU
+/// is fully recovered. The control plane reacts first; re-flashes then
+/// serialize on each node's NVML lock in op order; weight copies become
+/// eligible when their GPU's re-flash completes (immediately for prepared
+/// / no-re-flash ops) and are granted FIFO by eligibility on the node's
+/// PCIe link.
+fn recovery_timeline(spec: &RecoverySpec, t0: SimTime) -> Vec<SimTime> {
+    let t_cp = t0 + SimTime::from_ms(spec.control_plane_ms);
+    let mut reflash_locks: BTreeMap<usize, SerialResource> = BTreeMap::new();
+    let mut ready: Vec<SimTime> = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        if !op.prepared && op.reflash {
+            let (_, done) = reflash_locks
+                .entry(op.node)
+                .or_default()
+                .acquire(t_cp, SimTime::from_ms(spec.reflash_ms));
+            ready.push(done);
+        } else {
+            ready.push(t_cp);
+        }
+    }
+    let mut requests: Vec<(usize, SimTime, usize)> = spec
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| !op.prepared && op.copy_gib > 0.0)
+        .map(|(i, op)| (op.node, ready[i], i))
+        .collect();
+    requests.sort_unstable_by_key(|&(node, eligible, i)| (node, eligible, i));
+    let mut links: BTreeMap<usize, SerialResource> = BTreeMap::new();
+    for (node, eligible, i) in requests {
+        let secs = spec.ops[i].copy_gib / spec.link_gib_per_s.max(1e-9);
+        let (_, done) = links
+            .entry(node)
+            .or_default()
+            .acquire(eligible, SimTime::from_secs(secs));
+        ready[i] = done;
+    }
+    ready
+}
+
 /// Run the serving simulation for `deployment` under `specs`' offered load.
 ///
 /// Fully deterministic for a given `config.seed`. Each service is offered
@@ -296,6 +362,32 @@ pub fn simulate_with_ingress(
     ingress: &[Vec<IngressClass>],
     config: &ServingConfig,
 ) -> ServingReport {
+    simulate_with_recovery(deployment, specs, ingress, None, config)
+}
+
+/// Run the serving simulation with recovery work riding the same event
+/// queue as the traffic.
+///
+/// `recovery` lowers a fleet migration into simulator events: at
+/// [`RecoverySpec::start_ms`] the affected servers go **dark** (requests
+/// keep arriving and queueing, batches stop launching), the control plane
+/// reacts, MIG re-flashes serialize per node, and weight copies queue FIFO
+/// on each node's PCIe link. Servers light back up as their GPU's op
+/// completes, so the disruption-window compliance dip and the end-to-end
+/// recovery latency are *measured* outcomes of the DES
+/// ([`ServingReport::recovery`]), not closed-form estimates. `None` (or an
+/// empty spec) is bit-identical to [`simulate_with_ingress`].
+///
+/// Fully deterministic for a given `config.seed`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn simulate_with_recovery(
+    deployment: &Deployment,
+    specs: &[ServiceSpec],
+    ingress: &[Vec<IngressClass>],
+    recovery: Option<&RecoverySpec>,
+    config: &ServingConfig,
+) -> ServingReport {
     let classes: Vec<Vec<IngressClass>> = specs
         .iter()
         .enumerate()
@@ -305,6 +397,21 @@ pub fn simulate_with_ingress(
         })
         .collect();
     let mut servers = build_servers(deployment, specs);
+    // A class's network term is queueing budget already spent before the
+    // request reached the cluster: its batching deadline shrinks by the
+    // RTT, floored at zero (class 0 keeps the base timeout bit-exactly).
+    for s in &mut servers {
+        s.class_timeouts = classes[s.service]
+            .iter()
+            .map(|c| {
+                SimTime(
+                    s.batch_timeout
+                        .micros()
+                        .saturating_sub(SimTime::from_ms(c.network_ms).micros()),
+                )
+            })
+            .collect();
+    }
     let weights = predicted_weights(deployment, specs);
     let mut routers: Vec<Option<Router>> = weights
         .iter()
@@ -413,6 +520,16 @@ pub fn simulate_with_ingress(
         }
     }
 
+    // Recovery riding the same queue: the capacity loss fires at
+    // `start_ms`; the op timeline (per-node serialized re-flashes, FIFO
+    // PCIe copies) is booked when it fires. `None`/empty specs schedule
+    // nothing, keeping the plain path bit-identical.
+    let rec_spec = recovery.filter(|r| !r.is_empty());
+    let mut rec_report: Option<RecoverySimReport> = None;
+    if let Some(spec) = rec_spec {
+        q.schedule(SimTime::from_ms(spec.start_ms), Event::RecoveryBegin);
+    }
+
     // Launch one batch of `size` on `server` (caller checked feasibility).
     fn launch(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize, size: u32) {
         let arrivals: Vec<(SimTime, u32)> = servers[server].queue.drain(..size as usize).collect();
@@ -431,7 +548,12 @@ pub fn simulate_with_ingress(
 
     // Adaptive batching: launch full batches eagerly; for a partial queue,
     // launch once the head request's deadline expires, else arm a deadline.
+    // Dark servers (recovery outstanding on their GPU) launch nothing —
+    // their queues drain when the GPU's recovery op completes.
     fn try_start(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize) {
+        if servers[server].dark {
+            return;
+        }
         while servers[server].busy < servers[server].procs
             && servers[server].queue.len() >= servers[server].batch as usize
         {
@@ -439,8 +561,13 @@ pub fn simulate_with_ingress(
             launch(q, servers, server, full);
         }
         if servers[server].busy < servers[server].procs && !servers[server].queue.is_empty() {
-            let (head, _) = *servers[server].queue.front().expect("non-empty");
-            let deadline = head + servers[server].batch_timeout;
+            let (head, class) = *servers[server].queue.front().expect("non-empty");
+            let timeout = servers[server]
+                .class_timeouts
+                .get(class as usize)
+                .copied()
+                .unwrap_or(servers[server].batch_timeout);
+            let deadline = head + timeout;
             if q.now() >= deadline {
                 let size = servers[server].queue.len() as u32;
                 launch(q, servers, server, size.min(servers[server].batch));
@@ -519,6 +646,45 @@ pub fn simulate_with_ingress(
                 // harmlessly: try_start re-evaluates the queue state.
                 try_start(&mut q, &mut servers, server);
             }
+            Event::RecoveryBegin => {
+                let spec = rec_spec.expect("recovery event without a spec");
+                let mut dark = 0usize;
+                for op in &spec.ops {
+                    let Some(g) = op.logical_gpu else { continue };
+                    for s in servers.iter_mut().filter(|s| s.gpu == g) {
+                        if !s.dark {
+                            s.dark = true;
+                            dark += 1;
+                        }
+                    }
+                }
+                let timeline = recovery_timeline(spec, t);
+                let mut last = t + SimTime::from_ms(spec.control_plane_ms);
+                for (i, ready) in timeline.iter().enumerate() {
+                    q.schedule(*ready, Event::GpuRecovered { op: i });
+                    last = last.max(*ready);
+                }
+                rec_report = Some(RecoverySimReport {
+                    started_ms: t.as_ms(),
+                    latency_ms: last.since(t).as_ms(),
+                    dark_servers: dark,
+                    reflashes_done: spec.ops.iter().filter(|o| o.reflash && !o.prepared).count(),
+                    copied_gib: spec.pending_copy_gib(),
+                    precopied_gib: spec.prepared_gib(),
+                });
+            }
+            Event::GpuRecovered { op } => {
+                let spec = rec_spec.expect("recovery event without a spec");
+                let Some(g) = spec.ops[op].logical_gpu else {
+                    continue;
+                };
+                for si in 0..servers.len() {
+                    if servers[si].gpu == g && servers[si].dark {
+                        servers[si].dark = false;
+                        try_start(&mut q, &mut servers, si);
+                    }
+                }
+            }
         }
     }
 
@@ -569,6 +735,7 @@ pub fn simulate_with_ingress(
             .collect(),
         servers: server_reports,
         classes: class_reports,
+        recovery: rec_report,
     }
 }
 
@@ -932,6 +1099,213 @@ mod tests {
             assert_eq!(classes[1].offered, 0);
             assert_eq!(classes[1].completed, 0);
         }
+    }
+
+    fn recovery_spec(ops: Vec<crate::recovery::RecoveryOp>) -> RecoverySpec {
+        RecoverySpec {
+            start_ms: 1_000.0, // the window start of quick_config()
+            control_plane_ms: 150.0,
+            reflash_ms: 800.0,
+            link_gib_per_s: 22.0,
+            ops,
+        }
+    }
+
+    fn op(
+        node: usize,
+        gpu: Option<usize>,
+        reflash: bool,
+        copy_gib: f64,
+    ) -> crate::recovery::RecoveryOp {
+        crate::recovery::RecoveryOp {
+            node,
+            logical_gpu: gpu,
+            reflash,
+            copy_gib,
+            prepared: false,
+        }
+    }
+
+    #[test]
+    fn empty_recovery_is_bit_identical_to_plain() {
+        let (d, specs) = parva_s2();
+        let plain = simulate(&d, &specs, &quick_config());
+        let empty = recovery_spec(vec![]);
+        let with = simulate_with_recovery(&d, &specs, &[], Some(&empty), &quick_config());
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&with).unwrap()
+        );
+        assert!(with.recovery.is_none());
+    }
+
+    #[test]
+    fn dark_window_dips_and_recovery_is_measured() {
+        let (d, specs) = parva_s2();
+        let control = simulate(&d, &specs, &quick_config());
+        // Knock out GPUs 0 and 1 at window start: re-flash plus a hefty
+        // weight copy each, both on the same node (serialized).
+        let spec = recovery_spec(vec![op(0, Some(0), true, 8.0), op(0, Some(1), true, 8.0)]);
+        let hit = simulate_with_recovery(&d, &specs, &[], Some(&spec), &quick_config());
+        let rec = hit.recovery.as_ref().expect("recovery simulated");
+        assert!(rec.dark_servers > 0, "ops must darken servers");
+        assert_eq!(rec.reflashes_done, 2);
+        // Same node: the two re-flashes serialize, then both copies queue
+        // on one PCIe link — the analytic floor is control + 1 re-flash +
+        // one copy; the measured latency must sit above it and below the
+        // fully-serialized ceiling.
+        let copy_ms = 8.0 / 22.0 * 1_000.0;
+        let floor = 150.0 + 800.0 + copy_ms;
+        let ceiling = 150.0 + 2.0 * 800.0 + 2.0 * copy_ms + 1.0;
+        assert!(
+            rec.latency_ms >= floor - 1e-6 && rec.latency_ms <= ceiling,
+            "latency {:.0} outside [{floor:.0}, {ceiling:.0}]",
+            rec.latency_ms
+        );
+        // And the dip is real: compliance over the window drops below the
+        // undisturbed run.
+        assert!(
+            hit.overall_request_compliance_rate() < control.overall_request_compliance_rate(),
+            "dark window did not dip: {:.4} vs {:.4}",
+            hit.overall_request_compliance_rate(),
+            control.overall_request_compliance_rate()
+        );
+    }
+
+    #[test]
+    fn reflashes_serialize_per_node_but_not_across_nodes() {
+        let same_node = recovery_spec(vec![
+            op(0, Some(0), true, 0.0),
+            op(0, Some(1), true, 0.0),
+            op(0, None, true, 0.0),
+        ]);
+        let spread = recovery_spec(vec![
+            op(0, Some(0), true, 0.0),
+            op(1, Some(1), true, 0.0),
+            op(2, None, true, 0.0),
+        ]);
+        let t0 = SimTime::from_ms(0.0);
+        let serial = recovery_timeline(&same_node, t0);
+        let parallel = recovery_timeline(&spread, t0);
+        assert_eq!(
+            serial.iter().max().copied().unwrap(),
+            SimTime::from_ms(150.0 + 3.0 * 800.0)
+        );
+        assert_eq!(
+            parallel.iter().max().copied().unwrap(),
+            SimTime::from_ms(150.0 + 800.0)
+        );
+    }
+
+    #[test]
+    fn copies_queue_fifo_on_the_node_link() {
+        // Two copies to one node: the second waits for the first.
+        let spec = recovery_spec(vec![
+            op(0, Some(0), false, 11.0),
+            op(0, Some(1), false, 11.0),
+        ]);
+        let ready = recovery_timeline(&spec, SimTime::ZERO);
+        let copy = SimTime::from_secs(11.0 / 22.0);
+        assert_eq!(ready[0], SimTime::from_ms(150.0) + copy);
+        assert_eq!(ready[1], SimTime::from_ms(150.0) + copy + copy);
+    }
+
+    #[test]
+    fn prepared_ops_cost_only_the_control_plane() {
+        let (d, specs) = parva_s2();
+        let spec = recovery_spec(vec![op(0, Some(0), true, 8.0), op(0, Some(1), true, 8.0)]);
+        let cold = simulate_with_recovery(&d, &specs, &[], Some(&spec), &quick_config());
+        let warm_spec = spec.clone().prepared();
+        let warm = simulate_with_recovery(&d, &specs, &[], Some(&warm_spec), &quick_config());
+        let (cold_rec, warm_rec) = (
+            cold.recovery.clone().unwrap(),
+            warm.recovery.clone().unwrap(),
+        );
+        assert!((warm_rec.latency_ms - 150.0).abs() < 1e-9);
+        assert!(warm_rec.latency_ms < cold_rec.latency_ms);
+        assert_eq!(warm_rec.reflashes_done, 0);
+        assert_eq!(warm_rec.copied_gib, 0.0);
+        assert!((warm_rec.precopied_gib - 16.0).abs() < 1e-9);
+        // Pre-copy strictly shrinks the measured dip.
+        assert!(
+            warm.overall_request_compliance_rate() >= cold.overall_request_compliance_rate(),
+            "prepared {:.4} vs cold {:.4}",
+            warm.overall_request_compliance_rate(),
+            cold.overall_request_compliance_rate()
+        );
+    }
+
+    #[test]
+    fn remote_class_deadline_subtracts_network_budget() {
+        // A low-rate service whose batches never fill is deadline-
+        // dominated: every request waits out the batching timeout. The old
+        // batcher held remote requests for the full SLO/2 queue budget
+        // although their RTT had already spent most of it; the fix launches
+        // them once their *residual* budget expires. Old behavior is
+        // exactly a zero-RTT class with the RTT added after the fact, so
+        // compare against that.
+        use parva_deploy::{MigDeployment, Segment};
+        use parva_mig::InstanceProfile;
+        use parva_profile::Triplet;
+        let triplet = Triplet::new(InstanceProfile::G2, 8, 1);
+        let point = parva_perf::math::evaluate(
+            parva_perf::Model::ResNet50,
+            parva_perf::ComputeShare::Mig(InstanceProfile::G2),
+            8,
+            1,
+        );
+        let mut mig = MigDeployment::new();
+        mig.place_first_fit(Segment {
+            service_id: 0,
+            model: parva_perf::Model::ResNet50,
+            triplet,
+            throughput_rps: point.throughput_rps,
+            latency_ms: point.latency_ms,
+        });
+        let d = Deployment::Mig(mig);
+        let specs = vec![ServiceSpec::new(
+            0,
+            parva_perf::Model::ResNet50,
+            20.0,
+            400.0,
+        )];
+        let rtt = 150.0;
+        let charged = vec![vec![
+            IngressClass::local(10.0),
+            IngressClass {
+                rate_rps: 10.0,
+                network_ms: rtt,
+            },
+        ]];
+        let uncharged = vec![vec![
+            IngressClass::local(10.0),
+            IngressClass {
+                rate_rps: 10.0,
+                network_ms: 0.0,
+            },
+        ]];
+        let new = simulate_with_ingress(&d, &specs, &charged, &quick_config());
+        let old = simulate_with_ingress(&d, &specs, &uncharged, &quick_config());
+        let remote_new = new.classes_of(0)[1].latency.quantile_ms(0.99);
+        let remote_old = old.classes_of(0)[1].latency.quantile_ms(0.99) + rtt;
+        assert!(
+            remote_new < remote_old - rtt * 0.2,
+            "remote p99 {remote_new:.0} not well below old behavior {remote_old:.0}"
+        );
+        // The mean is exact (no histogram bucketing): the residual-budget
+        // deadline must shave a solid slice of the RTT off every
+        // deadline-dominated remote request.
+        let mean_new = new.classes_of(0)[1].latency.mean_ms();
+        let mean_old = old.classes_of(0)[1].latency.mean_ms() + rtt;
+        assert!(
+            mean_new < mean_old - rtt * 0.2,
+            "remote mean {mean_new:.1} not well below old behavior {mean_old:.1}"
+        );
+        // And remote compliance benefits too.
+        assert!(
+            new.classes_of(0)[1].request_compliance_rate()
+                >= old.classes_of(0)[1].request_compliance_rate() - 1e-9
+        );
     }
 
     #[test]

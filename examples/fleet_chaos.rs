@@ -52,6 +52,20 @@ fn main() {
     match run_chaos(&profiles, &services, &fleet, &config) {
         Ok(report) => {
             print!("{}", report.render());
+            println!(
+                "\nmeasured vs analytic: worst dip {:.2}% (blackout estimate {:.2}%), \
+                 worst recovery {:.0} ms simulated ({:.0} ms analytic)",
+                report.worst_measured_dip() * 100.0,
+                report.worst_dip() * 100.0,
+                report.worst_simulated_recovery_ms(),
+                report.worst_recovery_latency_ms()
+            );
+            let precopied = report.total_precopied_gib();
+            if precopied > 0.0 {
+                println!(
+                    "predictive pre-copy staged {precopied:.1} GiB ahead of warned preemptions"
+                );
+            }
             assert!(
                 report.fully_recovered(),
                 "every event must recover to the pre-event compliance level"

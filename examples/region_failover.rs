@@ -56,6 +56,12 @@ fn main() {
     match run_federation(&book, &services, &spec, &config) {
         Ok(report) => {
             print!("{}", report.render());
+            println!(
+                "\nDES-measured recovery: worst {:.0} ms across regions, \
+                 {:.1} GiB pre-copied on evacuation notices / spot warnings",
+                report.worst_recovery_latency_ms(),
+                report.total_precopied_gib()
+            );
             assert!(
                 report.recovered(),
                 "the final interval must return to baseline SLO attainment"

@@ -7,9 +7,15 @@
 //! parvactl cost <services.json> [--scheduler NAME]
 //! parvactl feasibility <model-name>
 //! parvactl scenarios
-//! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json]
+//! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json] [--analytic-recovery]
 //! parvactl region [services.json] [--seed N] [--intervals N] [--json]
 //! ```
+//!
+//! `fleet` and `region` report DES-*measured* recovery by default: weight
+//! copies and MIG re-flashes ride the serving simulator's event queue, so
+//! disruption dips and recovery latencies are measured against live
+//! traffic. `--analytic-recovery` reverts `fleet` to the closed-form
+//! estimates.
 //!
 //! `services.json` is a JSON array of `{"model", "rate_rps", "slo_ms"}`
 //! objects; see `parvagpu::cli` for the full format.
@@ -23,7 +29,8 @@ fn usage() -> ! {
          parvactl compare <services.json>\n  \
          parvactl cost <services.json> [--scheduler NAME]\n  \
          parvactl feasibility <model-name>\n  parvactl scenarios\n  \
-         parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json]\n  \
+         parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json] \
+         [--analytic-recovery]\n  \
          parvactl region [services.json] [--seed N] [--intervals N] [--json]\n\n\
          schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
          paris-elsa, mig-serving"
@@ -105,6 +112,7 @@ fn main() {
                 intervals,
                 nodes,
                 args.iter().any(|a| a == "--json"),
+                args.iter().any(|a| a == "--analytic-recovery"),
             )
         }
         "region" => {

@@ -286,7 +286,11 @@ pub fn run_feasibility(model_name: &str) -> Result<String, String> {
 }
 
 /// `parvactl fleet`: chaos-run a heterogeneous fleet (failures, spot
-/// preemptions, scale-ups, load shifts) and render the recovery report.
+/// preemptions — warned and cold — scale-ups, load shifts) and render the
+/// recovery report. Recovery is DES-simulated by default (weight copies
+/// and MIG re-flashes riding the serving traffic, so dips and latencies
+/// are measured); `analytic_recovery` falls back to the closed-form
+/// blackout numbers only.
 ///
 /// `json` optionally overrides the built-in demo service set; `json_out`
 /// prints the full [`crate::fleet::FleetReport`] as JSON for scripting.
@@ -299,6 +303,7 @@ pub fn run_fleet(
     intervals: usize,
     base_nodes: usize,
     json_out: bool,
+    analytic_recovery: bool,
 ) -> Result<String, String> {
     use crate::fleet::{run_chaos, FleetConfig, FleetSpec};
     let specs = match json {
@@ -309,6 +314,7 @@ pub fn run_fleet(
     let config = FleetConfig {
         seed,
         intervals: intervals.max(1),
+        des_recovery: !analytic_recovery,
         ..FleetConfig::default()
     };
     let report = run_chaos(
@@ -490,20 +496,33 @@ mod tests {
 
     #[test]
     fn fleet_chaos_renders_and_is_deterministic() {
-        let a = run_fleet(None, 7, 3, 2, false).unwrap();
-        let b = run_fleet(None, 7, 3, 2, false).unwrap();
+        let a = run_fleet(None, 7, 3, 2, false, false).unwrap();
+        let b = run_fleet(None, 7, 3, 2, false, false).unwrap();
         assert_eq!(a, b, "fleet chaos must be deterministic per seed");
         assert!(a.contains("chaos run"), "{a}");
         assert!(a.contains("all events recovered"), "{a}");
-        assert!(run_fleet(Some("not json"), 1, 1, 1, false).is_err());
+        assert!(a.contains("worst measured dip"), "{a}");
+        assert!(run_fleet(Some("not json"), 1, 1, 1, false, false).is_err());
     }
 
     #[test]
     fn fleet_json_output_round_trips() {
-        let out = run_fleet(None, 7, 3, 2, true).unwrap();
+        let out = run_fleet(None, 7, 3, 2, true, false).unwrap();
         let report: crate::fleet::FleetReport = serde_json::from_str(&out).unwrap();
         assert_eq!(report.seed, 7);
         assert_eq!(report.events.len(), 3);
+    }
+
+    #[test]
+    fn fleet_analytic_fallback_runs() {
+        let out = run_fleet(None, 7, 3, 2, true, true).unwrap();
+        let report: crate::fleet::FleetReport = serde_json::from_str(&out).unwrap();
+        // With the DES path off, every measured window equals the
+        // analytic blackout window and no simulated latency is reported.
+        for e in &report.events {
+            assert_eq!(e.compliance_measured, e.compliance_during);
+            assert_eq!(e.simulated_recovery_ms, 0.0);
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod prelude {
     pub use parva_region::{run_federation, FederationConfig, FederationReport, FederationSpec};
     pub use parva_scenarios::Scenario;
     pub use parva_serve::{
-        simulate, simulate_with_ingress, ArrivalProcess, IngressClass, ServingConfig, ServingReport,
+        simulate, simulate_with_ingress, simulate_with_recovery, ArrivalProcess, IngressClass,
+        RecoverySpec, ServingConfig, ServingReport,
     };
 }
