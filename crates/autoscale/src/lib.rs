@@ -23,5 +23,8 @@ pub mod shadow;
 pub mod trace;
 
 pub use orchestrator::{run_traced, EpochReport, TraceReport};
-pub use shadow::{simulate_displacement_window, simulate_window, DisruptionReport};
+pub use shadow::{
+    displacement_window, simulate_displacement_window, simulate_window, DisplacementWindow,
+    DisruptionReport,
+};
 pub use trace::RateTrace;

@@ -73,37 +73,41 @@ pub fn simulate_window(
     simulate_displacement_window(before, &outcome.reconfigured_gpus, specs, config)
 }
 
-/// Simulate a disruption window in which the segments on `displaced_gpus`
-/// are offline, with and without shadow processes — the event-driven form
-/// of [`simulate_window`] used when capacity is lost to node failures or
-/// spot preemptions rather than to a planned reconfiguration. The GPU
-/// indices refer to `before`'s (logical) fleet order.
+/// The three deployments a displacement window compares, built but not yet
+/// simulated — callers that memoize serving runs (the fleet orchestrator's
+/// probe cache) construct the variants once and feed each through their
+/// own simulation path.
+#[derive(Debug, Clone)]
+pub struct DisplacementWindow {
+    /// Services with capacity on a displaced GPU, ascending, deduplicated.
+    pub affected_services: Vec<u32>,
+    /// The displaced deployment: every doomed segment removed, GPU indices
+    /// unchanged.
+    pub blackout: MigDeployment,
+    /// The blackout deployment plus shadow replicas on spare GPUs.
+    pub shadowed: MigDeployment,
+    /// Spare GPUs the shadow fleet occupied.
+    pub shadow_gpus: usize,
+}
+
+/// Build the blackout and shadowed variants for losing `displaced_gpus`
+/// out of `before` — pure construction, no simulation. The GPU indices
+/// refer to `before`'s (logical) fleet order.
 #[must_use]
-pub fn simulate_displacement_window(
-    before: &MigDeployment,
-    displaced_gpus: &[usize],
-    specs: &[ServiceSpec],
-    config: &ServingConfig,
-) -> DisruptionReport {
+pub fn displacement_window(before: &MigDeployment, displaced_gpus: &[usize]) -> DisplacementWindow {
     let doomed = doomed_segments(before, displaced_gpus);
     let mut affected: Vec<u32> = doomed.iter().map(|ps| ps.segment.service_id).collect();
     affected.sort_unstable();
     affected.dedup();
 
-    // (1) Control.
-    let control =
-        simulate(&Deployment::Mig(before.clone()), specs, config).overall_request_compliance_rate();
-
-    // (2) Blackout: the reconfiguring GPUs' segments are gone; GPU indices
+    // Blackout: the reconfiguring GPUs' segments are gone; GPU indices
     // must stay stable (no compact) so the untouched fleet is unchanged.
     let mut blackout = before.clone();
     for ps in &doomed {
         blackout.remove(ps.gpu, ps.placement);
     }
-    let blackout_compliance = simulate(&Deployment::Mig(blackout.clone()), specs, config)
-        .overall_request_compliance_rate();
 
-    // (3) Shadowed: replicate the dark segments on spare GPUs appended to
+    // Shadowed: replicate the dark segments on spare GPUs appended to
     // the fleet. The shadow first-fit scans the spare region only — reusing
     // the blackout holes would defeat the purpose (those slices are mid-
     // rebuild).
@@ -122,15 +126,41 @@ pub fn simulate_displacement_window(
             .expect("spare GPU hosts any profile");
     }
     let shadow_gpus = shadowed.gpu_count() - before.gpu_count();
-    let shadowed_compliance =
-        simulate(&Deployment::Mig(shadowed), specs, config).overall_request_compliance_rate();
+    DisplacementWindow {
+        affected_services: affected,
+        blackout,
+        shadowed,
+        shadow_gpus,
+    }
+}
+
+/// Simulate a disruption window in which the segments on `displaced_gpus`
+/// are offline, with and without shadow processes — the event-driven form
+/// of [`simulate_window`] used when capacity is lost to node failures or
+/// spot preemptions rather than to a planned reconfiguration. The GPU
+/// indices refer to `before`'s (logical) fleet order.
+#[must_use]
+pub fn simulate_displacement_window(
+    before: &MigDeployment,
+    displaced_gpus: &[usize],
+    specs: &[ServiceSpec],
+    config: &ServingConfig,
+) -> DisruptionReport {
+    let window = displacement_window(before, displaced_gpus);
+
+    let control =
+        simulate(&Deployment::Mig(before.clone()), specs, config).overall_request_compliance_rate();
+    let blackout_compliance = simulate(&Deployment::Mig(window.blackout), specs, config)
+        .overall_request_compliance_rate();
+    let shadowed_compliance = simulate(&Deployment::Mig(window.shadowed), specs, config)
+        .overall_request_compliance_rate();
 
     DisruptionReport {
-        affected_services: affected,
+        affected_services: window.affected_services,
         control_compliance: control,
         blackout_compliance,
         shadowed_compliance,
-        shadow_gpus,
+        shadow_gpus: window.shadow_gpus,
     }
 }
 

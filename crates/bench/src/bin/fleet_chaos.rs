@@ -3,6 +3,10 @@
 //! recovery latency and mixed-pricing cost — then write `fleet_chaos.csv`
 //! under `results/`.
 //!
+//! Every column except `sim_wall_ms` is deterministic per seed;
+//! `sim_wall_ms` is the measured wall-clock of the run on the current
+//! host (the DES perf trajectory also tracked by `perf_sweep`).
+//!
 //! Usage: `cargo run --release -p parva-bench --bin fleet_chaos [seeds]`
 
 use parva_bench::write_csv;
@@ -20,7 +24,7 @@ fn main() {
     let mut csv = String::from(
         "seed,events,migrations,reflashes,worst_measured_dip_pct,worst_analytic_dip_pct,\
          worst_sim_recovery_ms,worst_analytic_recovery_ms,precopied_gib,final_usd_per_hour,\
-         recovered\n",
+         recovered,sim_wall_ms\n",
     );
     println!("== fleet chaos: {seeds} seeds, mixed A100-80/A100-40/H100-spot fleet ==\n");
     for seed in 0..seeds as u64 {
@@ -29,14 +33,17 @@ fn main() {
             intervals: 8,
             ..FleetConfig::default()
         };
-        match run_chaos(&book, &demo_services(), &spec, &config) {
+        let run_started = std::time::Instant::now();
+        let outcome = run_chaos(&book, &demo_services(), &spec, &config);
+        let sim_wall_ms = run_started.elapsed().as_secs_f64() * 1e3;
+        match outcome {
             Ok(report) => {
                 let last_cost = report
                     .events
                     .last()
                     .map_or(report.baseline_usd_per_hour, |e| e.usd_per_hour);
                 csv.push_str(&format!(
-                    "{seed},{},{},{},{:.3},{:.3},{:.0},{:.0},{:.1},{:.2},{}\n",
+                    "{seed},{},{},{},{:.3},{:.3},{:.0},{:.0},{:.1},{:.2},{},{sim_wall_ms:.1}\n",
                     report.events.len(),
                     report.total_migrations(),
                     report.total_reflashes(),
@@ -51,7 +58,9 @@ fn main() {
                 println!("{}", report.render());
             }
             Err(e) => {
-                csv.push_str(&format!("{seed},0,0,0,0,0,0,0,0,0,error\n"));
+                csv.push_str(&format!(
+                    "{seed},0,0,0,0,0,0,0,0,0,error,{sim_wall_ms:.1}\n"
+                ));
                 println!("seed {seed}: {e}\n");
             }
         }

@@ -4,8 +4,9 @@
 //! dips, regional cost), and write `region_failover.csv` under
 //! `results/`.
 //!
-//! Every row is deterministic per seed — re-running reproduces the CSV
-//! byte for byte.
+//! Every column except `sim_wall_ms` is deterministic per seed —
+//! re-running reproduces those byte for byte; `sim_wall_ms` is the
+//! measured wall-clock of the run on the current host.
 //!
 //! Usage: `cargo run --release -p parva-bench --bin region_failover [seeds]`
 
@@ -26,7 +27,8 @@ fn main() {
 
     let mut csv = String::from(
         "seed,intervals,spill_rps_total,worst_spilled_p99_ms,worst_dip_pct,\
-         worst_recovery_ms,precopied_gib,final_compliance_pct,final_usd_per_hour,recovered\n",
+         worst_recovery_ms,precopied_gib,final_compliance_pct,final_usd_per_hour,recovered,\
+         sim_wall_ms\n",
     );
     println!("== region failover: {seeds} seeds, 3-region federation, evacuation drill ==\n");
     for seed in 0..seeds as u64 {
@@ -40,14 +42,17 @@ fn main() {
             }),
             ..FederationConfig::default()
         };
-        match run_federation(&book, &services, &spec, &config) {
+        let run_started = std::time::Instant::now();
+        let outcome = run_federation(&book, &services, &spec, &config);
+        let sim_wall_ms = run_started.elapsed().as_secs_f64() * 1e3;
+        match outcome {
             Ok(report) => {
                 let final_cost = report
                     .intervals
                     .last()
                     .map_or(report.baseline.usd_per_hour, |i| i.usd_per_hour);
                 csv.push_str(&format!(
-                    "{seed},{},{:.0},{:.0},{:.3},{:.0},{:.1},{:.3},{:.2},{}\n",
+                    "{seed},{},{:.0},{:.0},{:.3},{:.0},{:.1},{:.3},{:.2},{},{sim_wall_ms:.1}\n",
                     report.intervals.len(),
                     report.total_spilled_rps(),
                     report.worst_spilled_p99_ms(),
@@ -61,7 +66,7 @@ fn main() {
                 println!("{}", report.render());
             }
             Err(e) => {
-                csv.push_str(&format!("{seed},0,0,0,0,0,0,0,0,error\n"));
+                csv.push_str(&format!("{seed},0,0,0,0,0,0,0,0,error,{sim_wall_ms:.1}\n"));
                 println!("seed {seed}: {e}\n");
             }
         }

@@ -20,12 +20,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
+pub mod counters;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use resource::SerialResource;
 pub use rng::RngStream;

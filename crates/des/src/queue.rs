@@ -37,6 +37,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -49,12 +50,35 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue that can hold `n` pending events without
+    /// reallocating — size it to the expected steady-state event
+    /// population (e.g. one in-flight arrival per source plus in-service
+    /// batches) so the heap never grows mid-run.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(n),
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            peak: 0,
         }
+    }
+
+    /// Reserve room for `additional` more pending events — call before a
+    /// schedule burst (e.g. booking a whole recovery timeline) to pay for
+    /// growth once instead of amortizing it inside the loop.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Largest number of events that were pending at once.
+    #[must_use]
+    pub fn peak_pending(&self) -> usize {
+        self.peak
     }
 
     /// Current simulation time (time of the last popped event).
@@ -98,6 +122,7 @@ impl<E> EventQueue<E> {
             event,
         }));
         self.seq += 1;
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Schedule `event` after `delay` from now.
@@ -175,6 +200,31 @@ mod tests {
         q.schedule(SimTime::from_ms(10.0), ());
         q.pop();
         q.schedule(SimTime::from_ms(1.0), ());
+    }
+
+    #[test]
+    fn fifo_tie_breaking_survives_preallocation() {
+        // The capacity path must not disturb (time, insertion) ordering:
+        // schedule bursts of simultaneous events across a reserve() call
+        // and require exact FIFO pop order among equal timestamps.
+        let mut q = EventQueue::with_capacity(8);
+        let t1 = SimTime::from_ms(4.0);
+        let t0 = SimTime::from_ms(2.0);
+        for i in 0..40 {
+            q.schedule(t1, ("late", i));
+        }
+        q.reserve(100);
+        for i in 0..60 {
+            q.schedule(t1, ("late", 40 + i));
+        }
+        q.schedule(t0, ("early", 0));
+        assert_eq!(q.pop(), Some((t0, ("early", 0))));
+        for want in 0..100 {
+            let (at, (tag, i)) = q.pop().expect("event");
+            assert_eq!((at, tag, i), (t1, "late", want));
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.peak_pending(), 101);
     }
 
     #[test]

@@ -44,6 +44,7 @@ impl RngStream {
     }
 
     /// Next raw 64-bit draw (xoshiro256++).
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
         let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
@@ -58,6 +59,7 @@ impl RngStream {
     }
 
     /// Uniform sample in `[0, 1)`.
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -67,6 +69,7 @@ impl RngStream {
     ///
     /// # Panics
     /// Panics if `rate_per_sec` is not strictly positive.
+    #[inline]
     pub fn exp_interarrival(&mut self, rate_per_sec: f64) -> SimTime {
         assert!(rate_per_sec > 0.0, "rate must be positive");
         // Inverse-CDF with u in (0,1] to avoid ln(0).

@@ -100,11 +100,70 @@ impl LatencyHistogram {
     // starts at 2 µs, and the top bucket still covers ~71 minutes.
     const INDEX_SHIFT: usize = 7;
 
+    /// The reference index computation, kept as the oracle the threshold
+    /// table is built from (and tested against): `floor(log2(us) * 8)`,
+    /// evaluated in f64 exactly as the original hot path did.
+    fn raw_bucket_f64(us: u64) -> usize {
+        debug_assert!(us >= 2);
+        ((us as f64).log2() * BUCKETS_PER_OCTAVE).floor() as usize
+    }
+
+    /// Per-octave sub-bucket thresholds: `thresholds[e][k]` is the
+    /// smallest `us` with exponent `e` (i.e. `us.ilog2() == e`) whose raw
+    /// index is `8e + k + 1`. Built once by binary-searching the f64
+    /// oracle inside each octave, so table lookups reproduce the f64
+    /// arithmetic bit-exactly — including its rounding behaviour at
+    /// bucket edges — while costing integer compares instead of a `log2`
+    /// call per recorded sample.
+    fn thresholds() -> &'static [[u64; 7]; 64] {
+        static TABLE: std::sync::OnceLock<[[u64; 7]; 64]> = std::sync::OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut table = [[u64::MAX; 7]; 64];
+            // Octave 0 only contains us == 1, which bucket_of short-
+            // circuits before consulting the table.
+            for (e, row) in table.iter_mut().enumerate().skip(1) {
+                let lo = 1u64 << e;
+                let hi = if e == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (e + 1)) - 1
+                };
+                for (k, slot) in row.iter_mut().enumerate() {
+                    // Smallest us in [lo, hi] with raw index >= 8e + k + 1
+                    // (log2 is monotone, so its f64 image is monotone and
+                    // the predicate is binary-searchable).
+                    let want = 8 * e + k + 1;
+                    let (mut a, mut b) = (lo.max(2), hi);
+                    if Self::raw_bucket_f64(b) < want {
+                        continue; // unreachable sub-bucket (top octave)
+                    }
+                    while a < b {
+                        let mid = a + (b - a) / 2;
+                        if Self::raw_bucket_f64(mid) >= want {
+                            b = mid;
+                        } else {
+                            a = mid + 1;
+                        }
+                    }
+                    *slot = a;
+                }
+            }
+            table
+        })
+    }
+
+    #[inline]
     fn bucket_of(us: u64) -> usize {
         if us <= 1 {
             return 0;
         }
-        let raw = ((us as f64).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
+        let e = us.ilog2() as usize;
+        let row = &Self::thresholds()[e];
+        let mut k = 0usize;
+        for &t in row {
+            k += usize::from(us >= t);
+        }
+        let raw = 8 * e + k;
         (raw - Self::INDEX_SHIFT).min(BUCKETS - 1)
     }
 
@@ -118,6 +177,7 @@ impl LatencyHistogram {
     }
 
     /// Record a latency in microseconds.
+    #[inline]
     pub fn record_us(&mut self, us: u64) {
         self.buckets[Self::bucket_of(us)] += 1;
         self.count += 1;
@@ -127,6 +187,7 @@ impl LatencyHistogram {
     }
 
     /// Record a latency in milliseconds.
+    #[inline]
     pub fn record_ms(&mut self, ms: f64) {
         self.record_us((ms * 1000.0).round().max(0.0) as u64);
     }
@@ -346,5 +407,36 @@ mod tests {
     #[test]
     fn empty_min_is_zero() {
         assert_eq!(LatencyHistogram::new().min_ms(), 0.0);
+    }
+
+    #[test]
+    fn threshold_table_matches_f64_oracle_exhaustively() {
+        // The integer fast path must reproduce the f64 `floor(log2 * 8)`
+        // arithmetic bit-exactly. Exhaust the latency range that serving
+        // sims actually record (0 .. 2^24 µs ≈ 16.8 s) ...
+        for us in 0..(1u64 << 24) {
+            let want = if us <= 1 {
+                0
+            } else {
+                (LatencyHistogram::raw_bucket_f64(us) - LatencyHistogram::INDEX_SHIFT)
+                    .min(BUCKETS - 1)
+            };
+            assert_eq!(LatencyHistogram::bucket_of(us), want, "us = {us}");
+        }
+        // ... and probe every table threshold's edge pair across the full
+        // 64-octave range (including the saturating top buckets).
+        for e in 1..64usize {
+            for &t in &LatencyHistogram::thresholds()[e] {
+                if t == u64::MAX {
+                    continue;
+                }
+                for us in [t - 1, t, t + 1] {
+                    let want = (LatencyHistogram::raw_bucket_f64(us)
+                        - LatencyHistogram::INDEX_SHIFT)
+                        .min(BUCKETS - 1);
+                    assert_eq!(LatencyHistogram::bucket_of(us), want, "us = {us}");
+                }
+            }
+        }
     }
 }

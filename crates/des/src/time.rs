@@ -17,6 +17,7 @@ impl SimTime {
 
     /// Construct from milliseconds (rounded to the nearest microsecond).
     #[must_use]
+    #[inline]
     pub fn from_ms(ms: f64) -> Self {
         debug_assert!(ms >= 0.0 && ms.is_finite(), "invalid duration: {ms}");
         SimTime((ms * 1_000.0).round().max(0.0) as u64)
@@ -24,6 +25,7 @@ impl SimTime {
 
     /// Construct from seconds.
     #[must_use]
+    #[inline]
     pub fn from_secs(s: f64) -> Self {
         Self::from_ms(s * 1_000.0)
     }
@@ -36,18 +38,21 @@ impl SimTime {
 
     /// As fractional milliseconds.
     #[must_use]
+    #[inline]
     pub fn as_ms(self) -> f64 {
         self.0 as f64 / 1_000.0
     }
 
     /// As fractional seconds.
     #[must_use]
+    #[inline]
     pub fn as_secs(self) -> f64 {
         self.0 as f64 / 1_000_000.0
     }
 
     /// Saturating difference `self - earlier`.
     #[must_use]
+    #[inline]
     pub fn since(self, earlier: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(earlier.0))
     }
@@ -55,12 +60,14 @@ impl SimTime {
 
 impl std::ops::Add for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl std::ops::AddAssign for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
         self.0 += rhs.0;
     }

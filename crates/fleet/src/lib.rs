@@ -48,6 +48,7 @@ pub mod orchestrator;
 pub mod pack;
 pub mod placer;
 pub mod report;
+pub mod simcache;
 
 pub use event::{next_event, FleetEvent};
 
@@ -62,6 +63,7 @@ pub use placer::{
     place_on_fleet, place_sticky, translate_placement, FleetPlacement, PlacementError,
 };
 pub use report::{EventOutcome, FleetReport, RECOVERY_TOLERANCE};
+pub use simcache::SimCache;
 
 /// The demo service mix used by the chaos surfaces (`parvactl fleet`, the
 /// `fleet_chaos` bench binary and example): four CNN services sized to fit

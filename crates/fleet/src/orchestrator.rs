@@ -27,13 +27,15 @@ use crate::node::{Fleet, FleetSpec};
 use crate::pack::FleetPacking;
 use crate::placer::{place_sticky, translate_placement, FleetPlacement, PlacementError};
 use crate::report::{EventOutcome, FleetReport};
-use parva_autoscale::simulate_displacement_window;
+use crate::simcache::{content_key, SimCache};
+use parva_autoscale::displacement_window;
 use parva_core::allocator::{allocation, fill, optimize, SegmentQueues};
 use parva_core::{reconfigure, ParvaGpu, Service};
 use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
 use parva_des::RngStream;
 use parva_profile::ProfileBook;
-use parva_serve::{simulate, simulate_with_recovery, ServingConfig};
+use parva_serve::{simulate, simulate_with_recovery, RecoverySpec, ServingConfig, ServingReport};
+use std::collections::BTreeMap;
 
 /// Default per-recovery replacement-node budget (see
 /// [`FleetConfig::max_replacements_per_event`]).
@@ -127,6 +129,40 @@ impl From<ScheduleError> for FleetError {
     }
 }
 
+/// One compliance probe of an event window: a pure serving simulation
+/// whose result is memoized by content key (see [`crate::simcache`]).
+enum ProbeJob<'a> {
+    /// Plain serving run of a deployment against a spec set.
+    Plain(&'a MigDeployment, &'a [ServiceSpec]),
+    /// Serving run with the recovery spec riding the event queue.
+    Recovery(&'a MigDeployment, &'a [ServiceSpec], &'a RecoverySpec),
+}
+
+impl ProbeJob<'_> {
+    /// Content key: the simulation output is a pure function of the
+    /// debug-rendered tuple hashed here.
+    fn key(&self, serving: &ServingConfig) -> u128 {
+        match self {
+            Self::Plain(d, specs) => content_key("plain", &[d, specs, &serving]),
+            Self::Recovery(d, specs, spec) => content_key("recovery", &[d, specs, spec, &serving]),
+        }
+    }
+
+    /// Run the simulation this probe describes.
+    fn run(&self, serving: &ServingConfig) -> ServingReport {
+        match self {
+            Self::Plain(d, specs) => simulate(&Deployment::Mig((*d).clone()), specs, serving),
+            Self::Recovery(d, specs, spec) => simulate_with_recovery(
+                &Deployment::Mig((*d).clone()),
+                specs,
+                &[],
+                Some(spec),
+                serving,
+            ),
+        }
+    }
+}
+
 /// The living cluster: scheduler state + logical map + physical anchor.
 pub struct FleetOrchestrator {
     scheduler: ParvaGpu,
@@ -138,6 +174,11 @@ pub struct FleetOrchestrator {
     placement: FleetPlacement,
     max_replacements_per_event: usize,
     des_recovery: bool,
+    /// Memoized serving probes: the "after" state of one interval is the
+    /// "before" state of the next, and a displacement window's control run
+    /// duplicates the before probe — each unique steady state is simulated
+    /// once per report.
+    sim_cache: SimCache,
 }
 
 impl FleetOrchestrator {
@@ -171,7 +212,61 @@ impl FleetOrchestrator {
             placement,
             max_replacements_per_event: DEFAULT_MAX_REPLACEMENTS,
             des_recovery: true,
+            sim_cache: SimCache::new(),
         })
+    }
+
+    /// `(hits, misses)` of the orchestrator's simulation cache.
+    #[must_use]
+    pub fn sim_cache_stats(&self) -> (u64, u64) {
+        self.sim_cache.stats()
+    }
+
+    /// Resolve a set of keyed probes: cache hits are returned directly,
+    /// misses are simulated — concurrently on scoped threads when more
+    /// than one probe needs running — and memoized. The returned map is
+    /// deterministic: each report is the pure simulation output for its
+    /// key, regardless of hit/miss or execution order.
+    fn resolve_probes(
+        &self,
+        jobs: &[(u128, ProbeJob<'_>)],
+        serving: &ServingConfig,
+    ) -> BTreeMap<u128, ServingReport> {
+        let mut resolved: BTreeMap<u128, ServingReport> = BTreeMap::new();
+        let mut misses: Vec<(u128, &ProbeJob<'_>)> = Vec::new();
+        for (key, job) in jobs {
+            if resolved.contains_key(key) {
+                continue;
+            }
+            if let Some(hit) = self.sim_cache.get(*key) {
+                resolved.insert(*key, hit);
+            } else if !misses.iter().any(|(k, _)| k == key) {
+                misses.push((*key, job));
+            }
+        }
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let reports: Vec<ServingReport> = if misses.len() <= 1 || cores == 1 {
+            // Serial fallback: identical results, and on a single-CPU host
+            // the fan-out would only add scheduling noise.
+            misses.iter().map(|(_, job)| job.run(serving)).collect()
+        } else {
+            // Independent pure sims: fan out, join in deterministic order.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = misses
+                    .iter()
+                    .map(|(_, job)| scope.spawn(move || job.run(serving)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probe simulation panicked"))
+                    .collect()
+            })
+        };
+        for ((key, _), report) in misses.into_iter().zip(reports) {
+            self.sim_cache.insert(key, report.clone());
+            resolved.insert(key, report);
+        }
+        resolved
     }
 
     /// Override the per-event replacement-node budget (see
@@ -216,15 +311,15 @@ impl FleetOrchestrator {
     }
 
     /// Serve one interval with the current deployment; batch-level
-    /// compliance.
+    /// compliance. Memoized: an unchanged steady state reuses the cached
+    /// serving report.
     #[must_use]
     pub fn serve_interval(&self, serving: &ServingConfig) -> f64 {
-        simulate(
-            &Deployment::Mig(self.deployment.clone()),
-            &self.specs,
-            serving,
-        )
-        .overall_compliance_rate()
+        let job = ProbeJob::Plain(&self.deployment, &self.specs);
+        let key = job.key(serving);
+        self.sim_cache
+            .get_or_simulate(key, || job.run(serving))
+            .overall_compliance_rate()
     }
 
     /// Re-anchor the logical map on the surviving fleet, sticky-first.
@@ -469,10 +564,18 @@ impl FleetOrchestrator {
 
     /// Handle one event end-to-end; returns the outcome row.
     ///
+    /// State mutation (kill / reschedule / re-anchor) runs first; the
+    /// compliance probes around the event — before, blackout, shadowed,
+    /// DES-measured recovery, after — are pure simulations of snapshots,
+    /// so they resolve afterwards through the content-hashed cache, with
+    /// cache misses evaluated concurrently on scoped threads. Values are
+    /// identical to running each probe inline at its original point.
+    ///
     /// # Errors
     /// [`FleetError::Placement`] when the surviving fleet cannot host the
     /// recovered deployment, [`FleetError::Schedule`] if a load shift is
     /// infeasible.
+    #[allow(clippy::too_many_lines)]
     pub fn handle_event(
         &mut self,
         interval: usize,
@@ -481,17 +584,14 @@ impl FleetOrchestrator {
     ) -> Result<EventOutcome, FleetError> {
         let before_deployment = self.deployment.clone();
         let before_placement = self.placement.clone();
-        let compliance_before = simulate(
-            &Deployment::Mig(before_deployment.clone()),
-            &self.specs,
-            serving,
-        )
-        .overall_request_compliance_rate();
+        let specs_before = self.specs.clone();
 
+        // -- 1. Apply the event through the recovery machinery (no sims).
         let mut displaced_segments = 0usize;
         let mut lost_gpus = 0usize;
         let mut replacement_nodes = 0usize;
-        let (compliance_during, compliance_shadowed) = match &event {
+        let mut window = None;
+        match &event {
             FleetEvent::NodeFailure { node }
             | FleetEvent::SpotPreemption { node }
             | FleetEvent::PreemptionWarning { node } => {
@@ -505,21 +605,15 @@ impl FleetOrchestrator {
                     .filter(|(_, s)| s.node == *node)
                     .map(|(l, _)| *l)
                     .collect();
-                // Quantify the disruption window (§III-F shadows vs. dark).
-                let window = simulate_displacement_window(
-                    &before_deployment,
-                    &displaced_logical,
-                    &self.specs,
-                    serving,
-                );
+                // The disruption window's variants (§III-F shadows vs.
+                // dark), built now, simulated with the probe batch below.
+                window = Some(displacement_window(&before_deployment, &displaced_logical));
                 displaced_segments = self.reschedule_displaced(&displaced_logical);
                 replacement_nodes = self.reanchor(interval)?;
-                (window.blackout_compliance, window.shadowed_compliance)
             }
             FleetEvent::ScaleUpGrant { pool, nodes } => {
-                self.fleet.grant(*pool, *nodes);
                 // No capacity lost; fresh headroom for future recoveries.
-                (compliance_before, compliance_before)
+                self.fleet.grant(*pool, *nodes);
             }
             FleetEvent::LoadShift { multiplier } => {
                 self.apply_load_shift(*multiplier)?;
@@ -530,18 +624,9 @@ impl FleetOrchestrator {
                 self.placement =
                     translate_placement((&before_deployment, &before_placement), &self.deployment);
                 replacement_nodes = self.reanchor(interval)?;
-                // The shift itself loses no capacity; the window runs the
-                // *old* map against the *new* offered load.
-                let during = simulate(
-                    &Deployment::Mig(before_deployment.clone()),
-                    &self.specs,
-                    serving,
-                )
-                .overall_request_compliance_rate();
-                (during, during)
             }
-            FleetEvent::Quiet => (compliance_before, compliance_before),
-        };
+            FleetEvent::Quiet => {}
+        }
 
         let migration = MigrationPlan::between(
             (&before_deployment, &before_placement),
@@ -563,32 +648,91 @@ impl FleetOrchestrator {
             <= parva_scenarios::warning_precopy_budget_gib(crate::migration::WEIGHT_COPY_GIB_PER_S);
         let prepared = matches!(event, FleetEvent::LoadShift { .. })
             || (matches!(event, FleetEvent::PreemptionWarning { .. }) && warning_covers);
-        let (compliance_measured, simulated_recovery_ms, precopied_gib) =
-            if self.des_recovery && !migration.ops.is_empty() {
-                let spec = migration.to_recovery_spec(serving.warmup_s * 1_000.0, prepared);
-                let report = simulate_with_recovery(
-                    &Deployment::Mig(self.deployment.clone()),
-                    &self.specs,
-                    &[],
-                    Some(&spec),
+        let rec_spec = (self.des_recovery && !migration.ops.is_empty())
+            .then(|| migration.to_recovery_spec(serving.warmup_s * 1_000.0, prepared));
+
+        // -- 2. Resolve every probe through the cache (misses fan out).
+        // The "after" probe of interval n is the "before" probe of
+        // interval n+1, and the window's control run IS the before probe,
+        // so steady states are simulated once per chaos trace.
+        fn push<'a>(
+            jobs: &mut Vec<(u128, ProbeJob<'a>)>,
+            job: ProbeJob<'a>,
+            serving: &ServingConfig,
+        ) -> u128 {
+            let key = job.key(serving);
+            if !jobs.iter().any(|(k, _)| *k == key) {
+                jobs.push((key, job));
+            }
+            key
+        }
+        let mut jobs: Vec<(u128, ProbeJob<'_>)> = Vec::with_capacity(5);
+        let key_before = push(
+            &mut jobs,
+            ProbeJob::Plain(&before_deployment, &specs_before),
+            serving,
+        );
+        let keys_window = window.as_ref().map(|w| {
+            (
+                push(
+                    &mut jobs,
+                    ProbeJob::Plain(&w.blackout, &specs_before),
                     serving,
-                );
+                ),
+                push(
+                    &mut jobs,
+                    ProbeJob::Plain(&w.shadowed, &specs_before),
+                    serving,
+                ),
+            )
+        });
+        // A load shift's window runs the *old* map against the *new* load.
+        let key_shift = matches!(event, FleetEvent::LoadShift { .. }).then(|| {
+            push(
+                &mut jobs,
+                ProbeJob::Plain(&before_deployment, &self.specs),
+                serving,
+            )
+        });
+        let key_measured = rec_spec.as_ref().map(|spec| {
+            push(
+                &mut jobs,
+                ProbeJob::Recovery(&self.deployment, &self.specs, spec),
+                serving,
+            )
+        });
+        let key_after = push(
+            &mut jobs,
+            ProbeJob::Plain(&self.deployment, &self.specs),
+            serving,
+        );
+        let resolved = self.resolve_probes(&jobs, serving);
+        let compliance_of = |key: u128| resolved[&key].overall_request_compliance_rate();
+
+        let compliance_before = compliance_of(key_before);
+        let (compliance_during, compliance_shadowed) = match (keys_window, key_shift) {
+            (Some((blackout, shadowed)), _) => (compliance_of(blackout), compliance_of(shadowed)),
+            (None, Some(shift)) => {
+                let during = compliance_of(shift);
+                (during, during)
+            }
+            (None, None) => (compliance_before, compliance_before),
+        };
+        let (compliance_measured, simulated_recovery_ms, precopied_gib) = match key_measured {
+            Some(key) => {
+                let report = &resolved[&key];
                 let rec = report.recovery.as_ref().expect("recovery was simulated");
                 (
                     report.overall_request_compliance_rate(),
                     rec.latency_ms,
                     rec.precopied_gib,
                 )
-            } else {
-                (compliance_during, 0.0, 0.0)
-            };
+            }
+            None => (compliance_during, 0.0, 0.0),
+        };
 
         let packing = FleetPacking::derive(&self.deployment, &self.placement, &self.fleet);
-        let after = simulate(
-            &Deployment::Mig(self.deployment.clone()),
-            &self.specs,
-            serving,
-        );
+        let after = &resolved[&key_after];
 
         Ok(EventOutcome {
             interval,

@@ -574,6 +574,48 @@ impl Federation {
             .collect()
     }
 
+    /// Run every live region's serving DES for one interval — one
+    /// independent simulation per region, fanned out across scoped
+    /// threads and joined by region index. Each region's simulation is a
+    /// pure function of its own `(deployment, flows, recovery, seed)`
+    /// state, and the merge order is fixed, so the outcome is
+    /// bit-identical to running the regions serially (property-tested
+    /// below).
+    fn region_reports(
+        &self,
+        flows: &[Flow],
+        recovery: &[RecoveryRow],
+        parallel: bool,
+    ) -> Vec<Option<ServingReport>> {
+        let specs: Vec<Option<RecoverySpec>> = recovery
+            .iter()
+            .map(|r| r.to_spec(&self.config.serving))
+            .collect();
+        let run_one = |d: usize| -> Option<ServingReport> {
+            self.regions[d]
+                .orchestrator
+                .as_ref()
+                .map(|o| self.serve_region(d, o, flows, specs[d].as_ref()))
+        };
+        // On a single-CPU host the fan-out only adds scheduling noise
+        // (time-sliced sims evict each other's working sets); results are
+        // identical either way, so fall back to the serial path there.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if parallel && self.regions.len() > 1 && cores > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.regions.len())
+                    .map(|d| scope.spawn(move || run_one(d)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("region simulation panicked"))
+                    .collect()
+            })
+        } else {
+            (0..self.regions.len()).map(run_one).collect()
+        }
+    }
+
     /// Serve + price every region for one interval and assemble the row.
     #[allow(clippy::too_many_lines)]
     fn measure(
@@ -584,6 +626,31 @@ impl Federation {
         offered: &[Vec<Demand>],
         recovery: &[RecoveryRow],
         forced_failovers: Vec<usize>,
+    ) -> IntervalOutcome {
+        self.measure_with(
+            interval,
+            event,
+            flows,
+            offered,
+            recovery,
+            forced_failovers,
+            true,
+        )
+    }
+
+    /// [`Federation::measure`] with an explicit serial/parallel switch —
+    /// the serial path exists so the equivalence test can pin the two
+    /// against each other.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn measure_with(
+        &self,
+        interval: usize,
+        event: RegionEvent,
+        flows: &[Flow],
+        offered: &[Vec<Demand>],
+        recovery: &[RecoveryRow],
+        forced_failovers: Vec<usize>,
+        parallel: bool,
     ) -> IntervalOutcome {
         let mut regions = Vec::with_capacity(self.regions.len());
         let mut within: f64 = 0.0;
@@ -597,6 +664,8 @@ impl Federation {
         let routed_rps: f64 = flows.iter().map(|f| f.rate_rps).sum();
         let unrouted_rps = (offered_rps.iter().sum::<f64>() - routed_rps).max(0.0);
         let spilled_rps = sum_rates(flows.iter().filter(|f| f.src != f.dst));
+
+        let mut reports = self.region_reports(flows, recovery, parallel);
 
         for (d, state) in self.regions.iter().enumerate() {
             let spill_out = sum_rates(flows.iter().filter(|f| f.src == d && f.dst != d));
@@ -624,8 +693,7 @@ impl Federation {
                 continue;
             };
 
-            let rec_spec = recovery[d].to_spec(&self.config.serving);
-            let report = self.serve_region(d, orchestrator, flows, rec_spec.as_ref());
+            let report = reports[d].take().expect("active region was simulated");
             let (recovery_latency_ms, precopied_gib) = report
                 .recovery
                 .as_ref()
@@ -1038,6 +1106,128 @@ mod tests {
             ..quick_config(1, 2)
         };
         assert!(Federation::bootstrap(&book, &services, &spec, &bad_clock).is_err());
+    }
+
+    #[test]
+    fn parallel_measure_equals_serial() {
+        // The scoped-thread region fan-out must be bit-identical to the
+        // serial path: per-region sims are pure and the merge order is
+        // fixed by region index. Compare full serialized interval rows
+        // over several seeds, including intervals with evacuations,
+        // failovers and recovery work.
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        for seed in [3u64, 11, 29] {
+            let config = quick_config(seed, 6);
+            let mut federation = Federation::bootstrap(&book, &services, &spec, &config).unwrap();
+            let mut rng = RngStream::new(config.seed, 0xFED);
+            for interval in 1..=config.intervals {
+                let states: Vec<Option<&parva_fleet::Fleet>> = (0..federation.region_count())
+                    .map(|r| {
+                        federation.regions[r]
+                            .orchestrator
+                            .as_ref()
+                            .map(FleetOrchestrator::fleet)
+                    })
+                    .collect();
+                let event = next_region_event(&mut rng, &states, None);
+                // Drive the interval's mutations once, then measure the
+                // same post-event state both ways.
+                let recovery: Vec<RecoveryRow> =
+                    vec![RecoveryRow::default(); federation.region_count()];
+                let _ = federation.step(interval, event);
+                let offered = federation.offered_at(interval);
+                let flows = route_demand(
+                    &offered,
+                    &federation.active_mask(),
+                    &federation.capacity_weights(),
+                    &federation.spec.rtt,
+                );
+                let par = federation.measure_with(
+                    interval,
+                    RegionEvent::Quiet,
+                    &flows,
+                    &offered,
+                    &recovery,
+                    Vec::new(),
+                    true,
+                );
+                let ser = federation.measure_with(
+                    interval,
+                    RegionEvent::Quiet,
+                    &flows,
+                    &offered,
+                    &recovery,
+                    Vec::new(),
+                    false,
+                );
+                assert_eq!(
+                    serde_json::to_string(&par).unwrap(),
+                    serde_json::to_string(&ser).unwrap(),
+                    "seed {seed} interval {interval}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_measure_equals_serial_with_recovery_rows() {
+        // Same equivalence with non-empty recovery specs riding the
+        // region sims (the path federation evacuations exercise).
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let config = quick_config(11, 6);
+        let federation = Federation::bootstrap(&book, &services, &spec, &config).unwrap();
+        let offered = federation.offered_at(1);
+        let flows = route_demand(
+            &offered,
+            &federation.active_mask(),
+            &federation.capacity_weights(),
+            &federation.spec.rtt,
+        );
+        let mut recovery: Vec<RecoveryRow> =
+            vec![RecoveryRow::default(); federation.region_count()];
+        recovery[1].ops.push(parva_serve::RecoveryOp {
+            node: 0,
+            logical_gpu: Some(0),
+            reflash: true,
+            copy_gib: 6.0,
+            prepared: false,
+        });
+        recovery[2].ops.push(parva_serve::RecoveryOp {
+            node: 1,
+            logical_gpu: Some(1),
+            reflash: false,
+            copy_gib: 3.0,
+            prepared: true,
+        });
+        let par = federation.measure_with(
+            1,
+            RegionEvent::Quiet,
+            &flows,
+            &offered,
+            &recovery,
+            Vec::new(),
+            true,
+        );
+        let ser = federation.measure_with(
+            1,
+            RegionEvent::Quiet,
+            &flows,
+            &offered,
+            &recovery,
+            Vec::new(),
+            false,
+        );
+        assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&ser).unwrap()
+        );
+        // The recovery rows actually rode the sims.
+        assert!(par.regions[1].recovery_latency_ms > 0.0);
+        assert!(par.regions[2].precopied_gib > 0.0);
     }
 
     #[test]

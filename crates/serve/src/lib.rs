@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod recovery;
+#[cfg(test)]
+mod reference;
 pub mod report;
 pub mod router;
 pub mod sim;

@@ -41,10 +41,17 @@ impl Router {
     /// Route one request, returning the chosen server index.
     pub fn route(&mut self) -> usize {
         self.total += 1;
+        // Hot fast path: a single-server service has no decision to make
+        // (and single-segment services are common in real deployments).
+        if self.weights.len() == 1 {
+            self.sent[0] += 1;
+            return 0;
+        }
         let mut best = 0usize;
         let mut best_credit = f64::NEG_INFINITY;
-        for (i, w) in self.weights.iter().enumerate() {
-            let credit = w * self.total as f64 - self.sent[i] as f64;
+        let total = self.total as f64;
+        for (i, (w, sent)) in self.weights.iter().zip(&self.sent).enumerate() {
+            let credit = w * total - *sent as f64;
             if credit > best_credit {
                 best_credit = credit;
                 best = i;

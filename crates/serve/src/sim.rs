@@ -1,10 +1,18 @@
 //! The serving simulation proper.
+//!
+//! The inner event loop is allocation-free in steady state: events ride a
+//! [`CalendarQueue`] as packed 128-bit keys, batch membership lives in a
+//! recycled slab instead of per-batch `Vec`s, per-(service, class)
+//! accounting is flat and contiguous, and per-server batch timings are
+//! memoized. The optimized engine is property-tested to produce
+//! byte-identical reports to the frozen pre-optimization simulator
+//! (`crate::reference`, compiled for tests only).
 
 use crate::recovery::{RecoverySimReport, RecoverySpec};
 use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 use crate::router::Router;
 use parva_deploy::{Deployment, ServiceSpec};
-use parva_des::{EventQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
+use parva_des::{CalendarQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
 use parva_perf::interference::total_interference;
 use parva_perf::{ComputeShare, Model, PerfParams};
 use std::collections::{BTreeMap, VecDeque};
@@ -65,7 +73,7 @@ pub enum ArrivalProcess {
 
 impl ArrivalProcess {
     /// Instantaneous rate multiplier of the current phase.
-    fn phase_rate(self, rate_rps: f64, bursting: bool) -> f64 {
+    pub(crate) fn phase_rate(self, rate_rps: f64, bursting: bool) -> f64 {
         match self {
             Self::Poisson | Self::Deterministic => rate_rps,
             Self::Mmpp { burst_factor, .. } => {
@@ -108,6 +116,9 @@ impl Default for ServingConfig {
     }
 }
 
+/// Sentinel marking an empty batch-timing memo slot.
+const MEMO_EMPTY: SimTime = SimTime(u64::MAX);
+
 /// One executable server: a MIG segment (p processes) or an MPS partition.
 #[derive(Debug)]
 struct Server {
@@ -131,6 +142,11 @@ struct Server {
     /// their RTT (floored at zero) — holding a spilled request for queueing
     /// budget it no longer has would blow its SLO for free.
     class_timeouts: Vec<SimTime>,
+    /// Memoized `(cycle, comp_us)` per `(b_eff, n_busy)` point — the
+    /// perf-model arithmetic is pure, so each point is computed at most
+    /// once per sim. Indexed `(b_eff - 1) * procs + (n_busy - 1)`;
+    /// [`MEMO_EMPTY`] marks an unevaluated slot.
+    perf_memo: Vec<(SimTime, u64)>,
     /// True while the server's GPU has recovery work outstanding (re-flash
     /// or weight copy): requests queue but no batch launches.
     dark: bool,
@@ -141,28 +157,29 @@ struct Server {
     busy_comp_us: u64,
 }
 
-#[derive(Debug)]
-enum Event {
-    Arrival {
-        service: usize,
-        class: usize,
-    },
-    Done {
-        server: usize,
-        arrivals: Vec<(SimTime, u32)>,
-        comp_us: u64,
-    },
-    /// Re-check `server`'s queue for an expired batch deadline.
-    Deadline {
-        server: usize,
-    },
-    /// The capacity loss hits: darken affected servers, start recovery.
-    RecoveryBegin,
-    /// Recovery op `op` is fully recovered (re-flash + weight copy done):
-    /// its servers light back up.
-    GpuRecovered {
-        op: usize,
-    },
+// ---- packed event encoding (48-bit CalendarQueue payloads) ----
+//
+// tag (4 bits) | a (24 bits) | b (20 bits). Index widths are asserted at
+// encode time in debug builds; real deployments sit orders of magnitude
+// below them (b: up to ~1M servers / classes, a: up to ~16M services /
+// in-flight batches / recovery ops).
+
+const TAG_SHIFT: u32 = 44;
+const A_SHIFT: u32 = 20;
+const A_MASK: u64 = (1 << 24) - 1;
+const B_MASK: u64 = (1 << 20) - 1;
+
+const TAG_ARRIVAL: u64 = 0;
+const TAG_DONE: u64 = 1;
+const TAG_DEADLINE: u64 = 2;
+const TAG_RECOVERY_BEGIN: u64 = 3;
+const TAG_GPU_RECOVERED: u64 = 4;
+
+#[inline]
+fn ev(tag: u64, a: u64, b: u64) -> u64 {
+    debug_assert!(a <= A_MASK, "event field a exceeds 24 bits");
+    debug_assert!(b <= B_MASK, "event field b exceeds 20 bits");
+    (tag << TAG_SHIFT) | (a << A_SHIFT) | b
 }
 
 /// Batching deadline for a server: the SLO/2 queuing budget minus one full
@@ -197,6 +214,7 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
                     interference: 0.0, // MIG isolates (paper §II-B)
                     batch_timeout: SimTime::ZERO,
                     class_timeouts: Vec::new(),
+                    perf_memo: Vec::new(),
                     dark: false,
                     queue: VecDeque::new(),
                     busy: 0,
@@ -223,6 +241,7 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
                         interference: total_interference(p.model, &co),
                         batch_timeout: SimTime::ZERO,
                         class_timeouts: Vec::new(),
+                        perf_memo: Vec::new(),
                         dark: false,
                         queue: VecDeque::new(),
                         busy: 0,
@@ -233,6 +252,9 @@ fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> 
                 }
             }
         }
+    }
+    for s in &mut servers {
+        s.perf_memo = vec![(MEMO_EMPTY, 0); (s.batch * s.procs) as usize];
     }
     servers
 }
@@ -280,6 +302,25 @@ fn batch_times(server: &Server, b_eff: u32, n_busy: u32) -> (SimTime, u64) {
         SimTime::from_ms(cycle_ms),
         SimTime::from_ms(comp_ms).micros(),
     )
+}
+
+/// Memoized [`batch_times`]: one perf-model evaluation per distinct
+/// `(b_eff, n_busy)` point per server.
+#[inline]
+fn batch_times_memo(
+    servers: &mut [Server],
+    server: usize,
+    b_eff: u32,
+    n_busy: u32,
+) -> (SimTime, u64) {
+    let idx = ((b_eff - 1) * servers[server].procs + (n_busy - 1)) as usize;
+    let cached = servers[server].perf_memo[idx];
+    if cached.0 != MEMO_EMPTY {
+        return cached;
+    }
+    let computed = batch_times(&servers[server], b_eff, n_busy);
+    servers[server].perf_memo[idx] = computed;
+    computed
 }
 
 /// Book the deterministic recovery timeline: per op, the instant the GPU
@@ -341,7 +382,7 @@ pub fn simulate(
 /// class has an independent sample path. Class 0 uses the raw seed, which
 /// keeps single-class runs bit-identical to [`simulate`] from before
 /// ingress classes existed.
-fn class_seed(seed: u64, class: usize) -> u64 {
+pub(crate) fn class_seed(seed: u64, class: usize) -> u64 {
     seed ^ (class as u64).wrapping_mul(0xA076_1D64_78BD_642F)
 }
 
@@ -363,6 +404,76 @@ pub fn simulate_with_ingress(
     config: &ServingConfig,
 ) -> ServingReport {
     simulate_with_recovery(deployment, specs, ingress, None, config)
+}
+
+/// Launch one batch of `size` on `server` (caller checked feasibility).
+#[inline]
+fn launch(
+    q: &mut CalendarQueue,
+    servers: &mut [Server],
+    slab: &mut Vec<Vec<(SimTime, u32)>>,
+    slab_comp: &mut Vec<u64>,
+    free: &mut Vec<u32>,
+    server: usize,
+    size: u32,
+) {
+    let id = free.pop().unwrap_or_else(|| {
+        slab.push(Vec::new());
+        slab_comp.push(0);
+        (slab.len() - 1) as u32
+    });
+    let batch = &mut slab[id as usize];
+    batch.clear();
+    batch.extend(servers[server].queue.drain(..size as usize));
+    servers[server].busy += 1;
+    let n_busy = servers[server].busy;
+    let (cycle, comp_us) = batch_times_memo(servers, server, size, n_busy);
+    slab_comp[id as usize] = comp_us;
+    q.schedule_in(cycle, ev(TAG_DONE, u64::from(id), server as u64));
+}
+
+/// Adaptive batching: launch full batches eagerly; for a partial queue,
+/// launch once the head request's deadline expires, else arm a deadline.
+/// Dark servers (recovery outstanding on their GPU) launch nothing —
+/// their queues drain when the GPU's recovery op completes.
+#[inline]
+fn try_start(
+    q: &mut CalendarQueue,
+    servers: &mut [Server],
+    slab: &mut Vec<Vec<(SimTime, u32)>>,
+    slab_comp: &mut Vec<u64>,
+    free: &mut Vec<u32>,
+    server: usize,
+) {
+    loop {
+        let s = &servers[server];
+        if s.dark || s.busy >= s.procs {
+            return;
+        }
+        let queued = s.queue.len();
+        let full = s.batch;
+        if queued >= full as usize {
+            launch(q, servers, slab, slab_comp, free, server, full);
+            continue;
+        }
+        if queued == 0 {
+            return;
+        }
+        let (head, class) = *s.queue.front().expect("non-empty");
+        let timeout = s
+            .class_timeouts
+            .get(class as usize)
+            .copied()
+            .unwrap_or(s.batch_timeout);
+        let deadline = head + timeout;
+        if q.now() >= deadline {
+            let size = (queued as u32).min(full);
+            launch(q, servers, slab, slab_comp, free, server, size);
+        } else {
+            q.schedule(deadline, ev(TAG_DEADLINE, 0, server as u64));
+        }
+        return;
+    }
 }
 
 /// Run the serving simulation with recovery work riding the same event
@@ -428,16 +539,41 @@ pub fn simulate_with_recovery(
     let win_end = SimTime::from_secs(config.warmup_s + config.duration_s);
     let sim_end = SimTime::from_secs(config.warmup_s + config.duration_s + config.drain_s);
 
-    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut q = CalendarQueue::with_capacity(128);
+
+    // Flat per-(service, class) layout: entries of service `i` live at
+    // `cbase[i] .. cbase[i + 1]` in every class-indexed array below.
+    let mut cbase: Vec<usize> = Vec::with_capacity(specs.len() + 1);
+    let mut total_classes = 0usize;
+    for cls in &classes {
+        cbase.push(total_classes);
+        total_classes += cls.len();
+    }
+    cbase.push(total_classes);
+    // Services with exactly one ingress class take a fast accounting path:
+    // the class-level row provably equals the service-level row (same
+    // increment conditions, same record sequence), so the hot loop
+    // maintains only the service row and the report derives the class row.
+    let single: Vec<bool> = classes.iter().map(|c| c.len() == 1).collect();
+    let class_net: Vec<f64> = classes
+        .iter()
+        .flat_map(|c| c.iter().map(|cl| cl.network_ms))
+        .collect();
+    let class_rate: Vec<f64> = classes
+        .iter()
+        .flat_map(|c| c.iter().map(|cl| cl.rate_rps))
+        .collect();
+    // Memoryless arrivals need no phase state: the hot loop draws the gap
+    // straight from the class's stream (identical draw to `next_gap`).
+    let poisson = matches!(config.arrivals, ArrivalProcess::Poisson);
+
     // One arrival stream per (service, class); class 0 reuses the exact
     // pre-ingress stream derivation for backwards-identical sample paths.
-    let mut arrival_rng: Vec<Vec<RngStream>> = specs
+    let mut arrival_rng: Vec<RngStream> = specs
         .iter()
         .zip(&classes)
-        .map(|(s, cls)| {
-            (0..cls.len())
-                .map(|c| RngStream::new(class_seed(config.seed, c), u64::from(s.id)))
-                .collect()
+        .flat_map(|(s, cls)| {
+            (0..cls.len()).map(|c| RngStream::new(class_seed(config.seed, c), u64::from(s.id)))
         })
         .collect();
 
@@ -457,14 +593,14 @@ pub fn simulate_with_recovery(
     let next_gap = |i: usize,
                     c: usize,
                     now: SimTime,
-                    rng: &mut Vec<Vec<RngStream>>,
+                    rng: &mut Vec<RngStream>,
                     bursting: &mut Vec<bool>,
                     phase_until: &mut Vec<SimTime>,
                     phase_rng: &mut Vec<RngStream>|
      -> SimTime {
         let rate = classes[i][c].rate_rps;
         match config.arrivals {
-            ArrivalProcess::Poisson => rng[i][c].exp_interarrival(rate),
+            ArrivalProcess::Poisson => rng[cbase[i] + c].exp_interarrival(rate),
             ArrivalProcess::Deterministic => SimTime::from_secs(1.0 / rate),
             ArrivalProcess::Mmpp { mean_phase_s, .. } => {
                 while now >= phase_until[i] {
@@ -472,12 +608,13 @@ pub fn simulate_with_recovery(
                     phase_until[i] += phase_rng[i].exp_interarrival(1.0 / mean_phase_s.max(1e-6));
                 }
                 let phase_rate = config.arrivals.phase_rate(rate, bursting[i]);
-                rng[i][c].exp_interarrival(phase_rate)
+                rng[cbase[i] + c].exp_interarrival(phase_rate)
             }
         }
     };
 
-    // Per-service accounting, plus per-(service, class) accounting.
+    // Per-service accounting, plus flat per-(service, class) accounting
+    // (class rows of single-class services are derived at report time).
     let mut offered = vec![0u64; specs.len()];
     let mut completed = vec![0u64; specs.len()];
     let mut batches = vec![0u64; specs.len()];
@@ -485,12 +622,11 @@ pub fn simulate_with_recovery(
     let mut within_slo = vec![0u64; specs.len()];
     let mut latency: Vec<LatencyHistogram> =
         (0..specs.len()).map(|_| LatencyHistogram::new()).collect();
-    let mut class_offered: Vec<Vec<u64>> = classes.iter().map(|c| vec![0; c.len()]).collect();
-    let mut class_completed: Vec<Vec<u64>> = classes.iter().map(|c| vec![0; c.len()]).collect();
-    let mut class_within: Vec<Vec<u64>> = classes.iter().map(|c| vec![0; c.len()]).collect();
-    let mut class_latency: Vec<Vec<LatencyHistogram>> = classes
-        .iter()
-        .map(|c| (0..c.len()).map(|_| LatencyHistogram::new()).collect())
+    let mut class_offered = vec![0u64; total_classes];
+    let mut class_completed = vec![0u64; total_classes];
+    let mut class_within = vec![0u64; total_classes];
+    let mut class_latency: Vec<LatencyHistogram> = (0..total_classes)
+        .map(|_| LatencyHistogram::new())
         .collect();
 
     // Seed first arrivals (zero-rate classes never generate traffic).
@@ -510,13 +646,7 @@ pub fn simulate_with_recovery(
                 &mut phase_until,
                 &mut phase_rng,
             );
-            q.schedule(
-                t,
-                Event::Arrival {
-                    service: i,
-                    class: c,
-                },
-            );
+            q.schedule(t, ev(TAG_ARRIVAL, i as u64, c as u64));
         }
     }
 
@@ -527,126 +657,138 @@ pub fn simulate_with_recovery(
     let rec_spec = recovery.filter(|r| !r.is_empty());
     let mut rec_report: Option<RecoverySimReport> = None;
     if let Some(spec) = rec_spec {
-        q.schedule(SimTime::from_ms(spec.start_ms), Event::RecoveryBegin);
-    }
-
-    // Launch one batch of `size` on `server` (caller checked feasibility).
-    fn launch(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize, size: u32) {
-        let arrivals: Vec<(SimTime, u32)> = servers[server].queue.drain(..size as usize).collect();
-        servers[server].busy += 1;
-        let n_busy = servers[server].busy;
-        let (cycle, comp_us) = batch_times(&servers[server], size, n_busy);
-        q.schedule_in(
-            cycle,
-            Event::Done {
-                server,
-                arrivals,
-                comp_us,
-            },
+        q.schedule(
+            SimTime::from_ms(spec.start_ms),
+            ev(TAG_RECOVERY_BEGIN, 0, 0),
         );
     }
 
-    // Adaptive batching: launch full batches eagerly; for a partial queue,
-    // launch once the head request's deadline expires, else arm a deadline.
-    // Dark servers (recovery outstanding on their GPU) launch nothing —
-    // their queues drain when the GPU's recovery op completes.
-    fn try_start(q: &mut EventQueue<Event>, servers: &mut [Server], server: usize) {
-        if servers[server].dark {
-            return;
-        }
-        while servers[server].busy < servers[server].procs
-            && servers[server].queue.len() >= servers[server].batch as usize
-        {
-            let full = servers[server].batch;
-            launch(q, servers, server, full);
-        }
-        if servers[server].busy < servers[server].procs && !servers[server].queue.is_empty() {
-            let (head, class) = *servers[server].queue.front().expect("non-empty");
-            let timeout = servers[server]
-                .class_timeouts
-                .get(class as usize)
-                .copied()
-                .unwrap_or(servers[server].batch_timeout);
-            let deadline = head + timeout;
-            if q.now() >= deadline {
-                let size = servers[server].queue.len() as u32;
-                launch(q, servers, server, size.min(servers[server].batch));
-            } else {
-                q.schedule(deadline, Event::Deadline { server });
-            }
-        }
-    }
+    // The recycled batch slab: `slab[id]` is a batch's request list,
+    // `slab_comp[id]` its SM-occupancy, `free` the ids open for reuse —
+    // steady-state launches allocate nothing.
+    let mut slab: Vec<Vec<(SimTime, u32)>> = Vec::new();
+    let mut slab_comp: Vec<u64> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
 
-    while let Some((t, ev)) = q.pop() {
-        if t > sim_end {
+    // The event loop stops at the window's end, not at `sim_end`: every
+    // report field is accumulated strictly inside `[win_start, win_end)`
+    // (post-window completions are discarded by the `in_window` gates), so
+    // events in the drain tail cannot influence the report — with one
+    // exception, a recovery spec whose start lands after the window, which
+    // the post-loop fixup below reproduces exactly as the drained loop
+    // would have (the recovery report is fully determined at its begin
+    // event). Skipping the tail is therefore bit-identical and saves the
+    // whole drain period's event processing.
+    let loop_started = std::time::Instant::now();
+    while let Some((t, payload)) = q.pop() {
+        if t > win_end {
             break;
         }
-        match ev {
-            Event::Arrival { service, class } => {
+        let a = ((payload >> A_SHIFT) & A_MASK) as usize;
+        let b = (payload & B_MASK) as usize;
+        match payload >> TAG_SHIFT {
+            TAG_ARRIVAL => {
+                let (service, class) = (a, b);
                 // Schedule the next arrival while load generation is on.
-                let next = t + next_gap(
-                    service,
-                    class,
-                    t,
-                    &mut arrival_rng,
-                    &mut bursting,
-                    &mut phase_until,
-                    &mut phase_rng,
-                );
+                let flat = cbase[service] + class;
+                let next = if poisson {
+                    t + arrival_rng[flat].exp_interarrival(class_rate[flat])
+                } else {
+                    t + next_gap(
+                        service,
+                        class,
+                        t,
+                        &mut arrival_rng,
+                        &mut bursting,
+                        &mut phase_until,
+                        &mut phase_rng,
+                    )
+                };
                 if next < win_end {
-                    q.schedule(next, Event::Arrival { service, class });
+                    q.schedule(next, payload);
                 }
                 if t >= win_start && t < win_end {
                     offered[service] += 1;
-                    class_offered[service][class] += 1;
+                    if !single[service] {
+                        class_offered[flat] += 1;
+                    }
                 }
                 if let Some(router) = routers[service].as_mut() {
                     let k = router.route();
                     let (sidx, _) = weights[service][k];
                     servers[sidx].queue.push_back((t, class as u32));
-                    try_start(&mut q, &mut servers, sidx);
+                    try_start(
+                        &mut q,
+                        &mut servers,
+                        &mut slab,
+                        &mut slab_comp,
+                        &mut free,
+                        sidx,
+                    );
                 }
             }
-            Event::Done {
-                server,
-                arrivals,
-                comp_us,
-            } => {
+            TAG_DONE => {
+                let (batch_id, server) = (a, b);
                 servers[server].busy -= 1;
                 let service = servers[server].service;
                 let in_window = t >= win_start && t < win_end;
                 if in_window {
-                    servers[server].busy_comp_us += comp_us;
+                    servers[server].busy_comp_us += slab_comp[batch_id];
                     batches[service] += 1;
                     let slo_ms = specs[service].slo.latency_ms;
+                    let base = cbase[service];
+                    let single_class = single[service];
+                    let hist = &mut latency[service];
+                    let mut done_n = 0u64;
+                    let mut ok_n = 0u64;
                     let mut worst = 0.0f64;
-                    for &(a, class) in &arrivals {
+                    for &(arrived, class) in &slab[batch_id] {
                         let c = class as usize;
                         // The RTT term: network latency already spent by
                         // this ingress class counts against the SLO.
-                        let lat_ms = t.since(a).as_ms() + classes[service][c].network_ms;
-                        latency[service].record_ms(lat_ms);
-                        class_latency[service][c].record_ms(lat_ms);
+                        let lat_ms = t.since(arrived).as_ms() + class_net[base + c];
+                        hist.record_ms(lat_ms);
                         worst = worst.max(lat_ms);
-                        completed[service] += 1;
-                        class_completed[service][c] += 1;
-                        if lat_ms <= slo_ms {
-                            within_slo[service] += 1;
-                            class_within[service][c] += 1;
+                        done_n += 1;
+                        let ok = lat_ms <= slo_ms;
+                        ok_n += u64::from(ok);
+                        if !single_class {
+                            class_latency[base + c].record_ms(lat_ms);
+                            class_completed[base + c] += 1;
+                            if ok {
+                                class_within[base + c] += 1;
+                            }
                         }
                     }
+                    completed[service] += done_n;
+                    within_slo[service] += ok_n;
                     if worst > slo_ms {
                         violated[service] += 1;
                     }
                 }
-                try_start(&mut q, &mut servers, server);
+                free.push(batch_id as u32);
+                try_start(
+                    &mut q,
+                    &mut servers,
+                    &mut slab,
+                    &mut slab_comp,
+                    &mut free,
+                    server,
+                );
             }
-            Event::Deadline { server } => {
+            TAG_DEADLINE => {
                 // Stale deadlines (batch already launched) fall through
                 // harmlessly: try_start re-evaluates the queue state.
-                try_start(&mut q, &mut servers, server);
+                try_start(
+                    &mut q,
+                    &mut servers,
+                    &mut slab,
+                    &mut slab_comp,
+                    &mut free,
+                    b,
+                );
             }
-            Event::RecoveryBegin => {
+            TAG_RECOVERY_BEGIN => {
                 let spec = rec_spec.expect("recovery event without a spec");
                 let mut dark = 0usize;
                 for op in &spec.ops {
@@ -661,7 +803,7 @@ pub fn simulate_with_recovery(
                 let timeline = recovery_timeline(spec, t);
                 let mut last = t + SimTime::from_ms(spec.control_plane_ms);
                 for (i, ready) in timeline.iter().enumerate() {
-                    q.schedule(*ready, Event::GpuRecovered { op: i });
+                    q.schedule(*ready, ev(TAG_GPU_RECOVERED, i as u64, 0));
                     last = last.max(*ready);
                 }
                 rec_report = Some(RecoverySimReport {
@@ -673,17 +815,68 @@ pub fn simulate_with_recovery(
                     precopied_gib: spec.prepared_gib(),
                 });
             }
-            Event::GpuRecovered { op } => {
+            _ => {
+                // TAG_GPU_RECOVERED: op `a` finished; light its GPU up.
                 let spec = rec_spec.expect("recovery event without a spec");
-                let Some(g) = spec.ops[op].logical_gpu else {
+                let Some(g) = spec.ops[a].logical_gpu else {
                     continue;
                 };
                 for si in 0..servers.len() {
                     if servers[si].gpu == g && servers[si].dark {
                         servers[si].dark = false;
-                        try_start(&mut q, &mut servers, si);
+                        try_start(
+                            &mut q,
+                            &mut servers,
+                            &mut slab,
+                            &mut slab_comp,
+                            &mut free,
+                            si,
+                        );
                     }
                 }
+            }
+        }
+    }
+    parva_des::counters::record_sim(
+        q.processed(),
+        q.peak_pending(),
+        loop_started.elapsed().as_nanos() as u64,
+    );
+
+    // Post-window recovery fixup: a recovery that begins inside the drain
+    // tail `(win_end, sim_end]` no longer fires in the loop, but its
+    // report was always fully determined at the begin event — the timeline
+    // is booked analytically there, and no server can already be dark (the
+    // one begin event is this one). Reproduce exactly what the drained
+    // loop computed.
+    if rec_report.is_none() {
+        if let Some(spec) = rec_spec {
+            let fire = SimTime::from_ms(spec.start_ms);
+            if fire > win_end && fire <= sim_end {
+                let mut dark = 0usize;
+                let mut darkened = vec![false; servers.len()];
+                for op in &spec.ops {
+                    let Some(g) = op.logical_gpu else { continue };
+                    for (si, s) in servers.iter().enumerate() {
+                        if s.gpu == g && !darkened[si] {
+                            darkened[si] = true;
+                            dark += 1;
+                        }
+                    }
+                }
+                let timeline = recovery_timeline(spec, fire);
+                let mut last = fire + SimTime::from_ms(spec.control_plane_ms);
+                for ready in &timeline {
+                    last = last.max(*ready);
+                }
+                rec_report = Some(RecoverySimReport {
+                    started_ms: fire.as_ms(),
+                    latency_ms: last.since(fire).as_ms(),
+                    dark_servers: dark,
+                    reflashes_done: spec.ops.iter().filter(|o| o.reflash && !o.prepared).count(),
+                    copied_gib: spec.pending_copy_gib(),
+                    precopied_gib: spec.prepared_gib(),
+                });
             }
         }
     }
@@ -698,25 +891,35 @@ pub fn simulate_with_recovery(
         })
         .collect();
 
-    let class_reports = specs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, spec)| {
-            classes[i]
-                .iter()
-                .enumerate()
-                .map(|(c, cls)| ClassReport {
+    // Class rows first: single-class rows copy the service-level data
+    // before the service rows take ownership of the histograms below;
+    // multi-class rows move their own histograms out of the flat array.
+    let mut class_reports = Vec::with_capacity(total_classes);
+    for (i, spec) in specs.iter().enumerate() {
+        if single[i] {
+            class_reports.push(ClassReport {
+                service_id: spec.id,
+                class: 0,
+                network_ms: classes[i][0].network_ms,
+                offered: offered[i],
+                completed: completed[i],
+                completed_within_slo: within_slo[i],
+                latency: latency[i].clone(),
+            });
+        } else {
+            for (c, cls) in classes[i].iter().enumerate() {
+                class_reports.push(ClassReport {
                     service_id: spec.id,
                     class: c,
                     network_ms: cls.network_ms,
-                    offered: class_offered[i][c],
-                    completed: class_completed[i][c],
-                    completed_within_slo: class_within[i][c],
-                    latency: class_latency[i][c].clone(),
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+                    offered: class_offered[cbase[i] + c],
+                    completed: class_completed[cbase[i] + c],
+                    completed_within_slo: class_within[cbase[i] + c],
+                    latency: std::mem::take(&mut class_latency[cbase[i] + c]),
+                });
+            }
+        }
+    }
 
     ServingReport {
         duration_s: config.duration_s,
@@ -730,7 +933,7 @@ pub fn simulate_with_recovery(
                 batches: batches[i],
                 violated_batches: violated[i],
                 completed_within_slo: within_slo[i],
-                latency: latency[i].clone(),
+                latency: std::mem::take(&mut latency[i]),
             })
             .collect(),
         servers: server_reports,
@@ -1320,5 +1523,124 @@ mod tests {
         let report = simulate(&d, &specs, &quick_config());
         assert_eq!(report.services[0].completed, 0);
         assert!(report.services[0].offered > 0);
+    }
+
+    mod reference_equivalence {
+        //! The optimized engine against the frozen pre-optimization
+        //! simulator: full-JSON bit identity over arbitrary seeds,
+        //! window shapes, arrival processes, deployment kinds (MIG and
+        //! MPS), ingress class splits and recovery specs.
+
+        use super::*;
+        use crate::recovery::RecoveryOp;
+        use crate::reference::simulate_with_recovery_reference;
+        use proptest::prelude::*;
+
+        fn mig_deployment() -> (Deployment, Vec<ServiceSpec>) {
+            parva_s2()
+        }
+
+        fn mps_deployment() -> (Deployment, Vec<ServiceSpec>) {
+            let specs = Scenario::S2.services();
+            let d = parva_baselines::Gpulet::new().schedule(&specs).unwrap();
+            (d, specs)
+        }
+
+        fn arrivals_of(pick: usize) -> ArrivalProcess {
+            match pick {
+                0 => ArrivalProcess::Poisson,
+                1 => ArrivalProcess::Deterministic,
+                _ => ArrivalProcess::Mmpp {
+                    burst_factor: 4.0,
+                    mean_phase_s: 0.4,
+                },
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(10))]
+
+            #[test]
+            fn optimized_engine_is_bit_identical_to_reference(
+                seed in 0u64..1_000_000,
+                duration_tenths in 5u32..25,
+                mps in 0u32..2,
+                arrivals_pick in 0usize..3,
+                remote_share in 0u32..=5,       // x10% of traffic remote
+                rtt in 1.0f64..180.0,
+                recovery_pick in 0u32..3,       // 0: no recovery
+                prepared in 0u32..2,
+                start_pick in 0u32..3,          // window start / mid / drain tail
+            ) {
+                let (d, specs) = if mps == 1 {
+                    mps_deployment()
+                } else {
+                    mig_deployment()
+                };
+                let config = ServingConfig {
+                    warmup_s: 0.4,
+                    duration_s: f64::from(duration_tenths) / 10.0,
+                    drain_s: 0.5,
+                    seed,
+                    arrivals: arrivals_of(arrivals_pick),
+                };
+                // Ingress: either default single-class or a two-class
+                // local/remote split per service.
+                let ingress: Vec<Vec<IngressClass>> = if remote_share == 0 {
+                    Vec::new()
+                } else {
+                    let share = f64::from(remote_share) / 10.0;
+                    specs
+                        .iter()
+                        .map(|s| {
+                            vec![
+                                IngressClass::local(s.request_rate_rps * (1.0 - share)),
+                                IngressClass {
+                                    rate_rps: s.request_rate_rps * share,
+                                    network_ms: rtt,
+                                },
+                            ]
+                        })
+                        .collect()
+                };
+                // Exercise the whole recovery-start space, including a
+                // begin event landing in the drain tail (where the
+                // optimized loop's post-window fixup must reproduce the
+                // drained loop's report exactly).
+                let start_ms = match start_pick {
+                    0 => 400.0,
+                    1 => 400.0 + f64::from(duration_tenths) * 50.0,
+                    _ => 400.0 + f64::from(duration_tenths) * 100.0 + 200.0,
+                };
+                let recovery = (recovery_pick > 0).then(|| RecoverySpec {
+                    start_ms,
+                    control_plane_ms: 150.0,
+                    reflash_ms: 800.0,
+                    link_gib_per_s: 22.0,
+                    ops: (0..recovery_pick as usize + 1)
+                        .map(|i| RecoveryOp {
+                            node: i / 2,
+                            logical_gpu: Some(i),
+                            reflash: i % 2 == 0,
+                            copy_gib: 4.0 * (i + 1) as f64,
+                            prepared: prepared == 1,
+                        })
+                        .collect(),
+                });
+                let fast =
+                    simulate_with_recovery(&d, &specs, &ingress, recovery.as_ref(), &config);
+                let slow = simulate_with_recovery_reference(
+                    &d,
+                    &specs,
+                    &ingress,
+                    recovery.as_ref(),
+                    &config,
+                );
+                prop_assert_eq!(
+                    serde_json::to_string(&fast).expect("serializable"),
+                    serde_json::to_string(&slow).expect("serializable")
+                );
+            }
+        }
     }
 }
