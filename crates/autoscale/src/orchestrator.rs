@@ -4,7 +4,7 @@ use crate::trace::RateTrace;
 use parva_core::{configure, reconfigure, ParvaGpu, Service};
 use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
 use parva_profile::ProfileBook;
-use parva_serve::{simulate, ServingConfig, ServingReport};
+use parva_serve::{ServingConfig, ServingReport, Simulation};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one trace epoch.
@@ -89,7 +89,9 @@ pub fn run_traced(
     // Epoch 0: full plan.
     let specs0 = scaled_specs(base, trace.multiplier(0));
     let (mut services, mut deployment): (Vec<Service>, MigDeployment) = scheduler.plan(&specs0)?;
-    let report0 = simulate(&Deployment::Mig(deployment.clone()), &specs0, serving);
+    let report0 = Simulation::new(&Deployment::Mig(deployment.clone()), &specs0)
+        .config(serving)
+        .run();
     epochs.push(epoch_report(
         0,
         trace.multiplier(0),
@@ -112,7 +114,9 @@ pub fn run_traced(
                 .expect("service set is stable across epochs");
             services[slot] = outcome.service;
         }
-        let report = simulate(&Deployment::Mig(deployment.clone()), &specs, serving);
+        let report = Simulation::new(&Deployment::Mig(deployment.clone()), &specs)
+            .config(serving)
+            .run();
         epochs.push(epoch_report(
             epoch,
             trace.multiplier(epoch),
@@ -160,7 +164,9 @@ pub fn run_traced_replan(
         let services = configure(&specs, scheduler.book(), scheduler.max_procs())?;
         let deployment = parva_core::allocator::allocate(&services, scheduler.allocator_config());
         let churn = prev.as_ref().map_or(0, |p| diff_count(p, &deployment));
-        let report = simulate(&Deployment::Mig(deployment.clone()), &specs, serving);
+        let report = Simulation::new(&Deployment::Mig(deployment.clone()), &specs)
+            .config(serving)
+            .run();
         epochs.push(epoch_report(
             epoch,
             trace.multiplier(epoch),

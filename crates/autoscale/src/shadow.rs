@@ -22,7 +22,7 @@
 
 use parva_core::reconfigure::ReconfigOutcome;
 use parva_deploy::{Deployment, MigDeployment, PlacedSegment, ServiceSpec};
-use parva_serve::{simulate, ServingConfig};
+use parva_serve::{ServingConfig, Simulation};
 use serde::{Deserialize, Serialize};
 
 /// Compliance of the three window variants. All three use *request-level*
@@ -148,11 +148,17 @@ pub fn simulate_displacement_window(
 ) -> DisruptionReport {
     let window = displacement_window(before, displaced_gpus);
 
-    let control =
-        simulate(&Deployment::Mig(before.clone()), specs, config).overall_request_compliance_rate();
-    let blackout_compliance = simulate(&Deployment::Mig(window.blackout), specs, config)
+    let control = Simulation::new(&Deployment::Mig(before.clone()), specs)
+        .config(config)
+        .run()
         .overall_request_compliance_rate();
-    let shadowed_compliance = simulate(&Deployment::Mig(window.shadowed), specs, config)
+    let blackout_compliance = Simulation::new(&Deployment::Mig(window.blackout), specs)
+        .config(config)
+        .run()
+        .overall_request_compliance_rate();
+    let shadowed_compliance = Simulation::new(&Deployment::Mig(window.shadowed), specs)
+        .config(config)
+        .run()
         .overall_request_compliance_rate();
 
     DisruptionReport {

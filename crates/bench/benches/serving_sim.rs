@@ -6,7 +6,7 @@ use parva_core::ParvaGpu;
 use parva_deploy::Scheduler;
 use parva_profile::ProfileBook;
 use parva_scenarios::Scenario;
-use parva_serve::{simulate, ServingConfig};
+use parva_serve::{ServingConfig, Simulation};
 
 fn bench_serving(c: &mut Criterion) {
     let book = ProfileBook::builtin();
@@ -23,7 +23,11 @@ fn bench_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_sim");
     group.sample_size(10);
     group.bench_function("s2_one_second", |b| {
-        b.iter(|| simulate(std::hint::black_box(&deployment), &specs, &config))
+        b.iter(|| {
+            Simulation::new(std::hint::black_box(&deployment), &specs)
+                .config(&config)
+                .run()
+        })
     });
     group.finish();
 }

@@ -14,7 +14,7 @@ use parva_deploy::Scheduler;
 use parva_metrics::TextTable;
 use parva_profile::ProfileBook;
 use parva_scenarios::Scenario;
-use parva_serve::{simulate, ArrivalProcess, ServingConfig};
+use parva_serve::{ArrivalProcess, ServingConfig, Simulation};
 
 fn main() {
     let book = ProfileBook::builtin();
@@ -51,7 +51,7 @@ fn main() {
             seed: 21,
             arrivals,
         };
-        let report = simulate(&deployment, &specs, &cfg);
+        let report = Simulation::new(&deployment, &specs).config(&cfg).run();
         // Worst p99-to-SLO ratio across services.
         let worst = specs
             .iter()

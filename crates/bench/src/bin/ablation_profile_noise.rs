@@ -16,7 +16,7 @@ use parva_metrics::{internal_slack, slo_compliance, TextTable};
 use parva_perf::Model;
 use parva_profile::{ProfileBook, SweepGrid};
 use parva_scenarios::Scenario;
-use parva_serve::{simulate, ServingConfig};
+use parva_serve::{ServingConfig, Simulation};
 
 fn main() {
     let specs = Scenario::S2.services();
@@ -36,7 +36,7 @@ fn main() {
                 Ok(d) => {
                     // Serving uses the TRUE performance model; the scheduler
                     // planned with noisy beliefs.
-                    let report = simulate(&d, &specs, &serving);
+                    let report = Simulation::new(&d, &specs).config(&serving).run();
                     table.row(vec![
                         format!("{:.0}", rel_err * 100.0),
                         seed.to_string(),

@@ -3,6 +3,11 @@
 //! recovery latency and mixed-pricing cost — then write `fleet_chaos.csv`
 //! under `results/`.
 //!
+//! Each row runs the registered `fleet_chaos` [`ScenarioSpec`] (the same
+//! declarative object behind `parvactl run fleet_chaos`) with the row's
+//! seed — the experiment definition lives in the spec registry, not in
+//! this binary.
+//!
 //! Every column except `sim_wall_ms` is deterministic per seed;
 //! `sim_wall_ms` is the measured wall-clock of the run on the current
 //! host (the DES perf trajectory also tracked by `perf_sweep`).
@@ -10,34 +15,29 @@
 //! Usage: `cargo run --release -p parva-bench --bin fleet_chaos [seeds]`
 
 use parva_bench::write_csv;
-use parva_fleet::{demo_services, run_chaos, FleetConfig, FleetSpec};
-use parva_profile::ProfileBook;
+use parvagpu::scenarios::{spec_by_name, ScenarioReport};
 
 fn main() {
     let seeds: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
-    let book = ProfileBook::builtin();
-    let spec = FleetSpec::mixed_demo(2);
+    let spec = spec_by_name("fleet_chaos").expect("registered builtin");
 
     let mut csv = String::from(
         "seed,events,migrations,reflashes,worst_measured_dip_pct,worst_analytic_dip_pct,\
          worst_sim_recovery_ms,worst_analytic_recovery_ms,precopied_gib,final_usd_per_hour,\
          recovered,sim_wall_ms\n",
     );
-    println!("== fleet chaos: {seeds} seeds, mixed A100-80/A100-40/H100-spot fleet ==\n");
+    println!("== fleet chaos: {seeds} seeds, spec '{}' ==\n", spec.name);
     for seed in 0..seeds as u64 {
-        let config = FleetConfig {
-            seed,
-            intervals: 8,
-            ..FleetConfig::default()
-        };
+        let mut run = spec.clone();
+        run.seed = seed;
         let run_started = std::time::Instant::now();
-        let outcome = run_chaos(&book, &demo_services(), &spec, &config);
+        let outcome = run.run();
         let sim_wall_ms = run_started.elapsed().as_secs_f64() * 1e3;
         match outcome {
-            Ok(report) => {
+            Ok(ScenarioReport::Fleet(report)) => {
                 let last_cost = report
                     .events
                     .last()
@@ -57,6 +57,7 @@ fn main() {
                 ));
                 println!("{}", report.render());
             }
+            Ok(_) => unreachable!("fleet spec returns a fleet report"),
             Err(e) => {
                 csv.push_str(&format!(
                     "{seed},0,0,0,0,0,0,0,0,0,error,{sim_wall_ms:.1}\n"

@@ -14,7 +14,11 @@
 //!   multi-core hosts; memoization is roughly neutral (it removes events
 //!   and their cost together),
 //! * `loop_wall_ms` — wall time spent inside event loops, summed across
-//!   threads (under parallel fan-out this exceeds the scenario wall),
+//!   threads (under parallel fan-out this exceeds the scenario wall and
+//!   over-counts when threads time-slice one core),
+//! * `loop_cpu_ms` — per-thread CPU time inside event loops
+//!   (`clock_gettime(CLOCK_THREAD_CPUTIME_ID)`): the engine metric that
+//!   stays exact under fan-out; 0 on platforms without the clock,
 //! * `wall_ms` — end-to-end wall time of the whole scenario,
 //! * `peak_queue_depth` — the largest pending-event count any sim reached,
 //! * `cache_hit_rate` — the fleet orchestrator's simulation-cache hit rate
@@ -31,7 +35,7 @@
 
 use parva_deploy::Scheduler;
 use parva_profile::ProfileBook;
-use parva_serve::{simulate, ServingConfig};
+use parva_serve::{ServingConfig, Simulation};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -43,6 +47,9 @@ struct ScenarioPerf {
     events: u64,
     events_per_sec: f64,
     loop_wall_ms: f64,
+    /// Absent from pre-PR baselines; defaults to 0 when checking old files.
+    #[serde(default)]
+    loop_cpu_ms: f64,
     wall_ms: f64,
     peak_queue_depth: u64,
     cache_hit_rate: f64,
@@ -82,6 +89,7 @@ fn measure(name: &str, body: impl FnOnce()) -> ScenarioPerf {
             snap.events as f64 / (wall_ms / 1e3)
         },
         loop_wall_ms: snap.loop_nanos as f64 / 1e6,
+        loop_cpu_ms: snap.loop_cpu_nanos as f64 / 1e6,
         wall_ms,
         peak_queue_depth: snap.peak_queue_depth,
         cache_hit_rate: if lookups == 0 {
@@ -115,7 +123,7 @@ fn main() {
     let small_reps = if quick { 3 } else { 10 };
     let small = measure("small", || {
         for _ in 0..small_reps {
-            let r = simulate(&d2, &s2, &ServingConfig::default());
+            let r = Simulation::new(&d2, &s2).run();
             assert!(r.overall_compliance_rate() > 0.0);
         }
     });
@@ -165,11 +173,12 @@ fn main() {
     };
     for s in &doc.scenarios {
         println!(
-            "{:<11} {:>9} events in {:>8.1} ms loop ({:>10.0} events/s) | \
+            "{:<11} {:>9} events in {:>8.1} ms loop ({:>8.1} ms cpu, {:>10.0} events/s) | \
              wall {:>8.1} ms, {:>3} sims, peak queue {:>5}, cache hit {:>5.1}%",
             s.name,
             s.events,
             s.loop_wall_ms,
+            s.loop_cpu_ms,
             s.events_per_sec,
             s.wall_ms,
             s.sims,

@@ -4,6 +4,11 @@
 //! dips, regional cost), and write `region_failover.csv` under
 //! `results/`.
 //!
+//! Each row runs the registered `region_failover` [`ScenarioSpec`] (the
+//! same declarative object behind `parvactl run region_failover`) with
+//! the row's seed — the experiment definition lives in the spec
+//! registry, not in this binary.
+//!
 //! Every column except `sim_wall_ms` is deterministic per seed —
 //! re-running reproduces those byte for byte; `sim_wall_ms` is the
 //! measured wall-clock of the run on the current host.
@@ -11,42 +16,32 @@
 //! Usage: `cargo run --release -p parva-bench --bin region_failover [seeds]`
 
 use parva_bench::write_csv;
-use parva_profile::ProfileBook;
-use parva_region::{
-    demo_services, run_federation, EvacuationDrill, FederationConfig, FederationSpec,
-};
+use parvagpu::scenarios::{spec_by_name, ScenarioReport};
 
 fn main() {
     let seeds: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
-    let book = ProfileBook::builtin();
-    let spec = FederationSpec::three_region_demo();
-    let services = demo_services();
+    let spec = spec_by_name("region_failover").expect("registered builtin");
 
     let mut csv = String::from(
         "seed,intervals,spill_rps_total,worst_spilled_p99_ms,worst_dip_pct,\
          worst_recovery_ms,precopied_gib,final_compliance_pct,final_usd_per_hour,recovered,\
          sim_wall_ms\n",
     );
-    println!("== region failover: {seeds} seeds, 3-region federation, evacuation drill ==\n");
+    println!(
+        "== region failover: {seeds} seeds, spec '{}' ==\n",
+        spec.name
+    );
     for seed in 0..seeds as u64 {
-        let config = FederationConfig {
-            seed,
-            intervals: 8,
-            drill: Some(EvacuationDrill {
-                region: 0,
-                evacuate_at: 3,
-                failback_at: 6,
-            }),
-            ..FederationConfig::default()
-        };
+        let mut run = spec.clone();
+        run.seed = seed;
         let run_started = std::time::Instant::now();
-        let outcome = run_federation(&book, &services, &spec, &config);
+        let outcome = run.run();
         let sim_wall_ms = run_started.elapsed().as_secs_f64() * 1e3;
         match outcome {
-            Ok(report) => {
+            Ok(ScenarioReport::Region(report)) => {
                 let final_cost = report
                     .intervals
                     .last()
@@ -65,6 +60,7 @@ fn main() {
                 ));
                 println!("{}", report.render());
             }
+            Ok(_) => unreachable!("region spec returns a region report"),
             Err(e) => {
                 csv.push_str(&format!("{seed},0,0,0,0,0,0,0,0,error,{sim_wall_ms:.1}\n"));
                 println!("seed {seed}: {e}\n");

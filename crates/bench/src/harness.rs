@@ -5,7 +5,7 @@ use parva_deploy::{Deployment, ScheduleError, Scheduler, ServiceSpec};
 use parva_metrics::{external_fragmentation, internal_slack, slo_compliance};
 use parva_profile::ProfileBook;
 use parva_scenarios::Scenario;
-use parva_serve::{simulate, ServingConfig};
+use parva_serve::{ServingConfig, Simulation};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -101,7 +101,7 @@ pub fn evaluate_scenario(
             let fragmentation = deployment.as_ref().ok().map(external_fragmentation);
             let (slack, compliance) = match (&deployment, with_serving) {
                 (Ok(d), true) => {
-                    let report = simulate(d, &specs, serving);
+                    let report = Simulation::new(d, &specs).config(serving).run();
                     (Some(internal_slack(&report)), Some(slo_compliance(&report)))
                 }
                 _ => (None, None),

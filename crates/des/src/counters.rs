@@ -1,14 +1,19 @@
 //! Global DES throughput counters.
 //!
 //! The serving simulator records, once per completed run, how many events
-//! its queue processed, the peak pending-event depth, and the wall-clock
-//! nanoseconds spent inside the event loop. Benchmarks (`perf_sweep`)
-//! reset these, drive a scenario, and read the aggregate back — the
-//! counters never influence simulation behaviour, so instrumented and
-//! uninstrumented runs produce identical reports.
+//! its queue processed, the peak pending-event depth, and the time spent
+//! inside the event loop — both wall-clock nanoseconds and *per-thread CPU*
+//! nanoseconds. Benchmarks (`perf_sweep`) reset these, drive a scenario,
+//! and read the aggregate back — the counters never influence simulation
+//! behaviour, so instrumented and uninstrumented runs produce identical
+//! reports.
 //!
 //! All counters are process-global atomics: scoped-thread fan-outs (fleet
-//! probes, per-region serving) accumulate into the same totals.
+//! probes, per-region serving) accumulate into the same totals. The wall
+//! column over-counts under time-slicing (two loops sharing one core both
+//! bill their full span); the CPU column is exact under fan-out because
+//! each thread bills only the cycles it actually ran
+//! (`clock_gettime(CLOCK_THREAD_CPUTIME_ID)`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,13 +21,74 @@ static EVENTS: AtomicU64 = AtomicU64::new(0);
 static SIMS: AtomicU64 = AtomicU64::new(0);
 static PEAK_QUEUE: AtomicU64 = AtomicU64::new(0);
 static LOOP_NANOS: AtomicU64 = AtomicU64::new(0);
+static LOOP_CPU_NANOS: AtomicU64 = AtomicU64::new(0);
 
-/// Record one finished simulation run.
-pub fn record_sim(events: u64, peak_queue: usize, loop_nanos: u64) {
+/// Per-thread CPU clock. The only unsafe in the workspace: a direct
+/// `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` FFI call (libc is always
+/// linked by std on Linux, so no new dependency). Gated to 64-bit Linux —
+/// the hand-rolled `Timespec { i64, i64 }` matches the C `timespec` ABI
+/// only where `time_t` and `long` are 64-bit; other platforms report zero
+/// CPU time and keep the wall column.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+#[allow(unsafe_code)]
+mod cputime {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// `CLOCK_THREAD_CPUTIME_ID` on Linux.
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+
+    /// CPU nanoseconds consumed by the calling thread since it started.
+    pub fn thread_cpu_nanos() -> u64 {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid, writable Timespec matching the libc ABI;
+        // clock_gettime only writes through the pointer.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc != 0 {
+            return 0;
+        }
+        u64::try_from(ts.tv_sec).unwrap_or(0) * 1_000_000_000
+            + u64::try_from(ts.tv_nsec).unwrap_or(0)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+mod cputime {
+    /// Unsupported platform: no per-thread CPU clock, callers fall back to
+    /// the wall column (a zero delta keeps the CPU counter at zero rather
+    /// than lying).
+    pub fn thread_cpu_nanos() -> u64 {
+        0
+    }
+}
+
+/// CPU nanoseconds consumed by the calling thread so far (0 where the
+/// platform has no per-thread CPU clock). Take a reading before and after
+/// a loop and record the difference via [`record_sim`].
+#[must_use]
+pub fn thread_cpu_nanos() -> u64 {
+    cputime::thread_cpu_nanos()
+}
+
+/// Record one finished simulation run. `loop_nanos` is the wall-clock span
+/// of the event loop; `cpu_nanos` is the calling thread's CPU time over
+/// the same span (0 where unsupported).
+pub fn record_sim(events: u64, peak_queue: usize, loop_nanos: u64, cpu_nanos: u64) {
     EVENTS.fetch_add(events, Ordering::Relaxed);
     SIMS.fetch_add(1, Ordering::Relaxed);
     PEAK_QUEUE.fetch_max(peak_queue as u64, Ordering::Relaxed);
     LOOP_NANOS.fetch_add(loop_nanos, Ordering::Relaxed);
+    LOOP_CPU_NANOS.fetch_add(cpu_nanos, Ordering::Relaxed);
 }
 
 /// A point-in-time copy of the counters.
@@ -35,8 +101,13 @@ pub struct Snapshot {
     /// Largest pending-event queue depth seen in any run.
     pub peak_queue_depth: u64,
     /// Wall-clock nanoseconds spent inside event loops (summed across
-    /// threads, so it can exceed elapsed wall time under parallelism).
+    /// threads, so it can exceed elapsed wall time under parallelism and
+    /// over-counts when threads time-slice one core).
     pub loop_nanos: u64,
+    /// Per-thread CPU nanoseconds spent inside event loops — exact under
+    /// fan-out: each thread bills only cycles it ran. 0 on platforms
+    /// without `CLOCK_THREAD_CPUTIME_ID`.
+    pub loop_cpu_nanos: u64,
 }
 
 impl Snapshot {
@@ -50,6 +121,18 @@ impl Snapshot {
             self.events as f64 / (self.loop_nanos as f64 / 1e9)
         }
     }
+
+    /// Event throughput per CPU second inside the loop — the engine metric
+    /// that stays exact under thread fan-out (0 when no CPU time was
+    /// recorded, e.g. on platforms without a per-thread CPU clock).
+    #[must_use]
+    pub fn events_per_cpu_sec(&self) -> f64 {
+        if self.loop_cpu_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.loop_cpu_nanos as f64 / 1e9)
+        }
+    }
 }
 
 /// Read the current counter values.
@@ -60,6 +143,7 @@ pub fn snapshot() -> Snapshot {
         sims: SIMS.load(Ordering::Relaxed),
         peak_queue_depth: PEAK_QUEUE.load(Ordering::Relaxed),
         loop_nanos: LOOP_NANOS.load(Ordering::Relaxed),
+        loop_cpu_nanos: LOOP_CPU_NANOS.load(Ordering::Relaxed),
     }
 }
 
@@ -69,6 +153,7 @@ pub fn reset() {
     SIMS.store(0, Ordering::Relaxed);
     PEAK_QUEUE.store(0, Ordering::Relaxed);
     LOOP_NANOS.store(0, Ordering::Relaxed);
+    LOOP_CPU_NANOS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -78,16 +163,60 @@ mod tests {
     #[test]
     fn record_and_snapshot_roundtrip() {
         reset();
-        record_sim(100, 7, 1_000_000);
-        record_sim(50, 12, 500_000);
+        record_sim(100, 7, 1_000_000, 900_000);
+        record_sim(50, 12, 500_000, 400_000);
         let s = snapshot();
         assert_eq!(s.events, 150);
         assert_eq!(s.sims, 2);
         assert_eq!(s.peak_queue_depth, 12);
         assert_eq!(s.loop_nanos, 1_500_000);
+        assert_eq!(s.loop_cpu_nanos, 1_300_000);
         assert!((s.events_per_sec() - 1e5).abs() < 1e-6);
+        assert!((s.events_per_cpu_sec() - 150.0 / 1.3e-3).abs() < 1e-6);
         reset();
         assert_eq!(snapshot(), Snapshot::default());
         assert_eq!(snapshot().events_per_sec(), 0.0);
+        assert_eq!(snapshot().events_per_cpu_sec(), 0.0);
+    }
+
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    #[test]
+    fn thread_cpu_clock_is_monotone_and_advances_under_work() {
+        let before = thread_cpu_nanos();
+        // Burn a visible amount of CPU; volatile-ish accumulation keeps
+        // the loop from being optimized out.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        assert!(acc != 42, "keep the work observable");
+        let after = thread_cpu_nanos();
+        assert!(after >= before, "thread CPU clock went backwards");
+        assert!(after > 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+        assert!(
+            after > before,
+            "2M multiply-adds consumed no measurable CPU time"
+        );
+    }
+
+    #[test]
+    fn cpu_time_never_wildly_exceeds_wall_on_one_thread() {
+        // A single thread's CPU time over a span cannot exceed the wall
+        // span (modulo clock granularity); sanity-check the pairing used
+        // by the serving loop.
+        let wall = std::time::Instant::now();
+        let cpu0 = thread_cpu_nanos();
+        let mut acc = 1u64;
+        for i in 1..500_000u64 {
+            acc = acc.wrapping_mul(i | 1);
+        }
+        assert!(acc != 0);
+        let cpu = thread_cpu_nanos().saturating_sub(cpu0);
+        let wall = wall.elapsed().as_nanos() as u64;
+        // 5 ms of slack absorbs timer granularity on coarse kernels.
+        assert!(
+            cpu <= wall + 5_000_000,
+            "cpu {cpu} ns exceeds wall {wall} ns"
+        );
     }
 }

@@ -17,7 +17,10 @@
 //! The serving model itself (requests, batching, SLO accounting) lives in
 //! `parva-serve`; this crate knows nothing about GPUs.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the per-thread CPU clock in `counters::cputime` is
+// the one sanctioned FFI call (clock_gettime) and carries its own narrowly
+// scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calendar;

@@ -34,7 +34,7 @@ use parva_core::{reconfigure, ParvaGpu, Service};
 use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
 use parva_des::RngStream;
 use parva_profile::ProfileBook;
-use parva_serve::{simulate, simulate_with_recovery, RecoverySpec, ServingConfig, ServingReport};
+use parva_serve::{RecoverySpec, ServingConfig, ServingReport, Simulation};
 use std::collections::BTreeMap;
 
 /// Default per-recovery replacement-node budget (see
@@ -151,14 +151,15 @@ impl ProbeJob<'_> {
     /// Run the simulation this probe describes.
     fn run(&self, serving: &ServingConfig) -> ServingReport {
         match self {
-            Self::Plain(d, specs) => simulate(&Deployment::Mig((*d).clone()), specs, serving),
-            Self::Recovery(d, specs, spec) => simulate_with_recovery(
-                &Deployment::Mig((*d).clone()),
-                specs,
-                &[],
-                Some(spec),
-                serving,
-            ),
+            Self::Plain(d, specs) => Simulation::new(&Deployment::Mig((*d).clone()), specs)
+                .config(serving)
+                .run(),
+            Self::Recovery(d, specs, spec) => {
+                Simulation::new(&Deployment::Mig((*d).clone()), specs)
+                    .recovery(spec)
+                    .config(serving)
+                    .run()
+            }
         }
     }
 }

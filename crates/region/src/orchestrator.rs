@@ -29,12 +29,14 @@ use parva_fleet::{FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
 use parva_profile::ProfileBook;
 use parva_scenarios::diurnal_multiplier;
 use parva_serve::{
-    simulate_with_recovery, IngressClass, RecoveryOp, RecoverySpec, ServingConfig, ServingReport,
+    IngressClass, RecoveryOp, RecoverySpec, ServingConfig, ServingReport, Simulation,
 };
+use serde::{Deserialize, Serialize};
 
 /// A scripted evacuation + failback exercise overlaid on the seeded
 /// chaos stream — the deterministic scenario behind `parvactl region`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Serde-visible so declarative scenario specs can script drills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvacuationDrill {
     /// Region to drain.
     pub region: usize,
@@ -815,13 +817,14 @@ impl Federation {
                 .wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             ..self.config.serving
         };
-        simulate_with_recovery(
+        Simulation::new(
             &parva_deploy::Deployment::Mig(orchestrator.deployment().clone()),
             &specs,
-            &ingress,
-            recovery,
-            &serving,
         )
+        .ingress(&ingress)
+        .recovery_opt(recovery)
+        .config(&serving)
+        .run()
     }
 
     /// Measure the undisturbed interval 0 (all regions serving locally).

@@ -30,11 +30,14 @@ mod reference;
 pub mod report;
 pub mod router;
 pub mod sim;
+pub mod simulation;
 
 pub use recovery::{RecoveryOp, RecoverySimReport, RecoverySpec};
 pub use report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 pub use router::Router;
+#[allow(deprecated)]
 pub use sim::{
     simulate, simulate_with_ingress, simulate_with_recovery, ArrivalProcess, IngressClass,
     ServingConfig,
 };
+pub use simulation::Simulation;

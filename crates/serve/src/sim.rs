@@ -15,6 +15,7 @@ use parva_deploy::{Deployment, ServiceSpec};
 use parva_des::{CalendarQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
 use parva_perf::interference::total_interference;
 use parva_perf::{ComputeShare, Model, PerfParams};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One ingress class of a service's offered load.
@@ -27,7 +28,7 @@ use std::collections::{BTreeMap, VecDeque};
 /// every completed request's measured latency is `queue + service +
 /// network_ms`, and the SLO check runs against that sum, so a spilled
 /// request has a tighter effective queueing budget than a local one.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IngressClass {
     /// Offered rate of this class, req/s.
     pub rate_rps: f64,
@@ -54,7 +55,7 @@ impl IngressClass {
 /// queuing budget of §IV-A is sized for). The bursty variant stresses that
 /// budget: a Markov-modulated Poisson process alternates calm and burst
 /// phases around the same mean rate, fattening the queue-length tail.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// Memoryless arrivals at the offered rate (the default).
     Poisson,
@@ -90,7 +91,7 @@ impl ArrivalProcess {
 }
 
 /// Serving-simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServingConfig {
     /// Warm-up period excluded from measurement, seconds.
     pub warmup_s: f64,
@@ -367,15 +368,20 @@ fn recovery_timeline(spec: &RecoverySpec, t0: SimTime) -> Vec<SimTime> {
 /// Run the serving simulation for `deployment` under `specs`' offered load.
 ///
 /// Fully deterministic for a given `config.seed`. Each service is offered
-/// one purely local ingress class at its spec rate; use
-/// [`simulate_with_ingress`] for multi-class (cross-region) load.
+/// one purely local ingress class at its spec rate.
 #[must_use]
+#[deprecated(
+    since = "0.2.0",
+    note = "use serve::Simulation::new(deployment, specs).config(config).run()"
+)]
 pub fn simulate(
     deployment: &Deployment,
     specs: &[ServiceSpec],
     config: &ServingConfig,
 ) -> ServingReport {
-    simulate_with_ingress(deployment, specs, &[], config)
+    crate::Simulation::new(deployment, specs)
+        .config(config)
+        .run()
 }
 
 /// Salt mixed into the arrival stream seed of ingress classes ≥ 1 so every
@@ -397,13 +403,20 @@ pub(crate) fn class_seed(seed: u64, class: usize) -> u64 {
 ///
 /// Fully deterministic for a given `config.seed`.
 #[must_use]
+#[deprecated(
+    since = "0.2.0",
+    note = "use serve::Simulation::new(deployment, specs).ingress(ingress).config(config).run()"
+)]
 pub fn simulate_with_ingress(
     deployment: &Deployment,
     specs: &[ServiceSpec],
     ingress: &[Vec<IngressClass>],
     config: &ServingConfig,
 ) -> ServingReport {
-    simulate_with_recovery(deployment, specs, ingress, None, config)
+    crate::Simulation::new(deployment, specs)
+        .ingress(ingress)
+        .config(config)
+        .run()
 }
 
 /// Launch one batch of `size` on `server` (caller checked feasibility).
@@ -487,12 +500,35 @@ fn try_start(
 /// completes, so the disruption-window compliance dip and the end-to-end
 /// recovery latency are *measured* outcomes of the DES
 /// ([`ServingReport::recovery`]), not closed-form estimates. `None` (or an
-/// empty spec) is bit-identical to [`simulate_with_ingress`].
+/// empty spec) is bit-identical to a recovery-free run.
 ///
 /// Fully deterministic for a given `config.seed`.
 #[must_use]
-#[allow(clippy::too_many_lines)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use serve::Simulation::new(deployment, specs).ingress(ingress)\
+            .recovery_opt(recovery).config(config).run()"
+)]
 pub fn simulate_with_recovery(
+    deployment: &Deployment,
+    specs: &[ServiceSpec],
+    ingress: &[Vec<IngressClass>],
+    recovery: Option<&RecoverySpec>,
+    config: &ServingConfig,
+) -> ServingReport {
+    crate::Simulation::new(deployment, specs)
+        .ingress(ingress)
+        .recovery_opt(recovery)
+        .config(config)
+        .run()
+}
+
+/// The serving engine proper — every public surface ([`crate::Simulation`]
+/// and the deprecated `simulate*` shims) funnels through this one
+/// function, so there is exactly one event loop to optimize and one to
+/// property-test against the frozen reference.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_simulation(
     deployment: &Deployment,
     specs: &[ServiceSpec],
     ingress: &[Vec<IngressClass>],
@@ -680,6 +716,7 @@ pub fn simulate_with_recovery(
     // event). Skipping the tail is therefore bit-identical and saves the
     // whole drain period's event processing.
     let loop_started = std::time::Instant::now();
+    let cpu_started = parva_des::counters::thread_cpu_nanos();
     while let Some((t, payload)) = q.pop() {
         if t > win_end {
             break;
@@ -841,6 +878,7 @@ pub fn simulate_with_recovery(
         q.processed(),
         q.peak_pending(),
         loop_started.elapsed().as_nanos() as u64,
+        parva_des::counters::thread_cpu_nanos().saturating_sub(cpu_started),
     );
 
     // Post-window recovery fixup: a recovery that begins inside the drain
@@ -945,6 +983,44 @@ pub fn simulate_with_recovery(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-local shorthand for the builder chain (the deprecated shims
+    /// have their own equivalence proptests; behavioral tests run through
+    /// the one real entry point).
+    fn sim(
+        d: &Deployment,
+        specs: &[ServiceSpec],
+        cfg: &ServingConfig,
+    ) -> crate::report::ServingReport {
+        crate::Simulation::new(d, specs).config(cfg).run()
+    }
+
+    fn sim_ingress(
+        d: &Deployment,
+        specs: &[ServiceSpec],
+        ingress: &[Vec<IngressClass>],
+        cfg: &ServingConfig,
+    ) -> crate::report::ServingReport {
+        crate::Simulation::new(d, specs)
+            .ingress(ingress)
+            .config(cfg)
+            .run()
+    }
+
+    fn sim_recovery(
+        d: &Deployment,
+        specs: &[ServiceSpec],
+        ingress: &[Vec<IngressClass>],
+        recovery: Option<&RecoverySpec>,
+        cfg: &ServingConfig,
+    ) -> crate::report::ServingReport {
+        crate::Simulation::new(d, specs)
+            .ingress(ingress)
+            .recovery_opt(recovery)
+            .config(cfg)
+            .run()
+    }
+
     use parva_core::ParvaGpu;
     use parva_deploy::Scheduler;
     use parva_profile::ProfileBook;
@@ -970,7 +1046,7 @@ mod tests {
     #[test]
     fn parvagpu_s2_no_slo_violations() {
         let (d, specs) = parva_s2();
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         assert!(
             (report.overall_compliance_rate() - 1.0).abs() < 1e-9,
             "compliance {:.4}",
@@ -985,7 +1061,7 @@ mod tests {
         // on this substrate (see EXPERIMENTS.md); the paper's 3-5% regime
         // is reproduced at the larger scenarios (tested in end_to_end).
         let (d, specs) = parva_s2();
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         let slack = report.internal_slack();
         assert!(slack < 0.35, "slack {slack:.3} too high");
         assert!(slack >= 0.0);
@@ -994,7 +1070,7 @@ mod tests {
     #[test]
     fn conservation_laws() {
         let (d, specs) = parva_s2();
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         for s in &report.services {
             // Completions within the window may exceed window arrivals only
             // by what was queued at window start; bound loosely.
@@ -1007,7 +1083,7 @@ mod tests {
     #[test]
     fn throughput_matches_offered_rate() {
         let (d, specs) = parva_s2();
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         for (spec, s) in specs.iter().zip(&report.services) {
             let measured_rps = s.completed as f64 / report.duration_s;
             assert!(
@@ -1022,8 +1098,8 @@ mod tests {
     #[test]
     fn deterministic_with_same_seed() {
         let (d, specs) = parva_s2();
-        let a = simulate(&d, &specs, &quick_config());
-        let b = simulate(&d, &specs, &quick_config());
+        let a = sim(&d, &specs, &quick_config());
+        let b = sim(&d, &specs, &quick_config());
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
@@ -1033,8 +1109,8 @@ mod tests {
     #[test]
     fn different_seed_different_sample_path() {
         let (d, specs) = parva_s2();
-        let a = simulate(&d, &specs, &quick_config());
-        let b = simulate(
+        let a = sim(&d, &specs, &quick_config());
+        let b = sim(
             &d,
             &specs,
             &ServingConfig {
@@ -1050,7 +1126,7 @@ mod tests {
     #[test]
     fn activities_bounded() {
         let (d, specs) = parva_s2();
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         for s in &report.servers {
             assert!((0.0..=1.0).contains(&s.activity));
             assert!(s.sms > 0.0);
@@ -1086,7 +1162,7 @@ mod tests {
             829.0,
             205.0,
         )];
-        let report = simulate(&Deployment::Mig(mig), &real, &quick_config());
+        let report = sim(&Deployment::Mig(mig), &real, &quick_config());
         assert!(
             report.overall_compliance_rate() < 0.9,
             "compliance {:.3} despite ~2× overload",
@@ -1105,7 +1181,7 @@ mod tests {
             },
             ..quick_config()
         };
-        let report = simulate(&d, &specs, &cfg);
+        let report = sim(&d, &specs, &cfg);
         let offered: f64 = report
             .services
             .iter()
@@ -1122,8 +1198,8 @@ mod tests {
     #[test]
     fn bursts_fatten_the_latency_tail() {
         let (d, specs) = parva_s2();
-        let calm = simulate(&d, &specs, &quick_config());
-        let bursty = simulate(
+        let calm = sim(&d, &specs, &quick_config());
+        let bursty = sim(
             &d,
             &specs,
             &ServingConfig {
@@ -1152,8 +1228,8 @@ mod tests {
     #[test]
     fn deterministic_arrivals_have_thinner_tails_than_poisson() {
         let (d, specs) = parva_s2();
-        let poisson = simulate(&d, &specs, &quick_config());
-        let uniform = simulate(
+        let poisson = sim(&d, &specs, &quick_config());
+        let uniform = sim(
             &d,
             &specs,
             &ServingConfig {
@@ -1179,7 +1255,7 @@ mod tests {
     fn mps_deployment_runs_with_interference() {
         let specs = Scenario::S2.services();
         let d = parva_baselines::Gpulet::new().schedule(&specs).unwrap();
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         // gpulet must at least broadly serve the load.
         let total: u64 = report.services.iter().map(|s| s.completed).sum();
         assert!(total > 0);
@@ -1196,8 +1272,8 @@ mod tests {
             .iter()
             .map(|s| vec![IngressClass::local(s.request_rate_rps)])
             .collect();
-        let plain = simulate(&d, &specs, &quick_config());
-        let classed = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        let plain = sim(&d, &specs, &quick_config());
+        let classed = sim_ingress(&d, &specs, &ingress, &quick_config());
         assert_eq!(
             serde_json::to_string(&plain).unwrap(),
             serde_json::to_string(&classed).unwrap()
@@ -1225,7 +1301,7 @@ mod tests {
                 ]
             })
             .collect();
-        let report = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        let report = sim_ingress(&d, &specs, &ingress, &quick_config());
         for (spec, svc) in specs.iter().zip(&report.services) {
             let classes = report.classes_of(spec.id);
             assert_eq!(classes.len(), 2, "service {}", spec.id);
@@ -1258,7 +1334,7 @@ mod tests {
                 ]
             })
             .collect();
-        let report = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        let report = sim_ingress(&d, &specs, &ingress, &quick_config());
         let mut remote_worse = 0usize;
         for spec in &specs {
             let classes = report.classes_of(spec.id);
@@ -1296,7 +1372,7 @@ mod tests {
                 ]
             })
             .collect();
-        let report = simulate_with_ingress(&d, &specs, &ingress, &quick_config());
+        let report = sim_ingress(&d, &specs, &ingress, &quick_config());
         for spec in &specs {
             let classes = report.classes_of(spec.id);
             assert_eq!(classes[1].offered, 0);
@@ -1332,9 +1408,9 @@ mod tests {
     #[test]
     fn empty_recovery_is_bit_identical_to_plain() {
         let (d, specs) = parva_s2();
-        let plain = simulate(&d, &specs, &quick_config());
+        let plain = sim(&d, &specs, &quick_config());
         let empty = recovery_spec(vec![]);
-        let with = simulate_with_recovery(&d, &specs, &[], Some(&empty), &quick_config());
+        let with = sim_recovery(&d, &specs, &[], Some(&empty), &quick_config());
         assert_eq!(
             serde_json::to_string(&plain).unwrap(),
             serde_json::to_string(&with).unwrap()
@@ -1345,11 +1421,11 @@ mod tests {
     #[test]
     fn dark_window_dips_and_recovery_is_measured() {
         let (d, specs) = parva_s2();
-        let control = simulate(&d, &specs, &quick_config());
+        let control = sim(&d, &specs, &quick_config());
         // Knock out GPUs 0 and 1 at window start: re-flash plus a hefty
         // weight copy each, both on the same node (serialized).
         let spec = recovery_spec(vec![op(0, Some(0), true, 8.0), op(0, Some(1), true, 8.0)]);
-        let hit = simulate_with_recovery(&d, &specs, &[], Some(&spec), &quick_config());
+        let hit = sim_recovery(&d, &specs, &[], Some(&spec), &quick_config());
         let rec = hit.recovery.as_ref().expect("recovery simulated");
         assert!(rec.dark_servers > 0, "ops must darken servers");
         assert_eq!(rec.reflashes_done, 2);
@@ -1417,9 +1493,9 @@ mod tests {
     fn prepared_ops_cost_only_the_control_plane() {
         let (d, specs) = parva_s2();
         let spec = recovery_spec(vec![op(0, Some(0), true, 8.0), op(0, Some(1), true, 8.0)]);
-        let cold = simulate_with_recovery(&d, &specs, &[], Some(&spec), &quick_config());
+        let cold = sim_recovery(&d, &specs, &[], Some(&spec), &quick_config());
         let warm_spec = spec.clone().prepared();
-        let warm = simulate_with_recovery(&d, &specs, &[], Some(&warm_spec), &quick_config());
+        let warm = sim_recovery(&d, &specs, &[], Some(&warm_spec), &quick_config());
         let (cold_rec, warm_rec) = (
             cold.recovery.clone().unwrap(),
             warm.recovery.clone().unwrap(),
@@ -1487,8 +1563,8 @@ mod tests {
                 network_ms: 0.0,
             },
         ]];
-        let new = simulate_with_ingress(&d, &specs, &charged, &quick_config());
-        let old = simulate_with_ingress(&d, &specs, &uncharged, &quick_config());
+        let new = sim_ingress(&d, &specs, &charged, &quick_config());
+        let old = sim_ingress(&d, &specs, &uncharged, &quick_config());
         let remote_new = new.classes_of(0)[1].latency.quantile_ms(0.99);
         let remote_old = old.classes_of(0)[1].latency.quantile_ms(0.99) + rtt;
         assert!(
@@ -1520,7 +1596,7 @@ mod tests {
             200.0,
         )];
         let d = Deployment::Mig(parva_deploy::MigDeployment::new());
-        let report = simulate(&d, &specs, &quick_config());
+        let report = sim(&d, &specs, &quick_config());
         assert_eq!(report.services[0].completed, 0);
         assert!(report.services[0].offered > 0);
     }
@@ -1627,8 +1703,14 @@ mod tests {
                         })
                         .collect(),
                 });
-                let fast =
-                    simulate_with_recovery(&d, &specs, &ingress, recovery.as_ref(), &config);
+                // The builder is the real entry point under test; the
+                // frozen reference and the deprecated shim must both
+                // match it byte for byte.
+                let fast = crate::Simulation::new(&d, &specs)
+                    .ingress(&ingress)
+                    .recovery_opt(recovery.as_ref())
+                    .config(&config)
+                    .run();
                 let slow = simulate_with_recovery_reference(
                     &d,
                     &specs,
@@ -1636,9 +1718,17 @@ mod tests {
                     recovery.as_ref(),
                     &config,
                 );
+                #[allow(deprecated)]
+                let shim =
+                    super::simulate_with_recovery(&d, &specs, &ingress, recovery.as_ref(), &config);
+                let fast_json = serde_json::to_string(&fast).expect("serializable");
                 prop_assert_eq!(
-                    serde_json::to_string(&fast).expect("serializable"),
-                    serde_json::to_string(&slow).expect("serializable")
+                    &fast_json,
+                    &serde_json::to_string(&slow).expect("serializable")
+                );
+                prop_assert_eq!(
+                    &fast_json,
+                    &serde_json::to_string(&shim).expect("serializable")
                 );
             }
         }

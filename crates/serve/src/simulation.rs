@@ -1,0 +1,185 @@
+//! The one serving-simulation entry point: a borrowing builder.
+//!
+//! Four PRs of organic growth left three parallel free functions
+//! (`simulate`, `simulate_with_ingress`, `simulate_with_recovery`), each
+//! forking the signature for one more axis. [`Simulation`] replaces them:
+//! every axis — window shape, seed, arrival process, ingress classes,
+//! recovery work — is an independent builder method, and [`Simulation::run`]
+//! drives the same optimized engine they all shared. The legacy functions
+//! survive as deprecated shims that delegate here and are property-tested
+//! byte-identical to the equivalent builder chain.
+//!
+//! ```
+//! use parva_serve::Simulation;
+//! # use parva_deploy::{Deployment, MigDeployment, ServiceSpec};
+//! # let deployment = Deployment::Mig(MigDeployment::new());
+//! # let specs: Vec<ServiceSpec> = Vec::new();
+//! let report = Simulation::new(&deployment, &specs)
+//!     .window(1.0, 4.0, 2.0)
+//!     .seed(7)
+//!     .run();
+//! ```
+
+use crate::recovery::RecoverySpec;
+use crate::report::ServingReport;
+use crate::sim::{run_simulation, ArrivalProcess, IngressClass, ServingConfig};
+use parva_deploy::{Deployment, ServiceSpec};
+
+/// A configured serving simulation, ready to [`run`](Simulation::run).
+///
+/// Borrowing builder: the deployment, service specs, ingress classes and
+/// recovery spec are borrowed (simulations are re-run across seeds and
+/// windows far more often than their inputs change), the scalar
+/// configuration is owned. Defaults match [`ServingConfig::default`]: one
+/// purely local ingress class per service at its spec rate, no recovery
+/// work, Poisson arrivals.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    deployment: &'a Deployment,
+    specs: &'a [ServiceSpec],
+    ingress: &'a [Vec<IngressClass>],
+    recovery: Option<&'a RecoverySpec>,
+    config: ServingConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Start building a simulation of `deployment` under `specs`' load.
+    #[must_use]
+    pub fn new(deployment: &'a Deployment, specs: &'a [ServiceSpec]) -> Self {
+        Self {
+            deployment,
+            specs,
+            ingress: &[],
+            recovery: None,
+            config: ServingConfig::default(),
+        }
+    }
+
+    /// Set the window shape: warm-up, measurement and drain durations in
+    /// seconds.
+    #[must_use]
+    pub fn window(mut self, warmup_s: f64, duration_s: f64, drain_s: f64) -> Self {
+        self.config.warmup_s = warmup_s;
+        self.config.duration_s = duration_s;
+        self.config.drain_s = drain_s;
+        self
+    }
+
+    /// Set the master RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the arrival-process shape (Poisson by default).
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.config.arrivals = arrivals;
+        self
+    }
+
+    /// Replace the whole scalar configuration at once (window, seed and
+    /// arrivals); later builder calls still override individual fields.
+    #[must_use]
+    pub fn config(mut self, config: &ServingConfig) -> Self {
+        self.config = *config;
+        self
+    }
+
+    /// Offer explicit per-service ingress classes: `ingress[i]` lists the
+    /// arrival classes of `specs[i]`; missing/empty entries fall back to
+    /// one local class at the spec rate. Each class's `network_ms` rides
+    /// the DES request path and is charged against the SLO.
+    #[must_use]
+    pub fn ingress(mut self, ingress: &'a [Vec<IngressClass>]) -> Self {
+        self.ingress = ingress;
+        self
+    }
+
+    /// Ride `recovery`'s ops on the event queue: affected servers go dark
+    /// at `start_ms`, re-flashes serialize per node, weight copies queue
+    /// FIFO on each node's PCIe link, and the measured dip and recovery
+    /// latency land in [`ServingReport::recovery`].
+    #[must_use]
+    pub fn recovery(mut self, recovery: &'a RecoverySpec) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// Like [`recovery`](Simulation::recovery), but optional — `None`
+    /// clears any previously set spec (bit-identical to never setting one).
+    #[must_use]
+    pub fn recovery_opt(mut self, recovery: Option<&'a RecoverySpec>) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The scalar configuration the run will use.
+    #[must_use]
+    pub fn serving_config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Run the simulation. Fully deterministic for a given seed.
+    #[must_use]
+    pub fn run(&self) -> ServingReport {
+        run_simulation(
+            self.deployment,
+            self.specs,
+            self.ingress,
+            self.recovery,
+            &self.config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parva_core::ParvaGpu;
+    use parva_deploy::Scheduler;
+    use parva_profile::ProfileBook;
+    use parva_scenarios::Scenario;
+
+    fn parva_s2() -> (Deployment, Vec<ServiceSpec>) {
+        let book = ProfileBook::builtin();
+        let specs = Scenario::S2.services();
+        let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+        (d, specs)
+    }
+
+    #[test]
+    fn builder_methods_compose_and_override() {
+        let (d, specs) = parva_s2();
+        let base = ServingConfig {
+            warmup_s: 1.0,
+            duration_s: 4.0,
+            drain_s: 2.0,
+            seed: 7,
+            arrivals: ArrivalProcess::Poisson,
+        };
+        // config() wholesale, then piecemeal override of one field.
+        let a = Simulation::new(&d, &specs).config(&base).seed(11).run();
+        let b = Simulation::new(&d, &specs)
+            .window(1.0, 4.0, 2.0)
+            .seed(11)
+            .arrivals(ArrivalProcess::Poisson)
+            .run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn recovery_opt_none_matches_plain() {
+        let (d, specs) = parva_s2();
+        let plain = Simulation::new(&d, &specs).seed(3).run();
+        let none = Simulation::new(&d, &specs).seed(3).recovery_opt(None).run();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&none).unwrap()
+        );
+    }
+}

@@ -5,7 +5,7 @@ use parva_deploy::{Deployment, MigDeployment, Segment, ServiceSpec};
 use parva_mig::InstanceProfile;
 use parva_perf::{ComputeShare, Model};
 use parva_profile::Triplet;
-use parva_serve::{simulate, ArrivalProcess, ServingConfig};
+use parva_serve::{ArrivalProcess, ServingConfig, Simulation};
 use proptest::prelude::*;
 
 /// A single-service MIG deployment with `n` segments of one profile, sized
@@ -62,7 +62,7 @@ proptest! {
         // Offer 60% of capacity with a latency bound 4 full cycles wide.
         let lat = parva_perf::latency_ms(model, ComputeShare::Mig(profile), batch, procs);
         let spec = ServiceSpec::new(0, model, cap * 0.6, (lat * 8.0).max(20.0));
-        let report = simulate(&d, &[spec], &cfg(seed));
+        let report = Simulation::new(&d, &[spec]).config(&cfg(seed)).run();
         let s = &report.services[0];
         prop_assert!(s.completed_within_slo <= s.completed);
         prop_assert!(s.violated_batches <= s.batches);
@@ -99,8 +99,8 @@ proptest! {
         let rate = small.capacity_of(0) * 1.2;
         let lat = parva_perf::latency_ms(model, ComputeShare::Mig(profile), batch, 2);
         let spec = ServiceSpec::new(0, model, rate, (lat * 6.0).max(20.0));
-        let r_small = simulate(&small, &[spec], &cfg(seed));
-        let r_big = simulate(&big, &[spec], &cfg(seed));
+        let r_small = Simulation::new(&small, &[spec]).config(&cfg(seed)).run();
+        let r_big = Simulation::new(&big, &[spec]).config(&cfg(seed)).run();
         prop_assert!(
             r_big.overall_request_compliance_rate()
                 >= r_small.overall_request_compliance_rate() - 0.02
@@ -122,7 +122,7 @@ proptest! {
             ArrivalProcess::Mmpp { burst_factor: 3.0, mean_phase_s: 0.3 },
         ] {
             let c = ServingConfig { arrivals, duration_s: 4.0, ..cfg(seed) };
-            let r = simulate(&d, &[spec], &c);
+            let r = Simulation::new(&d, &[spec]).config(&c).run();
             let s = &r.services[0];
             // Conservation at 2× headroom: everything offered in the window
             // gets served (up to boundary effects of one batch per server).

@@ -1,0 +1,131 @@
+//! Deprecation-shim equivalence: the three legacy free functions
+//! (`simulate`, `simulate_with_ingress`, `simulate_with_recovery`) must
+//! produce byte-identical JSON to the equivalent [`Simulation`] builder
+//! chain across seeds, MIG/MPS deployment mixes, ingress splits and
+//! recovery specs — the contract that lets callers migrate mechanically.
+
+#![allow(deprecated)]
+
+use parva_deploy::{Deployment, Scheduler, ServiceSpec};
+use parva_profile::ProfileBook;
+use parva_scenarios::Scenario;
+use parva_serve::{
+    simulate, simulate_with_ingress, simulate_with_recovery, ArrivalProcess, IngressClass,
+    RecoveryOp, RecoverySpec, ServingConfig, Simulation,
+};
+use proptest::prelude::*;
+
+fn deployment(mps: bool) -> (Deployment, Vec<ServiceSpec>) {
+    let specs = Scenario::S1.services();
+    let d = if mps {
+        parva_baselines::Gpulet::new().schedule(&specs).unwrap()
+    } else {
+        let book = ProfileBook::builtin();
+        parva_core::ParvaGpu::new(&book).schedule(&specs).unwrap()
+    };
+    (d, specs)
+}
+
+fn json(r: &parva_serve::ServingReport) -> String {
+    serde_json::to_string(r).expect("serializable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulate_shim_matches_builder(
+        seed in 0u64..1_000_000,
+        duration_tenths in 5u32..20,
+        mps in 0u32..2,
+        arrivals_pick in 0usize..3,
+    ) {
+        let (d, specs) = deployment(mps == 1);
+        let config = ServingConfig {
+            warmup_s: 0.3,
+            duration_s: f64::from(duration_tenths) / 10.0,
+            drain_s: 0.4,
+            seed,
+            arrivals: match arrivals_pick {
+                0 => ArrivalProcess::Poisson,
+                1 => ArrivalProcess::Deterministic,
+                _ => ArrivalProcess::Mmpp { burst_factor: 3.0, mean_phase_s: 0.3 },
+            },
+        };
+        let shim = simulate(&d, &specs, &config);
+        let builder = Simulation::new(&d, &specs).config(&config).run();
+        prop_assert_eq!(json(&shim), json(&builder));
+    }
+
+    #[test]
+    fn ingress_shim_matches_builder(
+        seed in 0u64..1_000_000,
+        mps in 0u32..2,
+        remote_tenths in 0u32..=6,
+        rtt in 1.0f64..200.0,
+    ) {
+        let (d, specs) = deployment(mps == 1);
+        let config = ServingConfig {
+            warmup_s: 0.3,
+            duration_s: 1.2,
+            drain_s: 0.4,
+            seed,
+            arrivals: ArrivalProcess::Poisson,
+        };
+        let share = f64::from(remote_tenths) / 10.0;
+        let ingress: Vec<Vec<IngressClass>> = specs
+            .iter()
+            .map(|s| {
+                vec![
+                    IngressClass::local(s.request_rate_rps * (1.0 - share)),
+                    IngressClass { rate_rps: s.request_rate_rps * share, network_ms: rtt },
+                ]
+            })
+            .collect();
+        let shim = simulate_with_ingress(&d, &specs, &ingress, &config);
+        let builder = Simulation::new(&d, &specs)
+            .ingress(&ingress)
+            .config(&config)
+            .run();
+        prop_assert_eq!(json(&shim), json(&builder));
+    }
+
+    #[test]
+    fn recovery_shim_matches_builder(
+        seed in 0u64..1_000_000,
+        mps in 0u32..2,
+        ops in 0usize..4,        // 0: None spec (the optional-path identity)
+        prepared in 0u32..2,
+        start_ms in 100.0f64..2_000.0,
+    ) {
+        let (d, specs) = deployment(mps == 1);
+        let config = ServingConfig {
+            warmup_s: 0.3,
+            duration_s: 1.2,
+            drain_s: 0.4,
+            seed,
+            arrivals: ArrivalProcess::Poisson,
+        };
+        let recovery = (ops > 0).then(|| RecoverySpec {
+            start_ms,
+            control_plane_ms: 150.0,
+            reflash_ms: 800.0,
+            link_gib_per_s: 22.0,
+            ops: (0..ops)
+                .map(|i| RecoveryOp {
+                    node: i / 2,
+                    logical_gpu: Some(i),
+                    reflash: i % 2 == 0,
+                    copy_gib: 3.0 * (i + 1) as f64,
+                    prepared: prepared == 1,
+                })
+                .collect(),
+        });
+        let shim = simulate_with_recovery(&d, &specs, &[], recovery.as_ref(), &config);
+        let builder = Simulation::new(&d, &specs)
+            .recovery_opt(recovery.as_ref())
+            .config(&config)
+            .run();
+        prop_assert_eq!(json(&shim), json(&builder));
+    }
+}

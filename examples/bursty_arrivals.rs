@@ -44,7 +44,7 @@ fn main() {
             seed: 21,
             arrivals,
         };
-        let report = simulate(&deployment, &specs, &cfg);
+        let report = Simulation::new(&deployment, &specs).config(&cfg).run();
         let worst_ratio = specs
             .iter()
             .zip(&report.services)

@@ -18,7 +18,9 @@ fn main() {
 
     println!("\nServing 10 simulated seconds of Poisson traffic …");
     let config = ServingConfig::default();
-    let report = simulate(&deployment, &services, &config);
+    let report = Simulation::new(&deployment, &services)
+        .config(&config)
+        .run();
 
     println!("\n=== Service quality (paper §IV-C) ===");
     println!(

@@ -30,7 +30,9 @@ fn main() {
         match sched.schedule(&services) {
             Ok(deployment) => {
                 let delay = start.elapsed();
-                let report = simulate(&deployment, &services, &ServingConfig::default());
+                let report = Simulation::new(&deployment, &services)
+                    .config(&ServingConfig::default())
+                    .run();
                 println!(
                     "{:<13} {:>6} {:>8.1} {:>8.1} {:>12.2} {:>11.1?}",
                     sched.name(),

@@ -4,30 +4,36 @@
 //!
 //! Run: `cargo run --release --example fleet_chaos [seed]`
 //!
-//! The fleet mixes reserved A100-80GB nodes, an on-demand A100-40GB node
-//! and a preemptible H100 spot node. Each injected event triggers the
-//! recovery pipeline — incremental rescheduling (paper §III-F), sticky
-//! re-anchoring with live migration, node re-packing — and the next
-//! interval is served in the simulator to prove SLO compliance returned
-//! to the pre-event level.
+//! The experiment is the registered `fleet_chaos` [`ScenarioSpec`] — the
+//! same declarative object behind `parvactl run fleet_chaos` — with the
+//! seed swapped in from the command line. Each injected event triggers
+//! the recovery pipeline — incremental rescheduling (paper §III-F),
+//! sticky re-anchoring with live migration, node re-packing — and the
+//! next interval is served in the simulator to prove SLO compliance
+//! returned to the pre-event level.
 
 use parvagpu::prelude::*;
+use parvagpu::scenarios::{spec_by_name, Mode, ScenarioReport};
 
 fn main() {
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let profiles = ProfileBook::builtin();
-    let services = parvagpu::fleet::demo_services();
 
-    let fleet = FleetSpec::mixed_demo(2);
+    let mut spec = spec_by_name("fleet_chaos").expect("registered builtin");
+    spec.seed = seed;
+    let Mode::Fleet { fleet, .. } = &spec.mode else {
+        panic!("fleet_chaos must be a fleet spec");
+    };
+    // resolve() is the exact pool list run() will simulate.
+    let pools: FleetSpec = fleet.resolve();
     println!(
         "fleet: {} pools, {} GPUs total",
-        fleet.pools.len(),
-        fleet.total_gpus()
+        pools.pools.len(),
+        pools.total_gpus()
     );
-    for pool in &fleet.pools {
+    for pool in &pools.pools {
         println!(
             "  {:<16} {}x {} ({}, {:?}{})",
             pool.name,
@@ -44,13 +50,8 @@ fn main() {
     }
     println!();
 
-    let config = FleetConfig {
-        seed,
-        intervals: 10,
-        ..FleetConfig::default()
-    };
-    match run_chaos(&profiles, &services, &fleet, &config) {
-        Ok(report) => {
+    match spec.run() {
+        Ok(ScenarioReport::Fleet(report)) => {
             print!("{}", report.render());
             println!(
                 "\nmeasured vs analytic: worst dip {:.2}% (blackout estimate {:.2}%), \
@@ -71,6 +72,7 @@ fn main() {
                 "every event must recover to the pre-event compliance level"
             );
         }
+        Ok(_) => unreachable!("fleet spec returns a fleet report"),
         Err(e) => eprintln!("chaos run aborted: {e}"),
     }
 }

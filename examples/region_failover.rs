@@ -4,26 +4,33 @@
 //!
 //! Run: `cargo run --release --example region_failover [seed]`
 //!
-//! The topology is the built-in three-region demo (us-east / eu-west /
-//! ap-south): per-region pricing indices, demand shares, sun-phase
-//! offsets and a symmetric RTT matrix (80 / 210 / 140 ms). The drill
-//! evacuates us-east — half the planet's demand — and the surviving
-//! regions re-place its services through the §III-F incremental path.
+//! The experiment is the registered `region_failover` [`ScenarioSpec`] —
+//! the same declarative object behind `parvactl run region_failover` —
+//! with the seed swapped in from the command line. The topology is the
+//! built-in three-region demo (us-east / eu-west / ap-south): per-region
+//! pricing indices, demand shares, sun-phase offsets and a symmetric RTT
+//! matrix (80 / 210 / 140 ms). The drill evacuates us-east — half the
+//! planet's demand — and the surviving regions re-place its services
+//! through the §III-F incremental path.
 
 use parvagpu::prelude::*;
-use parvagpu::region::EvacuationDrill;
+use parvagpu::scenarios::{spec_by_name, Mode, ScenarioReport};
 
 fn main() {
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let book = ProfileBook::builtin();
-    let services = parvagpu::region::demo_services();
-    let spec = FederationSpec::three_region_demo();
 
+    let mut spec = spec_by_name("region_failover").expect("registered builtin");
+    spec.seed = seed;
+    let Mode::Region { federation, .. } = &spec.mode else {
+        panic!("region_failover must be a region spec");
+    };
+    // resolve() is the exact topology run() will simulate.
+    let topology: FederationSpec = federation.resolve();
     println!("federation topology:");
-    for (i, r) in spec.regions.iter().enumerate() {
+    for (i, r) in topology.regions.iter().enumerate() {
         println!(
             "  {:<9} share {:>4.0}% | price x{:.2} | sun phase {:>4.1} h | {} GPUs",
             r.name,
@@ -32,29 +39,19 @@ fn main() {
             r.diurnal_phase_hours,
             r.fleet.total_gpus()
         );
-        for (j, other) in spec.regions.iter().enumerate().skip(i + 1) {
+        for (j, other) in topology.regions.iter().enumerate().skip(i + 1) {
             println!(
                 "    rtt {} <-> {}: {:.0} ms",
                 r.name,
                 other.name,
-                spec.rtt.rtt_ms(i, j)
+                topology.rtt.rtt_ms(i, j)
             );
         }
     }
     println!();
 
-    let config = FederationConfig {
-        seed,
-        intervals: 8,
-        drill: Some(EvacuationDrill {
-            region: 0,
-            evacuate_at: 3,
-            failback_at: 6,
-        }),
-        ..FederationConfig::default()
-    };
-    match run_federation(&book, &services, &spec, &config) {
-        Ok(report) => {
+    match spec.run() {
+        Ok(ScenarioReport::Region(report)) => {
             print!("{}", report.render());
             println!(
                 "\nDES-measured recovery: worst {:.0} ms across regions, \
@@ -67,6 +64,7 @@ fn main() {
                 "the final interval must return to baseline SLO attainment"
             );
         }
+        Ok(_) => unreachable!("region spec returns a region report"),
         Err(e) => eprintln!("federation run aborted: {e}"),
     }
 }

@@ -1,0 +1,52 @@
+//! Experiments as data: load a declarative [`ScenarioSpec`] from JSON,
+//! run it, and inspect the tagged report — the library-level twin of
+//! `parvactl run <spec.json>`.
+//!
+//! Run: `cargo run --release --example scenario_spec [path/to/spec.json]`
+//!
+//! Defaults to the committed `examples/specs/h200_spot_market.json`, a
+//! fleet scenario no pre-spec binary could express (custom pool mix with
+//! an H200 spot tier).
+
+use parvagpu::scenarios::{ScenarioReport, ScenarioSpec};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/specs/h200_spot_market.json".into());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let spec: ScenarioSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not a scenario spec: {e}");
+        std::process::exit(1);
+    });
+    println!("spec '{}': {}\n", spec.name, spec.description);
+
+    match spec.run() {
+        Ok(report) => {
+            print!("{}", report.render());
+            match report {
+                ScenarioReport::Serve(r) => println!(
+                    "\n→ serve report: {:.2}% request compliance",
+                    r.overall_request_compliance_rate() * 100.0
+                ),
+                ScenarioReport::Fleet(r) => println!(
+                    "\n→ fleet report: {} events, worst measured dip {:.2}%",
+                    r.events.len(),
+                    r.worst_measured_dip() * 100.0
+                ),
+                ScenarioReport::Region(r) => println!(
+                    "\n→ region report: {} intervals, final compliance {:.2}%",
+                    r.intervals.len(),
+                    r.final_compliance() * 100.0
+                ),
+            }
+        }
+        Err(e) => {
+            eprintln!("scenario failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

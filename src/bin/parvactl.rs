@@ -9,7 +9,15 @@
 //! parvactl scenarios
 //! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json] [--analytic-recovery]
 //! parvactl region [services.json] [--seed N] [--intervals N] [--json]
+//! parvactl run <name|spec.json> [--json] [--quick]
+//! parvactl run --list [--names]
 //! ```
+//!
+//! `run` executes a declarative scenario spec: a registered name (see
+//! `--list`) or a JSON file describing the whole experiment — service
+//! mix, GPU slice, fleet pools, regions, drills, windows, seeds. One
+//! schema covers everything from a single-GPU serving run to a
+//! multi-region chaos federation; see README "Running scenarios".
 //!
 //! `fleet` and `region` report DES-*measured* recovery by default: weight
 //! copies and MIG re-flashes ride the serving simulator's event queue, so
@@ -31,7 +39,9 @@ fn usage() -> ! {
          parvactl feasibility <model-name>\n  parvactl scenarios\n  \
          parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json] \
          [--analytic-recovery]\n  \
-         parvactl region [services.json] [--seed N] [--intervals N] [--json]\n\n\
+         parvactl region [services.json] [--seed N] [--intervals N] [--json]\n  \
+         parvactl run <name|spec.json> [--json] [--quick]\n  \
+         parvactl run --list [--names]\n\n\
          schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
          paris-elsa, mig-serving"
     );
@@ -132,6 +142,27 @@ fn main() {
                 intervals,
                 args.iter().any(|a| a == "--json"),
             )
+        }
+        "run" => {
+            if args.iter().any(|a| a == "--list") {
+                Ok(cli::list_specs(args.iter().any(|a| a == "--names")))
+            } else {
+                let Some(arg) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                    usage()
+                };
+                // A path on disk is read as spec JSON; anything else is
+                // looked up in the registry by name.
+                let input = if std::path::Path::new(arg).is_file() {
+                    read_json(arg)
+                } else {
+                    arg.clone()
+                };
+                cli::run_spec(
+                    &input,
+                    args.iter().any(|a| a == "--json"),
+                    args.iter().any(|a| a == "--quick"),
+                )
+            }
         }
         _ => usage(),
     };

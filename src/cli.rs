@@ -60,30 +60,63 @@ pub fn parse_services(json: &str) -> Result<Vec<ServiceSpec>, String> {
         .collect()
 }
 
+/// The one canonical scheduler table: normalized key → constructor.
+/// [`make_scheduler`] and [`scheduler_name_is_known`] both read it, so
+/// the accepted-name set and the constructable set cannot drift apart.
+#[allow(clippy::type_complexity)]
+const SCHEDULERS: [(&str, fn(&ProfileBook) -> Box<dyn Scheduler>); 12] = [
+    ("parvagpu", |b| Box::new(ParvaGpu::new(b))),
+    ("parva", |b| Box::new(ParvaGpu::new(b))),
+    ("parvagpusingle", |b| {
+        Box::new(crate::core::ParvaGpuSingle::new(b))
+    }),
+    ("single", |b| Box::new(crate::core::ParvaGpuSingle::new(b))),
+    ("parvagpuunoptimized", |b| {
+        Box::new(crate::core::ParvaGpuUnoptimized::new(b))
+    }),
+    ("unoptimized", |b| {
+        Box::new(crate::core::ParvaGpuUnoptimized::new(b))
+    }),
+    ("gslice", |_| Box::new(crate::baselines::Gslice::new())),
+    ("gpulet", |_| Box::new(Gpulet::new())),
+    ("igniter", |_| Box::new(IGniter::new())),
+    ("migserving", |b| Box::new(MigServing::new(b))),
+    (
+        "pariselsa",
+        |_| Box::new(crate::baselines::ParisElsa::new()),
+    ),
+    ("paris", |_| Box::new(crate::baselines::ParisElsa::new())),
+];
+
+/// Normalize a user-supplied scheduler name to a table key.
+fn scheduler_key(name: &str) -> String {
+    name.to_lowercase().replace(['-', '_'], "")
+}
+
+/// Is `name` a scheduler [`make_scheduler`] would accept? Cheap (no
+/// profile book needed) — what spec validation uses to vet names.
+#[must_use]
+pub fn scheduler_name_is_known(name: &str) -> bool {
+    let key = scheduler_key(name);
+    SCHEDULERS.iter().any(|(k, _)| *k == key)
+}
+
 /// Build a scheduler by CLI name.
 ///
 /// # Errors
 /// Lists the valid names on mismatch.
 pub fn make_scheduler(name: &str, book: &ProfileBook) -> Result<Box<dyn Scheduler>, String> {
-    let key = name.to_lowercase().replace(['-', '_'], "");
-    Ok(match key.as_str() {
-        "parvagpu" | "parva" => Box::new(ParvaGpu::new(book)),
-        "parvagpusingle" | "single" => Box::new(crate::core::ParvaGpuSingle::new(book)),
-        "parvagpuunoptimized" | "unoptimized" => {
-            Box::new(crate::core::ParvaGpuUnoptimized::new(book))
-        }
-        "gslice" => Box::new(crate::baselines::Gslice::new()),
-        "gpulet" => Box::new(Gpulet::new()),
-        "igniter" => Box::new(IGniter::new()),
-        "migserving" => Box::new(MigServing::new(book)),
-        "pariselsa" | "paris" => Box::new(crate::baselines::ParisElsa::new()),
-        _ => {
-            return Err(format!(
+    let key = scheduler_key(name);
+    SCHEDULERS
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, ctor)| ctor(book))
+        .ok_or_else(|| {
+            format!(
                 "unknown scheduler '{name}' (expected one of: parvagpu, single, \
                  unoptimized, gslice, gpulet, igniter, paris-elsa, mig-serving)"
-            ))
-        }
-    })
+            )
+        })
 }
 
 /// `parvactl plan`: schedule and render the deployment.
@@ -157,7 +190,7 @@ pub fn run_simulate(
         seed,
         ..ServingConfig::default()
     };
-    let report = simulate(&deployment, &specs, &config);
+    let report = Simulation::new(&deployment, &specs).config(&config).run();
     let mut out = format!(
         "{}: {} GPU(s) | compliance {:.2}% | internal slack {:.1}% | fragmentation {:.1}%\n",
         sched.name(),
@@ -385,6 +418,71 @@ pub fn run_region(
     }
 }
 
+/// `parvactl run`: execute a declarative scenario spec — either a
+/// registered built-in name or raw [`crate::scenarios::ScenarioSpec`]
+/// JSON (the binary reads spec files and passes their text).
+///
+/// `--json` prints the tagged [`crate::scenarios::ScenarioReport`] for
+/// scripting (deterministic per spec); `--quick` shrinks windows and
+/// fleet intervals to CI scale without touching seeds.
+///
+/// # Errors
+/// Unknown names, malformed spec JSON, and any engine failure, as
+/// display strings.
+pub fn run_spec(input: &str, json_out: bool, quick: bool) -> Result<String, String> {
+    let spec = match crate::scenarios::spec_by_name(input.trim()) {
+        Some(spec) => spec,
+        None => serde_json::from_str::<crate::scenarios::ScenarioSpec>(input).map_err(|e| {
+            format!(
+                "'{}' is not a registered spec (try `parvactl run --list`) and does not \
+                 parse as spec JSON: {e}",
+                input.chars().take(60).collect::<String>()
+            )
+        })?,
+    };
+    let spec = if quick { spec.quick() } else { spec };
+    let report = spec.run()?;
+    if json_out {
+        serde_json::to_string(&report)
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string())
+    } else {
+        Ok(format!(
+            "== {} ==\n{}\n{}",
+            spec.name,
+            spec.description,
+            report.render()
+        ))
+    }
+}
+
+/// `parvactl run --list`: the spec registry. `names_only` prints bare
+/// names (one per line, for shell loops).
+#[must_use]
+pub fn list_specs(names_only: bool) -> String {
+    let mut out = String::new();
+    if names_only {
+        for name in crate::scenarios::spec_names() {
+            out.push_str(&name);
+            out.push('\n');
+        }
+    } else {
+        out.push_str("registered scenario specs:\n");
+        for spec in crate::scenarios::builtin_specs() {
+            let kind = match spec.mode {
+                crate::scenarios::Mode::Serve { .. } => "serve",
+                crate::scenarios::Mode::Fleet { .. } => "fleet",
+                crate::scenarios::Mode::Region { .. } => "region",
+            };
+            out.push_str(&format!(
+                "  {:<18} [{kind:<6}] {}\n",
+                spec.name, spec.description
+            ));
+        }
+    }
+    out
+}
+
 /// `parvactl scenarios`: render Table IV.
 #[must_use]
 pub fn run_scenarios() -> String {
@@ -456,6 +554,24 @@ mod tests {
             assert!(make_scheduler(name, &book).is_ok(), "{name}");
         }
         assert!(make_scheduler("slurm", &book).is_err());
+    }
+
+    #[test]
+    fn known_name_predicate_agrees_with_make_scheduler() {
+        // Both functions read the same SCHEDULERS table, so agreement is
+        // structural; spot-check both directions and the normalization.
+        let book = ProfileBook::builtin();
+        for (key, _) in super::SCHEDULERS {
+            assert!(scheduler_name_is_known(key), "{key}");
+            assert!(make_scheduler(key, &book).is_ok(), "{key}");
+        }
+        for bad in ["slurm", "", "parvagpu2", "mps"] {
+            assert!(!scheduler_name_is_known(bad), "{bad}");
+            assert!(make_scheduler(bad, &book).is_err(), "{bad}");
+        }
+        // Normalization matches too.
+        assert!(scheduler_name_is_known("MIG-Serving"));
+        assert!(scheduler_name_is_known("paris_elsa"));
     }
 
     #[test]
@@ -542,6 +658,48 @@ mod tests {
         assert_eq!(report.seed, 5);
         assert_eq!(report.intervals.len(), 4);
         assert_eq!(report.region_names.len(), 3);
+    }
+
+    #[test]
+    fn run_spec_by_name_is_deterministic_json() {
+        let a = run_spec("quickstart", true, true).unwrap();
+        let b = run_spec("quickstart", true, true).unwrap();
+        assert_eq!(a, b, "spec runs must be deterministic");
+        let report: crate::scenarios::ScenarioReport = serde_json::from_str(&a).unwrap();
+        assert!(matches!(report, crate::scenarios::ScenarioReport::Serve(_)));
+    }
+
+    #[test]
+    fn run_spec_accepts_raw_json_and_rejects_garbage() {
+        let spec = crate::scenarios::spec_by_name("single_node_mps").unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let out = run_spec(&json, false, true).unwrap();
+        assert!(out.contains("single_node_mps"), "{out}");
+        let err = run_spec("definitely_not_registered", false, true).unwrap_err();
+        assert!(err.contains("--list"), "{err}");
+    }
+
+    #[test]
+    fn run_spec_renders_fleet_and_region_summaries() {
+        let fleet = run_spec("fleet_chaos", false, true).unwrap();
+        assert!(fleet.contains("chaos run"), "{fleet}");
+        let region = run_spec("region_failover", false, true).unwrap();
+        assert!(region.contains("federation run"), "{region}");
+        assert!(region.contains("EVACUATE"), "{region}");
+    }
+
+    #[test]
+    fn list_specs_covers_the_registry() {
+        let listing = list_specs(false);
+        let names = list_specs(true);
+        for spec in crate::scenarios::builtin_specs() {
+            assert!(listing.contains(&spec.name), "{} missing", spec.name);
+            assert!(
+                names.lines().any(|l| l == spec.name),
+                "{} missing from --names",
+                spec.name
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`core`] — the ParvaGPU Segment Configurator and Segment Allocator
 //! * [`baselines`] — GSLICE, gpulet, iGniter, PARIS+ELSA and MIG-serving
 //!   reimplementations (the paper's Table I comparison set)
-//! * [`scenarios`] — the paper's Table IV evaluation scenarios
+//! * [`scenarios`] — the paper's Table IV evaluation scenarios, plus the
+//!   declarative [`scenarios::ScenarioSpec`] experiment layer behind
+//!   `parvactl run`
 //! * [`metrics`] — internal slack, external fragmentation, SLO compliance
 //! * [`nvml`] — simulated NVML/DCGM layer: instance lifecycle, minimal-diff
 //!   reconfiguration (§III-F), SM-activity telemetry
@@ -56,11 +58,12 @@ pub use parva_nvml as nvml;
 pub use parva_perf as perf;
 pub use parva_profile as profile;
 pub use parva_region as region;
-pub use parva_scenarios as scenarios;
+pub mod scenarios;
 pub use parva_serve as serve;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::scenarios::{ScenarioReport, ScenarioSpec};
     pub use parva_autoscale::{run_traced, RateTrace};
     pub use parva_baselines::{Gpulet, Gslice, IGniter, MigServing, ParisElsa};
     pub use parva_core::{ParvaGpu, ParvaGpuSingle, ParvaGpuUnoptimized};
@@ -73,7 +76,6 @@ pub mod prelude {
     pub use parva_region::{run_federation, FederationConfig, FederationReport, FederationSpec};
     pub use parva_scenarios::Scenario;
     pub use parva_serve::{
-        simulate, simulate_with_ingress, simulate_with_recovery, ArrivalProcess, IngressClass,
-        RecoverySpec, ServingConfig, ServingReport,
+        ArrivalProcess, IngressClass, RecoverySpec, ServingConfig, ServingReport, Simulation,
     };
 }

@@ -1,0 +1,392 @@
+//! The named built-in [`ScenarioSpec`]s — `parvactl run <name>`.
+//!
+//! Every spec here is plain data: serializing one of these and editing the
+//! JSON is the supported way to derive a new experiment. Three of them
+//! (`spot_heavy`, `evacuation_drill`, `single_node_mps`) exercise corners
+//! no pre-spec binary could reach — custom pool mixes, custom federation
+//! topologies and drill timing, and MPS serving under bursty split
+//! ingress — which is the point of the declarative layer.
+
+use super::spec::{
+    ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ScenarioSpec, ServiceEntry,
+    Window, Workload,
+};
+use crate::cluster::{NodeType, PricingPlan};
+use crate::fleet::{FleetSpec, NodePool};
+use crate::region::{EvacuationDrill, FederationSpec, RegionSpec};
+use parva_serve::ArrivalProcess;
+
+/// All built-in specs, in registry order.
+#[must_use]
+pub fn builtin_specs() -> Vec<ScenarioSpec> {
+    vec![
+        quickstart(),
+        llm(),
+        single_node_mps(),
+        fleet_chaos(),
+        spot_heavy(),
+        region_failover(),
+        evacuation_drill(),
+        diurnal(),
+    ]
+}
+
+/// The registry's names, in order.
+#[must_use]
+pub fn spec_names() -> Vec<String> {
+    builtin_specs().into_iter().map(|s| s.name).collect()
+}
+
+/// Look a built-in spec up by name.
+#[must_use]
+pub fn spec_by_name(name: &str) -> Option<ScenarioSpec> {
+    builtin_specs().into_iter().find(|s| s.name == name)
+}
+
+/// Three representative services scheduled by ParvaGPU and served for a
+/// few seconds — the `examples/quickstart.rs` workload as data.
+fn quickstart() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "quickstart".into(),
+        description: "ParvaGPU schedules three CNN/BERT services; one serving window".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 1.0,
+            duration_s: 6.0,
+            drain_s: 2.0,
+        },
+        arrivals: None,
+        workload: Workload::Services(vec![
+            entry("ResNet-50", 829.0, 205.0),
+            entry("MobileNetV2", 677.0, 167.0),
+            entry("BERT-large", 19.0, 6_434.0),
+        ]),
+        mode: Mode::Serve {
+            scheduler: String::new(),
+            gpu: None,
+            ingress: Vec::new(),
+            recovery: None,
+        },
+    }
+}
+
+/// LLM serving on an H200 catalog slice: 141 GB instances restore MIG
+/// sharing for models that monopolize a whole A100 (paper §V).
+fn llm() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "llm".into(),
+        description: "LLM mix profiled and scheduled on the H200-141GB catalog slice".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 1.0,
+            duration_s: 6.0,
+            drain_s: 2.0,
+        },
+        arrivals: None,
+        workload: Workload::Services(vec![
+            entry("LLaMA-7B-lite", 30.0, 4_000.0),
+            entry("Guanaco-7B", 20.0, 5_000.0),
+            entry("Guanaco-65B", 2.0, 15_000.0),
+        ]),
+        mode: Mode::Serve {
+            scheduler: String::new(),
+            gpu: Some("H200-141GB".into()),
+            ingress: Vec::new(),
+            recovery: None,
+        },
+    }
+}
+
+/// A single-GPU MPS corner no prior binary reached: gpulet MPS partitions
+/// under bursty MMPP arrivals with a split local/remote ingress.
+fn single_node_mps() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "single_node_mps".into(),
+        description: "gpulet MPS partitions, MMPP bursts, 80/20 local/remote ingress split".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 1.0,
+            duration_s: 6.0,
+            drain_s: 2.0,
+        },
+        arrivals: Some(ArrivalProcess::Mmpp {
+            burst_factor: 4.0,
+            mean_phase_s: 0.5,
+        }),
+        workload: Workload::Services(vec![
+            entry("ResNet-50", 200.0, 220.0),
+            entry("MobileNetV2", 150.0, 180.0),
+        ]),
+        mode: Mode::Serve {
+            scheduler: "gpulet".into(),
+            gpu: None,
+            ingress: vec![
+                ClassSplit {
+                    share: 0.8,
+                    network_ms: 0.0,
+                },
+                ClassSplit {
+                    share: 0.2,
+                    network_ms: 40.0,
+                },
+            ],
+            recovery: None,
+        },
+    }
+}
+
+/// The chaos-harness fleet run (`parvactl fleet` / the `fleet_chaos`
+/// bench bin) as a spec.
+fn fleet_chaos() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "fleet_chaos".into(),
+        description: "mixed reserved/on-demand/spot fleet through 8 seeded chaos events".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::FleetDemo,
+        mode: Mode::Fleet {
+            fleet: FleetSource::MixedDemo { base_nodes: 2 },
+            intervals: 8,
+            analytic_recovery: false,
+        },
+    }
+}
+
+/// A spot-dominated fleet: one reserved anchor node, the rest preemptible
+/// spot capacity across two GPU generations — the pool mix no hardcoded
+/// binary offered. Spot warnings and cold preemptions dominate the trace.
+fn spot_heavy() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "spot_heavy".into(),
+        description: "1 reserved anchor + A100/H100 spot pools; preemption-dominated chaos".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::FleetDemo,
+        mode: Mode::Fleet {
+            fleet: FleetSource::Pools(FleetSpec {
+                pools: vec![
+                    NodePool {
+                        name: "p4de-reserved-anchor".into(),
+                        node: NodeType::P4DE_24XLARGE,
+                        pricing: PricingPlan::Reserved1Yr,
+                        preemptible: false,
+                        count: 1,
+                        region: None,
+                    },
+                    NodePool {
+                        name: "p4de-spot".into(),
+                        node: NodeType::P4DE_24XLARGE,
+                        pricing: PricingPlan::Spot,
+                        preemptible: true,
+                        count: 2,
+                        region: None,
+                    },
+                    NodePool {
+                        name: "h100-spot".into(),
+                        node: crate::fleet::node::h100_node(),
+                        pricing: PricingPlan::Spot,
+                        preemptible: true,
+                        count: 1,
+                        region: None,
+                    },
+                ],
+            }),
+            intervals: 10,
+            analytic_recovery: false,
+        },
+    }
+}
+
+/// The scripted three-region evacuation + failback drill (`parvactl
+/// region`) as a spec.
+fn region_failover() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "region_failover".into(),
+        description: "3-region federation; us-east evacuated at interval 3, failback at 6".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::RegionDemo,
+        mode: Mode::Region {
+            federation: FederationSource::ThreeRegionDemo,
+            intervals: 8,
+            drill: Some(EvacuationDrill {
+                region: 0,
+                evacuate_at: 3,
+                failback_at: 6,
+            }),
+            diurnal: None,
+        },
+    }
+}
+
+/// A four-region topology with a custom RTT matrix and an early eu-west
+/// drill — a federation no pre-spec binary could express (they all
+/// hardcoded the three-region demo and its drill timing).
+fn evacuation_drill() -> ScenarioSpec {
+    let regions = vec![
+        region("us-east", 2, 1.0, 0.35, 0.0),
+        region("eu-west", 1, 1.08, 0.30, 5.0),
+        region("ap-south", 1, 1.15, 0.20, 10.5),
+        region("sa-east", 1, 1.22, 0.15, 21.0),
+    ];
+    ScenarioSpec {
+        name: "evacuation_drill".into(),
+        description: "4-region federation; eu-west drained at interval 2, failback at 5".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::RegionDemo,
+        mode: Mode::Region {
+            federation: FederationSource::Custom(FederationSpec {
+                regions,
+                // (us,eu) (us,ap) (us,sa) (eu,ap) (eu,sa) (ap,sa)
+                rtt: super::spec::rtt_upper(4, &[80.0, 210.0, 120.0, 140.0, 190.0, 300.0]),
+            }),
+            intervals: 7,
+            drill: Some(EvacuationDrill {
+                region: 1,
+                evacuate_at: 2,
+                failback_at: 5,
+            }),
+            diurnal: None,
+        },
+    }
+}
+
+/// Demand following the sun across the three demo regions — wide diurnal
+/// swing, no drill, chaos left to the seeded stream.
+fn diurnal() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "diurnal".into(),
+        description: "3-region federation under a 0.4x-1.6x sun-phased demand swing".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::RegionDemo,
+        mode: Mode::Region {
+            federation: FederationSource::ThreeRegionDemo,
+            intervals: 6,
+            drill: None,
+            diurnal: Some(DiurnalSpec {
+                low: 0.4,
+                high: 1.6,
+                hours_per_interval: 4.0,
+            }),
+        },
+    }
+}
+
+fn entry(model: &str, rate_rps: f64, slo_ms: f64) -> ServiceEntry {
+    ServiceEntry {
+        model: model.into(),
+        rate_rps,
+        slo_ms,
+        id: None,
+    }
+}
+
+fn region(name: &str, base_nodes: usize, price: f64, share: f64, phase: f64) -> RegionSpec {
+    RegionSpec {
+        name: name.into(),
+        fleet: FleetSpec::mixed_demo(base_nodes).in_region(name),
+        pricing_multiplier: price,
+        demand_share: share,
+        diurnal_phase_hours: phase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::Scenario;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names = spec_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate registry names");
+        for expected in [
+            "quickstart",
+            "llm",
+            "single_node_mps",
+            "fleet_chaos",
+            "spot_heavy",
+            "region_failover",
+            "evacuation_drill",
+            "diurnal",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing builtin '{expected}'"
+            );
+        }
+    }
+
+    #[test]
+    fn every_builtin_validates() {
+        for spec in builtin_specs() {
+            spec.validate().unwrap_or_else(|e| {
+                panic!("builtin '{}' fails validation: {e}", spec.name);
+            });
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for spec in builtin_specs() {
+            let found = spec_by_name(&spec.name).expect("registered");
+            assert_eq!(
+                serde_json::to_string(&found).unwrap(),
+                serde_json::to_string(&spec).unwrap()
+            );
+        }
+        assert!(spec_by_name("not-a-spec").is_none());
+    }
+
+    #[test]
+    fn scenario_table_workload_scales() {
+        let spec = ScenarioSpec {
+            name: "scaled".into(),
+            description: String::new(),
+            seed: 1,
+            window: Window::default(),
+            arrivals: None,
+            workload: Workload::Table {
+                scenario: Scenario::S5,
+                scale: 3,
+            },
+            mode: Mode::Serve {
+                scheduler: String::new(),
+                gpu: None,
+                ingress: Vec::new(),
+                recovery: None,
+            },
+        };
+        assert_eq!(spec.workload.services().unwrap().len(), 33);
+    }
+}

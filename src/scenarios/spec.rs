@@ -1,0 +1,625 @@
+//! `ScenarioSpec` — a declarative, serde-backed description of one whole
+//! experiment.
+//!
+//! Every axis the simulators expose is a *field*, not a function
+//! signature: the service mix (Table IV tables, explicit lists, or the
+//! demo mixes), a GPU catalog slice, the scheduler, ingress splits,
+//! recovery work, fleet pools with their chaos trace, a full multi-region
+//! federation with drills and diurnal demand, windows and seeds.
+//! [`ScenarioSpec::run`] dispatches to the serving / fleet / region engine
+//! and returns a tagged [`ScenarioReport`] — so a new experiment is a JSON
+//! file (`parvactl run spec.json`), not a new binary. This is the same
+//! "configuration as first-class input" move the paper makes at the
+//! Configurator/Allocator boundary (§III), applied at the platform
+//! boundary.
+
+use crate::prelude::*;
+use parva_fleet::FleetReport;
+use parva_region::{EvacuationDrill, FederationReport, RttMatrix};
+use parva_serve::RecoverySpec;
+use serde::{Deserialize, Serialize};
+
+/// One service in an explicit [`Workload::Services`] list — the same shape
+/// the `parvactl` JSON service arrays use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceEntry {
+    /// Model name (the paper's display names; punctuation-insensitive).
+    pub model: String,
+    /// Offered request rate, req/s.
+    pub rate_rps: f64,
+    /// SLO latency, ms.
+    pub slo_ms: f64,
+    /// Optional explicit id (defaults to the array position).
+    #[serde(default)]
+    pub id: Option<u32>,
+}
+
+impl ServiceEntry {
+    /// Resolve into a validated [`ServiceSpec`]; `position` supplies the
+    /// default id.
+    ///
+    /// # Errors
+    /// Unknown model names and non-positive rates/SLOs.
+    pub fn to_spec(&self, position: usize) -> Result<ServiceSpec, String> {
+        let model = Model::parse(&self.model)
+            .ok_or_else(|| format!("unknown model '{}' (entry {position})", self.model))?;
+        let spec = ServiceSpec::new(
+            self.id.unwrap_or(position as u32),
+            model,
+            self.rate_rps,
+            self.slo_ms,
+        );
+        if !spec.is_valid() {
+            return Err(format!(
+                "entry {position}: rate and SLO must be positive finite numbers"
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+/// Where a scenario's service mix comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// A paper Table IV scenario, replicated `scale`-fold (0 and 1 both
+    /// mean the plain table).
+    Table {
+        /// Which Table IV column set.
+        scenario: Scenario,
+        /// k-fold service replication (the Figs. 10–11 scalability axis).
+        #[serde(default)]
+        scale: u32,
+    },
+    /// An explicit service list.
+    Services(Vec<ServiceEntry>),
+    /// The four-service fleet-chaos demo mix
+    /// ([`parva_fleet::demo_services`]).
+    FleetDemo,
+    /// The four-service global federation demo mix
+    /// ([`parva_region::demo_services`]).
+    RegionDemo,
+}
+
+impl Workload {
+    /// Materialize the service specs.
+    ///
+    /// # Errors
+    /// Propagates [`ServiceEntry::to_spec`] failures and empty lists.
+    pub fn services(&self) -> Result<Vec<ServiceSpec>, String> {
+        match self {
+            Self::Table { scenario, scale } => Ok(scenario.scaled((*scale).max(1))),
+            Self::Services(entries) => {
+                if entries.is_empty() {
+                    return Err("service list is empty".into());
+                }
+                let specs: Vec<ServiceSpec> = entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| e.to_spec(i))
+                    .collect::<Result<_, _>>()?;
+                // Ids key every report lookup; a collision (explicit ids
+                // clashing with each other or with position defaults)
+                // would silently shadow a service's metrics.
+                let mut ids: Vec<u32> = specs.iter().map(|s| s.id).collect();
+                ids.sort_unstable();
+                if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+                    return Err(format!(
+                        "duplicate service id {} (explicit ids must not collide with \
+                         each other or with position-defaulted ids)",
+                        dup[0]
+                    ));
+                }
+                Ok(specs)
+            }
+            Self::FleetDemo => Ok(parva_fleet::demo_services()),
+            Self::RegionDemo => Ok(parva_region::demo_services()),
+        }
+    }
+}
+
+/// Measurement-window shape, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Warm-up excluded from measurement.
+    pub warmup_s: f64,
+    /// Measured duration.
+    pub duration_s: f64,
+    /// Post-window drain.
+    pub drain_s: f64,
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Self {
+            warmup_s: 2.0,
+            duration_s: 10.0,
+            drain_s: 5.0,
+        }
+    }
+}
+
+/// One ingress class of a per-service traffic split: `share` of the
+/// service's rate enters with `network_ms` already spent against the SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSplit {
+    /// Fraction of the service's offered rate (all splits should sum to
+    /// ~1.0 to preserve the nominal load).
+    pub share: f64,
+    /// Network latency the class has paid before arrival, ms.
+    pub network_ms: f64,
+}
+
+/// The fleet composition of a [`Mode::Fleet`] scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FleetSource {
+    /// The mixed reserved/on-demand/spot demo fleet, sized by its base
+    /// node count.
+    MixedDemo {
+        /// Reserved A100-80GB base nodes.
+        base_nodes: usize,
+    },
+    /// Explicit node pools.
+    Pools(FleetSpec),
+}
+
+impl FleetSource {
+    /// Materialize the pool list this source describes — the exact spec
+    /// `run()` hands the orchestrator (examples print it from here so the
+    /// rendered topology can never drift from the simulated one).
+    #[must_use]
+    pub fn resolve(&self) -> FleetSpec {
+        match self {
+            Self::MixedDemo { base_nodes } => FleetSpec::mixed_demo((*base_nodes).max(1)),
+            Self::Pools(spec) => spec.clone(),
+        }
+    }
+}
+
+/// The topology of a [`Mode::Region`] scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FederationSource {
+    /// The built-in three-region (us-east / eu-west / ap-south) demo.
+    ThreeRegionDemo,
+    /// An explicit federation topology.
+    Custom(FederationSpec),
+}
+
+impl FederationSource {
+    /// Materialize the federation topology this source describes — the
+    /// exact spec `run()` hands the orchestrator.
+    #[must_use]
+    pub fn resolve(&self) -> FederationSpec {
+        match self {
+            Self::ThreeRegionDemo => FederationSpec::three_region_demo(),
+            Self::Custom(spec) => spec.clone(),
+        }
+    }
+
+    /// Region count without cloning the topology.
+    fn region_count(&self) -> usize {
+        match self {
+            Self::ThreeRegionDemo => 3,
+            Self::Custom(spec) => spec.regions.len(),
+        }
+    }
+}
+
+/// Diurnal demand bounds of a region run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalSpec {
+    /// Trough multiplier (local ~3 a.m.).
+    pub low: f64,
+    /// Peak multiplier (local ~3 p.m.).
+    pub high: f64,
+    /// Wall-clock hours the federation advances per interval.
+    pub hours_per_interval: f64,
+}
+
+/// Which engine a scenario exercises, with that engine's axes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Mode {
+    /// One scheduled deployment served in the DES.
+    Serve {
+        /// Scheduler name (see `parvactl`'s `--scheduler`); empty means
+        /// `parvagpu`.
+        #[serde(default)]
+        scheduler: String,
+        /// GPU catalog slice: profile and schedule on this
+        /// [`GpuModel::CATALOG`] entry instead of the built-in A100-80GB
+        /// book (e.g. `"H200-141GB"` to give LLMs MIG headroom).
+        #[serde(default)]
+        gpu: Option<String>,
+        /// Per-service ingress split; empty means one local class per
+        /// service at its full spec rate.
+        #[serde(default)]
+        ingress: Vec<ClassSplit>,
+        /// Recovery work riding the event queue (dark GPUs, re-flash and
+        /// PCIe contention, measured dips).
+        #[serde(default)]
+        recovery: Option<RecoverySpec>,
+    },
+    /// A heterogeneous fleet driven through the seeded chaos stream.
+    Fleet {
+        /// Pool composition.
+        fleet: FleetSource,
+        /// Disturbed intervals after the baseline.
+        intervals: usize,
+        /// Fall back to closed-form recovery estimates instead of the
+        /// DES-measured path.
+        #[serde(default)]
+        analytic_recovery: bool,
+    },
+    /// A multi-region federation under chaos, drills and diurnal demand.
+    Region {
+        /// Region topology and RTTs.
+        federation: FederationSource,
+        /// Disturbed intervals after the baseline.
+        intervals: usize,
+        /// Scripted evacuation + failback; `None` leaves evacuations to
+        /// the seeded stream.
+        #[serde(default)]
+        drill: Option<EvacuationDrill>,
+        /// Diurnal demand bounds; `None` uses the federation defaults.
+        #[serde(default)]
+        diurnal: Option<DiurnalSpec>,
+    },
+}
+
+/// A whole experiment as data. See the module docs and
+/// [`crate::scenarios::builtin_specs`] for worked examples; `README.md`
+/// documents the JSON schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry name (also the `parvactl run` handle).
+    pub name: String,
+    /// One-line human description.
+    #[serde(default)]
+    pub description: String,
+    /// Master seed: serving sample paths and chaos streams derive from it.
+    pub seed: u64,
+    /// Serving-window shape (per interval for fleet/region modes).
+    pub window: Window,
+    /// Arrival-process shape; `None` means Poisson.
+    #[serde(default)]
+    pub arrivals: Option<ArrivalProcess>,
+    /// The service mix.
+    pub workload: Workload,
+    /// The engine and its axes.
+    pub mode: Mode,
+}
+
+/// What a scenario run produced, tagged by engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ScenarioReport {
+    /// A single serving-DES run.
+    Serve(ServingReport),
+    /// A fleet chaos run.
+    Fleet(FleetReport),
+    /// A federation run.
+    Region(FederationReport),
+}
+
+impl ScenarioReport {
+    /// Human-readable summary of the run.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Serve(r) => {
+                let mut out = format!(
+                    "serving run: {:.1}s window | compliance {:.2}% | request compliance {:.2}%\n",
+                    r.duration_s,
+                    r.overall_compliance_rate() * 100.0,
+                    r.overall_request_compliance_rate() * 100.0
+                );
+                for s in &r.services {
+                    out.push_str(&format!(
+                        "service #{}: served {}/{} req, p99 {:.1} ms, compliance {:.2}%\n",
+                        s.service_id,
+                        s.completed,
+                        s.offered,
+                        s.latency.quantile_ms(0.99),
+                        s.compliance_rate() * 100.0
+                    ));
+                }
+                if let Some(rec) = &r.recovery {
+                    out.push_str(&format!(
+                        "recovery: {} dark server(s), measured latency {:.0} ms, \
+                         {:.1} GiB copied, {:.1} GiB pre-copied\n",
+                        rec.dark_servers, rec.latency_ms, rec.copied_gib, rec.precopied_gib
+                    ));
+                }
+                out
+            }
+            Self::Fleet(r) => r.render(),
+            Self::Region(r) => r.render(),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The derived serving configuration (shared by all modes).
+    #[must_use]
+    pub fn serving_config(&self) -> ServingConfig {
+        ServingConfig {
+            warmup_s: self.window.warmup_s,
+            duration_s: self.window.duration_s,
+            drain_s: self.window.drain_s,
+            seed: self.seed,
+            arrivals: self.arrivals.unwrap_or(ArrivalProcess::Poisson),
+        }
+    }
+
+    /// Validate shape invariants without running anything.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("spec needs a name".into());
+        }
+        let w = &self.window;
+        if !(w.warmup_s >= 0.0
+            && w.duration_s > 0.0
+            && w.drain_s >= 0.0
+            && w.warmup_s.is_finite()
+            && w.duration_s.is_finite()
+            && w.drain_s.is_finite())
+        {
+            return Err(format!(
+                "window must be finite with a positive duration (got {w:?})"
+            ));
+        }
+        self.workload.services()?;
+        match &self.mode {
+            Mode::Serve {
+                scheduler,
+                gpu,
+                ingress,
+                recovery,
+            } => {
+                if !crate::cli::scheduler_name_is_known(effective_scheduler(scheduler)) {
+                    return Err(format!("unknown scheduler '{scheduler}'"));
+                }
+                if let Some(name) = gpu {
+                    gpu_by_name(name)?;
+                }
+                // NaN and ±inf must fail too (an infinite rate share would
+                // wedge the arrival process), so require the full finite
+                // valid range and negate the whole predicate.
+                if !ingress
+                    .iter()
+                    .all(|c| c.share >= 0.0 && c.share.is_finite() && c.network_ms >= 0.0)
+                {
+                    return Err("ingress splits need finite share >= 0 and network_ms >= 0".into());
+                }
+                if let Some(r) = recovery {
+                    let finite = r.start_ms.is_finite()
+                        && r.start_ms >= 0.0
+                        && r.control_plane_ms.is_finite()
+                        && r.control_plane_ms >= 0.0
+                        && r.reflash_ms.is_finite()
+                        && r.reflash_ms >= 0.0
+                        && r.link_gib_per_s.is_finite()
+                        && r.link_gib_per_s > 0.0
+                        && r.ops
+                            .iter()
+                            .all(|o| o.copy_gib.is_finite() && o.copy_gib >= 0.0);
+                    if !finite {
+                        return Err(
+                            "recovery spec needs finite non-negative timings, a positive \
+                             link bandwidth and finite non-negative copy volumes"
+                                .into(),
+                        );
+                    }
+                }
+            }
+            Mode::Fleet {
+                fleet, intervals, ..
+            } => {
+                if *intervals == 0 {
+                    return Err("fleet scenarios need at least one interval".into());
+                }
+                if matches!(fleet, FleetSource::Pools(spec) if spec.pools.is_empty()) {
+                    return Err("fleet needs at least one pool".into());
+                }
+            }
+            Mode::Region {
+                federation,
+                intervals,
+                drill,
+                diurnal,
+            } => {
+                if *intervals == 0 {
+                    return Err("region scenarios need at least one interval".into());
+                }
+                if let FederationSource::Custom(fed) = federation {
+                    fed.validate()?;
+                }
+                if let Some(d) = drill {
+                    if d.failback_at <= d.evacuate_at {
+                        return Err(format!(
+                            "drill failback (interval {}) must come after the evacuation \
+                             (interval {})",
+                            d.failback_at, d.evacuate_at
+                        ));
+                    }
+                    // Federation intervals are numbered 1..=intervals, so
+                    // anything at 0 or past the end silently never fires.
+                    if d.evacuate_at < 1 || d.evacuate_at > *intervals || d.failback_at > *intervals
+                    {
+                        return Err(format!(
+                            "drill (evacuate at {}, failback at {}) lands outside the \
+                             run's intervals 1..={} and would silently never fire",
+                            d.evacuate_at, d.failback_at, intervals
+                        ));
+                    }
+                    if d.region >= federation.region_count() {
+                        return Err(format!(
+                            "drill region {} does not exist (topology has {} region(s))",
+                            d.region,
+                            federation.region_count()
+                        ));
+                    }
+                }
+                if let Some(d) = diurnal {
+                    if !(d.low > 0.0 && d.high >= d.low && d.hours_per_interval > 0.0) {
+                        return Err(format!("invalid diurnal bounds {d:?}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A CI-scale copy: shrunken serving windows, capped fleet intervals,
+    /// same seeds — still fully deterministic, just cheap.
+    #[must_use]
+    pub fn quick(&self) -> Self {
+        let mut spec = self.clone();
+        spec.window.warmup_s = spec.window.warmup_s.min(0.5);
+        spec.window.duration_s = spec.window.duration_s.min(2.0);
+        spec.window.drain_s = spec.window.drain_s.min(0.5);
+        if let Mode::Fleet { intervals, .. } = &mut spec.mode {
+            *intervals = (*intervals).min(4);
+        }
+        spec
+    }
+
+    /// Run the scenario end to end.
+    ///
+    /// Deterministic: the same spec always produces the identical report
+    /// (and identical JSON).
+    ///
+    /// # Errors
+    /// Validation failures, scheduling failures, and fleet/region
+    /// exhaustion, as display strings.
+    pub fn run(&self) -> Result<ScenarioReport, String> {
+        self.validate()?;
+        let services = self.workload.services()?;
+        let serving = self.serving_config();
+        match &self.mode {
+            Mode::Serve {
+                scheduler,
+                gpu,
+                ingress,
+                recovery,
+            } => {
+                let book = match gpu {
+                    Some(name) => {
+                        let gpu = gpu_by_name(name)?;
+                        let mut models: Vec<Model> = Vec::new();
+                        for s in &services {
+                            if !models.contains(&s.model) {
+                                models.push(s.model);
+                            }
+                        }
+                        ProfileBook::measure_on(
+                            &models,
+                            &crate::profile::SweepGrid::paper_default(),
+                            gpu,
+                        )
+                    }
+                    None => ProfileBook::builtin(),
+                };
+                let sched = crate::cli::make_scheduler(effective_scheduler(scheduler), &book)?;
+                let deployment = sched.schedule(&services).map_err(|e| e.to_string())?;
+                let classes: Vec<Vec<IngressClass>> = if ingress.is_empty() {
+                    Vec::new()
+                } else {
+                    services
+                        .iter()
+                        .map(|s| {
+                            ingress
+                                .iter()
+                                .map(|c| IngressClass {
+                                    rate_rps: s.request_rate_rps * c.share,
+                                    network_ms: c.network_ms,
+                                })
+                                .collect()
+                        })
+                        .collect()
+                };
+                let report = Simulation::new(&deployment, &services)
+                    .ingress(&classes)
+                    .recovery_opt(recovery.as_ref())
+                    .config(&serving)
+                    .run();
+                Ok(ScenarioReport::Serve(report))
+            }
+            Mode::Fleet {
+                fleet,
+                intervals,
+                analytic_recovery,
+            } => {
+                let book = ProfileBook::builtin();
+                let config = FleetConfig {
+                    seed: self.seed,
+                    intervals: (*intervals).max(1),
+                    serving,
+                    des_recovery: !analytic_recovery,
+                    ..FleetConfig::default()
+                };
+                let report = parva_fleet::run_chaos(&book, &services, &fleet.resolve(), &config)
+                    .map_err(|e| e.to_string())?;
+                Ok(ScenarioReport::Fleet(report))
+            }
+            Mode::Region {
+                federation,
+                intervals,
+                drill,
+                diurnal,
+            } => {
+                let book = ProfileBook::builtin();
+                let mut config = FederationConfig {
+                    seed: self.seed,
+                    intervals: (*intervals).max(1),
+                    serving,
+                    drill: *drill,
+                    ..FederationConfig::default()
+                };
+                if let Some(d) = diurnal {
+                    config.diurnal_low = d.low;
+                    config.diurnal_high = d.high;
+                    config.hours_per_interval = d.hours_per_interval;
+                }
+                let report =
+                    parva_region::run_federation(&book, &services, &federation.resolve(), &config)
+                        .map_err(|e| e.to_string())?;
+                Ok(ScenarioReport::Region(report))
+            }
+        }
+    }
+}
+
+/// Empty scheduler names mean the default ParvaGPU scheduler.
+fn effective_scheduler(name: &str) -> &str {
+    if name.is_empty() {
+        "parvagpu"
+    } else {
+        name
+    }
+}
+
+/// Look a GPU up in [`GpuModel::CATALOG`] by (case-insensitive) name.
+fn gpu_by_name(name: &str) -> Result<GpuModel, String> {
+    GpuModel::CATALOG
+        .iter()
+        .copied()
+        .find(|g| g.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown GPU '{name}' (catalog: {})",
+                GpuModel::CATALOG
+                    .iter()
+                    .map(|g| g.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+/// Convenience RTT builder for hand-written federation specs.
+#[must_use]
+pub(crate) fn rtt_upper(regions: usize, upper: &[f64]) -> RttMatrix {
+    RttMatrix::from_upper(regions, upper)
+}

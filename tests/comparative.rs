@@ -136,7 +136,7 @@ fn slack_ordering_matches_fig6_on_s4() {
         seed: 3,
         ..Default::default()
     };
-    let slack_of = |d: &Deployment| internal_slack(&simulate(d, &specs, &cfg));
+    let slack_of = |d: &Deployment| internal_slack(&Simulation::new(d, &specs).config(&cfg).run());
 
     let parva = slack_of(&ParvaGpu::new(&book).schedule(&specs).unwrap());
     let migserv = slack_of(&MigServing::new(&book).schedule(&specs).unwrap());

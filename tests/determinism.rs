@@ -34,8 +34,8 @@ fn serving_simulation_reproducible() {
         seed: 99,
         ..Default::default()
     };
-    let a = simulate(&d, &specs, &cfg);
-    let b = simulate(&d, &specs, &cfg);
+    let a = Simulation::new(&d, &specs).config(&cfg).run();
+    let b = Simulation::new(&d, &specs).config(&cfg).run();
     assert_eq!(
         serde_json::to_string(&a).unwrap(),
         serde_json::to_string(&b).unwrap(),

@@ -61,7 +61,7 @@ fn no_slo_violations_small_scenarios() {
     for sc in [Scenario::S1, Scenario::S2] {
         let specs = sc.services();
         let d = sched.schedule(&specs).unwrap();
-        let report = simulate(&d, &specs, &quick_serving());
+        let report = Simulation::new(&d, &specs).config(&quick_serving()).run();
         assert!(
             (report.overall_compliance_rate() - 1.0).abs() < 1e-9,
             "{sc}: compliance {:.3}%",
@@ -81,7 +81,7 @@ fn internal_slack_is_single_digit_on_s5() {
     let sched = ParvaGpu::new(&book);
     let specs = Scenario::S5.services();
     let d = sched.schedule(&specs).unwrap();
-    let report = simulate(&d, &specs, &quick_serving());
+    let report = Simulation::new(&d, &specs).config(&quick_serving()).run();
     let slack = internal_slack(&report);
     assert!(slack < 0.10, "slack {:.1}% too high", slack * 100.0);
     assert!(slack >= 0.0);

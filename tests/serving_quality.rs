@@ -20,7 +20,7 @@ fn latencies_respect_physical_lower_bound() {
     let book = ProfileBook::builtin();
     let specs = vec![ServiceSpec::new(0, Model::ResNet50, 400.0, 300.0)];
     let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
-    let report = simulate(&d, &specs, &cfg(1));
+    let report = Simulation::new(&d, &specs).config(&cfg(1)).run();
     let svc = report.service(0).unwrap();
     let floor = parvagpu::perf::latency_ms(
         Model::ResNet50,
@@ -43,7 +43,7 @@ fn p99_latency_within_slo_for_parvagpu() {
     let book = ProfileBook::builtin();
     let specs = Scenario::S2.services();
     let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
-    let report = simulate(&d, &specs, &cfg(2));
+    let report = Simulation::new(&d, &specs).config(&cfg(2)).run();
     for (spec, svc) in specs.iter().zip(&report.services) {
         // quantile_ms reports the upper bucket edge (buckets ~9% wide), so
         // allow 10% above the SLO even though no request violated it.
@@ -88,8 +88,12 @@ fn heterogeneous_interference_slows_co_residents() {
         partitions: vec![mk(1, Model::DenseNet121)],
     });
 
-    let shared_report = simulate(&Deployment::Mps(shared), &specs, &cfg(3));
-    let isolated_report = simulate(&Deployment::Mps(isolated), &specs, &cfg(3));
+    let shared_report = Simulation::new(&Deployment::Mps(shared), &specs)
+        .config(&cfg(3))
+        .run();
+    let isolated_report = Simulation::new(&Deployment::Mps(isolated), &specs)
+        .config(&cfg(3))
+        .run();
     let mean = |r: &ServingReport, id: u32| r.service(id).unwrap().latency.mean_ms();
     assert!(
         mean(&shared_report, 0) > mean(&isolated_report, 0) * 1.02,
@@ -137,8 +141,12 @@ fn mig_segments_are_isolated() {
         )
         .unwrap();
 
-    let a = simulate(&Deployment::Mig(same_gpu), &specs, &cfg(4));
-    let b = simulate(&Deployment::Mig(split), &specs, &cfg(4));
+    let a = Simulation::new(&Deployment::Mig(same_gpu), &specs)
+        .config(&cfg(4))
+        .run();
+    let b = Simulation::new(&Deployment::Mig(split), &specs)
+        .config(&cfg(4))
+        .run();
     for id in [0u32, 1] {
         let la = a.service(id).unwrap().latency.mean_ms();
         let lb = b.service(id).unwrap().latency.mean_ms();
@@ -154,7 +162,7 @@ fn offered_load_matches_configured_rate() {
     let book = ProfileBook::builtin();
     let specs = Scenario::S1.services();
     let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
-    let report = simulate(&d, &specs, &cfg(5));
+    let report = Simulation::new(&d, &specs).config(&cfg(5)).run();
     for (spec, svc) in specs.iter().zip(&report.services) {
         let offered_rps = svc.offered as f64 / report.duration_s;
         let rel = (offered_rps - spec.request_rate_rps).abs() / spec.request_rate_rps;
@@ -175,7 +183,7 @@ fn slack_decomposition_is_consistent() {
     let book = ProfileBook::builtin();
     let specs = Scenario::S2.services();
     let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
-    let report = simulate(&d, &specs, &cfg(6));
+    let report = Simulation::new(&d, &specs).config(&cfg(6)).run();
     let sm: f64 = report.servers.iter().map(|s| s.sms).sum();
     let weighted: f64 = report.servers.iter().map(|s| s.sms * s.activity).sum();
     let manual = 1.0 - weighted / sm;
