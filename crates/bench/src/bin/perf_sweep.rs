@@ -70,14 +70,23 @@ impl BenchDoc {
 }
 
 /// Run `body`, attributing counter deltas and wall time to `name`.
+///
+/// Scope-safe: snapshots the global counters before and after and
+/// reports [`parva_des::counters::Snapshot::delta`], so concurrent or
+/// later `measure` calls never clobber each other the way the old
+/// reset-then-read pattern could. `peak_queue_depth` is the one
+/// high-water mark (not a monotone counter): the delta reports the
+/// run's peak only when it exceeds every earlier scenario's, so main
+/// still resets the globals once up front to keep the first peak exact.
 fn measure(name: &str, body: impl FnOnce()) -> ScenarioPerf {
-    parva_des::counters::reset();
-    parva_fleet::simcache::reset_global_stats();
+    let before = parva_des::counters::snapshot();
+    let (hits0, misses0) = parva_fleet::simcache::global_stats();
     let started = Instant::now();
     body();
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let snap = parva_des::counters::snapshot();
-    let (hits, misses) = parva_fleet::simcache::global_stats();
+    let snap = parva_des::counters::snapshot().delta(&before);
+    let (hits1, misses1) = parva_fleet::simcache::global_stats();
+    let (hits, misses) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
     let lookups = hits + misses;
     ScenarioPerf {
         name: name.to_string(),
@@ -114,6 +123,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_des.json".to_string());
 
     let book = ProfileBook::builtin();
+
+    // One reset up front so the first scenario's queue-depth high-water
+    // mark starts from zero; everything else is delta-attributed.
+    parva_des::counters::reset();
+    parva_fleet::simcache::reset_global_stats();
 
     // -- small: one cluster-scale serving simulation, repeated --
     let s2 = parva_scenarios::Scenario::S2.services();

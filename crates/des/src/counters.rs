@@ -133,6 +133,28 @@ impl Snapshot {
             self.events as f64 / (self.loop_cpu_nanos as f64 / 1e9)
         }
     }
+
+    /// The counter activity between `earlier` and `self`, scope-safe for
+    /// nested measurements: take a snapshot before a region of work, one
+    /// after, and the delta attributes exactly the events/sims/loop time
+    /// recorded in between — including everything scoped-thread fan-outs
+    /// accumulated — without anyone calling [`reset`] and clobbering an
+    /// enclosing measurement.
+    ///
+    /// `peak_queue_depth` is a high-water mark, not a sum: a maximum cannot
+    /// be decomposed into per-interval contributions, so the delta carries
+    /// the *later* snapshot's peak (the peak observed up to the end of the
+    /// span). Sums saturate at zero if `earlier` is actually newer.
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            events: self.events.saturating_sub(earlier.events),
+            sims: self.sims.saturating_sub(earlier.sims),
+            peak_queue_depth: self.peak_queue_depth,
+            loop_nanos: self.loop_nanos.saturating_sub(earlier.loop_nanos),
+            loop_cpu_nanos: self.loop_cpu_nanos.saturating_sub(earlier.loop_cpu_nanos),
+        }
+    }
 }
 
 /// Read the current counter values.
@@ -160,8 +182,13 @@ pub fn reset() {
 mod tests {
     use super::*;
 
+    /// The counters are process-global; tests that reset them must not
+    /// interleave with each other under the parallel test runner.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn record_and_snapshot_roundtrip() {
+        let _guard = LOCK.lock().unwrap();
         reset();
         record_sim(100, 7, 1_000_000, 900_000);
         record_sim(50, 12, 500_000, 400_000);
@@ -177,6 +204,29 @@ mod tests {
         assert_eq!(snapshot(), Snapshot::default());
         assert_eq!(snapshot().events_per_sec(), 0.0);
         assert_eq!(snapshot().events_per_cpu_sec(), 0.0);
+    }
+
+    #[test]
+    fn delta_attributes_only_the_enclosed_work() {
+        let _guard = LOCK.lock().unwrap();
+        reset();
+        record_sim(100, 7, 1_000, 900);
+        let before = snapshot();
+        record_sim(50, 12, 500, 400);
+        record_sim(25, 3, 250, 200);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.events, 75);
+        assert_eq!(d.sims, 2);
+        assert_eq!(d.loop_nanos, 750);
+        assert_eq!(d.loop_cpu_nanos, 600);
+        // High-water mark: the delta reports the peak observed so far, not
+        // a (meaningless) subtraction of maxima.
+        assert_eq!(d.peak_queue_depth, 12);
+        // Reversed arguments saturate instead of wrapping.
+        let r = before.delta(&snapshot());
+        assert_eq!(r.events, 0);
+        assert_eq!(r.sims, 0);
+        reset();
     }
 
     #[cfg(all(target_os = "linux", target_pointer_width = "64"))]

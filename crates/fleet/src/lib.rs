@@ -55,7 +55,7 @@ pub use event::{next_event, FleetEvent};
 pub use migration::MigrationPlan;
 pub use node::{Fleet, FleetNode, FleetSpec, GpuSlot, NodePool};
 pub use orchestrator::{
-    run_chaos, FleetConfig, FleetError, FleetOrchestrator, RecoveryOutcome,
+    run_chaos, run_chaos_observed, FleetConfig, FleetError, FleetOrchestrator, RecoveryOutcome,
     DEFAULT_MAX_REPLACEMENTS,
 };
 pub use pack::{FleetPacking, NodeUsage};

@@ -33,6 +33,7 @@ use parva_core::allocator::{allocation, fill, optimize, SegmentQueues};
 use parva_core::{reconfigure, ParvaGpu, Service};
 use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
 use parva_des::RngStream;
+use parva_obs::{Recorder, Row, SelfProfiler, TraceEvent, TraceSink, PID_FLEET};
 use parva_profile::ProfileBook;
 use parva_serve::{RecoverySpec, ServingConfig, ServingReport, Simulation};
 use std::collections::BTreeMap;
@@ -180,6 +181,11 @@ pub struct FleetOrchestrator {
     /// duplicates the before probe — each unique steady state is simulated
     /// once per report.
     sim_cache: SimCache,
+    /// Self-profiling spans around the control-loop phases (schedule,
+    /// plan, probe fan-out, merge). Disabled by default; readings come
+    /// from host clocks, so the profile is excluded from the
+    /// determinism guarantees the trace/metrics artifacts carry.
+    profiler: SelfProfiler,
 }
 
 impl FleetOrchestrator {
@@ -214,6 +220,7 @@ impl FleetOrchestrator {
             max_replacements_per_event: DEFAULT_MAX_REPLACEMENTS,
             des_recovery: true,
             sim_cache: SimCache::new(),
+            profiler: SelfProfiler::disabled(),
         })
     }
 
@@ -221,6 +228,20 @@ impl FleetOrchestrator {
     #[must_use]
     pub fn sim_cache_stats(&self) -> (u64, u64) {
         self.sim_cache.stats()
+    }
+
+    /// Record self-profiling spans (wall/CPU clocks plus scope-safe DES
+    /// counter deltas) around each [`FleetOrchestrator::handle_event`]
+    /// phase. Off by default: profiling reads host clocks.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = SelfProfiler::enabled();
+    }
+
+    /// The phase profile collected so far (empty unless
+    /// [`FleetOrchestrator::enable_profiling`] was called).
+    #[must_use]
+    pub fn profiler(&self) -> &SelfProfiler {
+        &self.profiler
     }
 
     /// Resolve a set of keyed probes: cache hits are returned directly,
@@ -588,6 +609,7 @@ impl FleetOrchestrator {
         let specs_before = self.specs.clone();
 
         // -- 1. Apply the event through the recovery machinery (no sims).
+        let tok = self.profiler.begin("schedule", "fleet");
         let mut displaced_segments = 0usize;
         let mut lost_gpus = 0usize;
         let mut replacement_nodes = 0usize;
@@ -628,6 +650,8 @@ impl FleetOrchestrator {
             }
             FleetEvent::Quiet => {}
         }
+        self.profiler.end(tok);
+        let tok = self.profiler.begin("plan", "fleet");
 
         let migration = MigrationPlan::between(
             (&before_deployment, &before_placement),
@@ -651,6 +675,8 @@ impl FleetOrchestrator {
             || (matches!(event, FleetEvent::PreemptionWarning { .. }) && warning_covers);
         let rec_spec = (self.des_recovery && !migration.ops.is_empty())
             .then(|| migration.to_recovery_spec(serving.warmup_s * 1_000.0, prepared));
+        self.profiler.end(tok);
+        let tok = self.profiler.begin("probe-fanout", "fleet");
 
         // -- 2. Resolve every probe through the cache (misses fan out).
         // The "after" probe of interval n is the "before" probe of
@@ -708,6 +734,8 @@ impl FleetOrchestrator {
             serving,
         );
         let resolved = self.resolve_probes(&jobs, serving);
+        self.profiler.end(tok);
+        let tok = self.profiler.begin("merge", "fleet");
         let compliance_of = |key: u128| resolved[&key].overall_request_compliance_rate();
 
         let compliance_before = compliance_of(key_before);
@@ -734,6 +762,7 @@ impl FleetOrchestrator {
 
         let packing = FleetPacking::derive(&self.deployment, &self.placement, &self.fleet);
         let after = &resolved[&key_after];
+        self.profiler.end(tok);
 
         Ok(EventOutcome {
             interval,
@@ -770,14 +799,90 @@ pub fn run_chaos(
     fleet_spec: &FleetSpec,
     config: &FleetConfig,
 ) -> Result<FleetReport, FleetError> {
+    run_chaos_with(
+        book,
+        specs,
+        fleet_spec,
+        config,
+        &mut parva_obs::NullSink,
+        false,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`run_chaos`] under an observer: the identical chaos trace (the
+/// report is property-tested equal to the unobserved run), plus, per
+/// interval, orchestrator *decision* trace events — the injected event,
+/// a `probe` instant carrying the simulation-cache hit/miss delta of
+/// the interval's compliance-probe fan-out, and a `migrate` span
+/// covering the recovery latency — and one gauge row with the interval's
+/// compliance trajectory, migration volume and fleet cost. Interval `n`
+/// is mapped onto the trace timeline at `n × serving-window` so stacked
+/// intervals render side by side in Perfetto. The recorder also absorbs
+/// the orchestrator's phase self-profile (schedule / plan /
+/// probe-fanout / merge).
+///
+/// The serving probes themselves stay unobserved: they are memoized
+/// content-addressed snapshots (interior spans would be misattributed
+/// across cache hits). Use [`parva_serve::Simulation::run_with`] for
+/// request-level spans of a single window.
+///
+/// # Errors
+/// Propagates bootstrap and recovery failures ([`FleetError`]).
+pub fn run_chaos_observed(
+    book: &ProfileBook,
+    specs: &[ServiceSpec],
+    fleet_spec: &FleetSpec,
+    config: &FleetConfig,
+    rec: &mut Recorder,
+) -> Result<FleetReport, FleetError> {
+    let (report, profile) = run_chaos_with(book, specs, fleet_spec, config, rec, true)?;
+    rec.profile.absorb(&profile);
+    Ok(report)
+}
+
+/// Static label for an event kind (trace names must be `'static`).
+fn event_label(event: &FleetEvent) -> &'static str {
+    match event {
+        FleetEvent::NodeFailure { .. } => "node-failure",
+        FleetEvent::SpotPreemption { .. } => "spot-preemption",
+        FleetEvent::PreemptionWarning { .. } => "preemption-warning",
+        FleetEvent::ScaleUpGrant { .. } => "scale-up-grant",
+        FleetEvent::LoadShift { .. } => "load-shift",
+        FleetEvent::Quiet => "quiet",
+    }
+}
+
+/// One serving interval's span on the pseudo-timeline, microseconds.
+fn interval_us(serving: &ServingConfig) -> u64 {
+    ((serving.warmup_s + serving.duration_s + serving.drain_s) * 1e6) as u64
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn run_chaos_with<S: TraceSink>(
+    book: &ProfileBook,
+    specs: &[ServiceSpec],
+    fleet_spec: &FleetSpec,
+    config: &FleetConfig,
+    sink: &mut S,
+    profile: bool,
+) -> Result<(FleetReport, SelfProfiler), FleetError> {
     let mut orchestrator = FleetOrchestrator::bootstrap(book, specs, fleet_spec)?
         .with_max_replacements(config.max_replacements_per_event)
         .with_des_recovery(config.des_recovery);
+    if profile {
+        orchestrator.enable_profiling();
+    }
     let mut event_rng = RngStream::new(config.seed, 0xF1EE7);
     let serving = ServingConfig {
         seed: config.seed,
         ..config.serving
     };
+    let window = interval_us(&serving);
 
     let baseline_compliance = orchestrator.serve_interval(&serving);
     let baseline_packing = FleetPacking::derive(
@@ -785,19 +890,100 @@ pub fn run_chaos(
         &orchestrator.placement,
         &orchestrator.fleet,
     );
+    if S::ENABLED {
+        sink.sample(
+            Row::new()
+                .str("kind", "fleet")
+                .u64("interval", 0)
+                .str("event", "baseline")
+                .f64("compliance_before", baseline_compliance)
+                .f64("compliance_after", baseline_compliance)
+                .u64("nodes_in_service", baseline_packing.nodes.len() as u64)
+                .f64("usd_per_hour", baseline_packing.usd_per_hour),
+        );
+    }
 
     let mut events = Vec::with_capacity(config.intervals);
     for interval in 1..=config.intervals {
         let event = next_event(&mut event_rng, &orchestrator.fleet);
-        events.push(orchestrator.handle_event(interval, event, &serving)?);
+        let (hits0, misses0) = orchestrator.sim_cache_stats();
+        let outcome = orchestrator.handle_event(interval, event, &serving)?;
+        if S::ENABLED {
+            let ts0 = interval as u64 * window;
+            let (hits1, misses1) = orchestrator.sim_cache_stats();
+            sink.emit(
+                TraceEvent::instant(event_label(&outcome.event), "fleet-event", ts0)
+                    .pid(PID_FLEET)
+                    .tid(interval as u32)
+                    .arg_str("event", outcome.event.to_string())
+                    .arg_u64("displaced_segments", outcome.displaced_segments as u64)
+                    .arg_u64("lost_gpus", outcome.lost_gpus as u64),
+            );
+            sink.emit(
+                TraceEvent::instant("probe", "decision", ts0)
+                    .pid(PID_FLEET)
+                    .tid(interval as u32)
+                    .arg_u64("cache_hits", hits1.saturating_sub(hits0))
+                    .arg_u64("cache_misses", misses1.saturating_sub(misses0)),
+            );
+            if outcome.migration.migrated_segments > 0 {
+                let rec_ms = if outcome.simulated_recovery_ms > 0.0 {
+                    outcome.simulated_recovery_ms
+                } else {
+                    outcome.migration.recovery_latency_ms
+                };
+                sink.emit(
+                    TraceEvent::span("migrate", "decision", ts0, (rec_ms * 1_000.0) as u64)
+                        .pid(PID_FLEET)
+                        .tid(interval as u32)
+                        .arg_u64("segments", outcome.migration.migrated_segments as u64)
+                        .arg_u64("reflashed_gpus", outcome.migration.reflashed_gpus as u64)
+                        .arg_f64("weight_copy_gib", outcome.migration.weight_copy_gib)
+                        .arg_u64("replacement_nodes", outcome.replacement_nodes as u64),
+                );
+            }
+            let probes = hits1 + misses1;
+            sink.sample(
+                Row::new()
+                    .str("kind", "fleet")
+                    .u64("interval", interval as u64)
+                    .str("event", event_label(&outcome.event))
+                    .f64("compliance_before", outcome.compliance_before)
+                    .f64("compliance_during", outcome.compliance_during)
+                    .f64("compliance_shadowed", outcome.compliance_shadowed)
+                    .f64("compliance_measured", outcome.compliance_measured)
+                    .f64("compliance_after", outcome.compliance_after)
+                    .u64(
+                        "migrated_segments",
+                        outcome.migration.migrated_segments as u64,
+                    )
+                    .f64("recovery_ms", outcome.simulated_recovery_ms)
+                    .f64("precopied_gib", outcome.precopied_gib)
+                    .f64(
+                        "sim_cache_hit_rate",
+                        if probes == 0 {
+                            0.0
+                        } else {
+                            hits1 as f64 / probes as f64
+                        },
+                    )
+                    .u64("nodes_in_service", outcome.nodes_in_service as u64)
+                    .f64("usd_per_hour", outcome.usd_per_hour),
+            );
+        }
+        events.push(outcome);
     }
 
-    Ok(FleetReport {
-        seed: config.seed,
-        baseline_compliance,
-        baseline_usd_per_hour: baseline_packing.usd_per_hour,
-        events,
-    })
+    let profile = std::mem::take(&mut orchestrator.profiler);
+    Ok((
+        FleetReport {
+            seed: config.seed,
+            baseline_compliance,
+            baseline_usd_per_hour: baseline_packing.usd_per_hour,
+            events,
+        },
+        profile,
+    ))
 }
 
 #[cfg(test)]
@@ -832,6 +1018,74 @@ mod tests {
         assert_eq!(a, b, "identical seeds must give identical reports");
         let c = run_chaos(&book, &base_specs(), &spec, &quick_config(99, 6)).unwrap();
         assert_ne!(a.events, c.events, "different seeds should diverge");
+    }
+
+    #[test]
+    fn observed_chaos_is_behavior_neutral_and_deterministic() {
+        let book = ProfileBook::builtin();
+        let spec = FleetSpec::mixed_demo(2);
+        let cfg = quick_config(1234, 4);
+        let plain = run_chaos(&book, &base_specs(), &spec, &cfg).unwrap();
+
+        let mut rec_a = Recorder::new(0);
+        let a = run_chaos_observed(&book, &base_specs(), &spec, &cfg, &mut rec_a).unwrap();
+        assert_eq!(plain, a, "observation must not change the report");
+
+        // One gauge row per interval plus the baseline row.
+        assert_eq!(rec_a.metrics.len(), cfg.intervals + 1);
+        assert_eq!(
+            rec_a.metrics.rows()[0].get("event"),
+            Some(&parva_obs::ArgValue::Str("baseline".into()))
+        );
+        // Every interval emits its event instant and a probe decision.
+        let probes = rec_a.events.iter().filter(|e| e.name == "probe").count();
+        assert_eq!(probes, cfg.intervals);
+        assert!(rec_a.events.iter().all(|e| e.pid == PID_FLEET));
+        // The phase self-profile covered every handle_event phase.
+        let phases: Vec<&str> = rec_a.profile.stats().iter().map(|s| s.name).collect();
+        for phase in ["schedule", "plan", "probe-fanout", "merge"] {
+            assert!(phases.contains(&phase), "missing phase {phase}");
+        }
+        // Deterministic artifacts: byte-identical across runs.
+        let mut rec_b = Recorder::new(0);
+        let b = run_chaos_observed(&book, &base_specs(), &spec, &cfg, &mut rec_b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(rec_a.chrome_trace(), rec_b.chrome_trace());
+        assert_eq!(rec_a.metrics_jsonl(), rec_b.metrics_jsonl());
+        assert_eq!(rec_a.metrics_csv(), rec_b.metrics_csv());
+    }
+
+    #[test]
+    fn probe_fanout_profile_attributes_inner_simulations() {
+        let book = ProfileBook::builtin();
+        let mut orchestrator =
+            FleetOrchestrator::bootstrap(&book, &base_specs(), &FleetSpec::mixed_demo(2)).unwrap();
+        orchestrator.enable_profiling();
+        let serving = quick_config(5, 1).serving;
+        // Kill the node hosting logical GPU 0 so the displacement window
+        // forces fresh blackout/shadowed/measured probes (cache misses).
+        let victim = orchestrator.placement().slot_of(0).unwrap().node;
+        let outcome = orchestrator
+            .handle_event(1, FleetEvent::NodeFailure { node: victim }, &serving)
+            .unwrap();
+        assert!(outcome.displaced_segments > 0);
+        // probe-fanout attributed the inner simulations via the
+        // scope-safe Snapshot::delta, including scoped-thread misses.
+        let fanout = orchestrator
+            .profiler()
+            .stats()
+            .iter()
+            .find(|s| s.name == "probe-fanout")
+            .unwrap();
+        assert!(fanout.des_sims > 0, "fan-out ran no simulations");
+        assert!(fanout.des_events > 0);
+        let names: Vec<&str> = orchestrator
+            .profiler()
+            .stats()
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, ["schedule", "plan", "probe-fanout", "merge"]);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Exporters: Chrome/Perfetto `trace_event` JSON and line-delimited
+//! JSON.
+//!
+//! Both renderings are hand-built strings with fixed field order, so a
+//! given event list always produces byte-identical output. Timestamps
+//! and durations are integer simulation microseconds — exactly the unit
+//! the Chrome trace format expects for `ts`/`dur`.
+
+use crate::trace::TraceEvent;
+
+fn write_args(out: &mut String, ev: &TraceEvent) {
+    out.push_str("\"args\":{");
+    for (i, (k, v)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&crate::json_escape(k));
+        out.push_str("\":");
+        out.push_str(&v.to_json());
+    }
+    out.push('}');
+}
+
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    out.push_str(&crate::json_escape(ev.name));
+    out.push_str("\",\"cat\":\"");
+    out.push_str(&crate::json_escape(ev.cat));
+    out.push_str("\",\"ph\":\"");
+    out.push(ev.ph.code());
+    out.push_str("\",\"ts\":");
+    out.push_str(&ev.ts_us.to_string());
+    if ev.ph == crate::Phase::Complete {
+        out.push_str(",\"dur\":");
+        out.push_str(&ev.dur_us.to_string());
+    } else {
+        // Instant events need a scope; "t" (thread) keeps them on their
+        // track instead of full-height global markers.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&ev.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&ev.tid.to_string());
+    out.push(',');
+    write_args(out, ev);
+    out.push('}');
+}
+
+/// Render a full Chrome `trace_event` JSON document:
+/// `{"displayTimeUnit":"ms","traceEvents":[…]}` with `process_name`
+/// metadata rows labeling each layer's track group. Loadable directly in
+/// Perfetto / `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut pids: Vec<u32> = Vec::new();
+    for ev in events {
+        if !pids.contains(&ev.pid) {
+            pids.push(ev.pid);
+        }
+    }
+    pids.sort_unstable();
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for pid in pids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            crate::json_escape(crate::pid_name(pid))
+        );
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render events as line-delimited JSON, one event object per line
+/// (trailing newline when non-empty). Same field order as the Chrome
+/// export, minus the document wrapper and metadata.
+#[must_use]
+pub fn trace_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        write_event(&mut out, ev);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceEvent, PID_FLEET, PID_SERVE};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::span("execute", "batch", 100, 50)
+                .pid(PID_SERVE)
+                .tid(2)
+                .arg_u64("size", 4),
+            TraceEvent::instant("probe", "decision", 0)
+                .pid(PID_FLEET)
+                .arg_str("kind", "miss"),
+        ]
+    }
+
+    #[test]
+    fn chrome_document_shape() {
+        let doc = chrome_trace_json(&sample_events());
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        // Metadata first, one per pid, in pid order.
+        assert!(doc.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"serve\"}}"
+        ));
+        assert!(doc.contains("\"args\":{\"name\":\"fleet\"}"));
+        // The complete event carries ts+dur; the instant carries a scope.
+        assert!(doc.contains(
+            "{\"name\":\"execute\",\"cat\":\"batch\",\"ph\":\"X\",\"ts\":100,\
+             \"dur\":50,\"pid\":1,\"tid\":2,\"args\":{\"size\":4}}"
+        ));
+        assert!(doc.contains(
+            "{\"name\":\"probe\",\"cat\":\"decision\",\"ph\":\"i\",\"ts\":0,\
+             \"s\":\"t\",\"pid\":2,\"tid\":0,\"args\":{\"kind\":\"miss\"}}"
+        ));
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic() {
+        let evs = sample_events();
+        assert_eq!(chrome_trace_json(&evs), chrome_trace_json(&evs));
+    }
+
+    #[test]
+    fn jsonl_is_one_event_per_line() {
+        let txt = trace_jsonl(&sample_events());
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"name\":\"execute\""));
+        assert!(lines[1].starts_with("{\"name\":\"probe\""));
+        assert!(txt.ends_with('\n'));
+        assert_eq!(trace_jsonl(&[]), "");
+    }
+
+    #[test]
+    fn empty_trace_still_renders_a_document() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Observability substrate for the `ParvaGPU` reproduction.
+//!
+//! Three concerns, one crate, zero cost when unused:
+//!
+//! * **Structured tracing** ([`TraceSink`], [`TraceEvent`]) — sim-time
+//!   spans and instants recorded by the serving event loop, the fleet
+//!   orchestrator, and the region federation. The trait carries a
+//!   `const ENABLED` flag so the no-op sink ([`NullSink`]) monomorphizes
+//!   every instrumentation branch out of the DES hot loop; the recording
+//!   sink ([`Recorder`]) collects events exportable as Chrome/Perfetto
+//!   `trace_event` JSON ([`chrome_trace_json`]) or JSONL.
+//! * **Time-series gauges** ([`MetricsLog`], [`Row`]) — deterministic
+//!   per-tick samples (queue depth, in-flight batches, per-service SLO
+//!   attainment, GPU busy fraction, `SimCache` hit rate) written as JSONL
+//!   or CSV. Rows carry only simulation-derived values, so two runs of
+//!   the same seed produce byte-identical files.
+//! * **Self-profiling** ([`SelfProfiler`]) — wall/CPU spans around
+//!   orchestrator phases (probe fan-out, schedule, plan, merge) built on
+//!   [`parva_des::counters`]: each span also records the DES events and
+//!   sims attributed to it via scope-safe
+//!   [`parva_des::counters::Snapshot::delta`]. Host-clock readings are
+//!   inherently non-deterministic, so the profile is a *separate*
+//!   artifact, never mixed into the byte-identical trace/metrics files.
+//!
+//! Everything here observes; nothing steers. Instrumented and
+//! uninstrumented runs of any layer produce identical reports — the
+//! serving proptests pin that against the frozen reference simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, clippy::pedantic)]
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::module_name_repetitions,
+    clippy::missing_panics_doc
+)]
+
+mod chrome;
+mod metrics;
+mod profile;
+mod recorder;
+mod trace;
+
+pub use chrome::{chrome_trace_json, trace_jsonl};
+pub use metrics::{MetricsLog, Row};
+pub use profile::{PhaseStat, ProfToken, SelfProfiler};
+pub use recorder::Recorder;
+pub use trace::{ArgValue, Phase, TraceEvent, TraceSink};
+
+/// Track-group ("pid") of serving-layer events in exported traces.
+pub const PID_SERVE: u32 = 1;
+/// Track-group ("pid") of fleet-orchestrator events in exported traces.
+pub const PID_FLEET: u32 = 2;
+/// Track-group ("pid") of region-federation events in exported traces.
+pub const PID_REGION: u32 = 3;
+
+/// Display names for the track groups, used as Chrome `process_name`
+/// metadata so Perfetto labels the three layers.
+#[must_use]
+pub fn pid_name(pid: u32) -> &'static str {
+    match pid {
+        PID_SERVE => "serve",
+        PID_FLEET => "fleet",
+        PID_REGION => "region",
+        _ => "parva",
+    }
+}
+
+/// The no-op sink: `ENABLED = false` lets the optimizer delete every
+/// `if S::ENABLED { … }` block, so the untraced hot path is the same
+/// machine code as before instrumentation existed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: TraceEvent) {}
+
+    #[inline(always)]
+    fn sample(&mut self, _row: Row) {}
+}
+
+/// Canonical float rendering shared by every exporter: Rust's shortest
+/// round-trip `Display` (deterministic for a given value), with
+/// non-finite values clamped to `0` so the output is always valid JSON.
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` prints integral floats without a fractional part
+        // ("3"); keep them unmistakably numeric-but-real in JSON ("3.0")
+        // so readers that sniff types stay stable.
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_f64_is_canonical_json() {
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(-2.25), "-2.25");
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.0");
+        // Round-trips through a strict parser (shortest-round-trip
+        // Display guarantees exact bit equality, so strict compare is
+        // the point of the test).
+        #[allow(clippy::float_cmp)]
+        {
+            assert!(fmt_f64(0.1).parse::<f64>().unwrap() == 0.1);
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!<NullSink as TraceSink>::ENABLED) };
+        let mut s = NullSink;
+        assert_eq!(s.next_sample_us(), u64::MAX);
+        s.emit(TraceEvent::instant("x", "cat", 0));
+        s.sample(Row::new());
+    }
+
+    #[test]
+    fn pid_names_cover_all_layers() {
+        assert_eq!(pid_name(PID_SERVE), "serve");
+        assert_eq!(pid_name(PID_FLEET), "fleet");
+        assert_eq!(pid_name(PID_REGION), "region");
+        assert_eq!(pid_name(99), "parva");
+    }
+}

@@ -1,0 +1,156 @@
+//! The recording [`TraceSink`]: collects trace events, sampled gauge
+//! rows, and self-profiling spans for one observed run.
+
+use crate::metrics::{MetricsLog, Row};
+use crate::profile::SelfProfiler;
+use crate::trace::{TraceEvent, TraceSink};
+
+/// A sink that records everything.
+///
+/// The sampler is armed with a cadence at construction: the observed
+/// layer polls [`TraceSink::next_sample_us`] and delivers one [`Row`]
+/// per boundary, which advances the boundary by the cadence. A cadence
+/// of 0 disables sampling (the boundary parks at `u64::MAX`).
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    /// Recorded trace events, emission order.
+    pub events: Vec<TraceEvent>,
+    /// Sampled gauge rows.
+    pub metrics: MetricsLog,
+    /// Self-profiling spans (separate artifact; non-deterministic
+    /// values).
+    pub profile: SelfProfiler,
+    sample_every_us: u64,
+    next_sample_us: u64,
+}
+
+impl Recorder {
+    /// A recorder sampling gauges every `sample_every_us` simulation
+    /// microseconds (0 = no sampling), with self-profiling enabled.
+    #[must_use]
+    pub fn new(sample_every_us: u64) -> Self {
+        Recorder {
+            events: Vec::new(),
+            metrics: MetricsLog::new(),
+            profile: SelfProfiler::enabled(),
+            sample_every_us,
+            next_sample_us: if sample_every_us == 0 {
+                u64::MAX
+            } else {
+                sample_every_us
+            },
+        }
+    }
+
+    /// The sampling cadence, simulation microseconds (0 = disabled).
+    #[must_use]
+    pub fn sample_every_us(&self) -> u64 {
+        self.sample_every_us
+    }
+
+    /// Re-arm the sampler at the first boundary (for a sink reused
+    /// across multiple serving windows).
+    pub fn rearm_sampler(&mut self) {
+        self.next_sample_us = if self.sample_every_us == 0 {
+            u64::MAX
+        } else {
+            self.sample_every_us
+        };
+    }
+
+    /// The Chrome/Perfetto `trace_event` JSON document.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        crate::chrome::chrome_trace_json(&self.events)
+    }
+
+    /// The trace as line-delimited JSON.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        crate::chrome::trace_jsonl(&self.events)
+    }
+
+    /// The gauge rows as line-delimited JSON.
+    #[must_use]
+    pub fn metrics_jsonl(&self) -> String {
+        self.metrics.to_jsonl()
+    }
+
+    /// The gauge rows as CSV.
+    #[must_use]
+    pub fn metrics_csv(&self) -> String {
+        self.metrics.to_csv()
+    }
+
+    /// The self-profile as JSON (non-deterministic values; separate
+    /// artifact).
+    #[must_use]
+    pub fn profile_json(&self) -> String {
+        self.profile.to_json()
+    }
+}
+
+impl TraceSink for Recorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    #[inline]
+    fn next_sample_us(&self) -> u64 {
+        self.next_sample_us
+    }
+
+    #[inline]
+    fn sample(&mut self, row: Row) {
+        self.metrics.push(row);
+    }
+
+    fn advance_sampler(&mut self) {
+        if self.sample_every_us > 0 {
+            self.next_sample_us = self.next_sample_us.saturating_add(self.sample_every_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_advances_by_cadence() {
+        let mut r = Recorder::new(1000);
+        assert_eq!(r.next_sample_us(), 1000);
+        // Two rows on one boundary, then advance.
+        r.sample(Row::new().u64("q", 1));
+        r.sample(Row::new().u64("q", 2));
+        assert_eq!(r.next_sample_us(), 1000);
+        r.advance_sampler();
+        assert_eq!(r.next_sample_us(), 2000);
+        r.advance_sampler();
+        assert_eq!(r.next_sample_us(), 3000);
+        assert_eq!(r.metrics.len(), 2);
+        r.rearm_sampler();
+        assert_eq!(r.next_sample_us(), 1000);
+    }
+
+    #[test]
+    fn zero_cadence_disables_sampling() {
+        let r = Recorder::new(0);
+        assert_eq!(r.next_sample_us(), u64::MAX);
+        assert_eq!(r.sample_every_us(), 0);
+    }
+
+    #[test]
+    fn emitted_events_are_recorded_in_order() {
+        let mut r = Recorder::new(0);
+        r.emit(TraceEvent::instant("a", "c", 5));
+        r.emit(TraceEvent::span("b", "c", 1, 2));
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[0].name, "a");
+        assert!(r.chrome_trace().contains("\"traceEvents\""));
+        assert_eq!(r.trace_jsonl().lines().count(), 2);
+    }
+}

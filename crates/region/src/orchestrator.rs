@@ -26,6 +26,7 @@ use crate::spec::FederationSpec;
 use parva_deploy::ServiceSpec;
 use parva_des::RngStream;
 use parva_fleet::{FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
+use parva_obs::{Recorder, Row, SelfProfiler, TraceEvent, TraceSink, PID_REGION};
 use parva_profile::ProfileBook;
 use parva_scenarios::diurnal_multiplier;
 use parva_serve::{
@@ -182,6 +183,10 @@ pub struct Federation {
     base_services: Vec<ServiceSpec>,
     regions: Vec<RegionState>,
     config: FederationConfig,
+    /// Self-profiling spans around the interval phases (event-apply,
+    /// route, retarget, measure). Disabled by default; host-clock
+    /// readings, so excluded from the determinism guarantees.
+    profiler: SelfProfiler,
 }
 
 /// Sum flow rates, collapsing the `-0.0` that `f64`'s empty-iterator
@@ -261,6 +266,7 @@ impl Federation {
             base_services: services.to_vec(),
             regions: Vec::new(),
             config: config.clone(),
+            profiler: SelfProfiler::disabled(),
         };
         for (r, rs) in spec.regions.iter().enumerate() {
             let local = fed.local_demand(r, 0, 1.0);
@@ -274,6 +280,20 @@ impl Federation {
         }
         fed.regions = regions;
         Ok(fed)
+    }
+
+    /// Record self-profiling spans (wall/CPU clocks plus scope-safe DES
+    /// counter deltas) around each [`Federation::step`] phase. Off by
+    /// default: profiling reads host clocks.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = SelfProfiler::enabled();
+    }
+
+    /// The phase profile collected so far (empty unless
+    /// [`Federation::enable_profiling`] was called).
+    #[must_use]
+    pub fn profiler(&self) -> &SelfProfiler {
+        &self.profiler
     }
 
     /// Region `r`'s local per-service demand at `interval`, scaled by
@@ -361,6 +381,7 @@ impl Federation {
         let mut forced_failovers: Vec<usize> = Vec::new();
 
         // 1. The event.
+        let tok = self.profiler.begin("event-apply", "region");
         match &event {
             RegionEvent::Evacuation { region } => {
                 if let Some(orchestrator) = self.regions[*region].orchestrator.as_mut() {
@@ -421,6 +442,9 @@ impl Federation {
             RegionEvent::Quiet => {}
         }
 
+        self.profiler.end(tok);
+        let tok = self.profiler.begin("route", "region");
+
         // 2. Route demand across the surviving topology.
         let offered = self.offered_at(interval);
         let mut flows = route_demand(
@@ -429,6 +453,9 @@ impl Federation {
             &self.capacity_weights(),
             &self.spec.rtt,
         );
+
+        self.profiler.end(tok);
+        let tok = self.profiler.begin("retarget", "region");
 
         // 3. Retarget every live region to its routed demand through the
         //    §III-F incremental path; overloaded regions rebalance. A
@@ -541,15 +568,20 @@ impl Federation {
             }
         }
 
+        self.profiler.end(tok);
+        let tok = self.profiler.begin("measure", "region");
+
         // 4. Serve each region's routed load with RTT ingress classes.
-        Ok(self.measure(
+        let outcome = self.measure(
             interval,
             event,
             &flows,
             &offered,
             &recovery,
             forced_failovers,
-        ))
+        );
+        self.profiler.end(tok);
+        Ok(outcome)
     }
 
     /// A service's latency SLO, ms (0 for unknown ids, which the router
@@ -863,9 +895,127 @@ pub fn run_federation(
     spec: &FederationSpec,
     config: &FederationConfig,
 ) -> Result<FederationReport, FederationError> {
+    run_federation_with(
+        book,
+        services,
+        spec,
+        config,
+        &mut parva_obs::NullSink,
+        false,
+    )
+    .map(|(report, _)| report)
+}
+
+/// [`run_federation`] under an observer: the identical federation trace
+/// (the report is property-tested equal to the unobserved run), plus,
+/// per interval, federation *decision* trace events — the injected
+/// region event, an `evacuate` instant per forced cross-region
+/// failover, and per-region `retarget` / `spill` instants — and one
+/// aggregate gauge row plus one row per region with its routed demand,
+/// spill volumes, compliance and cost. Interval `n` is mapped onto the
+/// trace timeline at `n × serving-window`. The recorder also absorbs
+/// the federation's phase self-profile (event-apply / route / retarget
+/// / measure).
+///
+/// # Errors
+/// Propagates bootstrap and failback failures ([`FederationError`]).
+pub fn run_federation_observed(
+    book: &ProfileBook,
+    services: &[ServiceSpec],
+    spec: &FederationSpec,
+    config: &FederationConfig,
+    rec: &mut Recorder,
+) -> Result<FederationReport, FederationError> {
+    let (report, profile) = run_federation_with(book, services, spec, config, rec, true)?;
+    rec.profile.absorb(&profile);
+    Ok(report)
+}
+
+/// Static label for a region event kind (trace names must be
+/// `'static`).
+fn event_label(event: &RegionEvent) -> &'static str {
+    match event {
+        RegionEvent::Evacuation { .. } => "evacuate",
+        RegionEvent::Failback { .. } => "failback",
+        RegionEvent::Local { .. } => "local-event",
+        RegionEvent::Quiet => "quiet",
+    }
+}
+
+/// The region a decision event anchors to (federation-wide for Quiet).
+fn event_region(event: &RegionEvent) -> u32 {
+    match event {
+        RegionEvent::Evacuation { region }
+        | RegionEvent::Failback { region }
+        | RegionEvent::Local { region, .. } => *region as u32,
+        RegionEvent::Quiet => u32::MAX,
+    }
+}
+
+/// One serving interval's span on the pseudo-timeline, microseconds.
+fn interval_us(serving: &ServingConfig) -> u64 {
+    ((serving.warmup_s + serving.duration_s + serving.drain_s) * 1e6) as u64
+}
+
+/// Emit one interval's gauge rows: the federation aggregate, then one
+/// row per region in region order.
+fn sample_interval<S: TraceSink>(sink: &mut S, names: &[String], outcome: &IntervalOutcome) {
+    sink.sample(
+        Row::new()
+            .str("kind", "federation")
+            .u64("interval", outcome.interval as u64)
+            .str("event", outcome.event.to_string())
+            .f64("global_compliance", outcome.global_compliance)
+            .f64("spilled_rps", outcome.spilled_rps)
+            .f64("unrouted_rps", outcome.unrouted_rps)
+            .f64("usd_per_hour", outcome.usd_per_hour)
+            .u64("forced_failovers", outcome.forced_failovers.len() as u64),
+    );
+    for r in &outcome.regions {
+        sink.sample(
+            Row::new()
+                .str("kind", "region")
+                .u64("interval", outcome.interval as u64)
+                .str("region", names[r.region].clone())
+                .bool("active", r.active)
+                .f64("offered_rps", r.offered_rps)
+                .f64("routed_in_rps", r.routed_in_rps)
+                .f64("spill_in_rps", r.spill_in_rps)
+                .f64("spill_out_rps", r.spill_out_rps)
+                .f64("compliance", r.compliance)
+                .f64("local_p99_ms", r.local_p99_ms)
+                .u64("migrated_segments", r.migrated_segments as u64)
+                .f64("recovery_latency_ms", r.recovery_latency_ms)
+                .u64("nodes_in_service", r.nodes_in_service as u64)
+                .f64("usd_per_hour", r.usd_per_hour),
+        );
+    }
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn run_federation_with<S: TraceSink>(
+    book: &ProfileBook,
+    services: &[ServiceSpec],
+    spec: &FederationSpec,
+    config: &FederationConfig,
+    sink: &mut S,
+    profile: bool,
+) -> Result<(FederationReport, SelfProfiler), FederationError> {
     let mut federation = Federation::bootstrap(book, services, spec, config)?;
+    if profile {
+        federation.enable_profiling();
+    }
     let mut rng = RngStream::new(config.seed, 0xFED);
+    let names: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let window = interval_us(&config.serving);
     let baseline = federation.baseline();
+    if S::ENABLED {
+        sample_interval(sink, &names, &baseline);
+    }
 
     let mut intervals = Vec::with_capacity(config.intervals);
     for interval in 1..=config.intervals {
@@ -896,15 +1046,62 @@ pub fn run_federation(
                 next_region_event(&mut rng, &states, held)
             }
         };
-        intervals.push(federation.step(interval, event)?);
+        let outcome = federation.step(interval, event)?;
+        if S::ENABLED {
+            let ts0 = interval as u64 * window;
+            sink.emit(
+                TraceEvent::instant(event_label(&outcome.event), "region-event", ts0)
+                    .pid(PID_REGION)
+                    .tid(event_region(&outcome.event))
+                    .arg_str("event", outcome.event.to_string()),
+            );
+            for &r in &outcome.forced_failovers {
+                sink.emit(
+                    TraceEvent::instant("evacuate", "decision", ts0)
+                        .pid(PID_REGION)
+                        .tid(r as u32)
+                        .arg_str("region", names[r].clone())
+                        .arg_bool("forced", true),
+                );
+            }
+            for r in &outcome.regions {
+                if r.migrated_segments > 0 || r.reconfigured_gpus > 0 {
+                    sink.emit(
+                        TraceEvent::instant("retarget", "decision", ts0)
+                            .pid(PID_REGION)
+                            .tid(r.region as u32)
+                            .arg_str("region", names[r.region].clone())
+                            .arg_u64("migrated_segments", r.migrated_segments as u64)
+                            .arg_u64("reconfigured_gpus", r.reconfigured_gpus as u64)
+                            .arg_u64("replacement_nodes", r.replacement_nodes as u64)
+                            .arg_f64("recovery_latency_ms", r.recovery_latency_ms),
+                    );
+                }
+                if r.spill_out_rps > 0.0 {
+                    sink.emit(
+                        TraceEvent::instant("spill", "decision", ts0)
+                            .pid(PID_REGION)
+                            .tid(r.region as u32)
+                            .arg_str("region", names[r.region].clone())
+                            .arg_f64("rate_rps", r.spill_out_rps),
+                    );
+                }
+            }
+            sample_interval(sink, &names, &outcome);
+        }
+        intervals.push(outcome);
     }
 
-    Ok(FederationReport {
-        seed: config.seed,
-        region_names: spec.regions.iter().map(|r| r.name.clone()).collect(),
-        baseline,
-        intervals,
-    })
+    let profile = std::mem::take(&mut federation.profiler);
+    Ok((
+        FederationReport {
+            seed: config.seed,
+            region_names: names,
+            baseline,
+            intervals,
+        },
+        profile,
+    ))
 }
 
 #[cfg(test)]
@@ -941,6 +1138,49 @@ mod tests {
         assert_eq!(a, b, "identical seeds must give identical reports");
         let c = run_federation(&book, &services, &spec, &quick_config(8, 6)).unwrap();
         assert_ne!(a.intervals, c.intervals, "different seeds should diverge");
+    }
+
+    #[test]
+    fn observed_federation_is_behavior_neutral_and_deterministic() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let cfg = quick_config(7, 4);
+        let plain = run_federation(&book, &services, &spec, &cfg).unwrap();
+
+        let mut rec_a = Recorder::new(0);
+        let a = run_federation_observed(&book, &services, &spec, &cfg, &mut rec_a).unwrap();
+        assert_eq!(plain, a, "observation must not change the report");
+
+        // Gauge rows: (1 aggregate + one per region) × (baseline + intervals).
+        let rows_per_interval = 1 + spec.regions.len();
+        assert_eq!(rec_a.metrics.len(), rows_per_interval * (cfg.intervals + 1));
+        // The drill evacuation spills demand cross-region: the trace
+        // carries the event and spill decisions.
+        let names: Vec<&str> = rec_a.events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"evacuate"), "{names:?}");
+        assert!(names.contains(&"spill"), "{names:?}");
+        assert!(names.contains(&"retarget"), "{names:?}");
+        assert!(rec_a.events.iter().all(|e| e.pid == PID_REGION));
+        // The phase self-profile covered every step phase.
+        let phases: Vec<&str> = rec_a.profile.stats().iter().map(|s| s.name).collect();
+        for phase in ["event-apply", "route", "retarget", "measure"] {
+            assert!(phases.contains(&phase), "missing phase {phase}");
+        }
+        let measure = rec_a
+            .profile
+            .stats()
+            .iter()
+            .find(|s| s.name == "measure")
+            .unwrap();
+        assert!(measure.des_sims > 0, "measure ran no simulations");
+
+        // Deterministic artifacts: byte-identical across runs.
+        let mut rec_b = Recorder::new(0);
+        let b = run_federation_observed(&book, &services, &spec, &cfg, &mut rec_b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(rec_a.chrome_trace(), rec_b.chrome_trace());
+        assert_eq!(rec_a.metrics_jsonl(), rec_b.metrics_jsonl());
     }
 
     #[test]

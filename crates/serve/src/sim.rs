@@ -13,6 +13,7 @@ use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
 use crate::router::Router;
 use parva_deploy::{Deployment, ServiceSpec};
 use parva_des::{CalendarQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
+use parva_obs::{Row, TraceEvent, TraceSink, PID_SERVE};
 use parva_perf::interference::total_interference;
 use parva_perf::{ComputeShare, Model, PerfParams};
 use serde::{Deserialize, Serialize};
@@ -330,16 +331,25 @@ fn batch_times_memo(
 /// eligible when their GPU's re-flash completes (immediately for prepared
 /// / no-re-flash ops) and are granted FIFO by eligibility on the node's
 /// PCIe link.
-fn recovery_timeline(spec: &RecoverySpec, t0: SimTime) -> Vec<SimTime> {
+fn recovery_timeline<S: TraceSink>(spec: &RecoverySpec, t0: SimTime, sink: &mut S) -> Vec<SimTime> {
     let t_cp = t0 + SimTime::from_ms(spec.control_plane_ms);
     let mut reflash_locks: BTreeMap<usize, SerialResource> = BTreeMap::new();
     let mut ready: Vec<SimTime> = Vec::with_capacity(spec.ops.len());
-    for op in &spec.ops {
+    for (i, op) in spec.ops.iter().enumerate() {
         if !op.prepared && op.reflash {
-            let (_, done) = reflash_locks
+            let (start, done) = reflash_locks
                 .entry(op.node)
                 .or_default()
                 .acquire(t_cp, SimTime::from_ms(spec.reflash_ms));
+            if S::ENABLED {
+                sink.emit(
+                    TraceEvent::span("reflash", "recovery", start.micros(), spec_dur(start, done))
+                        .pid(PID_SERVE)
+                        .tid(op.node as u32)
+                        .arg_u64("op", i as u64)
+                        .arg_u64("node", op.node as u64),
+                );
+            }
             ready.push(done);
         } else {
             ready.push(t_cp);
@@ -356,13 +366,29 @@ fn recovery_timeline(spec: &RecoverySpec, t0: SimTime) -> Vec<SimTime> {
     let mut links: BTreeMap<usize, SerialResource> = BTreeMap::new();
     for (node, eligible, i) in requests {
         let secs = spec.ops[i].copy_gib / spec.link_gib_per_s.max(1e-9);
-        let (_, done) = links
+        let (start, done) = links
             .entry(node)
             .or_default()
             .acquire(eligible, SimTime::from_secs(secs));
+        if S::ENABLED {
+            sink.emit(
+                TraceEvent::span("copy", "recovery", start.micros(), spec_dur(start, done))
+                    .pid(PID_SERVE)
+                    .tid(node as u32)
+                    .arg_u64("op", i as u64)
+                    .arg_f64("gib", spec.ops[i].copy_gib),
+            );
+        }
         ready[i] = done;
     }
     ready
+}
+
+/// Span duration in µs between two booked instants (monotone by
+/// construction of [`SerialResource::acquire`]).
+#[inline]
+fn spec_dur(start: SimTime, done: SimTime) -> u64 {
+    done.micros().saturating_sub(start.micros())
 }
 
 /// Run the serving simulation for `deployment` under `specs`' offered load.
@@ -421,7 +447,8 @@ pub fn simulate_with_ingress(
 
 /// Launch one batch of `size` on `server` (caller checked feasibility).
 #[inline]
-fn launch(
+#[allow(clippy::too_many_arguments)]
+fn launch<S: TraceSink>(
     q: &mut CalendarQueue,
     servers: &mut [Server],
     slab: &mut Vec<Vec<(SimTime, u32)>>,
@@ -429,6 +456,7 @@ fn launch(
     free: &mut Vec<u32>,
     server: usize,
     size: u32,
+    sink: &mut S,
 ) {
     let id = free.pop().unwrap_or_else(|| {
         slab.push(Vec::new());
@@ -442,6 +470,31 @@ fn launch(
     let n_busy = servers[server].busy;
     let (cycle, comp_us) = batch_times_memo(servers, server, size, n_busy);
     slab_comp[id as usize] = comp_us;
+    if S::ENABLED {
+        let now = q.now();
+        // Batch formation: from the oldest member's arrival to launch.
+        let head = slab[id as usize]
+            .iter()
+            .map(|&(t, _)| t)
+            .min()
+            .unwrap_or(now);
+        let service = servers[server].service as u64;
+        sink.emit(
+            TraceEvent::span("batch-form", "batch", head.micros(), spec_dur(head, now))
+                .pid(PID_SERVE)
+                .tid(server as u32)
+                .arg_u64("service", service)
+                .arg_u64("size", u64::from(size)),
+        );
+        sink.emit(
+            TraceEvent::span("execute", "batch", now.micros(), cycle.micros())
+                .pid(PID_SERVE)
+                .tid(server as u32)
+                .arg_u64("service", service)
+                .arg_u64("size", u64::from(size))
+                .arg_u64("n_busy", u64::from(n_busy)),
+        );
+    }
     q.schedule_in(cycle, ev(TAG_DONE, u64::from(id), server as u64));
 }
 
@@ -450,13 +503,14 @@ fn launch(
 /// Dark servers (recovery outstanding on their GPU) launch nothing —
 /// their queues drain when the GPU's recovery op completes.
 #[inline]
-fn try_start(
+fn try_start<S: TraceSink>(
     q: &mut CalendarQueue,
     servers: &mut [Server],
     slab: &mut Vec<Vec<(SimTime, u32)>>,
     slab_comp: &mut Vec<u64>,
     free: &mut Vec<u32>,
     server: usize,
+    sink: &mut S,
 ) {
     loop {
         let s = &servers[server];
@@ -466,7 +520,7 @@ fn try_start(
         let queued = s.queue.len();
         let full = s.batch;
         if queued >= full as usize {
-            launch(q, servers, slab, slab_comp, free, server, full);
+            launch(q, servers, slab, slab_comp, free, server, full, sink);
             continue;
         }
         if queued == 0 {
@@ -481,7 +535,7 @@ fn try_start(
         let deadline = head + timeout;
         if q.now() >= deadline {
             let size = (queued as u32).min(full);
-            launch(q, servers, slab, slab_comp, free, server, size);
+            launch(q, servers, slab, slab_comp, free, server, size, sink);
         } else {
             q.schedule(deadline, ev(TAG_DEADLINE, 0, server as u64));
         }
@@ -523,17 +577,95 @@ pub fn simulate_with_recovery(
         .run()
 }
 
+/// Deliver the gauge rows for one sampling boundary: an aggregate
+/// `tick` row (queue depth, in-flight batches, GPU busy fraction, dark
+/// servers) followed by one `service` row per service with its
+/// cumulative in-window SLO attainment. All values derive from
+/// simulation state only, so sampled series are byte-identical across
+/// runs.
+#[allow(clippy::too_many_arguments)]
+fn sample_serve_gauges<S: TraceSink>(
+    sink: &mut S,
+    ts_us: u64,
+    servers: &[Server],
+    specs: &[ServiceSpec],
+    offered: &[u64],
+    completed: &[u64],
+    within_slo: &[u64],
+) {
+    let t_ms = ts_us as f64 / 1_000.0;
+    let mut queue_depth = 0u64;
+    let mut inflight = 0u64;
+    let mut busy_procs = 0u64;
+    let mut total_procs = 0u64;
+    let mut dark = 0u64;
+    for s in servers {
+        queue_depth += s.queue.len() as u64;
+        inflight += u64::from(s.busy);
+        busy_procs += u64::from(s.busy);
+        total_procs += u64::from(s.procs);
+        dark += u64::from(s.dark);
+    }
+    let all_completed: u64 = completed.iter().sum();
+    let all_within: u64 = within_slo.iter().sum();
+    let attainment = |within: u64, done: u64| {
+        if done == 0 {
+            1.0
+        } else {
+            within as f64 / done as f64
+        }
+    };
+    sink.sample(
+        Row::new()
+            .str("kind", "tick")
+            .f64("t_ms", t_ms)
+            .u64("queue_depth", queue_depth)
+            .u64("inflight_batches", inflight)
+            .f64(
+                "gpu_busy_frac",
+                if total_procs == 0 {
+                    0.0
+                } else {
+                    busy_procs as f64 / total_procs as f64
+                },
+            )
+            .u64("dark_servers", dark)
+            .u64("offered", offered.iter().sum())
+            .u64("completed", all_completed)
+            .u64("within_slo", all_within)
+            .f64("slo_attainment", attainment(all_within, all_completed)),
+    );
+    for (i, spec) in specs.iter().enumerate() {
+        sink.sample(
+            Row::new()
+                .str("kind", "service")
+                .f64("t_ms", t_ms)
+                .u64("service", u64::from(spec.id))
+                .u64("offered", offered[i])
+                .u64("completed", completed[i])
+                .u64("within_slo", within_slo[i])
+                .f64("slo_attainment", attainment(within_slo[i], completed[i])),
+        );
+    }
+    sink.advance_sampler();
+}
+
 /// The serving engine proper — every public surface ([`crate::Simulation`]
 /// and the deprecated `simulate*` shims) funnels through this one
 /// function, so there is exactly one event loop to optimize and one to
-/// property-test against the frozen reference.
+/// property-test against the frozen reference. Generic over the trace
+/// sink: with [`parva_obs::NullSink`] every instrumentation branch is
+/// `if false` and monomorphizes away, leaving the pre-observability hot
+/// loop; a recording sink collects request/batch/recovery spans and
+/// per-tick gauges without perturbing a single simulation decision.
 #[allow(clippy::too_many_lines)]
-pub(crate) fn run_simulation(
+pub(crate) fn run_simulation<S: TraceSink>(
     deployment: &Deployment,
     specs: &[ServiceSpec],
     ingress: &[Vec<IngressClass>],
     recovery: Option<&RecoverySpec>,
     config: &ServingConfig,
+    sink: &mut S,
 ) -> ServingReport {
     let classes: Vec<Vec<IngressClass>> = specs
         .iter()
@@ -715,9 +847,34 @@ pub(crate) fn run_simulation(
     // would have (the recovery report is fully determined at its begin
     // event). Skipping the tail is therefore bit-identical and saves the
     // whole drain period's event processing.
+    // When tracing, remember when each server went dark so the `dark`
+    // span can be closed at its GPU's recovery instant.
+    let mut dark_since: Vec<SimTime> = if S::ENABLED {
+        vec![SimTime::ZERO; servers.len()]
+    } else {
+        Vec::new()
+    };
+
     let loop_started = std::time::Instant::now();
     let cpu_started = parva_des::counters::thread_cpu_nanos();
     while let Some((t, payload)) = q.pop() {
+        if S::ENABLED {
+            // Deliver any gauge boundaries the simulation clock just
+            // crossed (state as of strictly before `t`), capped at the
+            // window's end; the post-loop flush covers a queue that
+            // drains before `win_end`.
+            while sink.next_sample_us() < t.micros() && sink.next_sample_us() <= win_end.micros() {
+                sample_serve_gauges(
+                    sink,
+                    sink.next_sample_us(),
+                    &servers,
+                    specs,
+                    &offered,
+                    &completed,
+                    &within_slo,
+                );
+            }
+        }
         if t > win_end {
             break;
         }
@@ -753,6 +910,15 @@ pub(crate) fn run_simulation(
                 if let Some(router) = routers[service].as_mut() {
                     let k = router.route();
                     let (sidx, _) = weights[service][k];
+                    if S::ENABLED {
+                        sink.emit(
+                            TraceEvent::instant("arrival", "request", t.micros())
+                                .pid(PID_SERVE)
+                                .tid(sidx as u32)
+                                .arg_u64("service", u64::from(specs[service].id))
+                                .arg_u64("class", class as u64),
+                        );
+                    }
                     servers[sidx].queue.push_back((t, class as u32));
                     try_start(
                         &mut q,
@@ -761,6 +927,7 @@ pub(crate) fn run_simulation(
                         &mut slab_comp,
                         &mut free,
                         sidx,
+                        sink,
                     );
                 }
             }
@@ -769,6 +936,30 @@ pub(crate) fn run_simulation(
                 servers[server].busy -= 1;
                 let service = servers[server].service;
                 let in_window = t >= win_start && t < win_end;
+                if S::ENABLED {
+                    // One request-lifecycle span per member: arrival →
+                    // completion, tagged ok/miss against the SLO
+                    // (network RTT included, exactly as accounted).
+                    let slo_ms = specs[service].slo.latency_ms;
+                    let base = cbase[service];
+                    for &(arrived, class) in &slab[batch_id] {
+                        let lat_ms = t.since(arrived).as_ms() + class_net[base + class as usize];
+                        sink.emit(
+                            TraceEvent::span(
+                                "request",
+                                "request",
+                                arrived.micros(),
+                                spec_dur(arrived, t),
+                            )
+                            .pid(PID_SERVE)
+                            .tid(server as u32)
+                            .arg_u64("service", u64::from(specs[service].id))
+                            .arg_u64("class", u64::from(class))
+                            .arg_f64("latency_ms", lat_ms)
+                            .arg_bool("ok", lat_ms <= slo_ms),
+                        );
+                    }
+                }
                 if in_window {
                     servers[server].busy_comp_us += slab_comp[batch_id];
                     batches[service] += 1;
@@ -811,6 +1002,7 @@ pub(crate) fn run_simulation(
                     &mut slab_comp,
                     &mut free,
                     server,
+                    sink,
                 );
             }
             TAG_DEADLINE => {
@@ -823,6 +1015,7 @@ pub(crate) fn run_simulation(
                     &mut slab_comp,
                     &mut free,
                     b,
+                    sink,
                 );
             }
             TAG_RECOVERY_BEGIN => {
@@ -830,14 +1023,25 @@ pub(crate) fn run_simulation(
                 let mut dark = 0usize;
                 for op in &spec.ops {
                     let Some(g) = op.logical_gpu else { continue };
-                    for s in servers.iter_mut().filter(|s| s.gpu == g) {
-                        if !s.dark {
+                    for (si, s) in servers.iter_mut().enumerate() {
+                        if s.gpu == g && !s.dark {
                             s.dark = true;
                             dark += 1;
+                            if S::ENABLED {
+                                dark_since[si] = t;
+                            }
                         }
                     }
                 }
-                let timeline = recovery_timeline(spec, t);
+                if S::ENABLED {
+                    sink.emit(
+                        TraceEvent::instant("recovery-begin", "recovery", t.micros())
+                            .pid(PID_SERVE)
+                            .arg_u64("dark_servers", dark as u64)
+                            .arg_u64("ops", spec.ops.len() as u64),
+                    );
+                }
+                let timeline = recovery_timeline(spec, t, sink);
                 let mut last = t + SimTime::from_ms(spec.control_plane_ms);
                 for (i, ready) in timeline.iter().enumerate() {
                     q.schedule(*ready, ev(TAG_GPU_RECOVERED, i as u64, 0));
@@ -861,6 +1065,27 @@ pub(crate) fn run_simulation(
                 for si in 0..servers.len() {
                     if servers[si].gpu == g && servers[si].dark {
                         servers[si].dark = false;
+                        if S::ENABLED {
+                            // Close the server's dark window: capacity
+                            // was offline from recovery-begin to now.
+                            sink.emit(
+                                TraceEvent::span(
+                                    "dark",
+                                    "recovery",
+                                    dark_since[si].micros(),
+                                    spec_dur(dark_since[si], t),
+                                )
+                                .pid(PID_SERVE)
+                                .tid(si as u32)
+                                .arg_u64("gpu", g as u64),
+                            );
+                            sink.emit(
+                                TraceEvent::instant("live", "recovery", t.micros())
+                                    .pid(PID_SERVE)
+                                    .tid(si as u32)
+                                    .arg_u64("gpu", g as u64),
+                            );
+                        }
                         try_start(
                             &mut q,
                             &mut servers,
@@ -868,6 +1093,7 @@ pub(crate) fn run_simulation(
                             &mut slab_comp,
                             &mut free,
                             si,
+                            sink,
                         );
                     }
                 }
@@ -880,6 +1106,23 @@ pub(crate) fn run_simulation(
         loop_started.elapsed().as_nanos() as u64,
         parva_des::counters::thread_cpu_nanos().saturating_sub(cpu_started),
     );
+
+    if S::ENABLED {
+        // The event queue can drain before `win_end`; deliver the
+        // remaining gauge boundaries from final state so the series
+        // always spans the full measurement window.
+        while sink.next_sample_us() <= win_end.micros() {
+            sample_serve_gauges(
+                sink,
+                sink.next_sample_us(),
+                &servers,
+                specs,
+                &offered,
+                &completed,
+                &within_slo,
+            );
+        }
+    }
 
     // Post-window recovery fixup: a recovery that begins inside the drain
     // tail `(win_end, sim_end]` no longer fires in the loop, but its
@@ -902,7 +1145,7 @@ pub(crate) fn run_simulation(
                         }
                     }
                 }
-                let timeline = recovery_timeline(spec, fire);
+                let timeline = recovery_timeline(spec, fire, sink);
                 let mut last = fire + SimTime::from_ms(spec.control_plane_ms);
                 for ready in &timeline {
                     last = last.max(*ready);
@@ -1464,8 +1707,8 @@ mod tests {
             op(2, None, true, 0.0),
         ]);
         let t0 = SimTime::from_ms(0.0);
-        let serial = recovery_timeline(&same_node, t0);
-        let parallel = recovery_timeline(&spread, t0);
+        let serial = recovery_timeline(&same_node, t0, &mut parva_obs::NullSink);
+        let parallel = recovery_timeline(&spread, t0, &mut parva_obs::NullSink);
         assert_eq!(
             serial.iter().max().copied().unwrap(),
             SimTime::from_ms(150.0 + 3.0 * 800.0)
@@ -1483,7 +1726,7 @@ mod tests {
             op(0, Some(0), false, 11.0),
             op(0, Some(1), false, 11.0),
         ]);
-        let ready = recovery_timeline(&spec, SimTime::ZERO);
+        let ready = recovery_timeline(&spec, SimTime::ZERO, &mut parva_obs::NullSink);
         let copy = SimTime::from_secs(11.0 / 22.0);
         assert_eq!(ready[0], SimTime::from_ms(150.0) + copy);
         assert_eq!(ready[1], SimTime::from_ms(150.0) + copy + copy);
@@ -1730,7 +1973,77 @@ mod tests {
                     &fast_json,
                     &serde_json::to_string(&shim).expect("serializable")
                 );
+                // Observation is behavior-neutral: the same run under a
+                // recording sink (tracing + gauge sampling on) must
+                // produce the identical report — pinned through the same
+                // frozen-reference harness — and two traced runs must
+                // produce byte-identical artifacts.
+                let mut rec_a = parva_obs::Recorder::new(50_000);
+                let traced = crate::Simulation::new(&d, &specs)
+                    .ingress(&ingress)
+                    .recovery_opt(recovery.as_ref())
+                    .config(&config)
+                    .run_with(&mut rec_a);
+                prop_assert_eq!(
+                    &fast_json,
+                    &serde_json::to_string(&traced).expect("serializable")
+                );
+                let mut rec_b = parva_obs::Recorder::new(50_000);
+                let _ = crate::Simulation::new(&d, &specs)
+                    .ingress(&ingress)
+                    .recovery_opt(recovery.as_ref())
+                    .config(&config)
+                    .run_with(&mut rec_b);
+                prop_assert_eq!(rec_a.chrome_trace(), rec_b.chrome_trace());
+                prop_assert_eq!(rec_a.metrics_jsonl(), rec_b.metrics_jsonl());
             }
         }
+    }
+
+    #[test]
+    fn traced_run_emits_lifecycle_spans_and_gauges() {
+        let (d, specs) = parva_s2();
+        let mut rec = parva_obs::Recorder::new(100_000); // 100 ms cadence
+        let report = crate::Simulation::new(&d, &specs)
+            .config(&quick_config())
+            .run_with(&mut rec);
+        assert!(report.services.iter().any(|s| s.completed > 0));
+        let names: Vec<&str> = rec.events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"arrival"));
+        assert!(names.contains(&"batch-form"));
+        assert!(names.contains(&"execute"));
+        assert!(names.contains(&"request"));
+        // quick_config: 1 s warmup + 4 s window at 100 ms cadence → 50
+        // boundaries, each one tick row plus one row per service.
+        let ticks = rec
+            .metrics
+            .rows()
+            .iter()
+            .filter(|r| matches!(r.get("kind"), Some(parva_obs::ArgValue::Str(s)) if s == "tick"))
+            .count();
+        assert_eq!(ticks, 50);
+        assert_eq!(rec.metrics.len(), 50 * (1 + specs.len()));
+        // The Chrome export is loadable-shaped: document wrapper present.
+        let doc = rec.chrome_trace();
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains("\"process_name\""));
+    }
+
+    #[test]
+    fn traced_recovery_emits_dark_reflash_copy_live() {
+        let (d, specs) = parva_s2();
+        let spec = recovery_spec(vec![op(0, Some(0), true, 8.0), op(0, Some(1), true, 8.0)]);
+        let mut rec = parva_obs::Recorder::new(0);
+        let report = crate::Simulation::new(&d, &specs)
+            .recovery(&spec)
+            .config(&quick_config())
+            .run_with(&mut rec);
+        assert!(report.recovery.is_some());
+        let names: Vec<&str> = rec.events.iter().map(|e| e.name).collect();
+        for expected in ["recovery-begin", "reflash", "copy", "dark", "live"] {
+            assert!(names.contains(&expected), "missing {expected} span");
+        }
+        // No sampling was armed: no gauge rows.
+        assert!(rec.metrics.is_empty());
     }
 }

@@ -124,12 +124,24 @@ impl<'a> Simulation<'a> {
     /// Run the simulation. Fully deterministic for a given seed.
     #[must_use]
     pub fn run(&self) -> ServingReport {
+        self.run_with(&mut parva_obs::NullSink)
+    }
+
+    /// Run the simulation under an observer. With
+    /// [`parva_obs::NullSink`] this is exactly [`Simulation::run`]; with
+    /// a recording sink (e.g. [`parva_obs::Recorder`]) the engine emits
+    /// request/batch/recovery trace spans and per-tick gauge rows.
+    /// Observation never changes the report: instrumented runs are
+    /// property-tested byte-identical to unobserved ones.
+    #[must_use]
+    pub fn run_with<S: parva_obs::TraceSink>(&self, sink: &mut S) -> ServingReport {
         run_simulation(
             self.deployment,
             self.specs,
             self.ingress,
             self.recovery,
             &self.config,
+            sink,
         )
     }
 }

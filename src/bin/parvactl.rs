@@ -10,6 +10,7 @@
 //! parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json] [--analytic-recovery]
 //! parvactl region [services.json] [--seed N] [--intervals N] [--json]
 //! parvactl run <name|spec.json> [--json] [--quick]
+//!              [--trace out.json] [--metrics out.jsonl|out.csv] [--profile out.json]
 //! parvactl run --list [--names]
 //! ```
 //!
@@ -18,6 +19,14 @@
 //! mix, GPU slice, fleet pools, regions, drills, windows, seeds. One
 //! schema covers everything from a single-GPU serving run to a
 //! multi-region chaos federation; see README "Running scenarios".
+//!
+//! Observability flags turn the run into an *observed* one (same report,
+//! property-tested behavior-neutral): `--trace` writes a Chrome/Perfetto
+//! `trace_event` JSON timeline, `--metrics` a gauge time series (CSV if
+//! the path ends `.csv`, else JSONL), `--profile` the orchestrator
+//! self-profile (host clocks; the one non-deterministic artifact). With
+//! `--json`, the report JSON is stdout-only — headers and artifact notes
+//! go to stderr — so pipelines stay machine-pure.
 //!
 //! `fleet` and `region` report DES-*measured* recovery by default: weight
 //! copies and MIG re-flashes ride the serving simulator's event queue, so
@@ -40,7 +49,8 @@ fn usage() -> ! {
          parvactl fleet [services.json] [--seed N] [--intervals N] [--nodes N] [--json] \
          [--analytic-recovery]\n  \
          parvactl region [services.json] [--seed N] [--intervals N] [--json]\n  \
-         parvactl run <name|spec.json> [--json] [--quick]\n  \
+         parvactl run <name|spec.json> [--json] [--quick] [--trace FILE] \
+         [--metrics FILE] [--profile FILE]\n  \
          parvactl run --list [--names]\n\n\
          schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
          paris-elsa, mig-serving"
@@ -157,11 +167,21 @@ fn main() {
                 } else {
                     arg.clone()
                 };
-                cli::run_spec(
+                let obs = cli::ObsPaths {
+                    trace: flag(&args, "--trace"),
+                    metrics: flag(&args, "--metrics"),
+                    profile: flag(&args, "--profile"),
+                };
+                cli::run_spec_with(
                     &input,
                     args.iter().any(|a| a == "--json"),
                     args.iter().any(|a| a == "--quick"),
+                    &obs,
                 )
+                .map(|out| {
+                    eprint!("{}", out.stderr);
+                    out.stdout
+                })
             }
         }
         _ => usage(),

@@ -418,6 +418,45 @@ pub fn run_region(
     }
 }
 
+/// Destination paths for `parvactl run`'s observability artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct ObsPaths {
+    /// Chrome/Perfetto `trace_event` JSON — load in `ui.perfetto.dev`
+    /// (deterministic: byte-identical across runs of one spec).
+    pub trace: Option<String>,
+    /// Gauge time series; a `.csv` extension selects CSV, anything else
+    /// line-delimited JSON (deterministic).
+    pub metrics: Option<String>,
+    /// Orchestrator self-profile JSON (host clocks — the one
+    /// deliberately non-deterministic artifact).
+    pub profile: Option<String>,
+}
+
+impl ObsPaths {
+    /// Does any artifact need an observed run?
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some() || self.profile.is_some()
+    }
+}
+
+/// What a spec run prints where: the machine-readable report on stdout,
+/// human narration (run header, artifact notes) on stderr — so
+/// `parvactl run --json … | jq` always sees pure JSON.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecRunOutput {
+    /// Report text for stdout (JSON in `--json` mode).
+    pub stdout: String,
+    /// Narration for stderr.
+    pub stderr: String,
+}
+
+fn write_artifact(path: &str, body: &str, kind: &str, notes: &mut String) -> Result<(), String> {
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+    notes.push_str(&format!("wrote {kind} to {path} ({} bytes)\n", body.len()));
+    Ok(())
+}
+
 /// `parvactl run`: execute a declarative scenario spec — either a
 /// registered built-in name or raw [`crate::scenarios::ScenarioSpec`]
 /// JSON (the binary reads spec files and passes their text).
@@ -430,6 +469,23 @@ pub fn run_region(
 /// Unknown names, malformed spec JSON, and any engine failure, as
 /// display strings.
 pub fn run_spec(input: &str, json_out: bool, quick: bool) -> Result<String, String> {
+    run_spec_with(input, json_out, quick, &ObsPaths::default()).map(|out| out.stdout)
+}
+
+/// [`run_spec`] with observability artifacts: when any [`ObsPaths`]
+/// destination is set the spec runs *observed* — the same report
+/// (observation is property-tested behavior-neutral), plus the trace /
+/// metrics / self-profile files written to the given paths. Returns the
+/// stdout/stderr split so `--json` output stays machine-pure.
+///
+/// # Errors
+/// Everything [`run_spec`] raises, plus artifact write failures.
+pub fn run_spec_with(
+    input: &str,
+    json_out: bool,
+    quick: bool,
+    obs: &ObsPaths,
+) -> Result<SpecRunOutput, String> {
     let spec = match crate::scenarios::spec_by_name(input.trim()) {
         Some(spec) => spec,
         None => serde_json::from_str::<crate::scenarios::ScenarioSpec>(input).map_err(|e| {
@@ -441,18 +497,46 @@ pub fn run_spec(input: &str, json_out: bool, quick: bool) -> Result<String, Stri
         })?,
     };
     let spec = if quick { spec.quick() } else { spec };
-    let report = spec.run()?;
-    if json_out {
-        serde_json::to_string(&report)
-            .map(|s| s + "\n")
-            .map_err(|e| e.to_string())
+    let mut notes = String::new();
+    let report = if obs.any() {
+        let (report, rec) = spec.run_observed()?;
+        if let Some(path) = &obs.trace {
+            write_artifact(path, &rec.chrome_trace(), "trace", &mut notes)?;
+        }
+        if let Some(path) = &obs.metrics {
+            let body = if path.ends_with(".csv") {
+                rec.metrics_csv()
+            } else {
+                rec.metrics_jsonl()
+            };
+            write_artifact(path, &body, "metrics", &mut notes)?;
+        }
+        if let Some(path) = &obs.profile {
+            write_artifact(
+                path,
+                &rec.profile_json(),
+                "profile (non-deterministic)",
+                &mut notes,
+            )?;
+        }
+        report
     } else {
-        Ok(format!(
-            "== {} ==\n{}\n{}",
-            spec.name,
-            spec.description,
-            report.render()
-        ))
+        spec.run()?
+    };
+    let header = format!("== {} ==\n{}\n", spec.name, spec.description);
+    if json_out {
+        let body = serde_json::to_string(&report)
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string())?;
+        Ok(SpecRunOutput {
+            stdout: body,
+            stderr: header + &notes,
+        })
+    } else {
+        Ok(SpecRunOutput {
+            stdout: format!("{header}{}", report.render()),
+            stderr: notes,
+        })
     }
 }
 
@@ -700,6 +784,66 @@ mod tests {
                 spec.name
             );
         }
+    }
+
+    #[test]
+    fn run_spec_with_writes_deterministic_artifacts() {
+        let dir = std::env::temp_dir().join("parva-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |n: &str| dir.join(n).to_string_lossy().into_owned();
+        let obs = ObsPaths {
+            trace: Some(path("trace.json")),
+            metrics: Some(path("metrics.csv")),
+            profile: Some(path("profile.json")),
+        };
+        let a = run_spec_with("fleet_chaos", true, true, &obs).unwrap();
+        let trace1 = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let metrics1 = std::fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        let b = run_spec_with("fleet_chaos", true, true, &obs).unwrap();
+        let trace2 = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let metrics2 = std::fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        // Byte-identical artifacts and identical reports across runs.
+        assert_eq!(trace1, trace2);
+        assert_eq!(metrics1, metrics2);
+        assert_eq!(a.stdout, b.stdout);
+        assert!(trace1.contains("\"traceEvents\""));
+        assert!(metrics1.starts_with("kind,"), "{metrics1}");
+        let profile = std::fs::read_to_string(dir.join("profile.json")).unwrap();
+        assert!(profile.contains("\"deterministic\":false"), "{profile}");
+        // Observation is behavior-neutral: same stdout as an unobserved run.
+        let plain = run_spec("fleet_chaos", true, true).unwrap();
+        assert_eq!(a.stdout, plain);
+    }
+
+    #[test]
+    fn run_spec_with_json_keeps_stdout_machine_pure() {
+        let dir = std::env::temp_dir().join("parva-cli-obs-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = ObsPaths {
+            trace: Some(dir.join("t.json").to_string_lossy().into_owned()),
+            metrics: None,
+            profile: None,
+        };
+        let out = run_spec_with("quickstart", true, true, &obs).unwrap();
+        // stdout is exactly one JSON document; narration lives on stderr.
+        serde_json::from_str::<crate::scenarios::ScenarioReport>(out.stdout.trim()).unwrap();
+        assert!(out.stderr.contains("== quickstart =="), "{}", out.stderr);
+        assert!(out.stderr.contains("wrote trace"), "{}", out.stderr);
+        // Human mode keeps the header on stdout and notes on stderr.
+        let human = run_spec_with("quickstart", false, true, &obs).unwrap();
+        assert!(human.stdout.contains("== quickstart =="));
+        assert!(!human.stdout.contains("wrote trace"));
+        assert!(human.stderr.contains("wrote trace"));
+    }
+
+    #[test]
+    fn obs_paths_any_reflects_fields() {
+        assert!(!ObsPaths::default().any());
+        assert!(ObsPaths {
+            metrics: Some("m.jsonl".into()),
+            ..ObsPaths::default()
+        }
+        .any());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   declarative [`scenarios::ScenarioSpec`] experiment layer behind
 //!   `parvactl run`
 //! * [`metrics`] — internal slack, external fragmentation, SLO compliance
+//! * [`obs`] — structured observability: request/recovery trace spans
+//!   (Chrome/Perfetto `trace_event` JSON), deterministic time-series
+//!   gauges, and orchestrator self-profiling — zero-cost when disabled
 //! * [`nvml`] — simulated NVML/DCGM layer: instance lifecycle, minimal-diff
 //!   reconfiguration (§III-F), SM-activity telemetry
 //! * [`cluster`] — p4de.24xlarge node packing and cost accounting
@@ -55,6 +58,7 @@ pub use parva_fleet as fleet;
 pub use parva_metrics as metrics;
 pub use parva_mig as mig;
 pub use parva_nvml as nvml;
+pub use parva_obs as obs;
 pub use parva_perf as perf;
 pub use parva_profile as profile;
 pub use parva_region as region;
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use parva_fleet::{run_chaos, FleetConfig, FleetReport, FleetSpec};
     pub use parva_metrics::{external_fragmentation, internal_slack};
     pub use parva_mig::{GpuModel, GpuState, InstanceProfile};
+    pub use parva_obs::{MetricsLog, Recorder, SelfProfiler, TraceEvent, TraceSink};
     pub use parva_perf::Model;
     pub use parva_profile::ProfileBook;
     pub use parva_region::{run_federation, FederationConfig, FederationReport, FederationSpec};

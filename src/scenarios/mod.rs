@@ -23,6 +23,6 @@ mod spec;
 pub use parva_scenarios::*;
 pub use registry::{builtin_specs, spec_by_name, spec_names};
 pub use spec::{
-    ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ScenarioReport, ScenarioSpec,
-    ServiceEntry, Window, Workload,
+    ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ObservabilitySpec,
+    ScenarioReport, ScenarioSpec, ServiceEntry, Window, Workload,
 };

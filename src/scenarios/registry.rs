@@ -8,8 +8,8 @@
 //! ingress — which is the point of the declarative layer.
 
 use super::spec::{
-    ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ScenarioSpec, ServiceEntry,
-    Window, Workload,
+    ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ObservabilitySpec, ScenarioSpec,
+    ServiceEntry, Window, Workload,
 };
 use crate::cluster::{NodeType, PricingPlan};
 use crate::fleet::{FleetSpec, NodePool};
@@ -47,6 +47,7 @@ pub fn spec_by_name(name: &str) -> Option<ScenarioSpec> {
 /// few seconds — the `examples/quickstart.rs` workload as data.
 fn quickstart() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "quickstart".into(),
         description: "ParvaGPU schedules three CNN/BERT services; one serving window".into(),
         seed: 42,
@@ -74,6 +75,7 @@ fn quickstart() -> ScenarioSpec {
 /// sharing for models that monopolize a whole A100 (paper §V).
 fn llm() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "llm".into(),
         description: "LLM mix profiled and scheduled on the H200-141GB catalog slice".into(),
         seed: 42,
@@ -101,6 +103,7 @@ fn llm() -> ScenarioSpec {
 /// under bursty MMPP arrivals with a split local/remote ingress.
 fn single_node_mps() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "single_node_mps".into(),
         description: "gpulet MPS partitions, MMPP bursts, 80/20 local/remote ingress split".into(),
         seed: 42,
@@ -139,6 +142,7 @@ fn single_node_mps() -> ScenarioSpec {
 /// bench bin) as a spec.
 fn fleet_chaos() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "fleet_chaos".into(),
         description: "mixed reserved/on-demand/spot fleet through 8 seeded chaos events".into(),
         seed: 42,
@@ -162,6 +166,7 @@ fn fleet_chaos() -> ScenarioSpec {
 /// binary offered. Spot warnings and cold preemptions dominate the trace.
 fn spot_heavy() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "spot_heavy".into(),
         description: "1 reserved anchor + A100/H100 spot pools; preemption-dominated chaos".into(),
         seed: 42,
@@ -211,6 +216,7 @@ fn spot_heavy() -> ScenarioSpec {
 /// region`) as a spec.
 fn region_failover() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "region_failover".into(),
         description: "3-region federation; us-east evacuated at interval 3, failback at 6".into(),
         seed: 42,
@@ -245,6 +251,7 @@ fn evacuation_drill() -> ScenarioSpec {
         region("sa-east", 1, 1.22, 0.15, 21.0),
     ];
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "evacuation_drill".into(),
         description: "4-region federation; eu-west drained at interval 2, failback at 5".into(),
         seed: 42,
@@ -276,6 +283,7 @@ fn evacuation_drill() -> ScenarioSpec {
 /// swing, no drill, chaos left to the seeded stream.
 fn diurnal() -> ScenarioSpec {
     ScenarioSpec {
+        observability: ObservabilitySpec::default(),
         name: "diurnal".into(),
         description: "3-region federation under a 0.4x-1.6x sun-phased demand swing".into(),
         seed: 42,
@@ -386,6 +394,7 @@ mod tests {
                 ingress: Vec::new(),
                 recovery: None,
             },
+            observability: ObservabilitySpec::default(),
         };
         assert_eq!(spec.workload.services().unwrap().len(), 33);
     }

@@ -15,6 +15,7 @@
 
 use crate::prelude::*;
 use parva_fleet::FleetReport;
+use parva_obs::Recorder;
 use parva_region::{EvacuationDrill, FederationReport, RttMatrix};
 use parva_serve::RecoverySpec;
 use serde::{Deserialize, Serialize};
@@ -215,6 +216,33 @@ pub struct DiurnalSpec {
     pub hours_per_interval: f64,
 }
 
+/// The observability block of a scenario spec: how an *observed* run
+/// ([`ScenarioSpec::run_observed`], `parvactl run --trace/--metrics`)
+/// samples its time-series gauges. Unobserved runs ignore the block
+/// entirely, so adding it never perturbs a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservabilitySpec {
+    /// Gauge-sampling cadence in simulation milliseconds. Serve mode
+    /// samples queue depth / in-flight batches / GPU busy fraction /
+    /// per-service SLO attainment on this grid; fleet and region modes
+    /// emit one row per chaos interval regardless. 0 disables the serve
+    /// sampler (trace spans are unaffected).
+    #[serde(default = "default_sample_every_ms")]
+    pub sample_every_ms: u64,
+}
+
+impl Default for ObservabilitySpec {
+    fn default() -> Self {
+        Self {
+            sample_every_ms: default_sample_every_ms(),
+        }
+    }
+}
+
+fn default_sample_every_ms() -> u64 {
+    100
+}
+
 /// Which engine a scenario exercises, with that engine's axes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Mode {
@@ -286,6 +314,9 @@ pub struct ScenarioSpec {
     pub workload: Workload,
     /// The engine and its axes.
     pub mode: Mode,
+    /// Gauge-sampling shape of observed runs (ignored otherwise).
+    #[serde(default)]
+    pub observability: ObservabilitySpec,
 }
 
 /// What a scenario run produced, tagged by engine.
@@ -494,6 +525,26 @@ impl ScenarioSpec {
     /// Validation failures, scheduling failures, and fleet/region
     /// exhaustion, as display strings.
     pub fn run(&self) -> Result<ScenarioReport, String> {
+        self.dispatch(None)
+    }
+
+    /// Run the scenario under a recording observer: the identical report
+    /// (observation is property-tested behavior-neutral), plus a
+    /// [`Recorder`] holding the engine's trace spans, the gauge rows
+    /// sampled on the spec's [`ObservabilitySpec`] grid, and the
+    /// orchestrator self-profile. The trace and metrics artifacts are
+    /// deterministic — byte-identical across runs of the same spec; the
+    /// profile reads host clocks and is exported separately.
+    ///
+    /// # Errors
+    /// Same failures as [`ScenarioSpec::run`].
+    pub fn run_observed(&self) -> Result<(ScenarioReport, Recorder), String> {
+        let mut rec = Recorder::new(self.observability.sample_every_ms.saturating_mul(1_000));
+        let report = self.dispatch(Some(&mut rec))?;
+        Ok((report, rec))
+    }
+
+    fn dispatch(&self, rec: Option<&mut Recorder>) -> Result<ScenarioReport, String> {
         self.validate()?;
         let services = self.workload.services()?;
         let serving = self.serving_config();
@@ -539,11 +590,14 @@ impl ScenarioSpec {
                         })
                         .collect()
                 };
-                let report = Simulation::new(&deployment, &services)
+                let sim = Simulation::new(&deployment, &services)
                     .ingress(&classes)
                     .recovery_opt(recovery.as_ref())
-                    .config(&serving)
-                    .run();
+                    .config(&serving);
+                let report = match rec {
+                    Some(r) => sim.run_with(r),
+                    None => sim.run(),
+                };
                 Ok(ScenarioReport::Serve(report))
             }
             Mode::Fleet {
@@ -559,8 +613,14 @@ impl ScenarioSpec {
                     des_recovery: !analytic_recovery,
                     ..FleetConfig::default()
                 };
-                let report = parva_fleet::run_chaos(&book, &services, &fleet.resolve(), &config)
-                    .map_err(|e| e.to_string())?;
+                let fleet_spec = fleet.resolve();
+                let report = match rec {
+                    Some(r) => {
+                        parva_fleet::run_chaos_observed(&book, &services, &fleet_spec, &config, r)
+                    }
+                    None => parva_fleet::run_chaos(&book, &services, &fleet_spec, &config),
+                }
+                .map_err(|e| e.to_string())?;
                 Ok(ScenarioReport::Fleet(report))
             }
             Mode::Region {
@@ -582,9 +642,14 @@ impl ScenarioSpec {
                     config.diurnal_high = d.high;
                     config.hours_per_interval = d.hours_per_interval;
                 }
-                let report =
-                    parva_region::run_federation(&book, &services, &federation.resolve(), &config)
-                        .map_err(|e| e.to_string())?;
+                let topology = federation.resolve();
+                let report = match rec {
+                    Some(r) => parva_region::run_federation_observed(
+                        &book, &services, &topology, &config, r,
+                    ),
+                    None => parva_region::run_federation(&book, &services, &topology, &config),
+                }
+                .map_err(|e| e.to_string())?;
                 Ok(ScenarioReport::Region(report))
             }
         }

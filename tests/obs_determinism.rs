@@ -1,0 +1,136 @@
+//! Observability determinism and behavior-neutrality, end to end: every
+//! registered built-in spec runs observed at quick scale, and
+//!
+//! 1. the trace and metrics artifacts are byte-identical across two
+//!    observed runs (same spec → same bytes, always),
+//! 2. the report of an observed run equals the report of an unobserved
+//!    run (tracing never perturbs simulation behavior),
+//! 3. the Chrome trace is structurally valid `trace_event` JSON with the
+//!    process-name metadata Perfetto keys on.
+
+use parvagpu::obs::Recorder;
+use parvagpu::scenarios::{builtin_specs, ScenarioReport, ScenarioSpec};
+
+fn observed(spec: &ScenarioSpec) -> (ScenarioReport, Recorder) {
+    spec.run_observed()
+        .unwrap_or_else(|e| panic!("{} observed run failed: {e}", spec.name))
+}
+
+/// Trace, metrics and gauge artifacts are byte-identical across observed
+/// runs of the same spec, for every registered spec.
+#[test]
+fn artifacts_are_byte_identical_across_runs() {
+    for spec in builtin_specs() {
+        let spec = spec.quick();
+        let (_, a) = observed(&spec);
+        let (_, b) = observed(&spec);
+        assert_eq!(
+            a.chrome_trace(),
+            b.chrome_trace(),
+            "trace drift in '{}'",
+            spec.name
+        );
+        assert_eq!(
+            a.trace_jsonl(),
+            b.trace_jsonl(),
+            "trace JSONL drift in '{}'",
+            spec.name
+        );
+        assert_eq!(
+            a.metrics_jsonl(),
+            b.metrics_jsonl(),
+            "metrics drift in '{}'",
+            spec.name
+        );
+        assert_eq!(
+            a.metrics_csv(),
+            b.metrics_csv(),
+            "metrics CSV drift in '{}'",
+            spec.name
+        );
+    }
+}
+
+/// Observation is behavior-neutral: the observed report serializes
+/// byte-identically to the unobserved one, for every registered spec.
+#[test]
+fn observed_reports_equal_unobserved_reports() {
+    for spec in builtin_specs() {
+        let spec = spec.quick();
+        let plain = spec
+            .run()
+            .unwrap_or_else(|e| panic!("{} plain run failed: {e}", spec.name));
+        let (seen, rec) = observed(&spec);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&seen).unwrap(),
+            "observation changed '{}'",
+            spec.name
+        );
+        // And observing actually observed something.
+        assert!(
+            !rec.events.is_empty(),
+            "'{}' produced no trace events",
+            spec.name
+        );
+        assert!(
+            !rec.metrics.is_empty(),
+            "'{}' produced no gauge rows",
+            spec.name
+        );
+    }
+}
+
+/// The Chrome trace artifact has the `trace_event` shape Perfetto loads:
+/// a `traceEvents` array whose entries carry `ph`/`name`/`ts`/`pid`/`tid`,
+/// with process-name metadata events naming each simulation layer.
+#[test]
+fn chrome_trace_has_trace_event_shape() {
+    for spec in builtin_specs() {
+        let spec = spec.quick();
+        let (_, rec) = observed(&spec);
+        let doc = rec.chrome_trace();
+        assert!(
+            doc.starts_with('{') && doc.contains("\"traceEvents\":["),
+            "'{}' trace is not a trace_event document",
+            spec.name
+        );
+        assert!(
+            doc.contains("\"displayTimeUnit\":\"ms\""),
+            "'{}' trace missing displayTimeUnit",
+            spec.name
+        );
+        assert!(
+            doc.contains("\"ph\":\"M\"") && doc.contains("\"process_name\""),
+            "'{}' trace missing process-name metadata",
+            spec.name
+        );
+        // Every JSONL line is one event object with the required keys.
+        for line in rec.trace_jsonl().lines() {
+            for key in ["\"ph\":", "\"name\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+                assert!(
+                    line.contains(key),
+                    "'{}' event missing {key}: {line}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// The self-profile is the one deliberately non-deterministic artifact,
+/// and says so in its own schema.
+#[test]
+fn self_profile_declares_non_determinism() {
+    let spec = parvagpu::scenarios::spec_by_name("fleet_chaos")
+        .expect("registered")
+        .quick();
+    let (_, rec) = observed(&spec);
+    let profile = rec.profile_json();
+    assert!(profile.contains("\"deterministic\":false"), "{profile}");
+    assert!(profile.contains("\"schema\":\"parva-obs/profile/v1\""));
+    // Fleet orchestration profiles its four phases.
+    for phase in ["schedule", "plan", "probe-fanout", "merge"] {
+        assert!(profile.contains(&format!("\"{phase}\"")), "{profile}");
+    }
+}

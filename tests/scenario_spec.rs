@@ -213,6 +213,7 @@ fn invalid_specs_are_rejected() {
             ingress: Vec::new(),
             recovery: None,
         },
+        observability: Default::default(),
     };
     assert!(base.validate().unwrap_err().contains("empty"));
 
@@ -274,6 +275,7 @@ fn invalid_specs_are_rejected() {
             drill: Some(drill),
             diurnal: None,
         },
+        observability: Default::default(),
     };
     let late = region_base(parvagpu::region::EvacuationDrill {
         region: 0,
