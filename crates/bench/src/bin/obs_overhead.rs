@@ -1,31 +1,38 @@
 //! Observability overhead benchmark: time each scenario engine with
-//! tracing disabled (the `NullSink` path every production run takes) and
-//! with a full [`parvagpu::obs::Recorder`] attached, and write
-//! `results/BENCH_obs.json` with both walls and the on/off ratio.
+//! tracing disabled (the `NullSink` path every production run takes),
+//! with a full [`parvagpu::obs::Recorder`] attached, and with the
+//! shard-streaming [`parvagpu::obs::StreamSink`], and write
+//! `results/BENCH_obs.json` with all three walls and the on/off ratios.
 //!
 //! The disabled path is the one under the perf gate: `NullSink` has
 //! `ENABLED = false`, so every instrumentation block monomorphizes away
 //! and `perf_sweep --check` keeps holding its 2x floor. The enabled
-//! ratio recorded here is informational — it prices what `--trace`/
-//! `--metrics` actually cost when someone turns them on.
+//! ratios recorded here are informational — they price what `--trace`/
+//! `--metrics` (batch) and `--stream` (rotating shards, line-by-line
+//! file I/O) actually cost when someone turns them on.
 //!
 //! Usage: `obs_overhead [--quick] [--out <file>]`
 
 use serde::Serialize;
 use std::time::Instant;
 
-/// One spec's tracing-off/on timing row.
+/// One spec's tracing-off/on/streamed timing row.
 #[derive(Debug, Clone, Serialize)]
 struct OverheadRow {
     spec: String,
     reps: usize,
     off_wall_ms: f64,
     on_wall_ms: f64,
+    stream_wall_ms: f64,
     /// `on / off` — 1.0 means observation is free, 2.0 means it doubles
     /// the wall time.
     on_over_off: f64,
+    /// `stream / off` — what retiring shards to disk adds on top of a
+    /// blind run.
+    stream_over_off: f64,
     trace_events: usize,
     gauge_rows: usize,
+    trace_shards: usize,
 }
 
 /// The whole `BENCH_obs.json` document.
@@ -57,6 +64,7 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_obs.json".to_string());
     let reps = if quick { 3 } else { 7 };
+    let shard_root = std::env::temp_dir().join("parva-obs-overhead-bench");
 
     // One spec per engine: serve, fleet, federation.
     let mut rows = Vec::new();
@@ -74,25 +82,50 @@ fn main() {
             trace_events = rec.events.len();
             gauge_rows = rec.metrics.len();
         });
+        let mut trace_shards = 0;
+        let stream_wall_ms = time_reps(reps, || {
+            // Fresh dir per rep so shard creation is timed every time.
+            let dir = shard_root.join(name);
+            let _ = std::fs::remove_dir_all(&dir);
+            let (_, stats) = spec.run_streamed(&dir).expect("streamed spec runs");
+            trace_shards = stats.trace_shards;
+        });
         rows.push(OverheadRow {
             spec: name.to_string(),
             reps,
             off_wall_ms,
             on_wall_ms,
+            stream_wall_ms,
             on_over_off: if off_wall_ms <= 0.0 {
                 0.0
             } else {
                 on_wall_ms / off_wall_ms
             },
+            stream_over_off: if off_wall_ms <= 0.0 {
+                0.0
+            } else {
+                stream_wall_ms / off_wall_ms
+            },
             trace_events,
             gauge_rows,
+            trace_shards,
         });
     }
+    let _ = std::fs::remove_dir_all(&shard_root);
 
     for r in &rows {
         println!(
-            "{:<16} off {:>8.2} ms | on {:>8.2} ms ({:>5.2}x) | {:>7} events, {:>5} rows",
-            r.spec, r.off_wall_ms, r.on_wall_ms, r.on_over_off, r.trace_events, r.gauge_rows
+            "{:<16} off {:>8.2} ms | on {:>8.2} ms ({:>5.2}x) | stream {:>8.2} ms ({:>5.2}x) | \
+             {:>7} events, {:>5} rows, {:>3} shard(s)",
+            r.spec,
+            r.off_wall_ms,
+            r.on_wall_ms,
+            r.on_over_off,
+            r.stream_wall_ms,
+            r.stream_over_off,
+            r.trace_events,
+            r.gauge_rows,
+            r.trace_shards
         );
     }
 

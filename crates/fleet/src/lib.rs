@@ -55,8 +55,8 @@ pub use event::{next_event, FleetEvent};
 pub use migration::MigrationPlan;
 pub use node::{Fleet, FleetNode, FleetSpec, GpuSlot, NodePool};
 pub use orchestrator::{
-    run_chaos, run_chaos_observed, FleetConfig, FleetError, FleetOrchestrator, RecoveryOutcome,
-    DEFAULT_MAX_REPLACEMENTS,
+    event_label, run_chaos, run_chaos_observed, run_chaos_sink, FleetConfig, FleetError,
+    FleetOrchestrator, RecoveryOutcome, DEFAULT_MAX_REPLACEMENTS,
 };
 pub use pack::{FleetPacking, NodeUsage};
 pub use placer::{

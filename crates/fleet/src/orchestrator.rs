@@ -841,8 +841,12 @@ pub fn run_chaos_observed(
     Ok(report)
 }
 
-/// Static label for an event kind (trace names must be `'static`).
-fn event_label(event: &FleetEvent) -> &'static str {
+/// Static label for an event kind, as stamped into trace events and the
+/// `kind: "fleet"` gauge rows (trace names must be `'static`). Public so
+/// trace auditors can recompute the expected label from a report's
+/// [`FleetEvent`].
+#[must_use]
+pub fn event_label(event: &FleetEvent) -> &'static str {
     match event {
         FleetEvent::NodeFailure { .. } => "node-failure",
         FleetEvent::SpotPreemption { .. } => "spot-preemption",
@@ -856,6 +860,25 @@ fn event_label(event: &FleetEvent) -> &'static str {
 /// One serving interval's span on the pseudo-timeline, microseconds.
 fn interval_us(serving: &ServingConfig) -> u64 {
     ((serving.warmup_s + serving.duration_s + serving.drain_s) * 1e6) as u64
+}
+
+/// [`run_chaos`] under an arbitrary [`TraceSink`] — the generic engine
+/// behind both the plain and recorded runs. Streaming callers (the
+/// scenario layer's `--stream` path) hand a sink that retires events to
+/// disk as they land; `profile` enables the orchestrator phase
+/// self-profile, returned alongside the report.
+///
+/// # Errors
+/// Propagates bootstrap and recovery failures ([`FleetError`]).
+pub fn run_chaos_sink<S: TraceSink>(
+    book: &ProfileBook,
+    specs: &[ServiceSpec],
+    fleet_spec: &FleetSpec,
+    config: &FleetConfig,
+    sink: &mut S,
+    profile: bool,
+) -> Result<(FleetReport, SelfProfiler), FleetError> {
+    run_chaos_with(book, specs, fleet_spec, config, sink, profile)
 }
 
 #[allow(

@@ -22,6 +22,16 @@ fn write_args(out: &mut String, ev: &TraceEvent) {
     out.push('}');
 }
 
+/// Render one event as its canonical JSON object — exactly the fragment
+/// [`chrome_trace_json`] and [`trace_jsonl`] embed, so a streaming sink
+/// writing these lines is byte-equivalent to the batch exporters.
+#[must_use]
+pub fn event_json(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    write_event(&mut out, ev);
+    out
+}
+
 fn write_event(out: &mut String, ev: &TraceEvent) {
     out.push_str("{\"name\":\"");
     out.push_str(&crate::json_escape(ev.name));
@@ -50,18 +60,25 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
 
 /// Render a full Chrome `trace_event` JSON document:
 /// `{"displayTimeUnit":"ms","traceEvents":[…]}` with `process_name`
-/// metadata rows labeling each layer's track group. Loadable directly in
-/// Perfetto / `chrome://tracing`.
+/// metadata rows labeling each layer's track group and `thread_name`
+/// rows labeling every track within it (server index, fleet interval,
+/// region), so Perfetto shows named tracks instead of bare pids/tids.
+/// Loadable directly in Perfetto / `chrome://tracing`.
 #[must_use]
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     use std::fmt::Write as _;
     let mut pids: Vec<u32> = Vec::new();
+    let mut tracks: Vec<(u32, u32)> = Vec::new();
     for ev in events {
         if !pids.contains(&ev.pid) {
             pids.push(ev.pid);
         }
+        if !tracks.contains(&(ev.pid, ev.tid)) {
+            tracks.push((ev.pid, ev.tid));
+        }
     }
     pids.sort_unstable();
+    tracks.sort_unstable();
 
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
@@ -75,6 +92,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
              \"args\":{{\"name\":\"{}\"}}}}",
             crate::json_escape(crate::pid_name(pid))
+        );
+    }
+    for (pid, tid) in tracks {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            crate::json_escape(&crate::tid_name(pid, tid))
         );
     }
     for ev in events {
@@ -138,6 +164,34 @@ mod tests {
             "{\"name\":\"probe\",\"cat\":\"decision\",\"ph\":\"i\",\"ts\":0,\
              \"s\":\"t\",\"pid\":2,\"tid\":0,\"args\":{\"kind\":\"miss\"}}"
         ));
+    }
+
+    #[test]
+    fn chrome_metadata_names_tracks() {
+        let doc = chrome_trace_json(&sample_events());
+        // One thread_name row per distinct (pid, tid), in sorted order,
+        // labeled via `tid_name`.
+        assert!(doc.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\
+             \"args\":{\"name\":\"server 2\"}}"
+        ));
+        assert!(doc.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"baseline\"}}"
+        ));
+        // Metadata precedes the first real event.
+        let meta = doc.find("\"thread_name\"").unwrap();
+        let first_ev = doc.find("\"execute\"").unwrap();
+        assert!(meta < first_ev);
+    }
+
+    #[test]
+    fn event_json_matches_jsonl_lines() {
+        let evs = sample_events();
+        let jsonl = trace_jsonl(&evs);
+        for (line, ev) in jsonl.lines().zip(&evs) {
+            assert_eq!(line, event_json(ev));
+        }
     }
 
     #[test]

@@ -36,16 +36,19 @@
     clippy::missing_panics_doc
 )]
 
+pub mod analyze;
 mod chrome;
 mod metrics;
 mod profile;
 mod recorder;
+mod stream;
 mod trace;
 
-pub use chrome::{chrome_trace_json, trace_jsonl};
+pub use chrome::{chrome_trace_json, event_json, trace_jsonl};
 pub use metrics::{MetricsLog, Row};
 pub use profile::{PhaseStat, ProfToken, SelfProfiler};
 pub use recorder::Recorder;
+pub use stream::{read_concat_shards, StreamConfig, StreamSink, StreamStats, TailFollower};
 pub use trace::{ArgValue, Phase, TraceEvent, TraceSink};
 
 /// Track-group ("pid") of serving-layer events in exported traces.
@@ -64,6 +67,32 @@ pub fn pid_name(pid: u32) -> &'static str {
         PID_FLEET => "fleet",
         PID_REGION => "region",
         _ => "parva",
+    }
+}
+
+/// Display names for the tracks ("tid") within a layer, used as Chrome
+/// `thread_name` metadata: serve tids are server indices, fleet tids are
+/// chaos intervals (0 = baseline), region tids are region indices with
+/// `u32::MAX` standing for the federation aggregate.
+#[must_use]
+pub fn tid_name(pid: u32, tid: u32) -> String {
+    match pid {
+        PID_SERVE => format!("server {tid}"),
+        PID_FLEET => {
+            if tid == 0 {
+                "baseline".to_string()
+            } else {
+                format!("interval {tid}")
+            }
+        }
+        PID_REGION => {
+            if tid == u32::MAX {
+                "federation".to_string()
+            } else {
+                format!("region {tid}")
+            }
+        }
+        _ => format!("track {tid}"),
     }
 }
 
@@ -167,5 +196,15 @@ mod tests {
         assert_eq!(pid_name(PID_FLEET), "fleet");
         assert_eq!(pid_name(PID_REGION), "region");
         assert_eq!(pid_name(99), "parva");
+    }
+
+    #[test]
+    fn tid_names_label_tracks_per_layer() {
+        assert_eq!(tid_name(PID_SERVE, 3), "server 3");
+        assert_eq!(tid_name(PID_FLEET, 0), "baseline");
+        assert_eq!(tid_name(PID_FLEET, 2), "interval 2");
+        assert_eq!(tid_name(PID_REGION, 1), "region 1");
+        assert_eq!(tid_name(PID_REGION, u32::MAX), "federation");
+        assert_eq!(tid_name(99, 7), "track 7");
     }
 }

@@ -50,6 +50,17 @@ impl Row {
         self
     }
 
+    /// Prefix the row with a stable run identifier (`"run"` column) so
+    /// rows from concatenated multi-run streams (sweeps, shard
+    /// directories) stay attributable. Sinks stamp this at sample time,
+    /// which keeps the batch and streaming exports byte-equivalent.
+    #[must_use]
+    pub fn with_run(mut self, run_id: &str) -> Self {
+        self.fields
+            .insert(0, ("run", ArgValue::Str(run_id.to_string())));
+        self
+    }
+
     /// The ordered fields.
     #[must_use]
     pub fn fields(&self) -> &[(&'static str, ArgValue)] {
@@ -187,6 +198,21 @@ mod tests {
         assert_eq!(log.to_jsonl(), "");
         assert_eq!(log.to_csv(), "\n");
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn with_run_prefixes_the_row() {
+        let row = Row::new()
+            .str("kind", "tick")
+            .u64("n", 1)
+            .with_run("demo@7");
+        assert_eq!(
+            row.to_json(),
+            "{\"run\":\"demo@7\",\"kind\":\"tick\",\"n\":1}"
+        );
+        let mut log = MetricsLog::new();
+        log.push(row);
+        assert!(log.to_csv().starts_with("run,kind,n\n"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub struct Recorder {
     pub profile: SelfProfiler,
     sample_every_us: u64,
     next_sample_us: u64,
+    run_id: Option<String>,
 }
 
 impl Recorder {
@@ -39,7 +40,24 @@ impl Recorder {
             } else {
                 sample_every_us
             },
+            run_id: None,
         }
+    }
+
+    /// Stamp every sampled gauge row with a leading `run` column (see
+    /// [`Row::with_run`]). The streaming sink stamps identically, so the
+    /// batch and streaming metrics exports of one run stay
+    /// byte-equivalent.
+    #[must_use]
+    pub fn with_run_id(mut self, run_id: impl Into<String>) -> Self {
+        self.run_id = Some(run_id.into());
+        self
+    }
+
+    /// The run identifier stamped onto gauge rows, if any.
+    #[must_use]
+    pub fn run_id(&self) -> Option<&str> {
+        self.run_id.as_deref()
     }
 
     /// The sampling cadence, simulation microseconds (0 = disabled).
@@ -105,7 +123,10 @@ impl TraceSink for Recorder {
 
     #[inline]
     fn sample(&mut self, row: Row) {
-        self.metrics.push(row);
+        match &self.run_id {
+            Some(id) => self.metrics.push(row.with_run(id)),
+            None => self.metrics.push(row),
+        }
     }
 
     fn advance_sampler(&mut self) {
@@ -141,6 +162,16 @@ mod tests {
         let r = Recorder::new(0);
         assert_eq!(r.next_sample_us(), u64::MAX);
         assert_eq!(r.sample_every_us(), 0);
+    }
+
+    #[test]
+    fn run_id_stamps_sampled_rows() {
+        let mut r = Recorder::new(1000).with_run_id("spec@42");
+        assert_eq!(r.run_id(), Some("spec@42"));
+        r.sample(Row::new().u64("q", 1));
+        assert!(r.metrics_jsonl().starts_with("{\"run\":\"spec@42\","));
+        let plain = Recorder::new(1000);
+        assert_eq!(plain.run_id(), None);
     }
 
     #[test]

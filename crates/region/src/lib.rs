@@ -35,8 +35,8 @@ pub mod spec;
 
 pub use event::{next_region_event, RegionEvent};
 pub use orchestrator::{
-    run_federation, run_federation_observed, EvacuationDrill, Federation, FederationConfig,
-    FederationError,
+    run_federation, run_federation_observed, run_federation_sink, EvacuationDrill, Federation,
+    FederationConfig, FederationError,
 };
 pub use report::{FederationReport, IntervalOutcome, RegionOutcome};
 pub use router::{inbound, route_demand, spill_excess, Flow, RTT_HALF_MS};

@@ -992,6 +992,25 @@ fn sample_interval<S: TraceSink>(sink: &mut S, names: &[String], outcome: &Inter
     }
 }
 
+/// [`run_federation`] under an arbitrary [`TraceSink`] — the generic
+/// engine behind both the plain and recorded runs. Streaming callers
+/// (the scenario layer's `--stream` path) hand a sink that retires
+/// events to disk as they land; `profile` enables the federation phase
+/// self-profile, returned alongside the report.
+///
+/// # Errors
+/// Propagates bootstrap and failback failures ([`FederationError`]).
+pub fn run_federation_sink<S: TraceSink>(
+    book: &ProfileBook,
+    services: &[ServiceSpec],
+    spec: &FederationSpec,
+    config: &FederationConfig,
+    sink: &mut S,
+    profile: bool,
+) -> Result<(FederationReport, SelfProfiler), FederationError> {
+    run_federation_with(book, services, spec, config, sink, profile)
+}
+
 #[allow(
     clippy::cast_precision_loss,
     clippy::cast_possible_truncation,

@@ -707,6 +707,19 @@ pub(crate) fn run_simulation<S: TraceSink>(
     let win_end = SimTime::from_secs(config.warmup_s + config.duration_s);
     let sim_end = SimTime::from_secs(config.warmup_s + config.duration_s + config.drain_s);
 
+    if S::ENABLED {
+        // Stamp the measurement window into the trace: every report
+        // counter covers `[start_us, end_us)`, so offline analyzers
+        // (`parva_obs::analyze`, `parvactl trace audit`) can recompute
+        // the report's accounting from spans alone, without the config.
+        sink.emit(
+            TraceEvent::instant("window", "meta", 0)
+                .pid(PID_SERVE)
+                .arg_u64("start_us", win_start.micros())
+                .arg_u64("end_us", win_end.micros()),
+        );
+    }
+
     let mut q = CalendarQueue::with_capacity(128);
 
     // Flat per-(service, class) layout: entries of service `i` live at

@@ -11,7 +11,12 @@
 //! parvactl region [services.json] [--seed N] [--intervals N] [--json]
 //! parvactl run <name|spec.json> [--json] [--quick]
 //!              [--trace out.json] [--metrics out.jsonl|out.csv] [--profile out.json]
+//!              [--stream DIR]
 //! parvactl run --list [--names]
+//! parvactl trace audit <trace.json|shard-dir> <report.json> [--metrics FILE] [--tolerance X]
+//! parvactl trace summary <trace.json|shard-dir> [--top K]
+//! parvactl trace diff <a> <b>
+//! parvactl trace tail <shard-dir> [--lane trace|metrics] [--poll-ms N] [--max-polls N]
 //! ```
 //!
 //! `run` executes a declarative scenario spec: a registered name (see
@@ -27,6 +32,20 @@
 //! self-profile (host clocks; the one non-deterministic artifact). With
 //! `--json`, the report JSON is stdout-only — headers and artifact notes
 //! go to stderr — so pipelines stay machine-pure.
+//!
+//! `--stream DIR` streams instead of buffering: spans and gauge rows are
+//! retired to rotating `trace-*.jsonl` / `metrics-*.jsonl` shards in
+//! `DIR` as they land (live-tailable via `parvactl trace tail`), with
+//! rotation/retention policy taken from the spec's
+//! `observability.streaming` block. With retention off, the concatenated
+//! shards are byte-identical to the batch export of the same spec.
+//!
+//! `trace` is the offline analytics suite over those artifacts:
+//! `audit` independently recomputes a report's SLO attainment, latency
+//! quantiles and recovery rows from the raw stream and exits nonzero on
+//! any divergence; `summary` prints per-phase span breakdowns and the
+//! top-k slowest requests; `diff` compares two runs; `tail` follows a
+//! live shard directory.
 //!
 //! `fleet` and `region` report DES-*measured* recovery by default: weight
 //! copies and MIG re-flashes ride the serving simulator's event queue, so
@@ -50,8 +69,14 @@ fn usage() -> ! {
          [--analytic-recovery]\n  \
          parvactl region [services.json] [--seed N] [--intervals N] [--json]\n  \
          parvactl run <name|spec.json> [--json] [--quick] [--trace FILE] \
-         [--metrics FILE] [--profile FILE]\n  \
-         parvactl run --list [--names]\n\n\
+         [--metrics FILE] [--profile FILE] [--stream DIR]\n  \
+         parvactl run --list [--names]\n  \
+         parvactl trace audit <trace.json|shard-dir> <report.json> [--metrics FILE] \
+         [--tolerance X]\n  \
+         parvactl trace summary <trace.json|shard-dir> [--top K]\n  \
+         parvactl trace diff <a> <b>\n  \
+         parvactl trace tail <shard-dir> [--lane trace|metrics] [--poll-ms N] \
+         [--max-polls N]\n\n\
          schedulers: parvagpu (default), single, unoptimized, gslice, gpulet, igniter, \
          paris-elsa, mig-serving"
     );
@@ -171,6 +196,7 @@ fn main() {
                     trace: flag(&args, "--trace"),
                     metrics: flag(&args, "--metrics"),
                     profile: flag(&args, "--profile"),
+                    stream: flag(&args, "--stream"),
                 };
                 cli::run_spec_with(
                     &input,
@@ -184,11 +210,65 @@ fn main() {
                 })
             }
         }
+        "trace" => {
+            let Some(sub) = args.get(1) else { usage() };
+            match sub.as_str() {
+                "audit" => {
+                    let (Some(trace), Some(report)) = (args.get(2), args.get(3)) else {
+                        usage()
+                    };
+                    let tolerance = flag(&args, "--tolerance").and_then(|s| s.parse().ok());
+                    let metrics = flag(&args, "--metrics");
+                    cli::run_trace_audit(trace, report, metrics.as_deref(), tolerance)
+                }
+                "summary" => {
+                    let Some(trace) = args.get(2).filter(|p| !p.starts_with("--")) else {
+                        usage()
+                    };
+                    let top = flag(&args, "--top")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(10);
+                    cli::run_trace_summary(trace, top)
+                }
+                "diff" => {
+                    let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
+                        usage()
+                    };
+                    cli::run_trace_diff(a, b)
+                }
+                "tail" => {
+                    let Some(dir) = args.get(2).filter(|p| !p.starts_with("--")) else {
+                        usage()
+                    };
+                    let lane = flag(&args, "--lane").unwrap_or_else(|| "trace".into());
+                    let poll_ms = flag(&args, "--poll-ms")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(200);
+                    let max_polls = flag(&args, "--max-polls").and_then(|s| s.parse().ok());
+                    // Stream lines as they land; the accumulated result
+                    // is empty so the final `print!` adds nothing. Write
+                    // errors (e.g. a closed `| head` pipe) end the tail
+                    // quietly instead of panicking.
+                    use std::io::Write as _;
+                    let mut stdout = std::io::stdout();
+                    cli::run_trace_tail(dir, &lane, poll_ms, max_polls, &mut |line| {
+                        let _ = writeln!(stdout, "{line}");
+                    })
+                    .map(|()| String::new())
+                }
+                _ => usage(),
+            }
+        }
         _ => usage(),
     };
 
     match result {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            // Not `print!`: a downstream `| head` that closed the pipe
+            // must end the program quietly, not panic it.
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(out.as_bytes());
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

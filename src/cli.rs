@@ -430,10 +430,15 @@ pub struct ObsPaths {
     /// Orchestrator self-profile JSON (host clocks — the one
     /// deliberately non-deterministic artifact).
     pub profile: Option<String>,
+    /// Shard directory for a *streamed* run: spans and gauge rows are
+    /// retired to rotating `trace-*.jsonl` / `metrics-*.jsonl` shards as
+    /// they land instead of being buffered to run end. Exclusive with
+    /// the batch artifacts above (one run drives one sink).
+    pub stream: Option<String>,
 }
 
 impl ObsPaths {
-    /// Does any artifact need an observed run?
+    /// Does any batch artifact need an observed (recording) run?
     #[must_use]
     pub fn any(&self) -> bool {
         self.trace.is_some() || self.metrics.is_some() || self.profile.is_some()
@@ -498,7 +503,28 @@ pub fn run_spec_with(
     };
     let spec = if quick { spec.quick() } else { spec };
     let mut notes = String::new();
-    let report = if obs.any() {
+    if obs.stream.is_some() && obs.any() {
+        return Err(
+            "--stream writes trace and metrics shards itself; drop --trace/--metrics/--profile"
+                .into(),
+        );
+    }
+    let report = if let Some(dir) = &obs.stream {
+        let (report, stats) = spec.run_streamed(dir)?;
+        notes.push_str(&format!(
+            "streamed {} trace events + {} gauge rows to {dir} ({} trace / {} metrics shard(s){})\n",
+            stats.trace_events,
+            stats.gauge_rows,
+            stats.trace_shards,
+            stats.metrics_shards,
+            if stats.dropped_shards > 0 {
+                format!(", {} dropped by retention", stats.dropped_shards)
+            } else {
+                String::new()
+            }
+        ));
+        report
+    } else if obs.any() {
         let (report, rec) = spec.run_observed()?;
         if let Some(path) = &obs.trace {
             write_artifact(path, &rec.chrome_trace(), "trace", &mut notes)?;
@@ -565,6 +591,533 @@ pub fn list_specs(names_only: bool) -> String {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// `parvactl trace` — offline analytics over exported traces and shard dirs.
+// ---------------------------------------------------------------------------
+
+/// Resolve a `parvactl trace` input path: a streamed shard directory
+/// yields the concatenated trace lane plus the metrics lane; a plain
+/// file yields its text (metrics must then come via `--metrics`).
+fn load_trace_input(path: &str) -> Result<(String, Option<String>), String> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        let trace = crate::obs::read_concat_shards(p, "trace")
+            .map_err(|e| format!("cannot read trace shards in {path}: {e}"))?;
+        let metrics = crate::obs::read_concat_shards(p, "metrics")
+            .map_err(|e| format!("cannot read metrics shards in {path}: {e}"))?;
+        Ok((trace, Some(metrics)))
+    } else {
+        std::fs::read_to_string(p)
+            .map(|t| (t, None))
+            .map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+/// Parse report JSON for the audit: the tagged
+/// [`crate::scenarios::ScenarioReport`] (`parvactl run --json`), or the
+/// raw per-engine reports (`parvactl fleet --json`, `parvactl region
+/// --json`).
+fn parse_report(text: &str) -> Result<crate::scenarios::ScenarioReport, String> {
+    use crate::scenarios::ScenarioReport;
+    let text = text.trim();
+    if let Ok(r) = serde_json::from_str::<ScenarioReport>(text) {
+        return Ok(r);
+    }
+    if let Ok(r) = serde_json::from_str::<ServingReport>(text) {
+        return Ok(ScenarioReport::Serve(r));
+    }
+    if let Ok(r) = serde_json::from_str::<crate::fleet::FleetReport>(text) {
+        return Ok(ScenarioReport::Fleet(r));
+    }
+    serde_json::from_str::<crate::region::FederationReport>(text)
+        .map(ScenarioReport::Region)
+        .map_err(|e| {
+            format!("report JSON is not a scenario, serving, fleet or federation report: {e}")
+        })
+}
+
+/// Comparison accumulator for `parvactl trace audit`. Every field pair
+/// is one check; divergences collect as human-readable lines. Floats
+/// compare *exactly* by default — both sides of the audit are written
+/// with shortest-round-trip rendering and parsed back losslessly, so any
+/// inequality is a real accounting divergence, not float noise. An
+/// explicit tolerance relaxes that for hand-edited or cross-version
+/// artifacts.
+struct Audit {
+    tolerance: Option<f64>,
+    checks: usize,
+    failures: Vec<String>,
+}
+
+impl Audit {
+    fn new(tolerance: Option<f64>) -> Self {
+        Audit {
+            tolerance,
+            checks: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.failures.push(msg);
+    }
+
+    fn u64(&mut self, what: &str, recomputed: u64, reported: u64) {
+        self.checks += 1;
+        if recomputed != reported {
+            self.fail(format!(
+                "{what}: trace says {recomputed}, report says {reported}"
+            ));
+        }
+    }
+
+    fn str(&mut self, what: &str, recomputed: &str, reported: &str) {
+        self.checks += 1;
+        if recomputed != reported {
+            self.fail(format!(
+                "{what}: trace says '{recomputed}', report says '{reported}'"
+            ));
+        }
+    }
+
+    fn bool(&mut self, what: &str, recomputed: Option<bool>, reported: bool) {
+        self.checks += 1;
+        if recomputed != Some(reported) {
+            self.fail(format!(
+                "{what}: trace says {recomputed:?}, report says {reported}"
+            ));
+        }
+    }
+
+    #[allow(clippy::float_cmp)] // exact equality is the audit's point
+    fn f64(&mut self, what: &str, recomputed: f64, reported: f64) {
+        self.checks += 1;
+        let ok = match self.tolerance {
+            Some(t) => (recomputed - reported).abs() <= t,
+            None => recomputed == reported,
+        };
+        if !ok {
+            self.fail(format!(
+                "{what}: trace says {recomputed}, report says {reported}"
+            ));
+        }
+    }
+
+    fn finish(self, what: &str) -> Result<String, String> {
+        let mode = match self.tolerance {
+            Some(t) => format!("tolerance {t}"),
+            None => "exact".to_string(),
+        };
+        if self.failures.is_empty() {
+            Ok(format!(
+                "trace audit: {what} — {} checks, all match ({mode})\n",
+                self.checks
+            ))
+        } else {
+            Err(format!(
+                "trace audit FAILED ({what}, {mode}): {} of {} checks diverged:\n  {}",
+                self.failures.len(),
+                self.checks,
+                self.failures.join("\n  ")
+            ))
+        }
+    }
+}
+
+/// Serve-mode audit: replay the trace's request spans through
+/// [`crate::obs::analyze::recompute_serving`] and compare every counter,
+/// attainment and latency quantile against the report.
+fn audit_serve(trace: &str, report: &ServingReport, audit: &mut Audit) -> Result<(), String> {
+    use crate::obs::analyze;
+    let events = analyze::parse_trace(trace)?;
+    let rc = analyze::recompute_serving(&events)?;
+    for s in &report.services {
+        let id = u64::from(s.service_id);
+        let what = format!("service #{id}");
+        match rc.service(id) {
+            // A service with no spans at all must also have reported
+            // nothing; otherwise the trace is missing its traffic.
+            None => {
+                audit.u64(&format!("{what} offered"), 0, s.offered);
+                audit.u64(&format!("{what} completed"), 0, s.completed);
+            }
+            Some(r) => {
+                audit.u64(&format!("{what} offered"), r.offered, s.offered);
+                audit.u64(&format!("{what} completed"), r.completed, s.completed);
+                audit.u64(
+                    &format!("{what} within SLO"),
+                    r.completed_within_slo,
+                    s.completed_within_slo,
+                );
+                audit.f64(
+                    &format!("{what} attainment"),
+                    r.attainment(),
+                    s.request_compliance_rate(),
+                );
+                audit.f64(
+                    &format!("{what} p50 ms"),
+                    r.latency.quantile_ms(0.5),
+                    s.latency.quantile_ms(0.5),
+                );
+                audit.f64(
+                    &format!("{what} p99 ms"),
+                    r.latency.quantile_ms(0.99),
+                    s.latency.quantile_ms(0.99),
+                );
+            }
+        }
+    }
+    for id in rc.services.iter().map(|s| s.service_id) {
+        if !report
+            .services
+            .iter()
+            .any(|s| u64::from(s.service_id) == id)
+        {
+            audit.fail(format!(
+                "service #{id} appears in the trace but not in the report"
+            ));
+        }
+    }
+    for c in &report.classes {
+        let id = u64::from(c.service_id);
+        let cls = c.class as u64;
+        let what = format!("service #{id} class {cls}");
+        match rc.class(id, cls) {
+            None => audit.u64(&format!("{what} offered"), 0, c.offered),
+            Some(r) => {
+                audit.u64(&format!("{what} offered"), r.offered, c.offered);
+                audit.u64(&format!("{what} completed"), r.completed, c.completed);
+                audit.u64(
+                    &format!("{what} within SLO"),
+                    r.completed_within_slo,
+                    c.completed_within_slo,
+                );
+                audit.f64(
+                    &format!("{what} attainment"),
+                    r.attainment(),
+                    c.request_compliance_rate(),
+                );
+                audit.f64(
+                    &format!("{what} p99 ms"),
+                    r.latency.quantile_ms(0.99),
+                    c.latency.quantile_ms(0.99),
+                );
+            }
+        }
+    }
+    audit.f64(
+        "overall attainment",
+        rc.overall_attainment(),
+        report.overall_request_compliance_rate(),
+    );
+    Ok(())
+}
+
+/// Fleet-mode audit: the `kind: "fleet"` gauge rows must reproduce the
+/// report's per-event recovery accounting row for row.
+fn audit_fleet(
+    metrics: &str,
+    report: &crate::fleet::FleetReport,
+    audit: &mut Audit,
+) -> Result<(), String> {
+    use crate::obs::analyze;
+    let rows: Vec<_> = analyze::parse_metrics(metrics)?
+        .into_iter()
+        .filter(|r| r.kind() == "fleet")
+        .collect();
+    audit.u64(
+        "fleet gauge rows",
+        rows.len() as u64,
+        report.events.len() as u64 + 1,
+    );
+    let row_at = |interval: u64| rows.iter().find(|r| r.u64_of("interval") == Some(interval));
+    match row_at(0) {
+        None => audit.fail("no baseline (interval 0) fleet row".into()),
+        Some(row) => {
+            audit.str(
+                "baseline event",
+                row.str_of("event").unwrap_or(""),
+                "baseline",
+            );
+            audit.f64(
+                "baseline compliance",
+                row.f64_of("compliance_before").unwrap_or(f64::NAN),
+                report.baseline_compliance,
+            );
+            audit.f64(
+                "baseline $/h",
+                row.f64_of("usd_per_hour").unwrap_or(f64::NAN),
+                report.baseline_usd_per_hour,
+            );
+        }
+    }
+    for e in &report.events {
+        let what = format!("interval {}", e.interval);
+        let Some(row) = row_at(e.interval as u64) else {
+            audit.fail(format!("{what}: no fleet gauge row"));
+            continue;
+        };
+        audit.str(
+            &format!("{what} event"),
+            row.str_of("event").unwrap_or(""),
+            crate::fleet::event_label(&e.event),
+        );
+        for (field, reported) in [
+            ("compliance_before", e.compliance_before),
+            ("compliance_during", e.compliance_during),
+            ("compliance_shadowed", e.compliance_shadowed),
+            ("compliance_measured", e.compliance_measured),
+            ("compliance_after", e.compliance_after),
+            ("recovery_ms", e.simulated_recovery_ms),
+            ("precopied_gib", e.precopied_gib),
+            ("usd_per_hour", e.usd_per_hour),
+        ] {
+            audit.f64(
+                &format!("{what} {field}"),
+                row.f64_of(field).unwrap_or(f64::NAN),
+                reported,
+            );
+        }
+        audit.u64(
+            &format!("{what} migrated_segments"),
+            row.u64_of("migrated_segments").unwrap_or(u64::MAX),
+            e.migration.migrated_segments as u64,
+        );
+        audit.u64(
+            &format!("{what} nodes_in_service"),
+            row.u64_of("nodes_in_service").unwrap_or(u64::MAX),
+            e.nodes_in_service as u64,
+        );
+    }
+    Ok(())
+}
+
+/// Region-mode audit: the `kind: "federation"` rows must reproduce the
+/// per-interval aggregates and the `kind: "region"` rows every region's
+/// outcome, baseline included.
+fn audit_region(
+    metrics: &str,
+    report: &crate::region::FederationReport,
+    audit: &mut Audit,
+) -> Result<(), String> {
+    use crate::obs::analyze;
+    let all = analyze::parse_metrics(metrics)?;
+    let fed: Vec<_> = all.iter().filter(|r| r.kind() == "federation").collect();
+    let reg: Vec<_> = all.iter().filter(|r| r.kind() == "region").collect();
+    let outcomes: Vec<&crate::region::IntervalOutcome> = std::iter::once(&report.baseline)
+        .chain(report.intervals.iter())
+        .collect();
+    audit.u64(
+        "federation gauge rows",
+        fed.len() as u64,
+        outcomes.len() as u64,
+    );
+    audit.u64(
+        "region gauge rows",
+        reg.len() as u64,
+        outcomes.iter().map(|o| o.regions.len() as u64).sum(),
+    );
+    for o in outcomes {
+        let what = format!("interval {}", o.interval);
+        let Some(row) = fed
+            .iter()
+            .find(|r| r.u64_of("interval") == Some(o.interval as u64))
+        else {
+            audit.fail(format!("{what}: no federation gauge row"));
+            continue;
+        };
+        audit.str(
+            &format!("{what} event"),
+            row.str_of("event").unwrap_or(""),
+            &o.event.to_string(),
+        );
+        for (field, reported) in [
+            ("global_compliance", o.global_compliance),
+            ("spilled_rps", o.spilled_rps),
+            ("unrouted_rps", o.unrouted_rps),
+            ("usd_per_hour", o.usd_per_hour),
+        ] {
+            audit.f64(
+                &format!("{what} {field}"),
+                row.f64_of(field).unwrap_or(f64::NAN),
+                reported,
+            );
+        }
+        audit.u64(
+            &format!("{what} forced_failovers"),
+            row.u64_of("forced_failovers").unwrap_or(u64::MAX),
+            o.forced_failovers.len() as u64,
+        );
+        for r in &o.regions {
+            let what = format!("interval {} region {}", o.interval, r.name);
+            let Some(row) = reg.iter().find(|g| {
+                g.u64_of("interval") == Some(o.interval as u64)
+                    && g.str_of("region") == Some(r.name.as_str())
+            }) else {
+                audit.fail(format!("{what}: no region gauge row"));
+                continue;
+            };
+            audit.bool(&format!("{what} active"), row.bool_of("active"), r.active);
+            for (field, reported) in [
+                ("offered_rps", r.offered_rps),
+                ("routed_in_rps", r.routed_in_rps),
+                ("spill_in_rps", r.spill_in_rps),
+                ("spill_out_rps", r.spill_out_rps),
+                ("compliance", r.compliance),
+                ("local_p99_ms", r.local_p99_ms),
+                ("recovery_latency_ms", r.recovery_latency_ms),
+                ("usd_per_hour", r.usd_per_hour),
+            ] {
+                audit.f64(
+                    &format!("{what} {field}"),
+                    row.f64_of(field).unwrap_or(f64::NAN),
+                    reported,
+                );
+            }
+            audit.u64(
+                &format!("{what} migrated_segments"),
+                row.u64_of("migrated_segments").unwrap_or(u64::MAX),
+                r.migrated_segments as u64,
+            );
+            audit.u64(
+                &format!("{what} nodes_in_service"),
+                row.u64_of("nodes_in_service").unwrap_or(u64::MAX),
+                r.nodes_in_service as u64,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `parvactl trace audit`: replay a run's trace/metrics stream and
+/// independently recompute the accounting its JSON report claims —
+/// serve-mode SLO attainment and latency quantiles from raw request
+/// spans, fleet/region recovery rows from the gauge stream. Returns the
+/// check summary on agreement; any divergence is an `Err` (nonzero exit
+/// in the binary), making the observability pipeline self-auditing: a
+/// report can't drift from what its own trace records.
+///
+/// `trace_path` may be a streamed shard directory (metrics lane included
+/// automatically) or an exported trace file; `metrics_path` supplies the
+/// gauge rows for fleet/region audits when the input is a plain file.
+/// `tolerance` relaxes float comparisons from exact to `|a−b| ≤ tol`.
+///
+/// # Errors
+/// Unreadable inputs, unparseable trace/report, or any audit divergence.
+pub fn run_trace_audit(
+    trace_path: &str,
+    report_path: &str,
+    metrics_path: Option<&str>,
+    tolerance: Option<f64>,
+) -> Result<String, String> {
+    let (trace_text, dir_metrics) = load_trace_input(trace_path)?;
+    let metrics_text = match metrics_path {
+        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?),
+        None => dir_metrics,
+    };
+    let report_text = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read {report_path}: {e}"))?;
+    let need_metrics = || {
+        metrics_text.as_deref().ok_or(
+            "this audit recounts gauge rows: pass a shard directory or --metrics FILE".to_string(),
+        )
+    };
+    let mut audit = Audit::new(tolerance);
+    let what = match parse_report(&report_text)? {
+        crate::scenarios::ScenarioReport::Serve(r) => {
+            audit_serve(&trace_text, &r, &mut audit)?;
+            "serve"
+        }
+        crate::scenarios::ScenarioReport::Fleet(r) => {
+            audit_fleet(need_metrics()?, &r, &mut audit)?;
+            "fleet"
+        }
+        crate::scenarios::ScenarioReport::Region(r) => {
+            audit_region(need_metrics()?, &r, &mut audit)?;
+            "region"
+        }
+    };
+    audit.finish(what)
+}
+
+/// `parvactl trace summary`: per-phase span breakdown (count, total and
+/// max duration per `(cat, name)`), instant counts, and the top-k
+/// slowest requests; serve traces get their recomputed overall SLO
+/// attainment appended.
+///
+/// # Errors
+/// Unreadable or unparseable trace input.
+pub fn run_trace_summary(trace_path: &str, top_k: usize) -> Result<String, String> {
+    use crate::obs::analyze;
+    let (text, _) = load_trace_input(trace_path)?;
+    let events = analyze::parse_trace(&text)?;
+    let mut out = analyze::summarize(&events, top_k).render();
+    if let Ok(rc) = analyze::recompute_serving(&events) {
+        out.push_str(&format!(
+            "recomputed SLO attainment over [{} µs, {} µs): {:.4}\n",
+            rc.window_start_us,
+            rc.window_end_us,
+            rc.overall_attainment()
+        ));
+    }
+    Ok(out)
+}
+
+/// `parvactl trace diff`: span-population and attainment deltas between
+/// two runs' traces (files or shard directories).
+///
+/// # Errors
+/// Unreadable or unparseable trace input.
+pub fn run_trace_diff(path_a: &str, path_b: &str) -> Result<String, String> {
+    use crate::obs::analyze;
+    let (text_a, _) = load_trace_input(path_a)?;
+    let (text_b, _) = load_trace_input(path_b)?;
+    let a = analyze::parse_trace(&text_a)?;
+    let b = analyze::parse_trace(&text_b)?;
+    Ok(analyze::diff(&a, &b).render())
+}
+
+/// `parvactl trace tail`: follow a live shard directory, emitting each
+/// complete new line (trace events or gauge rows) as the producer
+/// retires it, across shard rotations and retention deletions. Returns
+/// when the stream is finalized (`stream.done`) and drained, or after
+/// `max_polls` polls. Lines go through `emit` so the binary can stream
+/// them to stdout while tests collect them.
+///
+/// # Errors
+/// Shard-directory read failures.
+pub fn run_trace_tail(
+    dir: &str,
+    lane: &str,
+    poll_ms: u64,
+    max_polls: Option<u64>,
+    emit: &mut dyn FnMut(&str),
+) -> Result<(), String> {
+    let mut follower = crate::obs::TailFollower::new(dir, lane);
+    let mut polls: u64 = 0;
+    loop {
+        // Check `done` *before* polling: lines appended between the poll
+        // and the marker check would otherwise be droppable.
+        let finished = follower.done();
+        let lines = follower
+            .poll()
+            .map_err(|e| format!("cannot tail {dir}: {e}"))?;
+        for line in &lines {
+            emit(line);
+        }
+        if finished && lines.is_empty() {
+            return Ok(());
+        }
+        polls += 1;
+        if max_polls.is_some_and(|max| polls >= max) {
+            return Ok(());
+        }
+        if lines.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        }
+    }
 }
 
 /// `parvactl scenarios`: render Table IV.
@@ -795,6 +1348,7 @@ mod tests {
             trace: Some(path("trace.json")),
             metrics: Some(path("metrics.csv")),
             profile: Some(path("profile.json")),
+            stream: None,
         };
         let a = run_spec_with("fleet_chaos", true, true, &obs).unwrap();
         let trace1 = std::fs::read_to_string(dir.join("trace.json")).unwrap();
@@ -807,7 +1361,10 @@ mod tests {
         assert_eq!(metrics1, metrics2);
         assert_eq!(a.stdout, b.stdout);
         assert!(trace1.contains("\"traceEvents\""));
-        assert!(metrics1.starts_with("kind,"), "{metrics1}");
+        // Rows lead with the stable run id (`name@seed`) so concatenated
+        // multi-run exports stay attributable.
+        assert!(metrics1.starts_with("run,kind,"), "{metrics1}");
+        assert!(metrics1.contains("fleet_chaos@"), "{metrics1}");
         let profile = std::fs::read_to_string(dir.join("profile.json")).unwrap();
         assert!(profile.contains("\"deterministic\":false"), "{profile}");
         // Observation is behavior-neutral: same stdout as an unobserved run.
@@ -821,8 +1378,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let obs = ObsPaths {
             trace: Some(dir.join("t.json").to_string_lossy().into_owned()),
-            metrics: None,
-            profile: None,
+            ..ObsPaths::default()
         };
         let out = run_spec_with("quickstart", true, true, &obs).unwrap();
         // stdout is exactly one JSON document; narration lives on stderr.
@@ -844,6 +1400,91 @@ mod tests {
             ..ObsPaths::default()
         }
         .any());
+    }
+
+    #[test]
+    fn streamed_run_audits_summarizes_and_tails() {
+        let dir = std::env::temp_dir().join("parva-cli-stream-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let shard_dir = dir.join("shards").to_string_lossy().into_owned();
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = ObsPaths {
+            stream: Some(shard_dir.clone()),
+            ..ObsPaths::default()
+        };
+        let out = run_spec_with("quickstart", true, true, &obs).unwrap();
+        assert!(out.stderr.contains("streamed"), "{}", out.stderr);
+        let report_path = dir.join("report.json").to_string_lossy().into_owned();
+        std::fs::write(&report_path, &out.stdout).unwrap();
+
+        // The audit recomputes the report from the shards and agrees.
+        let msg = run_trace_audit(&shard_dir, &report_path, None, None).unwrap();
+        assert!(msg.contains("all match"), "{msg}");
+        assert!(msg.contains("serve"), "{msg}");
+
+        // A doctored report diverges: inflate a counter and re-audit.
+        let doctored = out.stdout.replacen("\"offered\":", "\"offered\":9", 1);
+        assert_ne!(doctored, out.stdout, "replacen must hit an offered field");
+        let bad_path = dir.join("doctored.json").to_string_lossy().into_owned();
+        std::fs::write(&bad_path, &doctored).unwrap();
+        let err = run_trace_audit(&shard_dir, &bad_path, None, None).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+
+        // Summary renders span stats and the recomputed attainment.
+        let summary = run_trace_summary(&shard_dir, 3).unwrap();
+        assert!(summary.contains("request"), "{summary}");
+        assert!(summary.contains("recomputed SLO attainment"), "{summary}");
+
+        // Self-diff shows identical populations.
+        let diff = run_trace_diff(&shard_dir, &shard_dir).unwrap();
+        assert!(diff.contains("request"), "{diff}");
+
+        // Tailing the finalized directory drains exactly the trace lane.
+        let mut lines = Vec::new();
+        run_trace_tail(&shard_dir, "trace", 1, None, &mut |l| {
+            lines.push(l.to_string());
+        })
+        .unwrap();
+        let concat =
+            crate::obs::read_concat_shards(std::path::Path::new(&shard_dir), "trace").unwrap();
+        assert_eq!(lines.len(), concat.lines().count());
+        assert!(!lines.is_empty());
+    }
+
+    #[test]
+    fn streamed_fleet_run_audit_checks_gauge_rows() {
+        let dir = std::env::temp_dir().join("parva-cli-stream-fleet-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let shard_dir = dir.join("shards").to_string_lossy().into_owned();
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = ObsPaths {
+            stream: Some(shard_dir.clone()),
+            ..ObsPaths::default()
+        };
+        let out = run_spec_with("fleet_chaos", true, true, &obs).unwrap();
+        let report_path = dir.join("report.json").to_string_lossy().into_owned();
+        std::fs::write(&report_path, &out.stdout).unwrap();
+        let msg = run_trace_audit(&shard_dir, &report_path, None, None).unwrap();
+        assert!(msg.contains("all match"), "{msg}");
+        assert!(msg.contains("fleet"), "{msg}");
+        // Without gauge rows (trace file alone) the fleet audit refuses.
+        let trace_only = dir.join("trace.jsonl").to_string_lossy().into_owned();
+        let text =
+            crate::obs::read_concat_shards(std::path::Path::new(&shard_dir), "trace").unwrap();
+        std::fs::write(&trace_only, text).unwrap();
+        let err = run_trace_audit(&trace_only, &report_path, None, None).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+    }
+
+    #[test]
+    fn stream_is_exclusive_with_batch_artifacts() {
+        let obs = ObsPaths {
+            trace: Some("t.json".into()),
+            stream: Some("shards".into()),
+            ..ObsPaths::default()
+        };
+        let err = run_spec_with("quickstart", true, true, &obs).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub use parva_scenarios::*;
 pub use registry::{builtin_specs, spec_by_name, spec_names};
 pub use spec::{
     ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ObservabilitySpec,
-    ScenarioReport, ScenarioSpec, ServiceEntry, Window, Workload,
+    ScenarioReport, ScenarioSpec, ServiceEntry, StreamingSpec, Window, Workload,
 };

@@ -15,7 +15,7 @@
 
 use crate::prelude::*;
 use parva_fleet::FleetReport;
-use parva_obs::Recorder;
+use parva_obs::{NullSink, Recorder, StreamConfig, StreamSink, StreamStats};
 use parva_region::{EvacuationDrill, FederationReport, RttMatrix};
 use parva_serve::RecoverySpec;
 use serde::{Deserialize, Serialize};
@@ -229,18 +229,67 @@ pub struct ObservabilitySpec {
     /// sampler (trace spans are unaffected).
     #[serde(default = "default_sample_every_ms")]
     pub sample_every_ms: u64,
+    /// Shard rotation/retention of *streamed* runs
+    /// ([`ScenarioSpec::run_streamed`], `parvactl run --stream`).
+    /// Batch-observed and unobserved runs ignore the block.
+    #[serde(default)]
+    pub streaming: StreamingSpec,
 }
 
 impl Default for ObservabilitySpec {
     fn default() -> Self {
         Self {
             sample_every_ms: default_sample_every_ms(),
+            streaming: StreamingSpec::default(),
         }
     }
 }
 
 fn default_sample_every_ms() -> u64 {
     100
+}
+
+/// The streaming block of an [`ObservabilitySpec`]: how a streamed run's
+/// [`StreamSink`] rotates and retains its shard files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamingSpec {
+    /// Lines per shard before rotation (0 = never rotate by count).
+    #[serde(default = "default_shard_max_events")]
+    pub shard_max_events: usize,
+    /// Trace-lane sim-age per shard in simulation milliseconds (0 =
+    /// never rotate by age).
+    #[serde(default)]
+    pub rotate_ms: u64,
+    /// Newest shards kept per lane; 0 retains everything. Retention
+    /// trades the shards-equal-batch-export guarantee for bounded disk.
+    #[serde(default)]
+    pub retain_shards: usize,
+}
+
+impl Default for StreamingSpec {
+    fn default() -> Self {
+        Self {
+            shard_max_events: default_shard_max_events(),
+            rotate_ms: 0,
+            retain_shards: 0,
+        }
+    }
+}
+
+fn default_shard_max_events() -> usize {
+    4096
+}
+
+impl StreamingSpec {
+    /// The sink-level [`StreamConfig`] this block describes.
+    #[must_use]
+    pub fn to_config(self) -> StreamConfig {
+        StreamConfig {
+            shard_max_events: self.shard_max_events,
+            rotate_us: self.rotate_ms.saturating_mul(1_000),
+            retain_shards: self.retain_shards,
+        }
+    }
 }
 
 /// Which engine a scenario exercises, with that engine's axes.
@@ -525,7 +574,16 @@ impl ScenarioSpec {
     /// Validation failures, scheduling failures, and fleet/region
     /// exhaustion, as display strings.
     pub fn run(&self) -> Result<ScenarioReport, String> {
-        self.dispatch(None)
+        self.dispatch_sink(&mut NullSink, false)
+            .map(|(report, _)| report)
+    }
+
+    /// The stable run identifier stamped onto the gauge rows of observed
+    /// and streamed runs (`name@seed`), keeping concatenated multi-run
+    /// metrics streams attributable.
+    #[must_use]
+    pub fn run_id(&self) -> String {
+        format!("{}@{}", self.name, self.seed)
     }
 
     /// Run the scenario under a recording observer: the identical report
@@ -539,12 +597,53 @@ impl ScenarioSpec {
     /// # Errors
     /// Same failures as [`ScenarioSpec::run`].
     pub fn run_observed(&self) -> Result<(ScenarioReport, Recorder), String> {
-        let mut rec = Recorder::new(self.observability.sample_every_ms.saturating_mul(1_000));
-        let report = self.dispatch(Some(&mut rec))?;
+        let mut rec = Recorder::new(self.observability.sample_every_ms.saturating_mul(1_000))
+            .with_run_id(self.run_id());
+        let (report, profile) = self.dispatch_sink(&mut rec, true)?;
+        if let Some(p) = profile {
+            rec.profile.absorb(&p);
+        }
         Ok((report, rec))
     }
 
-    fn dispatch(&self, rec: Option<&mut Recorder>) -> Result<ScenarioReport, String> {
+    /// Run the scenario with a streaming observer: spans and gauge rows
+    /// are rendered to their canonical JSON lines as they land and
+    /// retired to rotating shard files under `dir` (see
+    /// [`StreamSink`]), per the spec's [`StreamingSpec`] policy. The
+    /// report is identical to [`ScenarioSpec::run`]; with retention off,
+    /// the concatenated shards are byte-equivalent to the batch
+    /// [`Recorder`] export of the same spec.
+    ///
+    /// # Errors
+    /// Validation/engine failures plus shard-directory I/O failures.
+    pub fn run_streamed(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(ScenarioReport, StreamStats), String> {
+        let mut sink = StreamSink::create(
+            dir,
+            self.observability.sample_every_ms.saturating_mul(1_000),
+            self.observability.streaming.to_config(),
+        )
+        .map_err(|e| format!("cannot open stream directory: {e}"))?
+        .with_run_id(self.run_id());
+        let (report, _) = self.dispatch_sink(&mut sink, false)?;
+        let stats = sink.finish()?;
+        Ok((report, stats))
+    }
+
+    /// Run the scenario under an arbitrary [`TraceSink`] — the one
+    /// engine behind [`run`](Self::run) (null sink),
+    /// [`run_observed`](Self::run_observed) (recorder) and
+    /// [`run_streamed`](Self::run_streamed) (stream sink). Fleet and
+    /// region modes return their orchestrator self-profile when
+    /// `profile` is set; serve mode has none (its spans live in the
+    /// trace itself).
+    fn dispatch_sink<S: TraceSink>(
+        &self,
+        sink: &mut S,
+        profile: bool,
+    ) -> Result<(ScenarioReport, Option<SelfProfiler>), String> {
         self.validate()?;
         let services = self.workload.services()?;
         let serving = self.serving_config();
@@ -594,11 +693,8 @@ impl ScenarioSpec {
                     .ingress(&classes)
                     .recovery_opt(recovery.as_ref())
                     .config(&serving);
-                let report = match rec {
-                    Some(r) => sim.run_with(r),
-                    None => sim.run(),
-                };
-                Ok(ScenarioReport::Serve(report))
+                let report = sim.run_with(sink);
+                Ok((ScenarioReport::Serve(report), None))
             }
             Mode::Fleet {
                 fleet,
@@ -614,14 +710,16 @@ impl ScenarioSpec {
                     ..FleetConfig::default()
                 };
                 let fleet_spec = fleet.resolve();
-                let report = match rec {
-                    Some(r) => {
-                        parva_fleet::run_chaos_observed(&book, &services, &fleet_spec, &config, r)
-                    }
-                    None => parva_fleet::run_chaos(&book, &services, &fleet_spec, &config),
-                }
+                let (report, prof) = parva_fleet::run_chaos_sink(
+                    &book,
+                    &services,
+                    &fleet_spec,
+                    &config,
+                    sink,
+                    profile,
+                )
                 .map_err(|e| e.to_string())?;
-                Ok(ScenarioReport::Fleet(report))
+                Ok((ScenarioReport::Fleet(report), profile.then_some(prof)))
             }
             Mode::Region {
                 federation,
@@ -643,14 +741,11 @@ impl ScenarioSpec {
                     config.hours_per_interval = d.hours_per_interval;
                 }
                 let topology = federation.resolve();
-                let report = match rec {
-                    Some(r) => parva_region::run_federation_observed(
-                        &book, &services, &topology, &config, r,
-                    ),
-                    None => parva_region::run_federation(&book, &services, &topology, &config),
-                }
+                let (report, prof) = parva_region::run_federation_sink(
+                    &book, &services, &topology, &config, sink, profile,
+                )
                 .map_err(|e| e.to_string())?;
-                Ok(ScenarioReport::Region(report))
+                Ok((ScenarioReport::Region(report), profile.then_some(prof)))
             }
         }
     }

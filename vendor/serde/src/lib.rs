@@ -99,6 +99,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// A [`Value`] is its own tree: the identity impls let generic JSON code
+// (e.g. trace analyzers reading arbitrary `args` payloads) parse into and
+// emit from the self-describing form directly.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ------------------------------------------------------------- Serialize
 
 macro_rules! ser_int {
@@ -332,5 +347,15 @@ mod tests {
     fn mismatch_errors() {
         assert!(u32::from_value(&Value::Str("x".into())).is_err());
         assert!(bool::from_value(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn value_identity_roundtrip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v).unwrap(), v);
     }
 }
