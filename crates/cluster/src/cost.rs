@@ -46,6 +46,25 @@ impl PricingPlan {
     pub fn node_usd_per_hour_in_region(self, node: NodeType, region_multiplier: f64) -> f64 {
         self.node_usd_per_hour(node) * region_multiplier
     }
+
+    /// Like [`Self::node_usd_per_hour_in_region`], but with an optional
+    /// spot-market discount override: when this plan is [`Self::Spot`] and
+    /// a valid override is given, it replaces the built-in 0.35 multiplier
+    /// (spec-driven spot markets). Other plans ignore the override.
+    #[must_use]
+    pub fn node_usd_per_hour_in_region_with(
+        self,
+        node: NodeType,
+        region_multiplier: f64,
+        spot_discount: Option<f64>,
+    ) -> f64 {
+        match (self, spot_discount) {
+            (Self::Spot, Some(d)) if d > 0.0 && d.is_finite() => {
+                node.on_demand_usd_per_hour * d * region_multiplier
+            }
+            _ => self.node_usd_per_hour_in_region(node, region_multiplier),
+        }
+    }
 }
 
 /// The dollar view of one scheduler's deployment.
@@ -157,6 +176,26 @@ mod tests {
         let od = CostReport::from_plan("x", &plan(1, 8), PricingPlan::OnDemand);
         let r3 = CostReport::from_plan("x", &plan(1, 8), PricingPlan::Reserved3Yr);
         assert!((r3.usd_per_hour / od.usd_per_hour - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spot_discount_override_only_touches_spot() {
+        let node = NodeType::P4DE_24XLARGE;
+        let discounted = PricingPlan::Spot.node_usd_per_hour_in_region_with(node, 1.0, Some(0.22));
+        assert!((discounted / node.on_demand_usd_per_hour - 0.22).abs() < 1e-12);
+        // Non-spot plans and invalid overrides fall back to the builtin.
+        assert_eq!(
+            PricingPlan::OnDemand.node_usd_per_hour_in_region_with(node, 1.1, Some(0.22)),
+            PricingPlan::OnDemand.node_usd_per_hour_in_region(node, 1.1)
+        );
+        assert_eq!(
+            PricingPlan::Spot.node_usd_per_hour_in_region_with(node, 1.0, Some(0.0)),
+            PricingPlan::Spot.node_usd_per_hour(node)
+        );
+        assert_eq!(
+            PricingPlan::Spot.node_usd_per_hour_in_region_with(node, 1.0, None),
+            PricingPlan::Spot.node_usd_per_hour(node)
+        );
     }
 
     #[test]

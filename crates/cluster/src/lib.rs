@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod billing;
 pub mod cost;
 pub mod node;
 pub mod pack;
 
+pub use billing::{BillingReport, BillingRow};
 pub use cost::{CostReport, PricingPlan};
 pub use node::NodeType;
 pub use pack::{pack, NodePlan, PackedNode, VCPUS_PER_PROCESS};

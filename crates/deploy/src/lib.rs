@@ -4,6 +4,8 @@
 //!
 //! * [`ServiceSpec`] / [`Slo`] — a registered inference service: model,
 //!   request rate and SLO latency (the client input of paper Fig. 2).
+//! * [`Tenant`] / [`SloClass`] — the multi-tenant identity a service binds
+//!   to: admission quota, fair-share weight and billing rate.
 //! * [`Segment`] — "an MPS-activated MIG instance" (paper §I): a service's
 //!   operating triplet plus its predicted throughput and latency.
 //! * [`MigDeployment`] — segments placed on MIG-partitioned GPUs (ParvaGPU,
@@ -23,6 +25,7 @@ pub mod mps_deployment;
 pub mod scheduler;
 pub mod segment;
 pub mod service;
+pub mod tenant;
 
 pub use capability::{Capabilities, OverheadClass, SpatialScheduling};
 pub use error::ScheduleError;
@@ -31,3 +34,4 @@ pub use mps_deployment::{MpsDeployment, MpsGpu, MpsPartition};
 pub use scheduler::{Deployment, Scheduler};
 pub use segment::Segment;
 pub use service::{ServiceSpec, Slo};
+pub use tenant::{tenant_of, SloClass, Tenant};

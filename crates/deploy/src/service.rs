@@ -1,7 +1,7 @@
 //! Service specifications: what a client registers with the system.
 
 use parva_perf::Model;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// A service-level objective on inference latency.
 ///
@@ -32,7 +32,7 @@ impl Slo {
 
 /// A registered DNN inference service (paper Table II: `id`, `lat`,
 /// `req_rate`; the algorithm-output fields live in `parva-core::Service`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
 pub struct ServiceSpec {
     /// Service identification number.
     pub id: u32,
@@ -42,6 +42,30 @@ pub struct ServiceSpec {
     pub request_rate_rps: f64,
     /// The client-facing SLO.
     pub slo: Slo,
+    /// Owning tenant id; `0` (the default) means untenanted. See
+    /// [`crate::Tenant`].
+    #[serde(default)]
+    pub tenant: u32,
+}
+
+// Hand-written so untenanted specs serialize exactly as they did before the
+// tenant field existed: `tenant` is emitted only when non-zero.
+impl Serialize for ServiceSpec {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("id"), self.id.to_value()),
+            (String::from("model"), self.model.to_value()),
+            (
+                String::from("request_rate_rps"),
+                self.request_rate_rps.to_value(),
+            ),
+            (String::from("slo"), self.slo.to_value()),
+        ];
+        if self.tenant != 0 {
+            map.push((String::from("tenant"), self.tenant.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl ServiceSpec {
@@ -53,7 +77,15 @@ impl ServiceSpec {
             model,
             request_rate_rps,
             slo: Slo::from_latency_ms(slo_latency_ms),
+            tenant: 0,
         }
+    }
+
+    /// Builder: bind this service to a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// A throughput-only service: no meaningful latency bound, just a rate
@@ -113,6 +145,25 @@ mod tests {
         assert!(!ServiceSpec::new(0, Model::Vgg16, 10.0, 0.0).is_valid());
         assert!(!ServiceSpec::new(0, Model::Vgg16, f64::NAN, 100.0).is_valid());
         assert!(!ServiceSpec::new(0, Model::Vgg16, 10.0, f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn untenanted_spec_serializes_without_tenant_field() {
+        let s = ServiceSpec::new(3, Model::ResNet50, 829.0, 205.0);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("tenant"), "{json}");
+        let back: ServiceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.tenant, 0);
+    }
+
+    #[test]
+    fn tenant_binding_round_trips() {
+        let s = ServiceSpec::new(3, Model::ResNet50, 829.0, 205.0).with_tenant(7);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"tenant\":7"), "{json}");
+        let back: ServiceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

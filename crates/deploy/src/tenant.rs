@@ -1,0 +1,205 @@
+//! Tenant identity: the unit of multi-tenant accounting across all layers.
+//!
+//! ParvaGPU plans spatial GPU sharing per *service*; a cloud operator runs
+//! that planner for many *tenants* on one fleet. A [`Tenant`] carries the
+//! operator-facing contract — SLO class, admission quota, fair-share weight
+//! and billing rate — and services bind to it via
+//! [`ServiceSpec::tenant`](crate::ServiceSpec). Tenant id `0` is reserved
+//! for "untenanted": every legacy single-tenant code path treats it as the
+//! absence of a binding, which keeps all pre-tenant reports byte-identical.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse service tier a tenant purchases. Only used for reporting and
+/// operator-facing grouping; the per-service [`Slo`](crate::Slo) remains the
+/// enforcement boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Latency-sensitive, user-facing traffic.
+    Interactive,
+    /// Default tier.
+    #[default]
+    Standard,
+    /// Throughput-oriented, deadline-tolerant work.
+    Batch,
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Interactive => write!(f, "interactive"),
+            Self::Standard => write!(f, "standard"),
+            Self::Batch => write!(f, "batch"),
+        }
+    }
+}
+
+/// A tenant: the billing / isolation identity that owns one or more
+/// services.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Tenant identification number. `0` is reserved for "untenanted".
+    pub id: u32,
+    /// Human-readable name used in reports and gauge rows.
+    #[serde(default)]
+    pub name: String,
+    /// Purchased service tier.
+    #[serde(default)]
+    pub slo_class: SloClass,
+    /// Admission quota in requests per second across all of the tenant's
+    /// services. `0` (or negative) means unlimited: no quota is enforced.
+    #[serde(default)]
+    pub quota_rps: f64,
+    /// Fair-share weight used by the region router's weighted-fair spill.
+    /// Non-positive values are treated as weight `1.0`.
+    #[serde(default)]
+    pub weight: f64,
+    /// Billing rate: USD earned per 1000 requests completed within SLO.
+    #[serde(default)]
+    pub usd_per_1k_requests: f64,
+}
+
+impl Tenant {
+    /// Create a tenant with the default contract (unlimited quota,
+    /// weight 1, zero billing rate).
+    #[must_use]
+    pub fn new(id: u32, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            slo_class: SloClass::default(),
+            quota_rps: 0.0,
+            weight: 1.0,
+            usd_per_1k_requests: 0.0,
+        }
+    }
+
+    /// Builder: set the admission quota (requests per second).
+    #[must_use]
+    pub fn with_quota_rps(mut self, quota_rps: f64) -> Self {
+        self.quota_rps = quota_rps;
+        self
+    }
+
+    /// Builder: set the fair-share weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builder: set the billing rate (USD per 1000 in-SLO requests).
+    #[must_use]
+    pub fn with_rate_usd_per_1k(mut self, usd: f64) -> Self {
+        self.usd_per_1k_requests = usd;
+        self
+    }
+
+    /// Builder: set the SLO class.
+    #[must_use]
+    pub fn with_slo_class(mut self, slo_class: SloClass) -> Self {
+        self.slo_class = slo_class;
+        self
+    }
+
+    /// Is an admission quota configured?
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.quota_rps > 0.0 && self.quota_rps.is_finite()
+    }
+
+    /// The fair-share weight with non-positive values mapped to `1.0`.
+    #[must_use]
+    pub fn effective_weight(&self) -> f64 {
+        if self.weight > 0.0 && self.weight.is_finite() {
+            self.weight
+        } else {
+            1.0
+        }
+    }
+
+    /// Validity: non-zero id, finite non-negative economics.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.id != 0
+            && self.quota_rps.is_finite()
+            && self.quota_rps >= 0.0
+            && self.weight.is_finite()
+            && self.usd_per_1k_requests.is_finite()
+            && self.usd_per_1k_requests >= 0.0
+    }
+}
+
+/// Look up a tenant by id in a slice.
+#[must_use]
+pub fn tenant_of(tenants: &[Tenant], id: u32) -> Option<&Tenant> {
+    tenants.iter().find(|t| t.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_defaults() {
+        let t = Tenant::new(1, "acme")
+            .with_quota_rps(500.0)
+            .with_weight(2.0)
+            .with_rate_usd_per_1k(0.8)
+            .with_slo_class(SloClass::Interactive);
+        assert!(t.is_valid());
+        assert!(t.is_limited());
+        assert_eq!(t.effective_weight(), 2.0);
+        assert_eq!(t.slo_class.to_string(), "interactive");
+    }
+
+    #[test]
+    fn zero_quota_means_unlimited() {
+        let t = Tenant::new(7, "free");
+        assert!(!t.is_limited());
+        assert!(t.is_valid());
+    }
+
+    #[test]
+    fn nonpositive_weight_maps_to_one() {
+        assert_eq!(Tenant::new(1, "a").with_weight(0.0).effective_weight(), 1.0);
+        assert_eq!(
+            Tenant::new(1, "a").with_weight(-3.0).effective_weight(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn id_zero_is_invalid() {
+        assert!(!Tenant::new(0, "reserved").is_valid());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tenant::new(3, "bursty")
+            .with_quota_rps(120.0)
+            .with_weight(0.5)
+            .with_rate_usd_per_1k(1.2)
+            .with_slo_class(SloClass::Batch);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tenant = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sparse_json_uses_defaults() {
+        let t: Tenant = serde_json::from_str(r#"{"id": 4}"#).unwrap();
+        assert_eq!(t.id, 4);
+        assert_eq!(t.name, "");
+        assert_eq!(t.slo_class, SloClass::Standard);
+        assert!(!t.is_limited());
+        assert_eq!(t.effective_weight(), 1.0);
+    }
+
+    #[test]
+    fn lookup() {
+        let ts = vec![Tenant::new(1, "a"), Tenant::new(2, "b")];
+        assert_eq!(tenant_of(&ts, 2).unwrap().name, "b");
+        assert!(tenant_of(&ts, 9).is_none());
+    }
+}

@@ -61,12 +61,80 @@ impl std::fmt::Display for FleetEvent {
     }
 }
 
+/// The event-mix contract of one chaos stream: cumulative probability
+/// thresholds over a single uniform roll, plus the warned fraction of spot
+/// reclaims. [`ChaosProfile::default`] stores the historical mix as *exact
+/// literals* (`0.30 / 0.55 / 0.75 / 0.95`, warning `0.5`) so the default
+/// path replays pre-profile event streams bit-identically — recomputing
+/// `0.30 + 0.25` in f64 would land on `0.55000000000000004` and shift any
+/// roll in between.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// Rolls below this fail a node.
+    pub fail_to: f64,
+    /// Rolls in `[fail_to, preempt_to)` reclaim a spot node.
+    pub preempt_to: f64,
+    /// Rolls in `[preempt_to, scale_to)` grant a scale-up.
+    pub scale_to: f64,
+    /// Rolls in `[scale_to, shift_to)` shift the offered load; above is
+    /// quiet.
+    pub shift_to: f64,
+    /// Fraction of spot reclaims that arrive with the two-minute warning
+    /// intact (most real notices do); the rest hit cold.
+    pub warning_frac: f64,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        Self {
+            fail_to: 0.30,
+            preempt_to: 0.55,
+            scale_to: 0.75,
+            shift_to: 0.95,
+            warning_frac: 0.5,
+        }
+    }
+}
+
+impl ChaosProfile {
+    /// A profile whose spot-preemption band is scaled by `intensity`
+    /// (1.0 = the default 0.25-wide band): the scale-up and load-shift
+    /// bands keep their widths by sliding, and the quiet band absorbs the
+    /// difference. `intensity` is clamped so every threshold stays in
+    /// `[fail_to, 1.0]`. Exactly `1.0` returns [`ChaosProfile::default`]
+    /// so spec-driven runs at the default intensity stay bit-identical to
+    /// unconfigured ones.
+    #[must_use]
+    pub fn with_preemption_intensity(intensity: f64) -> Self {
+        if intensity == 1.0 || !intensity.is_finite() {
+            return Self::default();
+        }
+        let width = (0.25 * intensity.max(0.0)).min(0.70);
+        let preempt_to = 0.30 + width;
+        Self {
+            fail_to: 0.30,
+            preempt_to,
+            scale_to: (preempt_to + 0.20).min(1.0),
+            shift_to: (preempt_to + 0.40).min(1.0),
+            warning_frac: 0.5,
+        }
+    }
+}
+
 /// Draw the next event for the current fleet state. Deterministic given the
 /// stream state; events that need a victim fall back to [`FleetEvent::Quiet`]
 /// when no candidate exists (e.g. preempting with no spot nodes left).
+/// Equivalent to [`next_event_with`] under [`ChaosProfile::default`].
 pub fn next_event(rng: &mut RngStream, fleet: &Fleet) -> FleetEvent {
+    next_event_with(rng, fleet, &ChaosProfile::default())
+}
+
+/// Draw the next event under an explicit [`ChaosProfile`]. The RNG
+/// consumption pattern per event kind is identical across profiles, so two
+/// profiles only diverge where a roll crosses a moved threshold.
+pub fn next_event_with(rng: &mut RngStream, fleet: &Fleet, profile: &ChaosProfile) -> FleetEvent {
     let roll = rng.uniform();
-    if roll < 0.30 {
+    if roll < profile.fail_to {
         // Fail any alive node — spot or not — but never the last one.
         let alive = fleet.alive_nodes();
         if alive.len() <= 1 {
@@ -75,23 +143,21 @@ pub fn next_event(rng: &mut RngStream, fleet: &Fleet) -> FleetEvent {
         FleetEvent::NodeFailure {
             node: alive[rng.index(alive.len())],
         }
-    } else if roll < 0.55 {
+    } else if roll < profile.preempt_to {
         let spot = fleet.alive_spot_nodes();
         if spot.is_empty() || fleet.alive_nodes().len() <= 1 {
             return FleetEvent::Quiet;
         }
         let node = spot[rng.index(spot.len())];
-        // Half the reclaims arrive with the two-minute warning intact
-        // (most real notices do); the rest hit cold.
-        if rng.uniform() < 0.5 {
+        if rng.uniform() < profile.warning_frac {
             FleetEvent::PreemptionWarning { node }
         } else {
             FleetEvent::SpotPreemption { node }
         }
-    } else if roll < 0.75 {
+    } else if roll < profile.scale_to {
         let pool = rng.index(fleet.pools().len());
         FleetEvent::ScaleUpGrant { pool, nodes: 1 }
-    } else if roll < 0.95 {
+    } else if roll < profile.shift_to {
         // 0.70×–1.30× of the base rates, quantized for readable reports.
         let step = rng.index(13);
         FleetEvent::LoadShift {
@@ -153,6 +219,47 @@ mod tests {
         }
         assert!(warned > 0, "no warnings drawn in 400 events");
         assert!(cold > 0, "no cold preemptions drawn in 400 events");
+    }
+
+    #[test]
+    fn default_profile_matches_legacy_stream() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        let mut a = RngStream::new(7, 0);
+        let mut b = RngStream::new(7, 0);
+        let profile = ChaosProfile::default();
+        for _ in 0..512 {
+            assert_eq!(
+                next_event(&mut a, &fleet),
+                next_event_with(&mut b, &fleet, &profile)
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_intensity_scales_the_reclaim_band() {
+        assert_eq!(
+            ChaosProfile::with_preemption_intensity(1.0),
+            ChaosProfile::default()
+        );
+        let hot = ChaosProfile::with_preemption_intensity(2.0);
+        let cold = ChaosProfile::with_preemption_intensity(0.0);
+        assert!(hot.preempt_to > ChaosProfile::default().preempt_to);
+        assert!((cold.preempt_to - cold.fail_to).abs() < 1e-12);
+        assert!(hot.shift_to <= 1.0);
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        let count = |p: &ChaosProfile| -> usize {
+            let mut rng = RngStream::new(9, 4);
+            (0..600)
+                .filter(|_| {
+                    matches!(
+                        next_event_with(&mut rng, &fleet, p),
+                        FleetEvent::SpotPreemption { .. } | FleetEvent::PreemptionWarning { .. }
+                    )
+                })
+                .count()
+        };
+        assert!(count(&hot) > count(&ChaosProfile::default()));
+        assert_eq!(count(&cold), 0);
     }
 
     #[test]

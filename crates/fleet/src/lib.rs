@@ -50,7 +50,7 @@ pub mod placer;
 pub mod report;
 pub mod simcache;
 
-pub use event::{next_event, FleetEvent};
+pub use event::{next_event, next_event_with, ChaosProfile, FleetEvent};
 
 pub use migration::MigrationPlan;
 pub use node::{Fleet, FleetNode, FleetSpec, GpuSlot, NodePool};

@@ -21,7 +21,7 @@
 //!    ([`crate::pack::FleetPacking`]) and the recovered deployment serves
 //!    the next interval in the DES simulator to prove compliance returned.
 
-use crate::event::{next_event, FleetEvent};
+use crate::event::{next_event_with, ChaosProfile, FleetEvent};
 use crate::migration::MigrationPlan;
 use crate::node::{Fleet, FleetSpec};
 use crate::pack::FleetPacking;
@@ -29,9 +29,10 @@ use crate::placer::{place_sticky, translate_placement, FleetPlacement, Placement
 use crate::report::{EventOutcome, FleetReport};
 use crate::simcache::{content_key, SimCache};
 use parva_autoscale::displacement_window;
+use parva_cluster::{BillingReport, BillingRow};
 use parva_core::allocator::{allocation, fill, optimize, SegmentQueues};
 use parva_core::{reconfigure, ParvaGpu, Service};
-use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
+use parva_deploy::{tenant_of, Deployment, MigDeployment, ScheduleError, ServiceSpec, Tenant};
 use parva_des::RngStream;
 use parva_obs::{Recorder, Row, SelfProfiler, TraceEvent, TraceSink, PID_FLEET};
 use parva_profile::ProfileBook;
@@ -61,6 +62,17 @@ pub struct FleetConfig {
     /// against live traffic. `false` falls back to the analytic blackout
     /// numbers only.
     pub des_recovery: bool,
+    /// The run's tenants: service specs bind to these by id
+    /// ([`ServiceSpec::tenant`]). Empty (the default) disables all tenant
+    /// machinery and is bit-identical to the pre-tenant orchestrator.
+    pub tenants: Vec<Tenant>,
+    /// The chaos event mix. [`ChaosProfile::default`] replays the
+    /// historical stream bit-exactly.
+    pub chaos: ChaosProfile,
+    /// Spot-market discount override: when `Some`, spot node hours rent at
+    /// `on-demand × discount` instead of the built-in multiplier. `None`
+    /// keeps legacy prices bit-exactly.
+    pub spot_discount: Option<f64>,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +88,9 @@ impl Default for FleetConfig {
             },
             max_replacements_per_event: DEFAULT_MAX_REPLACEMENTS,
             des_recovery: true,
+            tenants: Vec::new(),
+            chaos: ChaosProfile::default(),
+            spot_discount: None,
         }
     }
 }
@@ -133,10 +148,16 @@ impl From<ScheduleError> for FleetError {
 /// One compliance probe of an event window: a pure serving simulation
 /// whose result is memoized by content key (see [`crate::simcache`]).
 enum ProbeJob<'a> {
-    /// Plain serving run of a deployment against a spec set.
-    Plain(&'a MigDeployment, &'a [ServiceSpec]),
+    /// Plain serving run of a deployment against a spec set, under the
+    /// run's tenants (empty = tenant machinery inert).
+    Plain(&'a MigDeployment, &'a [ServiceSpec], &'a [Tenant]),
     /// Serving run with the recovery spec riding the event queue.
-    Recovery(&'a MigDeployment, &'a [ServiceSpec], &'a RecoverySpec),
+    Recovery(
+        &'a MigDeployment,
+        &'a [ServiceSpec],
+        &'a RecoverySpec,
+        &'a [Tenant],
+    ),
 }
 
 impl ProbeJob<'_> {
@@ -144,19 +165,25 @@ impl ProbeJob<'_> {
     /// debug-rendered tuple hashed here.
     fn key(&self, serving: &ServingConfig) -> u128 {
         match self {
-            Self::Plain(d, specs) => content_key("plain", &[d, specs, &serving]),
-            Self::Recovery(d, specs, spec) => content_key("recovery", &[d, specs, spec, &serving]),
+            Self::Plain(d, specs, tenants) => content_key("plain", &[d, specs, tenants, &serving]),
+            Self::Recovery(d, specs, spec, tenants) => {
+                content_key("recovery", &[d, specs, spec, tenants, &serving])
+            }
         }
     }
 
     /// Run the simulation this probe describes.
     fn run(&self, serving: &ServingConfig) -> ServingReport {
         match self {
-            Self::Plain(d, specs) => Simulation::new(&Deployment::Mig((*d).clone()), specs)
-                .config(serving)
-                .run(),
-            Self::Recovery(d, specs, spec) => {
+            Self::Plain(d, specs, tenants) => {
                 Simulation::new(&Deployment::Mig((*d).clone()), specs)
+                    .tenants(tenants)
+                    .config(serving)
+                    .run()
+            }
+            Self::Recovery(d, specs, spec, tenants) => {
+                Simulation::new(&Deployment::Mig((*d).clone()), specs)
+                    .tenants(tenants)
                     .recovery(spec)
                     .config(serving)
                     .run()
@@ -176,6 +203,8 @@ pub struct FleetOrchestrator {
     placement: FleetPlacement,
     max_replacements_per_event: usize,
     des_recovery: bool,
+    tenants: Vec<Tenant>,
+    spot_discount: Option<f64>,
     /// Memoized serving probes: the "after" state of one interval is the
     /// "before" state of the next, and a displacement window's control run
     /// duplicates the before probe — each unique steady state is simulated
@@ -219,6 +248,8 @@ impl FleetOrchestrator {
             placement,
             max_replacements_per_event: DEFAULT_MAX_REPLACEMENTS,
             des_recovery: true,
+            tenants: Vec::new(),
+            spot_discount: None,
             sim_cache: SimCache::new(),
             profiler: SelfProfiler::disabled(),
         })
@@ -307,6 +338,29 @@ impl FleetOrchestrator {
         self
     }
 
+    /// Configure the run's tenants (see [`FleetConfig::tenants`]): every
+    /// compliance probe serves under them, so per-tenant rollups and the
+    /// admission quota gate ride each window. Empty = inert.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: Vec<Tenant>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Set the spot-market discount override (see
+    /// [`FleetConfig::spot_discount`]).
+    #[must_use]
+    pub fn with_spot_discount(mut self, discount: Option<f64>) -> Self {
+        self.spot_discount = discount;
+        self
+    }
+
+    /// The run's tenants (empty when multi-tenancy is not configured).
+    #[must_use]
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
     /// The current logical deployment.
     #[must_use]
     pub fn deployment(&self) -> &MigDeployment {
@@ -325,6 +379,26 @@ impl FleetOrchestrator {
         &self.placement
     }
 
+    /// Spill-admission headroom of this fleet, in GPU slots: alive slots
+    /// not already pinned by the placement, plus the per-event replacement
+    /// budget converted to slots at the fleet's mean pool node size. This
+    /// is the capacity a cross-region spill burst could actually claim —
+    /// unlike the raw alive-GPU count, which includes slots the resident
+    /// services already occupy.
+    #[must_use]
+    pub fn spill_headroom(&self) -> f64 {
+        let alive = self.fleet.alive_slots().len();
+        let used = self.placement.slots.len();
+        let free = alive.saturating_sub(used) as f64;
+        let pools = self.fleet.pools();
+        let mean_gpus = if pools.is_empty() {
+            0.0
+        } else {
+            pools.iter().map(|p| f64::from(p.node.gpus)).sum::<f64>() / pools.len() as f64
+        };
+        free + self.max_replacements_per_event as f64 * mean_gpus
+    }
+
     /// The service specs currently being served (base specs scaled by the
     /// last load shift, or the last [`FleetOrchestrator::retarget`]).
     #[must_use]
@@ -337,11 +411,59 @@ impl FleetOrchestrator {
     /// serving report.
     #[must_use]
     pub fn serve_interval(&self, serving: &ServingConfig) -> f64 {
-        let job = ProbeJob::Plain(&self.deployment, &self.specs);
+        let job = ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants);
         let key = job.key(serving);
         self.sim_cache
             .get_or_simulate(key, || job.run(serving))
             .overall_compliance_rate()
+    }
+
+    /// One [`BillingRow`] per tenant for `interval`: revenue at the
+    /// tenant's contracted rate for the steady-state window's in-SLO
+    /// completions, minus the tenant's offered-share slice of the
+    /// in-service fleet's node bill scaled to the measured window. Empty
+    /// when the run has no tenants. Memoized through the probe cache (the
+    /// steady-state report is the interval's "after" probe).
+    #[must_use]
+    pub fn billing_rows(&self, interval: usize, serving: &ServingConfig) -> Vec<BillingRow> {
+        if self.tenants.is_empty() {
+            return Vec::new();
+        }
+        let job = ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants);
+        let key = job.key(serving);
+        let report = self.sim_cache.get_or_simulate(key, || job.run(serving));
+        let packing = FleetPacking::derive_priced(
+            &self.deployment,
+            &self.placement,
+            &self.fleet,
+            1.0,
+            self.spot_discount,
+        );
+        let window_usd = packing.usd_per_hour * (serving.duration_s / 3600.0);
+        let total_offered: u64 = report.tenants.iter().map(|t| t.offered).sum();
+        report
+            .tenants
+            .iter()
+            .map(|t| {
+                let rate =
+                    tenant_of(&self.tenants, t.tenant).map_or(0.0, |ten| ten.usd_per_1k_requests);
+                let share = if total_offered == 0 {
+                    0.0
+                } else {
+                    t.offered as f64 / total_offered as f64
+                };
+                BillingRow {
+                    interval,
+                    tenant: t.tenant,
+                    tenant_name: t.name.clone(),
+                    offered: t.offered,
+                    rejected: t.rejected,
+                    completed_within_slo: t.completed_within_slo,
+                    revenue_usd: t.completed_within_slo as f64 * rate / 1_000.0,
+                    cost_usd: window_usd * share,
+                }
+            })
+            .collect()
     }
 
     /// Re-anchor the logical map on the surviving fleet, sticky-first.
@@ -430,6 +552,7 @@ impl FleetOrchestrator {
                     s.request_rate_rps * multiplier,
                     s.slo.latency_ms,
                 )
+                .with_tenant(s.tenant)
             })
             .collect();
         self.update_services(&targets)
@@ -696,19 +819,19 @@ impl FleetOrchestrator {
         let mut jobs: Vec<(u128, ProbeJob<'_>)> = Vec::with_capacity(5);
         let key_before = push(
             &mut jobs,
-            ProbeJob::Plain(&before_deployment, &specs_before),
+            ProbeJob::Plain(&before_deployment, &specs_before, &self.tenants),
             serving,
         );
         let keys_window = window.as_ref().map(|w| {
             (
                 push(
                     &mut jobs,
-                    ProbeJob::Plain(&w.blackout, &specs_before),
+                    ProbeJob::Plain(&w.blackout, &specs_before, &self.tenants),
                     serving,
                 ),
                 push(
                     &mut jobs,
-                    ProbeJob::Plain(&w.shadowed, &specs_before),
+                    ProbeJob::Plain(&w.shadowed, &specs_before, &self.tenants),
                     serving,
                 ),
             )
@@ -717,20 +840,20 @@ impl FleetOrchestrator {
         let key_shift = matches!(event, FleetEvent::LoadShift { .. }).then(|| {
             push(
                 &mut jobs,
-                ProbeJob::Plain(&before_deployment, &self.specs),
+                ProbeJob::Plain(&before_deployment, &self.specs, &self.tenants),
                 serving,
             )
         });
         let key_measured = rec_spec.as_ref().map(|spec| {
             push(
                 &mut jobs,
-                ProbeJob::Recovery(&self.deployment, &self.specs, spec),
+                ProbeJob::Recovery(&self.deployment, &self.specs, spec, &self.tenants),
                 serving,
             )
         });
         let key_after = push(
             &mut jobs,
-            ProbeJob::Plain(&self.deployment, &self.specs),
+            ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants),
             serving,
         );
         let resolved = self.resolve_probes(&jobs, serving);
@@ -760,7 +883,13 @@ impl FleetOrchestrator {
             None => (compliance_during, 0.0, 0.0),
         };
 
-        let packing = FleetPacking::derive(&self.deployment, &self.placement, &self.fleet);
+        let packing = FleetPacking::derive_priced(
+            &self.deployment,
+            &self.placement,
+            &self.fleet,
+            1.0,
+            self.spot_discount,
+        );
         let after = &resolved[&key_after];
         self.profiler.end(tok);
 
@@ -896,7 +1025,9 @@ fn run_chaos_with<S: TraceSink>(
 ) -> Result<(FleetReport, SelfProfiler), FleetError> {
     let mut orchestrator = FleetOrchestrator::bootstrap(book, specs, fleet_spec)?
         .with_max_replacements(config.max_replacements_per_event)
-        .with_des_recovery(config.des_recovery);
+        .with_des_recovery(config.des_recovery)
+        .with_tenants(config.tenants.clone())
+        .with_spot_discount(config.spot_discount);
     if profile {
         orchestrator.enable_profiling();
     }
@@ -908,10 +1039,12 @@ fn run_chaos_with<S: TraceSink>(
     let window = interval_us(&serving);
 
     let baseline_compliance = orchestrator.serve_interval(&serving);
-    let baseline_packing = FleetPacking::derive(
+    let baseline_packing = FleetPacking::derive_priced(
         &orchestrator.deployment,
         &orchestrator.placement,
         &orchestrator.fleet,
+        1.0,
+        config.spot_discount,
     );
     if S::ENABLED {
         sink.sample(
@@ -926,9 +1059,14 @@ fn run_chaos_with<S: TraceSink>(
         );
     }
 
+    let mut billing_rows: Vec<BillingRow> = orchestrator.billing_rows(0, &serving);
+    if S::ENABLED {
+        emit_billing_gauges(sink, &billing_rows, 0);
+    }
+
     let mut events = Vec::with_capacity(config.intervals);
     for interval in 1..=config.intervals {
-        let event = next_event(&mut event_rng, &orchestrator.fleet);
+        let event = next_event_with(&mut event_rng, &orchestrator.fleet, &config.chaos);
         let (hits0, misses0) = orchestrator.sim_cache_stats();
         let outcome = orchestrator.handle_event(interval, event, &serving)?;
         if S::ENABLED {
@@ -994,6 +1132,11 @@ fn run_chaos_with<S: TraceSink>(
                     .f64("usd_per_hour", outcome.usd_per_hour),
             );
         }
+        let interval_billing = orchestrator.billing_rows(interval, &serving);
+        if S::ENABLED {
+            emit_billing_gauges(sink, &interval_billing, interval);
+        }
+        billing_rows.extend(interval_billing);
         events.push(outcome);
     }
 
@@ -1004,9 +1147,30 @@ fn run_chaos_with<S: TraceSink>(
             baseline_compliance,
             baseline_usd_per_hour: baseline_packing.usd_per_hour,
             events,
+            billing: (!billing_rows.is_empty()).then_some(BillingReport { rows: billing_rows }),
         },
         profile,
     ))
+}
+
+/// One `kind: "billing"` gauge row per tenant for an interval's P&L —
+/// emitted only when tenants are configured, so tenant-free artifacts stay
+/// byte-identical to the pre-tenant era.
+fn emit_billing_gauges<S: TraceSink>(sink: &mut S, rows: &[BillingRow], interval: usize) {
+    for row in rows {
+        sink.sample(
+            Row::new()
+                .str("kind", "billing")
+                .u64("interval", interval as u64)
+                .u64("tenant", u64::from(row.tenant))
+                .u64("offered", row.offered)
+                .u64("rejected", row.rejected)
+                .u64("completed_within_slo", row.completed_within_slo)
+                .f64("revenue_usd", row.revenue_usd)
+                .f64("cost_usd", row.cost_usd)
+                .f64("margin_usd", row.margin_usd()),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1029,6 +1193,79 @@ mod tests {
             },
             max_replacements_per_event: 4,
             des_recovery: true,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn tenant_chaos_bills_every_interval_and_stays_neutral() {
+        let book = ProfileBook::builtin();
+        let spec = FleetSpec::mixed_demo(2);
+        let cfg = quick_config(1234, 4);
+        let plain = run_chaos(&book, &base_specs(), &spec, &cfg).unwrap();
+        assert!(plain.billing.is_none(), "tenant-free run must not bill");
+
+        // Bind all services to one pass-through tenant with a billing rate:
+        // the chaos trace (events, compliance, migrations) must be
+        // unchanged — only the billing ledger is added.
+        let tenant = Tenant::new(1, "acme").with_rate_usd_per_1k(2.0);
+        let specs: Vec<ServiceSpec> = base_specs().iter().map(|s| s.with_tenant(1)).collect();
+        let mut tcfg = cfg.clone();
+        tcfg.tenants = vec![tenant];
+        let billed = run_chaos(&book, &specs, &spec, &tcfg).unwrap();
+        assert_eq!(plain.events, billed.events, "billing must not steer chaos");
+        let billing = billed.billing.clone().expect("tenant run must bill");
+        // One row per interval (baseline + each event) for the one tenant.
+        assert_eq!(billing.rows.len(), cfg.intervals + 1);
+        assert!(billing.revenue_usd() > 0.0);
+        assert!(billing.cost_usd() > 0.0);
+        for row in &billing.rows {
+            assert_eq!(row.tenant, 1);
+            assert_eq!(row.tenant_name, "acme");
+            assert!(row.offered > 0);
+            assert!(
+                (row.revenue_usd - row.completed_within_slo as f64 * 2.0 / 1_000.0).abs() < 1e-9
+            );
+        }
+        assert!(billed.render().contains("acme"));
+    }
+
+    #[test]
+    fn spot_discount_cheapens_the_fleet_bill() {
+        let book = ProfileBook::builtin();
+        // All-spot fleet: every in-service node hour is discountable.
+        let spec = FleetSpec {
+            pools: vec![crate::node::NodePool {
+                name: "spot-only".into(),
+                node: parva_cluster::NodeType::P4DE_24XLARGE,
+                pricing: parva_cluster::PricingPlan::Spot,
+                preemptible: true,
+                count: 3,
+                region: None,
+            }],
+        };
+        let cfg = quick_config(1234, 2);
+        let base = run_chaos(&book, &base_specs(), &spec, &cfg).unwrap();
+        let mut dcfg = cfg.clone();
+        dcfg.spot_discount = Some(0.1);
+        let discounted = run_chaos(&book, &base_specs(), &spec, &dcfg).unwrap();
+        // Identical trace, strictly cheaper bill.
+        assert_eq!(
+            base.events.iter().map(|e| &e.event).collect::<Vec<_>>(),
+            discounted
+                .events
+                .iter()
+                .map(|e| &e.event)
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            discounted.baseline_usd_per_hour < base.baseline_usd_per_hour,
+            "0.1x spot discount never showed up: {} vs {}",
+            discounted.baseline_usd_per_hour,
+            base.baseline_usd_per_hour
+        );
+        for (d, b) in discounted.events.iter().zip(&base.events) {
+            assert!(d.usd_per_hour < b.usd_per_hour);
         }
     }
 

@@ -57,6 +57,22 @@ impl FleetPacking {
         fleet: &Fleet,
         region_multiplier: f64,
     ) -> Self {
+        Self::derive_priced(deployment, placement, fleet, region_multiplier, None)
+    }
+
+    /// Like [`FleetPacking::derive_in_region`], with an optional spot-market
+    /// discount override: when `Some`, spot-priced node hours rent at
+    /// `on-demand × discount` instead of the built-in spot multiplier (see
+    /// [`parva_cluster::PricingPlan::node_usd_per_hour_in_region_with`]).
+    /// `None` reproduces the legacy prices bit-exactly.
+    #[must_use]
+    pub fn derive_priced(
+        deployment: &MigDeployment,
+        placement: &FleetPlacement,
+        fleet: &Fleet,
+        region_multiplier: f64,
+        spot_discount: Option<f64>,
+    ) -> Self {
         let mut nodes: Vec<NodeUsage> = Vec::new();
         for id in placement.nodes_in_service() {
             let gpu_indices: Vec<usize> = placement
@@ -78,9 +94,11 @@ impl FleetPacking {
                     gpu_indices,
                     vcpus_used,
                 },
-                usd_per_hour: node
-                    .pricing
-                    .node_usd_per_hour_in_region(node.node, region_multiplier),
+                usd_per_hour: node.pricing.node_usd_per_hour_in_region_with(
+                    node.node,
+                    region_multiplier,
+                    spot_discount,
+                ),
             });
         }
         let rented: usize = nodes
@@ -142,6 +160,34 @@ mod tests {
         for n in &packing.nodes {
             let node = fleet.node(n.node);
             assert!(n.usd_per_hour <= node.node.on_demand_usd_per_hour + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spot_discount_reprices_only_spot_nodes() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(2));
+        let mut d = MigDeployment::new();
+        for i in 0..8 {
+            d.place_first_fit(Segment {
+                service_id: i,
+                model: Model::ResNet50,
+                triplet: Triplet::new(InstanceProfile::G7, 8, 3),
+                throughput_rps: 1000.0,
+                latency_ms: 10.0,
+            });
+        }
+        let p = place_on_fleet(&d, &fleet).unwrap();
+        let base = FleetPacking::derive(&d, &p, &fleet);
+        let none = FleetPacking::derive_priced(&d, &p, &fleet, 1.0, None);
+        assert_eq!(base, none, "None discount must reproduce legacy prices");
+        let deep = FleetPacking::derive_priced(&d, &p, &fleet, 1.0, Some(0.1));
+        for (a, b) in base.nodes.iter().zip(&deep.nodes) {
+            let node = fleet.node(a.node);
+            if matches!(node.pricing, parva_cluster::PricingPlan::Spot) {
+                assert!(b.usd_per_hour < a.usd_per_hour);
+            } else {
+                assert_eq!(a.usd_per_hour, b.usd_per_hour);
+            }
         }
     }
 }

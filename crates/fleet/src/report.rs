@@ -2,7 +2,8 @@
 
 use crate::event::FleetEvent;
 use crate::migration::MigrationPlan;
-use serde::{Deserialize, Serialize};
+use parva_cluster::BillingReport;
+use serde::{Deserialize, Serialize, Value};
 
 /// Tolerance for [`EventOutcome::recovered`]: request-level window
 /// compliance carries ~1% sampling noise from the window edge (requests
@@ -93,7 +94,7 @@ impl EventOutcome {
 }
 
 /// Full outcome of a chaos run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FleetReport {
     /// Master seed of the run (event stream + serving arrivals).
     pub seed: u64,
@@ -104,6 +105,34 @@ pub struct FleetReport {
     pub baseline_usd_per_hour: f64,
     /// Per-event outcomes, interval order.
     pub events: Vec<EventOutcome>,
+    /// The operator's per-tenant P&L, one row per (interval, tenant)
+    /// including the interval-0 baseline. `None` (and omitted from the
+    /// serialized form) when the run had no tenants configured.
+    #[serde(default)]
+    pub billing: Option<BillingReport>,
+}
+
+// Hand-written so tenant-free runs serialize exactly as before the tenant
+// layer existed: `billing` is emitted only when present.
+impl Serialize for FleetReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("seed"), self.seed.to_value()),
+            (
+                String::from("baseline_compliance"),
+                self.baseline_compliance.to_value(),
+            ),
+            (
+                String::from("baseline_usd_per_hour"),
+                self.baseline_usd_per_hour.to_value(),
+            ),
+            (String::from("events"), self.events.to_value()),
+        ];
+        if let Some(billing) = &self.billing {
+            map.push((String::from("billing"), billing.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl FleetReport {
@@ -237,6 +266,9 @@ impl FleetReport {
                 "UNRECOVERED EVENTS"
             }
         ));
+        if let Some(billing) = &self.billing {
+            out.push_str(&billing.render());
+        }
         out
     }
 }
@@ -282,6 +314,7 @@ mod tests {
             baseline_compliance: 1.0,
             baseline_usd_per_hour: 60.0,
             events: vec![outcome(0.2, 1.0), outcome(0.05, 0.9)],
+            billing: None,
         };
         assert_eq!(report.total_migrations(), 4);
         assert_eq!(report.total_reflashes(), 2);

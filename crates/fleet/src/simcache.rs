@@ -171,6 +171,7 @@ mod tests {
             servers: vec![],
             classes: vec![],
             recovery: None,
+            tenants: vec![],
         }
     }
 

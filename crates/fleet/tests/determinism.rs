@@ -21,6 +21,7 @@ fn config(seed: u64) -> FleetConfig {
         },
         max_replacements_per_event: 4,
         des_recovery: true,
+        ..FleetConfig::default()
     }
 }
 

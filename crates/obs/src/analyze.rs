@@ -230,8 +230,8 @@ impl GaugeRow {
         })
     }
 
-    /// The row kind (`"tick"`, `"service"`, `"fleet"`, `"federation"`,
-    /// `"region"`), empty when absent.
+    /// The row kind (`"tick"`, `"service"`, `"tenant"`, `"fleet"`,
+    /// `"federation"`, `"region"`, `"billing"`), empty when absent.
     #[must_use]
     pub fn kind(&self) -> &str {
         self.str_of("kind").unwrap_or("")
@@ -265,8 +265,11 @@ pub fn parse_metrics(text: &str) -> Result<Vec<GaugeRow>, String> {
 pub struct ServiceRecount {
     /// Service id (the spans' `service` argument).
     pub service_id: u64,
-    /// Arrivals inside the measurement window.
+    /// Arrivals inside the measurement window, rejected included.
     pub offered: u64,
+    /// In-window arrivals rejected at the tenant admission gate (the
+    /// `rejected: true` instants; always 0 without tenant quotas).
+    pub rejected: u64,
     /// Requests whose completion landed inside the window.
     pub completed: u64,
     /// In-window completions within the SLO.
@@ -319,6 +322,41 @@ impl ClassRecount {
     }
 }
 
+/// Per-tenant counters recomputed from tenant-tagged arrivals and request
+/// spans. Tenant-free traces (no `tenant` span argument anywhere) produce
+/// no rows, mirroring the report's omitted `tenants` rollup.
+#[derive(Debug, Clone)]
+pub struct TenantRecount {
+    /// Tenant id (the events' `tenant` argument; 0 = unbound services).
+    pub tenant: u64,
+    /// In-window arrivals across the tenant's services, rejected included.
+    pub offered: u64,
+    /// Arrivals admitted past the quota gate (`offered - rejected`).
+    pub admitted: u64,
+    /// Arrivals rejected at ingress (the `rejected: true` instants).
+    pub rejected: u64,
+    /// In-window completions.
+    pub completed: u64,
+    /// In-window completions within the SLO.
+    pub completed_within_slo: u64,
+    /// In-window latency distribution merged across the tenant's services.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantRecount {
+    /// Attainment against *offered* load — the report's
+    /// `TenantReport::attainment` formula, where rejected requests count
+    /// as misses (1.0 when nothing was offered).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            (self.completed_within_slo as f64 / self.offered as f64).min(1.0)
+        }
+    }
+}
+
 /// Serving accounting recomputed from a trace, independent of the
 /// simulator: the audit's half of the comparison.
 #[derive(Debug, Clone)]
@@ -331,6 +369,9 @@ pub struct ServingRecount {
     pub services: Vec<ServiceRecount>,
     /// Per-(service, class) counters, service-major order.
     pub classes: Vec<ClassRecount>,
+    /// Per-tenant counters, ordered by tenant id; empty for tenant-free
+    /// traces.
+    pub tenants: Vec<TenantRecount>,
 }
 
 impl ServingRecount {
@@ -346,6 +387,12 @@ impl ServingRecount {
         self.classes
             .iter()
             .find(|c| c.service_id == id && c.class == class)
+    }
+
+    /// The recount for one tenant, if any tenant-tagged events were seen.
+    #[must_use]
+    pub fn tenant(&self, id: u64) -> Option<&TenantRecount> {
+        self.tenants.iter().find(|t| t.tenant == id)
     }
 
     /// Offered-weighted overall attainment (the report's
@@ -365,15 +412,70 @@ impl ServingRecount {
     }
 }
 
+/// Find-or-create the recount row for `id`, returning its index.
+fn tenant_at(id: u64, tenants: &mut Vec<TenantRecount>) -> usize {
+    if let Some(i) = tenants.iter().position(|t| t.tenant == id) {
+        return i;
+    }
+    tenants.push(TenantRecount {
+        tenant: id,
+        offered: 0,
+        admitted: 0,
+        rejected: 0,
+        completed: 0,
+        completed_within_slo: 0,
+        latency: LatencyHistogram::new(),
+    });
+    tenants.len() - 1
+}
+
+/// Find-or-create the recount row for `id`, returning its index.
+fn service_at(id: u64, services: &mut Vec<ServiceRecount>) -> usize {
+    if let Some(i) = services.iter().position(|s| s.service_id == id) {
+        return i;
+    }
+    services.push(ServiceRecount {
+        service_id: id,
+        offered: 0,
+        rejected: 0,
+        completed: 0,
+        completed_within_slo: 0,
+        latency: LatencyHistogram::new(),
+    });
+    services.len() - 1
+}
+
+/// Find-or-create the recount row for `(id, class)`, returning its index.
+fn class_at(id: u64, class: u64, classes: &mut Vec<ClassRecount>) -> usize {
+    if let Some(i) = classes
+        .iter()
+        .position(|c| c.service_id == id && c.class == class)
+    {
+        return i;
+    }
+    classes.push(ClassRecount {
+        service_id: id,
+        class,
+        offered: 0,
+        completed: 0,
+        completed_within_slo: 0,
+        latency: LatencyHistogram::new(),
+    });
+    classes.len() - 1
+}
+
 /// Recompute the serving report's accounting from request spans.
 ///
 /// Replays the exact window discipline of the event loop: `offered`
-/// counts `arrival` instants with `ts ∈ [start, end)`; `completed` /
-/// `completed_within_slo` / latency count `request` spans whose *end*
-/// (`ts + dur` — the completion time) lands in the window, regardless of
-/// when the request arrived. Latencies are re-recorded through the same
-/// [`LatencyHistogram`] the simulator uses, so quantiles compare
-/// exactly, not approximately.
+/// counts `arrival` instants with `ts ∈ [start, end)` (quota-rejected
+/// arrivals included — they carry `rejected: true` and count as offered
+/// but never complete); `completed` / `completed_within_slo` / latency
+/// count `request` spans whose *end* (`ts + dur` — the completion time)
+/// lands in the window, regardless of when the request arrived. Events
+/// carrying a `tenant` argument additionally aggregate into per-tenant
+/// rows, mirroring the report's `tenants` rollup. Latencies are
+/// re-recorded through the same [`LatencyHistogram`] the simulator uses,
+/// so quantiles compare exactly, not approximately.
 ///
 /// # Errors
 /// A trace without the `window` meta instant (not a serve-layer trace).
@@ -391,36 +493,7 @@ pub fn recompute_serving(events: &[ParsedEvent]) -> Result<ServingRecount, Strin
 
     let mut services: Vec<ServiceRecount> = Vec::new();
     let mut classes: Vec<ClassRecount> = Vec::new();
-    let service_at = |id: u64, services: &mut Vec<ServiceRecount>| -> usize {
-        if let Some(i) = services.iter().position(|s| s.service_id == id) {
-            return i;
-        }
-        services.push(ServiceRecount {
-            service_id: id,
-            offered: 0,
-            completed: 0,
-            completed_within_slo: 0,
-            latency: LatencyHistogram::new(),
-        });
-        services.len() - 1
-    };
-    let class_at = |id: u64, class: u64, classes: &mut Vec<ClassRecount>| -> usize {
-        if let Some(i) = classes
-            .iter()
-            .position(|c| c.service_id == id && c.class == class)
-        {
-            return i;
-        }
-        classes.push(ClassRecount {
-            service_id: id,
-            class,
-            offered: 0,
-            completed: 0,
-            completed_within_slo: 0,
-            latency: LatencyHistogram::new(),
-        });
-        classes.len() - 1
-    };
+    let mut tenants: Vec<TenantRecount> = Vec::new();
 
     for ev in events {
         if ev.cat != "request" {
@@ -437,6 +510,18 @@ pub fn recompute_serving(events: &[ParsedEvent]) -> Result<ServingRecount, Strin
             services[si].offered += 1;
             let ci = class_at(id, class, &mut classes);
             classes[ci].offered += 1;
+            if ev.arg_bool("rejected") == Some(true) {
+                services[si].rejected += 1;
+            }
+            if let Some(tid) = ev.arg_u64("tenant") {
+                let ti = tenant_at(tid, &mut tenants);
+                tenants[ti].offered += 1;
+                if ev.arg_bool("rejected") == Some(true) {
+                    tenants[ti].rejected += 1;
+                } else {
+                    tenants[ti].admitted += 1;
+                }
+            }
         } else if ev.name == "request" && ev.ph == 'X' {
             // The completion time is the span's end; the report counts a
             // request in the window its completion lands in.
@@ -461,15 +546,23 @@ pub fn recompute_serving(events: &[ParsedEvent]) -> Result<ServingRecount, Strin
             classes[ci].completed += 1;
             classes[ci].completed_within_slo += u64::from(ok);
             classes[ci].latency.record_ms(lat_ms);
+            if let Some(tid) = ev.arg_u64("tenant") {
+                let ti = tenant_at(tid, &mut tenants);
+                tenants[ti].completed += 1;
+                tenants[ti].completed_within_slo += u64::from(ok);
+                tenants[ti].latency.record_ms(lat_ms);
+            }
         }
     }
     services.sort_by_key(|s| s.service_id);
     classes.sort_by_key(|c| (c.service_id, c.class));
+    tenants.sort_by_key(|t| t.tenant);
     Ok(ServingRecount {
         window_start_us: start_us,
         window_end_us: end_us,
         services,
         classes,
+        tenants,
     })
 }
 
@@ -854,6 +947,70 @@ mod tests {
         assert_eq!(r.class(0, 0).unwrap().completed, 2);
         // Overall: 2 within / 3 offered.
         assert!((r.overall_attainment() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recompute_aggregates_tenants() {
+        // Tenant-free traces stay tenant-free: no phantom rows.
+        assert!(recompute_serving(&parsed()).unwrap().tenants.is_empty());
+
+        // A tenanted window: tenant 1 offers three (one over quota),
+        // tenant 2 offers one that misses its SLO.
+        let arr = |svc: u64, tenant: u64, ts: u64| {
+            TraceEvent::instant("arrival", "request", ts)
+                .pid(PID_SERVE)
+                .arg_u64("service", svc)
+                .arg_u64("class", 0)
+                .arg_u64("tenant", tenant)
+        };
+        let req = |svc: u64, tenant: u64, ts: u64, dur: u64, lat: f64, ok: bool| {
+            TraceEvent::span("request", "request", ts, dur)
+                .pid(PID_SERVE)
+                .tid(0)
+                .arg_u64("service", svc)
+                .arg_u64("class", 0)
+                .arg_f64("latency_ms", lat)
+                .arg_bool("ok", ok)
+                .arg_u64("tenant", tenant)
+        };
+        let events = vec![
+            TraceEvent::instant("window", "meta", 0)
+                .pid(PID_SERVE)
+                .arg_u64("start_us", 1000)
+                .arg_u64("end_us", 5000),
+            arr(0, 1, 1200),
+            arr(0, 1, 1500),
+            arr(0, 1, 1600).arg_bool("rejected", true),
+            arr(1, 2, 2000),
+            req(0, 1, 1200, 300, 2.0, true),
+            req(1, 2, 2000, 500, 8.0, false),
+        ];
+        let r = recompute_serving(&parse_trace(&trace_jsonl(&events)).unwrap()).unwrap();
+        assert_eq!(r.tenants.len(), 2);
+        let t1 = r.tenant(1).unwrap();
+        assert_eq!(
+            (
+                t1.offered,
+                t1.admitted,
+                t1.rejected,
+                t1.completed,
+                t1.completed_within_slo
+            ),
+            (3, 2, 1, 1, 1)
+        );
+        assert!((t1.attainment() - 1.0 / 3.0).abs() < 1e-12);
+        let t2 = r.tenant(2).unwrap();
+        assert_eq!(
+            (t2.offered, t2.rejected, t2.completed_within_slo),
+            (1, 0, 0)
+        );
+        assert_eq!(t2.latency.count(), 1);
+        // The rejected arrival still counts in the service's offered load,
+        // and is attributed to the service's own rejection counter too.
+        assert_eq!(r.service(0).unwrap().offered, 3);
+        assert_eq!(r.service(0).unwrap().rejected, 1);
+        assert_eq!(r.service(1).unwrap().rejected, 0);
+        assert!(r.tenant(3).is_none());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! takes its traffic home).
 
 use parva_des::RngStream;
-use parva_fleet::{next_event, Fleet, FleetEvent};
+use parva_fleet::{next_event_with, ChaosProfile, Fleet, FleetEvent};
 use serde::{Deserialize, Serialize};
 
 /// A federation-level event at an interval boundary.
@@ -59,6 +59,20 @@ pub fn next_region_event(
     fleets: &[Option<&Fleet>],
     held: Option<usize>,
 ) -> RegionEvent {
+    next_region_event_with(rng, fleets, held, &[])
+}
+
+/// [`next_region_event`] with per-region chaos shaping: a region's local
+/// fleet events are drawn through `profiles[region]` (its spot-market
+/// preemption intensity etc.). Regions beyond the slice — and an empty
+/// slice — use [`ChaosProfile::default`], which reproduces the legacy
+/// stream bit for bit.
+pub fn next_region_event_with(
+    rng: &mut RngStream,
+    fleets: &[Option<&Fleet>],
+    held: Option<usize>,
+    profiles: &[ChaosProfile],
+) -> RegionEvent {
     let active: Vec<usize> = (0..fleets.len()).filter(|&r| fleets[r].is_some()).collect();
     let evacuated: Vec<usize> = (0..fleets.len())
         .filter(|&r| fleets[r].is_none() && Some(r) != held)
@@ -70,7 +84,13 @@ pub fn next_region_event(
             return RegionEvent::Quiet;
         }
         let region = active[rng.index(active.len())];
-        let event = next_event(rng, fleets[region].expect("active region has a fleet"));
+        let default = ChaosProfile::default();
+        let profile = profiles.get(region).unwrap_or(&default);
+        let event = next_event_with(
+            rng,
+            fleets[region].expect("active region has a fleet"),
+            profile,
+        );
         RegionEvent::Local { region, event }
     } else if roll < 0.70 {
         // Spontaneous evacuation: never the last active region.
@@ -129,6 +149,58 @@ mod tests {
             }
         }
         assert!(saw_failback);
+    }
+
+    #[test]
+    fn default_profiles_match_the_legacy_stream() {
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let fleets = vec![Some(&fleet), Some(&fleet), None];
+        let legacy: Vec<RegionEvent> = {
+            let mut rng = RngStream::new(5, 9);
+            (0..128)
+                .map(|_| next_region_event(&mut rng, &fleets, None))
+                .collect()
+        };
+        let profiled: Vec<RegionEvent> = {
+            let mut rng = RngStream::new(5, 9);
+            let profiles = vec![ChaosProfile::default(); 3];
+            (0..128)
+                .map(|_| next_region_event_with(&mut rng, &fleets, None, &profiles))
+                .collect()
+        };
+        assert_eq!(
+            legacy, profiled,
+            "default profiles must be the legacy stream"
+        );
+    }
+
+    #[test]
+    fn per_region_preemption_intensity_shapes_local_events() {
+        // Region 0 runs a calm spot market (intensity 0), region 1 a hot
+        // one (intensity 2.8): across many draws, region 1 must see
+        // preemptions and region 0 none.
+        let fleet = Fleet::provision(&FleetSpec::mixed_demo(1));
+        let fleets = vec![Some(&fleet), Some(&fleet)];
+        let profiles = vec![
+            ChaosProfile::with_preemption_intensity(0.0),
+            ChaosProfile::with_preemption_intensity(2.8),
+        ];
+        let mut rng = RngStream::new(17, 3);
+        let mut preemptions = [0usize; 2];
+        for _ in 0..600 {
+            if let RegionEvent::Local { region, event } =
+                next_region_event_with(&mut rng, &fleets, None, &profiles)
+            {
+                if matches!(
+                    event,
+                    FleetEvent::SpotPreemption { .. } | FleetEvent::PreemptionWarning { .. }
+                ) {
+                    preemptions[region] += 1;
+                }
+            }
+        }
+        assert_eq!(preemptions[0], 0, "calm market still preempted");
+        assert!(preemptions[1] > 0, "hot market never preempted");
     }
 
     #[test]

@@ -33,13 +33,16 @@ pub mod report;
 pub mod router;
 pub mod spec;
 
-pub use event::{next_region_event, RegionEvent};
+pub use event::{next_region_event, next_region_event_with, RegionEvent};
 pub use orchestrator::{
     run_federation, run_federation_observed, run_federation_sink, EvacuationDrill, Federation,
     FederationConfig, FederationError,
 };
 pub use report::{FederationReport, IntervalOutcome, RegionOutcome};
-pub use router::{inbound, route_demand, spill_excess, Flow, RTT_HALF_MS};
+pub use router::{
+    inbound, route_demand, route_demand_fair, route_from_fair, spill_excess, Demand, Flow,
+    RTT_HALF_MS,
+};
 pub use spec::{FederationSpec, RegionSpec, RttMatrix};
 
 /// The demo *global* service mix for federation surfaces. Rates are

@@ -19,13 +19,14 @@
 //!    per-flow RTT ingress classes ([`parva_serve::simulate_with_ingress`]),
 //! 6. prices each region's surviving fleet at regional prices.
 
-use crate::event::{next_region_event, RegionEvent};
+use crate::event::{next_region_event_with, RegionEvent};
 use crate::report::{FederationReport, IntervalOutcome, RegionOutcome};
-use crate::router::{inbound, route_demand, route_from, Demand, Flow};
+use crate::router::{inbound, route_demand_fair, route_from_fair, Demand, Flow};
 use crate::spec::FederationSpec;
-use parva_deploy::ServiceSpec;
+use parva_cluster::{BillingReport, BillingRow};
+use parva_deploy::{tenant_of, ServiceSpec, Tenant};
 use parva_des::RngStream;
-use parva_fleet::{FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
+use parva_fleet::{ChaosProfile, FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
 use parva_obs::{Recorder, Row, SelfProfiler, TraceEvent, TraceSink, PID_REGION};
 use parva_profile::ProfileBook;
 use parva_scenarios::diurnal_multiplier;
@@ -69,6 +70,22 @@ pub struct FederationConfig {
     /// Optional scripted evacuation exercise; `None` leaves evacuations
     /// to the seeded stream.
     pub drill: Option<EvacuationDrill>,
+    /// Tenants sharing the federation. Empty = single-tenant legacy mode:
+    /// routing, serving and the report are bit-identical to the pre-tenant
+    /// code paths. Non-empty activates per-tenant admission quotas in
+    /// every region's serving DES, tenant-weighted-fair spill routing,
+    /// headroom-aware spill destination weights and the per-interval
+    /// billing rollup.
+    pub tenants: Vec<Tenant>,
+    /// Per-region chaos shaping profiles for region-local fleet events
+    /// (index = region; e.g. a region's spot-market preemption intensity).
+    /// Empty — or any region beyond the slice — uses
+    /// [`ChaosProfile::default`], the legacy stream.
+    pub region_chaos: Vec<ChaosProfile>,
+    /// Per-region spot-market discount overrides applied when pricing each
+    /// region's surviving fleet (index = region; `None` keeps the builtin
+    /// spot multiplier). Empty = no overrides anywhere.
+    pub spot_discounts: Vec<Option<f64>>,
 }
 
 impl FederationConfig {
@@ -102,6 +119,20 @@ impl FederationConfig {
                 ));
             }
         }
+        for t in &self.tenants {
+            if !t.is_valid() {
+                return Err(format!(
+                    "tenant {} ({:?}) is invalid: ids must be non-zero and economics finite",
+                    t.id, t.name
+                ));
+            }
+        }
+        let mut ids: Vec<u32> = self.tenants.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != self.tenants.len() {
+            return Err("duplicate tenant ids".into());
+        }
         Ok(())
     }
 }
@@ -126,6 +157,9 @@ impl Default for FederationConfig {
                 evacuate_at: 3,
                 failback_at: 6,
             }),
+            tenants: Vec::new(),
+            region_chaos: Vec::new(),
+            spot_discounts: Vec::new(),
         }
     }
 }
@@ -315,6 +349,7 @@ impl Federation {
                     s.request_rate_rps * self.spec.regions[r].demand_share * m * factor,
                     s.slo.latency_ms,
                 )
+                .with_tenant(s.tenant)
             })
             .collect()
     }
@@ -341,14 +376,35 @@ impl Federation {
                         service: s.id,
                         rate_rps: s.request_rate_rps,
                         slo_ms: s.slo.latency_ms,
+                        tenant: s.tenant,
                     })
                     .collect()
             })
             .collect()
     }
 
-    /// Capacity weight of each region for spill routing (alive GPUs).
+    /// Capacity weight of each region for spill routing. Legacy mode (no
+    /// tenants) weighs by alive GPUs; tenanted runs use capacity-aware
+    /// spill admission — each destination is weighed by the headroom a
+    /// spill burst could actually claim ([`FleetOrchestrator::spill_headroom`]:
+    /// free alive slots plus the replacement budget), falling back to the
+    /// alive-GPU weights when every region is fully packed so spill
+    /// remains possible (honest overload beats dropped traffic).
     fn capacity_weights(&self) -> Vec<f64> {
+        if !self.config.tenants.is_empty() {
+            let headroom: Vec<f64> = self
+                .regions
+                .iter()
+                .map(|r| {
+                    r.orchestrator
+                        .as_ref()
+                        .map_or(0.0, FleetOrchestrator::spill_headroom)
+                })
+                .collect();
+            if headroom.iter().any(|&w| w > 0.0) {
+                return headroom;
+            }
+        }
         self.regions
             .iter()
             .map(|r| {
@@ -377,6 +433,21 @@ impl Federation {
         interval: usize,
         event: RegionEvent,
     ) -> Result<IntervalOutcome, FederationError> {
+        self.step_billed(interval, event)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Federation::step`] plus the interval's per-tenant billing rows
+    /// (empty when the run has no tenants configured).
+    ///
+    /// # Errors
+    /// [`FederationError::Failback`] when a returning region cannot host
+    /// its local demand even with the replacement budget.
+    fn step_billed(
+        &mut self,
+        interval: usize,
+        event: RegionEvent,
+    ) -> Result<(IntervalOutcome, Vec<BillingRow>), FederationError> {
         let mut recovery: Vec<RecoveryRow> = vec![RecoveryRow::default(); self.regions.len()];
         let mut forced_failovers: Vec<usize> = Vec::new();
 
@@ -445,13 +516,16 @@ impl Federation {
         self.profiler.end(tok);
         let tok = self.profiler.begin("route", "region");
 
-        // 2. Route demand across the surviving topology.
+        // 2. Route demand across the surviving topology (tenant-weighted-
+        //    fair when tenants are configured, the legacy geo split
+        //    otherwise).
         let offered = self.offered_at(interval);
-        let mut flows = route_demand(
+        let mut flows = route_demand_fair(
             &offered,
             &self.active_mask(),
             &self.capacity_weights(),
             &self.spec.rtt,
+            &self.config.tenants,
         );
 
         self.profiler.end(tok);
@@ -496,6 +570,7 @@ impl Federation {
                                 - orchestrator.deployment().capacity_of(t.id))
                             .max(0.0),
                             slo_ms: t.slo.latency_ms,
+                            tenant: t.tenant,
                         })
                         .filter(|e| e.rate_rps > 0.0)
                         .collect();
@@ -545,9 +620,17 @@ impl Federation {
                                 service,
                                 rate_rps,
                                 slo_ms: self.slo_of(service),
+                                tenant: self.tenant_of_service(service),
                             })
                             .collect();
-                        respill.extend(route_from(src, &demand, &mask, &weights, &self.spec.rtt));
+                        respill.extend(route_from_fair(
+                            src,
+                            &demand,
+                            &mask,
+                            &weights,
+                            &self.spec.rtt,
+                            &self.config.tenants,
+                        ));
                     }
                     flows.extend(respill);
                     // One follow-up retarget round for the peers that took
@@ -572,7 +655,7 @@ impl Federation {
         let tok = self.profiler.begin("measure", "region");
 
         // 4. Serve each region's routed load with RTT ingress classes.
-        let outcome = self.measure(
+        let measured = self.measure(
             interval,
             event,
             &flows,
@@ -581,7 +664,7 @@ impl Federation {
             forced_failovers,
         );
         self.profiler.end(tok);
-        Ok(outcome)
+        Ok(measured)
     }
 
     /// A service's latency SLO, ms (0 for unknown ids, which the router
@@ -591,6 +674,14 @@ impl Federation {
             .iter()
             .find(|s| s.id == service)
             .map_or(0.0, |s| s.slo.latency_ms)
+    }
+
+    /// A service's owning tenant id (0 for unknown / untenanted ids).
+    fn tenant_of_service(&self, service: u32) -> u32 {
+        self.base_services
+            .iter()
+            .find(|s| s.id == service)
+            .map_or(0, |s| s.tenant)
     }
 
     /// The per-service target specs of region `d` given the flow set.
@@ -603,7 +694,9 @@ impl Federation {
                     .iter()
                     .find(|(id, _)| *id == s.id)
                     .map_or(0.0, |(_, r)| *r);
-                (rate > 0.0).then(|| ServiceSpec::new(s.id, s.model, rate, s.slo.latency_ms))
+                (rate > 0.0).then(|| {
+                    ServiceSpec::new(s.id, s.model, rate, s.slo.latency_ms).with_tenant(s.tenant)
+                })
             })
             .collect()
     }
@@ -650,7 +743,8 @@ impl Federation {
         }
     }
 
-    /// Serve + price every region for one interval and assemble the row.
+    /// Serve + price every region for one interval and assemble the row
+    /// plus its per-tenant billing (empty without tenants).
     #[allow(clippy::too_many_lines)]
     fn measure(
         &self,
@@ -660,7 +754,7 @@ impl Federation {
         offered: &[Vec<Demand>],
         recovery: &[RecoveryRow],
         forced_failovers: Vec<usize>,
-    ) -> IntervalOutcome {
+    ) -> (IntervalOutcome, Vec<BillingRow>) {
         self.measure_with(
             interval,
             event,
@@ -685,11 +779,15 @@ impl Federation {
         recovery: &[RecoveryRow],
         forced_failovers: Vec<usize>,
         parallel: bool,
-    ) -> IntervalOutcome {
+    ) -> (IntervalOutcome, Vec<BillingRow>) {
         let mut regions = Vec::with_capacity(self.regions.len());
         let mut within: f64 = 0.0;
         let mut total_offered: f64 = 0.0;
         let mut total_cost = 0.0;
+        // Per-tenant rollup across regions: offered, rejected, in-SLO,
+        // revenue, cost (tenant-id order via the BTreeMap).
+        let mut bill: std::collections::BTreeMap<u32, (u64, u64, u64, f64, f64)> =
+            std::collections::BTreeMap::new();
 
         let offered_rps: Vec<f64> = offered
             .iter()
@@ -751,13 +849,33 @@ impl Federation {
             within += region_within as f64;
             total_offered += region_offered as f64;
 
-            let packing = FleetPacking::derive_in_region(
+            let packing = FleetPacking::derive_priced(
                 orchestrator.deployment(),
                 orchestrator.placement(),
                 orchestrator.fleet(),
                 self.spec.regions[d].pricing_multiplier,
+                self.config.spot_discounts.get(d).copied().flatten(),
             );
             total_cost += packing.usd_per_hour;
+            if !self.config.tenants.is_empty() {
+                let window_usd = packing.usd_per_hour * (self.config.serving.duration_s / 3600.0);
+                let region_tenant_offered: u64 = report.tenants.iter().map(|t| t.offered).sum();
+                for t in &report.tenants {
+                    let rate = tenant_of(&self.config.tenants, t.tenant)
+                        .map_or(0.0, |ten| ten.usd_per_1k_requests);
+                    let share = if region_tenant_offered == 0 {
+                        0.0
+                    } else {
+                        t.offered as f64 / region_tenant_offered as f64
+                    };
+                    let e = bill.entry(t.tenant).or_insert((0, 0, 0, 0.0, 0.0));
+                    e.0 += t.offered;
+                    e.1 += t.rejected;
+                    e.2 += t.completed_within_slo;
+                    e.3 += t.completed_within_slo as f64 * rate / 1_000.0;
+                    e.4 += window_usd * share;
+                }
+            }
             regions.push(RegionOutcome {
                 region: d,
                 name: self.spec.regions[d].name.clone(),
@@ -789,16 +907,38 @@ impl Federation {
             (within / denominator).min(1.0)
         };
 
-        IntervalOutcome {
-            interval,
-            event,
-            forced_failovers,
-            regions,
-            global_compliance,
-            spilled_rps,
-            unrouted_rps,
-            usd_per_hour: total_cost,
-        }
+        let billing: Vec<BillingRow> = bill
+            .into_iter()
+            .map(
+                |(tenant, (offered, rejected, completed_within_slo, revenue_usd, cost_usd))| {
+                    BillingRow {
+                        interval,
+                        tenant,
+                        tenant_name: tenant_of(&self.config.tenants, tenant)
+                            .map_or_else(String::new, |t| t.name.clone()),
+                        offered,
+                        rejected,
+                        completed_within_slo,
+                        revenue_usd,
+                        cost_usd,
+                    }
+                },
+            )
+            .collect();
+
+        (
+            IntervalOutcome {
+                interval,
+                event,
+                forced_failovers,
+                regions,
+                global_compliance,
+                spilled_rps,
+                unrouted_rps,
+                usd_per_hour: total_cost,
+            },
+            billing,
+        )
     }
 
     /// Run the DES for one region: its deployment against the flows
@@ -853,6 +993,7 @@ impl Federation {
             &parva_deploy::Deployment::Mig(orchestrator.deployment().clone()),
             &specs,
         )
+        .tenants(&self.config.tenants)
         .ingress(&ingress)
         .recovery_opt(recovery)
         .config(&serving)
@@ -862,12 +1003,19 @@ impl Federation {
     /// Measure the undisturbed interval 0 (all regions serving locally).
     #[must_use]
     pub fn baseline(&self) -> IntervalOutcome {
+        self.baseline_billed().0
+    }
+
+    /// [`Federation::baseline`] plus interval 0's per-tenant billing rows
+    /// (empty when the run has no tenants configured).
+    fn baseline_billed(&self) -> (IntervalOutcome, Vec<BillingRow>) {
         let offered = self.offered_at(0);
-        let flows = route_demand(
+        let flows = route_demand_fair(
             &offered,
             &self.active_mask(),
             &self.capacity_weights(),
             &self.spec.rtt,
+            &self.config.tenants,
         );
         self.measure(
             0,
@@ -957,6 +1105,26 @@ fn interval_us(serving: &ServingConfig) -> u64 {
     ((serving.warmup_s + serving.duration_s + serving.drain_s) * 1e6) as u64
 }
 
+/// Emit one interval's per-tenant billing gauge rows (no-ops for
+/// tenant-free runs, whose row set is empty).
+fn sample_billing<S: TraceSink>(sink: &mut S, rows: &[BillingRow]) {
+    for b in rows {
+        sink.sample(
+            Row::new()
+                .str("kind", "billing")
+                .u64("interval", b.interval as u64)
+                .u64("tenant", u64::from(b.tenant))
+                .str("tenant_name", b.tenant_name.clone())
+                .u64("offered", b.offered)
+                .u64("rejected", b.rejected)
+                .u64("completed_within_slo", b.completed_within_slo)
+                .f64("revenue_usd", b.revenue_usd)
+                .f64("cost_usd", b.cost_usd)
+                .f64("margin_usd", b.margin_usd()),
+        );
+    }
+}
+
 /// Emit one interval's gauge rows: the federation aggregate, then one
 /// row per region in region order.
 fn sample_interval<S: TraceSink>(sink: &mut S, names: &[String], outcome: &IntervalOutcome) {
@@ -1031,9 +1199,10 @@ fn run_federation_with<S: TraceSink>(
     let mut rng = RngStream::new(config.seed, 0xFED);
     let names: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
     let window = interval_us(&config.serving);
-    let baseline = federation.baseline();
+    let (baseline, mut billing_rows) = federation.baseline_billed();
     if S::ENABLED {
         sample_interval(sink, &names, &baseline);
+        sample_billing(sink, &billing_rows);
     }
 
     let mut intervals = Vec::with_capacity(config.intervals);
@@ -1062,10 +1231,10 @@ fn run_federation_with<S: TraceSink>(
                 let held = drill
                     .filter(|d| !federation.is_active(d.region) && interval < d.failback_at)
                     .map(|d| d.region);
-                next_region_event(&mut rng, &states, held)
+                next_region_event_with(&mut rng, &states, held, &config.region_chaos)
             }
         };
-        let outcome = federation.step(interval, event)?;
+        let (outcome, interval_bill) = federation.step_billed(interval, event)?;
         if S::ENABLED {
             let ts0 = interval as u64 * window;
             sink.emit(
@@ -1107,8 +1276,10 @@ fn run_federation_with<S: TraceSink>(
                 }
             }
             sample_interval(sink, &names, &outcome);
+            sample_billing(sink, &interval_bill);
         }
         intervals.push(outcome);
+        billing_rows.extend(interval_bill);
     }
 
     let profile = std::mem::take(&mut federation.profiler);
@@ -1118,6 +1289,7 @@ fn run_federation_with<S: TraceSink>(
             region_names: names,
             baseline,
             intervals,
+            billing: (!billing_rows.is_empty()).then_some(BillingReport { rows: billing_rows }),
         },
         profile,
     ))
@@ -1126,6 +1298,8 @@ fn run_federation_with<S: TraceSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::next_region_event;
+    use crate::router::route_demand;
     use crate::spec::FederationSpec;
 
     fn quick_config(seed: u64, intervals: usize) -> FederationConfig {
@@ -1425,10 +1599,11 @@ mod tests {
                     false,
                 );
                 assert_eq!(
-                    serde_json::to_string(&par).unwrap(),
-                    serde_json::to_string(&ser).unwrap(),
+                    serde_json::to_string(&par.0).unwrap(),
+                    serde_json::to_string(&ser.0).unwrap(),
                     "seed {seed} interval {interval}"
                 );
+                assert_eq!(par.1, ser.1, "billing rows diverged at seed {seed}");
             }
         }
     }
@@ -1484,12 +1659,151 @@ mod tests {
             false,
         );
         assert_eq!(
-            serde_json::to_string(&par).unwrap(),
-            serde_json::to_string(&ser).unwrap()
+            serde_json::to_string(&par.0).unwrap(),
+            serde_json::to_string(&ser.0).unwrap()
         );
         // The recovery rows actually rode the sims.
-        assert!(par.regions[1].recovery_latency_ms > 0.0);
-        assert!(par.regions[2].precopied_gib > 0.0);
+        assert!(par.0.regions[1].recovery_latency_ms > 0.0);
+        assert!(par.0.regions[2].precopied_gib > 0.0);
+    }
+
+    fn tenanted_services() -> Vec<ServiceSpec> {
+        // Tenant 1 (acme) owns the even service ids, tenant 2 (globex)
+        // the odd ones — both present in every region's demand share.
+        crate::demo_services()
+            .into_iter()
+            .map(|s| {
+                let tenant = if s.id % 2 == 0 { 1 } else { 2 };
+                s.with_tenant(tenant)
+            })
+            .collect()
+    }
+
+    fn two_tenants() -> Vec<Tenant> {
+        vec![
+            Tenant::new(1, "acme")
+                .with_weight(3.0)
+                .with_rate_usd_per_1k(1.2),
+            Tenant::new(2, "globex").with_rate_usd_per_1k(0.8),
+        ]
+    }
+
+    #[test]
+    fn tenanted_federation_bills_deterministically() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = tenanted_services();
+        let mut config = quick_config(7, 4);
+        config.tenants = two_tenants();
+        let a = run_federation(&book, &services, &spec, &config).unwrap();
+        let b = run_federation(&book, &services, &spec, &config).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "tenanted runs must serialize byte-identically per seed"
+        );
+
+        let billing = a.billing.as_ref().expect("tenanted run must carry a P&L");
+        // Baseline + every interval, one row per tenant, tenant-id order.
+        assert_eq!(billing.rows.len(), 2 * (config.intervals + 1));
+        for (i, rows) in billing.rows.chunks(2).enumerate() {
+            assert_eq!(rows[0].interval, i);
+            assert_eq!(rows[1].interval, i);
+            assert_eq!(rows[0].tenant, 1);
+            assert_eq!(rows[1].tenant, 2);
+            assert_eq!(rows[0].tenant_name, "acme");
+        }
+        // Economics are live: revenue accrued, costs attributed, and the
+        // interval cost attribution matches the interval's fleet bill.
+        assert!(billing.rows.iter().any(|r| r.revenue_usd > 0.0));
+        assert!(billing.rows.iter().all(|r| r.cost_usd >= 0.0));
+        let baseline_cost: f64 = billing.rows[..2].iter().map(|r| r.cost_usd).sum();
+        let serving_h = config.serving.duration_s / 3600.0;
+        let expected = a.baseline.usd_per_hour * serving_h;
+        assert!(
+            (baseline_cost - expected).abs() < 1e-9,
+            "baseline cost attribution {baseline_cost} != fleet bill {expected}"
+        );
+    }
+
+    #[test]
+    fn default_tenant_knobs_are_byte_neutral() {
+        // Explicitly-spelled defaults (no tenants, default chaos profile
+        // per region, no spot discounts) must reproduce the legacy report
+        // byte for byte — the whole tenant layer is opt-in.
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let plain = run_federation(&book, &services, &spec, &quick_config(7, 4)).unwrap();
+        assert!(plain.billing.is_none(), "untenanted run must not bill");
+        let mut config = quick_config(7, 4);
+        config.region_chaos = vec![ChaosProfile::default(); 3];
+        config.spot_discounts = vec![None; 3];
+        let knobs = run_federation(&book, &services, &spec, &config).unwrap();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&knobs).unwrap()
+        );
+    }
+
+    #[test]
+    fn spot_discounts_cheapen_regions_without_changing_behavior() {
+        let book = ProfileBook::builtin();
+        // mixed_demo packs onto the reserved/on-demand tiers first, so
+        // make one region all-spot: every in-service hour there is
+        // discountable.
+        let mut spec = FederationSpec::three_region_demo();
+        spec.regions[2].fleet = parva_fleet::FleetSpec {
+            pools: vec![parva_fleet::NodePool {
+                name: "ap-spot".into(),
+                node: parva_cluster::NodeType::P4DE_24XLARGE,
+                pricing: parva_cluster::PricingPlan::Spot,
+                preemptible: true,
+                count: 2,
+                region: Some("ap-south".into()),
+            }],
+        };
+        let services = crate::demo_services();
+        let full = run_federation(&book, &services, &spec, &quick_config(3, 3)).unwrap();
+        let mut config = quick_config(3, 3);
+        config.spot_discounts = vec![Some(0.1); 3];
+        let spot = run_federation(&book, &services, &spec, &config).unwrap();
+        // Same chaos, same serving, same attainment — only the bill moves.
+        assert_eq!(
+            full.intervals
+                .iter()
+                .map(|i| i.event.clone())
+                .collect::<Vec<_>>(),
+            spot.intervals
+                .iter()
+                .map(|i| i.event.clone())
+                .collect::<Vec<_>>()
+        );
+        assert!((full.baseline.global_compliance - spot.baseline.global_compliance).abs() < 1e-12);
+        assert!(
+            spot.baseline.usd_per_hour < full.baseline.usd_per_hour,
+            "0.1x spot discount never showed up: {} vs {}",
+            spot.baseline.usd_per_hour,
+            full.baseline.usd_per_hour
+        );
+    }
+
+    #[test]
+    fn invalid_tenants_are_rejected() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = tenanted_services();
+        let mut config = quick_config(1, 1);
+        config.tenants = vec![Tenant::new(0, "reserved-id")];
+        assert!(matches!(
+            Federation::bootstrap(&book, &services, &spec, &config),
+            Err(FederationError::Spec(_))
+        ));
+        config.tenants = vec![Tenant::new(3, "a"), Tenant::new(3, "b")];
+        assert!(matches!(
+            Federation::bootstrap(&book, &services, &spec, &config),
+            Err(FederationError::Spec(_))
+        ));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! [`parva_fleet::FleetReport`].
 
 use crate::event::RegionEvent;
-use serde::{Deserialize, Serialize};
+use parva_cluster::BillingReport;
+use serde::{Deserialize, Serialize, Value};
 
 /// Tolerance for [`IntervalOutcome::attains`]: with DES-measured recovery,
 /// an interval's compliance carries the *measured* dip of its own event
@@ -93,7 +94,7 @@ impl IntervalOutcome {
 }
 
 /// Full outcome of a federation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FederationReport {
     /// Master seed of the run.
     pub seed: u64,
@@ -103,6 +104,29 @@ pub struct FederationReport {
     pub baseline: IntervalOutcome,
     /// Disturbed intervals, 1-based.
     pub intervals: Vec<IntervalOutcome>,
+    /// The operator's per-tenant P&L, one row per (interval, tenant)
+    /// including the interval-0 baseline, aggregated across regions.
+    /// `None` (and omitted from the serialized form) when the run had no
+    /// tenants configured.
+    #[serde(default)]
+    pub billing: Option<BillingReport>,
+}
+
+// Hand-written so tenant-free runs serialize exactly as before the tenant
+// layer existed: `billing` is emitted only when present.
+impl Serialize for FederationReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("seed"), self.seed.to_value()),
+            (String::from("region_names"), self.region_names.to_value()),
+            (String::from("baseline"), self.baseline.to_value()),
+            (String::from("intervals"), self.intervals.to_value()),
+        ];
+        if let Some(billing) = &self.billing {
+            map.push((String::from("billing"), billing.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl FederationReport {
@@ -239,6 +263,9 @@ impl FederationReport {
                 downtime, migrations, spill_in
             ));
         }
+        if let Some(billing) = &self.billing {
+            out.push_str(&billing.render());
+        }
         out
     }
 }
@@ -267,6 +294,7 @@ mod tests {
             region_names: vec!["a".into(), "b".into()],
             baseline: outcome(0, 1.0),
             intervals: vec![outcome(1, 0.92), outcome(2, 1.0)],
+            billing: None,
         };
         assert!((report.worst_dip() - 0.08).abs() < 1e-12);
         assert!(report.recovered());
@@ -284,6 +312,7 @@ mod tests {
             region_names: vec![],
             baseline: outcome(0, 1.0),
             intervals: vec![outcome(1, 0.5)],
+            billing: None,
         };
         assert!(!report.recovered());
         assert!(report.render().contains("BELOW BASELINE"));

@@ -23,6 +23,7 @@
 //! charge it against the SLO (see [`parva_serve::IngressClass`]).
 
 use crate::spec::RttMatrix;
+use parva_deploy::Tenant;
 use serde::{Deserialize, Serialize};
 
 /// Distance soft-decay constant: a destination `RTT_HALF_MS` away gets
@@ -42,6 +43,9 @@ pub struct Demand {
     pub rate_rps: f64,
     /// The service's latency SLO, ms (bounds how far it may spill).
     pub slo_ms: f64,
+    /// Owning tenant id (`0` = untenanted).
+    #[serde(default)]
+    pub tenant: u32,
 }
 
 /// One routed traffic stream: demand of `service` originating in `src`,
@@ -58,6 +62,9 @@ pub struct Flow {
     pub rate_rps: f64,
     /// Round-trip time charged to every request of this flow, ms.
     pub rtt_ms: f64,
+    /// Owning tenant id (`0` = untenanted), copied from the demand.
+    #[serde(default)]
+    pub tenant: u32,
 }
 
 /// Geo weight of a destination: capacity over softened distance.
@@ -83,6 +90,7 @@ fn route_source(
                     service: d.service,
                     rate_rps: d.rate_rps,
                     rtt_ms: 0.0,
+                    tenant: d.tenant,
                 });
             }
         }
@@ -124,7 +132,161 @@ fn route_source(
                 service: demand.service,
                 rate_rps: demand.rate_rps * w / total,
                 rtt_ms: rtt.rtt_ms(src, d),
+                tenant: demand.tenant,
             });
+        }
+    }
+}
+
+/// Allocation floor below which a share is considered exhausted (req/s).
+const FAIR_EPS: f64 = 1e-9;
+
+/// The effective fair-share weight of tenant `id` under `tenants`
+/// (unknown or untenanted ids weigh `1.0`, like an unconfigured tenant).
+fn tenant_weight(tenants: &[Tenant], id: u32) -> f64 {
+    parva_deploy::tenant_of(tenants, id).map_or(1.0, Tenant::effective_weight)
+}
+
+/// Split one spilling source's demand across destinations **weighted-fair
+/// across tenants**: each destination's aggregate absorption stays
+/// proportional to its geo weight (capacity over softened distance — the
+/// legacy invariant), but destinations fill nearest-first and, inside each
+/// destination, tenants share the absorption budget by weighted max-min
+/// water-filling on their [`Tenant::effective_weight`]. A heavy tenant
+/// therefore lands more of its spill in the nearest (lowest-RTT) healthy
+/// region, while a light tenant is pushed toward farther destinations —
+/// its share of each destination is *bounded by its weight*, not by how
+/// much traffic it happens to offer. Per-service SLO feasibility still
+/// gates every allocation; demand feasible nowhere degrades to the legacy
+/// best-effort split.
+#[allow(clippy::cast_precision_loss)]
+fn route_source_fair(
+    src: usize,
+    offered: &[Demand],
+    active: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+    tenants: &[Tenant],
+    out: &mut Vec<Flow>,
+) {
+    if active[src] {
+        // Local serving is not contended: identical to the legacy path.
+        route_source(src, offered, active, capacity_weight, rtt, out);
+        return;
+    }
+    let candidates: Vec<usize> = (0..active.len())
+        .filter(|&d| active[d] && capacity_weight[d] > 0.0)
+        .collect();
+    if candidates.is_empty() {
+        return; // nowhere to go: the caller accounts this as unrouted
+    }
+    let demands: Vec<&Demand> = offered.iter().filter(|d| d.rate_rps > 0.0).collect();
+    let total: f64 = demands.iter().map(|d| d.rate_rps).sum();
+    if total <= 0.0 {
+        return;
+    }
+
+    // Destination budgets: the aggregate each destination would absorb
+    // under the legacy geo-weighted split, filled nearest-first.
+    let mut dests: Vec<(usize, f64, f64)> = candidates
+        .iter()
+        .map(|&d| {
+            let r = rtt.rtt_ms(src, d);
+            (d, r, geo_weight(capacity_weight[d], r))
+        })
+        .collect();
+    let weight_sum: f64 = dests.iter().map(|(_, _, w)| w).sum();
+    if weight_sum <= 0.0 {
+        return;
+    }
+    dests.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut remaining: Vec<f64> = demands.iter().map(|d| d.rate_rps).collect();
+    // alloc[i][j] = rate of demand i routed to dests[j].
+    let mut alloc = vec![vec![0.0f64; dests.len()]; demands.len()];
+    let mut carry = 0.0; // budget a destination could not place rolls onward
+    for (j, &(_, rtt_ms, w)) in dests.iter().enumerate() {
+        let mut budget = total * w / weight_sum + carry;
+        loop {
+            // Tenants with SLO-feasible unplaced demand at this destination.
+            let mut per_tenant: std::collections::BTreeMap<u32, f64> =
+                std::collections::BTreeMap::new();
+            for (i, demand) in demands.iter().enumerate() {
+                if remaining[i] > FAIR_EPS && rtt_ms <= demand.slo_ms * SPILL_MAX_SLO_FRACTION {
+                    *per_tenant.entry(demand.tenant).or_insert(0.0) += remaining[i];
+                }
+            }
+            if per_tenant.is_empty() || budget <= FAIR_EPS {
+                break;
+            }
+            let weight_total: f64 = per_tenant.keys().map(|&t| tenant_weight(tenants, t)).sum();
+            let mut placed = 0.0;
+            for (&t, &feasible) in &per_tenant {
+                let fair = budget * tenant_weight(tenants, t) / weight_total;
+                let take = fair.min(feasible);
+                if take <= FAIR_EPS {
+                    continue;
+                }
+                // Spread the tenant's grant across its feasible services
+                // proportional to their unplaced rates.
+                for (i, demand) in demands.iter().enumerate() {
+                    if demand.tenant == t
+                        && remaining[i] > FAIR_EPS
+                        && rtt_ms <= demand.slo_ms * SPILL_MAX_SLO_FRACTION
+                    {
+                        let part = take * remaining[i] / feasible;
+                        alloc[i][j] += part;
+                        remaining[i] -= part;
+                    }
+                }
+                placed += take;
+            }
+            budget -= placed;
+            if placed <= FAIR_EPS {
+                break; // every feasible tenant is capped: water level reached
+            }
+        }
+        carry = budget.max(0.0);
+    }
+
+    // Whatever is still unplaced either outran its feasible destinations'
+    // budgets or fits nowhere. Place it geo-weighted over its *feasible*
+    // destinations first (budgets are advisory; the SLO filter is not),
+    // degrading to the legacy all-candidates best-effort split only when
+    // no destination is feasible — degraded service beats dropped service.
+    for (i, demand) in demands.iter().enumerate() {
+        if remaining[i] <= FAIR_EPS {
+            continue;
+        }
+        let feasible_sum: f64 = dests
+            .iter()
+            .filter(|&&(_, rtt_ms, _)| rtt_ms <= demand.slo_ms * SPILL_MAX_SLO_FRACTION)
+            .map(|&(_, _, w)| w)
+            .sum();
+        for (j, &(_, rtt_ms, w)) in dests.iter().enumerate() {
+            if feasible_sum > 0.0 {
+                if rtt_ms <= demand.slo_ms * SPILL_MAX_SLO_FRACTION {
+                    alloc[i][j] += remaining[i] * w / feasible_sum;
+                }
+            } else {
+                alloc[i][j] += remaining[i] * w / weight_sum;
+            }
+        }
+        remaining[i] = 0.0;
+    }
+
+    for (i, demand) in demands.iter().enumerate() {
+        for (j, &(d, rtt_ms, _)) in dests.iter().enumerate() {
+            if alloc[i][j] > FAIR_EPS {
+                out.push(Flow {
+                    src,
+                    dst: d,
+                    service: demand.service,
+                    rate_rps: alloc[i][j],
+                    rtt_ms,
+                    tenant: demand.tenant,
+                });
+            }
         }
     }
 }
@@ -150,6 +312,29 @@ pub fn route_demand(
     out
 }
 
+/// [`route_demand`] with tenant-weighted-fair spill: when `tenants` is
+/// non-empty, each evacuated source's spill is apportioned by
+/// [`route_source_fair`] (nearest-destination budgets shared across
+/// tenants by fair-share weight); when `tenants` is empty this is exactly
+/// [`route_demand`].
+#[must_use]
+pub fn route_demand_fair(
+    offered: &[Vec<Demand>],
+    active: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+    tenants: &[Tenant],
+) -> Vec<Flow> {
+    if tenants.is_empty() {
+        return route_demand(offered, active, capacity_weight, rtt);
+    }
+    let mut out = Vec::new();
+    for (src, o) in offered.iter().enumerate() {
+        route_source_fair(src, o, active, capacity_weight, rtt, tenants, &mut out);
+    }
+    out
+}
+
 /// Route `demand` away from its true origin `src` across the regions
 /// marked active in `mask` (with `src` treated as unavailable even if
 /// the mask says otherwise). The per-service SLO filter and the RTT
@@ -168,6 +353,27 @@ pub fn route_from(
     mask[src] = false;
     let mut out = Vec::new();
     route_source(src, demand, &mask, capacity_weight, rtt, &mut out);
+    out
+}
+
+/// [`route_from`] with tenant-weighted-fair spill (see
+/// [`route_demand_fair`]); empty `tenants` is exactly [`route_from`].
+#[must_use]
+pub fn route_from_fair(
+    src: usize,
+    demand: &[Demand],
+    mask: &[bool],
+    capacity_weight: &[f64],
+    rtt: &RttMatrix,
+    tenants: &[Tenant],
+) -> Vec<Flow> {
+    if tenants.is_empty() {
+        return route_from(src, demand, mask, capacity_weight, rtt);
+    }
+    let mut mask = mask.to_vec();
+    mask[src] = false;
+    let mut out = Vec::new();
+    route_source_fair(src, demand, &mask, capacity_weight, rtt, tenants, &mut out);
     out
 }
 
@@ -211,6 +417,16 @@ mod tests {
             service,
             rate_rps,
             slo_ms,
+            tenant: 0,
+        }
+    }
+
+    fn tenant_demand(service: u32, rate_rps: f64, slo_ms: f64, tenant: u32) -> Demand {
+        Demand {
+            service,
+            rate_rps,
+            slo_ms,
+            tenant,
         }
     }
 
@@ -394,5 +610,192 @@ mod tests {
             .map(|(_, r)| r)
             .sum();
         assert!((all - 1600.0).abs() < 1e-9);
+    }
+
+    fn two_tenants(heavy: f64, light: f64) -> Vec<Tenant> {
+        vec![
+            Tenant::new(1, "heavy").with_weight(heavy),
+            Tenant::new(2, "light").with_weight(light),
+        ]
+    }
+
+    #[test]
+    fn fair_routing_without_tenants_matches_legacy() {
+        let flows = route_demand(
+            &offered3(),
+            &[false, true, true],
+            &[32.0, 24.0, 24.0],
+            &rtt3(),
+        );
+        let fair = route_demand_fair(
+            &offered3(),
+            &[false, true, true],
+            &[32.0, 24.0, 24.0],
+            &rtt3(),
+            &[],
+        );
+        assert_eq!(flows, fair, "empty tenant set must not change routing");
+    }
+
+    #[test]
+    fn fair_split_conserves_per_tenant_and_per_destination() {
+        // Two tenants spill from region 0. Aggregate absorption per
+        // destination must match the legacy geo-weight proportions, and
+        // every tenant's demand must be fully routed.
+        let offered = vec![
+            vec![
+                tenant_demand(0, 300.0, 1000.0, 1),
+                tenant_demand(1, 300.0, 1000.0, 2),
+            ],
+            vec![],
+            vec![],
+        ];
+        let weights = [0.0, 24.0, 24.0];
+        let flows = route_demand_fair(
+            &offered,
+            &[false, true, true],
+            &weights,
+            &rtt3(),
+            &two_tenants(3.0, 1.0),
+        );
+        for t in [1u32, 2u32] {
+            let routed: f64 = flows
+                .iter()
+                .filter(|f| f.tenant == t)
+                .map(|f| f.rate_rps)
+                .sum();
+            assert!((routed - 300.0).abs() < 1e-6, "tenant {t} lost traffic");
+        }
+        // Aggregate per destination follows geo weight (80 ms vs 210 ms).
+        let w1 = geo_weight(24.0, 80.0);
+        let w2 = geo_weight(24.0, 210.0);
+        let to_1: f64 = flows
+            .iter()
+            .filter(|f| f.dst == 1)
+            .map(|f| f.rate_rps)
+            .sum();
+        let to_2: f64 = flows
+            .iter()
+            .filter(|f| f.dst == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!((to_1 / to_2 - w1 / w2).abs() < 1e-6, "{to_1} vs {to_2}");
+    }
+
+    #[test]
+    fn heavier_tenant_takes_the_nearer_destination() {
+        // Equal offered rates, weight 3 vs 1: the heavy tenant's share of
+        // the nearest destination's budget is 3× the light tenant's.
+        let offered = vec![
+            vec![
+                tenant_demand(0, 300.0, 1000.0, 1),
+                tenant_demand(1, 300.0, 1000.0, 2),
+            ],
+            vec![],
+            vec![],
+        ];
+        let flows = route_demand_fair(
+            &offered,
+            &[false, true, true],
+            &[0.0, 24.0, 24.0],
+            &rtt3(),
+            &two_tenants(3.0, 1.0),
+        );
+        let near = |t: u32| -> f64 {
+            flows
+                .iter()
+                .filter(|f| f.dst == 1 && f.tenant == t)
+                .map(|f| f.rate_rps)
+                .sum()
+        };
+        // The nearest destination's budget is under the heavy tenant's
+        // full demand, so the 3:1 fair shares bind exactly.
+        assert!(
+            (near(1) / near(2) - 3.0).abs() < 1e-6,
+            "heavy {:.1} vs light {:.1}",
+            near(1),
+            near(2)
+        );
+        // And the light tenant's displaced traffic lands farther out, not
+        // nowhere: conservation still holds.
+        let light_total: f64 = flows
+            .iter()
+            .filter(|f| f.tenant == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!((light_total - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fair_split_respects_slo_feasibility() {
+        // The heavy tenant's 205 ms SLO cannot cross the 210 ms ocean: its
+        // whole demand must land in the 80 ms region regardless of budget,
+        // pushing the light (loose-SLO) tenant's spill outward.
+        let offered = vec![
+            vec![
+                tenant_demand(0, 200.0, 205.0, 1),
+                tenant_demand(1, 200.0, 400.0, 2),
+            ],
+            vec![],
+            vec![],
+        ];
+        let flows = route_demand_fair(
+            &offered,
+            &[false, true, true],
+            &[0.0, 10.0, 10.0],
+            &rtt3(),
+            &two_tenants(1.0, 1.0),
+        );
+        let tight_far: f64 = flows
+            .iter()
+            .filter(|f| f.tenant == 1 && f.dst == 2)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert_eq!(tight_far, 0.0, "205 ms SLO crossed a 210 ms RTT");
+        let tight_near: f64 = flows
+            .iter()
+            .filter(|f| f.tenant == 1 && f.dst == 1)
+            .map(|f| f.rate_rps)
+            .sum();
+        assert!((tight_near - 200.0).abs() < 1e-6);
+        let total: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        assert!(
+            (total - 400.0).abs() < 1e-6,
+            "conservation under the filter"
+        );
+    }
+
+    #[test]
+    fn fair_split_degrades_to_best_effort_when_nothing_fits() {
+        // A 50 ms SLO fits nowhere; the fair router must still place it
+        // (legacy best-effort) rather than drop it.
+        let offered = vec![vec![tenant_demand(0, 100.0, 50.0, 1)], vec![], vec![]];
+        let flows = route_demand_fair(
+            &offered,
+            &[false, true, true],
+            &[10.0, 10.0, 10.0],
+            &rtt3(),
+            &two_tenants(2.0, 1.0),
+        );
+        let total: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_from_fair_masks_the_source() {
+        let flows = route_from_fair(
+            1,
+            &[tenant_demand(0, 90.0, 1000.0, 1)],
+            &[true, true, true],
+            &[32.0, 24.0, 24.0],
+            &rtt3(),
+            &two_tenants(1.0, 1.0),
+        );
+        assert!(!flows.is_empty());
+        assert!(flows
+            .iter()
+            .all(|f| f.dst != 1 && f.src == 1 && f.tenant == 1));
+        let total: f64 = flows.iter().map(|f| f.rate_rps).sum();
+        assert!((total - 90.0).abs() < 1e-9);
     }
 }

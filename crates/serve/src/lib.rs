@@ -33,7 +33,7 @@ pub mod sim;
 pub mod simulation;
 
 pub use recovery::{RecoveryOp, RecoverySimReport, RecoverySpec};
-pub use report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
+pub use report::{ClassReport, ServerActivity, ServiceReport, ServingReport, TenantReport};
 pub use router::Router;
 #[allow(deprecated)]
 pub use sim::{

@@ -609,10 +609,12 @@ pub fn simulate_with_recovery_reference(
                 violated_batches: violated[i],
                 completed_within_slo: within_slo[i],
                 latency: latency[i].clone(),
+                rejected: 0,
             })
             .collect(),
         servers: server_reports,
         classes: class_reports,
         recovery: rec_report,
+        tenants: Vec::new(),
     }
 }

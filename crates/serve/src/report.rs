@@ -2,10 +2,10 @@
 
 use crate::recovery::RecoverySimReport;
 use parva_des::LatencyHistogram;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Per-service serving outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct ServiceReport {
     /// Service id.
     pub service_id: u32,
@@ -21,6 +21,36 @@ pub struct ServiceReport {
     pub completed_within_slo: u64,
     /// Per-request latency distribution (ms).
     pub latency: LatencyHistogram,
+    /// Requests rejected at ingress because the owning tenant was over its
+    /// admission quota. Always zero without tenant quotas.
+    #[serde(default)]
+    pub rejected: u64,
+}
+
+// Hand-written so quota-free runs serialize exactly as before the tenant
+// layer existed: `rejected` is emitted only when non-zero.
+impl Serialize for ServiceReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("service_id"), self.service_id.to_value()),
+            (String::from("offered"), self.offered.to_value()),
+            (String::from("completed"), self.completed.to_value()),
+            (String::from("batches"), self.batches.to_value()),
+            (
+                String::from("violated_batches"),
+                self.violated_batches.to_value(),
+            ),
+            (
+                String::from("completed_within_slo"),
+                self.completed_within_slo.to_value(),
+            ),
+            (String::from("latency"), self.latency.to_value()),
+        ];
+        if self.rejected != 0 {
+            map.push((String::from("rejected"), self.rejected.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl ServiceReport {
@@ -86,6 +116,54 @@ impl ClassReport {
     }
 }
 
+/// Per-tenant serving rollup: the sum of the tenant's service rows plus
+/// admission-control accounting. Only present when the run was configured
+/// with tenants ([`crate::Simulation::tenants`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Tenant display name (may be empty).
+    #[serde(default)]
+    pub name: String,
+    /// Requests offered by the tenant's services during the window.
+    pub offered: u64,
+    /// Requests admitted past the quota gate (`offered - rejected`).
+    pub admitted: u64,
+    /// Requests rejected at ingress (over quota).
+    pub rejected: u64,
+    /// Requests completed during the window.
+    pub completed: u64,
+    /// Requests completed within their service's SLO.
+    pub completed_within_slo: u64,
+    /// Merged per-request latency distribution across the tenant's
+    /// services (ms).
+    pub latency: LatencyHistogram,
+}
+
+impl TenantReport {
+    /// SLO attainment against *offered* load: rejected requests count as
+    /// misses, so quota pressure is visible (1.0 when nothing offered).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            (self.completed_within_slo as f64 / self.offered as f64).min(1.0)
+        }
+    }
+
+    /// Fraction of offered requests admitted past the quota gate.
+    #[must_use]
+    pub fn admission_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.offered as f64
+        }
+    }
+}
+
 /// Per-server (segment or partition) activity for the slack metric.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ServerActivity {
@@ -98,7 +176,7 @@ pub struct ServerActivity {
 }
 
 /// Full serving report for one deployment run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct ServingReport {
     /// Measurement window length, seconds.
     pub duration_s: f64,
@@ -116,6 +194,28 @@ pub struct ServingReport {
     /// was simulated.
     #[serde(default)]
     pub recovery: Option<RecoverySimReport>,
+    /// Per-tenant rollups ([`TenantReport`]); empty (and omitted from the
+    /// serialized form) when the run had no tenants configured.
+    #[serde(default)]
+    pub tenants: Vec<TenantReport>,
+}
+
+// Hand-written so tenant-free runs serialize exactly as before the tenant
+// layer existed: `tenants` is emitted only when non-empty.
+impl Serialize for ServingReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("duration_s"), self.duration_s.to_value()),
+            (String::from("services"), self.services.to_value()),
+            (String::from("servers"), self.servers.to_value()),
+            (String::from("classes"), self.classes.to_value()),
+            (String::from("recovery"), self.recovery.to_value()),
+        ];
+        if !self.tenants.is_empty() {
+            map.push((String::from("tenants"), self.tenants.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl ServingReport {
@@ -180,6 +280,7 @@ mod tests {
             violated_batches: violated,
             completed_within_slo: batches * 8 - violated * 8,
             latency: LatencyHistogram::new(),
+            rejected: 0,
         }
     }
 
@@ -198,6 +299,7 @@ mod tests {
             servers: vec![],
             classes: vec![],
             recovery: None,
+            tenants: vec![],
         };
         // 30 violations / 400 batches.
         assert!((report.overall_compliance_rate() - 0.925).abs() < 1e-12);
@@ -222,6 +324,7 @@ mod tests {
             ],
             classes: vec![],
             recovery: None,
+            tenants: vec![],
         };
         // 1 - (42 + 21)/84 = 0.25.
         assert!((report.internal_slack() - 0.25).abs() < 1e-12);
@@ -235,6 +338,7 @@ mod tests {
             servers: vec![],
             classes: vec![],
             recovery: None,
+            tenants: vec![],
         };
         assert_eq!(report.overall_compliance_rate(), 1.0);
         assert_eq!(report.internal_slack(), 0.0);

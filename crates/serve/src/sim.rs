@@ -9,9 +9,9 @@
 //! (`crate::reference`, compiled for tests only).
 
 use crate::recovery::{RecoverySimReport, RecoverySpec};
-use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport};
+use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport, TenantReport};
 use crate::router::Router;
-use parva_deploy::{Deployment, ServiceSpec};
+use parva_deploy::{Deployment, ServiceSpec, Tenant};
 use parva_des::{CalendarQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
 use parva_obs::{Row, TraceEvent, TraceSink, PID_SERVE};
 use parva_perf::interference::total_interference;
@@ -120,6 +120,45 @@ impl Default for ServingConfig {
 
 /// Sentinel marking an empty batch-timing memo slot.
 const MEMO_EMPTY: SimTime = SimTime(u64::MAX);
+
+/// Deterministic per-tenant admission gate: a token bucket refilled
+/// continuously at the tenant's quota rate, with one second of burst
+/// capacity (floored at one token so a tiny quota still admits). No RNG
+/// is involved, so quota enforcement never perturbs any sample path — a
+/// rejected arrival simply skips the routing stage.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last_us: u64,
+    rate_per_us: f64,
+    cap: f64,
+}
+
+impl TokenBucket {
+    fn new(quota_rps: f64) -> Self {
+        let cap = quota_rps.max(1.0);
+        Self {
+            tokens: cap,
+            last_us: 0,
+            rate_per_us: quota_rps * 1e-6,
+            cap,
+        }
+    }
+
+    /// Admit one request at simulation time `t`?
+    fn admit(&mut self, t: SimTime) -> bool {
+        let now = t.micros();
+        let dt = now.saturating_sub(self.last_us) as f64;
+        self.last_us = now;
+        self.tokens = (self.tokens + dt * self.rate_per_us).min(self.cap);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// One executable server: a MIG segment (p processes) or an MPS partition.
 #[derive(Debug)]
@@ -580,18 +619,23 @@ pub fn simulate_with_recovery(
 /// Deliver the gauge rows for one sampling boundary: an aggregate
 /// `tick` row (queue depth, in-flight batches, GPU busy fraction, dark
 /// servers) followed by one `service` row per service with its
-/// cumulative in-window SLO attainment. All values derive from
-/// simulation state only, so sampled series are byte-identical across
-/// runs.
+/// cumulative in-window SLO attainment, and — only when tenants are
+/// configured — a `tenant` column on the service rows plus one `tenant`
+/// row per tenant with its admission/attainment rollup. All values derive
+/// from simulation state only, so sampled series are byte-identical
+/// across runs, and tenant-free runs emit rows byte-identical to the
+/// pre-tenant schema.
 #[allow(clippy::too_many_arguments)]
 fn sample_serve_gauges<S: TraceSink>(
     sink: &mut S,
     ts_us: u64,
     servers: &[Server],
     specs: &[ServiceSpec],
+    tenants: &[Tenant],
     offered: &[u64],
     completed: &[u64],
     within_slo: &[u64],
+    rejected: &[u64],
 ) {
     let t_ms = ts_us as f64 / 1_000.0;
     let mut queue_depth = 0u64;
@@ -635,17 +679,47 @@ fn sample_serve_gauges<S: TraceSink>(
             .u64("within_slo", all_within)
             .f64("slo_attainment", attainment(all_within, all_completed)),
     );
+    let has_tenants = !tenants.is_empty();
     for (i, spec) in specs.iter().enumerate() {
-        sink.sample(
-            Row::new()
-                .str("kind", "service")
-                .f64("t_ms", t_ms)
-                .u64("service", u64::from(spec.id))
-                .u64("offered", offered[i])
-                .u64("completed", completed[i])
-                .u64("within_slo", within_slo[i])
-                .f64("slo_attainment", attainment(within_slo[i], completed[i])),
-        );
+        let mut row = Row::new()
+            .str("kind", "service")
+            .f64("t_ms", t_ms)
+            .u64("service", u64::from(spec.id))
+            .u64("offered", offered[i])
+            .u64("completed", completed[i])
+            .u64("within_slo", within_slo[i])
+            .f64("slo_attainment", attainment(within_slo[i], completed[i]));
+        if has_tenants {
+            row = row.u64("tenant", u64::from(spec.tenant));
+        }
+        sink.sample(row);
+    }
+    if has_tenants {
+        for t in tenants {
+            let mut t_offered = 0u64;
+            let mut t_rejected = 0u64;
+            let mut t_completed = 0u64;
+            let mut t_within = 0u64;
+            for (i, spec) in specs.iter().enumerate() {
+                if spec.tenant == t.id {
+                    t_offered += offered[i];
+                    t_rejected += rejected[i];
+                    t_completed += completed[i];
+                    t_within += within_slo[i];
+                }
+            }
+            sink.sample(
+                Row::new()
+                    .str("kind", "tenant")
+                    .f64("t_ms", t_ms)
+                    .u64("tenant", u64::from(t.id))
+                    .u64("offered", t_offered)
+                    .u64("rejected", t_rejected)
+                    .u64("completed", t_completed)
+                    .u64("within_slo", t_within)
+                    .f64("slo_attainment", attainment(t_within, t_completed)),
+            );
+        }
     }
     sink.advance_sampler();
 }
@@ -658,12 +732,14 @@ fn sample_serve_gauges<S: TraceSink>(
 /// `if false` and monomorphizes away, leaving the pre-observability hot
 /// loop; a recording sink collects request/batch/recovery spans and
 /// per-tick gauges without perturbing a single simulation decision.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub(crate) fn run_simulation<S: TraceSink>(
     deployment: &Deployment,
     specs: &[ServiceSpec],
     ingress: &[Vec<IngressClass>],
     recovery: Option<&RecoverySpec>,
+    tenants: &[Tenant],
+    arrival_overrides: &[Option<ArrivalProcess>],
     config: &ServingConfig,
     sink: &mut S,
 ) -> ServingReport {
@@ -744,9 +820,46 @@ pub(crate) fn run_simulation<S: TraceSink>(
         .iter()
         .flat_map(|c| c.iter().map(|cl| cl.rate_rps))
         .collect();
+    // Per-service arrival process: the configured default, unless an
+    // override targets the service (the noisy-neighbor axis — one
+    // tenant's services can burst while the rest stay calm). With no
+    // overrides every entry equals `config.arrivals`, so all draw
+    // sequences are bit-identical to the pre-override engine.
+    let svc_proc: Vec<ArrivalProcess> = (0..specs.len())
+        .map(|i| {
+            arrival_overrides
+                .get(i)
+                .copied()
+                .flatten()
+                .unwrap_or(config.arrivals)
+        })
+        .collect();
     // Memoryless arrivals need no phase state: the hot loop draws the gap
     // straight from the class's stream (identical draw to `next_gap`).
-    let poisson = matches!(config.arrivals, ArrivalProcess::Poisson);
+    let poisson = svc_proc
+        .iter()
+        .all(|p| matches!(p, ArrivalProcess::Poisson));
+
+    // Tenant machinery, strictly inert when no tenants are configured:
+    // per-service tenant binding, one admission token bucket per limited
+    // tenant (shared across the tenant's services — the quota is a
+    // tenant-wide contract), and per-service rejection counters.
+    let has_tenants = !tenants.is_empty();
+    let svc_tenant_idx: Vec<Option<usize>> = specs
+        .iter()
+        .map(|s| {
+            if s.tenant == 0 {
+                None
+            } else {
+                tenants.iter().position(|t| t.id == s.tenant)
+            }
+        })
+        .collect();
+    let mut quota: Vec<Option<TokenBucket>> = tenants
+        .iter()
+        .map(|t| t.is_limited().then(|| TokenBucket::new(t.quota_rps)))
+        .collect();
+    let mut rejected = vec![0u64; specs.len()];
 
     // One arrival stream per (service, class); class 0 reuses the exact
     // pre-ingress stream derivation for backwards-identical sample paths.
@@ -780,7 +893,7 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     phase_rng: &mut Vec<RngStream>|
      -> SimTime {
         let rate = classes[i][c].rate_rps;
-        match config.arrivals {
+        match svc_proc[i] {
             ArrivalProcess::Poisson => rng[cbase[i] + c].exp_interarrival(rate),
             ArrivalProcess::Deterministic => SimTime::from_secs(1.0 / rate),
             ArrivalProcess::Mmpp { mean_phase_s, .. } => {
@@ -788,7 +901,7 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     bursting[i] = !bursting[i];
                     phase_until[i] += phase_rng[i].exp_interarrival(1.0 / mean_phase_s.max(1e-6));
                 }
-                let phase_rate = config.arrivals.phase_rate(rate, bursting[i]);
+                let phase_rate = svc_proc[i].phase_rate(rate, bursting[i]);
                 rng[cbase[i] + c].exp_interarrival(phase_rate)
             }
         }
@@ -882,9 +995,11 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     sink.next_sample_us(),
                     &servers,
                     specs,
+                    tenants,
                     &offered,
                     &completed,
                     &within_slo,
+                    &rejected,
                 );
             }
         }
@@ -920,17 +1035,47 @@ pub(crate) fn run_simulation<S: TraceSink>(
                         class_offered[flat] += 1;
                     }
                 }
+                // Per-tenant admission quota: an over-quota request is
+                // rejected and reported, never silently queued — it still
+                // counts as offered, lands in the rejection counters, and
+                // leaves a traced arrival so `trace audit` can recount
+                // per-tenant attainment exactly.
+                if has_tenants {
+                    if let Some(ti) = svc_tenant_idx[service] {
+                        if let Some(bucket) = quota[ti].as_mut() {
+                            if !bucket.admit(t) {
+                                if t >= win_start && t < win_end {
+                                    rejected[service] += 1;
+                                }
+                                if S::ENABLED {
+                                    sink.emit(
+                                        TraceEvent::instant("arrival", "request", t.micros())
+                                            .pid(PID_SERVE)
+                                            .tid(0)
+                                            .arg_u64("service", u64::from(specs[service].id))
+                                            .arg_u64("class", class as u64)
+                                            .arg_u64("tenant", u64::from(specs[service].tenant))
+                                            .arg_bool("rejected", true),
+                                    );
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
                 if let Some(router) = routers[service].as_mut() {
                     let k = router.route();
                     let (sidx, _) = weights[service][k];
                     if S::ENABLED {
-                        sink.emit(
-                            TraceEvent::instant("arrival", "request", t.micros())
-                                .pid(PID_SERVE)
-                                .tid(sidx as u32)
-                                .arg_u64("service", u64::from(specs[service].id))
-                                .arg_u64("class", class as u64),
-                        );
+                        let mut arrival = TraceEvent::instant("arrival", "request", t.micros())
+                            .pid(PID_SERVE)
+                            .tid(sidx as u32)
+                            .arg_u64("service", u64::from(specs[service].id))
+                            .arg_u64("class", class as u64);
+                        if has_tenants {
+                            arrival = arrival.arg_u64("tenant", u64::from(specs[service].tenant));
+                        }
+                        sink.emit(arrival);
                     }
                     servers[sidx].queue.push_back((t, class as u32));
                     try_start(
@@ -957,20 +1102,22 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     let base = cbase[service];
                     for &(arrived, class) in &slab[batch_id] {
                         let lat_ms = t.since(arrived).as_ms() + class_net[base + class as usize];
-                        sink.emit(
-                            TraceEvent::span(
-                                "request",
-                                "request",
-                                arrived.micros(),
-                                spec_dur(arrived, t),
-                            )
-                            .pid(PID_SERVE)
-                            .tid(server as u32)
-                            .arg_u64("service", u64::from(specs[service].id))
-                            .arg_u64("class", u64::from(class))
-                            .arg_f64("latency_ms", lat_ms)
-                            .arg_bool("ok", lat_ms <= slo_ms),
-                        );
+                        let mut span = TraceEvent::span(
+                            "request",
+                            "request",
+                            arrived.micros(),
+                            spec_dur(arrived, t),
+                        )
+                        .pid(PID_SERVE)
+                        .tid(server as u32)
+                        .arg_u64("service", u64::from(specs[service].id))
+                        .arg_u64("class", u64::from(class))
+                        .arg_f64("latency_ms", lat_ms)
+                        .arg_bool("ok", lat_ms <= slo_ms);
+                        if has_tenants {
+                            span = span.arg_u64("tenant", u64::from(specs[service].tenant));
+                        }
+                        sink.emit(span);
                     }
                 }
                 if in_window {
@@ -1130,9 +1277,11 @@ pub(crate) fn run_simulation<S: TraceSink>(
                 sink.next_sample_us(),
                 &servers,
                 specs,
+                tenants,
                 &offered,
                 &completed,
                 &within_slo,
+                &rejected,
             );
         }
     }
@@ -1215,6 +1364,40 @@ pub(crate) fn run_simulation<S: TraceSink>(
         }
     }
 
+    // Tenant rollups before the service rows take ownership of the
+    // histograms: each tenant's row sums its services' counters and merges
+    // their latency distributions. Empty when no tenants are configured,
+    // which the report serializer omits entirely.
+    let tenant_reports: Vec<TenantReport> = tenants
+        .iter()
+        .map(|t| {
+            let mut t_offered = 0u64;
+            let mut t_rejected = 0u64;
+            let mut t_completed = 0u64;
+            let mut t_within = 0u64;
+            let mut hist = LatencyHistogram::new();
+            for (i, spec) in specs.iter().enumerate() {
+                if spec.tenant == t.id {
+                    t_offered += offered[i];
+                    t_rejected += rejected[i];
+                    t_completed += completed[i];
+                    t_within += within_slo[i];
+                    hist.merge(&latency[i]);
+                }
+            }
+            TenantReport {
+                tenant: t.id,
+                name: t.name.clone(),
+                offered: t_offered,
+                admitted: t_offered - t_rejected,
+                rejected: t_rejected,
+                completed: t_completed,
+                completed_within_slo: t_within,
+                latency: hist,
+            }
+        })
+        .collect();
+
     ServingReport {
         duration_s: config.duration_s,
         services: specs
@@ -1228,11 +1411,13 @@ pub(crate) fn run_simulation<S: TraceSink>(
                 violated_batches: violated[i],
                 completed_within_slo: within_slo[i],
                 latency: std::mem::take(&mut latency[i]),
+                rejected: rejected[i],
             })
             .collect(),
         servers: server_reports,
         classes: class_reports,
         recovery: rec_report,
+        tenants: tenant_reports,
     }
 }
 
@@ -2009,8 +2194,126 @@ mod tests {
                     .run_with(&mut rec_b);
                 prop_assert_eq!(rec_a.chrome_trace(), rec_b.chrome_trace());
                 prop_assert_eq!(rec_a.metrics_jsonl(), rec_b.metrics_jsonl());
+                // Default tenant wrapping is behavior-neutral: bind every
+                // service to one unlimited passthrough tenant. The engine
+                // now walks every tenant code path (binding resolution,
+                // admission gate wiring, rollup assembly), yet the report
+                // must carry every pre-tenant byte unchanged — only the
+                // `tenants` rollup is added, and stripping it restores
+                // bit identity with the frozen reference.
+                let tenant_specs: Vec<ServiceSpec> =
+                    specs.iter().map(|s| s.with_tenant(1)).collect();
+                let passthrough = [Tenant::new(1, "all")];
+                let mut wrapped = crate::Simulation::new(&d, &tenant_specs)
+                    .ingress(&ingress)
+                    .recovery_opt(recovery.as_ref())
+                    .tenants(&passthrough)
+                    .config(&config)
+                    .run();
+                prop_assert_eq!(wrapped.tenants.len(), 1);
+                prop_assert!(wrapped.services.iter().all(|s| s.rejected == 0));
+                wrapped.tenants.clear();
+                prop_assert_eq!(
+                    &fast_json,
+                    &serde_json::to_string(&wrapped).expect("serializable")
+                );
             }
         }
+    }
+
+    #[test]
+    fn quota_rejections_conserve_and_bound_admissions() {
+        let (d, specs) = parva_s2();
+        // Tenant 1 owns ResNet-50 (829 req/s, service id 8) under a
+        // 100 req/s quota; tenant 2 owns the rest, unlimited.
+        let specs: Vec<ServiceSpec> = specs
+            .iter()
+            .map(|s| s.with_tenant(if s.id == 8 { 1 } else { 2 }))
+            .collect();
+        let tenants = [
+            Tenant::new(1, "capped").with_quota_rps(100.0),
+            Tenant::new(2, "free"),
+        ];
+        let report = crate::Simulation::new(&d, &specs)
+            .tenants(&tenants)
+            .config(&quick_config())
+            .run();
+        assert_eq!(report.tenants.len(), 2);
+        let capped = &report.tenants[0];
+        assert!(capped.rejected > 0, "8× over-quota tenant never rejected");
+        assert_eq!(capped.admitted + capped.rejected, capped.offered);
+        // Admissions bounded by quota × window plus one bucket of burst.
+        assert!(
+            (capped.admitted as f64) <= 100.0 * 4.0 + 100.0 + 1.0,
+            "admitted {} blows the quota bound",
+            capped.admitted
+        );
+        let free = &report.tenants[1];
+        assert_eq!(free.rejected, 0);
+        assert_eq!(free.admitted, free.offered);
+        // Service-level rejection counters sum to the tenant rollups.
+        for t in &report.tenants {
+            let svc_rejected: u64 = specs
+                .iter()
+                .zip(&report.services)
+                .filter(|(spec, _)| spec.tenant == t.tenant)
+                .map(|(_, s)| s.rejected)
+                .sum();
+            assert_eq!(svc_rejected, t.rejected);
+        }
+        // And the merged latency histogram counts every completion.
+        for t in &report.tenants {
+            let svc_completed: u64 = specs
+                .iter()
+                .zip(&report.services)
+                .filter(|(spec, _)| spec.tenant == t.tenant)
+                .map(|(_, s)| s.completed)
+                .sum();
+            assert_eq!(t.completed, svc_completed);
+            assert_eq!(t.latency.count(), t.completed);
+        }
+    }
+
+    #[test]
+    fn arrival_override_only_perturbs_the_targeted_service() {
+        // MIG isolates: services share no servers and draw from
+        // per-service RNG streams, so switching one service to a bursty
+        // MMPP must leave every other service's report byte-identical —
+        // the structural lemma behind the noisy-neighbor isolation
+        // property.
+        let (d, specs) = parva_s2();
+        let mut overrides: Vec<Option<ArrivalProcess>> = vec![None; specs.len()];
+        overrides[0] = Some(ArrivalProcess::Mmpp {
+            burst_factor: 6.0,
+            mean_phase_s: 0.5,
+        });
+        let plain = sim(&d, &specs, &quick_config());
+        let bursty = crate::Simulation::new(&d, &specs)
+            .arrival_overrides(&overrides)
+            .config(&quick_config())
+            .run();
+        assert_ne!(
+            serde_json::to_string(&plain.services[0]).unwrap(),
+            serde_json::to_string(&bursty.services[0]).unwrap(),
+            "override had no effect on its target"
+        );
+        for i in 1..specs.len() {
+            assert_eq!(
+                serde_json::to_string(&plain.services[i]).unwrap(),
+                serde_json::to_string(&bursty.services[i]).unwrap(),
+                "service {i} perturbed by another service's burst"
+            );
+        }
+        // All-None overrides are bit-identical to no overrides at all.
+        let none: Vec<Option<ArrivalProcess>> = vec![None; specs.len()];
+        let with_none = crate::Simulation::new(&d, &specs)
+            .arrival_overrides(&none)
+            .config(&quick_config())
+            .run();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&with_none).unwrap()
+        );
     }
 
     #[test]

@@ -741,10 +741,12 @@ fn audit_serve(trace: &str, report: &ServingReport, audit: &mut Audit) -> Result
             // nothing; otherwise the trace is missing its traffic.
             None => {
                 audit.u64(&format!("{what} offered"), 0, s.offered);
+                audit.u64(&format!("{what} rejected"), 0, s.rejected);
                 audit.u64(&format!("{what} completed"), 0, s.completed);
             }
             Some(r) => {
                 audit.u64(&format!("{what} offered"), r.offered, s.offered);
+                audit.u64(&format!("{what} rejected"), r.rejected, s.rejected);
                 audit.u64(&format!("{what} completed"), r.completed, s.completed);
                 audit.u64(
                     &format!("{what} within SLO"),
@@ -807,12 +809,124 @@ fn audit_serve(trace: &str, report: &ServingReport, audit: &mut Audit) -> Result
             }
         }
     }
+    // Per-tenant recount: admission accounting (offered / admitted /
+    // rejected) comes from the tagged arrival instants, completions from
+    // the tagged request spans — the quota gate can't misreport without
+    // the trace catching it.
+    for t in &report.tenants {
+        let id = u64::from(t.tenant);
+        let what = if t.name.is_empty() {
+            format!("tenant #{id}")
+        } else {
+            format!("tenant #{id} ({})", t.name)
+        };
+        match rc.tenant(id) {
+            None => {
+                audit.u64(&format!("{what} offered"), 0, t.offered);
+                audit.u64(&format!("{what} completed"), 0, t.completed);
+            }
+            Some(r) => {
+                audit.u64(&format!("{what} offered"), r.offered, t.offered);
+                audit.u64(&format!("{what} admitted"), r.admitted, t.admitted);
+                audit.u64(&format!("{what} rejected"), r.rejected, t.rejected);
+                audit.u64(&format!("{what} completed"), r.completed, t.completed);
+                audit.u64(
+                    &format!("{what} within SLO"),
+                    r.completed_within_slo,
+                    t.completed_within_slo,
+                );
+                audit.f64(
+                    &format!("{what} attainment"),
+                    r.attainment(),
+                    t.attainment(),
+                );
+                audit.f64(
+                    &format!("{what} p50 ms"),
+                    r.latency.quantile_ms(0.5),
+                    t.latency.quantile_ms(0.5),
+                );
+                audit.f64(
+                    &format!("{what} p99 ms"),
+                    r.latency.quantile_ms(0.99),
+                    t.latency.quantile_ms(0.99),
+                );
+            }
+        }
+    }
+    // Tenant 0 is the unbound bucket (services outside every tenant): it
+    // legitimately has no report row. Any other traced tenant must.
+    for id in rc.tenants.iter().map(|t| t.tenant).filter(|&id| id != 0) {
+        if !report.tenants.iter().any(|t| u64::from(t.tenant) == id) {
+            audit.fail(format!(
+                "tenant #{id} appears in the trace but not in the report"
+            ));
+        }
+    }
     audit.f64(
         "overall attainment",
         rc.overall_attainment(),
         report.overall_request_compliance_rate(),
     );
     Ok(())
+}
+
+/// Billing audit shared by the fleet and region layers: the
+/// `kind: "billing"` gauge rows must reproduce the report's
+/// per-(interval, tenant) P&L ledger row for row — and a report without a
+/// ledger must not have emitted any billing rows.
+fn audit_billing(
+    rows: &[crate::obs::analyze::GaugeRow],
+    billing: Option<&crate::cluster::BillingReport>,
+    audit: &mut Audit,
+) {
+    let gauges: Vec<_> = rows.iter().filter(|r| r.kind() == "billing").collect();
+    let reported = billing.map_or(&[][..], |b| b.rows.as_slice());
+    audit.u64(
+        "billing gauge rows",
+        gauges.len() as u64,
+        reported.len() as u64,
+    );
+    for b in reported {
+        let what = format!("interval {} tenant #{} billing", b.interval, b.tenant);
+        let Some(row) = gauges.iter().find(|g| {
+            g.u64_of("interval") == Some(b.interval as u64)
+                && g.u64_of("tenant") == Some(u64::from(b.tenant))
+        }) else {
+            audit.fail(format!("{what}: no billing gauge row"));
+            continue;
+        };
+        // The fleet layer's rows carry no tenant_name; only compare it
+        // where the emitter stamped one (the region layer).
+        if let Some(name) = row.str_of("tenant_name") {
+            audit.str(&format!("{what} tenant_name"), name, &b.tenant_name);
+        }
+        audit.u64(
+            &format!("{what} offered"),
+            row.u64_of("offered").unwrap_or(u64::MAX),
+            b.offered,
+        );
+        audit.u64(
+            &format!("{what} rejected"),
+            row.u64_of("rejected").unwrap_or(u64::MAX),
+            b.rejected,
+        );
+        audit.u64(
+            &format!("{what} within SLO"),
+            row.u64_of("completed_within_slo").unwrap_or(u64::MAX),
+            b.completed_within_slo,
+        );
+        for (field, reported) in [
+            ("revenue_usd", b.revenue_usd),
+            ("cost_usd", b.cost_usd),
+            ("margin_usd", b.margin_usd()),
+        ] {
+            audit.f64(
+                &format!("{what} {field}"),
+                row.f64_of(field).unwrap_or(f64::NAN),
+                reported,
+            );
+        }
+    }
 }
 
 /// Fleet-mode audit: the `kind: "fleet"` gauge rows must reproduce the
@@ -823,10 +937,8 @@ fn audit_fleet(
     audit: &mut Audit,
 ) -> Result<(), String> {
     use crate::obs::analyze;
-    let rows: Vec<_> = analyze::parse_metrics(metrics)?
-        .into_iter()
-        .filter(|r| r.kind() == "fleet")
-        .collect();
+    let all = analyze::parse_metrics(metrics)?;
+    let rows: Vec<_> = all.iter().filter(|r| r.kind() == "fleet").collect();
     audit.u64(
         "fleet gauge rows",
         rows.len() as u64,
@@ -891,12 +1003,14 @@ fn audit_fleet(
             e.nodes_in_service as u64,
         );
     }
+    audit_billing(&all, report.billing.as_ref(), audit);
     Ok(())
 }
 
 /// Region-mode audit: the `kind: "federation"` rows must reproduce the
-/// per-interval aggregates and the `kind: "region"` rows every region's
-/// outcome, baseline included.
+/// per-interval aggregates, the `kind: "region"` rows every region's
+/// outcome (baseline included), and the `kind: "billing"` rows the
+/// per-tenant P&L ledger.
 fn audit_region(
     metrics: &str,
     report: &crate::region::FederationReport,
@@ -988,13 +1102,15 @@ fn audit_region(
             );
         }
     }
+    audit_billing(&all, report.billing.as_ref(), audit);
     Ok(())
 }
 
 /// `parvactl trace audit`: replay a run's trace/metrics stream and
 /// independently recompute the accounting its JSON report claims —
-/// serve-mode SLO attainment and latency quantiles from raw request
-/// spans, fleet/region recovery rows from the gauge stream. Returns the
+/// serve-mode SLO attainment and latency quantiles (per service, class
+/// and tenant) from raw request spans, fleet/region recovery and
+/// per-tenant billing rows from the gauge stream. Returns the
 /// check summary on agreement; any divergence is an `Err` (nonzero exit
 /// in the binary), making the observability pipeline self-auditing: a
 /// report can't drift from what its own trace records.

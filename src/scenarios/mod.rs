@@ -24,5 +24,6 @@ pub use parva_scenarios::*;
 pub use registry::{builtin_specs, spec_by_name, spec_names};
 pub use spec::{
     ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ObservabilitySpec,
-    ScenarioReport, ScenarioSpec, ServiceEntry, StreamingSpec, Window, Workload,
+    ScenarioReport, ScenarioSpec, ServiceEntry, SpotMarketSpec, StreamingSpec, TenantSpec, Window,
+    Workload,
 };

@@ -9,11 +9,12 @@
 
 use super::spec::{
     ClassSplit, DiurnalSpec, FederationSource, FleetSource, Mode, ObservabilitySpec, ScenarioSpec,
-    ServiceEntry, Window, Workload,
+    ServiceEntry, SpotMarketSpec, TenantSpec, Window, Workload,
 };
 use crate::cluster::{NodeType, PricingPlan};
 use crate::fleet::{FleetSpec, NodePool};
 use crate::region::{EvacuationDrill, FederationSpec, RegionSpec};
+use parva_deploy::SloClass;
 use parva_serve::ArrivalProcess;
 
 /// All built-in specs, in registry order.
@@ -28,6 +29,7 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         region_failover(),
         evacuation_drill(),
         diurnal(),
+        multi_tenant(),
     ]
 }
 
@@ -48,6 +50,8 @@ pub fn spec_by_name(name: &str) -> Option<ScenarioSpec> {
 fn quickstart() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "quickstart".into(),
         description: "ParvaGPU schedules three CNN/BERT services; one serving window".into(),
         seed: 42,
@@ -76,6 +80,8 @@ fn quickstart() -> ScenarioSpec {
 fn llm() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "llm".into(),
         description: "LLM mix profiled and scheduled on the H200-141GB catalog slice".into(),
         seed: 42,
@@ -104,6 +110,8 @@ fn llm() -> ScenarioSpec {
 fn single_node_mps() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "single_node_mps".into(),
         description: "gpulet MPS partitions, MMPP bursts, 80/20 local/remote ingress split".into(),
         seed: 42,
@@ -143,6 +151,8 @@ fn single_node_mps() -> ScenarioSpec {
 fn fleet_chaos() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "fleet_chaos".into(),
         description: "mixed reserved/on-demand/spot fleet through 8 seeded chaos events".into(),
         seed: 42,
@@ -167,6 +177,8 @@ fn fleet_chaos() -> ScenarioSpec {
 fn spot_heavy() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "spot_heavy".into(),
         description: "1 reserved anchor + A100/H100 spot pools; preemption-dominated chaos".into(),
         seed: 42,
@@ -217,6 +229,8 @@ fn spot_heavy() -> ScenarioSpec {
 fn region_failover() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "region_failover".into(),
         description: "3-region federation; us-east evacuated at interval 3, failback at 6".into(),
         seed: 42,
@@ -252,6 +266,8 @@ fn evacuation_drill() -> ScenarioSpec {
     ];
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "evacuation_drill".into(),
         description: "4-region federation; eu-west drained at interval 2, failback at 5".into(),
         seed: 42,
@@ -284,6 +300,8 @@ fn evacuation_drill() -> ScenarioSpec {
 fn diurnal() -> ScenarioSpec {
     ScenarioSpec {
         observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
         name: "diurnal".into(),
         description: "3-region federation under a 0.4x-1.6x sun-phased demand swing".into(),
         seed: 42,
@@ -303,6 +321,81 @@ fn diurnal() -> ScenarioSpec {
                 high: 1.6,
                 hours_per_interval: 4.0,
             }),
+        },
+    }
+}
+
+/// Three tenants on the three-region demo federation: an interactive
+/// anchor with a 3x fair-share weight, a standard mid-tier, and a
+/// quota-capped batch tenant whose over-quota traffic is rejected at
+/// ingress. Per-region spot markets differ (eu-west runs hot and
+/// discounted, ap-south calm), a drill forces cross-region weighted-fair
+/// spill, and the report carries the per-tenant P&L.
+fn multi_tenant() -> ScenarioSpec {
+    ScenarioSpec {
+        observability: ObservabilitySpec::default(),
+        tenants: vec![
+            TenantSpec {
+                id: 1,
+                name: "anchor".into(),
+                slo_class: SloClass::Interactive,
+                quota_rps: 0.0,
+                weight: 3.0,
+                rate_usd_per_1k: 1.5,
+                services: vec![0, 1],
+            },
+            TenantSpec {
+                id: 2,
+                name: "steady".into(),
+                slo_class: SloClass::Standard,
+                quota_rps: 0.0,
+                weight: 1.0,
+                rate_usd_per_1k: 0.9,
+                services: vec![2],
+            },
+            TenantSpec {
+                id: 3,
+                name: "bursty".into(),
+                slo_class: SloClass::Batch,
+                quota_rps: 250.0,
+                weight: 0.5,
+                rate_usd_per_1k: 0.4,
+                services: vec![3],
+            },
+        ],
+        spot_markets: vec![
+            SpotMarketSpec {
+                preemption_intensity: 1.0,
+                discount: None,
+            },
+            SpotMarketSpec {
+                preemption_intensity: 1.8,
+                discount: Some(0.6),
+            },
+            SpotMarketSpec {
+                preemption_intensity: 0.5,
+                discount: Some(0.8),
+            },
+        ],
+        name: "multi_tenant".into(),
+        description: "3 tenants x 3 regions: quotas, weighted-fair spill, per-tenant P&L".into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::RegionDemo,
+        mode: Mode::Region {
+            federation: FederationSource::ThreeRegionDemo,
+            intervals: 6,
+            drill: Some(EvacuationDrill {
+                region: 0,
+                evacuate_at: 2,
+                failback_at: 5,
+            }),
+            diurnal: None,
         },
     }
 }
@@ -347,6 +440,7 @@ mod tests {
             "region_failover",
             "evacuation_drill",
             "diurnal",
+            "multi_tenant",
         ] {
             assert!(
                 names.iter().any(|n| n == expected),
@@ -395,6 +489,8 @@ mod tests {
                 recovery: None,
             },
             observability: ObservabilitySpec::default(),
+            tenants: Vec::new(),
+            spot_markets: Vec::new(),
         };
         assert_eq!(spec.workload.services().unwrap().len(), 33);
     }

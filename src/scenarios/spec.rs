@@ -14,11 +14,12 @@
 //! boundary.
 
 use crate::prelude::*;
-use parva_fleet::FleetReport;
+use parva_deploy::{SloClass, Tenant};
+use parva_fleet::{ChaosProfile, FleetReport};
 use parva_obs::{NullSink, Recorder, StreamConfig, StreamSink, StreamStats};
 use parva_region::{EvacuationDrill, FederationReport, RttMatrix};
 use parva_serve::RecoverySpec;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// One service in an explicit [`Workload::Services`] list — the same shape
 /// the `parvactl` JSON service arrays use.
@@ -292,6 +293,87 @@ impl StreamingSpec {
     }
 }
 
+/// One tenant in a scenario's `tenants` block: the operator-facing
+/// contract ([`Tenant`]) plus the service ids it owns. Service ids refer
+/// to the materialized workload (explicit `id`s or array positions for
+/// [`Workload::Services`]; `0..n` for the table and demo mixes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant id; `0` is reserved for "untenanted" and rejected.
+    pub id: u32,
+    /// Display name used in reports, billing rows and gauge columns.
+    #[serde(default)]
+    pub name: String,
+    /// Purchased service tier (reporting/grouping only).
+    #[serde(default)]
+    pub slo_class: SloClass,
+    /// Admission quota across all the tenant's services, req/s; `0`
+    /// means unlimited.
+    #[serde(default)]
+    pub quota_rps: f64,
+    /// Weighted-fair spill share weight; non-positive means `1.0`.
+    #[serde(default)]
+    pub weight: f64,
+    /// Billing rate, USD per 1000 requests completed within SLO.
+    #[serde(default)]
+    pub rate_usd_per_1k: f64,
+    /// Service ids this tenant owns.
+    #[serde(default)]
+    pub services: Vec<u32>,
+}
+
+impl TenantSpec {
+    /// The runtime [`Tenant`] contract this block describes.
+    #[must_use]
+    pub fn to_tenant(&self) -> Tenant {
+        Tenant {
+            id: self.id,
+            name: self.name.clone(),
+            slo_class: self.slo_class,
+            quota_rps: self.quota_rps,
+            weight: self.weight,
+            usd_per_1k_requests: self.rate_usd_per_1k,
+        }
+    }
+}
+
+/// One spot market in a scenario's `spot_markets` block. In fleet mode
+/// the first entry shapes the whole fleet; in region mode entry `r`
+/// shapes region `r` (missing entries keep the historical market).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotMarketSpec {
+    /// Multiplier on the chaos stream's spot-preemption pressure: `1.0`
+    /// reproduces the historical event mix bit-exactly, `0` turns
+    /// preemptions and warnings off, `>1` widens their band.
+    #[serde(default = "default_preemption_intensity")]
+    pub preemption_intensity: f64,
+    /// Spot node-hours rent at `on-demand x discount` instead of the
+    /// built-in spot multiplier; `None` keeps legacy prices bit-exactly.
+    #[serde(default)]
+    pub discount: Option<f64>,
+}
+
+impl Default for SpotMarketSpec {
+    fn default() -> Self {
+        Self {
+            preemption_intensity: default_preemption_intensity(),
+            discount: None,
+        }
+    }
+}
+
+fn default_preemption_intensity() -> f64 {
+    1.0
+}
+
+impl SpotMarketSpec {
+    /// The [`ChaosProfile`] this market describes.
+    #[must_use]
+    pub fn chaos_profile(&self) -> ChaosProfile {
+        ChaosProfile::with_preemption_intensity(self.preemption_intensity)
+    }
+}
+
 /// Which engine a scenario exercises, with that engine's axes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Mode {
@@ -345,7 +427,7 @@ pub enum Mode {
 /// A whole experiment as data. See the module docs and
 /// [`crate::scenarios::builtin_specs`] for worked examples; `README.md`
 /// documents the JSON schema.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct ScenarioSpec {
     /// Registry name (also the `parvactl run` handle).
     pub name: String,
@@ -366,6 +448,39 @@ pub struct ScenarioSpec {
     /// Gauge-sampling shape of observed runs (ignored otherwise).
     #[serde(default)]
     pub observability: ObservabilitySpec,
+    /// Multi-tenancy: tenant contracts and their service bindings. Empty
+    /// means the legacy single-tenant behavior, bit for bit.
+    #[serde(default)]
+    pub tenants: Vec<TenantSpec>,
+    /// Spot markets (fleet: first entry; region: one per region). Empty
+    /// keeps the historical chaos mix and prices, bit for bit.
+    #[serde(default)]
+    pub spot_markets: Vec<SpotMarketSpec>,
+}
+
+// Hand-written so tenant-free specs serialize exactly as before the
+// tenant layer existed: the `tenants` and `spot_markets` keys are emitted
+// only when non-empty.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("name"), self.name.to_value()),
+            (String::from("description"), self.description.to_value()),
+            (String::from("seed"), self.seed.to_value()),
+            (String::from("window"), self.window.to_value()),
+            (String::from("arrivals"), self.arrivals.to_value()),
+            (String::from("workload"), self.workload.to_value()),
+            (String::from("mode"), self.mode.to_value()),
+            (String::from("observability"), self.observability.to_value()),
+        ];
+        if !self.tenants.is_empty() {
+            map.push((String::from("tenants"), self.tenants.to_value()));
+        }
+        if !self.spot_markets.is_empty() {
+            map.push((String::from("spot_markets"), self.spot_markets.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 /// What a scenario run produced, tagged by engine.
@@ -449,7 +564,49 @@ impl ScenarioSpec {
                 "window must be finite with a positive duration (got {w:?})"
             ));
         }
-        self.workload.services()?;
+        let services = self.workload.services()?;
+        let mut tenant_ids: Vec<u32> = Vec::new();
+        let mut owned: Vec<u32> = Vec::new();
+        for t in &self.tenants {
+            if !t.to_tenant().is_valid() {
+                return Err(format!(
+                    "tenant {} ({:?}) is invalid: ids must be non-zero and \
+                     quota/weight/rate finite and non-negative",
+                    t.id, t.name
+                ));
+            }
+            if tenant_ids.contains(&t.id) {
+                return Err(format!("duplicate tenant id {}", t.id));
+            }
+            tenant_ids.push(t.id);
+            for sid in &t.services {
+                if !services.iter().any(|s| s.id == *sid) {
+                    return Err(format!(
+                        "tenant {} ({:?}) claims service {sid}, which the workload \
+                         does not define",
+                        t.id, t.name
+                    ));
+                }
+                if owned.contains(sid) {
+                    return Err(format!("service {sid} is claimed by two tenants"));
+                }
+                owned.push(*sid);
+            }
+        }
+        for (i, m) in self.spot_markets.iter().enumerate() {
+            if !(m.preemption_intensity.is_finite() && m.preemption_intensity >= 0.0) {
+                return Err(format!(
+                    "spot market {i}: preemption_intensity must be finite and >= 0"
+                ));
+            }
+            if let Some(d) = m.discount {
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(format!(
+                        "spot market {i}: discount must be finite and positive"
+                    ));
+                }
+            }
+        }
         match &self.mode {
             Mode::Serve {
                 scheduler,
@@ -457,6 +614,11 @@ impl ScenarioSpec {
                 ingress,
                 recovery,
             } => {
+                if !self.spot_markets.is_empty() {
+                    return Err(
+                        "spot markets shape fleet/region chaos; serve mode has no fleet".into(),
+                    );
+                }
                 if !crate::cli::scheduler_name_is_known(effective_scheduler(scheduler)) {
                     return Err(format!("unknown scheduler '{scheduler}'"));
                 }
@@ -502,6 +664,12 @@ impl ScenarioSpec {
                 if matches!(fleet, FleetSource::Pools(spec) if spec.pools.is_empty()) {
                     return Err("fleet needs at least one pool".into());
                 }
+                if self.spot_markets.len() > 1 {
+                    return Err(format!(
+                        "fleet mode has one spot market, got {} entries",
+                        self.spot_markets.len()
+                    ));
+                }
             }
             Mode::Region {
                 federation,
@@ -511,6 +679,13 @@ impl ScenarioSpec {
             } => {
                 if *intervals == 0 {
                     return Err("region scenarios need at least one interval".into());
+                }
+                if self.spot_markets.len() > federation.region_count() {
+                    return Err(format!(
+                        "{} spot markets for {} region(s)",
+                        self.spot_markets.len(),
+                        federation.region_count()
+                    ));
                 }
                 if let FederationSource::Custom(fed) = federation {
                     fed.validate()?;
@@ -645,7 +820,15 @@ impl ScenarioSpec {
         profile: bool,
     ) -> Result<(ScenarioReport, Option<SelfProfiler>), String> {
         self.validate()?;
-        let services = self.workload.services()?;
+        let mut services = self.workload.services()?;
+        // Bind each service to its owning tenant (validated above), and
+        // materialize the runtime tenant contracts.
+        for t in &self.tenants {
+            for s in services.iter_mut().filter(|s| t.services.contains(&s.id)) {
+                s.tenant = t.id;
+            }
+        }
+        let tenants: Vec<Tenant> = self.tenants.iter().map(TenantSpec::to_tenant).collect();
         let serving = self.serving_config();
         match &self.mode {
             Mode::Serve {
@@ -690,6 +873,7 @@ impl ScenarioSpec {
                         .collect()
                 };
                 let sim = Simulation::new(&deployment, &services)
+                    .tenants(&tenants)
                     .ingress(&classes)
                     .recovery_opt(recovery.as_ref())
                     .config(&serving);
@@ -702,11 +886,15 @@ impl ScenarioSpec {
                 analytic_recovery,
             } => {
                 let book = ProfileBook::builtin();
+                let market = self.spot_markets.first();
                 let config = FleetConfig {
                     seed: self.seed,
                     intervals: (*intervals).max(1),
                     serving,
                     des_recovery: !analytic_recovery,
+                    tenants,
+                    chaos: market.map_or_else(ChaosProfile::default, SpotMarketSpec::chaos_profile),
+                    spot_discount: market.and_then(|m| m.discount),
                     ..FleetConfig::default()
                 };
                 let fleet_spec = fleet.resolve();
@@ -733,6 +921,13 @@ impl ScenarioSpec {
                     intervals: (*intervals).max(1),
                     serving,
                     drill: *drill,
+                    tenants,
+                    region_chaos: self
+                        .spot_markets
+                        .iter()
+                        .map(SpotMarketSpec::chaos_profile)
+                        .collect(),
+                    spot_discounts: self.spot_markets.iter().map(|m| m.discount).collect(),
                     ..FederationConfig::default()
                 };
                 if let Some(d) = diurnal {

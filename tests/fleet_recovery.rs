@@ -22,6 +22,7 @@ fn quick_config(seed: u64, intervals: usize) -> FleetConfig {
         },
         max_replacements_per_event: 4,
         des_recovery: true,
+        ..FleetConfig::default()
     }
 }
 

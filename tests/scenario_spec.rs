@@ -214,6 +214,8 @@ fn invalid_specs_are_rejected() {
             recovery: None,
         },
         observability: Default::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
     };
     assert!(base.validate().unwrap_err().contains("empty"));
 
@@ -276,6 +278,8 @@ fn invalid_specs_are_rejected() {
             diurnal: None,
         },
         observability: Default::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
     };
     let late = region_base(parvagpu::region::EvacuationDrill {
         region: 0,

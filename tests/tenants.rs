@@ -1,0 +1,320 @@
+//! The tenant × service layer end to end: noisy-neighbor isolation under
+//! admission quotas, quota-admission conservation, the `tenants` spec
+//! block's round-trip (no-tenants default included), default-tenant
+//! report neutrality across the registry, and the multi_tenant builtin's
+//! P&L ledger arithmetic.
+
+use parvagpu::deploy::Tenant;
+use parvagpu::prelude::*;
+use parvagpu::scenarios::{builtin_specs, spec_by_name, Mode, TenantSpec};
+use proptest::prelude::*;
+use serde::Value;
+
+fn s2() -> (Deployment, Vec<ServiceSpec>) {
+    let book = ProfileBook::builtin();
+    let specs = Scenario::S2.services();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    (d, specs)
+}
+
+fn quick_window(seed: u64) -> ServingConfig {
+    ServingConfig {
+        warmup_s: 0.5,
+        duration_s: 2.0,
+        drain_s: 0.5,
+        seed,
+        arrivals: ArrivalProcess::Poisson,
+    }
+}
+
+/// The noisy tenant owns S2's hottest service (ResNet-50, id 8, ~829
+/// req/s); the victims own everything else.
+const NOISY_SERVICE: u32 = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Noisy-neighbor isolation: one tenant switching to an MMPP burst
+    /// under an admission quota leaves every other tenant's p99 latency
+    /// and SLO attainment within tolerance of its solo baseline (the
+    /// victims scheduled and run without the noisy tenant at all).
+    #[test]
+    fn quota_keeps_victims_at_their_solo_baseline(
+        seed in 0u64..1 << 32,
+        burst in 2.0f64..10.0,
+    ) {
+        let book = ProfileBook::builtin();
+        let specs = Scenario::S2.services();
+
+        // Solo baseline: the victim services alone, on their own
+        // deployment. RNG streams key on service *id*, so the victims'
+        // arrival draws are identical with or without the neighbor.
+        let solo_specs: Vec<ServiceSpec> = specs
+            .iter()
+            .filter(|s| s.id != NOISY_SERVICE)
+            .map(|s| s.with_tenant(2))
+            .collect();
+        let victims = [Tenant::new(2, "victim")];
+        let solo_d = ParvaGpu::new(&book).schedule(&solo_specs).unwrap();
+        let solo = Simulation::new(&solo_d, &solo_specs)
+            .tenants(&victims)
+            .config(&quick_window(seed))
+            .run();
+        let solo_victim = &solo.tenants[0];
+
+        // Shared run: neighbor bursting at `burst`× under a 100 req/s
+        // quota (~8× over-subscribed), victims untouched.
+        let shared_specs: Vec<ServiceSpec> = specs
+            .iter()
+            .map(|s| s.with_tenant(if s.id == NOISY_SERVICE { 1 } else { 2 }))
+            .collect();
+        let tenants = [
+            Tenant::new(1, "noisy").with_quota_rps(100.0),
+            Tenant::new(2, "victim"),
+        ];
+        let noisy_at = specs.iter().position(|s| s.id == NOISY_SERVICE).unwrap();
+        let mut overrides: Vec<Option<ArrivalProcess>> = vec![None; specs.len()];
+        overrides[noisy_at] = Some(ArrivalProcess::Mmpp {
+            burst_factor: burst,
+            mean_phase_s: 0.4,
+        });
+        let shared_d = ParvaGpu::new(&book).schedule(&shared_specs).unwrap();
+        let shared = Simulation::new(&shared_d, &shared_specs)
+            .tenants(&tenants)
+            .arrival_overrides(&overrides)
+            .config(&quick_window(seed))
+            .run();
+        let noisy = &shared.tenants[0];
+        let victim = &shared.tenants[1];
+
+        // The burst is real: the quota actually had to reject.
+        prop_assert!(noisy.rejected > 0, "no quota pressure at {burst}x");
+
+        // The victims never feel it.
+        let p99_solo = solo_victim.latency.quantile_ms(0.99);
+        let p99_shared = victim.latency.quantile_ms(0.99);
+        prop_assert!(
+            (p99_shared - p99_solo).abs() <= (0.05 * p99_solo).max(1.0),
+            "victim p99 moved: solo {p99_solo} ms, beside noisy neighbor {p99_shared} ms"
+        );
+        prop_assert!(
+            (victim.attainment() - solo_victim.attainment()).abs() <= 0.01,
+            "victim attainment moved: solo {}, beside noisy neighbor {}",
+            solo_victim.attainment(),
+            victim.attainment()
+        );
+    }
+}
+
+/// Quota admission conserves requests: per tenant, `admitted + rejected
+/// == offered`, service-level rejection counters sum to the tenant
+/// rollups, and unlimited tenants reject nothing.
+#[test]
+fn quota_admission_conserves_offered_load() {
+    let (_, base) = s2();
+    let specs: Vec<ServiceSpec> = base
+        .iter()
+        .map(|s| s.with_tenant(if s.id == NOISY_SERVICE { 1 } else { 2 }))
+        .collect();
+    let book = ProfileBook::builtin();
+    let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+    let tenants = [
+        Tenant::new(1, "capped").with_quota_rps(100.0),
+        Tenant::new(2, "free"),
+    ];
+    let report = Simulation::new(&d, &specs)
+        .tenants(&tenants)
+        .config(&quick_window(7))
+        .run();
+    assert_eq!(report.tenants.len(), 2);
+    for t in &report.tenants {
+        assert_eq!(
+            t.admitted + t.rejected,
+            t.offered,
+            "tenant #{} leaks requests at the admission gate",
+            t.tenant
+        );
+        let svc = |f: fn(&parvagpu::serve::ServiceReport) -> u64| -> u64 {
+            specs
+                .iter()
+                .zip(&report.services)
+                .filter(|(spec, _)| spec.tenant == t.tenant)
+                .map(|(_, s)| f(s))
+                .sum()
+        };
+        assert_eq!(t.offered, svc(|s| s.offered));
+        assert_eq!(t.rejected, svc(|s| s.rejected));
+        assert_eq!(t.completed, svc(|s| s.completed));
+    }
+    let capped = &report.tenants[0];
+    assert!(capped.rejected > 0, "8x over-quota tenant never rejected");
+    assert!(capped.admission_rate() < 0.2);
+    let free = &report.tenants[1];
+    assert_eq!(free.rejected, 0);
+    assert_eq!(free.admitted, free.offered);
+    // Every service is bound, so the tenant rollups partition the run.
+    let total: u64 = report.services.iter().map(|s| s.offered).sum();
+    let rolled: u64 = report.tenants.iter().map(|t| t.offered).sum();
+    assert_eq!(total, rolled);
+}
+
+/// The `tenants` and `spot_markets` blocks round-trip losslessly, and
+/// their no-tenants default serializes to the exact pre-tenant schema:
+/// an untenanted spec's JSON carries neither key, and parsing JSON
+/// without them yields empty blocks.
+#[test]
+fn tenant_blocks_round_trip_and_default_to_absent() {
+    // The tenanted builtin: full block round-trip, byte-identical.
+    let spec = spec_by_name("multi_tenant").expect("registered");
+    assert_eq!(spec.tenants.len(), 3);
+    assert_eq!(spec.spot_markets.len(), 3);
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&back).unwrap());
+    assert_eq!(back.tenants, spec.tenants);
+    assert_eq!(back.spot_markets, spec.spot_markets);
+
+    // The no-tenants default: absent from the serialized form...
+    let plain = spec_by_name("quickstart").expect("registered");
+    let plain_json = serde_json::to_string(&plain).unwrap();
+    assert!(!plain_json.contains("\"tenants\""));
+    assert!(!plain_json.contains("\"spot_markets\""));
+    // ...parsed back as empty blocks...
+    let back: ScenarioSpec = serde_json::from_str(&plain_json).unwrap();
+    assert!(back.tenants.is_empty());
+    assert!(back.spot_markets.is_empty());
+    // ...and explicitly-empty blocks collapse to the same bytes.
+    let spelled = format!(
+        "{},\"tenants\":[],\"spot_markets\":[]}}",
+        &plain_json[..plain_json.len() - 1]
+    );
+    let back: ScenarioSpec = serde_json::from_str(&spelled).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), plain_json);
+
+    // The committed on-disk example parses and round-trips too.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/tenant_fleet.json"
+    );
+    let text = std::fs::read_to_string(path).expect("example spec on disk");
+    let spec: ScenarioSpec = serde_json::from_str(&text).expect("spec JSON parses");
+    assert_eq!(spec.tenants.len(), 2);
+    assert!(spec.tenants[0].quota_rps == 0.0 && spec.tenants[1].quota_rps > 0.0);
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&back).unwrap());
+}
+
+/// Serialize a scenario report with its tenant-era rollups (`tenants`,
+/// `billing`) stripped — what the report's bytes would have been before
+/// the tenant layer existed.
+fn strip_rollups(report: &ScenarioReport) -> String {
+    let v: Value = serde_json::from_str(&serde_json::to_string(report).unwrap()).unwrap();
+    let Value::Map(outer) = v else {
+        panic!("report is not an object")
+    };
+    let stripped: Vec<(String, Value)> = outer
+        .into_iter()
+        .map(|(tag, inner)| match inner {
+            Value::Map(fields) => (
+                tag,
+                Value::Map(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "tenants" && k != "billing")
+                        .collect(),
+                ),
+            ),
+            other => (tag, other),
+        })
+        .collect();
+    serde_json::to_string(&Value::Map(stripped)).unwrap()
+}
+
+/// Wrapping every service of a serve or fleet scenario in one unlimited
+/// passthrough tenant is report-neutral: stripping the added rollups
+/// restores byte identity with the untenanted run. (Region scenarios are
+/// excluded by design — once tenants exist, spill routing switches to
+/// the weighted-fair water-filling path, which is documented to allocate
+/// differently from the tenant-blind legacy split.)
+#[test]
+fn passthrough_tenant_is_report_neutral_for_serve_and_fleet() {
+    let mut covered = 0;
+    for spec in builtin_specs() {
+        if matches!(spec.mode, Mode::Region { .. }) || !spec.tenants.is_empty() {
+            continue;
+        }
+        let quick = spec.quick();
+        let plain = quick.run().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let mut tenanted = quick.clone();
+        tenanted.tenants = vec![TenantSpec {
+            id: 1,
+            name: "passthrough".into(),
+            slo_class: Default::default(),
+            quota_rps: 0.0,
+            weight: 1.0,
+            rate_usd_per_1k: 0.25,
+            services: quick
+                .workload
+                .services()
+                .unwrap()
+                .iter()
+                .map(|s| s.id)
+                .collect(),
+        }];
+        let wrapped = tenanted
+            .run()
+            .unwrap_or_else(|e| panic!("{} (tenanted): {e}", spec.name));
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            strip_rollups(&wrapped),
+            "passthrough tenant changed '{}' beyond its rollups",
+            spec.name
+        );
+        covered += 1;
+    }
+    assert!(covered >= 5, "only {covered} specs covered");
+}
+
+/// The multi_tenant builtin's ledger adds up: revenue is in-SLO
+/// completions at the contracted rate, margin is revenue minus cost, the
+/// quota-capped tenant visibly rejects, and rows partition cleanly by
+/// (interval, tenant).
+#[test]
+fn multi_tenant_billing_arithmetic_holds() {
+    let spec = spec_by_name("multi_tenant").unwrap();
+    let report = spec.quick().run().expect("runs");
+    let ScenarioReport::Region(r) = report else {
+        panic!("multi_tenant must be a region scenario");
+    };
+    let billing = r.billing.as_ref().expect("tenanted run must bill");
+    let intervals = r.intervals.len() + 1; // + baseline
+    assert_eq!(billing.rows.len(), intervals * spec.tenants.len());
+    let rate_of = |tenant: u32| -> f64 {
+        spec.tenants
+            .iter()
+            .find(|t| t.id == tenant)
+            .map(|t| t.rate_usd_per_1k)
+            .unwrap()
+    };
+    for row in &billing.rows {
+        assert!(row.rejected <= row.offered);
+        let expected = row.completed_within_slo as f64 * rate_of(row.tenant) / 1000.0;
+        assert!(
+            (row.revenue_usd - expected).abs() < 1e-9,
+            "tenant #{} interval {} bills {} instead of {expected}",
+            row.tenant,
+            row.interval,
+            row.revenue_usd
+        );
+        assert!((row.margin_usd() - (row.revenue_usd - row.cost_usd)).abs() < 1e-12);
+        assert!(row.cost_usd >= 0.0);
+    }
+    // The quota-capped bursty tenant (250 req/s cap) rejects somewhere.
+    let bursty: u64 = billing.tenant_rows(3).map(|r| r.rejected).sum();
+    assert!(bursty > 0, "quota-capped tenant never rejected");
+    // Unlimited tenants never do.
+    for id in [1u32, 2] {
+        assert_eq!(billing.tenant_rows(id).map(|r| r.rejected).sum::<u64>(), 0);
+    }
+}

@@ -72,6 +72,59 @@ fn audit_rejects_doctored_reports() {
     assert!(err.contains("offered"), "{err}");
 }
 
+/// A quota-capped serve run audits exactly — the per-service and
+/// per-tenant rejection counters are recounted from the `rejected: true`
+/// arrival instants — and tampering with a rejection counter is caught.
+#[test]
+fn audit_recounts_quota_rejections_and_catches_tampering() {
+    let spec = r#"{
+      "name": "tenant_serve_probe",
+      "description": "one quota-capped tenant, one free",
+      "seed": 11,
+      "window": {"warmup_s": 0.5, "duration_s": 2.0, "drain_s": 0.5},
+      "arrivals": null,
+      "workload": {"Services": [
+        {"model": "ResNet-50", "rate_rps": 800.0, "slo_ms": 200.0},
+        {"model": "BERT-large", "rate_rps": 50.0, "slo_ms": 6000.0}
+      ]},
+      "mode": {"Serve": {"scheduler": "parvagpu", "ingress": []}},
+      "tenants": [
+        {"id": 1, "name": "capped", "quota_rps": 100.0, "services": [0]},
+        {"id": 2, "name": "free", "services": [1]}
+      ]
+    }"#;
+    let dir = std::env::temp_dir()
+        .join("parva-trace-analytics-it")
+        .join("tenant_serve_probe");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let shards = dir.join("shards").to_string_lossy().into_owned();
+    let obs = ObsPaths {
+        stream: Some(shards.clone()),
+        ..ObsPaths::default()
+    };
+    let out = run_spec_with(spec, true, true, &obs).unwrap();
+    // The quota actually bit: the capped tenant's rejections show up in
+    // the report (so the tampering below flips a non-zero counter).
+    assert!(out.stdout.contains("\"rejected\":"), "{}", out.stdout);
+    assert!(out.stdout.contains("\"tenants\":"), "{}", out.stdout);
+    let report = dir.join("report.json").to_string_lossy().into_owned();
+    std::fs::write(&report, &out.stdout).unwrap();
+    let msg = run_trace_audit(&shards, &report, None, None).unwrap();
+    assert!(msg.contains("all match"), "{msg}");
+    assert!(msg.contains("exact"), "{msg}");
+    // Inflate the first rejection counter by a digit: the audit's
+    // independent recount from the arrival instants must disagree.
+    let doctored = out.stdout.replacen("\"rejected\":", "\"rejected\":9", 1);
+    assert_ne!(doctored, out.stdout);
+    let bad = dir.join("doctored.json");
+    std::fs::write(&bad, doctored).unwrap();
+    let err = run_trace_audit(&shards, bad.to_str().unwrap(), None, None)
+        .expect_err("doctored rejection counter must fail the audit");
+    assert!(err.contains("diverged"), "{err}");
+    assert!(err.contains("rejected"), "{err}");
+}
+
 /// An explicit tolerance forgives small float drift but not counter
 /// tampering.
 #[test]
