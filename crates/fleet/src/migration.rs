@@ -253,6 +253,40 @@ impl MigrationPlan {
             spec
         }
     }
+
+    /// Lower the plan under a *bounded* pre-copy budget (GiB of weights a
+    /// warning window can move before it expires): ops are staged
+    /// largest-copy-first — the biggest inbound copy dominates the live
+    /// recovery window, so it is the most valuable to pre-stage — until
+    /// the budget runs dry; whatever did not fit is paid live. Op order is
+    /// preserved (it feeds the DES's per-node re-flash/copy serialization);
+    /// only the `prepared` flags change. A warning that cannot cover the
+    /// whole plan thus buys a *partial* recovery window instead of the old
+    /// all-or-nothing cliff, and a budget that covers everything is exactly
+    /// [`to_recovery_spec`](Self::to_recovery_spec) with `prepared: true`.
+    #[must_use]
+    pub fn to_partial_recovery_spec(&self, start_ms: f64, budget_gib: f64) -> RecoverySpec {
+        let mut ops = self.ops.clone();
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by(|&a, &b| {
+            ops[b]
+                .copy_gib
+                .partial_cmp(&ops[a].copy_gib)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut remaining = budget_gib;
+        for i in order {
+            // Re-flash-only ops (copy_gib = 0) cost no bandwidth and
+            // always pre-stage; a copy is staged only if it fits whole —
+            // a half-copied weight file is not a servable model.
+            if ops[i].copy_gib <= remaining {
+                remaining -= ops[i].copy_gib;
+                ops[i].prepared = true;
+            }
+        }
+        recovery_spec_from_ops(ops, start_ms)
+    }
 }
 
 /// Assemble a serving-DES recovery spec from already-lowered ops, wiring
@@ -304,6 +338,130 @@ mod tests {
         assert_eq!(plan.reflashed_gpus, 0);
         assert_eq!(plan.weight_copy_gib, 0.0);
         assert!((plan.recovery_latency_ms - CONTROL_PLANE_MS).abs() < 1e-9);
+    }
+
+    fn plan_with_ops(ops: Vec<RecoveryOp>) -> MigrationPlan {
+        let weight_copy_gib = ops.iter().map(|o| o.copy_gib).sum();
+        MigrationPlan {
+            migrated_segments: ops.iter().filter(|o| o.copy_gib > 0.0).count(),
+            reflashed_gpus: ops.iter().filter(|o| o.reflash).count(),
+            reflash_waves: 1,
+            weight_copy_gib,
+            stranded_gpcs: 0,
+            recovery_latency_ms: 0.0,
+            ops,
+        }
+    }
+
+    #[test]
+    fn partial_budget_stages_largest_copies_first_without_reordering() {
+        let plan = plan_with_ops(vec![
+            RecoveryOp {
+                node: 0,
+                logical_gpu: Some(0),
+                reflash: true,
+                copy_gib: 2.0,
+                prepared: false,
+            },
+            RecoveryOp {
+                node: 0,
+                logical_gpu: Some(1),
+                reflash: false,
+                copy_gib: 10.0,
+                prepared: false,
+            },
+            RecoveryOp {
+                node: 1,
+                logical_gpu: Some(2),
+                reflash: false,
+                copy_gib: 5.0,
+                prepared: false,
+            },
+        ]);
+        // Budget 12: the 10-GiB copy stages first (largest), 5 no longer
+        // fits, 2 does. Op order must be untouched.
+        let spec = plan.to_partial_recovery_spec(100.0, 12.0);
+        let prepared: Vec<bool> = spec.ops.iter().map(|o| o.prepared).collect();
+        assert_eq!(prepared, vec![true, true, false]);
+        let order: Vec<f64> = spec.ops.iter().map(|o| o.copy_gib).collect();
+        assert_eq!(order, vec![2.0, 10.0, 5.0]);
+        // A covering budget prepares everything — exactly the old
+        // all-or-nothing "covered" branch.
+        let full = plan.to_partial_recovery_spec(100.0, 17.0);
+        assert!(full.ops.iter().all(|o| o.prepared));
+        let covered = plan.to_recovery_spec(100.0, true);
+        assert_eq!(full, covered);
+        // A zero budget stages nothing with these all-copy ops...
+        let zero = plan.to_partial_recovery_spec(100.0, 0.0);
+        assert!(zero.ops.iter().all(|o| !o.prepared));
+        // ...but re-flash-only ops are bandwidth-free and always stage.
+        let flash_only = plan_with_ops(vec![RecoveryOp {
+            node: 0,
+            logical_gpu: Some(0),
+            reflash: true,
+            copy_gib: 0.0,
+            prepared: false,
+        }]);
+        assert!(flash_only.to_partial_recovery_spec(100.0, 0.0).ops[0].prepared);
+    }
+
+    #[test]
+    fn partial_precopy_dip_sits_between_cold_and_fully_prepared() {
+        // The regression the partial path exists for: a warning whose
+        // budget covers only part of the copy volume must pay a *partial*
+        // recovery window — never worse than cold, never better than
+        // fully staged.
+        use parva_deploy::Scheduler;
+        let book = parva_profile::ProfileBook::builtin();
+        let specs = crate::demo_services();
+        let d = parva_core::ParvaGpu::new(&book).schedule(&specs).unwrap();
+        let plan = plan_with_ops(vec![
+            RecoveryOp {
+                node: 0,
+                logical_gpu: Some(0),
+                reflash: true,
+                copy_gib: 40.0,
+                prepared: false,
+            },
+            RecoveryOp {
+                node: 0,
+                logical_gpu: Some(1),
+                reflash: true,
+                copy_gib: 10.0,
+                prepared: false,
+            },
+        ]);
+        let cold = plan.to_partial_recovery_spec(600.0, 0.0);
+        let partial = plan.to_partial_recovery_spec(600.0, 45.0); // stages the 40-GiB op
+        let full = plan.to_partial_recovery_spec(600.0, 50.0);
+        assert_eq!(partial.prepared_gib(), 40.0);
+        let cfg = parva_serve::ServingConfig {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+            seed: 11,
+            ..parva_serve::ServingConfig::default()
+        };
+        let run = |spec: &RecoverySpec| {
+            parva_serve::Simulation::new(&d, &specs)
+                .recovery(spec)
+                .config(&cfg)
+                .run()
+                .overall_request_compliance_rate()
+        };
+        let (c_cold, c_partial, c_full) = (run(&cold), run(&partial), run(&full));
+        assert!(
+            c_partial >= c_cold,
+            "partial precopy ({c_partial:.4}) worse than cold ({c_cold:.4})"
+        );
+        assert!(
+            c_full >= c_partial,
+            "full precopy ({c_full:.4}) worse than partial ({c_partial:.4})"
+        );
+        assert!(
+            c_partial > c_cold,
+            "staging the dominant copy must shrink the dip ({c_partial:.4} vs {c_cold:.4})"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ use parva_deploy::{tenant_of, Deployment, MigDeployment, ScheduleError, ServiceS
 use parva_des::RngStream;
 use parva_obs::{Recorder, Row, SelfProfiler, TraceEvent, TraceSink, PID_FLEET};
 use parva_profile::ProfileBook;
-use parva_serve::{RecoverySpec, ServingConfig, ServingReport, Simulation};
+use parva_serve::{RecoverySpec, ResilienceSpec, ServingConfig, ServingReport, Simulation};
 use std::collections::BTreeMap;
 
 /// Default per-recovery replacement-node budget (see
@@ -73,6 +73,11 @@ pub struct FleetConfig {
     /// `on-demand × discount` instead of the built-in multiplier. `None`
     /// keeps legacy prices bit-exactly.
     pub spot_discount: Option<f64>,
+    /// Frontend resilience policy threaded into every serving probe
+    /// (timeouts, budgeted retries, hedging, shedding, health-checked
+    /// routing). `None` (the default) is bit-identical to the
+    /// pre-resilience orchestrator.
+    pub resilience: Option<ResilienceSpec>,
 }
 
 impl Default for FleetConfig {
@@ -91,6 +96,7 @@ impl Default for FleetConfig {
             tenants: Vec::new(),
             chaos: ChaosProfile::default(),
             spot_discount: None,
+            resilience: None,
         }
     }
 }
@@ -149,14 +155,21 @@ impl From<ScheduleError> for FleetError {
 /// whose result is memoized by content key (see [`crate::simcache`]).
 enum ProbeJob<'a> {
     /// Plain serving run of a deployment against a spec set, under the
-    /// run's tenants (empty = tenant machinery inert).
-    Plain(&'a MigDeployment, &'a [ServiceSpec], &'a [Tenant]),
+    /// run's tenants (empty = tenant machinery inert) and resilience
+    /// policy (`None` = inert).
+    Plain(
+        &'a MigDeployment,
+        &'a [ServiceSpec],
+        &'a [Tenant],
+        Option<&'a ResilienceSpec>,
+    ),
     /// Serving run with the recovery spec riding the event queue.
     Recovery(
         &'a MigDeployment,
         &'a [ServiceSpec],
         &'a RecoverySpec,
         &'a [Tenant],
+        Option<&'a ResilienceSpec>,
     ),
 }
 
@@ -165,9 +178,11 @@ impl ProbeJob<'_> {
     /// debug-rendered tuple hashed here.
     fn key(&self, serving: &ServingConfig) -> u128 {
         match self {
-            Self::Plain(d, specs, tenants) => content_key("plain", &[d, specs, tenants, &serving]),
-            Self::Recovery(d, specs, spec, tenants) => {
-                content_key("recovery", &[d, specs, spec, tenants, &serving])
+            Self::Plain(d, specs, tenants, res) => {
+                content_key("plain", &[d, specs, tenants, res, &serving])
+            }
+            Self::Recovery(d, specs, spec, tenants, res) => {
+                content_key("recovery", &[d, specs, spec, tenants, res, &serving])
             }
         }
     }
@@ -175,15 +190,17 @@ impl ProbeJob<'_> {
     /// Run the simulation this probe describes.
     fn run(&self, serving: &ServingConfig) -> ServingReport {
         match self {
-            Self::Plain(d, specs, tenants) => {
+            Self::Plain(d, specs, tenants, res) => {
                 Simulation::new(&Deployment::Mig((*d).clone()), specs)
                     .tenants(tenants)
+                    .resilience_opt(*res)
                     .config(serving)
                     .run()
             }
-            Self::Recovery(d, specs, spec, tenants) => {
+            Self::Recovery(d, specs, spec, tenants, res) => {
                 Simulation::new(&Deployment::Mig((*d).clone()), specs)
                     .tenants(tenants)
+                    .resilience_opt(*res)
                     .recovery(spec)
                     .config(serving)
                     .run()
@@ -205,6 +222,7 @@ pub struct FleetOrchestrator {
     des_recovery: bool,
     tenants: Vec<Tenant>,
     spot_discount: Option<f64>,
+    resilience: Option<ResilienceSpec>,
     /// Memoized serving probes: the "after" state of one interval is the
     /// "before" state of the next, and a displacement window's control run
     /// duplicates the before probe — each unique steady state is simulated
@@ -250,6 +268,7 @@ impl FleetOrchestrator {
             des_recovery: true,
             tenants: Vec::new(),
             spot_discount: None,
+            resilience: None,
             sim_cache: SimCache::new(),
             profiler: SelfProfiler::disabled(),
         })
@@ -355,6 +374,15 @@ impl FleetOrchestrator {
         self
     }
 
+    /// Thread a frontend resilience policy into every serving probe (see
+    /// [`FleetConfig::resilience`]). `None` = inert, bit-identical to the
+    /// pre-resilience orchestrator.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: Option<ResilienceSpec>) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
     /// The run's tenants (empty when multi-tenancy is not configured).
     #[must_use]
     pub fn tenants(&self) -> &[Tenant] {
@@ -411,7 +439,12 @@ impl FleetOrchestrator {
     /// serving report.
     #[must_use]
     pub fn serve_interval(&self, serving: &ServingConfig) -> f64 {
-        let job = ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants);
+        let job = ProbeJob::Plain(
+            &self.deployment,
+            &self.specs,
+            &self.tenants,
+            self.resilience.as_ref(),
+        );
         let key = job.key(serving);
         self.sim_cache
             .get_or_simulate(key, || job.run(serving))
@@ -429,7 +462,12 @@ impl FleetOrchestrator {
         if self.tenants.is_empty() {
             return Vec::new();
         }
-        let job = ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants);
+        let job = ProbeJob::Plain(
+            &self.deployment,
+            &self.specs,
+            &self.tenants,
+            self.resilience.as_ref(),
+        );
         let key = job.key(serving);
         let report = self.sim_cache.get_or_simulate(key, || job.run(serving));
         let packing = FleetPacking::derive_priced(
@@ -792,12 +830,25 @@ impl FleetOrchestrator {
         // bandwidth budget), and a load-shift reconfiguration runs behind
         // §III-F shadow processes — leaving only the control-plane delay;
         // unannounced losses pay the full window.
-        let warning_covers = migration.weight_copy_gib
-            <= parva_scenarios::warning_precopy_budget_gib(crate::migration::WEIGHT_COPY_GIB_PER_S);
-        let prepared = matches!(event, FleetEvent::LoadShift { .. })
-            || (matches!(event, FleetEvent::PreemptionWarning { .. }) && warning_covers);
-        let rec_spec = (self.des_recovery && !migration.ops.is_empty())
-            .then(|| migration.to_recovery_spec(serving.warmup_s * 1_000.0, prepared));
+        let rec_spec = (self.des_recovery && !migration.ops.is_empty()).then(|| {
+            let start_ms = serving.warmup_s * 1_000.0;
+            if matches!(event, FleetEvent::LoadShift { .. }) {
+                // Shadow-process reconfiguration: all work pre-staged.
+                migration.to_recovery_spec(start_ms, true)
+            } else if matches!(event, FleetEvent::PreemptionWarning { .. }) {
+                // A warning buys whatever pre-copy fits its bandwidth
+                // budget, largest copies first; the remainder is paid
+                // live — a partial recovery window, not all-or-nothing.
+                migration.to_partial_recovery_spec(
+                    start_ms,
+                    parva_scenarios::warning_precopy_budget_gib(
+                        crate::migration::WEIGHT_COPY_GIB_PER_S,
+                    ),
+                )
+            } else {
+                migration.to_recovery_spec(start_ms, false)
+            }
+        });
         self.profiler.end(tok);
         let tok = self.profiler.begin("probe-fanout", "fleet");
 
@@ -817,21 +868,22 @@ impl FleetOrchestrator {
             key
         }
         let mut jobs: Vec<(u128, ProbeJob<'_>)> = Vec::with_capacity(5);
+        let res = self.resilience.as_ref();
         let key_before = push(
             &mut jobs,
-            ProbeJob::Plain(&before_deployment, &specs_before, &self.tenants),
+            ProbeJob::Plain(&before_deployment, &specs_before, &self.tenants, res),
             serving,
         );
         let keys_window = window.as_ref().map(|w| {
             (
                 push(
                     &mut jobs,
-                    ProbeJob::Plain(&w.blackout, &specs_before, &self.tenants),
+                    ProbeJob::Plain(&w.blackout, &specs_before, &self.tenants, res),
                     serving,
                 ),
                 push(
                     &mut jobs,
-                    ProbeJob::Plain(&w.shadowed, &specs_before, &self.tenants),
+                    ProbeJob::Plain(&w.shadowed, &specs_before, &self.tenants, res),
                     serving,
                 ),
             )
@@ -840,20 +892,20 @@ impl FleetOrchestrator {
         let key_shift = matches!(event, FleetEvent::LoadShift { .. }).then(|| {
             push(
                 &mut jobs,
-                ProbeJob::Plain(&before_deployment, &self.specs, &self.tenants),
+                ProbeJob::Plain(&before_deployment, &self.specs, &self.tenants, res),
                 serving,
             )
         });
         let key_measured = rec_spec.as_ref().map(|spec| {
             push(
                 &mut jobs,
-                ProbeJob::Recovery(&self.deployment, &self.specs, spec, &self.tenants),
+                ProbeJob::Recovery(&self.deployment, &self.specs, spec, &self.tenants, res),
                 serving,
             )
         });
         let key_after = push(
             &mut jobs,
-            ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants),
+            ProbeJob::Plain(&self.deployment, &self.specs, &self.tenants, res),
             serving,
         );
         let resolved = self.resolve_probes(&jobs, serving);
@@ -891,6 +943,14 @@ impl FleetOrchestrator {
             self.spot_discount,
         );
         let after = &resolved[&key_after];
+        // The interval's resilience counters: the DES-measured window when
+        // one ran (that is where timeouts/retries/sheds compete with the
+        // recovery), else the recovered steady state. `None` whenever
+        // nothing fired — resilience-free reports stay byte-identical.
+        let resilience = match key_measured {
+            Some(key) => resolved[&key].resilience_totals(),
+            None => after.resilience_totals(),
+        };
         self.profiler.end(tok);
 
         Ok(EventOutcome {
@@ -910,6 +970,7 @@ impl FleetOrchestrator {
             nodes_in_service: packing.nodes.len(),
             usd_per_hour: packing.usd_per_hour,
             lost_gpus,
+            resilience,
         })
     }
 }
@@ -1027,7 +1088,8 @@ fn run_chaos_with<S: TraceSink>(
         .with_max_replacements(config.max_replacements_per_event)
         .with_des_recovery(config.des_recovery)
         .with_tenants(config.tenants.clone())
-        .with_spot_discount(config.spot_discount);
+        .with_spot_discount(config.spot_discount)
+        .with_resilience(config.resilience);
     if profile {
         orchestrator.enable_profiling();
     }
@@ -1104,33 +1166,43 @@ fn run_chaos_with<S: TraceSink>(
                 );
             }
             let probes = hits1 + misses1;
-            sink.sample(
-                Row::new()
-                    .str("kind", "fleet")
-                    .u64("interval", interval as u64)
-                    .str("event", event_label(&outcome.event))
-                    .f64("compliance_before", outcome.compliance_before)
-                    .f64("compliance_during", outcome.compliance_during)
-                    .f64("compliance_shadowed", outcome.compliance_shadowed)
-                    .f64("compliance_measured", outcome.compliance_measured)
-                    .f64("compliance_after", outcome.compliance_after)
-                    .u64(
-                        "migrated_segments",
-                        outcome.migration.migrated_segments as u64,
-                    )
-                    .f64("recovery_ms", outcome.simulated_recovery_ms)
-                    .f64("precopied_gib", outcome.precopied_gib)
-                    .f64(
-                        "sim_cache_hit_rate",
-                        if probes == 0 {
-                            0.0
-                        } else {
-                            hits1 as f64 / probes as f64
-                        },
-                    )
-                    .u64("nodes_in_service", outcome.nodes_in_service as u64)
-                    .f64("usd_per_hour", outcome.usd_per_hour),
-            );
+            let mut row = Row::new()
+                .str("kind", "fleet")
+                .u64("interval", interval as u64)
+                .str("event", event_label(&outcome.event))
+                .f64("compliance_before", outcome.compliance_before)
+                .f64("compliance_during", outcome.compliance_during)
+                .f64("compliance_shadowed", outcome.compliance_shadowed)
+                .f64("compliance_measured", outcome.compliance_measured)
+                .f64("compliance_after", outcome.compliance_after)
+                .u64(
+                    "migrated_segments",
+                    outcome.migration.migrated_segments as u64,
+                )
+                .f64("recovery_ms", outcome.simulated_recovery_ms)
+                .f64("precopied_gib", outcome.precopied_gib)
+                .f64(
+                    "sim_cache_hit_rate",
+                    if probes == 0 {
+                        0.0
+                    } else {
+                        hits1 as f64 / probes as f64
+                    },
+                )
+                .u64("nodes_in_service", outcome.nodes_in_service as u64)
+                .f64("usd_per_hour", outcome.usd_per_hour);
+            // Resilience columns ride the fleet row only when a policy
+            // actually fired, keeping resilience-free artifacts
+            // byte-identical.
+            if let Some(res) = &outcome.resilience {
+                row = row
+                    .u64("timeouts", res.timeouts)
+                    .u64("retries", res.retries)
+                    .u64("shed", res.shed)
+                    .u64("hedges", res.hedges)
+                    .u64("hedge_wins", res.hedge_wins);
+            }
+            sink.sample(row);
         }
         let interval_billing = orchestrator.billing_rows(interval, &serving);
         if S::ENABLED {
@@ -1228,6 +1300,40 @@ mod tests {
             );
         }
         assert!(billed.render().contains("acme"));
+    }
+
+    #[test]
+    fn resilience_policy_threads_through_chaos_probes() {
+        let book = ProfileBook::builtin();
+        let spec = FleetSpec::mixed_demo(2);
+        let cfg = quick_config(77, 2);
+        let plain = run_chaos(&book, &base_specs(), &spec, &cfg).unwrap();
+        assert!(
+            plain.events.iter().all(|e| e.resilience.is_none()),
+            "resilience-free chaos must not report counters"
+        );
+        let plain_json = serde_json::to_string(&plain).unwrap();
+        assert!(
+            !plain_json.contains("resilience"),
+            "resilience-free fleet report must not mention resilience"
+        );
+
+        // An aggressive shed policy fires on every interval of the busy demo
+        // fleet, so the counters must surface on every event outcome.
+        let mut rcfg = cfg.clone();
+        rcfg.resilience = Some(parva_serve::ResilienceSpec {
+            shed_queue_depth: 1,
+            health_checked: false,
+            ..parva_serve::ResilienceSpec::default()
+        });
+        let shed = run_chaos(&book, &base_specs(), &spec, &rcfg).unwrap();
+        assert!(
+            shed.events
+                .iter()
+                .any(|e| e.resilience.as_ref().is_some_and(|r| r.shed > 0)),
+            "shed_queue_depth=1 must shed during chaos intervals"
+        );
+        assert!(serde_json::to_string(&shed).unwrap().contains("\"shed\""));
     }
 
     #[test]

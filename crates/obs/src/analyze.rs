@@ -276,6 +276,16 @@ pub struct ServiceRecount {
     pub completed_within_slo: u64,
     /// In-window latency distribution, rebuilt sample by sample.
     pub latency: LatencyHistogram,
+    /// In-window `timeout` instants (resilience policy; 0 without one).
+    pub timeouts: u64,
+    /// In-window `retry` instants.
+    pub retries: u64,
+    /// In-window `shed` instants.
+    pub shed: u64,
+    /// In-window `hedge` instants.
+    pub hedges: u64,
+    /// In-window `hedge-win` instants.
+    pub hedge_wins: u64,
 }
 
 impl ServiceRecount {
@@ -441,6 +451,11 @@ fn service_at(id: u64, services: &mut Vec<ServiceRecount>) -> usize {
         completed: 0,
         completed_within_slo: 0,
         latency: LatencyHistogram::new(),
+        timeouts: 0,
+        retries: 0,
+        shed: 0,
+        hedges: 0,
+        hedge_wins: 0,
     });
     services.len() - 1
 }
@@ -496,6 +511,27 @@ pub fn recompute_serving(events: &[ParsedEvent]) -> Result<ServingRecount, Strin
     let mut tenants: Vec<TenantRecount> = Vec::new();
 
     for ev in events {
+        // Resilience instants (timeouts, retries, sheds, hedges) recount
+        // against the report's per-service counters with the engine's
+        // window gate: the counters only increment at `ts ∈ [start, end)`.
+        if ev.cat == "resilience" && ev.ph == 'i' {
+            if ev.ts_us < start_us || ev.ts_us >= end_us {
+                continue;
+            }
+            let id = ev
+                .arg_u64("service")
+                .ok_or_else(|| format!("{} at ts={} missing service", ev.name, ev.ts_us))?;
+            let si = service_at(id, &mut services);
+            match ev.name.as_str() {
+                "timeout" => services[si].timeouts += 1,
+                "retry" => services[si].retries += 1,
+                "shed" => services[si].shed += 1,
+                "hedge" => services[si].hedges += 1,
+                "hedge-win" => services[si].hedge_wins += 1,
+                _ => {}
+            }
+            continue;
+        }
         if ev.cat != "request" {
             continue;
         }

@@ -31,7 +31,8 @@ use parva_obs::{Recorder, Row, SelfProfiler, TraceEvent, TraceSink, PID_REGION};
 use parva_profile::ProfileBook;
 use parva_scenarios::diurnal_multiplier;
 use parva_serve::{
-    IngressClass, RecoveryOp, RecoverySpec, ServingConfig, ServingReport, Simulation,
+    IngressClass, RecoveryOp, RecoverySpec, ResilienceSpec, ServingConfig, ServingReport,
+    Simulation,
 };
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,11 @@ pub struct FederationConfig {
     /// region's surviving fleet (index = region; `None` keeps the builtin
     /// spot multiplier). Empty = no overrides anywhere.
     pub spot_discounts: Vec<Option<f64>>,
+    /// Request-lifecycle resilience policy applied inside every region's
+    /// serving DES (timeouts, budgeted retries, hedging, shedding,
+    /// health-checked routing). `None` keeps the serving path and report
+    /// bit-identical to the pre-resilience code.
+    pub resilience: Option<ResilienceSpec>,
 }
 
 impl FederationConfig {
@@ -133,6 +139,9 @@ impl FederationConfig {
         if ids.len() != self.tenants.len() {
             return Err("duplicate tenant ids".into());
         }
+        if let Some(res) = &self.resilience {
+            res.validate()?;
+        }
         Ok(())
     }
 }
@@ -160,6 +169,7 @@ impl Default for FederationConfig {
             tenants: Vec::new(),
             region_chaos: Vec::new(),
             spot_discounts: Vec::new(),
+            resilience: None,
         }
     }
 }
@@ -821,6 +831,7 @@ impl Federation {
                     precopied_gib: 0.0,
                     nodes_in_service: 0,
                     usd_per_hour: 0.0,
+                    resilience: None,
                 });
                 continue;
             };
@@ -895,6 +906,7 @@ impl Federation {
                 precopied_gib,
                 nodes_in_service: packing.nodes.len(),
                 usd_per_hour: packing.usd_per_hour,
+                resilience: report.resilience_totals(),
             });
         }
 
@@ -996,6 +1008,7 @@ impl Federation {
         .tenants(&self.config.tenants)
         .ingress(&ingress)
         .recovery_opt(recovery)
+        .resilience_opt(self.config.resilience.as_ref())
         .config(&serving)
         .run()
     }
@@ -1140,23 +1153,30 @@ fn sample_interval<S: TraceSink>(sink: &mut S, names: &[String], outcome: &Inter
             .u64("forced_failovers", outcome.forced_failovers.len() as u64),
     );
     for r in &outcome.regions {
-        sink.sample(
-            Row::new()
-                .str("kind", "region")
-                .u64("interval", outcome.interval as u64)
-                .str("region", names[r.region].clone())
-                .bool("active", r.active)
-                .f64("offered_rps", r.offered_rps)
-                .f64("routed_in_rps", r.routed_in_rps)
-                .f64("spill_in_rps", r.spill_in_rps)
-                .f64("spill_out_rps", r.spill_out_rps)
-                .f64("compliance", r.compliance)
-                .f64("local_p99_ms", r.local_p99_ms)
-                .u64("migrated_segments", r.migrated_segments as u64)
-                .f64("recovery_latency_ms", r.recovery_latency_ms)
-                .u64("nodes_in_service", r.nodes_in_service as u64)
-                .f64("usd_per_hour", r.usd_per_hour),
-        );
+        let mut row = Row::new()
+            .str("kind", "region")
+            .u64("interval", outcome.interval as u64)
+            .str("region", names[r.region].clone())
+            .bool("active", r.active)
+            .f64("offered_rps", r.offered_rps)
+            .f64("routed_in_rps", r.routed_in_rps)
+            .f64("spill_in_rps", r.spill_in_rps)
+            .f64("spill_out_rps", r.spill_out_rps)
+            .f64("compliance", r.compliance)
+            .f64("local_p99_ms", r.local_p99_ms)
+            .u64("migrated_segments", r.migrated_segments as u64)
+            .f64("recovery_latency_ms", r.recovery_latency_ms)
+            .u64("nodes_in_service", r.nodes_in_service as u64)
+            .f64("usd_per_hour", r.usd_per_hour);
+        if let Some(res) = &r.resilience {
+            row = row
+                .u64("timeouts", res.timeouts)
+                .u64("retries", res.retries)
+                .u64("shed", res.shed)
+                .u64("hedges", res.hedges)
+                .u64("hedge_wins", res.hedge_wins);
+        }
+        sink.sample(row);
     }
 }
 
@@ -1319,6 +1339,42 @@ mod tests {
             }),
             ..FederationConfig::default()
         }
+    }
+
+    #[test]
+    fn resilience_policy_threads_into_every_region() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let cfg = quick_config(7, 2);
+        let plain = run_federation(&book, &services, &spec, &cfg).unwrap();
+        assert!(
+            plain
+                .intervals
+                .iter()
+                .chain(std::iter::once(&plain.baseline))
+                .flat_map(|i| i.regions.iter())
+                .all(|r| r.resilience.is_none()),
+            "resilience-free federation must not report counters"
+        );
+        assert!(!serde_json::to_string(&plain)
+            .unwrap()
+            .contains("resilience"));
+
+        let mut rcfg = cfg.clone();
+        rcfg.resilience = Some(ResilienceSpec {
+            shed_queue_depth: 1,
+            health_checked: false,
+            ..ResilienceSpec::default()
+        });
+        let shed = run_federation(&book, &services, &spec, &rcfg).unwrap();
+        assert!(
+            shed.baseline
+                .regions
+                .iter()
+                .any(|r| r.resilience.as_ref().is_some_and(|c| c.shed > 0)),
+            "shed_queue_depth=1 must shed in the busy baseline interval"
+        );
     }
 
     #[test]

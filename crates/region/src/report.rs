@@ -4,6 +4,7 @@
 
 use crate::event::RegionEvent;
 use parva_cluster::BillingReport;
+use parva_serve::ResilienceCounters;
 use serde::{Deserialize, Serialize, Value};
 
 /// Tolerance for [`IntervalOutcome::attains`]: with DES-measured recovery,
@@ -14,7 +15,7 @@ use serde::{Deserialize, Serialize, Value};
 pub const ATTAINMENT_TOLERANCE: f64 = 0.01;
 
 /// One region's row in one interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct RegionOutcome {
     /// Region index.
     pub region: usize,
@@ -59,6 +60,64 @@ pub struct RegionOutcome {
     pub nodes_in_service: usize,
     /// Hourly cost of the in-service fleet at regional prices, USD.
     pub usd_per_hour: f64,
+    /// Resilience-policy activity (timeouts, retries, sheds, hedges) in the
+    /// traffic served here; `None` (and omitted from the serialized form)
+    /// when the run had no resilience policy or nothing fired.
+    #[serde(default)]
+    pub resilience: Option<ResilienceCounters>,
+}
+
+// Hand-written so resilience-free runs serialize exactly as before the
+// resilience layer existed: the trailing `resilience` map is emitted only
+// when present.
+impl Serialize for RegionOutcome {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            (String::from("region"), self.region.to_value()),
+            (String::from("name"), self.name.to_value()),
+            (String::from("active"), self.active.to_value()),
+            (String::from("offered_rps"), self.offered_rps.to_value()),
+            (String::from("routed_in_rps"), self.routed_in_rps.to_value()),
+            (String::from("spill_in_rps"), self.spill_in_rps.to_value()),
+            (String::from("spill_out_rps"), self.spill_out_rps.to_value()),
+            (String::from("compliance"), self.compliance.to_value()),
+            (String::from("local_p99_ms"), self.local_p99_ms.to_value()),
+            (
+                String::from("spilled_p99_ms"),
+                self.spilled_p99_ms.to_value(),
+            ),
+            (
+                String::from("displaced_segments"),
+                self.displaced_segments.to_value(),
+            ),
+            (
+                String::from("reconfigured_gpus"),
+                self.reconfigured_gpus.to_value(),
+            ),
+            (
+                String::from("migrated_segments"),
+                self.migrated_segments.to_value(),
+            ),
+            (
+                String::from("replacement_nodes"),
+                self.replacement_nodes.to_value(),
+            ),
+            (
+                String::from("recovery_latency_ms"),
+                self.recovery_latency_ms.to_value(),
+            ),
+            (String::from("precopied_gib"), self.precopied_gib.to_value()),
+            (
+                String::from("nodes_in_service"),
+                self.nodes_in_service.to_value(),
+            ),
+            (String::from("usd_per_hour"), self.usd_per_hour.to_value()),
+        ];
+        if let Some(resilience) = &self.resilience {
+            map.push((String::from("resilience"), resilience.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 /// One federation interval.

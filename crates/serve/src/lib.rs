@@ -28,12 +28,16 @@ pub mod recovery;
 #[cfg(test)]
 mod reference;
 pub mod report;
+pub mod resilience;
 pub mod router;
 pub mod sim;
 pub mod simulation;
 
 pub use recovery::{RecoveryOp, RecoverySimReport, RecoverySpec};
-pub use report::{ClassReport, ServerActivity, ServiceReport, ServingReport, TenantReport};
+pub use report::{
+    ClassReport, ResilienceCounters, ServerActivity, ServiceReport, ServingReport, TenantReport,
+};
+pub use resilience::ResilienceSpec;
 pub use router::Router;
 #[allow(deprecated)]
 pub use sim::{

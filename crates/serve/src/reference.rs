@@ -610,6 +610,11 @@ pub fn simulate_with_recovery_reference(
                 completed_within_slo: within_slo[i],
                 latency: latency[i].clone(),
                 rejected: 0,
+                timeouts: 0,
+                retries: 0,
+                shed: 0,
+                hedges: 0,
+                hedge_wins: 0,
             })
             .collect(),
         servers: server_reports,

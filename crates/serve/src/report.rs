@@ -25,10 +25,28 @@ pub struct ServiceReport {
     /// admission quota. Always zero without tenant quotas.
     #[serde(default)]
     pub rejected: u64,
+    /// Per-attempt queueing timeouts fired in-window. Always zero without
+    /// a resilience policy ([`crate::ResilienceSpec`]).
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Timed-out requests re-enqueued (post-backoff) in-window.
+    #[serde(default)]
+    pub retries: u64,
+    /// Requests dropped by queue-depth load shedding in-window.
+    #[serde(default)]
+    pub shed: u64,
+    /// Hedge copies dispatched to a second server in-window.
+    #[serde(default)]
+    pub hedges: u64,
+    /// Batched requests whose hedge copy won the race in-window.
+    #[serde(default)]
+    pub hedge_wins: u64,
 }
 
 // Hand-written so quota-free runs serialize exactly as before the tenant
-// layer existed: `rejected` is emitted only when non-zero.
+// layer existed (`rejected` only when non-zero) and resilience-free runs
+// exactly as before the resilience layer existed (counters only when
+// non-zero).
 impl Serialize for ServiceReport {
     fn to_value(&self) -> Value {
         let mut map = vec![
@@ -49,7 +67,51 @@ impl Serialize for ServiceReport {
         if self.rejected != 0 {
             map.push((String::from("rejected"), self.rejected.to_value()));
         }
+        for (key, v) in [
+            ("timeouts", self.timeouts),
+            ("retries", self.retries),
+            ("shed", self.shed),
+            ("hedges", self.hedges),
+            ("hedge_wins", self.hedge_wins),
+        ] {
+            if v != 0 {
+                map.push((String::from(key), v.to_value()));
+            }
+        }
         Value::Map(map)
+    }
+}
+
+/// Rollup of the resilience counters across services — the shape the
+/// fleet/region layers attach to their per-event/per-region outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceCounters {
+    /// Per-attempt queueing timeouts fired in-window.
+    pub timeouts: u64,
+    /// Timed-out requests re-enqueued (post-backoff) in-window.
+    pub retries: u64,
+    /// Requests dropped by queue-depth load shedding in-window.
+    pub shed: u64,
+    /// Hedge copies dispatched to a second server in-window.
+    pub hedges: u64,
+    /// Batched requests whose hedge copy won the race in-window.
+    pub hedge_wins: u64,
+}
+
+impl ResilienceCounters {
+    /// Did anything at all happen?
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulate another rollup into this one.
+    pub fn add(&mut self, other: &Self) {
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.shed += other.shed;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
     }
 }
 
@@ -265,6 +327,23 @@ impl ServingReport {
     pub fn classes_of(&self, id: u32) -> Vec<&ClassReport> {
         self.classes.iter().filter(|c| c.service_id == id).collect()
     }
+
+    /// Sum of the resilience counters across services; `None` when no
+    /// resilience mechanism fired (including every resilience-free run).
+    #[must_use]
+    pub fn resilience_totals(&self) -> Option<ResilienceCounters> {
+        let mut total = ResilienceCounters::default();
+        for s in &self.services {
+            total.add(&ResilienceCounters {
+                timeouts: s.timeouts,
+                retries: s.retries,
+                shed: s.shed,
+                hedges: s.hedges,
+                hedge_wins: s.hedge_wins,
+            });
+        }
+        (!total.is_zero()).then_some(total)
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +360,11 @@ mod tests {
             completed_within_slo: batches * 8 - violated * 8,
             latency: LatencyHistogram::new(),
             rejected: 0,
+            timeouts: 0,
+            retries: 0,
+            shed: 0,
+            hedges: 0,
+            hedge_wins: 0,
         }
     }
 

@@ -8,6 +8,12 @@ pub struct Router {
     weights: Vec<f64>,
     sent: Vec<u64>,
     total: u64,
+    /// Health mask for health-checked routing: unhealthy servers get no
+    /// traffic while any healthy alternative exists. All-healthy routing is
+    /// bit-identical to the pre-health router (the mask is only consulted
+    /// when at least one server is marked down).
+    healthy: Vec<bool>,
+    down: usize,
 }
 
 impl Router {
@@ -35,6 +41,24 @@ impl Router {
             weights,
             sent: vec![0; n],
             total: 0,
+            healthy: vec![true; n],
+            down: 0,
+        }
+    }
+
+    /// Mark one server up or down for health-checked routing. A down
+    /// server is skipped by [`Router::route`] while any healthy server
+    /// remains; when every server is down the router falls back to the
+    /// plain weighted choice (requests must land *somewhere* — they queue
+    /// on the dark server and drain at recovery, exactly as before).
+    pub fn set_healthy(&mut self, i: usize, healthy: bool) {
+        if self.healthy[i] != healthy {
+            self.healthy[i] = healthy;
+            if healthy {
+                self.down -= 1;
+            } else {
+                self.down += 1;
+            }
         }
     }
 
@@ -47,10 +71,14 @@ impl Router {
             self.sent[0] += 1;
             return 0;
         }
+        let mask = self.down > 0 && self.down < self.healthy.len();
         let mut best = 0usize;
         let mut best_credit = f64::NEG_INFINITY;
         let total = self.total as f64;
         for (i, (w, sent)) in self.weights.iter().zip(&self.sent).enumerate() {
+            if mask && !self.healthy[i] {
+                continue;
+            }
             let credit = w * total - *sent as f64;
             if credit > best_credit {
                 best_credit = credit;
@@ -147,6 +175,49 @@ mod tests {
         assert_eq!(r.sent()[0], 1000, "{:?}", r.sent());
         assert_eq!(r.sent()[1], 0);
         assert_eq!(r.sent()[2], 0);
+    }
+
+    #[test]
+    fn unhealthy_servers_are_drained_and_readmitted() {
+        let mut r = Router::new(vec![1.0, 1.0]);
+        r.set_healthy(0, false);
+        for _ in 0..100 {
+            assert_eq!(r.route(), 1);
+        }
+        r.set_healthy(0, true);
+        // Back in rotation: credit built up while drained, so server 0
+        // catches up first.
+        assert_eq!(r.route(), 0);
+        let mut zero = 0;
+        for _ in 0..1000 {
+            if r.route() == 0 {
+                zero += 1;
+            }
+        }
+        assert!(zero > 400, "recovered server got only {zero}/1000");
+    }
+
+    #[test]
+    fn all_down_falls_back_to_plain_weighted_choice() {
+        let mut healthy = Router::new(vec![2.0, 1.0]);
+        let mut down = Router::new(vec![2.0, 1.0]);
+        down.set_healthy(0, false);
+        down.set_healthy(1, false);
+        for _ in 0..100 {
+            assert_eq!(healthy.route(), down.route());
+        }
+    }
+
+    #[test]
+    fn all_healthy_routing_matches_pre_health_router() {
+        // Marking down then up restores bit-identical decisions.
+        let mut a = Router::new(vec![3.0, 1.0, 2.0]);
+        let mut b = Router::new(vec![3.0, 1.0, 2.0]);
+        b.set_healthy(1, false);
+        b.set_healthy(1, true);
+        for _ in 0..500 {
+            assert_eq!(a.route(), b.route());
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::recovery::{RecoverySimReport, RecoverySpec};
 use crate::report::{ClassReport, ServerActivity, ServiceReport, ServingReport, TenantReport};
+use crate::resilience::ResilienceSpec;
 use crate::router::Router;
 use parva_deploy::{Deployment, ServiceSpec, Tenant};
 use parva_des::{CalendarQueue, LatencyHistogram, RngStream, SerialResource, SimTime};
@@ -160,6 +161,113 @@ impl TokenBucket {
     }
 }
 
+/// One live request in the resilience request table. Without a resilience
+/// policy the engine never materializes request identity (queue entries are
+/// plain `(arrival, class)` pairs); with one, queue/slab entries carry a
+/// request id into this table so timeouts, retries and hedge cancellation
+/// can find a request wherever it sits.
+#[derive(Debug, Clone, Copy)]
+struct ResReq {
+    service: u32,
+    class: u32,
+    /// The *original* arrival: latency (and the SLO check) is always
+    /// measured from here, so a retried request that finally completes
+    /// still pays for every failed attempt — the accounting that makes
+    /// retry storms visible instead of laundering them.
+    first_arrival: SimTime,
+    /// Failed attempts so far (bounds retries).
+    attempts: u32,
+    /// Staleness guard for pending timeout/retry/hedge events.
+    epoch: u32,
+    /// Server whose queue holds the primary copy.
+    server: u32,
+    /// Server whose queue holds the hedge copy (`-1` = not hedged).
+    hedge_server: i64,
+}
+
+/// All mutable resilience state of one run: the request table (slab with a
+/// free list — steady state allocates nothing), the cluster-wide retry
+/// budget, the backoff-jitter RNG stream, and per-service counters.
+#[derive(Debug)]
+struct ResState {
+    spec: ResilienceSpec,
+    reqs: Vec<ResReq>,
+    free: Vec<u32>,
+    budget: Option<TokenBucket>,
+    rng: RngStream,
+    timeouts: Vec<u64>,
+    retries: Vec<u64>,
+    shed: Vec<u64>,
+    hedges: Vec<u64>,
+    hedge_wins: Vec<u64>,
+}
+
+impl ResState {
+    fn new(spec: ResilienceSpec, seed: u64, services: usize) -> Self {
+        Self {
+            spec,
+            reqs: Vec::new(),
+            free: Vec::new(),
+            budget: (spec.retry_budget_rps > 0.0).then(|| TokenBucket::new(spec.retry_budget_rps)),
+            // A dedicated stream: backoff jitter draws must not perturb
+            // any arrival stream's sample path.
+            rng: RngStream::new(seed ^ 0x52E5_111E_4CE5_7A7E, 0xBAC0FF),
+            timeouts: vec![0; services],
+            retries: vec![0; services],
+            shed: vec![0; services],
+            hedges: vec![0; services],
+            hedge_wins: vec![0; services],
+        }
+    }
+
+    fn alloc(&mut self, service: u32, class: u32, t: SimTime, server: u32) -> u32 {
+        if let Some(rid) = self.free.pop() {
+            let r = &mut self.reqs[rid as usize];
+            r.service = service;
+            r.class = class;
+            r.first_arrival = t;
+            r.attempts = 0;
+            // The epoch survives recycling (bumped at free), so events
+            // addressed to the previous occupant stay stale.
+            r.server = server;
+            r.hedge_server = -1;
+            rid
+        } else {
+            self.reqs.push(ResReq {
+                service,
+                class,
+                first_arrival: t,
+                attempts: 0,
+                epoch: 0,
+                server,
+                hedge_server: -1,
+            });
+            (self.reqs.len() - 1) as u32
+        }
+    }
+
+    /// Retire a request id: bump its epoch (stale-ing every pending event
+    /// addressed to it) and return it to the free list.
+    fn free_req(&mut self, rid: u32) {
+        let r = &mut self.reqs[rid as usize];
+        r.epoch = r.epoch.wrapping_add(1);
+        self.free.push(rid);
+    }
+
+    /// Is `epoch_bits` (an event's 20-bit payload field) current for `rid`?
+    fn epoch_current(&self, rid: usize, epoch_bits: usize) -> bool {
+        u64::from(self.reqs[rid].epoch) & B_MASK == epoch_bits as u64
+    }
+}
+
+/// Drop one request id out of a server queue (timeout pull or hedge twin
+/// cancellation). O(queue) — both paths are rare relative to arrivals.
+fn remove_rid(queue: &mut VecDeque<(SimTime, u32)>, rid: u32) {
+    if let Some(pos) = queue.iter().position(|&(_, x)| x == rid) {
+        queue.remove(pos);
+    }
+}
+
 /// One executable server: a MIG segment (p processes) or an MPS partition.
 #[derive(Debug)]
 struct Server {
@@ -215,6 +323,14 @@ const TAG_DONE: u64 = 1;
 const TAG_DEADLINE: u64 = 2;
 const TAG_RECOVERY_BEGIN: u64 = 3;
 const TAG_GPU_RECOVERED: u64 = 4;
+// Resilience lifecycle events (only scheduled when a non-inert
+// `ResilienceSpec` is configured). Each carries `a` = request id into the
+// resilience request table and `b` = the request's epoch (mod 2^20): any
+// state change — launch, timeout, retry, completion — bumps the epoch, so
+// stale events fall through without a lookup table of cancellations.
+const TAG_TIMEOUT: u64 = 5;
+const TAG_RETRY: u64 = 6;
+const TAG_HEDGE: u64 = 7;
 
 #[inline]
 fn ev(tag: u64, a: u64, b: u64) -> u64 {
@@ -234,6 +350,20 @@ fn batch_timeout(spec: &ServiceSpec, server: &Server) -> SimTime {
             .saturating_sub(full_cycle.micros())
             .clamp(1_000, 250_000),
     )
+}
+
+/// Hedge-fire delay for one request: the service's observed in-window
+/// latency at the configured quantile once enough completions exist, else
+/// the SLO scaled by the quantile (the cold-start prior — before any
+/// measurement the SLO is the only latency expectation the frontend has).
+/// Deterministic: both inputs are pure functions of simulation state.
+fn hedge_delay(hist: &LatencyHistogram, spec: &ServiceSpec, quantile: f64) -> SimTime {
+    let ms = if hist.count() >= 50 {
+        hist.quantile_ms(quantile)
+    } else {
+        spec.slo.latency_ms * quantile
+    };
+    SimTime::from_ms(ms)
 }
 
 fn build_servers(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Server> {
@@ -485,6 +615,11 @@ pub fn simulate_with_ingress(
 }
 
 /// Launch one batch of `size` on `server` (caller checked feasibility).
+///
+/// With a resilience policy, launching is the **commit point** of every
+/// drafted request: its epoch bumps (pending timeout/hedge events go
+/// stale) and, for hedged requests, first-wins cancellation pulls the twin
+/// copy out of the other server's queue — exactly one copy ever executes.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn launch<S: TraceSink>(
@@ -495,6 +630,9 @@ fn launch<S: TraceSink>(
     free: &mut Vec<u32>,
     server: usize,
     size: u32,
+    res: &mut Option<ResState>,
+    specs: &[ServiceSpec],
+    win: (SimTime, SimTime),
     sink: &mut S,
 ) {
     let id = free.pop().unwrap_or_else(|| {
@@ -505,6 +643,41 @@ fn launch<S: TraceSink>(
     let batch = &mut slab[id as usize];
     batch.clear();
     batch.extend(servers[server].queue.drain(..size as usize));
+    if let Some(rs) = res.as_mut() {
+        let service = servers[server].service;
+        for &(_, rid) in &slab[id as usize] {
+            let r = &mut rs.reqs[rid as usize];
+            r.epoch = r.epoch.wrapping_add(1);
+            let hedge_server = r.hedge_server;
+            let primary = r.server as usize;
+            r.hedge_server = -1;
+            r.server = server as u32;
+            if hedge_server >= 0 {
+                // First-wins: cancel whichever copy is still queued.
+                let hedge_won = hedge_server as usize == server;
+                let twin = if hedge_won {
+                    primary
+                } else {
+                    hedge_server as usize
+                };
+                remove_rid(&mut servers[twin].queue, rid);
+                if hedge_won {
+                    let now = q.now();
+                    if now >= win.0 && now < win.1 {
+                        rs.hedge_wins[service] += 1;
+                    }
+                    if S::ENABLED {
+                        sink.emit(
+                            TraceEvent::instant("hedge-win", "resilience", now.micros())
+                                .pid(PID_SERVE)
+                                .tid(server as u32)
+                                .arg_u64("service", u64::from(specs[service].id)),
+                        );
+                    }
+                }
+            }
+        }
+    }
     servers[server].busy += 1;
     let n_busy = servers[server].busy;
     let (cycle, comp_us) = batch_times_memo(servers, server, size, n_busy);
@@ -542,6 +715,7 @@ fn launch<S: TraceSink>(
 /// Dark servers (recovery outstanding on their GPU) launch nothing —
 /// their queues drain when the GPU's recovery op completes.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn try_start<S: TraceSink>(
     q: &mut CalendarQueue,
     servers: &mut [Server],
@@ -549,6 +723,9 @@ fn try_start<S: TraceSink>(
     slab_comp: &mut Vec<u64>,
     free: &mut Vec<u32>,
     server: usize,
+    res: &mut Option<ResState>,
+    specs: &[ServiceSpec],
+    win: (SimTime, SimTime),
     sink: &mut S,
 ) {
     loop {
@@ -559,13 +736,21 @@ fn try_start<S: TraceSink>(
         let queued = s.queue.len();
         let full = s.batch;
         if queued >= full as usize {
-            launch(q, servers, slab, slab_comp, free, server, full, sink);
+            launch(
+                q, servers, slab, slab_comp, free, server, full, res, specs, win, sink,
+            );
             continue;
         }
         if queued == 0 {
             return;
         }
-        let (head, class) = *s.queue.front().expect("non-empty");
+        let (head, x) = *s.queue.front().expect("non-empty");
+        // Queue entries carry the ingress class directly, or (with a
+        // resilience policy) a request id the class is looked up through.
+        let class = match res.as_ref() {
+            Some(rs) => rs.reqs[x as usize].class,
+            None => x,
+        };
         let timeout = s
             .class_timeouts
             .get(class as usize)
@@ -574,7 +759,9 @@ fn try_start<S: TraceSink>(
         let deadline = head + timeout;
         if q.now() >= deadline {
             let size = (queued as u32).min(full);
-            launch(q, servers, slab, slab_comp, free, server, size, sink);
+            launch(
+                q, servers, slab, slab_comp, free, server, size, res, specs, win, sink,
+            );
         } else {
             q.schedule(deadline, ev(TAG_DEADLINE, 0, server as u64));
         }
@@ -636,6 +823,7 @@ fn sample_serve_gauges<S: TraceSink>(
     completed: &[u64],
     within_slo: &[u64],
     rejected: &[u64],
+    res: Option<&ResState>,
 ) {
     let t_ms = ts_us as f64 / 1_000.0;
     let mut queue_depth = 0u64;
@@ -659,26 +847,37 @@ fn sample_serve_gauges<S: TraceSink>(
             within as f64 / done as f64
         }
     };
-    sink.sample(
-        Row::new()
-            .str("kind", "tick")
-            .f64("t_ms", t_ms)
-            .u64("queue_depth", queue_depth)
-            .u64("inflight_batches", inflight)
-            .f64(
-                "gpu_busy_frac",
-                if total_procs == 0 {
-                    0.0
-                } else {
-                    busy_procs as f64 / total_procs as f64
-                },
-            )
-            .u64("dark_servers", dark)
-            .u64("offered", offered.iter().sum())
-            .u64("completed", all_completed)
-            .u64("within_slo", all_within)
-            .f64("slo_attainment", attainment(all_within, all_completed)),
-    );
+    let mut tick = Row::new()
+        .str("kind", "tick")
+        .f64("t_ms", t_ms)
+        .u64("queue_depth", queue_depth)
+        .u64("inflight_batches", inflight)
+        .f64(
+            "gpu_busy_frac",
+            if total_procs == 0 {
+                0.0
+            } else {
+                busy_procs as f64 / total_procs as f64
+            },
+        )
+        .u64("dark_servers", dark)
+        .u64("offered", offered.iter().sum())
+        .u64("completed", all_completed)
+        .u64("within_slo", all_within)
+        .f64("slo_attainment", attainment(all_within, all_completed));
+    // Resilience columns ride the tick row only when a policy is active,
+    // so resilience-free runs keep the pre-resilience gauge schema
+    // byte-exactly. Values are cumulative in-window counts, like the
+    // offered/completed columns beside them.
+    if let Some(rs) = res {
+        tick = tick
+            .u64("timeouts", rs.timeouts.iter().sum())
+            .u64("retries", rs.retries.iter().sum())
+            .u64("shed", rs.shed.iter().sum())
+            .u64("hedges", rs.hedges.iter().sum())
+            .u64("hedge_wins", rs.hedge_wins.iter().sum());
+    }
+    sink.sample(tick);
     let has_tenants = !tenants.is_empty();
     for (i, spec) in specs.iter().enumerate() {
         let mut row = Row::new()
@@ -740,6 +939,7 @@ pub(crate) fn run_simulation<S: TraceSink>(
     recovery: Option<&RecoverySpec>,
     tenants: &[Tenant],
     arrival_overrides: &[Option<ArrivalProcess>],
+    resilience: Option<&ResilienceSpec>,
     config: &ServingConfig,
     sink: &mut S,
 ) -> ServingReport {
@@ -782,6 +982,46 @@ pub(crate) fn run_simulation<S: TraceSink>(
     let win_start = SimTime::from_secs(config.warmup_s);
     let win_end = SimTime::from_secs(config.warmup_s + config.duration_s);
     let sim_end = SimTime::from_secs(config.warmup_s + config.duration_s + config.drain_s);
+    let win = (win_start, win_end);
+
+    // The resilience layer, strictly inert (None) without a policy: the
+    // engine then never materializes request identity and every code path
+    // below is the pre-resilience one, bit-exactly. An inert spec (all
+    // mechanisms disabled) is normalized to None for the same guarantee.
+    let mut res: Option<ResState> = resilience
+        .filter(|r| !r.is_inert())
+        .map(|r| ResState::new(*r, config.seed, specs.len()));
+    // Per-(service, class) effective attempt timeout: the class's network
+    // term is budget already spent, so remote classes time out sooner
+    // (floored at zero — an attempt can be dead on arrival).
+    let res_timeout: Vec<SimTime> = match res.as_ref() {
+        Some(rs) if rs.spec.timeout_ms > 0.0 => classes
+            .iter()
+            .flat_map(|cls| {
+                cls.iter().map(|c| {
+                    SimTime(
+                        SimTime::from_ms(rs.spec.timeout_ms)
+                            .micros()
+                            .saturating_sub(SimTime::from_ms(c.network_ms).micros()),
+                    )
+                })
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    // Server index → (service, router slot), for health-checked routing.
+    let slot_of: Vec<Option<(usize, usize)>> = if res.is_some() {
+        let mut m = vec![None; servers.len()];
+        for (svc, w) in weights.iter().enumerate() {
+            for (k, &(sidx, _)) in w.iter().enumerate() {
+                m[sidx] = Some((svc, k));
+            }
+        }
+        m
+    } else {
+        Vec::new()
+    };
+    let health_checked = res.as_ref().is_some_and(|rs| rs.spec.health_checked);
 
     if S::ENABLED {
         // Stamp the measurement window into the trace: every report
@@ -1000,6 +1240,7 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     &completed,
                     &within_slo,
                     &rejected,
+                    res.as_ref(),
                 );
             }
         }
@@ -1077,7 +1318,55 @@ pub(crate) fn run_simulation<S: TraceSink>(
                         }
                         sink.emit(arrival);
                     }
-                    servers[sidx].queue.push_back((t, class as u32));
+                    // Queue-depth load shedding: an arrival routed to a
+                    // server already holding `shed_queue_depth` requests
+                    // is dropped (counted as offered, never served) —
+                    // bounded queues instead of unbounded latency.
+                    if let Some(rs) = res.as_mut() {
+                        let depth = rs.spec.shed_queue_depth as usize;
+                        if depth > 0 && servers[sidx].queue.len() >= depth {
+                            if t >= win_start && t < win_end {
+                                rs.shed[service] += 1;
+                            }
+                            if S::ENABLED {
+                                sink.emit(
+                                    TraceEvent::instant("shed", "resilience", t.micros())
+                                        .pid(PID_SERVE)
+                                        .tid(sidx as u32)
+                                        .arg_u64("service", u64::from(specs[service].id)),
+                                );
+                            }
+                            continue;
+                        }
+                    }
+                    let entry = match res.as_mut() {
+                        Some(rs) => {
+                            let rid = rs.alloc(service as u32, class as u32, t, sidx as u32);
+                            let epoch = u64::from(rs.reqs[rid as usize].epoch) & B_MASK;
+                            if rs.spec.timeout_ms > 0.0 {
+                                let fire = t + res_timeout[flat];
+                                // Events past the window can never be
+                                // observed (the loop breaks there) — skip
+                                // booking them at all.
+                                if fire <= win_end {
+                                    q.schedule(fire, ev(TAG_TIMEOUT, u64::from(rid), epoch));
+                                }
+                            }
+                            if rs.spec.hedge_quantile > 0.0 {
+                                let fire = t + hedge_delay(
+                                    &latency[service],
+                                    &specs[service],
+                                    rs.spec.hedge_quantile,
+                                );
+                                if fire <= win_end {
+                                    q.schedule(fire, ev(TAG_HEDGE, u64::from(rid), epoch));
+                                }
+                            }
+                            (t, rid)
+                        }
+                        None => (t, class as u32),
+                    };
+                    servers[sidx].queue.push_back(entry);
                     try_start(
                         &mut q,
                         &mut servers,
@@ -1085,6 +1374,9 @@ pub(crate) fn run_simulation<S: TraceSink>(
                         &mut slab_comp,
                         &mut free,
                         sidx,
+                        &mut res,
+                        specs,
+                        win,
                         sink,
                     );
                 }
@@ -1097,10 +1389,20 @@ pub(crate) fn run_simulation<S: TraceSink>(
                 if S::ENABLED {
                     // One request-lifecycle span per member: arrival →
                     // completion, tagged ok/miss against the SLO
-                    // (network RTT included, exactly as accounted).
+                    // (network RTT included, exactly as accounted). With
+                    // a resilience policy the span runs from the request's
+                    // *first* arrival — retried attempts pay for the time
+                    // their failed predecessors burned.
                     let slo_ms = specs[service].slo.latency_ms;
                     let base = cbase[service];
-                    for &(arrived, class) in &slab[batch_id] {
+                    for &(enq, x) in &slab[batch_id] {
+                        let (arrived, class) = match res.as_ref() {
+                            Some(rs) => {
+                                let r = &rs.reqs[x as usize];
+                                (r.first_arrival, r.class)
+                            }
+                            None => (enq, x),
+                        };
                         let lat_ms = t.since(arrived).as_ms() + class_net[base + class as usize];
                         let mut span = TraceEvent::span(
                             "request",
@@ -1130,7 +1432,14 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     let mut done_n = 0u64;
                     let mut ok_n = 0u64;
                     let mut worst = 0.0f64;
-                    for &(arrived, class) in &slab[batch_id] {
+                    for &(enq, x) in &slab[batch_id] {
+                        let (arrived, class) = match res.as_ref() {
+                            Some(rs) => {
+                                let r = &rs.reqs[x as usize];
+                                (r.first_arrival, r.class)
+                            }
+                            None => (enq, x),
+                        };
                         let c = class as usize;
                         // The RTT term: network latency already spent by
                         // this ingress class counts against the SLO.
@@ -1154,6 +1463,13 @@ pub(crate) fn run_simulation<S: TraceSink>(
                         violated[service] += 1;
                     }
                 }
+                if let Some(rs) = res.as_mut() {
+                    // Completed requests retire: epoch bump stales any
+                    // straggler timeout/hedge events, the id recycles.
+                    for &(_, rid) in &slab[batch_id] {
+                        rs.free_req(rid);
+                    }
+                }
                 free.push(batch_id as u32);
                 try_start(
                     &mut q,
@@ -1162,6 +1478,9 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     &mut slab_comp,
                     &mut free,
                     server,
+                    &mut res,
+                    specs,
+                    win,
                     sink,
                 );
             }
@@ -1175,6 +1494,9 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     &mut slab_comp,
                     &mut free,
                     b,
+                    &mut res,
+                    specs,
+                    win,
                     sink,
                 );
             }
@@ -1189,6 +1511,16 @@ pub(crate) fn run_simulation<S: TraceSink>(
                             dark += 1;
                             if S::ENABLED {
                                 dark_since[si] = t;
+                            }
+                            // Health-checked routing: a dark server is
+                            // drained — new arrivals go to its healthy
+                            // siblings instead of queueing on a corpse.
+                            if health_checked {
+                                if let Some((svc, slot)) = slot_of[si] {
+                                    if let Some(r) = routers[svc].as_mut() {
+                                        r.set_healthy(slot, false);
+                                    }
+                                }
                             }
                         }
                     }
@@ -1216,8 +1548,8 @@ pub(crate) fn run_simulation<S: TraceSink>(
                     precopied_gib: spec.prepared_gib(),
                 });
             }
-            _ => {
-                // TAG_GPU_RECOVERED: op `a` finished; light its GPU up.
+            TAG_GPU_RECOVERED => {
+                // Op `a` finished; light its GPU up.
                 let spec = rec_spec.expect("recovery event without a spec");
                 let Some(g) = spec.ops[a].logical_gpu else {
                     continue;
@@ -1246,6 +1578,16 @@ pub(crate) fn run_simulation<S: TraceSink>(
                                     .arg_u64("gpu", g as u64),
                             );
                         }
+                        // Re-admit to health-checked routing: credit
+                        // accumulated while drained, so the recovered
+                        // server catches up on its fair share.
+                        if health_checked {
+                            if let Some((svc, slot)) = slot_of[si] {
+                                if let Some(r) = routers[svc].as_mut() {
+                                    r.set_healthy(slot, true);
+                                }
+                            }
+                        }
                         try_start(
                             &mut q,
                             &mut servers,
@@ -1253,11 +1595,206 @@ pub(crate) fn run_simulation<S: TraceSink>(
                             &mut slab_comp,
                             &mut free,
                             si,
+                            &mut res,
+                            specs,
+                            win,
                             sink,
                         );
                     }
                 }
             }
+            TAG_TIMEOUT => {
+                // Attempt timeout: pull the request (and its hedge twin)
+                // out of the queues, then retry if the attempt cap and the
+                // cluster-wide retry budget both allow — else give up.
+                let rs = res.as_mut().expect("resilience event without state");
+                if !rs.epoch_current(a, b) {
+                    continue; // already launched / completed / retired
+                }
+                let rid = a as u32;
+                let (service, primary, hedge) = {
+                    let r = &rs.reqs[a];
+                    (r.service as usize, r.server as usize, r.hedge_server)
+                };
+                remove_rid(&mut servers[primary].queue, rid);
+                if hedge >= 0 {
+                    remove_rid(&mut servers[hedge as usize].queue, rid);
+                }
+                if t >= win_start && t < win_end {
+                    rs.timeouts[service] += 1;
+                }
+                if S::ENABLED {
+                    sink.emit(
+                        TraceEvent::instant("timeout", "resilience", t.micros())
+                            .pid(PID_SERVE)
+                            .tid(primary as u32)
+                            .arg_u64("service", u64::from(specs[service].id)),
+                    );
+                }
+                let attempts = {
+                    let r = &mut rs.reqs[a];
+                    r.epoch = r.epoch.wrapping_add(1);
+                    r.hedge_server = -1;
+                    r.attempts
+                };
+                let can_retry = attempts < rs.spec.max_retries;
+                // The budget is only consulted for retries that would
+                // actually happen — a drained bucket is what breaks the
+                // metastable feedback loop under overload.
+                let admitted = can_retry && rs.budget.as_mut().is_none_or(|bk| bk.admit(t));
+                if admitted {
+                    let mut delay_ms =
+                        rs.spec.backoff_base_ms * rs.spec.backoff_multiplier.powi(attempts as i32);
+                    if rs.spec.jitter > 0.0 {
+                        // Draw only when configured: zero-jitter runs
+                        // share the no-resilience RNG state bit-exactly.
+                        delay_ms *= 1.0 + rs.spec.jitter * rs.rng.uniform();
+                    }
+                    let fire = t + SimTime::from_ms(delay_ms);
+                    if fire <= win_end {
+                        let epoch = u64::from(rs.reqs[a].epoch) & B_MASK;
+                        q.schedule(fire, ev(TAG_RETRY, u64::from(rid), epoch));
+                    } else {
+                        rs.free_req(rid);
+                    }
+                } else {
+                    rs.free_req(rid);
+                }
+            }
+            TAG_RETRY => {
+                // Backoff expired: re-route the request as a fresh attempt
+                // (sheddable like any arrival — a shed retry is a shed,
+                // not a retry).
+                let Some(rs) = res.as_mut() else { continue };
+                if !rs.epoch_current(a, b) {
+                    continue;
+                }
+                let rid = a as u32;
+                let service = rs.reqs[a].service as usize;
+                let Some(router) = routers[service].as_mut() else {
+                    rs.free_req(rid);
+                    continue;
+                };
+                let k = router.route();
+                let (sidx, _) = weights[service][k];
+                let depth = rs.spec.shed_queue_depth as usize;
+                if depth > 0 && servers[sidx].queue.len() >= depth {
+                    if t >= win_start && t < win_end {
+                        rs.shed[service] += 1;
+                    }
+                    if S::ENABLED {
+                        sink.emit(
+                            TraceEvent::instant("shed", "resilience", t.micros())
+                                .pid(PID_SERVE)
+                                .tid(sidx as u32)
+                                .arg_u64("service", u64::from(specs[service].id)),
+                        );
+                    }
+                    rs.free_req(rid);
+                    continue;
+                }
+                {
+                    let r = &mut rs.reqs[a];
+                    r.attempts += 1;
+                    r.server = sidx as u32;
+                }
+                if t >= win_start && t < win_end {
+                    rs.retries[service] += 1;
+                }
+                if S::ENABLED {
+                    sink.emit(
+                        TraceEvent::instant("retry", "resilience", t.micros())
+                            .pid(PID_SERVE)
+                            .tid(sidx as u32)
+                            .arg_u64("service", u64::from(specs[service].id)),
+                    );
+                }
+                // Re-arm the attempt's timeout and hedge against the
+                // epoch set at the timeout that spawned this retry.
+                let epoch = u64::from(rs.reqs[a].epoch) & B_MASK;
+                if rs.spec.timeout_ms > 0.0 {
+                    let class = rs.reqs[a].class as usize;
+                    let fire = t + res_timeout[cbase[service] + class];
+                    if fire <= win_end {
+                        q.schedule(fire, ev(TAG_TIMEOUT, u64::from(rid), epoch));
+                    }
+                }
+                if rs.spec.hedge_quantile > 0.0 {
+                    let fire =
+                        t + hedge_delay(&latency[service], &specs[service], rs.spec.hedge_quantile);
+                    if fire <= win_end {
+                        q.schedule(fire, ev(TAG_HEDGE, u64::from(rid), epoch));
+                    }
+                }
+                servers[sidx].queue.push_back((t, rid));
+                try_start(
+                    &mut q,
+                    &mut servers,
+                    &mut slab,
+                    &mut slab_comp,
+                    &mut free,
+                    sidx,
+                    &mut res,
+                    specs,
+                    win,
+                    sink,
+                );
+            }
+            TAG_HEDGE => {
+                // Hedge-fire: the attempt outlived the service's
+                // p-quantile latency; enqueue a second copy on another
+                // server. First copy to launch wins; `launch` cancels the
+                // twin. Epoch discipline guarantees at most one pending
+                // hedge per attempt.
+                let Some(rs) = res.as_mut() else { continue };
+                if !rs.epoch_current(a, b) {
+                    continue;
+                }
+                let rid = a as u32;
+                let (service, primary) = {
+                    let r = &rs.reqs[a];
+                    (r.service as usize, r.server as usize)
+                };
+                let Some(router) = routers[service].as_mut() else {
+                    continue;
+                };
+                let k = router.route();
+                let (sidx, _) = weights[service][k];
+                if sidx == primary {
+                    // No alternative server drawn — nothing to hedge to.
+                    continue;
+                }
+                let depth = rs.spec.shed_queue_depth as usize;
+                if depth > 0 && servers[sidx].queue.len() >= depth {
+                    continue; // hedges are best-effort: full queue, no copy
+                }
+                rs.reqs[a].hedge_server = sidx as i64;
+                if t >= win_start && t < win_end {
+                    rs.hedges[service] += 1;
+                }
+                if S::ENABLED {
+                    sink.emit(
+                        TraceEvent::instant("hedge", "resilience", t.micros())
+                            .pid(PID_SERVE)
+                            .tid(sidx as u32)
+                            .arg_u64("service", u64::from(specs[service].id)),
+                    );
+                }
+                servers[sidx].queue.push_back((t, rid));
+                try_start(
+                    &mut q,
+                    &mut servers,
+                    &mut slab,
+                    &mut slab_comp,
+                    &mut free,
+                    sidx,
+                    &mut res,
+                    specs,
+                    win,
+                    sink,
+                );
+            }
+            _ => unreachable!("unknown event tag"),
         }
     }
     parva_des::counters::record_sim(
@@ -1282,6 +1819,7 @@ pub(crate) fn run_simulation<S: TraceSink>(
                 &completed,
                 &within_slo,
                 &rejected,
+                res.as_ref(),
             );
         }
     }
@@ -1412,6 +1950,11 @@ pub(crate) fn run_simulation<S: TraceSink>(
                 completed_within_slo: within_slo[i],
                 latency: std::mem::take(&mut latency[i]),
                 rejected: rejected[i],
+                timeouts: res.as_ref().map_or(0, |r| r.timeouts[i]),
+                retries: res.as_ref().map_or(0, |r| r.retries[i]),
+                shed: res.as_ref().map_or(0, |r| r.shed[i]),
+                hedges: res.as_ref().map_or(0, |r| r.hedges[i]),
+                hedge_wins: res.as_ref().map_or(0, |r| r.hedge_wins[i]),
             })
             .collect(),
         servers: server_reports,
@@ -1608,6 +2151,204 @@ mod tests {
             report.overall_compliance_rate() < 0.9,
             "compliance {:.3} despite ~2× overload",
             report.overall_compliance_rate()
+        );
+    }
+
+    /// `segments` 1-GPC ResNet-50 segments (~290 req/s each) against the
+    /// full 829 req/s spec rate: the knob for overload factor in the
+    /// resilience tests below.
+    fn undersized_resnet(segments: usize) -> (Deployment, Vec<ServiceSpec>) {
+        use parva_deploy::{MigDeployment, Segment};
+        use parva_mig::InstanceProfile;
+        use parva_profile::Triplet;
+        let triplet = Triplet::new(InstanceProfile::G1, 2, 1);
+        let point = parva_perf::math::evaluate(
+            parva_perf::Model::ResNet50,
+            parva_perf::ComputeShare::Mig(InstanceProfile::G1),
+            2,
+            1,
+        );
+        let mut mig = MigDeployment::new();
+        for _ in 0..segments {
+            mig.place_first_fit(Segment {
+                service_id: 0,
+                model: parva_perf::Model::ResNet50,
+                triplet,
+                throughput_rps: point.throughput_rps,
+                latency_ms: point.latency_ms,
+            });
+        }
+        let specs = vec![ServiceSpec::new(
+            0,
+            parva_perf::Model::ResNet50,
+            829.0,
+            205.0,
+        )];
+        (Deployment::Mig(mig), specs)
+    }
+
+    #[test]
+    fn timeouts_fire_and_retry_budget_caps_amplification() {
+        let (d, specs) = undersized_resnet(1);
+        let policy = ResilienceSpec {
+            timeout_ms: 205.0,
+            max_retries: 3,
+            retry_budget_rps: 50.0,
+            health_checked: false,
+            ..ResilienceSpec::default()
+        };
+        let report = crate::Simulation::new(&d, &specs)
+            .resilience(&policy)
+            .config(&quick_config())
+            .run();
+        let s = &report.services[0];
+        assert!(s.timeouts > 0, "~3× overload never timed out");
+        assert!(s.retries > 0, "budget admitted no retries");
+        // The budget bound: rate × window plus one bucket of burst. This
+        // is the whole point — timeouts may number in the thousands, but
+        // retry *injection* cannot exceed the budget.
+        assert!(
+            (s.retries as f64) <= 50.0 * 4.0 + 50.0 + 1.0,
+            "retries {} blow the 50 rps budget",
+            s.retries
+        );
+        assert!(s.retries <= s.timeouts);
+        let totals = report.resilience_totals().expect("non-zero counters");
+        assert_eq!(totals.timeouts, s.timeouts);
+        assert_eq!(totals.retries, s.retries);
+    }
+
+    #[test]
+    fn unbudgeted_retries_amplify_far_beyond_budgeted() {
+        let (d, specs) = undersized_resnet(1);
+        let budgeted = ResilienceSpec {
+            timeout_ms: 205.0,
+            max_retries: 3,
+            retry_budget_rps: 50.0,
+            health_checked: false,
+            ..ResilienceSpec::default()
+        };
+        let unbudgeted = ResilienceSpec {
+            retry_budget_rps: 0.0,
+            ..budgeted
+        };
+        let cfg = quick_config();
+        let with_budget = crate::Simulation::new(&d, &specs)
+            .resilience(&budgeted)
+            .config(&cfg)
+            .run();
+        let without = crate::Simulation::new(&d, &specs)
+            .resilience(&unbudgeted)
+            .config(&cfg)
+            .run();
+        // Same seed, same overload: removing the budget lets every
+        // timeout re-inject, so retry traffic explodes.
+        assert!(
+            without.services[0].retries > 4 * with_budget.services[0].retries,
+            "unbudgeted {} vs budgeted {}",
+            without.services[0].retries,
+            with_budget.services[0].retries
+        );
+    }
+
+    #[test]
+    fn shedding_bounds_tail_latency_under_overload() {
+        let (d, specs) = undersized_resnet(1);
+        let policy = ResilienceSpec {
+            shed_queue_depth: 32,
+            health_checked: false,
+            ..ResilienceSpec::default()
+        };
+        let cfg = quick_config();
+        let shed = crate::Simulation::new(&d, &specs)
+            .resilience(&policy)
+            .config(&cfg)
+            .run();
+        let open = sim(&d, &specs, &cfg);
+        let s = &shed.services[0];
+        assert!(s.shed > 0, "overloaded server never shed");
+        // A bounded queue bounds queueing delay: the shedding run's p99
+        // must sit far below the unbounded run's.
+        let shed_p99 = s.latency.quantile_ms(0.99);
+        let open_p99 = open.services[0].latency.quantile_ms(0.99);
+        assert!(
+            shed_p99 < open_p99 / 2.0,
+            "shed p99 {shed_p99:.0} ms vs open {open_p99:.0} ms"
+        );
+    }
+
+    #[test]
+    fn hedges_fire_under_queueing_and_first_win_cancels_twin() {
+        // ~10% overload across 3 segments: enough queueing for hedges to
+        // fire, enough capacity for hedge copies to launch and win.
+        let (d, specs) = undersized_resnet(3);
+        let policy = ResilienceSpec {
+            hedge_quantile: 0.5,
+            health_checked: false,
+            ..ResilienceSpec::default()
+        };
+        let report = crate::Simulation::new(&d, &specs)
+            .resilience(&policy)
+            .config(&quick_config())
+            .run();
+        let s = &report.services[0];
+        assert!(s.hedges > 0, "no hedges under sustained queueing");
+        assert!(s.hedge_wins > 0, "a hedge copy never launched first");
+        assert!(s.hedge_wins <= s.hedges);
+        // First-wins cancellation: every request completes at most once.
+        assert!(
+            s.completed <= s.offered + 100,
+            "completed {} vs offered {} — hedges double-counted?",
+            s.completed,
+            s.offered
+        );
+    }
+
+    #[test]
+    fn health_checked_routing_improves_attainment_during_recovery() {
+        let (d, specs) = parva_s2();
+        // In the S2 MIG layout service 1 is the only multi-segment
+        // service (one segment on GPU 1, one on GPU 2) — the only
+        // service with a healthy sibling to drain toward. Dark GPU 1
+        // mid-window; recovery holds it down for seconds.
+        let recovery = RecoverySpec {
+            start_ms: 1500.0,
+            control_plane_ms: 150.0,
+            reflash_ms: 2000.0,
+            link_gib_per_s: 22.0,
+            ops: vec![crate::recovery::RecoveryOp {
+                node: 0,
+                logical_gpu: Some(1),
+                reflash: true,
+                copy_gib: 24.0,
+                prepared: false,
+            }],
+        };
+        let cfg = quick_config();
+        let health_on = ResilienceSpec {
+            health_checked: true,
+            ..ResilienceSpec::default()
+        };
+        let drained = crate::Simulation::new(&d, &specs)
+            .recovery(&recovery)
+            .resilience(&health_on)
+            .config(&cfg)
+            .run();
+        let blind = crate::Simulation::new(&d, &specs)
+            .recovery(&recovery)
+            .config(&cfg)
+            .run();
+        // Requests routed around the dark segment complete within SLO;
+        // requests queued on it blow their latency budget waiting.
+        let att = |r: &crate::report::ServingReport| {
+            let s = r.services.iter().find(|s| s.service_id == 1).unwrap();
+            s.completed_within_slo as f64 / s.offered.max(1) as f64
+        };
+        assert!(
+            att(&drained) > att(&blind),
+            "health-checked {:.4} <= blind {:.4}",
+            att(&drained),
+            att(&blind)
         );
     }
 
@@ -2216,6 +2957,45 @@ mod tests {
                 prop_assert_eq!(
                     &fast_json,
                     &serde_json::to_string(&wrapped).expect("serializable")
+                );
+                // Resilience neutrality, two flavors. First: `None` spec
+                // is exactly the plain path (same entry point the
+                // dispatcher uses for specs without a resilience block).
+                let none_path = crate::Simulation::new(&d, &specs)
+                    .ingress(&ingress)
+                    .recovery_opt(recovery.as_ref())
+                    .resilience_opt(None)
+                    .config(&config)
+                    .run();
+                prop_assert_eq!(
+                    &fast_json,
+                    &serde_json::to_string(&none_path).expect("serializable")
+                );
+                // Second, the sharp one: a *non-inert* spec whose
+                // mechanisms can never trigger — a timeout far past the
+                // window, no hedging/shedding, health checks off. The
+                // engine now runs the whole request-table path (id
+                // allocation, epoch bookkeeping, res-aware launch and
+                // completion accounting), yet no timeout can fire, no
+                // RNG draw happens, and zero counters are omitted from
+                // serialization — so the report must carry every
+                // pre-resilience byte unchanged.
+                let never_fires = ResilienceSpec {
+                    timeout_ms: 1e7,
+                    max_retries: 3,
+                    health_checked: false,
+                    ..ResilienceSpec::default()
+                };
+                prop_assert!(!never_fires.is_inert());
+                let rid_path = crate::Simulation::new(&d, &specs)
+                    .ingress(&ingress)
+                    .recovery_opt(recovery.as_ref())
+                    .resilience(&never_fires)
+                    .config(&config)
+                    .run();
+                prop_assert_eq!(
+                    &fast_json,
+                    &serde_json::to_string(&rid_path).expect("serializable")
                 );
             }
         }

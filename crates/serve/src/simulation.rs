@@ -22,6 +22,7 @@
 
 use crate::recovery::RecoverySpec;
 use crate::report::ServingReport;
+use crate::resilience::ResilienceSpec;
 use crate::sim::{run_simulation, ArrivalProcess, IngressClass, ServingConfig};
 use parva_deploy::{Deployment, ServiceSpec, Tenant};
 
@@ -41,6 +42,7 @@ pub struct Simulation<'a> {
     recovery: Option<&'a RecoverySpec>,
     tenants: &'a [Tenant],
     arrival_overrides: &'a [Option<ArrivalProcess>],
+    resilience: Option<&'a ResilienceSpec>,
     config: ServingConfig,
 }
 
@@ -55,6 +57,7 @@ impl<'a> Simulation<'a> {
             recovery: None,
             tenants: &[],
             arrival_overrides: &[],
+            resilience: None,
             config: ServingConfig::default(),
         }
     }
@@ -143,6 +146,25 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Configure the frontend resilience policy ([`ResilienceSpec`]):
+    /// per-attempt timeouts, budgeted retries with backoff, hedging,
+    /// queue-depth load shedding and health-checked routing. An absent (or
+    /// [inert](ResilienceSpec::is_inert)) spec is bit-identical to the
+    /// pre-resilience engine.
+    #[must_use]
+    pub fn resilience(mut self, resilience: &'a ResilienceSpec) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// Like [`resilience`](Simulation::resilience), but optional — `None`
+    /// clears any previously set spec (bit-identical to never setting one).
+    #[must_use]
+    pub fn resilience_opt(mut self, resilience: Option<&'a ResilienceSpec>) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
     /// The scalar configuration the run will use.
     #[must_use]
     pub fn serving_config(&self) -> &ServingConfig {
@@ -170,6 +192,7 @@ impl<'a> Simulation<'a> {
             self.recovery,
             self.tenants,
             self.arrival_overrides,
+            self.resilience,
             &self.config,
             sink,
         )

@@ -743,11 +743,22 @@ fn audit_serve(trace: &str, report: &ServingReport, audit: &mut Audit) -> Result
                 audit.u64(&format!("{what} offered"), 0, s.offered);
                 audit.u64(&format!("{what} rejected"), 0, s.rejected);
                 audit.u64(&format!("{what} completed"), 0, s.completed);
+                audit.u64(&format!("{what} timeouts"), 0, s.timeouts);
+                audit.u64(&format!("{what} retries"), 0, s.retries);
+                audit.u64(&format!("{what} shed"), 0, s.shed);
             }
             Some(r) => {
                 audit.u64(&format!("{what} offered"), r.offered, s.offered);
                 audit.u64(&format!("{what} rejected"), r.rejected, s.rejected);
                 audit.u64(&format!("{what} completed"), r.completed, s.completed);
+                // The resilience lifecycle counters recount from the
+                // dedicated `resilience`-category instants (zero on both
+                // sides for resilience-free runs).
+                audit.u64(&format!("{what} timeouts"), r.timeouts, s.timeouts);
+                audit.u64(&format!("{what} retries"), r.retries, s.retries);
+                audit.u64(&format!("{what} shed"), r.shed, s.shed);
+                audit.u64(&format!("{what} hedges"), r.hedges, s.hedges);
+                audit.u64(&format!("{what} hedge wins"), r.hedge_wins, s.hedge_wins);
                 audit.u64(
                     &format!("{what} within SLO"),
                     r.completed_within_slo,

@@ -81,6 +81,7 @@ pub mod prelude {
     pub use parva_region::{run_federation, FederationConfig, FederationReport, FederationSpec};
     pub use parva_scenarios::Scenario;
     pub use parva_serve::{
-        ArrivalProcess, IngressClass, RecoverySpec, ServingConfig, ServingReport, Simulation,
+        ArrivalProcess, IngressClass, RecoverySpec, ResilienceSpec, ServingConfig, ServingReport,
+        Simulation,
     };
 }

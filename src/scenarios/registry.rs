@@ -15,7 +15,7 @@ use crate::cluster::{NodeType, PricingPlan};
 use crate::fleet::{FleetSpec, NodePool};
 use crate::region::{EvacuationDrill, FederationSpec, RegionSpec};
 use parva_deploy::SloClass;
-use parva_serve::ArrivalProcess;
+use parva_serve::{ArrivalProcess, ResilienceSpec};
 
 /// All built-in specs, in registry order.
 #[must_use]
@@ -30,6 +30,7 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         evacuation_drill(),
         diurnal(),
         multi_tenant(),
+        retry_storm(),
     ]
 }
 
@@ -52,6 +53,7 @@ fn quickstart() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "quickstart".into(),
         description: "ParvaGPU schedules three CNN/BERT services; one serving window".into(),
         seed: 42,
@@ -82,6 +84,7 @@ fn llm() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "llm".into(),
         description: "LLM mix profiled and scheduled on the H200-141GB catalog slice".into(),
         seed: 42,
@@ -112,6 +115,7 @@ fn single_node_mps() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "single_node_mps".into(),
         description: "gpulet MPS partitions, MMPP bursts, 80/20 local/remote ingress split".into(),
         seed: 42,
@@ -153,6 +157,7 @@ fn fleet_chaos() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "fleet_chaos".into(),
         description: "mixed reserved/on-demand/spot fleet through 8 seeded chaos events".into(),
         seed: 42,
@@ -179,6 +184,7 @@ fn spot_heavy() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "spot_heavy".into(),
         description: "1 reserved anchor + A100/H100 spot pools; preemption-dominated chaos".into(),
         seed: 42,
@@ -231,6 +237,7 @@ fn region_failover() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "region_failover".into(),
         description: "3-region federation; us-east evacuated at interval 3, failback at 6".into(),
         seed: 42,
@@ -268,6 +275,7 @@ fn evacuation_drill() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "evacuation_drill".into(),
         description: "4-region federation; eu-west drained at interval 2, failback at 5".into(),
         seed: 42,
@@ -302,6 +310,7 @@ fn diurnal() -> ScenarioSpec {
         observability: ObservabilitySpec::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
         name: "diurnal".into(),
         description: "3-region federation under a 0.4x-1.6x sun-phased demand swing".into(),
         seed: 42,
@@ -377,6 +386,7 @@ fn multi_tenant() -> ScenarioSpec {
                 discount: Some(0.8),
             },
         ],
+        resilience: None,
         name: "multi_tenant".into(),
         description: "3 tenants x 3 regions: quotas, weighted-fair spill, per-tenant P&L".into(),
         seed: 42,
@@ -396,6 +406,60 @@ fn multi_tenant() -> ScenarioSpec {
                 failback_at: 5,
             }),
             diurnal: None,
+        },
+    }
+}
+
+/// The metastable-failure demonstrator: a ResNet-50 deployment offered
+/// roughly twice what its placed instances can sustain, with per-attempt
+/// timeouts and retries. As configured the cluster-wide **retry budget**
+/// caps re-injection, so the overloaded system degrades gracefully
+/// (goodput holds near capacity). Zero `retry_budget_rps` in a copy of
+/// this spec and every timeout retries: offered load amplifies on itself
+/// and SLO attainment collapses — the classic retry storm. The regression
+/// test pins budgeted attainment strictly above unbudgeted at the same
+/// seed.
+fn retry_storm() -> ScenarioSpec {
+    ScenarioSpec {
+        observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
+        resilience: Some(ResilienceSpec {
+            // Below the 205 ms SLO by more than a full batch execution:
+            // the timeout then acts as deadline-based shedding, holding
+            // queueing short enough for fresh arrivals to attain the SLO.
+            timeout_ms: 100.0,
+            max_retries: 3,
+            backoff_base_ms: 20.0,
+            backoff_multiplier: 2.0,
+            jitter: 0.2,
+            retry_budget_rps: 80.0,
+            ..ResilienceSpec::default()
+        }),
+        name: "retry_storm".into(),
+        description: "overloaded ResNet-50; budgeted retries degrade gracefully, \
+                      unbudgeted ones collapse"
+            .into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 4.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::Services(vec![entry("ResNet-50", 829.0, 205.0)]),
+        mode: Mode::Serve {
+            scheduler: String::new(),
+            gpu: None,
+            // One local class at 6x the scheduled rate: the deployment is
+            // sized for 829 req/s; placed on whole MIG instances it can
+            // actually sustain ~4,450 with deep batches, and is offered
+            // ~4,970 — a sustained ~12% overload.
+            ingress: vec![ClassSplit {
+                share: 6.0,
+                network_ms: 0.0,
+            }],
+            recovery: None,
         },
     }
 }
@@ -441,12 +505,35 @@ mod tests {
             "evacuation_drill",
             "diurnal",
             "multi_tenant",
+            "retry_storm",
         ] {
             assert!(
                 names.iter().any(|n| n == expected),
                 "missing builtin '{expected}'"
             );
         }
+    }
+
+    #[test]
+    fn retry_budget_averts_metastable_collapse() {
+        let budgeted = spec_by_name("retry_storm").expect("registered");
+        let mut unbudgeted = budgeted.clone();
+        unbudgeted
+            .resilience
+            .as_mut()
+            .expect("retry_storm ships a resilience block")
+            .retry_budget_rps = 0.0;
+        let attainment = |spec: &ScenarioSpec| match spec.run().unwrap() {
+            crate::scenarios::ScenarioReport::Serve(r) => r.overall_request_compliance_rate(),
+            _ => unreachable!("retry_storm is a serve scenario"),
+        };
+        let graceful = attainment(&budgeted);
+        let collapsed = attainment(&unbudgeted);
+        assert!(
+            graceful > collapsed,
+            "budgeted retries must out-attain the unbudgeted storm \
+             ({graceful:.4} vs {collapsed:.4})"
+        );
     }
 
     #[test]
@@ -491,6 +578,7 @@ mod tests {
             observability: ObservabilitySpec::default(),
             tenants: Vec::new(),
             spot_markets: Vec::new(),
+            resilience: None,
         };
         assert_eq!(spec.workload.services().unwrap().len(), 33);
     }

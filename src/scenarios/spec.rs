@@ -18,7 +18,7 @@ use parva_deploy::{SloClass, Tenant};
 use parva_fleet::{ChaosProfile, FleetReport};
 use parva_obs::{NullSink, Recorder, StreamConfig, StreamSink, StreamStats};
 use parva_region::{EvacuationDrill, FederationReport, RttMatrix};
-use parva_serve::RecoverySpec;
+use parva_serve::{RecoverySpec, ResilienceSpec};
 use serde::{Deserialize, Serialize, Value};
 
 /// One service in an explicit [`Workload::Services`] list — the same shape
@@ -456,6 +456,14 @@ pub struct ScenarioSpec {
     /// keeps the historical chaos mix and prices, bit for bit.
     #[serde(default)]
     pub spot_markets: Vec<SpotMarketSpec>,
+    /// Request-lifecycle resilience policy: per-class timeouts, budgeted
+    /// retries with backoff, hedged requests, queue-depth load shedding
+    /// and health-checked routing, applied inside every serving DES the
+    /// scenario runs (all three modes). Absent keeps the request
+    /// lifecycle and the report bit-identical to the pre-resilience
+    /// behavior.
+    #[serde(default)]
+    pub resilience: Option<ResilienceSpec>,
 }
 
 // Hand-written so tenant-free specs serialize exactly as before the
@@ -478,6 +486,9 @@ impl Serialize for ScenarioSpec {
         }
         if !self.spot_markets.is_empty() {
             map.push((String::from("spot_markets"), self.spot_markets.to_value()));
+        }
+        if let Some(resilience) = &self.resilience {
+            map.push((String::from("resilience"), resilience.to_value()));
         }
         Value::Map(map)
     }
@@ -606,6 +617,9 @@ impl ScenarioSpec {
                     ));
                 }
             }
+        }
+        if let Some(res) = &self.resilience {
+            res.validate()?;
         }
         match &self.mode {
             Mode::Serve {
@@ -876,6 +890,7 @@ impl ScenarioSpec {
                     .tenants(&tenants)
                     .ingress(&classes)
                     .recovery_opt(recovery.as_ref())
+                    .resilience_opt(self.resilience.as_ref())
                     .config(&serving);
                 let report = sim.run_with(sink);
                 Ok((ScenarioReport::Serve(report), None))
@@ -895,6 +910,7 @@ impl ScenarioSpec {
                     tenants,
                     chaos: market.map_or_else(ChaosProfile::default, SpotMarketSpec::chaos_profile),
                     spot_discount: market.and_then(|m| m.discount),
+                    resilience: self.resilience,
                     ..FleetConfig::default()
                 };
                 let fleet_spec = fleet.resolve();
@@ -928,6 +944,7 @@ impl ScenarioSpec {
                         .map(SpotMarketSpec::chaos_profile)
                         .collect(),
                     spot_discounts: self.spot_markets.iter().map(|m| m.discount).collect(),
+                    resilience: self.resilience,
                     ..FederationConfig::default()
                 };
                 if let Some(d) = diurnal {

@@ -1,0 +1,190 @@
+//! The resilient request lifecycle end to end: the `resilience` spec
+//! block's round-trip (absent default included), inert-policy report
+//! neutrality across the whole scenario registry, budgeted-retry goodput
+//! under sustained overload against the no-resilience baseline, and the
+//! `retry_storm` builtin's budgeted-vs-unbudgeted attainment ordering.
+
+use parvagpu::prelude::*;
+use parvagpu::scenarios::{builtin_specs, spec_by_name};
+use proptest::prelude::*;
+
+/// The `resilience` block round-trips losslessly and its absent default
+/// serializes to the exact pre-resilience schema: a policy-free spec's
+/// JSON carries no `resilience` key, and parsing JSON without one yields
+/// `None`.
+#[test]
+fn resilience_block_round_trips_and_defaults_to_absent() {
+    // The shipping policy-bearing builtin: byte-identical round-trip.
+    let spec = spec_by_name("retry_storm").expect("registered");
+    let res = spec.resilience.expect("retry_storm ships a policy");
+    assert!(res.timeout_ms > 0.0 && res.retry_budget_rps > 0.0);
+    let json = serde_json::to_string(&spec).unwrap();
+    assert!(json.contains("\"resilience\""));
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&back).unwrap());
+    assert_eq!(back.resilience, spec.resilience);
+
+    // The policy-free default: absent from the serialized form...
+    let plain = spec_by_name("quickstart").expect("registered");
+    let plain_json = serde_json::to_string(&plain).unwrap();
+    assert!(!plain_json.contains("\"resilience\""));
+    // ...and parsed back as None.
+    let back: ScenarioSpec = serde_json::from_str(&plain_json).unwrap();
+    assert!(back.resilience.is_none());
+
+    // A partial block fills the documented defaults.
+    let spelled = format!(
+        "{},\"resilience\":{{\"timeout_ms\":100.0}}}}",
+        &plain_json[..plain_json.len() - 1]
+    );
+    let back: ScenarioSpec = serde_json::from_str(&spelled).unwrap();
+    let res = back.resilience.expect("block parses");
+    assert_eq!(res.timeout_ms, 100.0);
+    assert_eq!(res.backoff_base_ms, 25.0);
+    assert!(res.health_checked, "health checks default on");
+
+    // The committed on-disk example parses and round-trips too.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/retry_storm.json"
+    );
+    let text = std::fs::read_to_string(path).expect("example spec on disk");
+    let spec: ScenarioSpec = serde_json::from_str(&text).expect("spec JSON parses");
+    let res = spec.resilience.expect("example carries a policy");
+    assert!(res.retry_budget_rps > 0.0, "the example ships budgeted");
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&back).unwrap());
+}
+
+/// An explicitly *inert* policy — no timeout, no hedging, no shedding,
+/// health checks off — leaves every registered scenario's report
+/// byte-identical to running with no `resilience` block at all, across
+/// all three engines. (The engine-level frozen-reference proptest pins
+/// the serve DES; this pins the fleet and region threading on top.)
+#[test]
+fn inert_policy_is_report_neutral_across_the_registry() {
+    let inert = ResilienceSpec {
+        health_checked: false,
+        ..ResilienceSpec::default()
+    };
+    assert!(inert.is_inert());
+    let mut covered = 0;
+    for spec in builtin_specs() {
+        if spec.resilience.is_some() {
+            continue; // retry_storm ships its own live policy
+        }
+        let quick = spec.quick();
+        let plain = quick.run().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let mut wrapped = quick.clone();
+        wrapped.resilience = Some(inert);
+        let inerted = wrapped
+            .run()
+            .unwrap_or_else(|e| panic!("{} (inert policy): {e}", spec.name));
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&inerted).unwrap(),
+            "inert resilience policy changed '{}'",
+            spec.name
+        );
+        covered += 1;
+    }
+    assert!(covered >= 8, "only {covered} specs covered");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Budgeted retries never cost goodput: under a sustained overload
+    /// (offered well past what the placed instances sustain), a policy of
+    /// sub-SLO timeouts plus budget-capped retries keeps in-SLO goodput
+    /// at or above the no-resilience baseline. The timeout acts as
+    /// deadline-based shedding — requests that already missed are pulled
+    /// from the queue — and the budget keeps re-injection marginal.
+    #[test]
+    fn budgeted_retry_goodput_never_falls_below_no_retry_baseline(
+        seed in 0u64..1 << 32,
+        overload in 5.5f64..8.0,
+    ) {
+        let book = ProfileBook::builtin();
+        let specs = vec![ServiceSpec::new(0, Model::ResNet50, 829.0, 205.0)];
+        let d = ParvaGpu::new(&book).schedule(&specs).unwrap();
+        let ingress = vec![vec![IngressClass::local(829.0 * overload)]];
+        let cfg = ServingConfig {
+            warmup_s: 0.5,
+            duration_s: 2.0,
+            drain_s: 0.5,
+            seed,
+            arrivals: ArrivalProcess::Poisson,
+        };
+        let baseline = Simulation::new(&d, &specs)
+            .ingress(&ingress)
+            .config(&cfg)
+            .run();
+        let budgeted_policy = ResilienceSpec {
+            timeout_ms: 100.0,
+            max_retries: 3,
+            backoff_base_ms: 20.0,
+            backoff_multiplier: 2.0,
+            jitter: 0.2,
+            retry_budget_rps: 80.0,
+            ..ResilienceSpec::default()
+        };
+        let budgeted = Simulation::new(&d, &specs)
+            .ingress(&ingress)
+            .resilience(&budgeted_policy)
+            .config(&cfg)
+            .run();
+        let goodput = |r: &ServingReport| -> u64 {
+            r.services.iter().map(|s| s.completed_within_slo).sum()
+        };
+        prop_assert!(baseline.services[0].offered > baseline.services[0].completed,
+            "not actually overloaded at {overload}x");
+        prop_assert!(
+            goodput(&budgeted) >= goodput(&baseline),
+            "budgeted retries lost goodput at {overload}x overload: {} vs baseline {}",
+            goodput(&budgeted),
+            goodput(&baseline)
+        );
+    }
+}
+
+/// The `retry_storm` builtin demonstrates the metastable failure mode:
+/// at the same seed and offered load, the shipped retry budget keeps SLO
+/// attainment strictly above the unbudgeted storm, and the storm's retry
+/// traffic amplifies far beyond the budgeted run's.
+#[test]
+fn retry_storm_budget_beats_unbudgeted_collapse() {
+    let budgeted = spec_by_name("retry_storm").expect("registered");
+    let mut unbudgeted = budgeted.clone();
+    unbudgeted
+        .resilience
+        .as_mut()
+        .expect("retry_storm ships a policy")
+        .retry_budget_rps = 0.0;
+    let run = |spec: &ScenarioSpec| -> ServingReport {
+        match spec.run().unwrap() {
+            ScenarioReport::Serve(r) => r,
+            _ => unreachable!("retry_storm is a serve scenario"),
+        }
+    };
+    let graceful = run(&budgeted);
+    let storm = run(&unbudgeted);
+    assert!(
+        graceful.overall_request_compliance_rate() > storm.overall_request_compliance_rate(),
+        "budget did not avert the collapse: {} vs {}",
+        graceful.overall_request_compliance_rate(),
+        storm.overall_request_compliance_rate()
+    );
+    let retries = |r: &ServingReport| -> u64 { r.services.iter().map(|s| s.retries).sum() };
+    assert!(
+        retries(&storm) > 4 * retries(&graceful).max(1),
+        "the storm should amplify retries: {} vs {}",
+        retries(&storm),
+        retries(&graceful)
+    );
+    assert!(
+        graceful.resilience_totals().is_some(),
+        "the budgeted run still reports its lifecycle counters"
+    );
+}

@@ -216,6 +216,7 @@ fn invalid_specs_are_rejected() {
         observability: Default::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
     };
     assert!(base.validate().unwrap_err().contains("empty"));
 
@@ -280,6 +281,7 @@ fn invalid_specs_are_rejected() {
         observability: Default::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
+        resilience: None,
     };
     let late = region_base(parvagpu::region::EvacuationDrill {
         region: 0,
