@@ -18,10 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod estimator;
 pub mod orchestrator;
 pub mod shadow;
 pub mod trace;
 
+pub use estimator::DemandEstimator;
+#[allow(deprecated)]
 pub use orchestrator::{run_traced, EpochReport, TraceReport};
 pub use shadow::{
     displacement_window, simulate_displacement_window, simulate_window, DisplacementWindow,

@@ -1,5 +1,6 @@
 //! The epoch-based control loop: reschedule incrementally, serve, account.
 
+use crate::estimator::DemandEstimator;
 use crate::trace::RateTrace;
 use parva_core::{configure, reconfigure, ParvaGpu, Service};
 use parva_deploy::{Deployment, MigDeployment, ScheduleError, ServiceSpec};
@@ -53,17 +54,21 @@ impl TraceReport {
     }
 }
 
-fn scaled_specs(base: &[ServiceSpec], multiplier: f64) -> Vec<ServiceSpec> {
-    base.iter()
-        .map(|s| {
-            ServiceSpec::new(
-                s.id,
-                s.model,
-                s.request_rate_rps * multiplier,
-                s.slo.latency_ms,
-            )
-        })
-        .collect()
+/// Present the oracle multiplier to the estimator as a perfect one-epoch
+/// observation and read the demand specs back. All demand — oracle or
+/// measured — flows through [`DemandEstimator`], so the legacy traced runs
+/// and the `parvad` closed loop share one capacity-planning pathway.
+fn oracle_specs(
+    estimator: &mut DemandEstimator,
+    base: &[ServiceSpec],
+    multiplier: f64,
+) -> Vec<ServiceSpec> {
+    let observed: Vec<f64> = base
+        .iter()
+        .map(|s| s.request_rate_rps * multiplier)
+        .collect();
+    estimator.observe(&observed);
+    estimator.demand_specs(base)
 }
 
 /// Run `base` services through `trace`, rescheduling at each epoch boundary
@@ -77,6 +82,11 @@ fn scaled_specs(base: &[ServiceSpec], multiplier: f64) -> Vec<ServiceSpec> {
 ///
 /// # Errors
 /// Propagates scheduling failures (e.g. an infeasible peak multiplier).
+#[deprecated(
+    since = "0.1.0",
+    note = "oracle-fed demand; drive the loop from observed arrivals via \
+            `DemandEstimator` (the `parvad` daemon does) instead"
+)]
 pub fn run_traced(
     book: &ProfileBook,
     base: &[ServiceSpec],
@@ -85,9 +95,12 @@ pub fn run_traced(
 ) -> Result<TraceReport, ScheduleError> {
     let scheduler = ParvaGpu::new(book);
     let mut epochs = Vec::with_capacity(trace.epochs());
+    // Window 1 + unit headroom: the oracle multiplier passes through the
+    // estimator unchanged.
+    let mut estimator = DemandEstimator::new(base.len(), 1);
 
     // Epoch 0: full plan.
-    let specs0 = scaled_specs(base, trace.multiplier(0));
+    let specs0 = oracle_specs(&mut estimator, base, trace.multiplier(0));
     let (mut services, mut deployment): (Vec<Service>, MigDeployment) = scheduler.plan(&specs0)?;
     let report0 = Simulation::new(&Deployment::Mig(deployment.clone()), &specs0)
         .config(serving)
@@ -101,7 +114,7 @@ pub fn run_traced(
     ));
 
     for epoch in 1..trace.epochs() {
-        let specs = scaled_specs(base, trace.multiplier(epoch));
+        let specs = oracle_specs(&mut estimator, base, trace.multiplier(epoch));
         let mut churn = std::collections::BTreeSet::new();
         // Incremental per-service updates through the reconfiguration path.
         for spec in &specs {
@@ -150,6 +163,11 @@ fn epoch_report(
 ///
 /// # Errors
 /// Propagates scheduling failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "oracle-fed demand; drive the loop from observed arrivals via \
+            `DemandEstimator` (the `parvad` daemon does) instead"
+)]
 pub fn run_traced_replan(
     book: &ProfileBook,
     base: &[ServiceSpec],
@@ -158,9 +176,10 @@ pub fn run_traced_replan(
 ) -> Result<TraceReport, ScheduleError> {
     let scheduler = ParvaGpu::new(book);
     let mut epochs = Vec::with_capacity(trace.epochs());
+    let mut estimator = DemandEstimator::new(base.len(), 1);
     let mut prev: Option<MigDeployment> = None;
     for epoch in 0..trace.epochs() {
-        let specs = scaled_specs(base, trace.multiplier(epoch));
+        let specs = oracle_specs(&mut estimator, base, trace.multiplier(epoch));
         let services = configure(&specs, scheduler.book(), scheduler.max_procs())?;
         let deployment = parva_core::allocator::allocate(&services, scheduler.allocator_config());
         let churn = prev.as_ref().map_or(0, |p| diff_count(p, &deployment));
@@ -199,6 +218,7 @@ fn diff_count(a: &MigDeployment, b: &MigDeployment) -> usize {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the oracle-fed entry points stay covered until removal
 mod tests {
     use super::*;
     use parva_perf::Model;

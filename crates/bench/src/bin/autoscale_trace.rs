@@ -34,7 +34,9 @@ fn run(name: &str, trace: &RateTrace, book: &ProfileBook) {
         seed: 42,
         ..Default::default()
     };
+    #[allow(deprecated)] // benchmark compares the legacy oracle-fed loops
     let inc = orchestrator::run_traced(book, &base(), trace, &serving).expect("feasible");
+    #[allow(deprecated)]
     let rep = orchestrator::run_traced_replan(book, &base(), trace, &serving).expect("feasible");
 
     let mut table = TextTable::new(vec![

@@ -1,0 +1,192 @@
+//! Steady-state daemon benchmark: boots parvad on a three-service
+//! catalogue and prices its three control-plane hot paths —
+//!
+//! * **epoch throughput** — serving epochs advanced per wall second under
+//!   a steady Poisson load with the default decision cadence running
+//!   (`epochs_per_sec`, plus the offered-request volume behind it),
+//! * **checkpoint** — wall time to freeze the full daemon (engine,
+//!   estimator, placement) to its checksummed JSON envelope and to thaw
+//!   it back, plus the envelope's byte size,
+//! * **autoscale decision** — mean wall time of one `decide()` pass while
+//!   a demand swing forces incremental re-plans with measured recovery.
+//!
+//! Writes `results/BENCH_parvad.json`. Simulation outputs are unaffected:
+//! the daemon runs here are byte-identical to untimed runs at the same
+//! seed.
+//!
+//! Usage: `parvad_steady [--quick] [--out <file>]`
+
+use parva_deploy::ServiceSpec;
+use parva_obs::NullSink;
+use parva_perf::Model;
+use parva_serve::ArrivalProcess;
+use parvad::{AutoscalePolicy, Daemon};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct SteadyPerf {
+    epochs: u64,
+    epochs_per_sec: f64,
+    offered_requests: u64,
+    wall_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CheckpointPerf {
+    bytes: u64,
+    encode_ms: f64,
+    decode_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct DecisionPerf {
+    decisions: u64,
+    reconfigs: u64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchDoc {
+    schema: String,
+    quick: bool,
+    steady: SteadyPerf,
+    checkpoint: CheckpointPerf,
+    decision: DecisionPerf,
+}
+
+fn catalogue() -> Vec<ServiceSpec> {
+    vec![
+        ServiceSpec::new(1, Model::ResNet50, 1200.0, 205.0),
+        ServiceSpec::new(2, Model::MobileNetV2, 1000.0, 167.0),
+        ServiceSpec::new(3, Model::DenseNet121, 450.0, 183.0),
+    ]
+}
+
+fn steady(epochs: u64) -> (SteadyPerf, Daemon) {
+    let mut daemon = Daemon::new(
+        &catalogue(),
+        ArrivalProcess::Poisson,
+        42,
+        500_000,
+        AutoscalePolicy::default(),
+    )
+    .expect("catalogue plans");
+    let mut sink = NullSink;
+    let start = Instant::now();
+    for _ in 0..epochs {
+        daemon.step(&mut sink);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let offered: u64 = daemon.report().services.iter().map(|s| s.offered).sum();
+    (
+        SteadyPerf {
+            epochs,
+            epochs_per_sec: f64::from(u32::try_from(epochs).unwrap_or(u32::MAX))
+                / (wall_ms / 1e3).max(f64::MIN_POSITIVE),
+            offered_requests: offered,
+            wall_ms,
+        },
+        daemon,
+    )
+}
+
+fn checkpoint(daemon: &Daemon, reps: u32) -> CheckpointPerf {
+    let envelope = parvad::encode_checkpoint(daemon).expect("daemon serializes");
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(parvad::encode_checkpoint(daemon).expect("daemon serializes"));
+    }
+    let encode_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let thawed: Daemon = parvad::decode_checkpoint(&envelope).expect("envelope decodes");
+        assert_eq!(thawed.epoch(), daemon.epoch(), "resume must land on-epoch");
+    }
+    let decode_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    CheckpointPerf {
+        bytes: envelope.len() as u64,
+        encode_ms,
+        decode_ms,
+    }
+}
+
+/// Time explicit `decide()` passes while demand swings ±40% around base,
+/// so each pass crosses the hysteresis band and re-plans incrementally.
+fn decision(rounds: u32) -> DecisionPerf {
+    let mut daemon = Daemon::new(
+        &catalogue(),
+        ArrivalProcess::Poisson,
+        7,
+        500_000,
+        AutoscalePolicy {
+            decide_every: 0, // the bench calls decide() itself
+            ..AutoscalePolicy::default()
+        },
+    )
+    .expect("catalogue plans");
+    let mut sink = NullSink;
+    let mut total_ms = 0.0f64;
+    let mut max_ms = 0.0f64;
+    for round in 0..rounds {
+        let m = if round % 2 == 0 { 1.4 } else { 0.6 };
+        daemon.scale_all(m);
+        daemon.step(&mut sink);
+        daemon.step(&mut sink);
+        let start = Instant::now();
+        daemon.decide(&mut sink);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        total_ms += ms;
+        max_ms = max_ms.max(ms);
+    }
+    let status = daemon.status();
+    DecisionPerf {
+        decisions: status.decisions,
+        reconfigs: status.reconfigs,
+        mean_ms: total_ms / f64::from(rounds.max(1)),
+        max_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_parvad.json".to_string());
+
+    let (steady_perf, warm) = steady(if quick { 40 } else { 200 });
+    let checkpoint_perf = checkpoint(&warm, if quick { 5 } else { 20 });
+    let decision_perf = decision(if quick { 6 } else { 24 });
+
+    assert!(
+        decision_perf.reconfigs > 0,
+        "the swing must force incremental re-plans, or decision timing is vacuous"
+    );
+
+    let doc = BenchDoc {
+        schema: "parva-bench/parvad-steady/v1".to_string(),
+        quick,
+        steady: steady_perf,
+        checkpoint: checkpoint_perf,
+        decision: decision_perf,
+    };
+    let json = serde_json::to_string(&doc).expect("bench doc serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("bench output dir");
+    }
+    std::fs::write(&out, &json).expect("bench output file");
+    println!(
+        "parvad_steady: {:.0} epochs/s  checkpoint {} B ({:.2} ms enc / {:.2} ms dec)  \
+         decision {:.2} ms mean / {:.2} ms max -> {out}",
+        doc.steady.epochs_per_sec,
+        doc.checkpoint.bytes,
+        doc.checkpoint.encode_ms,
+        doc.checkpoint.decode_ms,
+        doc.decision.mean_ms,
+        doc.decision.max_ms,
+    );
+}

@@ -10,7 +10,27 @@
 //! Rows only exist when tenants are configured, so single-tenant reports
 //! are byte-identical to the pre-tenant era.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+/// One interval's follow-the-sun ledger entry: how much overnight demand
+/// was shipped to cheaper daytime regions and what the shift was worth.
+/// The counterfactual (`local_usd_per_hour`) prices the same fleets
+/// retargeted to the *unshifted* demand — a pure pricing question, so no
+/// second serving simulation is run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FollowTheSunRow {
+    /// Interval index (0 = baseline).
+    pub interval: usize,
+    /// Overnight demand shifted cross-region this interval, req/s.
+    pub shifted_rps: f64,
+    /// Actual federation cost with the shift applied, USD/h.
+    pub usd_per_hour: f64,
+    /// Counterfactual cost had every region kept its demand local, USD/h.
+    pub local_usd_per_hour: f64,
+    /// USD saved over the interval's wall-clock span
+    /// (`(local − actual) × hours`); negative when the shift lost money.
+    pub saved_usd: f64,
+}
 
 /// One tenant's P&L for one interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,10 +76,32 @@ impl BillingRow {
 }
 
 /// The operator's P&L across tenants and intervals.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Deserialize)]
 pub struct BillingReport {
     /// One row per (interval, tenant), interval-major.
     pub rows: Vec<BillingRow>,
+    /// Follow-the-sun ledger, one row per interval in which overnight
+    /// demand actually shifted. Empty when the optimizer is off (and
+    /// omitted from the serialized form, so pre-optimizer reports are
+    /// byte-identical).
+    #[serde(default)]
+    pub follow_the_sun: Vec<FollowTheSunRow>,
+}
+
+// Hand-written so optimizer-free runs serialize exactly as before the
+// follow-the-sun ledger existed: the trailing list is emitted only when
+// a shift actually happened.
+impl Serialize for BillingReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![(String::from("rows"), self.rows.to_value())];
+        if !self.follow_the_sun.is_empty() {
+            map.push((
+                String::from("follow_the_sun"),
+                self.follow_the_sun.to_value(),
+            ));
+        }
+        Value::Map(map)
+    }
 }
 
 impl BillingReport {
@@ -81,6 +123,13 @@ impl BillingReport {
         self.revenue_usd() - self.cost_usd()
     }
 
+    /// Net USD saved by follow-the-sun shifts across the run (0 when the
+    /// optimizer never fired; negative when shifting lost money overall).
+    #[must_use]
+    pub fn follow_the_sun_savings_usd(&self) -> f64 {
+        self.follow_the_sun.iter().map(|r| r.saved_usd).sum()
+    }
+
     /// All rows for one tenant, in interval order.
     pub fn tenant_rows(&self, tenant: u32) -> impl Iterator<Item = &BillingRow> {
         self.rows.iter().filter(move |r| r.tenant == tenant)
@@ -98,10 +147,28 @@ impl BillingReport {
         seen
     }
 
-    /// Human-readable per-tenant totals.
+    /// Human-readable per-tenant totals plus, when the follow-the-sun
+    /// optimizer fired, its shift-by-shift ledger.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from(
+        let mut out = String::new();
+        if !self.follow_the_sun.is_empty() {
+            out.push_str("follow-the-sun: ivl  shifted rps   actual $/h    local $/h    saved $\n");
+            for r in &self.follow_the_sun {
+                out.push_str(&format!(
+                    "                {:<4} {:>11.0} {:>12.2} {:>12.2} {:>10.2}\n",
+                    r.interval, r.shifted_rps, r.usd_per_hour, r.local_usd_per_hour, r.saved_usd
+                ));
+            }
+            out.push_str(&format!(
+                "follow-the-sun total: {:+.2} USD over the run\n",
+                self.follow_the_sun_savings_usd()
+            ));
+            if self.rows.is_empty() {
+                return out;
+            }
+        }
+        out.push_str(
             "tenant            offered  rejected   in-SLO   revenue$     cost$   margin$\n",
         );
         for t in self.tenants() {
@@ -160,6 +227,7 @@ mod tests {
                 row(0, 2, 50, 2.0, 3.5),
                 row(1, 1, 80, 4.0, 3.0),
             ],
+            follow_the_sun: Vec::new(),
         };
         assert!((report.revenue_usd() - 11.0).abs() < 1e-12);
         assert!((report.cost_usd() - 9.5).abs() < 1e-12);
@@ -181,6 +249,7 @@ mod tests {
     fn serde_round_trip() {
         let report = BillingReport {
             rows: vec![row(3, 9, 7, 0.7, 0.1)],
+            follow_the_sun: Vec::new(),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: BillingReport = serde_json::from_str(&json).unwrap();
@@ -195,6 +264,7 @@ mod tests {
                 row(1, 1, 1, 0.0, 0.0),
                 row(0, 2, 1, 0.0, 0.0),
             ],
+            follow_the_sun: Vec::new(),
         };
         let text = report.render();
         assert_eq!(text.matches("#1").count(), 1);

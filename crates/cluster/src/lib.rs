@@ -27,7 +27,7 @@ pub mod cost;
 pub mod node;
 pub mod pack;
 
-pub use billing::{BillingReport, BillingRow};
+pub use billing::{BillingReport, BillingRow, FollowTheSunRow};
 pub use cost::{CostReport, PricingPlan};
 pub use node::NodeType;
 pub use pack::{pack, NodePlan, PackedNode, VCPUS_PER_PROCESS};

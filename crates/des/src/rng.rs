@@ -1,6 +1,7 @@
 //! Seeded random streams for workload generation.
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// An independent pseudo-random stream, derived deterministically from a
 /// master seed and a stream id (so every service's arrival process is
@@ -8,8 +9,9 @@ use crate::time::SimTime;
 ///
 /// The generator is xoshiro256++ seeded through splitmix64 — self-contained
 /// so the simulation core carries no external dependencies and stays
-/// bit-reproducible across toolchains.
-#[derive(Debug, Clone)]
+/// bit-reproducible across toolchains. The four-word state serializes, so a
+/// suspended simulation resumes its sample path mid-stream bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RngStream {
     state: [u64; 4],
 }

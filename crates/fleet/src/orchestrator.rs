@@ -235,6 +235,32 @@ pub struct FleetOrchestrator {
     profiler: SelfProfiler,
 }
 
+// Hand-written because the sim cache holds a `Mutex`: the scratch copy
+// exists so planners can price counterfactual retargets without
+// disturbing the serving state, and it starts with an empty memo (and a
+// disabled profiler) — both are accelerators/diagnostics, not state the
+// control loop depends on.
+impl Clone for FleetOrchestrator {
+    fn clone(&self) -> Self {
+        Self {
+            scheduler: self.scheduler.clone(),
+            base_specs: self.base_specs.clone(),
+            specs: self.specs.clone(),
+            services: self.services.clone(),
+            deployment: self.deployment.clone(),
+            fleet: self.fleet.clone(),
+            placement: self.placement.clone(),
+            max_replacements_per_event: self.max_replacements_per_event,
+            des_recovery: self.des_recovery,
+            tenants: self.tenants.clone(),
+            spot_discount: self.spot_discount,
+            resilience: self.resilience,
+            sim_cache: SimCache::new(),
+            profiler: SelfProfiler::disabled(),
+        }
+    }
+}
+
 impl FleetOrchestrator {
     /// Plan the service set and anchor it on a freshly provisioned fleet.
     ///
@@ -1219,7 +1245,10 @@ fn run_chaos_with<S: TraceSink>(
             baseline_compliance,
             baseline_usd_per_hour: baseline_packing.usd_per_hour,
             events,
-            billing: (!billing_rows.is_empty()).then_some(BillingReport { rows: billing_rows }),
+            billing: (!billing_rows.is_empty()).then_some(BillingReport {
+                rows: billing_rows,
+                follow_the_sun: Vec::new(),
+            }),
         },
         profile,
     ))

@@ -1,0 +1,227 @@
+//! Pod specs: the daemon's admission-time resource, fastpod-style.
+//!
+//! A [`PodSpec`] describes one inference service the way a Kubernetes-ish
+//! control plane would: a name, the model image, the client SLO, the
+//! expected demand, and *fractional GPU* resource annotations (quota of a
+//! physical GPU, an SM percentage cap, a memory request) in the style of
+//! fractional-GPU pod schedulers. Admission validates the annotations
+//! against the model's real footprint, then the pod becomes a
+//! [`ServiceSpec`] for the §III-F incremental allocator — which sizes the
+//! actual MIG slices and MPS process counts; the annotations are
+//! constraints the chosen slicing must satisfy, not a placement decision.
+
+use parva_deploy::ServiceSpec;
+use parva_perf::{math, Model};
+use serde::{Deserialize, Serialize};
+
+/// One admitted (or submitted) serving pod.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// Human handle, unique within a daemon (e.g. `"bert-qa"`).
+    pub name: String,
+    /// Served model, by the paper's display name (`"ResNet-50"`;
+    /// case/punctuation-insensitive on input).
+    pub model: String,
+    /// Client-facing latency SLO, milliseconds.
+    pub slo_ms: f64,
+    /// Expected offered demand, requests per second (the admission-time
+    /// estimate; the autoscaler chases the *observed* rate afterwards).
+    pub rate_rps: f64,
+    /// Owning tenant id; 0 = untenanted.
+    #[serde(default)]
+    pub tenant: u32,
+    /// Fractional-GPU quota annotation: the largest share of one physical
+    /// GPU any single replica of this pod may occupy, in GPU units
+    /// (e.g. `0.5` = half a GPU ≈ a 3–4 GPC slice). `0` (default) leaves
+    /// slicing entirely to the allocator.
+    #[serde(default)]
+    pub gpu_quota: f64,
+    /// SM-percentage cap annotation (1–100); `0` (default) = uncapped.
+    /// Checked against the quota for consistency at admission.
+    #[serde(default)]
+    pub sm_percent: u32,
+    /// GPU-memory request, GiB per replica; `0` (default) = sized from
+    /// the model. Admission rejects a request below the model's minimal
+    /// footprint (weights + one process context + batch-1 activations).
+    #[serde(default)]
+    pub memory_gib: f64,
+}
+
+impl PodSpec {
+    /// A minimal pod: name, model, SLO and rate, no annotations.
+    #[must_use]
+    pub fn new(name: &str, model: Model, slo_ms: f64, rate_rps: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            model: model.name().to_string(),
+            slo_ms,
+            rate_rps,
+            tenant: 0,
+            gpu_quota: 0.0,
+            sm_percent: 0,
+            memory_gib: 0.0,
+        }
+    }
+
+    /// The parsed model.
+    ///
+    /// # Errors
+    /// Unknown model name.
+    pub fn parsed_model(&self) -> Result<Model, String> {
+        Model::parse(&self.model).ok_or_else(|| format!("unknown model {:?}", self.model))
+    }
+
+    /// Validate the pod for admission.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("pod needs a name".into());
+        }
+        let model = self.parsed_model()?;
+        if !(self.slo_ms.is_finite() && self.slo_ms > 0.0) {
+            return Err(format!("pod {}: slo_ms must be positive", self.name));
+        }
+        if !(self.rate_rps.is_finite() && self.rate_rps > 0.0) {
+            return Err(format!("pod {}: rate_rps must be positive", self.name));
+        }
+        if !(self.gpu_quota.is_finite() && (0.0..=8.0).contains(&self.gpu_quota)) {
+            return Err(format!(
+                "pod {}: gpu_quota must be in [0, 8] GPUs",
+                self.name
+            ));
+        }
+        if self.sm_percent > 100 {
+            return Err(format!("pod {}: sm_percent must be ≤ 100", self.name));
+        }
+        if self.gpu_quota > 0.0 && self.sm_percent > 0 {
+            // Both annotations present: they must agree (an SM cap tighter
+            // than the quota would silently override it).
+            let quota_pct = (self.gpu_quota.min(1.0) * 100.0).round() as u32;
+            if self.sm_percent < quota_pct {
+                return Err(format!(
+                    "pod {}: sm_percent {} is tighter than gpu_quota {} \
+                     ({quota_pct}% of one GPU); drop one annotation",
+                    self.name, self.sm_percent, self.gpu_quota
+                ));
+            }
+        }
+        if self.memory_gib < 0.0 || !self.memory_gib.is_finite() {
+            return Err(format!("pod {}: memory_gib must be ≥ 0", self.name));
+        }
+        if self.memory_gib > 0.0 {
+            let floor = math::memory_gib(model, 1, 1);
+            if self.memory_gib < floor {
+                return Err(format!(
+                    "pod {}: memory_gib {:.1} below the model's minimal \
+                     footprint {:.1} GiB",
+                    self.name, self.memory_gib, floor
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower the pod to the allocator's [`ServiceSpec`] under daemon id
+    /// `id`. Call [`PodSpec::validate`] first.
+    ///
+    /// # Errors
+    /// Unknown model name.
+    pub fn to_service_spec(&self, id: u32) -> Result<ServiceSpec, String> {
+        let model = self.parsed_model()?;
+        Ok(ServiceSpec {
+            id,
+            model,
+            request_rate_rps: self.rate_rps,
+            slo: parva_deploy::Slo::from_latency_ms(self.slo_ms),
+            tenant: self.tenant,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_pod_admits() {
+        let pod = PodSpec::new("bert-qa", Model::BertLarge, 130.0, 150.0);
+        pod.validate().unwrap();
+        let spec = pod.to_service_spec(7).unwrap();
+        assert_eq!(spec.id, 7);
+        assert_eq!(spec.model, Model::BertLarge);
+        assert_eq!(spec.slo.latency_ms, 130.0);
+    }
+
+    #[test]
+    fn model_names_parse_loosely() {
+        let mut pod = PodSpec::new("r", Model::ResNet50, 100.0, 10.0);
+        pod.model = "resnet50".into();
+        pod.validate().unwrap();
+        pod.model = "no-such-model".into();
+        assert!(pod.validate().unwrap_err().contains("unknown model"));
+    }
+
+    #[test]
+    fn degenerate_fields_rejected() {
+        let good = PodSpec::new("p", Model::ResNet50, 100.0, 10.0);
+        for tweak in [
+            &mut |p: &mut PodSpec| p.name.clear() as _,
+            &mut |p: &mut PodSpec| p.slo_ms = 0.0,
+            &mut |p: &mut PodSpec| p.rate_rps = -1.0,
+            &mut |p: &mut PodSpec| p.gpu_quota = 9.0,
+            &mut |p: &mut PodSpec| p.sm_percent = 101,
+            &mut |p: &mut PodSpec| p.memory_gib = f64::NAN,
+        ] as [&mut dyn FnMut(&mut PodSpec); 6]
+        {
+            let mut p = good.clone();
+            tweak(&mut p);
+            assert!(p.validate().is_err(), "{p:?} should be rejected");
+        }
+        good.validate().unwrap();
+    }
+
+    #[test]
+    fn inconsistent_quota_annotations_rejected() {
+        let mut pod = PodSpec::new("p", Model::ResNet50, 100.0, 10.0);
+        pod.gpu_quota = 0.5;
+        pod.sm_percent = 25; // tighter than the 50% quota
+        let err = pod.validate().unwrap_err();
+        assert!(err.contains("tighter than gpu_quota"), "{err}");
+        pod.sm_percent = 75;
+        pod.validate().unwrap();
+    }
+
+    #[test]
+    fn memory_request_must_cover_model_footprint() {
+        let mut pod = PodSpec::new("p", Model::BertLarge, 130.0, 50.0);
+        pod.memory_gib = 0.1;
+        let err = pod.validate().unwrap_err();
+        assert!(err.contains("minimal footprint"), "{err}");
+        pod.memory_gib = 64.0;
+        pod.validate().unwrap();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut pod = PodSpec::new("bert-qa", Model::BertLarge, 130.0, 150.0);
+        pod.gpu_quota = 0.5;
+        pod.sm_percent = 60;
+        let text = serde_json::to_string(&pod).unwrap();
+        let back: PodSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(pod, back);
+    }
+
+    #[test]
+    fn annotations_default_when_absent() {
+        let pod: PodSpec = serde_json::from_str(
+            r#"{"name":"x","model":"ResNet-50","slo_ms":100.0,"rate_rps":10.0}"#,
+        )
+        .unwrap();
+        assert_eq!(pod.tenant, 0);
+        assert_eq!(pod.gpu_quota, 0.0);
+        assert_eq!(pod.sm_percent, 0);
+        pod.validate().unwrap();
+    }
+}

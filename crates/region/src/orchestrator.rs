@@ -21,9 +21,11 @@
 
 use crate::event::{next_region_event_with, RegionEvent};
 use crate::report::{FederationReport, IntervalOutcome, RegionOutcome};
-use crate::router::{inbound, route_demand_fair, route_from_fair, Demand, Flow};
+use crate::router::{
+    inbound, route_demand_fair, route_from_fair, Demand, Flow, SPILL_MAX_SLO_FRACTION,
+};
 use crate::spec::FederationSpec;
-use parva_cluster::{BillingReport, BillingRow};
+use parva_cluster::{BillingReport, BillingRow, FollowTheSunRow};
 use parva_deploy::{tenant_of, ServiceSpec, Tenant};
 use parva_des::RngStream;
 use parva_fleet::{ChaosProfile, FleetError, FleetOrchestrator, FleetPacking, RecoveryOutcome};
@@ -47,6 +49,59 @@ pub struct EvacuationDrill {
     pub evacuate_at: usize,
     /// Interval at which the region fails back (must be later).
     pub failback_at: usize,
+}
+
+/// The follow-the-sun cost optimizer: instead of every region serving
+/// its local trough, a region whose diurnal multiplier has dropped to
+/// its overnight floor ships most of its demand to the **cheapest
+/// SLO-feasible** daytime region (per service — a tight SLO that cannot
+/// cross the ocean stays home). The parked region's fleet then shrinks
+/// through the normal §III-F retarget, releasing whole nodes, while the
+/// destination absorbs the trickle into capacity it is already renting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FollowTheSun {
+    /// Diurnal multiplier at or below which a region counts as overnight
+    /// and becomes a shift source (compare against the configured
+    /// `diurnal_low`/`diurnal_high` band).
+    pub night_threshold: f64,
+    /// Fraction of an overnight region's demand shifted away, in (0, 1).
+    /// A residual share must stay local: the §III-F incremental path
+    /// updates services in place and cannot drop one to a zero rate, so
+    /// full parking would leave the old allocation standing.
+    pub shift_fraction: f64,
+}
+
+impl Default for FollowTheSun {
+    fn default() -> Self {
+        Self {
+            night_threshold: 0.8,
+            shift_fraction: 0.9,
+        }
+    }
+}
+
+impl FollowTheSun {
+    /// Validate the optimizer parameters.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.night_threshold > 0.0 && self.night_threshold.is_finite()) {
+            return Err(format!(
+                "follow-the-sun night_threshold must be positive finite (got {})",
+                self.night_threshold
+            ));
+        }
+        if !(self.shift_fraction > 0.0 && self.shift_fraction < 1.0) {
+            return Err(format!(
+                "follow-the-sun shift_fraction must be in (0, 1) — a residual \
+                 share must stay local to anchor the incremental retarget \
+                 (got {})",
+                self.shift_fraction
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Federation-run parameters.
@@ -92,6 +147,9 @@ pub struct FederationConfig {
     /// health-checked routing). `None` keeps the serving path and report
     /// bit-identical to the pre-resilience code.
     pub resilience: Option<ResilienceSpec>,
+    /// The follow-the-sun cost optimizer. `None` keeps routing, serving
+    /// and the report bit-identical to the pre-optimizer behavior.
+    pub follow_the_sun: Option<FollowTheSun>,
 }
 
 impl FederationConfig {
@@ -142,6 +200,9 @@ impl FederationConfig {
         if let Some(res) = &self.resilience {
             res.validate()?;
         }
+        if let Some(fts) = &self.follow_the_sun {
+            fts.validate()?;
+        }
         Ok(())
     }
 }
@@ -170,6 +231,7 @@ impl Default for FederationConfig {
             region_chaos: Vec::new(),
             spot_discounts: Vec::new(),
             resilience: None,
+            follow_the_sun: None,
         }
     }
 }
@@ -340,16 +402,21 @@ impl Federation {
         &self.profiler
     }
 
-    /// Region `r`'s local per-service demand at `interval`, scaled by
-    /// `factor` (the region's load-shift state).
-    fn local_demand(&self, r: usize, interval: usize, factor: f64) -> Vec<ServiceSpec> {
+    /// Region `r`'s sun-phased diurnal multiplier at `interval`.
+    fn diurnal_of(&self, r: usize, interval: usize) -> f64 {
         let hour = interval as f64 * self.config.hours_per_interval;
-        let m = diurnal_multiplier(
+        diurnal_multiplier(
             hour,
             self.config.diurnal_low,
             self.config.diurnal_high,
             self.spec.regions[r].diurnal_phase_hours,
-        );
+        )
+    }
+
+    /// Region `r`'s local per-service demand at `interval`, scaled by
+    /// `factor` (the region's load-shift state).
+    fn local_demand(&self, r: usize, interval: usize, factor: f64) -> Vec<ServiceSpec> {
+        let m = self.diurnal_of(r, interval);
         self.base_services
             .iter()
             .map(|s| {
@@ -432,6 +499,82 @@ impl Federation {
             .collect()
     }
 
+    /// Apply the follow-the-sun shift to a routed flow set: every local
+    /// flow of an overnight region moves `shift_fraction` of its rate to
+    /// the cheapest SLO-feasible daytime region (chosen per service — a
+    /// tight SLO that cannot cross the ocean stays home). Returns the
+    /// total shifted rate, req/s. No-op without the optimizer configured.
+    fn apply_follow_the_sun(&self, interval: usize, flows: &mut Vec<Flow>) -> f64 {
+        let Some(fts) = self.config.follow_the_sun else {
+            return 0.0;
+        };
+        let night: Vec<bool> = (0..self.regions.len())
+            .map(|r| self.is_active(r) && self.diurnal_of(r, interval) <= fts.night_threshold)
+            .collect();
+        let mut shifted = 0.0;
+        let mut moved: Vec<Flow> = Vec::new();
+        for f in flows.iter_mut() {
+            if f.src != f.dst || !night[f.src] || f.rate_rps <= 0.0 {
+                continue;
+            }
+            let slo = self.slo_of(f.service);
+            let dst = (0..self.regions.len())
+                .filter(|&d| d != f.src && self.is_active(d) && !night[d])
+                .filter(|&d| self.spec.rtt.rtt_ms(f.src, d) <= slo * SPILL_MAX_SLO_FRACTION)
+                .min_by(|&a, &b| {
+                    self.spec.regions[a]
+                        .pricing_multiplier
+                        .partial_cmp(&self.spec.regions[b].pricing_multiplier)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let Some(d) = dst else { continue };
+            let rate = f.rate_rps * fts.shift_fraction;
+            f.rate_rps -= rate;
+            shifted += rate;
+            moved.push(Flow {
+                src: f.src,
+                dst: d,
+                service: f.service,
+                rate_rps: rate,
+                rtt_ms: self.spec.rtt.rtt_ms(f.src, d),
+                tenant: f.tenant,
+            });
+        }
+        flows.extend(moved);
+        shifted
+    }
+
+    /// Price the federation as it would stand had this interval's
+    /// follow-the-sun shift not happened: each live region's orchestrator
+    /// is cloned, retargeted to its *unshifted* routed demand through the
+    /// same §III-F path, and the resulting node packings are priced at
+    /// regional prices. Serving is not re-simulated — the counterfactual
+    /// is a pricing question, not a latency one. A scratch copy whose
+    /// retarget fails keeps its actual deployment, under-counting the
+    /// saving rather than inventing one.
+    fn unshifted_usd_per_hour(&self, interval: usize, flows: &[Flow]) -> f64 {
+        let mut total = 0.0;
+        for (d, state) in self.regions.iter().enumerate() {
+            let Some(orchestrator) = state.orchestrator.as_ref() else {
+                continue;
+            };
+            let mut scratch = orchestrator.clone();
+            let targets = self.targets_for(d, flows);
+            if !targets.is_empty() {
+                let _ = scratch.retarget(interval, &targets);
+            }
+            total += FleetPacking::derive_priced(
+                scratch.deployment(),
+                scratch.placement(),
+                scratch.fleet(),
+                self.spec.regions[d].pricing_multiplier,
+                self.config.spot_discounts.get(d).copied().flatten(),
+            )
+            .usd_per_hour;
+        }
+        total
+    }
+
     /// Drive one interval end-to-end. Interval numbers start at 1; the
     /// undisturbed interval 0 is produced by `Federation::baseline`.
     ///
@@ -444,11 +587,12 @@ impl Federation {
         event: RegionEvent,
     ) -> Result<IntervalOutcome, FederationError> {
         self.step_billed(interval, event)
-            .map(|(outcome, _)| outcome)
+            .map(|(outcome, _, _)| outcome)
     }
 
     /// [`Federation::step`] plus the interval's per-tenant billing rows
-    /// (empty when the run has no tenants configured).
+    /// (empty when the run has no tenants configured) and its
+    /// follow-the-sun ledger entry (`None` when nothing shifted).
     ///
     /// # Errors
     /// [`FederationError::Failback`] when a returning region cannot host
@@ -457,7 +601,7 @@ impl Federation {
         &mut self,
         interval: usize,
         event: RegionEvent,
-    ) -> Result<(IntervalOutcome, Vec<BillingRow>), FederationError> {
+    ) -> Result<(IntervalOutcome, Vec<BillingRow>, Option<FollowTheSunRow>), FederationError> {
         let mut recovery: Vec<RecoveryRow> = vec![RecoveryRow::default(); self.regions.len()];
         let mut forced_failovers: Vec<usize> = Vec::new();
 
@@ -537,6 +681,13 @@ impl Federation {
             &self.spec.rtt,
             &self.config.tenants,
         );
+
+        // 2b. Follow the sun: overnight regions ship most of their local
+        //     demand to the cheapest SLO-feasible daytime region before
+        //     anyone retargets, so the parked fleets shrink through the
+        //     normal incremental path below.
+        let unshifted_flows = self.config.follow_the_sun.map(|_| flows.clone());
+        let shifted_rps = self.apply_follow_the_sun(interval, &mut flows);
 
         self.profiler.end(tok);
         let tok = self.profiler.begin("retarget", "region");
@@ -665,7 +816,7 @@ impl Federation {
         let tok = self.profiler.begin("measure", "region");
 
         // 4. Serve each region's routed load with RTT ingress classes.
-        let measured = self.measure(
+        let (outcome, billing) = self.measure(
             interval,
             event,
             &flows,
@@ -674,7 +825,26 @@ impl Federation {
             forced_failovers,
         );
         self.profiler.end(tok);
-        Ok(measured)
+
+        // 5. The follow-the-sun ledger: price the unshifted counterfactual
+        //    and book the delta (nothing to book when nothing moved).
+        let ledger = if shifted_rps > 0.0 {
+            let tok = self.profiler.begin("follow-the-sun", "region");
+            let unshifted = unshifted_flows.as_deref().expect("shift implies optimizer");
+            let local_usd_per_hour = self.unshifted_usd_per_hour(interval, unshifted);
+            self.profiler.end(tok);
+            Some(FollowTheSunRow {
+                interval,
+                shifted_rps,
+                usd_per_hour: outcome.usd_per_hour,
+                local_usd_per_hour,
+                saved_usd: (local_usd_per_hour - outcome.usd_per_hour)
+                    * self.config.hours_per_interval,
+            })
+        } else {
+            None
+        };
+        Ok((outcome, billing, ledger))
     }
 
     /// A service's latency SLO, ms (0 for unknown ids, which the router
@@ -1020,24 +1190,38 @@ impl Federation {
     }
 
     /// [`Federation::baseline`] plus interval 0's per-tenant billing rows
-    /// (empty when the run has no tenants configured).
-    fn baseline_billed(&self) -> (IntervalOutcome, Vec<BillingRow>) {
+    /// (empty when the run has no tenants configured) and its
+    /// follow-the-sun ledger entry (`None` when nothing shifted).
+    ///
+    /// The baseline only *routes* the shift — the fleets keep their
+    /// bootstrap provisioning (no retarget runs at interval 0), so the
+    /// ledger prices what routing alone is worth there.
+    fn baseline_billed(&self) -> (IntervalOutcome, Vec<BillingRow>, Option<FollowTheSunRow>) {
         let offered = self.offered_at(0);
-        let flows = route_demand_fair(
+        let mut flows = route_demand_fair(
             &offered,
             &self.active_mask(),
             &self.capacity_weights(),
             &self.spec.rtt,
             &self.config.tenants,
         );
-        self.measure(
+        let shifted_rps = self.apply_follow_the_sun(0, &mut flows);
+        let (outcome, billing) = self.measure(
             0,
             RegionEvent::Quiet,
             &flows,
             &offered,
             &vec![RecoveryRow::default(); self.regions.len()],
             Vec::new(),
-        )
+        );
+        let ledger = (shifted_rps > 0.0).then_some(FollowTheSunRow {
+            interval: 0,
+            shifted_rps,
+            usd_per_hour: outcome.usd_per_hour,
+            local_usd_per_hour: outcome.usd_per_hour,
+            saved_usd: 0.0,
+        });
+        (outcome, billing, ledger)
     }
 }
 
@@ -1138,6 +1322,22 @@ fn sample_billing<S: TraceSink>(sink: &mut S, rows: &[BillingRow]) {
     }
 }
 
+/// Emit follow-the-sun ledger gauge rows (a no-op when the optimizer
+/// never fired — the row set is empty).
+fn sample_follow_the_sun<S: TraceSink>(sink: &mut S, rows: &[FollowTheSunRow]) {
+    for r in rows {
+        sink.sample(
+            Row::new()
+                .str("kind", "follow_the_sun")
+                .u64("interval", r.interval as u64)
+                .f64("shifted_rps", r.shifted_rps)
+                .f64("usd_per_hour", r.usd_per_hour)
+                .f64("local_usd_per_hour", r.local_usd_per_hour)
+                .f64("saved_usd", r.saved_usd),
+        );
+    }
+}
+
 /// Emit one interval's gauge rows: the federation aggregate, then one
 /// row per region in region order.
 fn sample_interval<S: TraceSink>(sink: &mut S, names: &[String], outcome: &IntervalOutcome) {
@@ -1219,10 +1419,12 @@ fn run_federation_with<S: TraceSink>(
     let mut rng = RngStream::new(config.seed, 0xFED);
     let names: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
     let window = interval_us(&config.serving);
-    let (baseline, mut billing_rows) = federation.baseline_billed();
+    let (baseline, mut billing_rows, baseline_ledger) = federation.baseline_billed();
+    let mut sun_rows: Vec<FollowTheSunRow> = baseline_ledger.into_iter().collect();
     if S::ENABLED {
         sample_interval(sink, &names, &baseline);
         sample_billing(sink, &billing_rows);
+        sample_follow_the_sun(sink, &sun_rows);
     }
 
     let mut intervals = Vec::with_capacity(config.intervals);
@@ -1254,9 +1456,18 @@ fn run_federation_with<S: TraceSink>(
                 next_region_event_with(&mut rng, &states, held, &config.region_chaos)
             }
         };
-        let (outcome, interval_bill) = federation.step_billed(interval, event)?;
+        let (outcome, interval_bill, interval_ledger) = federation.step_billed(interval, event)?;
         if S::ENABLED {
             let ts0 = interval as u64 * window;
+            if let Some(sun) = &interval_ledger {
+                sink.emit(
+                    TraceEvent::instant("follow-the-sun", "decision", ts0)
+                        .pid(PID_REGION)
+                        .tid(u32::MAX)
+                        .arg_f64("shifted_rps", sun.shifted_rps)
+                        .arg_f64("saved_usd", sun.saved_usd),
+                );
+            }
             sink.emit(
                 TraceEvent::instant(event_label(&outcome.event), "region-event", ts0)
                     .pid(PID_REGION)
@@ -1297,9 +1508,11 @@ fn run_federation_with<S: TraceSink>(
             }
             sample_interval(sink, &names, &outcome);
             sample_billing(sink, &interval_bill);
+            sample_follow_the_sun(sink, interval_ledger.as_slice());
         }
         intervals.push(outcome);
         billing_rows.extend(interval_bill);
+        sun_rows.extend(interval_ledger);
     }
 
     let profile = std::mem::take(&mut federation.profiler);
@@ -1309,7 +1522,10 @@ fn run_federation_with<S: TraceSink>(
             region_names: names,
             baseline,
             intervals,
-            billing: (!billing_rows.is_empty()).then_some(BillingReport { rows: billing_rows }),
+            billing: (!billing_rows.is_empty() || !sun_rows.is_empty()).then_some(BillingReport {
+                rows: billing_rows,
+                follow_the_sun: sun_rows,
+            }),
         },
         profile,
     ))
@@ -1871,5 +2087,126 @@ mod tests {
             Federation::bootstrap(&book, &crate::demo_services(), &spec, &quick_config(1, 1)),
             Err(FederationError::Spec(_))
         ));
+    }
+
+    fn sun_config(seed: u64, intervals: usize) -> FederationConfig {
+        FederationConfig {
+            // No drill: every region stays active, so the ledger isolates
+            // cost moves from evacuation churn.
+            drill: None,
+            // A wide swing so troughs dip well under the night threshold.
+            diurnal_low: 0.4,
+            diurnal_high: 1.6,
+            follow_the_sun: Some(FollowTheSun::default()),
+            ..quick_config(seed, intervals)
+        }
+    }
+
+    #[test]
+    fn follow_the_sun_ships_overnight_demand_and_keeps_a_ledger() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let config = sun_config(5, 6);
+        let report = run_federation(&book, &services, &spec, &config).unwrap();
+        let billing = report
+            .billing
+            .as_ref()
+            .expect("an active optimizer must open the billing ledger");
+        assert!(
+            billing.rows.is_empty(),
+            "untenanted run must not grow tenant P&L rows"
+        );
+        assert!(
+            !billing.follow_the_sun.is_empty(),
+            "a 0.4x trough under a 0.8 threshold must trigger shifts"
+        );
+        for r in &billing.follow_the_sun {
+            assert!(r.shifted_rps > 0.0, "ledger row without a shift");
+            assert!(r.usd_per_hour > 0.0 && r.local_usd_per_hour > 0.0);
+            if r.interval == 0 {
+                // The baseline fleet is provisioned before any retarget, so
+                // the counterfactual is the same fleet: no savings yet.
+                assert_eq!(r.saved_usd, 0.0);
+            } else {
+                assert!(
+                    (r.saved_usd
+                        - (r.local_usd_per_hour - r.usd_per_hour) * config.hours_per_interval)
+                        .abs()
+                        < 1e-9,
+                    "saved_usd must be the priced delta over the interval span"
+                );
+            }
+        }
+        // The point of the optimizer: across the run, parking overnight
+        // fleets must beat provisioning every region for local demand.
+        assert!(
+            billing.follow_the_sun_savings_usd() > 0.0,
+            "follow-the-sun lost money:\n{}",
+            billing.render()
+        );
+        // SLO feasibility filter: nothing crosses an ocean its SLO cannot
+        // absorb (every shifted flow's RTT fits under the spill ceiling).
+        assert!(report.final_compliance() > 0.9, "{}", report.render());
+    }
+
+    #[test]
+    fn follow_the_sun_is_deterministic_and_serializable() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let a = run_federation(&book, &services, &spec, &sun_config(5, 4)).unwrap();
+        let b = run_federation(&book, &services, &spec, &sun_config(5, 4)).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, serde_json::to_string(&b).unwrap());
+        assert!(json.contains("follow_the_sun"));
+        let back: crate::FederationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a, "ledger must survive a serde round trip");
+    }
+
+    #[test]
+    fn follow_the_sun_off_is_byte_neutral() {
+        // `follow_the_sun: None` must reproduce the legacy report byte for
+        // byte — no ledger key, no billing object, identical outcomes.
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        let plain = run_federation(&book, &services, &spec, &quick_config(7, 4)).unwrap();
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(!json.contains("follow_the_sun"));
+        assert!(plain.billing.is_none());
+    }
+
+    #[test]
+    fn invalid_follow_the_sun_is_rejected() {
+        let book = ProfileBook::builtin();
+        let spec = FederationSpec::three_region_demo();
+        let services = crate::demo_services();
+        for fts in [
+            FollowTheSun {
+                shift_fraction: 1.0,
+                ..FollowTheSun::default()
+            },
+            FollowTheSun {
+                shift_fraction: 0.0,
+                ..FollowTheSun::default()
+            },
+            FollowTheSun {
+                night_threshold: f64::NAN,
+                ..FollowTheSun::default()
+            },
+        ] {
+            let config = FederationConfig {
+                follow_the_sun: Some(fts),
+                ..quick_config(1, 2)
+            };
+            assert!(
+                matches!(
+                    Federation::bootstrap(&book, &services, &spec, &config),
+                    Err(FederationError::Spec(_))
+                ),
+                "{fts:?} must be rejected"
+            );
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod resilience;
 pub mod router;
 pub mod sim;
 pub mod simulation;
+pub mod stream;
 
 pub use recovery::{RecoveryOp, RecoverySimReport, RecoverySpec};
 pub use report::{
@@ -45,3 +46,4 @@ pub use sim::{
     ServingConfig,
 };
 pub use simulation::Simulation;
+pub use stream::{EpochObservation, StreamEngine, StreamReport, StreamServiceReport};

@@ -1,9 +1,15 @@
 //! Capacity-weighted deterministic request routing.
 
+use serde::{Deserialize, Serialize};
+
 /// Weighted round-robin router (deficit style): each arrival goes to the
 /// server with the largest outstanding credit `weight_i · total − sent_i`,
 /// so long-run shares converge to the capacity weights without randomness.
-#[derive(Debug, Clone)]
+///
+/// The full decision state (normalized weights, per-server deficits, health
+/// mask) serializes, so a suspended simulation resumes with bit-identical
+/// routing decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Router {
     weights: Vec<f64>,
     sent: Vec<u64>,
@@ -217,6 +223,20 @@ mod tests {
         b.set_healthy(1, true);
         for _ in 0..500 {
             assert_eq!(a.route(), b.route());
+        }
+    }
+
+    #[test]
+    fn snapshot_resumes_identical_decisions() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut live = Router::new(vec![3.0, 1.0, 2.0]);
+        live.set_healthy(1, false);
+        for _ in 0..37 {
+            live.route();
+        }
+        let mut restored = Router::from_value(&live.to_value()).unwrap();
+        for _ in 0..500 {
+            assert_eq!(live.route(), restored.route());
         }
     }
 

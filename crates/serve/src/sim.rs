@@ -344,6 +344,12 @@ fn ev(tag: u64, a: u64, b: u64) -> u64 {
 /// cap the artificial delay regardless of how loose the SLO is).
 fn batch_timeout(spec: &ServiceSpec, server: &Server) -> SimTime {
     let (full_cycle, _) = batch_times(server, server.batch, server.procs);
+    timeout_from_budget(spec, full_cycle)
+}
+
+/// The pure budget arithmetic behind [`batch_timeout`], shared with the
+/// streaming engine (which carries its own server representation).
+pub(crate) fn timeout_from_budget(spec: &ServiceSpec, full_cycle: SimTime) -> SimTime {
     let budget_us = SimTime::from_ms(spec.slo.internal_target_ms()).micros();
     SimTime(
         budget_us
@@ -459,16 +465,31 @@ fn predicted_weights(deployment: &Deployment, specs: &[ServiceSpec]) -> Vec<Vec<
 /// Service time and SM-occupancy of one batch starting now on `server` with
 /// `n_busy` concurrently active processes.
 fn batch_times(server: &Server, b_eff: u32, n_busy: u32) -> (SimTime, u64) {
-    let params = PerfParams::for_model(server.model);
-    let gpcs = server.share.effective_gpcs();
-    let cycle_ms = parva_perf::math::cycle_ms_with_interference(
-        &params,
-        gpcs,
+    perf_batch_times(
+        server.model,
+        server.share,
+        server.interference,
         b_eff,
         n_busy,
-        server.interference,
-    );
-    let comp_ms = parva_perf::math::t_comp(&params, gpcs, b_eff) * (1.0 + server.interference);
+    )
+}
+
+/// The pure perf-model evaluation behind [`batch_times`]: service time and
+/// SM-occupancy of one batch of `b_eff` with `n_busy` concurrently active
+/// processes on a `(model, share, interference)` executor. Shared with the
+/// streaming engine so both engines price batches identically.
+pub(crate) fn perf_batch_times(
+    model: Model,
+    share: ComputeShare,
+    interference: f64,
+    b_eff: u32,
+    n_busy: u32,
+) -> (SimTime, u64) {
+    let params = PerfParams::for_model(model);
+    let gpcs = share.effective_gpcs();
+    let cycle_ms =
+        parva_perf::math::cycle_ms_with_interference(&params, gpcs, b_eff, n_busy, interference);
+    let comp_ms = parva_perf::math::t_comp(&params, gpcs, b_eff) * (1.0 + interference);
     (
         SimTime::from_ms(cycle_ms),
         SimTime::from_ms(comp_ms).micros(),
@@ -500,7 +521,11 @@ fn batch_times_memo(
 /// eligible when their GPU's re-flash completes (immediately for prepared
 /// / no-re-flash ops) and are granted FIFO by eligibility on the node's
 /// PCIe link.
-fn recovery_timeline<S: TraceSink>(spec: &RecoverySpec, t0: SimTime, sink: &mut S) -> Vec<SimTime> {
+pub(crate) fn recovery_timeline<S: TraceSink>(
+    spec: &RecoverySpec,
+    t0: SimTime,
+    sink: &mut S,
+) -> Vec<SimTime> {
     let t_cp = t0 + SimTime::from_ms(spec.control_plane_ms);
     let mut reflash_locks: BTreeMap<usize, SerialResource> = BTreeMap::new();
     let mut ready: Vec<SimTime> = Vec::with_capacity(spec.ops.len());

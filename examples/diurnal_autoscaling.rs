@@ -27,6 +27,7 @@ fn main() {
     };
 
     println!("running {} epochs of diurnal load …\n", trace.epochs());
+    #[allow(deprecated)] // oracle-fed demo; `parvad` runs the observed-demand loop
     let report = run_traced(&profiles, &base, &trace, &serving).expect("feasible");
 
     println!(

@@ -12,7 +12,15 @@
 //! parvactl run <name|spec.json> [--json] [--quick]
 //!              [--trace out.json] [--metrics out.jsonl|out.csv] [--profile out.json]
 //!              [--stream DIR]
-//! parvactl run --list [--names]
+//! parvactl run --list [--names] [--json]
+//! parvactl daemon [services.json] [--resume ckpt.json] [--seed N] [--epoch-ms N]
+//!                 [--decide-every N] [--listen ADDR] [--epochs N] [--out DIR]
+//!                 [--checkpoint FILE --checkpoint-at N [--halt]] [--stream DIR]
+//!                 [--throttle-ms N]
+//! parvactl submit <pod.json> [--addr HOST:PORT]
+//! parvactl status [--addr HOST:PORT] [--json]
+//! parvactl scale <service-id> <multiplier> [--addr HOST:PORT]
+//! parvactl drain [--addr HOST:PORT]
 //! parvactl trace audit <trace.json|shard-dir> <report.json> [--metrics FILE] [--tolerance X]
 //! parvactl trace summary <trace.json|shard-dir> [--top K]
 //! parvactl trace diff <a> <b>
@@ -53,6 +61,15 @@
 //! traffic. `--analytic-recovery` reverts `fleet` to the closed-form
 //! estimates.
 //!
+//! `daemon` runs the `parvad` control plane: the serving DES streamed in
+//! epochs with a closed-loop observed-demand autoscaler, suspendable to a
+//! checksummed checkpoint (`--checkpoint/--checkpoint-at`, `--halt` to
+//! simulate the kill) and resumable bit-identically (`--resume`). With
+//! `--listen` it serves an HTTP/JSON control socket that `submit`,
+//! `status`, `scale` and `drain` talk to (default address
+//! `127.0.0.1:7474`; with `--out` the bound address also lands in
+//! `DIR/endpoint`).
+//!
 //! `services.json` is a JSON array of `{"model", "rate_rps", "slo_ms"}`
 //! objects; see `parvagpu::cli` for the full format.
 
@@ -70,7 +87,14 @@ fn usage() -> ! {
          parvactl region [services.json] [--seed N] [--intervals N] [--json]\n  \
          parvactl run <name|spec.json> [--json] [--quick] [--trace FILE] \
          [--metrics FILE] [--profile FILE] [--stream DIR]\n  \
-         parvactl run --list [--names]\n  \
+         parvactl run --list [--names] [--json]\n  \
+         parvactl daemon [services.json] [--resume CKPT] [--seed N] [--epoch-ms N] \
+         [--decide-every N] [--listen ADDR] [--epochs N] [--out DIR] \
+         [--checkpoint FILE --checkpoint-at N [--halt]] [--stream DIR] [--throttle-ms N]\n  \
+         parvactl submit <pod.json> [--addr HOST:PORT]\n  \
+         parvactl status [--addr HOST:PORT] [--json]\n  \
+         parvactl scale <service-id> <multiplier> [--addr HOST:PORT]\n  \
+         parvactl drain [--addr HOST:PORT]\n  \
          parvactl trace audit <trace.json|shard-dir> <report.json> [--metrics FILE] \
          [--tolerance X]\n  \
          parvactl trace summary <trace.json|shard-dir> [--top K]\n  \
@@ -87,6 +111,10 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn daemon_addr(args: &[String]) -> String {
+    flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7474".into())
 }
 
 fn read_json(path: &str) -> String {
@@ -180,7 +208,11 @@ fn main() {
         }
         "run" => {
             if args.iter().any(|a| a == "--list") {
-                Ok(cli::list_specs(args.iter().any(|a| a == "--names")))
+                if args.iter().any(|a| a == "--json") {
+                    cli::list_specs_json()
+                } else {
+                    Ok(cli::list_specs(args.iter().any(|a| a == "--names")))
+                }
             } else {
                 let Some(arg) = args.get(1).filter(|p| !p.starts_with("--")) else {
                     usage()
@@ -210,6 +242,52 @@ fn main() {
                 })
             }
         }
+        "daemon" => {
+            let services_json = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .map(|p| read_json(p));
+            cli::run_daemon_cmd(&cli::DaemonCliOpts {
+                services_json,
+                resume: flag(&args, "--resume"),
+                seed: flag(&args, "--seed")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(42),
+                epoch_ms: flag(&args, "--epoch-ms")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(500),
+                decide_every: flag(&args, "--decide-every")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0),
+                listen: flag(&args, "--listen"),
+                epochs: flag(&args, "--epochs").and_then(|s| s.parse().ok()),
+                out: flag(&args, "--out"),
+                checkpoint: flag(&args, "--checkpoint"),
+                checkpoint_at: flag(&args, "--checkpoint-at").and_then(|s| s.parse().ok()),
+                halt_at_checkpoint: args.iter().any(|a| a == "--halt"),
+                stream: flag(&args, "--stream"),
+                throttle_ms: flag(&args, "--throttle-ms")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0),
+            })
+        }
+        "submit" => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                usage()
+            };
+            cli::run_daemon_submit(&daemon_addr(&args), &read_json(path))
+        }
+        "status" => cli::run_daemon_status(&daemon_addr(&args), args.iter().any(|a| a == "--json")),
+        "scale" => {
+            let (Some(service), Some(multiplier)) = (
+                args.get(1).and_then(|s| s.parse().ok()),
+                args.get(2).and_then(|s| s.parse().ok()),
+            ) else {
+                usage()
+            };
+            cli::run_daemon_scale(&daemon_addr(&args), service, multiplier)
+        }
+        "drain" => cli::run_daemon_drain(&daemon_addr(&args)),
         "trace" => {
             let Some(sub) = args.get(1) else { usage() };
             match sub.as_str() {

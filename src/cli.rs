@@ -593,6 +593,223 @@ pub fn list_specs(names_only: bool) -> String {
     out
 }
 
+/// `parvactl run --list --json`: the registry as a machine-readable array.
+///
+/// # Errors
+/// JSON encoding failures (none in practice).
+pub fn list_specs_json() -> Result<String, String> {
+    use serde::Value;
+    let entries: Vec<Value> = crate::scenarios::builtin_specs()
+        .iter()
+        .map(|spec| {
+            let kind = match spec.mode {
+                crate::scenarios::Mode::Serve { .. } => "serve",
+                crate::scenarios::Mode::Fleet { .. } => "fleet",
+                crate::scenarios::Mode::Region { .. } => "region",
+            };
+            Value::Map(vec![
+                ("name".to_string(), Value::Str(spec.name.clone())),
+                ("kind".to_string(), Value::Str(kind.to_string())),
+                (
+                    "description".to_string(),
+                    Value::Str(spec.description.clone()),
+                ),
+            ])
+        })
+        .collect();
+    serde_json::to_string(&Value::Seq(entries))
+        .map(|s| s + "\n")
+        .map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// `parvactl daemon` & clients — the parvad control plane.
+// ---------------------------------------------------------------------------
+
+/// Options for `parvactl daemon` (the host side).
+#[derive(Debug, Clone, Default)]
+pub struct DaemonCliOpts {
+    /// Initial catalogue as CLI services JSON (`None`: a small builtin
+    /// two-service catalogue). Ignored with `resume`.
+    pub services_json: Option<String>,
+    /// Resume from this checkpoint instead of booting fresh.
+    pub resume: Option<String>,
+    /// Engine seed (fresh boots only).
+    pub seed: u64,
+    /// Epoch length, ms (fresh boots only).
+    pub epoch_ms: u64,
+    /// Autoscale decision cadence, epochs (0 = policy default).
+    pub decide_every: u64,
+    /// Control-socket bind address.
+    pub listen: Option<String>,
+    /// Stop after this many total epochs.
+    pub epochs: Option<u64>,
+    /// Artifact directory.
+    pub out: Option<String>,
+    /// Scheduled checkpoint path.
+    pub checkpoint: Option<String>,
+    /// Epoch at which to write the scheduled checkpoint.
+    pub checkpoint_at: Option<u64>,
+    /// Exit right after the scheduled checkpoint.
+    pub halt_at_checkpoint: bool,
+    /// Live `StreamSink` shard directory.
+    pub stream: Option<String>,
+    /// Wall-clock pause between epochs, ms.
+    pub throttle_ms: u64,
+}
+
+/// The builtin daemon catalogue (small, fast, deterministic).
+#[must_use]
+pub fn default_daemon_catalogue() -> Vec<ServiceSpec> {
+    vec![
+        ServiceSpec::new(1, Model::ResNet50, 400.0, 40.0),
+        ServiceSpec::new(2, Model::MobileNetV2, 300.0, 30.0),
+    ]
+}
+
+/// `parvactl daemon`: boot (or resume) a daemon and drive it to completion.
+///
+/// # Errors
+/// Boot/resume, socket or artifact failures, as strings.
+pub fn run_daemon_cmd(opts: &DaemonCliOpts) -> Result<String, String> {
+    let mut daemon = match &opts.resume {
+        Some(path) => parvad::load_checkpoint::<parvad::Daemon>(std::path::Path::new(path))?,
+        None => {
+            let specs = match &opts.services_json {
+                Some(json) => parse_services(json)?,
+                None => default_daemon_catalogue(),
+            };
+            let mut policy = parvad::AutoscalePolicy::default();
+            if opts.decide_every > 0 {
+                policy.decide_every = opts.decide_every;
+            }
+            parvad::Daemon::new(
+                &specs,
+                ArrivalProcess::Poisson,
+                opts.seed,
+                opts.epoch_ms.max(1) * 1000,
+                policy,
+            )?
+        }
+    };
+    let outcome = parvad::run_daemon(
+        &mut daemon,
+        &parvad::DaemonOpts {
+            listen: opts.listen.clone(),
+            epochs: opts.epochs,
+            out_dir: opts.out.as_ref().map(Into::into),
+            checkpoint_at: opts.checkpoint_at,
+            checkpoint_path: opts.checkpoint.as_ref().map(Into::into),
+            halt_at_checkpoint: opts.halt_at_checkpoint,
+            stream_dir: opts.stream.as_ref().map(Into::into),
+            throttle_ms: opts.throttle_ms,
+        },
+    )?;
+    let mut out = format!(
+        "parvad: {} epochs completed{}{}\n",
+        outcome.epochs,
+        if outcome.checkpointed {
+            ", checkpoint written"
+        } else {
+            ""
+        },
+        if outcome.drained { ", drained" } else { "" },
+    );
+    if let Some(addr) = outcome.bound_addr {
+        out.push_str(&format!("control socket was {addr}\n"));
+    }
+    Ok(out)
+}
+
+/// `parvactl submit <pod.json> --addr A`: admit a pod over the socket.
+///
+/// # Errors
+/// Connection failures or a non-200 daemon response.
+pub fn run_daemon_submit(addr: &str, pod_json: &str) -> Result<String, String> {
+    // Validate client-side first for a friendlier error than a 400.
+    let pod: parvad::PodSpec =
+        serde_json::from_str(pod_json).map_err(|e| format!("bad pod spec: {e}"))?;
+    pod.validate()?;
+    let (code, body) = parvad::http_request(addr, "POST", "/submit", Some(pod_json))?;
+    if code == 200 {
+        Ok(body + "\n")
+    } else {
+        Err(format!("daemon refused ({code}): {body}"))
+    }
+}
+
+/// `parvactl status --addr A [--json]`: live daemon status.
+///
+/// # Errors
+/// Connection failures or a non-200 daemon response.
+pub fn run_daemon_status(addr: &str, json_out: bool) -> Result<String, String> {
+    let (code, body) = parvad::http_request(addr, "GET", "/status", None)?;
+    if code != 200 {
+        return Err(format!("daemon error ({code}): {body}"));
+    }
+    if json_out {
+        return Ok(body + "\n");
+    }
+    let status: parvad::DaemonStatus =
+        serde_json::from_str(&body).map_err(|e| format!("bad status payload: {e}"))?;
+    let mut out = format!(
+        "epoch {}  sim {:.1} ms  {} GPUs  {} dark  {} decisions  {} reconfigs  \
+         {} GPU-epochs{}\n",
+        status.epoch,
+        status.sim_ms,
+        status.gpus,
+        status.dark_servers,
+        status.decisions,
+        status.reconfigs,
+        status.gpu_epochs,
+        if status.draining { "  DRAINING" } else { "" },
+    );
+    out.push_str(&format!(
+        "{:<14} {:>4} {:>9} {:>12} {:>12} {:>9} {:>11}\n",
+        "pod", "id", "replicas", "est req/s", "plan req/s", "offered", "attainment"
+    ));
+    for s in &status.services {
+        out.push_str(&format!(
+            "{:<14} {:>4} {:>9} {:>12.1} {:>12.1} {:>9} {:>10.2}%\n",
+            s.name,
+            s.id,
+            s.replicas,
+            s.demand_est_rps,
+            s.planned_rps,
+            s.offered,
+            s.slo_attainment * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+/// `parvactl scale <service> <multiplier> --addr A`: inject true demand.
+///
+/// # Errors
+/// Connection failures or a non-200 daemon response.
+pub fn run_daemon_scale(addr: &str, service: u32, multiplier: f64) -> Result<String, String> {
+    let body = format!("{{\"service\":{service},\"multiplier\":{multiplier}}}");
+    let (code, reply) = parvad::http_request(addr, "POST", "/scale", Some(&body))?;
+    if code == 200 {
+        Ok(reply + "\n")
+    } else {
+        Err(format!("daemon refused ({code}): {reply}"))
+    }
+}
+
+/// `parvactl drain --addr A`: stop admissions and shut down gracefully.
+///
+/// # Errors
+/// Connection failures or a non-200 daemon response.
+pub fn run_daemon_drain(addr: &str) -> Result<String, String> {
+    let (code, reply) = parvad::http_request(addr, "POST", "/drain", None)?;
+    if code == 200 {
+        Ok(reply + "\n")
+    } else {
+        Err(format!("daemon refused ({code}): {reply}"))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // `parvactl trace` — offline analytics over exported traces and shard dirs.
 // ---------------------------------------------------------------------------

@@ -64,11 +64,14 @@ pub use parva_profile as profile;
 pub use parva_region as region;
 pub mod scenarios;
 pub use parva_serve as serve;
+pub use parvad as daemon;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::scenarios::{ScenarioReport, ScenarioSpec};
-    pub use parva_autoscale::{run_traced, RateTrace};
+    #[allow(deprecated)] // kept for downstream users until the oracle path is removed
+    pub use parva_autoscale::run_traced;
+    pub use parva_autoscale::{DemandEstimator, RateTrace};
     pub use parva_baselines::{Gpulet, Gslice, IGniter, MigServing, ParisElsa};
     pub use parva_core::{ParvaGpu, ParvaGpuSingle, ParvaGpuUnoptimized};
     pub use parva_deploy::{Deployment, ScheduleError, Scheduler, ServiceSpec, Slo};
@@ -82,6 +85,7 @@ pub mod prelude {
     pub use parva_scenarios::Scenario;
     pub use parva_serve::{
         ArrivalProcess, IngressClass, RecoverySpec, ResilienceSpec, ServingConfig, ServingReport,
-        Simulation,
+        Simulation, StreamEngine,
     };
+    pub use parvad::{AutoscalePolicy, Daemon, PodSpec};
 }

@@ -13,7 +13,7 @@ use super::spec::{
 };
 use crate::cluster::{NodeType, PricingPlan};
 use crate::fleet::{FleetSpec, NodePool};
-use crate::region::{EvacuationDrill, FederationSpec, RegionSpec};
+use crate::region::{EvacuationDrill, FederationSpec, FollowTheSun, RegionSpec};
 use parva_deploy::SloClass;
 use parva_serve::{ArrivalProcess, ResilienceSpec};
 
@@ -29,6 +29,7 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         region_failover(),
         evacuation_drill(),
         diurnal(),
+        follow_the_sun(),
         multi_tenant(),
         retry_storm(),
     ]
@@ -54,6 +55,7 @@ fn quickstart() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "quickstart".into(),
         description: "ParvaGPU schedules three CNN/BERT services; one serving window".into(),
         seed: 42,
@@ -85,6 +87,7 @@ fn llm() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "llm".into(),
         description: "LLM mix profiled and scheduled on the H200-141GB catalog slice".into(),
         seed: 42,
@@ -116,6 +119,7 @@ fn single_node_mps() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "single_node_mps".into(),
         description: "gpulet MPS partitions, MMPP bursts, 80/20 local/remote ingress split".into(),
         seed: 42,
@@ -158,6 +162,7 @@ fn fleet_chaos() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "fleet_chaos".into(),
         description: "mixed reserved/on-demand/spot fleet through 8 seeded chaos events".into(),
         seed: 42,
@@ -185,6 +190,7 @@ fn spot_heavy() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "spot_heavy".into(),
         description: "1 reserved anchor + A100/H100 spot pools; preemption-dominated chaos".into(),
         seed: 42,
@@ -238,6 +244,7 @@ fn region_failover() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "region_failover".into(),
         description: "3-region federation; us-east evacuated at interval 3, failback at 6".into(),
         seed: 42,
@@ -257,6 +264,7 @@ fn region_failover() -> ScenarioSpec {
                 failback_at: 6,
             }),
             diurnal: None,
+            follow_the_sun: None,
         },
     }
 }
@@ -276,6 +284,7 @@ fn evacuation_drill() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "evacuation_drill".into(),
         description: "4-region federation; eu-west drained at interval 2, failback at 5".into(),
         seed: 42,
@@ -299,6 +308,7 @@ fn evacuation_drill() -> ScenarioSpec {
                 failback_at: 5,
             }),
             diurnal: None,
+            follow_the_sun: None,
         },
     }
 }
@@ -311,6 +321,7 @@ fn diurnal() -> ScenarioSpec {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
         name: "diurnal".into(),
         description: "3-region federation under a 0.4x-1.6x sun-phased demand swing".into(),
         seed: 42,
@@ -330,6 +341,44 @@ fn diurnal() -> ScenarioSpec {
                 high: 1.6,
                 hours_per_interval: 4.0,
             }),
+            follow_the_sun: None,
+        },
+    }
+}
+
+/// The `diurnal` swing with the follow-the-sun cost optimizer switched
+/// on: overnight regions ship most of their demand to the cheapest
+/// SLO-feasible daytime region, their fleets shrink through the normal
+/// incremental retarget, and the report's billing ledger prices the
+/// shift against a keep-it-local counterfactual.
+fn follow_the_sun() -> ScenarioSpec {
+    ScenarioSpec {
+        observability: ObservabilitySpec::default(),
+        tenants: Vec::new(),
+        spot_markets: Vec::new(),
+        resilience: None,
+        pods: Vec::new(),
+        name: "follow_the_sun".into(),
+        description: "diurnal swing + overnight demand shifted to the cheapest feasible region"
+            .into(),
+        seed: 42,
+        window: Window {
+            warmup_s: 0.5,
+            duration_s: 3.0,
+            drain_s: 1.0,
+        },
+        arrivals: None,
+        workload: Workload::RegionDemo,
+        mode: Mode::Region {
+            federation: FederationSource::ThreeRegionDemo,
+            intervals: 6,
+            drill: None,
+            diurnal: Some(DiurnalSpec {
+                low: 0.4,
+                high: 1.6,
+                hours_per_interval: 4.0,
+            }),
+            follow_the_sun: Some(FollowTheSun::default()),
         },
     }
 }
@@ -387,6 +436,7 @@ fn multi_tenant() -> ScenarioSpec {
             },
         ],
         resilience: None,
+        pods: Vec::new(),
         name: "multi_tenant".into(),
         description: "3 tenants x 3 regions: quotas, weighted-fair spill, per-tenant P&L".into(),
         seed: 42,
@@ -406,6 +456,7 @@ fn multi_tenant() -> ScenarioSpec {
                 failback_at: 5,
             }),
             diurnal: None,
+            follow_the_sun: None,
         },
     }
 }
@@ -436,6 +487,7 @@ fn retry_storm() -> ScenarioSpec {
             retry_budget_rps: 80.0,
             ..ResilienceSpec::default()
         }),
+        pods: Vec::new(),
         name: "retry_storm".into(),
         description: "overloaded ResNet-50; budgeted retries degrade gracefully, \
                       unbudgeted ones collapse"
@@ -579,6 +631,7 @@ mod tests {
             tenants: Vec::new(),
             spot_markets: Vec::new(),
             resilience: None,
+            pods: Vec::new(),
         };
         assert_eq!(spec.workload.services().unwrap().len(), 33);
     }

@@ -375,7 +375,7 @@ impl SpotMarketSpec {
 }
 
 /// Which engine a scenario exercises, with that engine's axes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub enum Mode {
     /// One scheduled deployment served in the DES.
     Serve {
@@ -421,7 +421,70 @@ pub enum Mode {
         /// Diurnal demand bounds; `None` uses the federation defaults.
         #[serde(default)]
         diurnal: Option<DiurnalSpec>,
+        /// Follow-the-sun cost optimizer: ship overnight demand to the
+        /// cheapest SLO-feasible daytime region and report the USD delta
+        /// in the federation's billing ledger. `None` keeps the run bit
+        /// for bit identical to the pre-optimizer behavior.
+        #[serde(default)]
+        follow_the_sun: Option<parva_region::FollowTheSun>,
     },
+}
+
+// Hand-written so pre-optimizer specs serialize exactly as the derive
+// used to emit them: the `follow_the_sun` key appears only when set.
+impl Serialize for Mode {
+    fn to_value(&self) -> Value {
+        let (variant, fields) = match self {
+            Self::Serve {
+                scheduler,
+                gpu,
+                ingress,
+                recovery,
+            } => (
+                "Serve",
+                vec![
+                    (String::from("scheduler"), scheduler.to_value()),
+                    (String::from("gpu"), gpu.to_value()),
+                    (String::from("ingress"), ingress.to_value()),
+                    (String::from("recovery"), recovery.to_value()),
+                ],
+            ),
+            Self::Fleet {
+                fleet,
+                intervals,
+                analytic_recovery,
+            } => (
+                "Fleet",
+                vec![
+                    (String::from("fleet"), fleet.to_value()),
+                    (String::from("intervals"), intervals.to_value()),
+                    (
+                        String::from("analytic_recovery"),
+                        analytic_recovery.to_value(),
+                    ),
+                ],
+            ),
+            Self::Region {
+                federation,
+                intervals,
+                drill,
+                diurnal,
+                follow_the_sun,
+            } => {
+                let mut fields = vec![
+                    (String::from("federation"), federation.to_value()),
+                    (String::from("intervals"), intervals.to_value()),
+                    (String::from("drill"), drill.to_value()),
+                    (String::from("diurnal"), diurnal.to_value()),
+                ];
+                if follow_the_sun.is_some() {
+                    fields.push((String::from("follow_the_sun"), follow_the_sun.to_value()));
+                }
+                ("Region", fields)
+            }
+        };
+        Value::Map(vec![(String::from(variant), Value::Map(fields))])
+    }
 }
 
 /// A whole experiment as data. See the module docs and
@@ -464,6 +527,13 @@ pub struct ScenarioSpec {
     /// behavior.
     #[serde(default)]
     pub resilience: Option<ResilienceSpec>,
+    /// Fastpod-style serving pods (see [`parvad::PodSpec`]) admitted at
+    /// boot, on top of the workload's services: each pod is validated
+    /// (model footprint, quota/SM-cap consistency) and lowered to an
+    /// appended `ServiceSpec` with the next free id, in every mode. Empty
+    /// keeps specs and reports bit-identical to the pre-pod behavior.
+    #[serde(default)]
+    pub pods: Vec<parvad::PodSpec>,
 }
 
 // Hand-written so tenant-free specs serialize exactly as before the
@@ -489,6 +559,9 @@ impl Serialize for ScenarioSpec {
         }
         if let Some(resilience) = &self.resilience {
             map.push((String::from("resilience"), resilience.to_value()));
+        }
+        if !self.pods.is_empty() {
+            map.push((String::from("pods"), self.pods.to_value()));
         }
         Value::Map(map)
     }
@@ -621,6 +694,18 @@ impl ScenarioSpec {
         if let Some(res) = &self.resilience {
             res.validate()?;
         }
+        for (i, pod) in self.pods.iter().enumerate() {
+            pod.validate()?;
+            if self.pods[..i].iter().any(|p| p.name == pod.name) {
+                return Err(format!("duplicate pod name {:?}", pod.name));
+            }
+            if pod.tenant != 0 && !tenant_ids.contains(&pod.tenant) {
+                return Err(format!(
+                    "pod {:?} names tenant {}, which the spec does not define",
+                    pod.name, pod.tenant
+                ));
+            }
+        }
         match &self.mode {
             Mode::Serve {
                 scheduler,
@@ -690,9 +775,13 @@ impl ScenarioSpec {
                 intervals,
                 drill,
                 diurnal,
+                follow_the_sun,
             } => {
                 if *intervals == 0 {
                     return Err("region scenarios need at least one interval".into());
+                }
+                if let Some(fts) = follow_the_sun {
+                    fts.validate()?;
                 }
                 if self.spot_markets.len() > federation.region_count() {
                     return Err(format!(
@@ -835,6 +924,12 @@ impl ScenarioSpec {
     ) -> Result<(ScenarioReport, Option<SelfProfiler>), String> {
         self.validate()?;
         let mut services = self.workload.services()?;
+        // Lower boot pods onto the tail of the catalogue: next free ids,
+        // tenants taken from the pod annotations themselves.
+        let next_id = services.iter().map(|s| s.id + 1).max().unwrap_or(0);
+        for (offset, pod) in self.pods.iter().enumerate() {
+            services.push(pod.to_service_spec(next_id + offset as u32)?);
+        }
         // Bind each service to its owning tenant (validated above), and
         // materialize the runtime tenant contracts.
         for t in &self.tenants {
@@ -930,6 +1025,7 @@ impl ScenarioSpec {
                 intervals,
                 drill,
                 diurnal,
+                follow_the_sun,
             } => {
                 let book = ProfileBook::builtin();
                 let mut config = FederationConfig {
@@ -937,6 +1033,7 @@ impl ScenarioSpec {
                     intervals: (*intervals).max(1),
                     serving,
                     drill: *drill,
+                    follow_the_sun: *follow_the_sun,
                     tenants,
                     region_chaos: self
                         .spot_markets

@@ -217,6 +217,7 @@ fn invalid_specs_are_rejected() {
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
     };
     assert!(base.validate().unwrap_err().contains("empty"));
 
@@ -277,11 +278,13 @@ fn invalid_specs_are_rejected() {
             intervals: 4,
             drill: Some(drill),
             diurnal: None,
+            follow_the_sun: None,
         },
         observability: Default::default(),
         tenants: Vec::new(),
         spot_markets: Vec::new(),
         resilience: None,
+        pods: Vec::new(),
     };
     let late = region_base(parvagpu::region::EvacuationDrill {
         region: 0,
@@ -335,4 +338,53 @@ fn invalid_specs_are_rejected() {
     assert!(ghost.validate().unwrap_err().contains("does not exist"));
 
     assert!(serde_json::from_str::<ScenarioSpec>("{\"nope\": 1}").is_err());
+}
+
+/// The follow-the-sun optimizer is opt-in at the spec layer: absent from
+/// legacy JSON (both parse-side and serialize-side), validated when
+/// present, and the `follow_the_sun` builtin actually produces a priced
+/// ledger.
+#[test]
+fn follow_the_sun_spec_field_is_optional_and_validated() {
+    // Pre-optimizer specs serialize without the key; the shipped builtin
+    // that enables it carries the key.
+    let legacy = spec_by_name("region_failover").unwrap();
+    assert!(!serde_json::to_string(&legacy)
+        .unwrap()
+        .contains("follow_the_sun"));
+    let sun = spec_by_name("follow_the_sun").unwrap();
+    assert!(serde_json::to_string(&sun)
+        .unwrap()
+        .contains("\"follow_the_sun\":{\"night_threshold\":"));
+
+    // Old JSON (no key) still parses, defaulting the optimizer off.
+    let mut json = serde_json::to_string(&legacy).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    if let Mode::Region { follow_the_sun, .. } = &back.mode {
+        assert!(follow_the_sun.is_none());
+    } else {
+        panic!("region_failover must stay a region scenario");
+    }
+
+    // A bad optimizer config is caught by spec validation, not at run time.
+    json = serde_json::to_string(&sun)
+        .unwrap()
+        .replace("\"shift_fraction\":0.9", "\"shift_fraction\":1.5");
+    let bad: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert!(bad.validate().unwrap_err().contains("shift_fraction"));
+
+    // The builtin runs and prices its shifts.
+    let report = sun.quick().run().expect("follow_the_sun runs");
+    let ScenarioReport::Region(r) = report else {
+        panic!("follow_the_sun must produce a region report");
+    };
+    let billing = r.billing.as_ref().expect("optimizer must open a ledger");
+    assert!(
+        !billing.follow_the_sun.is_empty(),
+        "no overnight shift fired"
+    );
+    assert!(billing
+        .follow_the_sun
+        .iter()
+        .all(|row| row.shifted_rps > 0.0));
 }

@@ -9,8 +9,8 @@
 //!
 //! Supported shapes are exactly what this workspace needs: non-generic
 //! structs and enums, std scalars, `String`, `&'static str`, `Vec`,
-//! slices/arrays, `Option`, and small tuples. `#[serde(default)]` is the
-//! only honoured attribute.
+//! `VecDeque`, slices/arrays, `Option`, and small tuples.
+//! `#[serde(default)]` is the only honoured attribute.
 
 // Re-export the derive macros under the trait names, like serde's `derive`
 // feature does. (Trait and macro namespaces are distinct, so both coexist.)
@@ -195,6 +195,11 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -293,6 +298,27 @@ impl<T: Deserialize> Deserialize for Vec<T> {
         match v {
             Value::Seq(s) => s.iter().map(T::from_value).collect(),
             _ => type_err("sequence", v),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => type_err("sequence", v),
+        }
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) if s.len() == N => {
+                let items: Result<Vec<T>, Error> = s.iter().map(T::from_value).collect();
+                items?
+                    .try_into()
+                    .map_err(|_| Error::custom(format!("expected {N}-element array")))
+            }
+            _ => type_err("fixed-size array", v),
         }
     }
 }
